@@ -1,0 +1,74 @@
+// Ablations of the design choices called out in DESIGN.md:
+//   1. index-backed findHom queries vs. full scans    (the "DB2" choice);
+//   2. join reordering on vs. off                     (the "Saxon effect":
+//      the paper observed a drastic slowdown with joins in the XML case
+//      because Saxon evaluates for-each clauses as written);
+//   3. lazy (cursor) vs. eager assignment fetching    (§3.3: relational vs
+//      XML implementation);
+//   4. the §3.3 proven-propagation optimization of ComputeOneRoute.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "routes/one_route.h"
+
+namespace spider::bench {
+namespace {
+
+constexpr int kTuples = 10;
+
+const Scenario& Scn(int joins) {
+  return CachedRelational(joins, kScales[1].units);  // the "S" class
+}
+
+void Run(benchmark::State& state, const Scenario& s,
+         const RouteOptions& options, int group = 3) {
+  std::vector<FactRef> facts = SelectGroupFacts(s, group, kTuples, 99);
+  for (auto _ : state) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts, options);
+    if (!result.found) state.SkipWithError("route not found");
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_Baseline(benchmark::State& state) {
+  Run(state, Scn(static_cast<int>(state.range(0))), RouteOptions{});
+}
+
+void BM_NoIndexes(benchmark::State& state) {
+  RouteOptions options;
+  options.eval.use_indexes = false;
+  Run(state, Scn(static_cast<int>(state.range(0))), options);
+}
+
+void BM_NoReordering(benchmark::State& state) {
+  RouteOptions options;
+  options.eval.reorder_atoms = false;
+  Run(state, Scn(static_cast<int>(state.range(0))), options);
+}
+
+void BM_EagerFindHom(benchmark::State& state) {
+  RouteOptions options;
+  options.eager_findhom = true;
+  Run(state, Scn(static_cast<int>(state.range(0))), options);
+}
+
+void BM_NoProvenPropagation(benchmark::State& state) {
+  RouteOptions options;
+  options.propagate_rhs_proven = false;
+  Run(state, Scn(static_cast<int>(state.range(0))), options);
+}
+
+BENCHMARK(BM_Baseline)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NoIndexes)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NoReordering)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EagerFindHom)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NoProvenPropagation)
+    ->Arg(1)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spider::bench
+
+BENCHMARK_MAIN();

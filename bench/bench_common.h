@@ -1,0 +1,98 @@
+#ifndef SPIDER_BENCH_BENCH_COMMON_H_
+#define SPIDER_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "chase/chase.h"
+#include "routes/one_route.h"
+#include "workload/hierarchy_scenario.h"
+#include "workload/real_scenarios.h"
+#include "workload/relational_scenario.h"
+
+namespace spider::bench {
+
+/// Runs the probe once, untimed, so lazily-built hash indexes are warm
+/// before measurement — the analogue of the paper's methodology of
+/// discarding the first (cold buffer pool) run and averaging the second and
+/// third.
+inline void Warmup(const Scenario& s, const std::vector<FactRef>& facts,
+                   const RouteOptions& options = {}) {
+  ComputeOneRoute(*s.mapping, *s.source, *s.target, facts, options);
+}
+
+/// The four (I, J) size classes of Fig. 10(a), scaled to laptop size while
+/// preserving the paper's 1:50 span and 1:6 source-to-target ratio
+/// (10MB..500MB source, 6 copy groups).
+struct ScaleClass {
+  const char* label;
+  int units;
+};
+inline constexpr ScaleClass kScales[] = {
+    {"XS", 40},   // ~5.5k source tuples  (paper: 10MB)
+    {"S", 200},   // ~28k                 (paper: 50MB)
+    {"M", 400},   // ~55k                 (paper: 100MB)
+    {"L", 2000},  // ~277k / ~1.65M target (paper: 500MB / 3GB)
+};
+inline constexpr int kNumScales = 4;
+/// Index of the 100MB-equivalent scale used by Figs. 10(b)-(d).
+inline constexpr int kScaleM = 2;
+
+/// Builds (once) and returns the chased relational scenario for the given
+/// join count and scale. Scenarios are cached for the process lifetime —
+/// benchmark setup (generation + chase) is excluded from timings.
+inline const Scenario& CachedRelational(int joins, int units) {
+  static std::map<std::pair<int, int>, std::unique_ptr<Scenario>>* cache =
+      new std::map<std::pair<int, int>, std::unique_ptr<Scenario>>();
+  auto key = std::make_pair(joins, units);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    RelationalScenarioOptions options;
+    options.joins = joins;
+    options.groups = 6;
+    options.sizes.units = units;
+    auto scenario = std::make_unique<Scenario>(
+        BuildRelationalScenario(options));
+    ChaseScenario(scenario.get());
+    it = cache->emplace(key, std::move(scenario)).first;
+  }
+  return *it->second;
+}
+
+inline const Scenario& CachedDeepHierarchy(int fanout) {
+  static std::map<int, std::unique_ptr<Scenario>>* cache =
+      new std::map<int, std::unique_ptr<Scenario>>();
+  auto it = cache->find(fanout);
+  if (it == cache->end()) {
+    DeepHierarchyOptions options;
+    options.regions = 5;
+    options.fanout = fanout;
+    auto scenario =
+        std::make_unique<Scenario>(BuildDeepHierarchyScenario(options));
+    ChaseScenario(scenario.get());
+    it = cache->emplace(fanout, std::move(scenario)).first;
+  }
+  return *it->second;
+}
+
+inline const Scenario& CachedReal(const std::string& which, int units) {
+  static std::map<std::string, std::unique_ptr<Scenario>>* cache =
+      new std::map<std::string, std::unique_ptr<Scenario>>();
+  std::string key = which + "/" + std::to_string(units);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    RealScenarioOptions options;
+    options.units = units;
+    auto scenario = std::make_unique<Scenario>(
+        which == "dblp" ? BuildDblpScenario(options)
+                        : BuildMondialScenario(options));
+    ChaseScenario(scenario.get());
+    it = cache->emplace(key, std::move(scenario)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace spider::bench
+
+#endif  // SPIDER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,96 @@
+// Eager vs. lazy provenance (§5.1's design argument, quantified): the
+// paper's debugger deliberately computes routes LAZILY, on demand, so the
+// exchange engine needs no re-engineering; the alternative ([23]-style
+// bookkeeping, implemented in spider_provenance) annotates the whole
+// exchange once and answers every probe by lookup.
+//
+//   * BM_Eager_AnnotateExchange — one-time cost of the instrumented chase
+//     (compare with BM_PlainChase, the uninstrumented engine);
+//   * BM_Eager_ExplainAfterAnnotation — per-probe cost afterwards;
+//   * BM_Lazy_OneRoutePerProbe — ComputeOneRoute per probe, no setup.
+//
+// Expected shape: lazy probes cost more than eager lookups, but the eager
+// approach only pays off after many probes (the crossover); a debugging
+// session with a handful of probes is far cheaper lazily — the paper's
+// rationale for routes.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "chase/chase.h"
+#include "provenance/annotated_chase.h"
+#include "provenance/explain.h"
+#include "routes/one_route.h"
+
+namespace spider::bench {
+namespace {
+
+constexpr int kJoins = 1;
+constexpr int kUnits = 200;  // the "S" class
+
+const Scenario& Scn() { return CachedRelational(kJoins, kUnits); }
+
+void BM_PlainChase(benchmark::State& state) {
+  const Scenario& s = Scn();
+  for (auto _ : state) {
+    ChaseResult result = Chase(*s.mapping, *s.source);
+    benchmark::DoNotOptimize(result.target->TotalTuples());
+  }
+}
+
+void BM_Eager_AnnotateExchange(benchmark::State& state) {
+  const Scenario& s = Scn();
+  for (auto _ : state) {
+    AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+    benchmark::DoNotOptimize(result.log.NumFacts());
+  }
+}
+
+void BM_Eager_ExplainAfterAnnotation(benchmark::State& state) {
+  const Scenario& s = Scn();
+  static const AnnotatedChaseResult* annotated = [] {
+    auto* r = new AnnotatedChaseResult(AnnotatedChase(
+        *Scn().mapping, *Scn().source));
+    return r;
+  }();
+  const int probes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (int p = 0; p < probes; ++p) {
+      auto id = static_cast<AnnotatedChaseLog::ProvFactId>(
+          (p * 7919) % annotated->log.NumFacts());
+      ExtendedRoute route = ExplainFact(annotated->log, id, *s.mapping);
+      benchmark::DoNotOptimize(route.size());
+    }
+  }
+}
+
+void BM_Lazy_OneRoutePerProbe(benchmark::State& state) {
+  const Scenario& s = Scn();
+  const int probes = static_cast<int>(state.range(0));
+  std::vector<FactRef> facts = SelectGroupFacts(s, 3, probes, 17);
+  Warmup(s, {facts[0]});
+  for (auto _ : state) {
+    for (const FactRef& fact : facts) {
+      OneRouteResult result =
+          ComputeOneRoute(*s.mapping, *s.source, *s.target, {fact});
+      benchmark::DoNotOptimize(result.found);
+    }
+  }
+}
+
+BENCHMARK(BM_PlainChase)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Eager_AnnotateExchange)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Eager_ExplainAfterAnnotation)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lazy_OneRoutePerProbe)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spider::bench
+
+BENCHMARK_MAIN();

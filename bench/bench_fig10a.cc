@@ -1,0 +1,72 @@
+// Figure 10(a): ComputeOneRoute time while varying the size of the source
+// and target instances and the number of selected tuples.
+//
+// Paper setting: tgds with 1 join, routes with M/T = 3, (I, J) sizes from
+// (10MB, 60MB) to (500MB, 3GB), 1..20 selected tuples. Here the four size
+// classes span the same 1:50 ratio at laptop scale (see bench_common.h);
+// the expected shape is: time grows with the number of selected tuples and
+// with instance size, with the largest class clearly separated.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "routes/one_route.h"
+
+namespace spider::bench {
+namespace {
+
+void BM_Fig10a_OneRoute(benchmark::State& state) {
+  const ScaleClass& scale = kScales[state.range(0)];
+  const int ntuples = static_cast<int>(state.range(1));
+  const Scenario& s = CachedRelational(/*joins=*/1, scale.units);
+  std::vector<FactRef> facts =
+      SelectGroupFacts(s, /*group=*/3, ntuples, /*seed=*/ntuples);
+  Warmup(s, facts);
+  for (auto _ : state) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts);
+    if (!result.found) state.SkipWithError("route not found");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::string("I=") + scale.label + " tuples=" +
+                 std::to_string(ntuples));
+  state.counters["tuples"] = ntuples;
+  state.counters["source_tuples"] =
+      static_cast<double>(s.source->TotalTuples());
+  state.counters["target_tuples"] =
+      static_cast<double>(s.target->TotalTuples());
+}
+
+BENCHMARK(BM_Fig10a_OneRoute)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 2, 5, 10, 15, 20}})
+    ->Unit(benchmark::kMillisecond);
+
+// The same sweep with findHom's selection queries executed as scans
+// (use_indexes=false). With O(1) hash indexes the per-probe cost is nearly
+// size-independent; the scan series recovers the paper's visible growth
+// with |I| and |J| (DB2's query cost grew with table size).
+void BM_Fig10a_OneRoute_Scans(benchmark::State& state) {
+  const ScaleClass& scale = kScales[state.range(0)];
+  const int ntuples = static_cast<int>(state.range(1));
+  const Scenario& s = CachedRelational(/*joins=*/1, scale.units);
+  std::vector<FactRef> facts =
+      SelectGroupFacts(s, /*group=*/3, ntuples, /*seed=*/ntuples);
+  RouteOptions options;
+  options.eval.use_indexes = false;
+  for (auto _ : state) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts, options);
+    if (!result.found) state.SkipWithError("route not found");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::string("I=") + scale.label + " tuples=" +
+                 std::to_string(ntuples) + " (scans)");
+}
+
+BENCHMARK(BM_Fig10a_OneRoute_Scans)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 5, 20}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spider::bench
+
+BENCHMARK_MAIN();

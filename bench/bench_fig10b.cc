@@ -1,0 +1,38 @@
+// Figure 10(b): ComputeOneRoute time while varying the M/T factor (the
+// number of satisfaction steps per selected tuple) from 1 to 6.
+//
+// Paper setting: tgds with 3 joins, |I| = 100MB, tuples selected from copy
+// group g have M/T = g. Expected shape: time increases with the M/T factor
+// (more intermediary tuples are discovered, hence more findHom queries).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "routes/one_route.h"
+
+namespace spider::bench {
+namespace {
+
+void BM_Fig10b_MtFactor(benchmark::State& state) {
+  const int mt = static_cast<int>(state.range(0));
+  const int ntuples = static_cast<int>(state.range(1));
+  const Scenario& s = CachedRelational(/*joins=*/3, kScales[kScaleM].units);
+  std::vector<FactRef> facts = SelectGroupFacts(s, mt, ntuples, mt * 100 + 7);
+  Warmup(s, facts);
+  for (auto _ : state) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts);
+    if (!result.found) state.SkipWithError("route not found");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("M/T=" + std::to_string(mt) + " tuples=" +
+                 std::to_string(ntuples));
+}
+
+BENCHMARK(BM_Fig10b_MtFactor)
+    ->ArgsProduct({{1, 2, 3, 4, 5, 6}, {1, 5, 10, 20}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spider::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Figure 10(c): ComputeOneRoute time while varying the complexity of the
+// tgds (0 to 3 joins per side).
+//
+// Paper setting: routes with M/T = 3, |I| = 100MB. Expected shape: running
+// time increases with the number of joins in the tgds (the findHom
+// selection queries join more relations).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "routes/one_route.h"
+
+namespace spider::bench {
+namespace {
+
+void BM_Fig10c_Joins(benchmark::State& state) {
+  const int joins = static_cast<int>(state.range(0));
+  const int ntuples = static_cast<int>(state.range(1));
+  const Scenario& s = CachedRelational(joins, kScales[kScaleM].units);
+  std::vector<FactRef> facts =
+      SelectGroupFacts(s, /*group=*/3, ntuples, joins * 100 + ntuples);
+  Warmup(s, facts);
+  for (auto _ : state) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts);
+    if (!result.found) state.SkipWithError("route not found");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::to_string(joins) + " joins, tuples=" +
+                 std::to_string(ntuples));
+}
+
+BENCHMARK(BM_Fig10c_Joins)
+    ->ArgsProduct({{0, 1, 2, 3}, {1, 3, 5, 7, 10, 20}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spider::bench
+
+BENCHMARK_MAIN();

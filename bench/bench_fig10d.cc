@@ -1,0 +1,78 @@
+// Figure 10(d): ComputeOneRoute vs. ComputeAllRoutes (log scale in the
+// paper; google-benchmark reports both series side by side here).
+//
+// Paper setting: tgds with 1 join, routes with M/T = 3, |I| = 100MB,
+// 1..20 selected tuples. Expected shape: computing all routes is orders of
+// magnitude slower than computing one route, and the gap widens with the
+// number of selected tuples (the paper reports ~2s vs ~100s at 5 tuples).
+// The forest timing excludes NaivePrint, as in the paper.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "routes/one_route.h"
+#include "routes/naive_print.h"
+#include "routes/route_forest.h"
+
+namespace spider::bench {
+namespace {
+
+std::vector<FactRef> Facts(const Scenario& s, int ntuples) {
+  return SelectGroupFacts(s, /*group=*/3, ntuples, /*seed=*/ntuples + 31);
+}
+
+void BM_Fig10d_OneRoute(benchmark::State& state) {
+  const Scenario& s = CachedRelational(/*joins=*/1, kScales[kScaleM].units);
+  std::vector<FactRef> facts = Facts(s, static_cast<int>(state.range(0)));
+  Warmup(s, facts);
+  for (auto _ : state) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts);
+    if (!result.found) state.SkipWithError("route not found");
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_Fig10d_AllRoutes(benchmark::State& state) {
+  const Scenario& s = CachedRelational(/*joins=*/1, kScales[kScaleM].units);
+  std::vector<FactRef> facts = Facts(s, static_cast<int>(state.range(0)));
+  Warmup(s, facts);
+  for (auto _ : state) {
+    RouteForest forest =
+        ComputeAllRoutes(*s.mapping, *s.source, *s.target, facts);
+    benchmark::DoNotOptimize(forest.NumBranches());
+  }
+}
+
+// "The performance gap between the two algorithms will be even larger if
+// we require all routes to be printed": forest construction + NaivePrint.
+void BM_Fig10d_AllRoutesPlusPrint(benchmark::State& state) {
+  const Scenario& s = CachedRelational(/*joins=*/1, kScales[kScaleM].units);
+  std::vector<FactRef> facts = Facts(s, static_cast<int>(state.range(0)));
+  Warmup(s, facts);
+  // Route counts explode combinatorially across selected facts (cartesian
+  // product); cap the enumeration so the series stays runnable — the
+  // truncated cost already dwarfs forest construction.
+  NaivePrintOptions print_options;
+  print_options.max_routes = 10'000;
+  for (auto _ : state) {
+    RouteForest forest =
+        ComputeAllRoutes(*s.mapping, *s.source, *s.target, facts);
+    NaivePrintResult printed = NaivePrint(&forest, facts, print_options);
+    benchmark::DoNotOptimize(printed.routes.size());
+  }
+}
+
+BENCHMARK(BM_Fig10d_OneRoute)
+    ->DenseRange(1, 20, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig10d_AllRoutes)
+    ->DenseRange(1, 20, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig10d_AllRoutesPlusPrint)
+    ->DenseRange(1, 10, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spider::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Figure 11: ComputeOneRoute time in the deep-hierarchy scenario while
+// varying the depth of the selected elements from 1 (Region) to 5
+// (Lineitem).
+//
+// Paper setting: source and target are the nesting Region/Nation/Customer/
+// Orders/Lineitem, one s-t tgd copies the hierarchy, |I| = |J| = 700KB, and
+// the XML engine (Saxon) fetches all assignments eagerly. Expected shape:
+// execution time DECREASES as the selected element gets deeper — a deep
+// element pins the whole root-to-leaf path, so the eagerly-materialized
+// assignment set shrinks with depth. (Depth 1 is limited to 5 selected
+// facts: there are only 5 regions, as in the paper.)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "routes/one_route.h"
+
+namespace spider::bench {
+namespace {
+
+void BM_Fig11_Depth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  int ntuples = static_cast<int>(state.range(1));
+  if (depth == 1 && ntuples > 5) {
+    // Only 5 distinct regions exist (see the paper's note on Fig. 11).
+    ntuples = 5;
+  }
+  const Scenario& s = CachedDeepHierarchy(/*fanout=*/5);
+  std::vector<FactRef> facts =
+      SelectDepthFacts(s, depth, ntuples, depth * 10 + ntuples);
+  RouteOptions xml_mode;
+  xml_mode.eager_findhom = true;  // Saxon materializes all assignments
+  for (auto _ : state) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts, xml_mode);
+    if (!result.found) state.SkipWithError("route not found");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("depth=" + std::to_string(depth) + " tuples=" +
+                 std::to_string(ntuples));
+  state.counters["assignments"] = 0;  // overwritten below for clarity
+  {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts, xml_mode);
+    state.counters["assignments"] =
+        static_cast<double>(result.stats.findhom_successes);
+  }
+}
+
+BENCHMARK(BM_Fig11_Depth)
+    ->ArgsProduct({{1, 2, 3, 4, 5}, {1, 5, 10, 20}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spider::bench
+
+BENCHMARK_MAIN();

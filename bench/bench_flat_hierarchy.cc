@@ -1,0 +1,86 @@
+// The flat-hierarchy scenario of §4.1 (graphs omitted in the paper for
+// space; trends reported in prose): ComputeOneRoute in "XML mode" (eager
+// assignment fetching, no join reordering — the Saxon engine) while varying
+// instance size, number of selected elements, and tgd complexity.
+//
+// Paper-reported shape: time grows with instance size and #elements; the
+// system stays fast (<5s for 20 elements); the degradation with the number
+// of joins is MORE drastic than in the relational case (Saxon's nested
+// loops).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "routes/one_route.h"
+
+namespace spider::bench {
+namespace {
+
+const Scenario& CachedFlat(int joins, int units) {
+  static std::map<std::pair<int, int>, std::unique_ptr<Scenario>>* cache =
+      new std::map<std::pair<int, int>, std::unique_ptr<Scenario>>();
+  auto key = std::make_pair(joins, units);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    FlatHierarchyOptions options;
+    options.joins = joins;
+    options.groups = 6;
+    options.units = units;
+    auto scenario =
+        std::make_unique<Scenario>(BuildFlatHierarchyScenario(options));
+    ChaseScenario(scenario.get());
+    it = cache->emplace(key, std::move(scenario)).first;
+  }
+  return *it->second;
+}
+
+RouteOptions XmlMode() {
+  RouteOptions options;
+  options.eager_findhom = true;
+  options.eval.reorder_atoms = false;
+  return options;
+}
+
+// Varying instance size (paper: 500KB / 1MB / 5MB XML documents).
+void BM_Flat_Size(benchmark::State& state) {
+  const Scenario& s =
+      CachedFlat(/*joins=*/1, static_cast<int>(state.range(0)));
+  std::vector<FactRef> facts =
+      SelectGroupFacts(s, 3, static_cast<int>(state.range(1)), 11);
+  RouteOptions options = XmlMode();
+  Warmup(s, facts, options);
+  for (auto _ : state) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts, options);
+    if (!result.found) state.SkipWithError("route not found");
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+// Varying tgd complexity (the drastic Saxon degradation).
+void BM_Flat_Joins(benchmark::State& state) {
+  const Scenario& s = CachedFlat(static_cast<int>(state.range(0)), 8);
+  std::vector<FactRef> facts = SelectGroupFacts(s, 3, 5, 13);
+  RouteOptions options = XmlMode();
+  Warmup(s, facts, options);
+  for (auto _ : state) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts, options);
+    if (!result.found) state.SkipWithError("route not found");
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+BENCHMARK(BM_Flat_Size)
+    ->ArgsProduct({{4, 8, 40}, {1, 5, 10, 20}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Flat_Joins)
+    ->ArgsProduct({{0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spider::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Table 1 + §4.2: the real-dataset scenarios (DBLP -> Amalgam, Mondial
+// relational -> nested). Prints the Table 1 schema/mapping statistics for
+// the emulated datasets, then times one route and all routes for 1..10
+// randomly selected target tuples in each scenario.
+//
+// Paper result: one route under 3 seconds in all cases; all routes much
+// slower (e.g. <1s vs ~18s for 10 tuples in Mondial). Expected shape here:
+// same ordering, with a widening one-vs-all gap.
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "routes/one_route.h"
+#include "routes/route_forest.h"
+#include "workload/rng.h"
+
+namespace spider::bench {
+namespace {
+
+constexpr int kUnits = 30;
+
+std::vector<FactRef> RandomTargetFacts(const Scenario& s, size_t count,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RelationId> populated;
+  for (size_t r = 0; r < s.target->NumRelations(); ++r) {
+    if (s.target->NumTuples(static_cast<RelationId>(r)) > 0) {
+      populated.push_back(static_cast<RelationId>(r));
+    }
+  }
+  std::vector<FactRef> facts;
+  while (facts.size() < count) {
+    RelationId rel = populated[rng.Below(populated.size())];
+    facts.push_back(FactRef{
+        Side::kTarget, rel,
+        static_cast<int32_t>(rng.Below(s.target->NumTuples(rel)))});
+  }
+  return facts;
+}
+
+void PrintTable1() {
+  struct Row {
+    const char* name;
+    const Scenario* scenario;
+    const char* paper;
+  };
+  const Scenario& dblp = CachedReal("dblp", kUnits);
+  const Scenario& mondial = CachedReal("mondial", kUnits);
+  std::printf("=== Table 1 (emulated datasets; paper's published values in "
+              "brackets) ===\n");
+  std::printf("%-10s %18s %18s %10s %12s %12s\n", "scenario", "src elements",
+              "tgt elements", "|Sst|/|St|", "|I| tuples", "|J| tuples");
+  for (const Row& row : {Row{"DBLP", &dblp, "85 src / 117 tgt, 10/14"},
+                         Row{"Mondial", &mondial, "157 src / 144 tgt, 13/25"}}) {
+    ScenarioStats stats = ComputeStats(*row.scenario);
+    std::printf("%-10s %18zu %18zu %6zu/%-5zu %12zu %12zu   [paper: %s]\n",
+                row.name, stats.source_elements, stats.target_elements,
+                stats.st_tgds, stats.target_tgds, stats.source_tuples,
+                stats.target_tuples, row.paper);
+  }
+  std::printf("\n");
+}
+
+void BM_Table1_OneRoute(benchmark::State& state, const char* which) {
+  const Scenario& s = CachedReal(which, kUnits);
+  std::vector<FactRef> facts =
+      RandomTargetFacts(s, static_cast<size_t>(state.range(0)),
+                        state.range(0) * 3 + 1);
+  for (auto _ : state) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_Table1_AllRoutes(benchmark::State& state, const char* which) {
+  const Scenario& s = CachedReal(which, kUnits);
+  std::vector<FactRef> facts =
+      RandomTargetFacts(s, static_cast<size_t>(state.range(0)),
+                        state.range(0) * 3 + 1);
+  for (auto _ : state) {
+    RouteForest forest =
+        ComputeAllRoutes(*s.mapping, *s.source, *s.target, facts);
+    benchmark::DoNotOptimize(forest.NumBranches());
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Table1_OneRoute, dblp, "dblp")
+    ->DenseRange(1, 10, 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Table1_AllRoutes, dblp, "dblp")
+    ->DenseRange(1, 10, 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Table1_OneRoute, mondial, "mondial")
+    ->DenseRange(1, 10, 3)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Table1_AllRoutes, mondial, "mondial")
+    ->DenseRange(1, 10, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace spider::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  spider::bench::PrintTable1();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

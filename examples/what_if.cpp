@@ -1,0 +1,62 @@
+// What-if analysis (§2.1's future-work item): after the debugger pinpoints
+// the bug, preview how the proposed fix changes the solution BEFORE
+// committing to it — chase under the old and new mapping and diff.
+//
+// This walks Scenario 1's fix: m1 mapped maidenName onto name and dropped
+// the location; the corrected m1 copies name from name and address from
+// location.
+//
+//   $ ./what_if
+#include <iostream>
+
+#include "chase/chase.h"
+#include "chase/core.h"
+#include "debugger/mapping_diff.h"
+#include "mapping/parser.h"
+
+namespace {
+
+constexpr const char* kSchemas = R"(
+source schema {
+  Cards(cardNo, limit, ssn, name, maidenName, salary, location);
+}
+target schema {
+  Accounts(accNo, limit, accHolder);
+  Clients(ssn, name, maidenName, income, address);
+}
+)";
+
+constexpr const char* kData = R"(
+source instance {
+  Cards(6689, "15K", 434, "J. Long", "Smith", "50K", "Seattle");
+  Cards(7012, "25K", 517, "B. Short", "Jones", "80K", "Boston");
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace spider;
+  Scenario before = ParseScenario(
+      std::string(kSchemas) +
+      R"(m1: Cards(cn,l,s,n,m,sal,loc) ->
+             exists A . Accounts(cn,l,s) & Clients(s,m,m,sal,A);)" + kData);
+  Scenario after = ParseScenario(
+      std::string(kSchemas) +
+      R"(m1: Cards(cn,l,s,n,m,sal,loc) ->
+             Accounts(cn,l,s) & Clients(s,n,m,sal,loc);)" + kData);
+
+  std::cout << "=== What changes if we apply the Scenario-1 fix? ===\n";
+  MappingDiffReport report = DiffMappings(*before.mapping, *before.source,
+                                          *after.mapping, *after.source);
+  std::cout << report.ToString();
+
+  // As a bonus, the core tells us the before-solution carried no redundant
+  // facts (the nulls were load-bearing) — the fix replaces them rather
+  // than pruning them.
+  ChaseResult chased = Chase(*before.mapping, *before.source);
+  CoreResult core = ComputeCore(*chased.target);
+  std::cout << "\nredundant facts in the pre-fix solution: "
+            << core.facts_removed << '\n';
+  return 0;
+}

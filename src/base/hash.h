@@ -1,0 +1,16 @@
+#ifndef SPIDER_BASE_HASH_H_
+#define SPIDER_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spider {
+
+/// Mixes `h` into `seed` (boost::hash_combine-style). Order-dependent.
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace spider
+
+#endif  // SPIDER_BASE_HASH_H_

@@ -1,0 +1,15 @@
+#include "base/status.h"
+
+#include <sstream>
+
+namespace spider::internal {
+
+void FailCheck(const char* file, int line, const char* expr,
+               const std::string& message) {
+  std::ostringstream os;
+  os << message << " (check `" << expr << "` failed at " << file << ':' << line
+     << ')';
+  throw SpiderError(os.str());
+}
+
+}  // namespace spider::internal

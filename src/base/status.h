@@ -1,0 +1,35 @@
+#ifndef SPIDER_BASE_STATUS_H_
+#define SPIDER_BASE_STATUS_H_
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace spider {
+
+/// Error raised for malformed inputs (bad dependency text, arity mismatches,
+/// references to undeclared relations, ...). The library validates inputs at
+/// construction boundaries and raises SpiderError with a human-readable
+/// message; internal invariants use assertions instead.
+class SpiderError : public std::runtime_error {
+ public:
+  explicit SpiderError(std::string message)
+      : std::runtime_error(std::move(message)) {}
+};
+
+namespace internal {
+[[noreturn]] void FailCheck(const char* file, int line, const char* expr,
+                            const std::string& message);
+}  // namespace internal
+
+/// Validates a user-facing precondition; throws SpiderError on failure.
+#define SPIDER_CHECK(expr, message)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::spider::internal::FailCheck(__FILE__, __LINE__, #expr, (message));  \
+    }                                                                       \
+  } while (0)
+
+}  // namespace spider
+
+#endif  // SPIDER_BASE_STATUS_H_

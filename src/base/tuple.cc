@@ -1,0 +1,41 @@
+#include "base/tuple.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace spider {
+
+bool Tuple::ContainsNulls() const {
+  for (const Value& v : values_) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = 0x7f4a7c15;
+  for (const Value& v : values_) seed = HashCombine(seed, v.Hash());
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  os << '(';
+  for (size_t i = 0; i < t.arity(); ++i) {
+    if (i > 0) os << ", ";
+    os << t.at(i);
+  }
+  return os << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const FactRef& f) {
+  return os << (f.side == Side::kSource ? "src" : "tgt") << '[' << f.relation
+            << ':' << f.row << ']';
+}
+
+}  // namespace spider

@@ -1,0 +1,77 @@
+#ifndef SPIDER_BASE_TUPLE_H_
+#define SPIDER_BASE_TUPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/value.h"
+
+namespace spider {
+
+/// A row of values. The relation it belongs to is tracked externally (tuples
+/// are stored per-relation inside an Instance).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t arity() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  bool ContainsNulls() const;
+
+  /// Renders as `(v1, v2, ...)`.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Tuple&, const Tuple&) = default;
+  friend auto operator<=>(const Tuple&, const Tuple&) = default;
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+/// Which instance of a data-exchange pair (I, J) a fact lives in.
+enum class Side : uint8_t { kSource = 0, kTarget = 1 };
+
+/// Identity of a fact within a (source, target) instance pair: the side,
+/// the relation index in that side's schema, and the row index within the
+/// relation. FactRefs are stable because instances are append-only during
+/// route computation.
+struct FactRef {
+  Side side = Side::kTarget;
+  int32_t relation = -1;
+  int32_t row = -1;
+
+  bool valid() const { return relation >= 0 && row >= 0; }
+
+  friend bool operator==(const FactRef&, const FactRef&) = default;
+  friend auto operator<=>(const FactRef&, const FactRef&) = default;
+};
+
+struct FactRefHash {
+  size_t operator()(const FactRef& f) const {
+    size_t seed = static_cast<size_t>(f.side);
+    seed = HashCombine(seed, std::hash<int32_t>{}(f.relation));
+    return HashCombine(seed, std::hash<int32_t>{}(f.row));
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const FactRef& f);
+
+}  // namespace spider
+
+#endif  // SPIDER_BASE_TUPLE_H_

@@ -1,0 +1,45 @@
+#include "base/value.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "base/hash.h"
+
+namespace spider {
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(kind());
+  switch (kind()) {
+    case Kind::kInt:
+      return HashCombine(seed, std::hash<int64_t>{}(AsInt()));
+    case Kind::kDouble:
+      return HashCombine(seed, std::hash<double>{}(AsDouble()));
+    case Kind::kString:
+      return HashCombine(seed, std::hash<std::string>{}(AsString()));
+    case Kind::kNull:
+      return HashCombine(seed, std::hash<int64_t>{}(AsNull().id));
+  }
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      return os << v.AsInt();
+    case Value::Kind::kDouble:
+      return os << v.AsDouble();
+    case Value::Kind::kString:
+      return os << '"' << v.AsString() << '"';
+    case Value::Kind::kNull:
+      return os << "#N" << v.AsNull().id;
+  }
+  return os;
+}
+
+}  // namespace spider

@@ -1,0 +1,76 @@
+#ifndef SPIDER_BASE_VALUE_H_
+#define SPIDER_BASE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace spider {
+
+/// Identifier of a labeled null. Distinct labeled nulls denote possibly
+/// different unknown values in a target instance (data-exchange semantics).
+struct NullId {
+  int64_t id = 0;
+
+  friend bool operator==(const NullId&, const NullId&) = default;
+  friend auto operator<=>(const NullId&, const NullId&) = default;
+};
+
+/// A database value: an integer, real or string constant, or a labeled null.
+///
+/// Values are ordered (kind first, then payload) so they can be used as keys
+/// in ordered containers, and hashable for hash indexes. Labeled nulls compare
+/// equal only when their ids are equal; they are never equal to any constant.
+class Value {
+ public:
+  enum class Kind : uint8_t { kInt = 0, kDouble = 1, kString = 2, kNull = 3 };
+
+  /// Default-constructed value is the integer 0.
+  Value() : rep_(int64_t{0}) {}
+
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Real(double v) { return Value(Rep(v)); }
+  static Value Str(std::string v) { return Value(Rep(std::move(v))); }
+  static Value Null(int64_t id) { return Value(Rep(NullId{id})); }
+
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_constant() const { return !is_null(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  NullId AsNull() const { return std::get<NullId>(rep_); }
+
+  /// Renders the value for display: integers and reals as-is, strings
+  /// double-quoted, labeled nulls as `#N<id>`.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+  friend auto operator<=>(const Value&, const Value&) = default;
+
+ private:
+  using Rep = std::variant<int64_t, double, std::string, NullId>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace spider
+
+template <>
+struct std::hash<spider::Value> {
+  size_t operator()(const spider::Value& v) const { return v.Hash(); }
+};
+
+#endif  // SPIDER_BASE_VALUE_H_

@@ -1,0 +1,71 @@
+#include "catalog/schema.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace spider {
+
+RelationDef::RelationDef(std::string name, std::vector<std::string> attributes)
+    : name_(std::move(name)), attributes_(std::move(attributes)) {
+  SPIDER_CHECK(!name_.empty(), "relation name must be non-empty");
+  SPIDER_CHECK(!attributes_.empty(),
+               "relation '" + name_ + "' must have at least one attribute");
+}
+
+int RelationDef::AttributeIndex(const std::string& attribute) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attribute) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+RelationId Schema::AddRelation(std::string relation,
+                               std::vector<std::string> attributes) {
+  SPIDER_CHECK(by_name_.find(relation) == by_name_.end(),
+               "duplicate relation '" + relation + "' in schema '" + name_ +
+                   "'");
+  RelationId id = static_cast<RelationId>(relations_.size());
+  by_name_.emplace(relation, id);
+  relations_.emplace_back(std::move(relation), std::move(attributes));
+  return id;
+}
+
+RelationId Schema::Find(const std::string& relation) const {
+  auto it = by_name_.find(relation);
+  return it == by_name_.end() ? kInvalidRelation : it->second;
+}
+
+RelationId Schema::Require(const std::string& relation) const {
+  RelationId id = Find(relation);
+  SPIDER_CHECK(id != kInvalidRelation,
+               "unknown relation '" + relation + "' in schema '" + name_ +
+                   "'");
+  return id;
+}
+
+size_t Schema::TotalElements() const {
+  size_t total = relations_.size();
+  for (const RelationDef& rel : relations_) total += rel.arity();
+  return total;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Schema& schema) {
+  os << "schema " << schema.name() << " {\n";
+  for (const RelationDef& rel : schema.relations()) {
+    os << "  " << rel.name() << '(';
+    for (size_t i = 0; i < rel.arity(); ++i) {
+      if (i > 0) os << ", ";
+      os << rel.attribute(i);
+    }
+    os << ")\n";
+  }
+  return os << '}';
+}
+
+}  // namespace spider

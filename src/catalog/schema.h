@@ -1,0 +1,79 @@
+#ifndef SPIDER_CATALOG_SCHEMA_H_
+#define SPIDER_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace spider {
+
+/// Index of a relation within a Schema.
+using RelationId = int32_t;
+inline constexpr RelationId kInvalidRelation = -1;
+
+/// Definition of one relation: a name plus named attributes. Attributes are
+/// untyped (the paper's data model is untyped terms: constants and labeled
+/// nulls); names exist for display and for positional lookup by name.
+class RelationDef {
+ public:
+  RelationDef(std::string name, std::vector<std::string> attributes);
+
+  const std::string& name() const { return name_; }
+  size_t arity() const { return attributes_.size(); }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  const std::string& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Returns the position of the attribute or -1 if absent.
+  int AttributeIndex(const std::string& attribute) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+};
+
+/// A relational schema: an ordered collection of relation definitions with
+/// unique names. Used for both the source schema S and target schema T of a
+/// schema mapping.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a relation; throws SpiderError on duplicate names.
+  RelationId AddRelation(std::string relation,
+                         std::vector<std::string> attributes);
+
+  size_t size() const { return relations_.size(); }
+  const RelationDef& relation(RelationId id) const { return relations_[id]; }
+
+  /// Returns the id of the named relation, or kInvalidRelation.
+  RelationId Find(const std::string& relation) const;
+
+  /// Like Find but throws SpiderError when the relation does not exist.
+  RelationId Require(const std::string& relation) const;
+
+  const std::vector<RelationDef>& relations() const { return relations_; }
+
+  /// Total number of attributes across all relations (schema "elements" in
+  /// the sense of Table 1 of the paper, counting relations + attributes).
+  size_t TotalElements() const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<RelationDef> relations_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Schema& schema);
+
+}  // namespace spider
+
+#endif  // SPIDER_CATALOG_SCHEMA_H_

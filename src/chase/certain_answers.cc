@@ -1,0 +1,39 @@
+#include "chase/certain_answers.h"
+
+#include <unordered_set>
+
+#include "base/status.h"
+#include "query/binding.h"
+
+namespace spider {
+
+std::vector<Tuple> CertainAnswers(const Instance& universal,
+                                  const std::vector<Atom>& query,
+                                  const std::vector<VarId>& head,
+                                  size_t num_vars, const EvalOptions& eval) {
+  Binding binding(num_vars);
+  MatchIterator it(universal, query, &binding, eval);
+  std::vector<Tuple> answers;
+  std::unordered_set<Tuple, TupleHash> seen;
+  while (it.Next()) {
+    std::vector<Value> values;
+    values.reserve(head.size());
+    bool has_null = false;
+    for (VarId v : head) {
+      SPIDER_CHECK(binding.IsBound(v),
+                   "head variable not bound by the query body");
+      const Value& value = binding.Get(v);
+      if (value.is_null()) {
+        has_null = true;
+        break;
+      }
+      values.push_back(value);
+    }
+    if (has_null) continue;
+    Tuple answer(std::move(values));
+    if (seen.insert(answer).second) answers.push_back(std::move(answer));
+  }
+  return answers;
+}
+
+}  // namespace spider

@@ -1,0 +1,28 @@
+#ifndef SPIDER_CHASE_CERTAIN_ANSWERS_H_
+#define SPIDER_CHASE_CERTAIN_ANSWERS_H_
+
+#include <vector>
+
+#include "query/evaluator.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Certain answers of a conjunctive query over a UNIVERSAL solution, by
+/// naive evaluation [Fagin, Kolaitis, Miller, Popa; TCS'05]: evaluate the
+/// query treating labeled nulls as ordinary values, project onto the head
+/// variables, and keep only the answers containing no nulls. For (unions
+/// of) conjunctive queries this computes exactly the answers that hold in
+/// EVERY solution — the semantics a data-integration user queries under.
+///
+/// `head` lists the projection variables; `num_vars` is the size of the
+/// query's variable table. Answers are deduplicated, in first-found order.
+std::vector<Tuple> CertainAnswers(const Instance& universal,
+                                  const std::vector<Atom>& query,
+                                  const std::vector<VarId>& head,
+                                  size_t num_vars,
+                                  const EvalOptions& eval = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_CHASE_CERTAIN_ANSWERS_H_

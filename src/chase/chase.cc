@@ -1,0 +1,165 @@
+#include "chase/chase.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace spider {
+
+namespace {
+
+/// Fires one tgd trigger: extends the universal binding with fresh nulls for
+/// the existential variables and inserts the instantiated RHS into `target`.
+void FireTgd(const Tgd& tgd, const Binding& universal, Instance* target,
+             int64_t* null_counter, ChaseStats* stats) {
+  Binding h = universal;
+  for (VarId y : tgd.ExistentialVars()) {
+    h.Set(y, Value::Null((*null_counter)++));
+    ++stats->nulls_created;
+  }
+  for (const Atom& atom : tgd.rhs()) {
+    target->Insert(atom.relation, h.Instantiate(atom));
+  }
+}
+
+/// Applies the first violated egd trigger found, if any. Returns true when a
+/// unification was applied (the instance was mutated, enumeration must
+/// restart). Sets `failed` when two distinct constants are equated.
+bool ApplyOneEgdStep(const SchemaMapping& mapping, Instance* target,
+                     const EvalOptions& eval, ChaseStats* stats, bool* failed,
+                     std::string* failure_message) {
+  for (size_t e = 0; e < mapping.NumEgds(); ++e) {
+    const Egd& egd = mapping.egd(static_cast<EgdId>(e));
+    Binding b(egd.num_vars());
+    MatchIterator it(*target, egd.lhs(), &b, eval);
+    while (it.Next()) {
+      const Value& left = b.Get(egd.left());
+      const Value& right = b.Get(egd.right());
+      if (left == right) continue;
+      if (left.is_constant() && right.is_constant()) {
+        *failed = true;
+        *failure_message = "egd '" + egd.name() +
+                           "' equates distinct constants " + left.ToString() +
+                           " and " + right.ToString();
+        return false;
+      }
+      // Replace a labeled null by the other value. When both are nulls the
+      // one with the larger id is replaced, which keeps the result
+      // deterministic.
+      NullId victim;
+      Value replacement;
+      if (left.is_null() && (right.is_constant() ||
+                             right.AsNull().id < left.AsNull().id)) {
+        victim = left.AsNull();
+        replacement = right;
+      } else {
+        victim = right.AsNull();
+        replacement = left;
+      }
+      target->ApplySubstitution(victim, replacement);
+      ++stats->egd_steps;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
+                  const ChaseOptions& options) {
+  ChaseResult result;
+  result.target = std::make_unique<Instance>(&mapping.target());
+  Instance& target = *result.target;
+  int64_t null_counter = options.first_null_id;
+  size_t steps = 0;
+  auto over_limit = [&]() { return steps > options.max_steps; };
+
+  // Phase 1: s-t tgds. The source is never mutated, so triggers can be
+  // enumerated and fired in one pass.
+  for (TgdId id : mapping.st_tgds()) {
+    const Tgd& tgd = mapping.tgd(id);
+    Binding b(tgd.num_vars());
+    MatchIterator it(source, tgd.lhs(), &b, options.eval);
+    while (it.Next()) {
+      if (++steps, over_limit()) break;
+      if (!HasMatch(target, tgd.rhs(), b, options.eval)) {
+        FireTgd(tgd, b, &target, &null_counter, &result.stats);
+        ++result.stats.st_steps;
+      }
+    }
+    if (over_limit()) break;
+  }
+
+  // Phase 2: target tgds and egds to a fixpoint. Triggers over the (mutable)
+  // target are collected first, then re-checked and fired.
+  bool changed = !over_limit();
+  while (changed && !over_limit()) {
+    changed = false;
+    ++result.stats.rounds;
+    for (TgdId id : mapping.target_tgds()) {
+      const Tgd& tgd = mapping.tgd(id);
+      std::vector<Binding> pending;
+      {
+        Binding b(tgd.num_vars());
+        MatchIterator it(target, tgd.lhs(), &b, options.eval);
+        while (it.Next()) {
+          if (++steps, over_limit()) break;
+          if (!HasMatch(target, tgd.rhs(), b, options.eval)) {
+            pending.push_back(b);
+          }
+        }
+      }
+      for (const Binding& b : pending) {
+        if (++steps, over_limit()) break;
+        // An earlier firing in this batch may have satisfied this trigger.
+        if (HasMatch(target, tgd.rhs(), b, options.eval)) continue;
+        FireTgd(tgd, b, &target, &null_counter, &result.stats);
+        ++result.stats.target_steps;
+        changed = true;
+      }
+      if (over_limit()) break;
+    }
+    // Egds: unify until none applies.
+    bool failed = false;
+    while (!over_limit()) {
+      ++steps;
+      bool fired = ApplyOneEgdStep(mapping, &target, options.eval,
+                                   &result.stats, &failed,
+                                   &result.failure_message);
+      if (failed) {
+        result.outcome = ChaseOutcome::kEgdFailure;
+        result.next_null_id = null_counter;
+        return result;
+      }
+      if (!fired) break;
+      changed = true;
+    }
+  }
+
+  result.outcome =
+      over_limit() ? ChaseOutcome::kStepLimit : ChaseOutcome::kSuccess;
+  if (result.outcome == ChaseOutcome::kStepLimit) {
+    result.failure_message =
+        "chase exceeded max_steps = " + std::to_string(options.max_steps);
+  }
+  result.next_null_id = null_counter;
+  return result;
+}
+
+ChaseStats ChaseScenario(Scenario* scenario, const ChaseOptions& options) {
+  SPIDER_CHECK(scenario != nullptr && scenario->mapping != nullptr &&
+                   scenario->source != nullptr,
+               "ChaseScenario requires a populated scenario");
+  ChaseOptions opts = options;
+  opts.first_null_id = scenario->max_null_id + 1;
+  ChaseResult result = Chase(*scenario->mapping, *scenario->source, opts);
+  SPIDER_CHECK(result.outcome == ChaseOutcome::kSuccess,
+               "chase failed: " + result.failure_message);
+  scenario->target = std::move(result.target);
+  scenario->max_null_id = result.next_null_id - 1;
+  return result.stats;
+}
+
+}  // namespace spider

@@ -1,0 +1,70 @@
+#ifndef SPIDER_CHASE_CHASE_H_
+#define SPIDER_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mapping/scenario.h"
+#include "mapping/schema_mapping.h"
+#include "query/evaluator.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Options for the chase.
+struct ChaseOptions {
+  /// Safety net against non-terminating target-tgd sets (the chase with a
+  /// weakly acyclic Σt always terminates; arbitrary Σt may not).
+  size_t max_steps = 10'000'000;
+
+  /// First id to use for labeled nulls invented by the chase. Scenario-aware
+  /// wrappers pass Scenario::max_null_id + 1.
+  int64_t first_null_id = 1;
+
+  EvalOptions eval;
+};
+
+enum class ChaseOutcome {
+  kSuccess,     ///< A (universal) solution was produced.
+  kEgdFailure,  ///< An egd equated two distinct constants: no solution exists.
+  kStepLimit,   ///< max_steps exceeded (chase may be non-terminating).
+};
+
+struct ChaseStats {
+  size_t st_steps = 0;      ///< s-t tgd chase steps applied.
+  size_t target_steps = 0;  ///< Target tgd chase steps applied.
+  size_t egd_steps = 0;     ///< Egd unifications applied.
+  size_t nulls_created = 0;
+  size_t rounds = 0;        ///< Target fixpoint rounds.
+};
+
+struct ChaseResult {
+  ChaseOutcome outcome = ChaseOutcome::kSuccess;
+  /// The produced target instance (a universal solution on success; partial
+  /// content otherwise). Always non-null.
+  std::unique_ptr<Instance> target;
+  ChaseStats stats;
+  int64_t next_null_id = 1;
+  std::string failure_message;
+};
+
+/// Runs the standard data-exchange chase of `source` with Σst ∪ Σt of
+/// `mapping` [Fagin, Kolaitis, Miller, Popa; TCS'05]: first all s-t tgd
+/// triggers, then target tgds and egds to a fixpoint. A tgd trigger fires
+/// only when its RHS is not already satisfied (standard, not oblivious,
+/// chase). On success the result is a universal solution for `source`.
+///
+/// This is the library's stand-in for Clio's execution engine: the route
+/// algorithms accept any solution, and the chase produces one.
+ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
+                  const ChaseOptions& options = {});
+
+/// Chases `scenario.source` and stores the produced solution into
+/// `scenario.target` (replacing it), advancing `scenario.max_null_id`.
+/// Throws SpiderError unless the outcome is kSuccess.
+ChaseStats ChaseScenario(Scenario* scenario, const ChaseOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_CHASE_CHASE_H_

@@ -1,0 +1,76 @@
+#include "chase/core.h"
+
+#include "chase/homomorphism.h"
+
+namespace spider {
+
+namespace {
+
+/// A copy of `instance` without row `skip_row` of `skip_rel`.
+std::unique_ptr<Instance> CopyWithout(const Instance& instance,
+                                      RelationId skip_rel, int32_t skip_row) {
+  auto copy = std::make_unique<Instance>(&instance.schema());
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    const auto& rows = instance.tuples(rel);
+    for (int32_t row = 0; row < static_cast<int32_t>(rows.size()); ++row) {
+      if (rel == skip_rel && row == skip_row) continue;
+      copy->Insert(rel, Tuple(rows[row]));
+    }
+  }
+  return copy;
+}
+
+}  // namespace
+
+bool IsRedundantFact(const Instance& instance, const FactRef& fact,
+                     const EvalOptions& eval) {
+  if (!instance.tuple(fact.relation, fact.row).ContainsNulls()) {
+    // Constant facts are fixed by every homomorphism.
+    return false;
+  }
+  std::unique_ptr<Instance> reduced =
+      CopyWithout(instance, fact.relation, fact.row);
+  return FindHomomorphism(instance, *reduced, eval).has_value();
+}
+
+CoreResult ComputeCore(const Instance& instance, const CoreOptions& options) {
+  CoreResult result;
+  result.core = std::make_unique<Instance>(&instance.schema());
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    for (const Tuple& t : instance.tuples(rel)) {
+      result.core->Insert(rel, Tuple(t));
+    }
+  }
+  size_t hom_tests = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t r = 0; r < result.core->NumRelations() && !changed; ++r) {
+      RelationId rel = static_cast<RelationId>(r);
+      const auto& rows = result.core->tuples(rel);
+      for (int32_t row = 0; row < static_cast<int32_t>(rows.size()); ++row) {
+        if (!rows[row].ContainsNulls()) continue;
+        if (++hom_tests > options.max_hom_tests) {
+          result.complete = false;
+          return result;
+        }
+        std::unique_ptr<Instance> reduced =
+            CopyWithout(*result.core, rel, row);
+        if (FindHomomorphism(*result.core, *reduced, options.eval)
+                .has_value()) {
+          // The reduced instance is a retract: homomorphically equivalent
+          // (identity embeds it back) and strictly smaller.
+          result.core = std::move(reduced);
+          ++result.facts_removed;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace spider

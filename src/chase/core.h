@@ -1,0 +1,48 @@
+#ifndef SPIDER_CHASE_CORE_H_
+#define SPIDER_CHASE_CORE_H_
+
+#include <memory>
+
+#include "query/evaluator.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Computes the CORE of a target instance: its smallest endomorphic image,
+/// unique up to isomorphism [Fagin, Kolaitis, Popa: "Data exchange: getting
+/// to the core", PODS'03]. The core of a universal solution is the smallest
+/// universal solution — chase results often contain null-padded facts that
+/// are subsumed by more specific ones, and the core removes exactly those.
+///
+/// For the debugger this matters because probing a redundant fact is a
+/// smell of its own: `IsInCore` tells the user whether a null-carrying fact
+/// conveys any information not already present elsewhere.
+///
+/// The computation is the classical greedy one: repeatedly find a
+/// non-surjective endomorphism (by trying to fold each null-carrying fact
+/// into the rest) and replace the instance by its image, until no fact can
+/// be dropped. Worst-case exponential (core identification is NP-hard) but
+/// fast on debugging-sized instances; `max_hom_tests` bounds the work.
+struct CoreOptions {
+  EvalOptions eval;
+  size_t max_hom_tests = 100'000;
+};
+
+struct CoreResult {
+  std::unique_ptr<Instance> core;
+  size_t facts_removed = 0;
+  bool complete = true;  ///< False when max_hom_tests stopped the search.
+};
+
+CoreResult ComputeCore(const Instance& instance,
+                       const CoreOptions& options = {});
+
+/// True when dropping `fact` from the instance still leaves a
+/// homomorphically equivalent instance (i.e. the fact is redundant and
+/// absent from some core).
+bool IsRedundantFact(const Instance& instance, const FactRef& fact,
+                     const EvalOptions& eval = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_CHASE_CORE_H_

@@ -1,0 +1,62 @@
+#include "chase/homomorphism.h"
+
+#include <vector>
+
+#include "base/status.h"
+#include "query/binding.h"
+#include "query/term.h"
+
+namespace spider {
+
+std::optional<InstanceHom> FindHomomorphism(const Instance& from,
+                                            const Instance& to,
+                                            EvalOptions options) {
+  // Translate `from`'s facts into a conjunctive query over `to`: labeled
+  // nulls become variables, constants stay constants.
+  std::unordered_map<int64_t, VarId> var_of_null;
+  std::vector<int64_t> null_of_var;
+  std::vector<Atom> atoms;
+  for (size_t r = 0; r < from.NumRelations(); ++r) {
+    RelationId from_rel = static_cast<RelationId>(r);
+    const RelationDef& def = from.schema().relation(from_rel);
+    RelationId to_rel = to.schema().Find(def.name());
+    if (to_rel == kInvalidRelation ||
+        to.schema().relation(to_rel).arity() != def.arity()) {
+      // A fact in a relation the codomain lacks: no homomorphism unless the
+      // relation is empty.
+      if (from.NumTuples(from_rel) == 0) continue;
+      return std::nullopt;
+    }
+    for (const Tuple& t : from.tuples(from_rel)) {
+      Atom atom;
+      atom.relation = to_rel;
+      for (const Value& v : t.values()) {
+        if (v.is_null()) {
+          auto [it, inserted] = var_of_null.try_emplace(
+              v.AsNull().id, static_cast<VarId>(null_of_var.size()));
+          if (inserted) null_of_var.push_back(v.AsNull().id);
+          atom.terms.push_back(Term::Var(it->second));
+        } else {
+          atom.terms.push_back(Term::Const(v));
+        }
+      }
+      atoms.push_back(std::move(atom));
+    }
+  }
+  Binding binding(null_of_var.size());
+  MatchIterator it(to, atoms, &binding, options);
+  if (!it.Next()) return std::nullopt;
+  InstanceHom hom;
+  for (size_t v = 0; v < null_of_var.size(); ++v) {
+    hom.emplace(null_of_var[v], binding.Get(static_cast<VarId>(v)));
+  }
+  return hom;
+}
+
+bool HomomorphicallyEquivalent(const Instance& a, const Instance& b,
+                               EvalOptions options) {
+  return FindHomomorphism(a, b, options).has_value() &&
+         FindHomomorphism(b, a, options).has_value();
+}
+
+}  // namespace spider

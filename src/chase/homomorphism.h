@@ -1,0 +1,35 @@
+#ifndef SPIDER_CHASE_HOMOMORPHISM_H_
+#define SPIDER_CHASE_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "query/evaluator.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// A homomorphism between instances: maps labeled nulls to values (constants
+/// are fixed pointwise), keyed by null id.
+using InstanceHom = std::unordered_map<int64_t, Value>;
+
+/// Finds a homomorphism h : `from` → `to` (h(c) = c for constants, and every
+/// fact R(t) of `from` has R(h(t)) in `to`). Both instances must be over
+/// schemas with identical relation names and arities (relations are matched
+/// by name). Returns std::nullopt when no homomorphism exists.
+///
+/// Used to check universality of chase results: J is universal iff it maps
+/// homomorphically into every solution.
+std::optional<InstanceHom> FindHomomorphism(const Instance& from,
+                                            const Instance& to,
+                                            EvalOptions options = {});
+
+/// True when homomorphisms exist in both directions.
+bool HomomorphicallyEquivalent(const Instance& a, const Instance& b,
+                               EvalOptions options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_CHASE_HOMOMORPHISM_H_

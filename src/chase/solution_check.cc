@@ -1,0 +1,42 @@
+#include "chase/solution_check.h"
+
+#include "query/binding.h"
+
+namespace spider {
+
+bool IsSolution(const SchemaMapping& mapping, const Instance& source,
+                const Instance& target, std::string* why,
+                EvalOptions options) {
+  for (size_t i = 0; i < mapping.NumTgds(); ++i) {
+    const Tgd& tgd = mapping.tgd(static_cast<TgdId>(i));
+    const Instance& lhs_instance = tgd.source_to_target() ? source : target;
+    Binding b(tgd.num_vars());
+    MatchIterator it(lhs_instance, tgd.lhs(), &b, options);
+    while (it.Next()) {
+      if (!HasMatch(target, tgd.rhs(), b, options)) {
+        if (why != nullptr) {
+          *why = "tgd '" + tgd.name() + "' violated with assignment " +
+                 b.ToString(tgd.var_names());
+        }
+        return false;
+      }
+    }
+  }
+  for (size_t e = 0; e < mapping.NumEgds(); ++e) {
+    const Egd& egd = mapping.egd(static_cast<EgdId>(e));
+    Binding b(egd.num_vars());
+    MatchIterator it(target, egd.lhs(), &b, options);
+    while (it.Next()) {
+      if (b.Get(egd.left()) != b.Get(egd.right())) {
+        if (why != nullptr) {
+          *why = "egd '" + egd.name() + "' violated with assignment " +
+                 b.ToString(egd.var_names());
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace spider

@@ -1,0 +1,24 @@
+#ifndef SPIDER_CHASE_SOLUTION_CHECK_H_
+#define SPIDER_CHASE_SOLUTION_CHECK_H_
+
+#include <string>
+
+#include "mapping/schema_mapping.h"
+#include "query/evaluator.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Checks whether J is a solution for I under the mapping, i.e. whether
+/// (I, J) satisfies Σst ∪ Σt: every tgd trigger extends to a match of its
+/// RHS in J, and no egd equates two distinct values.
+///
+/// When the check fails and `why` is non-null, it receives the name of the
+/// first violated dependency and the violating assignment.
+bool IsSolution(const SchemaMapping& mapping, const Instance& source,
+                const Instance& target, std::string* why = nullptr,
+                EvalOptions options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_CHASE_SOLUTION_CHECK_H_

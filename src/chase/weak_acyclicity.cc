@@ -1,0 +1,108 @@
+#include "chase/weak_acyclicity.h"
+
+#include <vector>
+
+namespace spider {
+
+namespace {
+
+/// Dense id for a target position (relation, attribute).
+struct PositionTable {
+  explicit PositionTable(const Schema& target) {
+    offsets.reserve(target.size() + 1);
+    offsets.push_back(0);
+    for (const RelationDef& rel : target.relations()) {
+      offsets.push_back(offsets.back() + static_cast<int>(rel.arity()));
+    }
+  }
+  int Id(RelationId rel, int col) const { return offsets[rel] + col; }
+  int size() const { return offsets.back(); }
+  std::vector<int> offsets;
+};
+
+struct Edge {
+  int to;
+  bool special;
+};
+
+bool Reaches(const std::vector<std::vector<Edge>>& graph, int from, int to) {
+  std::vector<bool> seen(graph.size(), false);
+  std::vector<int> stack = {from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    if (node == to) return true;
+    for (const Edge& e : graph[node]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsWeaklyAcyclic(const SchemaMapping& mapping, std::string* why) {
+  const Schema& target = mapping.target();
+  PositionTable positions(target);
+  std::vector<std::vector<Edge>> graph(positions.size());
+  struct SpecialEdge {
+    int from;
+    int to;
+    TgdId tgd;
+  };
+  std::vector<SpecialEdge> specials;
+
+  for (TgdId id : mapping.target_tgds()) {
+    const Tgd& tgd = mapping.tgd(id);
+    // Positions of each universal variable in the LHS.
+    std::vector<std::vector<int>> lhs_positions(tgd.num_vars());
+    for (const Atom& atom : tgd.lhs()) {
+      for (size_t col = 0; col < atom.terms.size(); ++col) {
+        const Term& t = atom.terms[col];
+        if (t.is_var()) {
+          lhs_positions[t.var()].push_back(
+              positions.Id(atom.relation, static_cast<int>(col)));
+        }
+      }
+    }
+    for (const Atom& atom : tgd.rhs()) {
+      for (size_t col = 0; col < atom.terms.size(); ++col) {
+        const Term& t = atom.terms[col];
+        if (!t.is_var()) continue;
+        int to = positions.Id(atom.relation, static_cast<int>(col));
+        if (tgd.IsUniversal(t.var())) {
+          for (int from : lhs_positions[t.var()]) {
+            graph[from].push_back(Edge{to, false});
+          }
+        } else {
+          // Existential variable: special edge from every LHS position of
+          // every universal variable of this tgd.
+          for (size_t v = 0; v < tgd.num_vars(); ++v) {
+            if (!tgd.IsUniversal(static_cast<VarId>(v))) continue;
+            for (int from : lhs_positions[v]) {
+              graph[from].push_back(Edge{to, true});
+              specials.push_back(SpecialEdge{from, to, id});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (const SpecialEdge& se : specials) {
+    if (Reaches(graph, se.to, se.from)) {
+      if (why != nullptr) {
+        *why = "special edge introduced by tgd '" + mapping.tgd(se.tgd).name() +
+               "' lies on a cycle";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace spider

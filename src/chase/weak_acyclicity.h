@@ -1,0 +1,27 @@
+#ifndef SPIDER_CHASE_WEAK_ACYCLICITY_H_
+#define SPIDER_CHASE_WEAK_ACYCLICITY_H_
+
+#include <string>
+
+#include "mapping/schema_mapping.h"
+
+namespace spider {
+
+/// Tests whether the target tgds of `mapping` are weakly acyclic
+/// [Fagin et al., TCS'05], which guarantees that the chase terminates on
+/// every source instance.
+///
+/// The dependency graph has one node per target position (relation,
+/// attribute). For every target tgd, every occurrence of a universal
+/// variable x at LHS position p contributes: a regular edge p → q for every
+/// RHS position q where x occurs, and a special edge p → q' for every RHS
+/// position q' holding an existential variable. The set is weakly acyclic
+/// iff no cycle goes through a special edge.
+///
+/// When the test fails and `why` is non-null, it receives a description of
+/// an offending special edge.
+bool IsWeaklyAcyclic(const SchemaMapping& mapping, std::string* why = nullptr);
+
+}  // namespace spider
+
+#endif  // SPIDER_CHASE_WEAK_ACYCLICITY_H_

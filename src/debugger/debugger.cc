@@ -1,0 +1,107 @@
+#include "debugger/debugger.h"
+
+#include "base/status.h"
+#include "mapping/parser.h"
+#include "routes/fact_util.h"
+
+namespace spider {
+
+MappingDebugger::MappingDebugger(const Scenario* scenario,
+                                 RouteOptions options)
+    : scenario_(scenario), options_(options) {
+  SPIDER_CHECK(scenario != nullptr && scenario->mapping != nullptr &&
+                   scenario->source != nullptr && scenario->target != nullptr,
+               "the debugger requires a scenario with mapping and instances");
+}
+
+RenderContext MappingDebugger::render_context() const {
+  RenderContext ctx;
+  ctx.mapping = scenario_->mapping.get();
+  ctx.source = scenario_->source.get();
+  ctx.target = scenario_->target.get();
+  ctx.null_names = &scenario_->null_names;
+  return ctx;
+}
+
+namespace {
+std::unordered_map<std::string, int64_t> ReverseNullNames(
+    const std::unordered_map<int64_t, std::string>& null_names) {
+  std::unordered_map<std::string, int64_t> reversed;
+  for (const auto& [id, name] : null_names) reversed.emplace(name, id);
+  return reversed;
+}
+}  // namespace
+
+FactRef MappingDebugger::TargetFact(const std::string& fact_text) const {
+  std::string relation;
+  Tuple tuple = ParseFactText(fact_text, &relation,
+                              ReverseNullNames(scenario_->null_names));
+  return RequireTargetFact(*scenario_->target, relation, tuple);
+}
+
+FactRef MappingDebugger::SourceFact(const std::string& fact_text) const {
+  std::string relation;
+  Tuple tuple = ParseFactText(fact_text, &relation,
+                              ReverseNullNames(scenario_->null_names));
+  return RequireSourceFact(*scenario_->source, relation, tuple);
+}
+
+OneRouteResult MappingDebugger::OneRoute(
+    const std::vector<FactRef>& js) const {
+  return ComputeOneRoute(*scenario_->mapping, *scenario_->source,
+                         *scenario_->target, js, options_);
+}
+
+RouteForest MappingDebugger::AllRoutes(const std::vector<FactRef>& js) const {
+  return ComputeAllRoutes(*scenario_->mapping, *scenario_->source,
+                          *scenario_->target, js, options_);
+}
+
+std::unique_ptr<RouteEnumerator> MappingDebugger::EnumerateRoutes(
+    const std::vector<FactRef>& js) const {
+  return std::make_unique<RouteEnumerator>(*scenario_->mapping,
+                                           *scenario_->source,
+                                           *scenario_->target, js, options_);
+}
+
+ConsequenceForest MappingDebugger::SourceConsequences(
+    const std::vector<FactRef>& selected) const {
+  SourceRouteOptions options;
+  options.route = options_;
+  return ComputeSourceConsequences(*scenario_->mapping, *scenario_->source,
+                                   *scenario_->target, selected, options);
+}
+
+void MappingDebugger::SetBreakpoint(const std::string& tgd_name) {
+  TgdId id = scenario_->mapping->FindTgd(tgd_name);
+  SPIDER_CHECK(id >= 0, "unknown tgd '" + tgd_name + "'");
+  breakpoints_.insert(id);
+}
+
+void MappingDebugger::ClearBreakpoint(const std::string& tgd_name) {
+  TgdId id = scenario_->mapping->FindTgd(tgd_name);
+  SPIDER_CHECK(id >= 0, "unknown tgd '" + tgd_name + "'");
+  breakpoints_.erase(id);
+}
+
+RoutePlayer MappingDebugger::Play(Route route) const {
+  return RoutePlayer(std::move(route), render_context(), breakpoints_);
+}
+
+std::string MappingDebugger::Render(const Route& route) const {
+  return RenderRoute(route, render_context());
+}
+
+std::string MappingDebugger::Render(const RouteForest& forest) const {
+  return RenderForest(forest, render_context());
+}
+
+std::string MappingDebugger::Render(const ConsequenceForest& forest) const {
+  return RenderConsequences(forest, render_context());
+}
+
+std::string MappingDebugger::RenderFactRef(const FactRef& fact) const {
+  return RenderFact(fact, render_context());
+}
+
+}  // namespace spider

@@ -1,0 +1,82 @@
+#ifndef SPIDER_DEBUGGER_DEBUGGER_H_
+#define SPIDER_DEBUGGER_DEBUGGER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "debugger/render.h"
+#include "debugger/route_player.h"
+#include "mapping/scenario.h"
+#include "routes/alternatives.h"
+#include "routes/one_route.h"
+#include "routes/route_forest.h"
+#include "routes/source_routes.h"
+
+namespace spider {
+
+/// The user-facing façade of the schema-mapping debugger. It wraps a
+/// Scenario (mapping + instances) and exposes the paper's debugging
+/// features: probing target (or source) facts for one route, all routes
+/// (the route forest) or alternative routes on demand, plus the "standard"
+/// debugger amenities of §3.4 — breakpoints on tgds, single-stepping routes,
+/// and a watch window.
+///
+/// The debugger never mutates the scenario; the target instance must
+/// already be a solution (run ChaseScenario first, or supply your own — any
+/// solution works).
+class MappingDebugger {
+ public:
+  /// The scenario must outlive the debugger.
+  explicit MappingDebugger(const Scenario* scenario,
+                           RouteOptions options = {});
+
+  const SchemaMapping& mapping() const { return *scenario_->mapping; }
+  RenderContext render_context() const;
+
+  /// Resolves a fact written as `Rel(v1, ...)` in the target instance.
+  /// Labeled nulls are written `#name` (scenario-declared) or `#N<id>`
+  /// (chase-invented). Throws SpiderError when the fact does not exist.
+  FactRef TargetFact(const std::string& fact_text) const;
+  /// Same, in the source instance.
+  FactRef SourceFact(const std::string& fact_text) const;
+
+  /// Computes one route fast for the selected target facts (§3.2).
+  OneRouteResult OneRoute(const std::vector<FactRef>& js) const;
+
+  /// Computes the route forest representing all routes (§3.1).
+  RouteForest AllRoutes(const std::vector<FactRef>& js) const;
+
+  /// Starts an on-demand enumeration of alternative routes (§3.4).
+  std::unique_ptr<RouteEnumerator> EnumerateRoutes(
+      const std::vector<FactRef>& js) const;
+
+  /// Forward consequences of selected source facts (§3.4).
+  ConsequenceForest SourceConsequences(
+      const std::vector<FactRef>& selected) const;
+
+  /// Breakpoints on tgds (by name). Throws on unknown names.
+  void SetBreakpoint(const std::string& tgd_name);
+  void ClearBreakpoint(const std::string& tgd_name);
+  const std::unordered_set<TgdId>& breakpoints() const { return breakpoints_; }
+
+  /// Creates a step-through session over a route, honoring the currently
+  /// set breakpoints.
+  RoutePlayer Play(Route route) const;
+
+  /// Rendering conveniences (labeled nulls print with their display names).
+  std::string Render(const Route& route) const;
+  std::string Render(const RouteForest& forest) const;
+  std::string Render(const ConsequenceForest& forest) const;
+  std::string RenderFactRef(const FactRef& fact) const;
+
+ private:
+  const Scenario* scenario_;
+  RouteOptions options_;
+  std::unordered_set<TgdId> breakpoints_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_DEBUGGER_DEBUGGER_H_

@@ -1,0 +1,115 @@
+#include "debugger/dot_export.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "routes/fact_util.h"
+
+namespace spider {
+
+namespace {
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FactNodeId(const FactRef& fact) {
+  std::ostringstream os;
+  os << (fact.side == Side::kSource ? "src_" : "tgt_") << fact.relation << '_'
+     << fact.row;
+  return os.str();
+}
+
+void EmitFactNode(const FactRef& fact, const RenderContext& ctx,
+                  bool selected,
+                  std::unordered_set<std::string>* emitted,
+                  std::ostream& os) {
+  std::string id = FactNodeId(fact);
+  if (!emitted->insert(id).second) return;
+  os << "  " << id << " [shape=box, label=\""
+     << Escape(RenderFact(fact, ctx)) << '"';
+  if (selected) {
+    os << ", style=\"filled,bold\", fillcolor=\"#ffe9a8\"";
+  } else if (fact.side == Side::kSource) {
+    os << ", style=filled, fillcolor=\"#dcebff\"";
+  }
+  os << "];\n";
+}
+
+}  // namespace
+
+std::string RouteForestToDot(const RouteForest& forest,
+                             const RenderContext& ctx) {
+  std::ostringstream os;
+  os << "digraph route_forest {\n"
+     << "  rankdir=BT;\n"
+     << "  node [fontname=\"Helvetica\", fontsize=10];\n"
+     << "  edge [arrowsize=0.6];\n";
+  std::unordered_set<std::string> emitted;
+  std::unordered_set<FactRef, FactRefHash> selected(
+      forest.roots().begin(), forest.roots().end());
+
+  // Walk every expanded node reachable from the roots.
+  std::vector<FactRef> worklist = forest.roots();
+  std::unordered_set<FactRef, FactRefHash> visited;
+  int branch_counter = 0;
+  while (!worklist.empty()) {
+    FactRef fact = worklist.back();
+    worklist.pop_back();
+    if (!visited.insert(fact).second) continue;
+    EmitFactNode(fact, ctx, selected.count(fact) > 0, &emitted, os);
+    const RouteForest::Node* node = forest.Find(fact);
+    if (node == nullptr || !node->expanded) continue;
+    for (const RouteForest::Branch& branch : node->branches) {
+      const Tgd& tgd = ctx.mapping->tgd(branch.tgd);
+      std::string branch_id = "b" + std::to_string(branch_counter++);
+      os << "  " << branch_id << " [shape=plaintext, label=\""
+         << Escape(tgd.name()) << "\", fontcolor=\"#b03030\", tooltip=\""
+         << Escape(RenderBinding(branch.h, tgd.var_names(), ctx)) << "\"];\n";
+      os << "  " << branch_id << " -> " << FactNodeId(fact) << ";\n";
+      for (const FactRef& lhs : branch.lhs_facts) {
+        EmitFactNode(lhs, ctx, false, &emitted, os);
+        os << "  " << FactNodeId(lhs) << " -> " << branch_id << ";\n";
+        if (lhs.side == Side::kTarget) worklist.push_back(lhs);
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string RouteToDot(const Route& route, const RenderContext& ctx) {
+  std::ostringstream os;
+  os << "digraph route {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontname=\"Helvetica\", fontsize=10, shape=box];\n";
+  std::unordered_set<std::string> emitted;
+  for (size_t i = 0; i < route.size(); ++i) {
+    const SatStep& step = route.steps()[i];
+    const Tgd& tgd = ctx.mapping->tgd(step.tgd);
+    std::string step_id = "s" + std::to_string(i);
+    os << "  " << step_id << " [shape=ellipse, label=\"" << (i + 1) << ": "
+       << Escape(tgd.name()) << "\"];\n";
+    for (const FactRef& lhs :
+         LhsFacts(*ctx.mapping, step.tgd, step.h, *ctx.source, *ctx.target)) {
+      EmitFactNode(lhs, ctx, false, &emitted, os);
+      os << "  " << FactNodeId(lhs) << " -> " << step_id << ";\n";
+    }
+    for (const FactRef& rhs :
+         RhsFacts(*ctx.mapping, step.tgd, step.h, *ctx.target)) {
+      EmitFactNode(rhs, ctx, false, &emitted, os);
+      os << "  " << step_id << " -> " << FactNodeId(rhs) << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace spider

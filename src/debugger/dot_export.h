@@ -1,0 +1,28 @@
+#ifndef SPIDER_DEBUGGER_DOT_EXPORT_H_
+#define SPIDER_DEBUGGER_DOT_EXPORT_H_
+
+#include <string>
+
+#include "debugger/render.h"
+#include "routes/route.h"
+#include "routes/route_forest.h"
+
+namespace spider {
+
+/// Renders a route forest as a Graphviz digraph, in the visual style of the
+/// paper's Fig. 5: fact nodes (boxes, selected facts emphasized, source
+/// facts shaded), one point node per (σ, h) branch labeled with the tgd
+/// name, and edges fact -> branch -> LHS facts. Shared subtrees appear once
+/// (the node map makes sharing explicit, unlike the textual rendering's
+/// "[see above]").
+///
+///   dot -Tsvg forest.dot -o forest.svg
+std::string RouteForestToDot(const RouteForest& forest,
+                             const RenderContext& ctx);
+
+/// Renders one route as a left-to-right chain of satisfaction steps.
+std::string RouteToDot(const Route& route, const RenderContext& ctx);
+
+}  // namespace spider
+
+#endif  // SPIDER_DEBUGGER_DOT_EXPORT_H_

@@ -1,0 +1,54 @@
+#ifndef SPIDER_DEBUGGER_LINTER_H_
+#define SPIDER_DEBUGGER_LINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "mapping/schema_mapping.h"
+
+namespace spider {
+
+/// Static analysis of a schema mapping for the bug classes the paper's
+/// debugging scenarios (§2.1) exercise. Routes explain a symptom observed
+/// in the data; the linter flags the suspicious constructs up front:
+///
+///  * kDisconnectedLhs — a tgd's LHS atoms do not share variables (a
+///    cartesian product), the shape of Scenario 2's m3 (missing join on
+///    ssn);
+///  * kDroppedLhsVariable — a universal variable bound in the LHS that
+///    never reaches the RHS, the shape of Scenario 1's dropped `location`;
+///  * kRepeatedRhsVariable — a variable used twice in one RHS atom, the
+///    shape of Scenario 1's maidenName copied into both name and
+///    maidenName;
+///  * kNullFactory — a target position that no tgd ever fills with a
+///    universal variable or constant: every fact will carry an invented
+///    null there (Scenario 1's Clients.address before the fix, Scenario
+///    3's Accounts.accNo through m5);
+///  * kUnusedSourceRelation — a source relation no s-t tgd reads;
+///  * kUnpopulatedTargetRelation — a target relation no tgd writes.
+///
+/// Findings are hints, not errors: each corresponds to a construct that is
+/// occasionally intended (projections drop attributes legitimately), which
+/// is why this is a linter and not part of validation.
+struct LintFinding {
+  enum class Kind {
+    kDisconnectedLhs,
+    kDroppedLhsVariable,
+    kRepeatedRhsVariable,
+    kNullFactory,
+    kUnusedSourceRelation,
+    kUnpopulatedTargetRelation,
+  };
+  Kind kind;
+  /// The offending tgd, or -1 for schema-level findings.
+  TgdId tgd = -1;
+  std::string message;
+};
+
+std::vector<LintFinding> LintMapping(const SchemaMapping& mapping);
+
+std::string RenderLintFindings(const std::vector<LintFinding>& findings);
+
+}  // namespace spider
+
+#endif  // SPIDER_DEBUGGER_LINTER_H_

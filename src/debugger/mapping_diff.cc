@@ -1,0 +1,148 @@
+#include "debugger/mapping_diff.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "base/status.h"
+#include "chase/chase.h"
+
+namespace spider {
+
+namespace {
+
+/// Replaces every labeled null with the anonymous null #N0.
+Tuple NullBlind(const Tuple& tuple) {
+  std::vector<Value> values(tuple.values());
+  for (Value& v : values) {
+    if (v.is_null()) v = Value::Null(0);
+  }
+  return Tuple(std::move(values));
+}
+
+/// relation name -> null-blind tuple -> multiplicity.
+using Counts = std::map<std::string, std::map<Tuple, int>>;
+
+Counts CountFacts(const Instance& instance) {
+  Counts counts;
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    const std::string& name = instance.schema().relation(rel).name();
+    for (const Tuple& t : instance.tuples(rel)) {
+      ++counts[name][NullBlind(t)];
+    }
+  }
+  return counts;
+}
+
+void CollectDeltas(const Counts& from, const Counts& to,
+                   std::vector<MappingDiffReport::FactDelta>* out) {
+  for (const auto& [relation, tuples] : from) {
+    auto to_rel = to.find(relation);
+    for (const auto& [tuple, count] : tuples) {
+      int other = 0;
+      if (to_rel != to.end()) {
+        auto it = to_rel->second.find(tuple);
+        if (it != to_rel->second.end()) other = it->second;
+      }
+      if (count > other) {
+        out->push_back(
+            MappingDiffReport::FactDelta{relation, tuple, count - other});
+      }
+    }
+  }
+}
+
+std::vector<std::string> RenderedDependencies(const SchemaMapping& mapping) {
+  std::vector<std::string> rendered;
+  for (size_t i = 0; i < mapping.NumTgds(); ++i) {
+    rendered.push_back(mapping.tgd(static_cast<TgdId>(i))
+                           .ToString(mapping.source(), mapping.target()));
+  }
+  for (size_t e = 0; e < mapping.NumEgds(); ++e) {
+    rendered.push_back(
+        mapping.egd(static_cast<EgdId>(e)).ToString(mapping.target()));
+  }
+  return rendered;
+}
+
+}  // namespace
+
+MappingDiffReport DiffMappings(const SchemaMapping& before,
+                               const Instance& source_before,
+                               const SchemaMapping& after,
+                               const Instance& source_after,
+                               const EvalOptions& eval) {
+  ChaseOptions options;
+  options.eval = eval;
+  ChaseResult before_result = Chase(before, source_before, options);
+  SPIDER_CHECK(before_result.outcome == ChaseOutcome::kSuccess,
+               "chase under the 'before' mapping failed: " +
+                   before_result.failure_message);
+  ChaseResult after_result = Chase(after, source_after, options);
+  SPIDER_CHECK(after_result.outcome == ChaseOutcome::kSuccess,
+               "chase under the 'after' mapping failed: " +
+                   after_result.failure_message);
+
+  MappingDiffReport report;
+  report.before_total = before_result.target->TotalTuples();
+  report.after_total = after_result.target->TotalTuples();
+  Counts before_counts = CountFacts(*before_result.target);
+  Counts after_counts = CountFacts(*after_result.target);
+  CollectDeltas(before_counts, after_counts, &report.removed);
+  CollectDeltas(after_counts, before_counts, &report.added);
+
+  std::vector<std::string> before_deps = RenderedDependencies(before);
+  std::vector<std::string> after_deps = RenderedDependencies(after);
+  for (const std::string& dep : before_deps) {
+    if (std::find(after_deps.begin(), after_deps.end(), dep) ==
+        after_deps.end()) {
+      report.removed_dependencies.push_back(dep);
+    }
+  }
+  for (const std::string& dep : after_deps) {
+    if (std::find(before_deps.begin(), before_deps.end(), dep) ==
+        before_deps.end()) {
+      report.added_dependencies.push_back(dep);
+    }
+  }
+  return report;
+}
+
+std::string MappingDiffReport::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << "mapping edit: " << removed_dependencies.size() << " dependencies "
+     << "removed/changed, " << added_dependencies.size() << " added/changed\n";
+  for (const std::string& dep : removed_dependencies) {
+    os << "  - " << dep << '\n';
+  }
+  for (const std::string& dep : added_dependencies) {
+    os << "  + " << dep << '\n';
+  }
+  os << "solution: " << before_total << " -> " << after_total
+     << " facts (null-blind diff: " << removed.size() << " removed, "
+     << added.size() << " added)\n";
+  size_t shown = 0;
+  for (const FactDelta& d : removed) {
+    if (shown++ >= max_rows) {
+      os << "  ... (more)\n";
+      break;
+    }
+    os << "  - " << d.relation << d.tuple.ToString();
+    if (d.multiplicity > 1) os << " (x" << d.multiplicity << ')';
+    os << '\n';
+  }
+  shown = 0;
+  for (const FactDelta& d : added) {
+    if (shown++ >= max_rows) {
+      os << "  ... (more)\n";
+      break;
+    }
+    os << "  + " << d.relation << d.tuple.ToString();
+    if (d.multiplicity > 1) os << " (x" << d.multiplicity << ')';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,61 @@
+#ifndef SPIDER_DEBUGGER_MAPPING_DIFF_H_
+#define SPIDER_DEBUGGER_MAPPING_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "mapping/schema_mapping.h"
+#include "query/evaluator.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// What-if analysis for mapping edits — the future-work item of §2.1
+/// ("Ideally, we would also like to be able to simultaneously demonstrate
+/// how the modification of m1 to m'1 affects tuples in J"): chase the same
+/// source instance under the mapping before and after the edit and report
+/// how the solution changes.
+///
+/// Labeled nulls invented by the two chases carry unrelated ids, so facts
+/// are compared NULL-BLIND: every labeled null is treated as an anonymous
+/// placeholder and facts are compared as multisets per relation. This makes
+/// `Clients(234, "A. Long", #N7, #N8, "California")` equal to the same fact
+/// with differently-numbered nulls, while a fact whose null became the
+/// constant "Seattle" shows up as removed + added.
+struct MappingDiffReport {
+  struct FactDelta {
+    std::string relation;
+    Tuple tuple;       ///< Null-blind representative (nulls have id 0).
+    int multiplicity;  ///< How many copies appeared/disappeared.
+  };
+
+  std::vector<FactDelta> removed;  ///< In chase(before) but not chase(after).
+  std::vector<FactDelta> added;    ///< In chase(after) but not chase(before).
+  size_t before_total = 0;
+  size_t after_total = 0;
+
+  /// Dependencies present in only one mapping, or renamed bodies (compared
+  /// by rendered text).
+  std::vector<std::string> removed_dependencies;
+  std::vector<std::string> added_dependencies;
+
+  bool Unchanged() const { return removed.empty() && added.empty(); }
+
+  std::string ToString(size_t max_rows = 25) const;
+};
+
+/// Chases `source_before` under `before` and `source_after` under `after`
+/// and diffs the solutions. The two target schemas must have the same
+/// relation names and arities (relations are matched by name; relations
+/// present in only one schema contribute wholesale adds/removes). The two
+/// source instances are usually the same data, materialized over each
+/// mapping's own source schema.
+MappingDiffReport DiffMappings(const SchemaMapping& before,
+                               const Instance& source_before,
+                               const SchemaMapping& after,
+                               const Instance& source_after,
+                               const EvalOptions& eval = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_DEBUGGER_MAPPING_DIFF_H_

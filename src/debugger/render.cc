@@ -1,0 +1,181 @@
+#include "debugger/render.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "routes/fact_util.h"
+
+namespace spider {
+
+std::string RenderValue(const Value& value, const RenderContext& ctx) {
+  if (value.is_null() && ctx.null_names != nullptr) {
+    auto it = ctx.null_names->find(value.AsNull().id);
+    if (it != ctx.null_names->end()) return "#" + it->second;
+  }
+  return value.ToString();
+}
+
+std::string RenderTuple(const Tuple& tuple, const RenderContext& ctx) {
+  std::ostringstream os;
+  os << '(';
+  for (size_t i = 0; i < tuple.arity(); ++i) {
+    if (i > 0) os << ", ";
+    os << RenderValue(tuple.at(i), ctx);
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string RenderFact(const FactRef& fact, const RenderContext& ctx) {
+  const Instance& instance =
+      fact.side == Side::kSource ? *ctx.source : *ctx.target;
+  return instance.schema().relation(fact.relation).name() +
+         RenderTuple(instance.tuple(fact.relation, fact.row), ctx);
+}
+
+std::string RenderBinding(const Binding& binding,
+                          const std::vector<std::string>& var_names,
+                          const RenderContext& ctx) {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (size_t v = 0; v < binding.size(); ++v) {
+    if (!binding.IsBound(static_cast<VarId>(v))) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << (v < var_names.size() ? var_names[v] : "?v" + std::to_string(v))
+       << " -> " << RenderValue(binding.Get(static_cast<VarId>(v)), ctx);
+  }
+  os << '}';
+  return os.str();
+}
+
+std::string RenderRoute(const Route& route, const RenderContext& ctx) {
+  std::ostringstream os;
+  for (size_t i = 0; i < route.size(); ++i) {
+    const SatStep& step = route.steps()[i];
+    const Tgd& tgd = ctx.mapping->tgd(step.tgd);
+    os << "step " << (i + 1) << ": ";
+    std::vector<FactRef> lhs =
+        LhsFacts(*ctx.mapping, step.tgd, step.h, *ctx.source, *ctx.target);
+    for (size_t k = 0; k < lhs.size(); ++k) {
+      if (k > 0) os << " & ";
+      os << RenderFact(lhs[k], ctx);
+    }
+    os << "\n  --" << tgd.name() << ", "
+       << RenderBinding(step.h, tgd.var_names(), ctx) << "-->\n  ";
+    std::vector<FactRef> rhs =
+        RhsFacts(*ctx.mapping, step.tgd, step.h, *ctx.target);
+    for (size_t k = 0; k < rhs.size(); ++k) {
+      if (k > 0) os << " & ";
+      os << RenderFact(rhs[k], ctx);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+void RenderForestNode(const RouteForest& forest, const FactRef& fact,
+                      int indent, const RenderContext& ctx,
+                      std::unordered_set<FactRef, FactRefHash>* printed,
+                      std::ostream& os) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const RouteForest::Node* node = forest.Find(fact);
+  os << pad << RenderFact(fact, ctx);
+  if (node == nullptr || !node->expanded) {
+    os << "  [unexpanded]\n";
+    return;
+  }
+  if (printed->count(fact) > 0) {
+    os << "  [see above]\n";
+    return;
+  }
+  printed->insert(fact);
+  if (node->branches.empty()) {
+    os << "  [no witnesses]\n";
+    return;
+  }
+  os << '\n';
+  for (const RouteForest::Branch& branch : node->branches) {
+    const Tgd& tgd = ctx.mapping->tgd(branch.tgd);
+    os << pad << "  <-- " << tgd.name() << ", "
+       << RenderBinding(branch.h, tgd.var_names(), ctx) << '\n';
+    if (tgd.source_to_target()) {
+      for (const FactRef& f : branch.lhs_facts) {
+        os << pad << "    " << RenderFact(f, ctx) << "  [source]\n";
+      }
+    } else {
+      for (const FactRef& f : branch.lhs_facts) {
+        RenderForestNode(forest, f, indent + 2, ctx, printed, os);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string RenderForest(const RouteForest& forest, const RenderContext& ctx) {
+  std::ostringstream os;
+  std::unordered_set<FactRef, FactRefHash> printed;
+  for (const FactRef& root : forest.roots()) {
+    RenderForestNode(forest, root, 0, ctx, &printed, os);
+  }
+  return os.str();
+}
+
+std::string RenderStratified(const StratifiedInterpretation& strat,
+                             const RenderContext& ctx) {
+  std::ostringstream os;
+  for (size_t k = 0; k < strat.blocks.size(); ++k) {
+    os << "rank " << (k + 1) << ":\n";
+    for (const SatStep& step : strat.blocks[k]) {
+      const Tgd& tgd = ctx.mapping->tgd(step.tgd);
+      os << "  " << tgd.name() << ", "
+         << RenderBinding(step.h, tgd.var_names(), ctx) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string RenderConsequences(const ConsequenceForest& forest,
+                               const RenderContext& ctx) {
+  std::ostringstream os;
+  os << "selected source facts:\n";
+  for (const FactRef& f : forest.selected) {
+    os << "  " << RenderFact(f, ctx) << '\n';
+  }
+  os << "derivations:\n";
+  for (size_t i = 0; i < forest.steps.size(); ++i) {
+    const SatStep& step = forest.steps[i];
+    const Tgd& tgd = ctx.mapping->tgd(step.tgd);
+    os << "  [" << tgd.name() << "] "
+       << RenderBinding(step.h, tgd.var_names(), ctx) << " produced";
+    if (forest.produced[i].empty()) {
+      os << " nothing new";
+    } else {
+      for (const FactRef& f : forest.produced[i]) {
+        os << ' ' << RenderFact(f, ctx);
+      }
+    }
+    os << '\n';
+  }
+  if (forest.truncated) os << "  ... (truncated)\n";
+  return os.str();
+}
+
+std::string RenderInstance(const Instance& instance,
+                           const RenderContext& ctx) {
+  std::ostringstream os;
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    const std::string& name = instance.schema().relation(rel).name();
+    for (const Tuple& t : instance.tuples(rel)) {
+      os << name << RenderTuple(t, ctx) << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,53 @@
+#ifndef SPIDER_DEBUGGER_RENDER_H_
+#define SPIDER_DEBUGGER_RENDER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "mapping/schema_mapping.h"
+#include "routes/route.h"
+#include "routes/route_forest.h"
+#include "routes/source_routes.h"
+#include "routes/stratified.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Everything needed to render routes the way the paper displays them:
+/// labeled nulls print with their user-given names (`#A1`) when available,
+/// `#N<id>` otherwise.
+struct RenderContext {
+  const SchemaMapping* mapping = nullptr;
+  const Instance* source = nullptr;
+  const Instance* target = nullptr;
+  const std::unordered_map<int64_t, std::string>* null_names = nullptr;
+};
+
+std::string RenderValue(const Value& value, const RenderContext& ctx);
+std::string RenderTuple(const Tuple& tuple, const RenderContext& ctx);
+std::string RenderFact(const FactRef& fact, const RenderContext& ctx);
+std::string RenderBinding(const Binding& binding,
+                          const std::vector<std::string>& var_names,
+                          const RenderContext& ctx);
+
+/// One step per line: `LHS --tgd, {assignment}--> RHS`.
+std::string RenderRoute(const Route& route, const RenderContext& ctx);
+
+/// Indented forest with `[see above]` cross-references (Fig. 5 style).
+std::string RenderForest(const RouteForest& forest, const RenderContext& ctx);
+
+/// `rank 1: m1, m2 | rank 2: ...` with full step detail below.
+std::string RenderStratified(const StratifiedInterpretation& strat,
+                             const RenderContext& ctx);
+
+/// Derivation listing of a consequence forest.
+std::string RenderConsequences(const ConsequenceForest& forest,
+                               const RenderContext& ctx);
+
+/// Full instance, one fact per line.
+std::string RenderInstance(const Instance& instance, const RenderContext& ctx);
+
+}  // namespace spider
+
+#endif  // SPIDER_DEBUGGER_RENDER_H_

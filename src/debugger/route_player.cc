@@ -1,0 +1,61 @@
+#include "debugger/route_player.h"
+
+#include <sstream>
+
+#include "routes/fact_util.h"
+
+namespace spider {
+
+RoutePlayer::RoutePlayer(Route route, const RenderContext& ctx,
+                         std::unordered_set<TgdId> breakpoints)
+    : route_(std::move(route)), ctx_(ctx), breakpoints_(std::move(breakpoints)) {}
+
+bool RoutePlayer::Step() {
+  if (done()) return false;
+  const SatStep& step = route_.steps()[position_];
+  for (const FactRef& f :
+       RhsFacts(*ctx_.mapping, step.tgd, step.h, *ctx_.target)) {
+    if (produced_set_.insert(f).second) produced_.push_back(f);
+  }
+  ++position_;
+  return true;
+}
+
+bool RoutePlayer::RunToBreakpoint() {
+  while (!done()) {
+    const SatStep& next = route_.steps()[position_];
+    if (breakpoints_.count(next.tgd) > 0) return true;
+    Step();
+  }
+  return false;
+}
+
+void RoutePlayer::Reset() {
+  position_ = 0;
+  produced_.clear();
+  produced_set_.clear();
+}
+
+std::string RoutePlayer::Watch() const {
+  std::ostringstream os;
+  os << "position: " << position_ << '/' << route_.size() << '\n';
+  if (position_ > 0) {
+    const SatStep& step = route_.steps()[position_ - 1];
+    const Tgd& tgd = ctx_.mapping->tgd(step.tgd);
+    os << "last step: " << tgd.name() << ' '
+       << RenderBinding(step.h, tgd.var_names(), ctx_) << '\n';
+  }
+  if (!done()) {
+    const SatStep& next = route_.steps()[position_];
+    os << "next step: " << ctx_.mapping->tgd(next.tgd).name();
+    if (breakpoints_.count(next.tgd) > 0) os << "  [breakpoint]";
+    os << '\n';
+  }
+  os << "target facts produced so far:\n";
+  for (const FactRef& f : produced_) {
+    os << "  " << RenderFact(f, ctx_) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,55 @@
+#ifndef SPIDER_DEBUGGER_ROUTE_PLAYER_H_
+#define SPIDER_DEBUGGER_ROUTE_PLAYER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "debugger/render.h"
+#include "routes/route.h"
+
+namespace spider {
+
+/// Single-steps a route the way a conventional debugger single-steps a
+/// program (§3.4): each Step() applies the next satisfaction step, growing
+/// the partial target instance J_i; Watch() renders the current step's
+/// variable assignment and the facts produced so far; breakpoints on tgds
+/// stop RunToBreakpoint() just before a marked tgd fires.
+class RoutePlayer {
+ public:
+  RoutePlayer(Route route, const RenderContext& ctx,
+              std::unordered_set<TgdId> breakpoints = {});
+
+  size_t position() const { return position_; }
+  bool done() const { return position_ >= route_.size(); }
+  const Route& route() const { return route_; }
+
+  /// Applies the next satisfaction step. Returns false when the route has
+  /// finished.
+  bool Step();
+
+  /// Runs until the NEXT step's tgd carries a breakpoint, or the end.
+  /// Returns true when stopped at a breakpoint.
+  bool RunToBreakpoint();
+
+  void Reset();
+
+  /// Facts of J_i (produced so far), in production order.
+  const std::vector<FactRef>& produced() const { return produced_; }
+
+  /// Renders the player state: last applied step, its assignment, and the
+  /// partial target instance built so far.
+  std::string Watch() const;
+
+ private:
+  Route route_;
+  RenderContext ctx_;
+  std::unordered_set<TgdId> breakpoints_;
+  size_t position_ = 0;
+  std::vector<FactRef> produced_;
+  std::unordered_set<FactRef, FactRefHash> produced_set_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_DEBUGGER_ROUTE_PLAYER_H_

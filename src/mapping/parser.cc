@@ -1,0 +1,597 @@
+#include "mapping/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace spider {
+
+namespace {
+
+enum class TokKind { kIdent, kInt, kDouble, kString, kPunct, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // ident text, punct text, or string contents
+  int64_t int_value = 0;
+  double double_value = 0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw SpiderError("parse error at line " + std::to_string(current_.line) +
+                      ": " + message);
+  }
+
+ private:
+  void Advance() {
+    SkipSpaceAndComments();
+    current_ = Token{};
+    current_.line = line_;
+    if (pos_ >= text_.size()) {
+      current_.kind = TokKind::kEnd;
+      return;
+    }
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokKind::kIdent;
+      current_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      size_t start = pos_;
+      ++pos_;
+      bool is_double = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        if (text_[pos_] == '.') is_double = true;
+        ++pos_;
+      }
+      std::string num = text_.substr(start, pos_ - start);
+      if (is_double) {
+        current_.kind = TokKind::kDouble;
+        current_.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        current_.kind = TokKind::kInt;
+        current_.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      return;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string contents;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\n') ++line_;
+        contents.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) Fail("unterminated string literal");
+      ++pos_;  // closing quote
+      current_.kind = TokKind::kString;
+      current_.text = std::move(contents);
+      return;
+    }
+    // '->' is the only two-character punctuation.
+    if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+      pos_ += 2;
+      current_.kind = TokKind::kPunct;
+      current_.text = "->";
+      return;
+    }
+    ++pos_;
+    current_.kind = TokKind::kPunct;
+    current_.text = std::string(1, c);
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+/// Raw (unresolved) syntax for one parsed atom.
+struct RawTerm {
+  enum class Kind { kIdent, kValue, kNullName } kind;
+  std::string ident;  // variable name or null name
+  Value value;
+};
+
+struct RawAtom {
+  std::string relation;
+  std::vector<RawTerm> terms;
+  int line = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  Scenario ParseScenarioText() {
+    Scenario scenario;
+    Schema source("source");
+    Schema target("target");
+    bool schemas_done = false;
+    std::vector<std::string> source_facts_pending;
+    // Deferred blocks are not needed: we require schemas first, which the
+    // grammar naturally enforces for dependencies and instances.
+    while (lex_.peek().kind != TokKind::kEnd) {
+      const Token& t = lex_.peek();
+      if (t.kind == TokKind::kIdent &&
+          (t.text == "source" || t.text == "target")) {
+        bool is_source = t.text == "source";
+        lex_.Take();
+        Token what = ExpectIdent();
+        if (what.text == "schema") {
+          SPIDER_CHECK(!schemas_done,
+                       "schema blocks must precede dependencies and instances");
+          ParseSchemaBlock(is_source ? &source : &target);
+          continue;
+        }
+        if (what.text == "instance") {
+          EnsureMapping(&scenario, &source, &target, &schemas_done);
+          ParseInstanceBlock(
+              &scenario,
+              is_source ? scenario.source.get() : scenario.target.get());
+          continue;
+        }
+        lex_.Fail("expected 'schema' or 'instance' after '" +
+                  std::string(is_source ? "source" : "target") + "'");
+      }
+      // Otherwise: a dependency.
+      EnsureMapping(&scenario, &source, &target, &schemas_done);
+      ParseDependency(scenario.mapping.get());
+    }
+    // A scenario with schemas but no dependencies/instances is still valid.
+    if (!schemas_done) {
+      EnsureMapping(&scenario, &source, &target, &schemas_done);
+    }
+    return scenario;
+  }
+
+  void ParseDependenciesInto(SchemaMapping* mapping) {
+    while (lex_.peek().kind != TokKind::kEnd) ParseDependency(mapping);
+  }
+
+  Tuple ParseOneFact(std::string* relation,
+                     const std::unordered_map<std::string, int64_t>& null_ids) {
+    RawAtom atom = ParseRawAtom();
+    AcceptPunct(";");
+    *relation = atom.relation;
+    std::vector<Value> values;
+    values.reserve(atom.terms.size());
+    for (const RawTerm& term : atom.terms) {
+      switch (term.kind) {
+        case RawTerm::Kind::kValue:
+          values.push_back(term.value);
+          break;
+        case RawTerm::Kind::kNullName: {
+          auto it = null_ids.find(term.ident);
+          if (it != null_ids.end()) {
+            values.push_back(Value::Null(it->second));
+            break;
+          }
+          // Default display name N<id> of chase-invented nulls.
+          if (term.ident.size() > 1 && term.ident[0] == 'N') {
+            bool digits = true;
+            for (size_t i = 1; i < term.ident.size(); ++i) {
+              if (!std::isdigit(static_cast<unsigned char>(term.ident[i]))) {
+                digits = false;
+                break;
+              }
+            }
+            if (digits) {
+              values.push_back(Value::Null(
+                  std::strtoll(term.ident.c_str() + 1, nullptr, 10)));
+              break;
+            }
+          }
+          throw SpiderError("unknown labeled null '#" + term.ident + "'");
+        }
+        case RawTerm::Kind::kIdent:
+          throw SpiderError("bare identifier '" + term.ident +
+                            "' in a fact; use numbers, quoted strings or "
+                            "#nulls");
+      }
+    }
+    return Tuple(std::move(values));
+  }
+
+  void ParseFactsInto(Instance* instance, int64_t* next_null_id) {
+    std::unordered_map<std::string, int64_t> local_null_ids;
+    while (lex_.peek().kind != TokKind::kEnd) {
+      RawAtom atom = ParseRawAtom();
+      ExpectPunct(";");
+      InsertFact(instance, atom, &local_null_ids, next_null_id, nullptr);
+    }
+  }
+
+ private:
+  void EnsureMapping(Scenario* scenario, Schema* source, Schema* target,
+                     bool* schemas_done) {
+    if (*schemas_done) return;
+    *schemas_done = true;
+    scenario->mapping =
+        std::make_unique<SchemaMapping>(std::move(*source), std::move(*target));
+    scenario->source =
+        std::make_unique<Instance>(&scenario->mapping->source());
+    scenario->target =
+        std::make_unique<Instance>(&scenario->mapping->target());
+  }
+
+  void ParseSchemaBlock(Schema* schema) {
+    ExpectPunct("{");
+    while (!AcceptPunct("}")) {
+      Token rel = ExpectIdent();
+      ExpectPunct("(");
+      std::vector<std::string> attrs;
+      if (!AcceptPunct(")")) {
+        while (true) {
+          attrs.push_back(ExpectIdent().text);
+          if (AcceptPunct(")")) break;
+          ExpectPunct(",");
+        }
+      }
+      ExpectPunct(";");
+      schema->AddRelation(rel.text, std::move(attrs));
+    }
+  }
+
+  void ParseInstanceBlock(Scenario* scenario, Instance* instance) {
+    ExpectPunct("{");
+    std::unordered_map<std::string, int64_t> local_null_ids;
+    while (!AcceptPunct("}")) {
+      RawAtom atom = ParseRawAtom();
+      ExpectPunct(";");
+      InsertFact(instance, atom, &local_null_ids, &scenario->max_null_id,
+                 &scenario->null_names);
+    }
+  }
+
+  void InsertFact(Instance* instance, const RawAtom& atom,
+                  std::unordered_map<std::string, int64_t>* local_null_ids,
+                  int64_t* next_null_id,
+                  std::unordered_map<int64_t, std::string>* null_names) {
+    std::vector<Value> values;
+    values.reserve(atom.terms.size());
+    for (const RawTerm& term : atom.terms) {
+      switch (term.kind) {
+        case RawTerm::Kind::kValue:
+          values.push_back(term.value);
+          break;
+        case RawTerm::Kind::kNullName: {
+          SPIDER_CHECK(next_null_id != nullptr,
+                       "labeled nulls are not allowed in this context");
+          auto [it, inserted] =
+              local_null_ids->try_emplace(term.ident, *next_null_id + 1);
+          if (inserted) {
+            ++*next_null_id;
+            if (null_names != nullptr) {
+              null_names->emplace(it->second, term.ident);
+            }
+          }
+          values.push_back(Value::Null(it->second));
+          break;
+        }
+        case RawTerm::Kind::kIdent:
+          throw SpiderError(
+              "parse error at line " + std::to_string(atom.line) +
+              ": bare identifier '" + term.ident +
+              "' in a fact; constants must be numbers, quoted strings, or "
+              "#nulls");
+      }
+    }
+    instance->Insert(atom.relation, std::move(values));
+  }
+
+  void ParseDependency(SchemaMapping* mapping) {
+    // Optional `name:` prefix. An atom also starts with IDENT, but is
+    // followed by '(' rather than ':'.
+    std::string name;
+    if (lex_.peek().kind == TokKind::kIdent) {
+      Token ident = lex_.Take();
+      if (AcceptPunct(":")) {
+        name = ident.text;
+      } else {
+        // Not a name: re-parse as the first atom's relation.
+        pending_relation_ = ident.text;
+      }
+    } else {
+      lex_.Fail("expected a dependency");
+    }
+    if (name.empty()) {
+      name = "d" + std::to_string(mapping->NumTgds() + mapping->NumEgds() + 1);
+    }
+
+    std::vector<RawAtom> lhs = ParseRawAtomList();
+    ExpectPunct("->");
+
+    // `exists` must be checked before the egd lookahead, since both start
+    // with a bare identifier.
+    std::vector<std::string> declared_existential;
+    if (lex_.peek().kind == TokKind::kIdent && lex_.peek().text == "exists") {
+      lex_.Take();
+      while (true) {
+        declared_existential.push_back(ExpectIdent().text);
+        if (AcceptPunct(".")) break;
+        ExpectPunct(",");
+      }
+    } else if (lex_.peek().kind == TokKind::kIdent && !PeekIsAtomStart()) {
+      // Egd: RHS of the form `x = y`.
+      Token left = ExpectIdent();
+      ExpectPunct("=");
+      Token right = ExpectIdent();
+      ExpectPunct(";");
+      BuildEgd(mapping, name, lhs, left.text, right.text);
+      return;
+    }
+    std::vector<RawAtom> rhs = ParseRawAtomList();
+    ExpectPunct(";");
+    BuildTgd(mapping, name, lhs, rhs, declared_existential);
+  }
+
+  /// True when the upcoming ident is followed by '(' (i.e. starts an atom).
+  /// Only valid right after '->' where either an atom or `x = y` follows;
+  /// `exists` is handled before atoms are parsed.
+  bool PeekIsAtomStart() {
+    // We need one token of lookahead past the ident. The lexer has no
+    // pushback, so stash the ident in pending_relation_ if it is an atom.
+    Token ident = lex_.Take();
+    if (lex_.peek().kind == TokKind::kPunct && lex_.peek().text == "(") {
+      pending_relation_ = ident.text;
+      return true;
+    }
+    pending_ident_ = ident.text;
+    return false;
+  }
+
+  std::vector<RawAtom> ParseRawAtomList() {
+    std::vector<RawAtom> atoms;
+    atoms.push_back(ParseRawAtom());
+    while (AcceptPunct("&")) atoms.push_back(ParseRawAtom());
+    return atoms;
+  }
+
+  RawAtom ParseRawAtom() {
+    RawAtom atom;
+    atom.line = lex_.peek().line;
+    if (!pending_relation_.empty()) {
+      atom.relation = std::move(pending_relation_);
+      pending_relation_.clear();
+    } else {
+      atom.relation = ExpectIdent().text;
+    }
+    ExpectPunct("(");
+    if (AcceptPunct(")")) return atom;
+    while (true) {
+      atom.terms.push_back(ParseRawTerm());
+      if (AcceptPunct(")")) break;
+      ExpectPunct(",");
+    }
+    return atom;
+  }
+
+  RawTerm ParseRawTerm() {
+    const Token& t = lex_.peek();
+    switch (t.kind) {
+      case TokKind::kIdent: {
+        RawTerm term{RawTerm::Kind::kIdent, lex_.Take().text, Value()};
+        return term;
+      }
+      case TokKind::kInt: {
+        RawTerm term{RawTerm::Kind::kValue, "", Value::Int(t.int_value)};
+        lex_.Take();
+        return term;
+      }
+      case TokKind::kDouble: {
+        RawTerm term{RawTerm::Kind::kValue, "", Value::Real(t.double_value)};
+        lex_.Take();
+        return term;
+      }
+      case TokKind::kString: {
+        RawTerm term{RawTerm::Kind::kValue, "", Value::Str(lex_.Take().text)};
+        return term;
+      }
+      case TokKind::kPunct:
+        if (t.text == "#") {
+          lex_.Take();
+          RawTerm term{RawTerm::Kind::kNullName, ExpectIdent().text, Value()};
+          return term;
+        }
+        break;
+      case TokKind::kEnd:
+        break;
+    }
+    lex_.Fail("expected a term (variable, number, string, or #null)");
+  }
+
+  /// Resolves raw atoms against `schema`, interning variables into `vars`.
+  /// Returns std::nullopt when some relation does not exist in the schema.
+  std::optional<std::vector<Atom>> ResolveAtoms(
+      const std::vector<RawAtom>& raw, const Schema& schema,
+      std::unordered_map<std::string, VarId>* vars,
+      std::vector<std::string>* var_names) {
+    std::vector<Atom> atoms;
+    for (const RawAtom& ra : raw) {
+      RelationId rel = schema.Find(ra.relation);
+      if (rel == kInvalidRelation) return std::nullopt;
+      Atom atom;
+      atom.relation = rel;
+      for (const RawTerm& rt : ra.terms) {
+        switch (rt.kind) {
+          case RawTerm::Kind::kIdent: {
+            auto [it, inserted] = vars->try_emplace(
+                rt.ident, static_cast<VarId>(var_names->size()));
+            if (inserted) var_names->push_back(rt.ident);
+            atom.terms.push_back(Term::Var(it->second));
+            break;
+          }
+          case RawTerm::Kind::kValue:
+            atom.terms.push_back(Term::Const(rt.value));
+            break;
+          case RawTerm::Kind::kNullName:
+            throw SpiderError("parse error at line " + std::to_string(ra.line) +
+                              ": labeled nulls cannot appear in dependencies");
+        }
+      }
+      atoms.push_back(std::move(atom));
+    }
+    return atoms;
+  }
+
+  void BuildTgd(SchemaMapping* mapping, const std::string& name,
+                const std::vector<RawAtom>& raw_lhs,
+                const std::vector<RawAtom>& raw_rhs,
+                const std::vector<std::string>& declared_existential) {
+    std::unordered_map<std::string, VarId> vars;
+    std::vector<std::string> var_names;
+    bool source_to_target = true;
+    auto lhs = ResolveAtoms(raw_lhs, mapping->source(), &vars, &var_names);
+    if (!lhs.has_value()) {
+      vars.clear();
+      var_names.clear();
+      source_to_target = false;
+      lhs = ResolveAtoms(raw_lhs, mapping->target(), &vars, &var_names);
+      SPIDER_CHECK(lhs.has_value(),
+                   "dependency '" + name +
+                       "': LHS relations belong to neither the source nor the "
+                       "target schema");
+    }
+    size_t num_universal = var_names.size();
+    auto rhs = ResolveAtoms(raw_rhs, mapping->target(), &vars, &var_names);
+    SPIDER_CHECK(rhs.has_value(),
+                 "dependency '" + name +
+                     "': RHS relations must belong to the target schema");
+    // Validate the optional `exists` declaration: declared variables must be
+    // RHS-only (i.e. interned after the LHS pass).
+    for (const std::string& ev : declared_existential) {
+      auto it = vars.find(ev);
+      SPIDER_CHECK(it != vars.end(), "dependency '" + name +
+                                         "': declared existential variable '" +
+                                         ev + "' is unused");
+      SPIDER_CHECK(static_cast<size_t>(it->second) >= num_universal,
+                   "dependency '" + name + "': existential variable '" + ev +
+                       "' also occurs in the LHS");
+    }
+    mapping->AddTgd(Tgd(name, std::move(var_names), std::move(*lhs),
+                        std::move(*rhs), source_to_target));
+  }
+
+  void BuildEgd(SchemaMapping* mapping, const std::string& name,
+                const std::vector<RawAtom>& raw_lhs, const std::string& left,
+                const std::string& right) {
+    std::unordered_map<std::string, VarId> vars;
+    std::vector<std::string> var_names;
+    auto lhs = ResolveAtoms(raw_lhs, mapping->target(), &vars, &var_names);
+    SPIDER_CHECK(lhs.has_value(),
+                 "egd '" + name +
+                     "': LHS relations must belong to the target schema");
+    auto lit = vars.find(left);
+    auto rit = vars.find(right);
+    SPIDER_CHECK(lit != vars.end() && rit != vars.end(),
+                 "egd '" + name + "': equated variables must occur in the LHS");
+    mapping->AddEgd(Egd(name, std::move(var_names), std::move(*lhs),
+                        lit->second, rit->second));
+  }
+
+  Token ExpectIdent() {
+    if (!pending_ident_.empty()) {
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.text = std::move(pending_ident_);
+      pending_ident_.clear();
+      return t;
+    }
+    if (lex_.peek().kind != TokKind::kIdent) lex_.Fail("expected identifier");
+    return lex_.Take();
+  }
+
+  void ExpectPunct(const std::string& p) {
+    if (lex_.peek().kind != TokKind::kPunct || lex_.peek().text != p) {
+      lex_.Fail("expected '" + p + "'");
+    }
+    lex_.Take();
+  }
+
+  bool AcceptPunct(const std::string& p) {
+    if (lex_.peek().kind == TokKind::kPunct && lex_.peek().text == p) {
+      lex_.Take();
+      return true;
+    }
+    return false;
+  }
+
+  Lexer lex_;
+  // One-token pushback slots used to disambiguate `name:` vs. atom and
+  // egd-vs-tgd right-hand sides.
+  std::string pending_relation_;
+  std::string pending_ident_;
+};
+
+}  // namespace
+
+Scenario ParseScenario(const std::string& text) {
+  return Parser(text).ParseScenarioText();
+}
+
+void ParseDependencies(const std::string& text, SchemaMapping* mapping) {
+  SPIDER_CHECK(mapping != nullptr, "ParseDependencies requires a mapping");
+  Parser(text).ParseDependenciesInto(mapping);
+}
+
+Tuple ParseFactText(const std::string& text, std::string* relation,
+                    const std::unordered_map<std::string, int64_t>& null_ids) {
+  SPIDER_CHECK(relation != nullptr, "ParseFactText requires a relation out");
+  return Parser(text).ParseOneFact(relation, null_ids);
+}
+
+void ParseFacts(const std::string& text, Instance* instance,
+                int64_t* next_null_id) {
+  SPIDER_CHECK(instance != nullptr, "ParseFacts requires an instance");
+  int64_t local_counter = 0;
+  Parser(text).ParseFactsInto(
+      instance, next_null_id != nullptr ? next_null_id : &local_counter);
+}
+
+}  // namespace spider

@@ -1,0 +1,68 @@
+#ifndef SPIDER_MAPPING_PARSER_H_
+#define SPIDER_MAPPING_PARSER_H_
+
+#include <string>
+
+#include "mapping/scenario.h"
+
+namespace spider {
+
+/// Parses the textual scenario language used throughout the tests, examples
+/// and documentation. A scenario lists schemas, dependencies and instances:
+///
+///   source schema {
+///     Cards(cardNo, limit, ssn, name, maidenName, salary, location);
+///   }
+///   target schema {
+///     Accounts(accNo, limit, accHolder);
+///     Clients(ssn, name, maidenName, income, address);
+///   }
+///
+///   m1: Cards(cn,l,s,n,m,sal,loc)
+///         -> exists A . Accounts(cn,l,s) & Clients(s,m,m,sal,A);
+///   m6: Accounts(a,l,s) & Accounts(a2,l2,s) -> l = l2;
+///
+///   source instance {
+///     Cards(6689, "15K", 434, "J. Long", "Smith", "50K", "Seattle");
+///   }
+///   target instance {
+///     Clients(434, "Smith", "Smith", "50K", #A1);
+///   }
+///
+/// Rules:
+///  * `//` starts a line comment.
+///  * In dependencies every bare identifier in a term position is a
+///    variable; constants are numbers or quoted strings. The `exists` clause
+///    is optional — any RHS-only variable is existential — but when present
+///    it is validated (declared variables must not occur in the LHS).
+///  * A dependency whose LHS relations all belong to the source schema is a
+///    source-to-target tgd; one whose LHS relations all belong to the target
+///    schema is a target dependency. A RHS of the form `x = y` makes it an
+///    egd.
+///  * In instance blocks terms must be constants or labeled nulls `#name`
+///    (each distinct name denotes one fresh labeled null; names are recorded
+///    in Scenario::null_names).
+///
+/// Throws SpiderError with a line-numbered message on malformed input.
+Scenario ParseScenario(const std::string& text);
+
+/// Parses additional dependencies (same syntax) into an existing mapping.
+void ParseDependencies(const std::string& text, SchemaMapping* mapping);
+
+/// Parses `Rel(v1, ...);` facts into an existing instance over `schema`.
+/// `next_null_id` is advanced as `#name` nulls are allocated; may be null if
+/// the text contains no nulls.
+void ParseFacts(const std::string& text, Instance* instance,
+                int64_t* next_null_id = nullptr);
+
+/// Parses a single fact `Rel(v1, ...)` (no trailing semicolon required) into
+/// a relation name and tuple, resolving `#name` against `null_ids`
+/// (name -> id). A name of the form `N<digits>` that is not in the map
+/// resolves to the null with that id (the default display name of
+/// chase-invented nulls).
+Tuple ParseFactText(const std::string& text, std::string* relation,
+                    const std::unordered_map<std::string, int64_t>& null_ids);
+
+}  // namespace spider
+
+#endif  // SPIDER_MAPPING_PARSER_H_

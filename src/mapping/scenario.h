@@ -1,0 +1,35 @@
+#ifndef SPIDER_MAPPING_SCENARIO_H_
+#define SPIDER_MAPPING_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <string>
+
+#include "mapping/schema_mapping.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// A complete data-exchange setting: a schema mapping plus a source instance
+/// I and (possibly empty) target instance J. Produced by the parser and by
+/// the workload generators; consumed by the chase and the route algorithms.
+///
+/// The mapping is heap-allocated so that the instances' schema pointers stay
+/// valid when a Scenario is moved.
+struct Scenario {
+  std::unique_ptr<SchemaMapping> mapping;
+  std::unique_ptr<Instance> source;
+  std::unique_ptr<Instance> target;
+
+  /// Display names for labeled nulls written in scenario text (e.g. `#A1`),
+  /// keyed by null id. Nulls invented by the chase are not listed here.
+  std::unordered_map<int64_t, std::string> null_names;
+
+  /// Largest null id in use; the chase continues numbering from here.
+  int64_t max_null_id = 0;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_MAPPING_SCENARIO_H_

@@ -1,0 +1,68 @@
+#include "mapping/schema_mapping.h"
+
+#include <sstream>
+
+#include "base/status.h"
+
+namespace spider {
+
+SchemaMapping::SchemaMapping(Schema source, Schema target)
+    : source_(std::move(source)), target_(std::move(target)) {}
+
+void SchemaMapping::ValidateAtoms(const std::vector<Atom>& atoms,
+                                  const Schema& schema,
+                                  const std::string& dep_name) const {
+  for (const Atom& atom : atoms) {
+    SPIDER_CHECK(atom.relation >= 0 &&
+                     static_cast<size_t>(atom.relation) < schema.size(),
+                 "dependency '" + dep_name +
+                     "': atom refers to a relation outside schema '" +
+                     schema.name() + "'");
+    SPIDER_CHECK(
+        atom.terms.size() == schema.relation(atom.relation).arity(),
+        "dependency '" + dep_name + "': arity mismatch for relation '" +
+            schema.relation(atom.relation).name() + "'");
+  }
+}
+
+TgdId SchemaMapping::AddTgd(Tgd tgd) {
+  ValidateAtoms(tgd.lhs(), tgd.source_to_target() ? source_ : target_,
+                tgd.name());
+  ValidateAtoms(tgd.rhs(), target_, tgd.name());
+  TgdId id = static_cast<TgdId>(tgds_.size());
+  if (tgd.source_to_target()) {
+    st_tgds_.push_back(id);
+  } else {
+    target_tgds_.push_back(id);
+  }
+  tgds_.push_back(std::move(tgd));
+  return id;
+}
+
+EgdId SchemaMapping::AddEgd(Egd egd) {
+  ValidateAtoms(egd.lhs(), target_, egd.name());
+  EgdId id = static_cast<EgdId>(egds_.size());
+  egds_.push_back(std::move(egd));
+  return id;
+}
+
+TgdId SchemaMapping::FindTgd(const std::string& name) const {
+  for (size_t i = 0; i < tgds_.size(); ++i) {
+    if (tgds_[i].name() == name) return static_cast<TgdId>(i);
+  }
+  return -1;
+}
+
+std::string SchemaMapping::ToString() const {
+  std::ostringstream os;
+  for (const Tgd& tgd : tgds_) {
+    os << (tgd.source_to_target() ? "[st]     " : "[target] ")
+       << tgd.ToString(source_, target_) << '\n';
+  }
+  for (const Egd& egd : egds_) {
+    os << "[egd]    " << egd.ToString(target_) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,68 @@
+#ifndef SPIDER_MAPPING_SCHEMA_MAPPING_H_
+#define SPIDER_MAPPING_SCHEMA_MAPPING_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "mapping/dependency.h"
+
+namespace spider {
+
+/// A schema mapping M = (S, T, Σst, Σt): source schema, target schema, a set
+/// of source-to-target tgds, and target dependencies (target tgds + egds).
+///
+/// Tgds (both kinds) share one TgdId space, so routes can name any tgd by id;
+/// egds have their own id space (they never appear in routes). The mapping
+/// validates every dependency against the schemas on insertion and is
+/// immutable from the point of view of the route algorithms.
+class SchemaMapping {
+ public:
+  SchemaMapping(Schema source, Schema target);
+
+  SchemaMapping(const SchemaMapping&) = delete;
+  SchemaMapping& operator=(const SchemaMapping&) = delete;
+  SchemaMapping(SchemaMapping&&) = default;
+  SchemaMapping& operator=(SchemaMapping&&) = default;
+
+  const Schema& source() const { return source_; }
+  const Schema& target() const { return target_; }
+
+  /// Adds a tgd after validating its atoms against the schemas (relation ids
+  /// in range, arities matching). Returns its TgdId.
+  TgdId AddTgd(Tgd tgd);
+
+  /// Adds a target egd. Returns its EgdId.
+  EgdId AddEgd(Egd egd);
+
+  size_t NumTgds() const { return tgds_.size(); }
+  const Tgd& tgd(TgdId id) const { return tgds_[id]; }
+  size_t NumEgds() const { return egds_.size(); }
+  const Egd& egd(EgdId id) const { return egds_[id]; }
+
+  /// Ids of the source-to-target tgds, in insertion order.
+  const std::vector<TgdId>& st_tgds() const { return st_tgds_; }
+  /// Ids of the target tgds, in insertion order.
+  const std::vector<TgdId>& target_tgds() const { return target_tgds_; }
+
+  /// Finds a tgd by name; returns -1 if absent.
+  TgdId FindTgd(const std::string& name) const;
+
+  /// Renders all dependencies, one per line.
+  std::string ToString() const;
+
+ private:
+  void ValidateAtoms(const std::vector<Atom>& atoms, const Schema& schema,
+                     const std::string& dep_name) const;
+
+  Schema source_;
+  Schema target_;
+  std::vector<Tgd> tgds_;
+  std::vector<Egd> egds_;
+  std::vector<TgdId> st_tgds_;
+  std::vector<TgdId> target_tgds_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_MAPPING_SCHEMA_MAPPING_H_

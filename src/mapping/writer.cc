@@ -1,0 +1,108 @@
+#include "mapping/writer.h"
+
+#include <sstream>
+
+#include "base/status.h"
+
+namespace spider {
+
+namespace {
+
+void WriteValue(const Value& value,
+                const std::unordered_map<int64_t, std::string>& null_names,
+                std::ostream& os) {
+  if (value.is_null()) {
+    auto it = null_names.find(value.AsNull().id);
+    if (it != null_names.end()) {
+      os << '#' << it->second;
+    } else {
+      os << "#N" << value.AsNull().id;
+    }
+    return;
+  }
+  os << value;  // ints/doubles plain, strings quoted
+}
+
+void WriteSchemaBlock(const Schema& schema, const char* which,
+                      std::ostream& os) {
+  os << which << " schema {\n";
+  for (const RelationDef& rel : schema.relations()) {
+    os << "  " << rel.name() << '(';
+    for (size_t i = 0; i < rel.arity(); ++i) {
+      if (i > 0) os << ", ";
+      os << rel.attribute(i);
+    }
+    os << ");\n";
+  }
+  os << "}\n";
+}
+
+void WriteInstanceBlock(
+    const Instance& instance, const char* which,
+    const std::unordered_map<int64_t, std::string>& null_names,
+    std::ostream& os) {
+  os << which << " instance {\n";
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    const std::string& name = instance.schema().relation(rel).name();
+    for (const Tuple& t : instance.tuples(rel)) {
+      os << "  " << name << '(';
+      for (size_t i = 0; i < t.arity(); ++i) {
+        if (i > 0) os << ", ";
+        WriteValue(t.at(i), null_names, os);
+      }
+      os << ");\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace
+
+std::string WriteFacts(
+    const Instance& instance,
+    const std::unordered_map<int64_t, std::string>& null_names) {
+  std::ostringstream os;
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    const std::string& name = instance.schema().relation(rel).name();
+    for (const Tuple& t : instance.tuples(rel)) {
+      os << name << '(';
+      for (size_t i = 0; i < t.arity(); ++i) {
+        if (i > 0) os << ", ";
+        WriteValue(t.at(i), null_names, os);
+      }
+      os << ");\n";
+    }
+  }
+  return os.str();
+}
+
+std::string WriteScenario(const Scenario& scenario) {
+  SPIDER_CHECK(scenario.mapping != nullptr,
+               "WriteScenario requires a mapping");
+  const SchemaMapping& mapping = *scenario.mapping;
+  std::ostringstream os;
+  WriteSchemaBlock(mapping.source(), "source", os);
+  WriteSchemaBlock(mapping.target(), "target", os);
+  os << '\n';
+  for (size_t i = 0; i < mapping.NumTgds(); ++i) {
+    os << mapping.tgd(static_cast<TgdId>(i))
+              .ToString(mapping.source(), mapping.target())
+       << ";\n";
+  }
+  for (size_t e = 0; e < mapping.NumEgds(); ++e) {
+    os << mapping.egd(static_cast<EgdId>(e)).ToString(mapping.target())
+       << ";\n";
+  }
+  os << '\n';
+  if (scenario.source != nullptr) {
+    WriteInstanceBlock(*scenario.source, "source", scenario.null_names, os);
+  }
+  if (scenario.target != nullptr) {
+    WriteInstanceBlock(*scenario.target, "target", scenario.null_names, os);
+  }
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,29 @@
+#ifndef SPIDER_MAPPING_WRITER_H_
+#define SPIDER_MAPPING_WRITER_H_
+
+#include <string>
+
+#include "mapping/scenario.h"
+
+namespace spider {
+
+/// Serializes a scenario back into the scenario language understood by
+/// ParseScenario — schemas, dependencies, and both instances. Labeled
+/// nulls are written `#name` using Scenario::null_names when available and
+/// `#N<id>` otherwise; re-parsing yields a scenario equal up to null
+/// renaming (null *sharing* is preserved exactly).
+///
+/// Limitation: string constants are emitted verbatim between quotes, so
+/// strings containing `"` do not round-trip (none of the library's
+/// generators produce them).
+std::string WriteScenario(const Scenario& scenario);
+
+/// Serializes one instance as `Rel(v, ...);` lines (no block wrapper),
+/// using the given null display names.
+std::string WriteFacts(
+    const Instance& instance,
+    const std::unordered_map<int64_t, std::string>& null_names);
+
+}  // namespace spider
+
+#endif  // SPIDER_MAPPING_WRITER_H_

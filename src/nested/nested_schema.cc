@@ -1,0 +1,159 @@
+#include "nested/nested_schema.h"
+
+#include <algorithm>
+
+#include "base/status.h"
+
+namespace spider {
+
+NestedSetDef* NestedSetDef::AddChild(std::string name,
+                                     std::vector<std::string> attributes) {
+  children_.push_back(
+      std::make_unique<NestedSetDef>(std::move(name), std::move(attributes)));
+  return children_.back().get();
+}
+
+int NestedSetDef::Depth() const {
+  int depth = 0;
+  for (const auto& child : children_) depth = std::max(depth, child->Depth());
+  return depth + 1;
+}
+
+NestedSetDef* NestedSchema::AddRoot(std::string name,
+                                    std::vector<std::string> attrs) {
+  roots_.push_back(
+      std::make_unique<NestedSetDef>(std::move(name), std::move(attrs)));
+  return roots_.back().get();
+}
+
+namespace {
+
+void CountElements(const NestedSetDef& set, size_t* total) {
+  *total += 1 + set.attributes().size();
+  for (const auto& child : set.children()) CountElements(*child, total);
+}
+
+void ShredSet(const NestedSetDef& set, bool is_root, const std::string& suffix,
+              Schema* schema) {
+  std::vector<std::string> columns = {NestedSchema::kKeyColumn};
+  if (!is_root) columns.push_back(NestedSchema::kParentColumn);
+  columns.insert(columns.end(), set.attributes().begin(),
+                 set.attributes().end());
+  schema->AddRelation(set.name() + suffix, std::move(columns));
+  for (const auto& child : set.children()) {
+    ShredSet(*child, /*is_root=*/false, suffix, schema);
+  }
+}
+
+}  // namespace
+
+size_t NestedSchema::TotalElements() const {
+  size_t total = 0;
+  for (const auto& root : roots_) CountElements(*root, &total);
+  return total;
+}
+
+int NestedSchema::Depth() const {
+  int depth = 0;
+  for (const auto& root : roots_) depth = std::max(depth, root->Depth());
+  return depth;
+}
+
+Schema NestedSchema::Shred() const {
+  Schema schema(name_);
+  for (const auto& root : roots_) {
+    ShredSet(*root, /*is_root=*/true, /*suffix=*/"", &schema);
+  }
+  return schema;
+}
+
+namespace {
+
+Schema ShredWithSuffix(const NestedSchema& nested, const std::string& suffix) {
+  Schema schema(nested.name() + suffix);
+  for (const auto& root : nested.roots()) {
+    ShredSet(*root, /*is_root=*/true, suffix, &schema);
+  }
+  return schema;
+}
+
+/// Collects every root-to-leaf path of set definitions.
+void CollectPaths(const NestedSetDef& set,
+                  std::vector<const NestedSetDef*>* current,
+                  std::vector<std::vector<const NestedSetDef*>>* paths) {
+  current->push_back(&set);
+  if (set.children().empty()) {
+    paths->push_back(*current);
+  } else {
+    for (const auto& child : set.children()) {
+      CollectPaths(*child, current, paths);
+    }
+  }
+  current->pop_back();
+}
+
+}  // namespace
+
+NestedCopyMapping BuildNestedCopyMapping(const NestedSchema& source,
+                                         const std::string& target_suffix) {
+  SPIDER_CHECK(!target_suffix.empty(),
+               "a non-empty target suffix is required to keep relation "
+               "names distinct");
+  Schema source_schema = ShredWithSuffix(source, "");
+  Schema target_schema = ShredWithSuffix(source, target_suffix);
+  NestedCopyMapping result;
+  result.mapping = std::make_unique<SchemaMapping>(std::move(source_schema),
+                                                   std::move(target_schema));
+  const Schema& src = result.mapping->source();
+  const Schema& tgt = result.mapping->target();
+
+  std::vector<std::vector<const NestedSetDef*>> paths;
+  std::vector<const NestedSetDef*> current;
+  for (const auto& root : source.roots()) {
+    CollectPaths(*root, &current, &paths);
+  }
+
+  int counter = 0;
+  for (const std::vector<const NestedSetDef*>& path : paths) {
+    std::vector<std::string> var_names;
+    std::vector<Atom> lhs;
+    std::vector<Atom> rhs;
+    std::vector<VarId> key_vars(path.size(), -1);
+    for (size_t level = 0; level < path.size(); ++level) {
+      const NestedSetDef& set = *path[level];
+      RelationId src_rel = src.Require(set.name());
+      RelationId tgt_rel = tgt.Require(set.name() + target_suffix);
+      Atom src_atom;
+      src_atom.relation = src_rel;
+      Atom tgt_atom;
+      tgt_atom.relation = tgt_rel;
+      auto fresh = [&](const std::string& name) {
+        VarId v = static_cast<VarId>(var_names.size());
+        var_names.push_back(name + std::to_string(level));
+        return v;
+      };
+      VarId key = fresh("k");
+      key_vars[level] = key;
+      src_atom.terms.push_back(Term::Var(key));
+      tgt_atom.terms.push_back(Term::Var(key));
+      if (level > 0) {
+        // The parent column joins with the parent's key variable.
+        src_atom.terms.push_back(Term::Var(key_vars[level - 1]));
+        tgt_atom.terms.push_back(Term::Var(key_vars[level - 1]));
+      }
+      for (const std::string& attr : set.attributes()) {
+        VarId v = fresh(attr + "_");
+        src_atom.terms.push_back(Term::Var(v));
+        tgt_atom.terms.push_back(Term::Var(v));
+      }
+      lhs.push_back(std::move(src_atom));
+      rhs.push_back(std::move(tgt_atom));
+    }
+    result.mapping->AddTgd(Tgd("copy_path" + std::to_string(++counter),
+                               std::move(var_names), std::move(lhs),
+                               std::move(rhs), /*source_to_target=*/true));
+  }
+  return result;
+}
+
+}  // namespace spider

@@ -1,0 +1,92 @@
+#ifndef SPIDER_NESTED_NESTED_SCHEMA_H_
+#define SPIDER_NESTED_NESTED_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "mapping/schema_mapping.h"
+
+namespace spider {
+
+/// A nested-relational schema: a tree of record sets, each with atomic
+/// attributes and child sets — the model the paper uses for XML schemas
+/// ("our implementation uses the nested relational model as our underlying
+/// representation", §3.3).
+///
+/// The library's engines are relational, so nested schemas are SHREDDED:
+/// every set becomes a relation with a synthetic key, its parent's key, and
+/// its atomic attributes. A nested tgd that copies (part of) a hierarchy
+/// then becomes a flat tgd joining the root-to-leaf path, which binds the
+/// same path context a nested tgd binds — the property behind Fig. 11.
+class NestedSetDef {
+ public:
+  NestedSetDef(std::string name, std::vector<std::string> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+  NestedSetDef* AddChild(std::string name,
+                         std::vector<std::string> attributes);
+  const std::vector<std::unique_ptr<NestedSetDef>>& children() const {
+    return children_;
+  }
+
+  /// Depth of this node's subtree (a leaf set has depth 1).
+  int Depth() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attributes_;
+  std::vector<std::unique_ptr<NestedSetDef>> children_;
+};
+
+/// A nested schema: a forest of root sets.
+class NestedSchema {
+ public:
+  explicit NestedSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  NestedSetDef* AddRoot(std::string name, std::vector<std::string> attrs);
+  const std::vector<std::unique_ptr<NestedSetDef>>& roots() const {
+    return roots_;
+  }
+
+  /// Total elements (sets + atomic attributes), Table 1 style.
+  size_t TotalElements() const;
+  /// Maximum nesting depth.
+  int Depth() const;
+
+  /// Shreds into a flat schema: one relation per set, named after the set,
+  /// with attributes (key, parentkey?, ...atomics). Root sets have no
+  /// parentkey column. Set names must be unique across the tree.
+  Schema Shred() const;
+
+  /// The relation's column layout after shredding.
+  static constexpr const char* kKeyColumn = "nkey";
+  static constexpr const char* kParentColumn = "nparent";
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<NestedSetDef>> roots_;
+};
+
+/// Builds a schema mapping copying `source` into an identically shaped
+/// `target` (same set names; the target schema's sets are suffixed with
+/// `target_suffix`): one s-t tgd per root-to-leaf path... more precisely,
+/// one tgd per LEAF set, whose LHS joins the full path from the root and
+/// whose RHS recreates it — the shredded image of a nested copying tgd.
+/// Inner sets are covered by their descendants' tgds plus one tgd per
+/// childless prefix... every set gets the tgd of its deepest path through
+/// it, so each set appears in at least one tgd.
+struct NestedCopyMapping {
+  std::unique_ptr<SchemaMapping> mapping;
+};
+NestedCopyMapping BuildNestedCopyMapping(const NestedSchema& source,
+                                         const std::string& target_suffix);
+
+}  // namespace spider
+
+#endif  // SPIDER_NESTED_NESTED_SCHEMA_H_

@@ -1,0 +1,38 @@
+#include "nested/shredded_builder.h"
+
+#include "base/status.h"
+
+namespace spider {
+
+ShreddedInstanceBuilder::ShreddedInstanceBuilder(Instance* instance,
+                                                 std::string suffix)
+    : instance_(instance), suffix_(std::move(suffix)) {
+  SPIDER_CHECK(instance != nullptr, "builder requires an instance");
+}
+
+int64_t ShreddedInstanceBuilder::InsertRoot(const std::string& set,
+                                            std::vector<Value> atomics) {
+  return Insert(set, /*has_parent=*/false, 0, std::move(atomics));
+}
+
+int64_t ShreddedInstanceBuilder::InsertChild(const std::string& set,
+                                             int64_t parent_key,
+                                             std::vector<Value> atomics) {
+  return Insert(set, /*has_parent=*/true, parent_key, std::move(atomics));
+}
+
+int64_t ShreddedInstanceBuilder::Insert(const std::string& set,
+                                        bool has_parent, int64_t parent_key,
+                                        std::vector<Value> atomics) {
+  RelationId rel = instance_->schema().Require(set + suffix_);
+  int64_t key = next_key_++;
+  std::vector<Value> values;
+  values.reserve(atomics.size() + 2);
+  values.push_back(Value::Int(key));
+  if (has_parent) values.push_back(Value::Int(parent_key));
+  for (Value& v : atomics) values.push_back(std::move(v));
+  instance_->Insert(rel, Tuple(std::move(values)));
+  return key;
+}
+
+}  // namespace spider

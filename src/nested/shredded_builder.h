@@ -1,0 +1,40 @@
+#ifndef SPIDER_NESTED_SHREDDED_BUILDER_H_
+#define SPIDER_NESTED_SHREDDED_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nested/nested_schema.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Populates a shredded instance with hierarchical records: every insert
+/// assigns a fresh synthetic key and wires the parent key column, so the
+/// path joins reconstructed by nested tgds hold by construction.
+class ShreddedInstanceBuilder {
+ public:
+  /// `instance` must be over the shredded schema (or a suffixed shred of
+  /// the same nested schema — pass the suffix used).
+  ShreddedInstanceBuilder(Instance* instance, std::string suffix = "");
+
+  /// Inserts a root record; returns its key.
+  int64_t InsertRoot(const std::string& set, std::vector<Value> atomics);
+
+  /// Inserts a child record under `parent_key`; returns its key.
+  int64_t InsertChild(const std::string& set, int64_t parent_key,
+                      std::vector<Value> atomics);
+
+ private:
+  int64_t Insert(const std::string& set, bool has_parent, int64_t parent_key,
+                 std::vector<Value> atomics);
+
+  Instance* instance_;
+  std::string suffix_;
+  int64_t next_key_ = 1;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_NESTED_SHREDDED_BUILDER_H_

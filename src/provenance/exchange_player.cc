@@ -1,0 +1,75 @@
+#include "provenance/exchange_player.h"
+
+#include <sstream>
+
+#include "base/status.h"
+
+namespace spider {
+
+ExchangePlayer::ExchangePlayer(const AnnotatedChaseLog* log,
+                               const SchemaMapping* mapping)
+    : log_(log), mapping_(mapping) {
+  SPIDER_CHECK(log != nullptr && mapping != nullptr,
+               "ExchangePlayer requires a log and a mapping");
+  current_ = std::make_unique<Instance>(&mapping->target());
+}
+
+bool ExchangePlayer::Step() {
+  if (done()) return false;
+  const AnnotatedChaseLog::Event& event = log_->events()[position_];
+  if (event.kind == AnnotatedChaseLog::Event::Kind::kTgd) {
+    const AnnotatedChaseLog::TgdStep& step = log_->tgd_steps()[event.index];
+    const Tgd& tgd = mapping_->tgd(step.tgd);
+    for (const Atom& atom : tgd.rhs()) {
+      current_->Insert(atom.relation, step.h.Instantiate(atom));
+    }
+  } else {
+    const AnnotatedChaseLog::EgdStep& step = log_->egd_steps()[event.index];
+    current_->ApplySubstitution(step.victim, step.replacement);
+  }
+  ++position_;
+  return true;
+}
+
+void ExchangePlayer::Reset() {
+  position_ = 0;
+  current_ = std::make_unique<Instance>(&mapping_->target());
+}
+
+bool ExchangePlayer::RunToBreakpoint() {
+  while (!done()) {
+    const AnnotatedChaseLog::Event& event = log_->events()[position_];
+    if (event.kind == AnnotatedChaseLog::Event::Kind::kTgd &&
+        breakpoints_.count(log_->tgd_steps()[event.index].tgd) > 0) {
+      return true;
+    }
+    Step();
+  }
+  return false;
+}
+
+std::string ExchangePlayer::Watch() const {
+  std::ostringstream os;
+  os << "event " << position_ << '/' << size() << ", " << "|J_i| = "
+     << current_->TotalTuples() << '\n';
+  auto describe = [&](size_t index) {
+    const AnnotatedChaseLog::Event& event = log_->events()[index];
+    std::ostringstream line;
+    if (event.kind == AnnotatedChaseLog::Event::Kind::kTgd) {
+      const AnnotatedChaseLog::TgdStep& step = log_->tgd_steps()[event.index];
+      const Tgd& tgd = mapping_->tgd(step.tgd);
+      line << "tgd " << tgd.name() << ' '
+           << step.h.ToString(tgd.var_names());
+    } else {
+      const AnnotatedChaseLog::EgdStep& step = log_->egd_steps()[event.index];
+      line << "egd " << mapping_->egd(step.egd).name() << " unify #N"
+           << step.victim.id << " := " << step.replacement.ToString();
+    }
+    return line.str();
+  };
+  if (position_ > 0) os << "last: " << describe(position_ - 1) << '\n';
+  if (!done()) os << "next: " << describe(position_) << '\n';
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,57 @@
+#ifndef SPIDER_PROVENANCE_EXCHANGE_PLAYER_H_
+#define SPIDER_PROVENANCE_EXCHANGE_PLAYER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "mapping/schema_mapping.h"
+#include "provenance/annotated_chase.h"
+
+namespace spider {
+
+/// Single-steps an entire data exchange, event by event — the "watch
+/// window for visualizing how the target instance changes" of §3.4 applied
+/// to the exchange itself rather than to one route. Backed by an
+/// AnnotatedChaseLog, so stepping is replay: no engine work happens here.
+///
+/// Each Step() applies the next logged event (a tgd firing or an egd
+/// unification) to a materialized partial target instance; breakpoints stop
+/// RunToBreakpoint() before a marked tgd fires.
+class ExchangePlayer {
+ public:
+  /// The log (and mapping) must outlive the player.
+  ExchangePlayer(const AnnotatedChaseLog* log, const SchemaMapping* mapping);
+
+  size_t position() const { return position_; }
+  size_t size() const { return log_->events().size(); }
+  bool done() const { return position_ >= size(); }
+
+  /// The partial target instance J_i built so far.
+  const Instance& current() const { return *current_; }
+
+  bool Step();
+  void Reset();
+
+  /// Breakpoints by tgd id (egd events never match).
+  void SetBreakpoint(TgdId tgd) { breakpoints_.insert(tgd); }
+  void ClearBreakpoint(TgdId tgd) { breakpoints_.erase(tgd); }
+
+  /// Runs until the next event is a breakpointed tgd firing, or the end.
+  /// Returns true when stopped at a breakpoint.
+  bool RunToBreakpoint();
+
+  /// Describes the player state: last event, next event, instance size.
+  std::string Watch() const;
+
+ private:
+  const AnnotatedChaseLog* log_;
+  const SchemaMapping* mapping_;
+  std::unique_ptr<Instance> current_;
+  size_t position_ = 0;
+  std::unordered_set<TgdId> breakpoints_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_PROVENANCE_EXCHANGE_PLAYER_H_

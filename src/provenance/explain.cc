@@ -1,0 +1,271 @@
+#include "provenance/explain.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "base/status.h"
+
+namespace spider {
+
+size_t ExtendedRoute::NumEgdEntries() const {
+  size_t n = 0;
+  for (const Entry& e : entries) {
+    if (e.is_egd) ++n;
+  }
+  return n;
+}
+
+Route ExtendedRoute::TgdProjection() const {
+  std::vector<SatStep> steps;
+  for (const Entry& e : entries) {
+    if (!e.is_egd) steps.push_back(e.tgd);
+  }
+  return Route(std::move(steps));
+}
+
+namespace {
+
+/// Applies the accumulated null substitution to a tuple (following chains:
+/// a null may have been replaced by another null that was later replaced).
+Tuple Canonicalize(const Tuple& tuple,
+                   const std::unordered_map<int64_t, Value>& sub) {
+  std::vector<Value> values(tuple.values());
+  for (Value& v : values) {
+    while (v.is_null()) {
+      auto it = sub.find(v.AsNull().id);
+      if (it == sub.end()) break;
+      v = it->second;
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+using FactKey = std::pair<RelationId, Tuple>;
+
+}  // namespace
+
+bool ExtendedRoute::Validate(
+    const SchemaMapping& mapping, const Instance& source,
+    const std::vector<std::pair<RelationId, Tuple>>& final_facts,
+    std::string* why) const {
+  auto fail = [&](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (entries.empty()) return fail("an extended route must be non-empty");
+  std::unordered_map<int64_t, Value> sub;
+  std::set<FactKey> produced;
+  auto canon_insert = [&](RelationId rel, const Tuple& t) {
+    produced.insert({rel, Canonicalize(t, sub)});
+  };
+  auto recanonicalize = [&]() {
+    std::set<FactKey> next;
+    for (const FactKey& key : produced) {
+      next.insert({key.first, Canonicalize(key.second, sub)});
+    }
+    produced = std::move(next);
+  };
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& entry = entries[i];
+    if (!entry.is_egd) {
+      const Tgd& tgd = mapping.tgd(entry.tgd.tgd);
+      if (entry.tgd.h.size() != tgd.num_vars() || !entry.tgd.h.IsTotal()) {
+        return fail("entry " + std::to_string(i + 1) +
+                    ": homomorphism must cover all variables");
+      }
+      for (const Atom& atom : tgd.lhs()) {
+        Tuple t = Canonicalize(entry.tgd.h.Instantiate(atom), sub);
+        if (tgd.source_to_target()) {
+          if (!source.FindRow(atom.relation, t).has_value()) {
+            return fail("entry " + std::to_string(i + 1) +
+                        ": LHS fact missing from the source instance");
+          }
+        } else if (produced.find({atom.relation, t}) == produced.end()) {
+          return fail("entry " + std::to_string(i + 1) +
+                      ": LHS fact was not produced by an earlier entry");
+        }
+      }
+      for (const Atom& atom : tgd.rhs()) {
+        canon_insert(atom.relation, entry.tgd.h.Instantiate(atom));
+      }
+    } else {
+      const Egd& egd = mapping.egd(entry.egd.egd);
+      for (const Atom& atom : egd.lhs()) {
+        Tuple t = Canonicalize(entry.egd.h.Instantiate(atom), sub);
+        if (produced.find({atom.relation, t}) == produced.end()) {
+          return fail("entry " + std::to_string(i + 1) +
+                      ": egd LHS fact was not produced by an earlier entry");
+        }
+      }
+      Value replacement = entry.egd.replacement;
+      while (replacement.is_null() &&
+             sub.count(replacement.AsNull().id) > 0) {
+        replacement = sub.at(replacement.AsNull().id);
+      }
+      sub[entry.egd.victim.id] = replacement;
+      recanonicalize();
+    }
+  }
+  for (const auto& [relation, tuple] : final_facts) {
+    if (produced.find({relation, Canonicalize(tuple, sub)}) ==
+        produced.end()) {
+      return fail("a selected fact is not produced by the extended route");
+    }
+  }
+  return true;
+}
+
+std::string ExtendedRoute::ToString(const SchemaMapping& mapping) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const Entry& entry = entries[i];
+    os << "entry " << (i + 1) << ": ";
+    if (!entry.is_egd) {
+      const Tgd& tgd = mapping.tgd(entry.tgd.tgd);
+      os << "[tgd " << tgd.name() << "] "
+         << entry.tgd.h.ToString(tgd.var_names());
+    } else {
+      const Egd& egd = mapping.egd(entry.egd.egd);
+      os << "[egd " << egd.name() << "] unify #N" << entry.egd.victim.id
+         << " := " << entry.egd.replacement.ToString() << ", "
+         << entry.egd.h.ToString(egd.var_names());
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+ExtendedRoute BuildExtendedRoute(const AnnotatedChaseLog& log,
+                                 const std::vector<int32_t>& seeds);
+
+}  // namespace
+
+ExtendedRoute ExplainFact(const AnnotatedChaseLog& log,
+                          AnnotatedChaseLog::ProvFactId fact,
+                          const SchemaMapping& mapping) {
+  (void)mapping;
+  return BuildExtendedRoute(log, {fact});
+}
+
+FailureExplanation ExplainFailure(const AnnotatedChaseLog& log,
+                                  const EgdFailure& failure,
+                                  const SchemaMapping& mapping) {
+  FailureExplanation explanation;
+  std::vector<int32_t> seeds(failure.lhs.begin(), failure.lhs.end());
+  explanation.route = BuildExtendedRoute(log, seeds);
+  const Egd& egd = mapping.egd(failure.egd);
+  std::ostringstream os;
+  os << "no solution exists: egd '" << egd.name() << "' equates "
+     << failure.left.ToString() << " and " << failure.right.ToString()
+     << " under " << failure.h.ToString(egd.var_names())
+     << "; the route above derives the violating facts";
+  explanation.message = os.str();
+  return explanation;
+}
+
+namespace {
+
+ExtendedRoute BuildExtendedRoute(const AnnotatedChaseLog& log,
+                                 const std::vector<int32_t>& seeds) {
+  std::unordered_set<int32_t> needed_facts;
+  std::unordered_set<size_t> needed_tgd_steps;
+  std::unordered_set<size_t> needed_egd_steps;
+
+  // Closure of facts under their producing tgd steps.
+  auto close_facts = [&](std::vector<int32_t> worklist) {
+    while (!worklist.empty()) {
+      int32_t f = worklist.back();
+      worklist.pop_back();
+      if (!needed_facts.insert(f).second) continue;
+      size_t producer = log.ProducerStep(f);
+      if (needed_tgd_steps.insert(producer).second) {
+        for (int32_t lhs : log.tgd_steps()[producer].target_lhs) {
+          worklist.push_back(lhs);
+        }
+      }
+    }
+  };
+  close_facts(seeds);
+
+  // Egd steps become relevant when they rewrote a needed fact; their own
+  // LHS facts then join the closure, to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t e = 0; e < log.egd_steps().size(); ++e) {
+      if (needed_egd_steps.count(e) > 0) continue;
+      const AnnotatedChaseLog::EgdStep& step = log.egd_steps()[e];
+      bool relevant = false;
+      for (int32_t f : step.rewritten) {
+        if (needed_facts.count(f) > 0) {
+          relevant = true;
+          break;
+        }
+      }
+      if (!relevant) continue;
+      needed_egd_steps.insert(e);
+      close_facts(std::vector<int32_t>(step.lhs.begin(), step.lhs.end()));
+      changed = true;
+    }
+  }
+
+  // Emit the needed steps in original execution order. Each step carries
+  // its global sequence number, so emission is proportional to the closure
+  // size, not to the full exchange history.
+  std::vector<std::pair<size_t, ExtendedRoute::Entry>> ordered;
+  ordered.reserve(needed_tgd_steps.size() + needed_egd_steps.size());
+  for (size_t index : needed_tgd_steps) {
+    const AnnotatedChaseLog::TgdStep& step = log.tgd_steps()[index];
+    ExtendedRoute::Entry entry;
+    entry.is_egd = false;
+    entry.tgd = SatStep{step.tgd, step.h};
+    ordered.emplace_back(step.seq, std::move(entry));
+  }
+  for (size_t index : needed_egd_steps) {
+    const AnnotatedChaseLog::EgdStep& step = log.egd_steps()[index];
+    ExtendedRoute::Entry entry;
+    entry.is_egd = true;
+    entry.egd = ExtendedRoute::EgdEntry{step.egd, step.h, step.victim,
+                                        step.replacement};
+    ordered.emplace_back(step.seq, std::move(entry));
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ExtendedRoute route;
+  route.entries.reserve(ordered.size());
+  for (auto& [seq, entry] : ordered) {
+    route.entries.push_back(std::move(entry));
+  }
+  return route;
+}
+
+}  // namespace
+
+std::vector<FactRef> WhyProvenance(const AnnotatedChaseLog& log,
+                                   AnnotatedChaseLog::ProvFactId fact) {
+  std::unordered_set<int32_t> seen_facts;
+  std::unordered_set<size_t> seen_steps;
+  std::vector<FactRef> sources;
+  std::unordered_set<FactRef, FactRefHash> source_set;
+  std::vector<int32_t> worklist = {fact};
+  while (!worklist.empty()) {
+    int32_t f = worklist.back();
+    worklist.pop_back();
+    if (!seen_facts.insert(f).second) continue;
+    size_t producer = log.ProducerStep(f);
+    if (!seen_steps.insert(producer).second) continue;
+    const AnnotatedChaseLog::TgdStep& step = log.tgd_steps()[producer];
+    for (const FactRef& s : step.source_lhs) {
+      if (source_set.insert(s).second) sources.push_back(s);
+    }
+    for (int32_t lhs : step.target_lhs) worklist.push_back(lhs);
+  }
+  std::sort(sources.begin(), sources.end());
+  return sources;
+}
+
+}  // namespace spider

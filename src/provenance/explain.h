@@ -1,0 +1,88 @@
+#ifndef SPIDER_PROVENANCE_EXPLAIN_H_
+#define SPIDER_PROVENANCE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "mapping/schema_mapping.h"
+#include "provenance/annotated_chase.h"
+#include "routes/route.h"
+
+namespace spider {
+
+/// A route extended with egd satisfaction steps — the §6 future-work item
+/// ("our concept of a route currently does not reflect how an egd is used in
+/// an exchange"). An extended route replays as follows: tgd entries behave
+/// like ordinary satisfaction steps; an egd entry asserts that its LHS facts
+/// are present and then applies the unification (victim null := replacement)
+/// to every fact produced so far. Probed facts are reached in their FINAL
+/// (post-unification) form, which plain routes cannot express whenever an
+/// egd rewrote them.
+struct ExtendedRoute {
+  struct EgdEntry {
+    EgdId egd = -1;
+    Binding h;
+    NullId victim;
+    Value replacement;
+  };
+  struct Entry {
+    bool is_egd = false;
+    SatStep tgd;    ///< Valid when !is_egd.
+    EgdEntry egd;   ///< Valid when is_egd.
+  };
+
+  std::vector<Entry> entries;
+
+  size_t size() const { return entries.size(); }
+  size_t NumEgdEntries() const;
+
+  /// The plain route obtained by dropping egd entries (valid in the
+  /// Definition 3.3 sense only when no egd rewrote the involved facts).
+  Route TgdProjection() const;
+
+  /// Replays the extended route: every tgd entry's LHS must be available
+  /// (source facts in I, target facts produced earlier — compared modulo
+  /// the unifications applied so far), egd entries apply their
+  /// substitution, and each of `final_facts` (tuples in their final form,
+  /// paired with their relations) must be produced. On failure a reason is
+  /// stored in *why.
+  bool Validate(const SchemaMapping& mapping, const Instance& source,
+                const std::vector<std::pair<RelationId, Tuple>>& final_facts,
+                std::string* why = nullptr) const;
+
+  std::string ToString(const SchemaMapping& mapping) const;
+};
+
+/// Extracts the extended route explaining `fact` from an annotated-chase
+/// log: the backward closure of producing tgd steps, the egd steps that
+/// rewrote (or triggered rewrites of) any fact in the closure, and the
+/// closures of those egd steps' own LHS facts — in original execution
+/// order. This is the EAGER counterpart of ComputeOneRoute, with egd
+/// awareness.
+ExtendedRoute ExplainFact(const AnnotatedChaseLog& log,
+                          AnnotatedChaseLog::ProvFactId fact,
+                          const SchemaMapping& mapping);
+
+/// Classical why-provenance (Cui et al. / Buneman et al., §5.1): the source
+/// facts in the backward closure of `fact`.
+std::vector<FactRef> WhyProvenance(const AnnotatedChaseLog& log,
+                                   AnnotatedChaseLog::ProvFactId fact);
+
+/// Explains a HARD egd failure ("no solution exists"): the extended route
+/// that derives the two facts whose distinct constants the egd equates.
+/// Debugging failed exchanges is the mirror image of debugging anomalous
+/// tuples — the route shows which source data and which tgds conspired to
+/// violate the egd. The result's entries derive every fact of the failing
+/// match; `failure` must come from an AnnotatedChaseResult with outcome
+/// kEgdFailure (its log is `log`).
+struct FailureExplanation {
+  ExtendedRoute route;     ///< Derivation of the violating facts.
+  std::string message;     ///< Human-readable summary.
+};
+FailureExplanation ExplainFailure(const AnnotatedChaseLog& log,
+                                  const EgdFailure& failure,
+                                  const SchemaMapping& mapping);
+
+}  // namespace spider
+
+#endif  // SPIDER_PROVENANCE_EXPLAIN_H_

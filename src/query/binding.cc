@@ -1,0 +1,68 @@
+#include "query/binding.h"
+
+#include <sstream>
+
+#include "base/hash.h"
+#include "base/status.h"
+
+namespace spider {
+
+bool Binding::IsTotal() const {
+  for (const auto& slot : slots_) {
+    if (!slot.has_value()) return false;
+  }
+  return true;
+}
+
+Tuple Binding::Instantiate(const Atom& atom) const {
+  std::vector<Value> values;
+  values.reserve(atom.terms.size());
+  for (const Term& term : atom.terms) {
+    if (term.is_const()) {
+      values.push_back(term.value());
+    } else {
+      SPIDER_CHECK(IsBound(term.var()),
+                   "cannot instantiate atom: unbound variable");
+      values.push_back(Get(term.var()));
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+std::vector<Tuple> Binding::InstantiateAll(
+    const std::vector<Atom>& atoms) const {
+  std::vector<Tuple> tuples;
+  tuples.reserve(atoms.size());
+  for (const Atom& atom : atoms) tuples.push_back(Instantiate(atom));
+  return tuples;
+}
+
+size_t Binding::Hash() const {
+  size_t seed = 0x5bd1e995;
+  for (const auto& slot : slots_) {
+    seed = HashCombine(seed, slot.has_value() ? slot->Hash() + 1 : 0);
+  }
+  return seed;
+}
+
+std::string Binding::ToString(
+    const std::vector<std::string>& var_names) const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (size_t v = 0; v < slots_.size(); ++v) {
+    if (!slots_[v].has_value()) continue;
+    if (!first) os << ", ";
+    first = false;
+    if (v < var_names.size()) {
+      os << var_names[v];
+    } else {
+      os << "?v" << v;
+    }
+    os << " -> " << *slots_[v];
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace spider

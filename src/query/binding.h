@@ -1,0 +1,59 @@
+#ifndef SPIDER_QUERY_BINDING_H_
+#define SPIDER_QUERY_BINDING_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/tuple.h"
+#include "base/value.h"
+#include "query/term.h"
+
+namespace spider {
+
+/// A (partial) assignment of variables to values. Route homomorphisms are
+/// total Bindings over all variables (universal and existential) of a
+/// dependency; during evaluation Bindings are extended incrementally.
+class Binding {
+ public:
+  Binding() = default;
+  explicit Binding(size_t num_vars) : slots_(num_vars) {}
+
+  size_t size() const { return slots_.size(); }
+
+  bool IsBound(VarId v) const { return slots_[v].has_value(); }
+  const Value& Get(VarId v) const { return *slots_[v]; }
+  void Set(VarId v, Value value) { slots_[v] = std::move(value); }
+  void Unset(VarId v) { slots_[v].reset(); }
+
+  /// True when every variable is bound.
+  bool IsTotal() const;
+
+  /// Applies this binding to an atom's terms; every variable must be bound.
+  Tuple Instantiate(const Atom& atom) const;
+
+  /// Instantiates a list of atoms.
+  std::vector<Tuple> InstantiateAll(const std::vector<Atom>& atoms) const;
+
+  /// Renders as `{x -> 1, y -> "a"}` with `var_names` indexed by VarId;
+  /// unbound variables are omitted.
+  std::string ToString(const std::vector<std::string>& var_names) const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Binding&, const Binding&) = default;
+  friend auto operator<=>(const Binding&, const Binding&) = default;
+
+ private:
+  std::vector<std::optional<Value>> slots_;
+};
+
+struct BindingHash {
+  size_t operator()(const Binding& b) const { return b.Hash(); }
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_QUERY_BINDING_H_

@@ -1,0 +1,206 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+
+#include "base/status.h"
+
+namespace spider {
+
+MatchIterator::MatchIterator(const Instance& instance, std::vector<Atom> atoms,
+                             Binding* binding, EvalOptions options)
+    : instance_(instance), binding_(binding), options_(options) {
+  SPIDER_CHECK(binding != nullptr, "MatchIterator requires a binding");
+  for (const Atom& atom : atoms) {
+    SPIDER_CHECK(atom.relation >= 0 &&
+                     static_cast<size_t>(atom.relation) <
+                         instance.NumRelations(),
+                 "atom refers to a relation outside the instance's schema");
+    SPIDER_CHECK(
+        atom.terms.size() == instance.schema().relation(atom.relation).arity(),
+        "atom arity mismatch for relation '" +
+            instance.schema().relation(atom.relation).name() + "'");
+  }
+  PlanOrder(std::move(atoms));
+}
+
+void MatchIterator::PlanOrder(std::vector<Atom> atoms) {
+  levels_.reserve(atoms.size());
+  if (!options_.reorder_atoms) {
+    for (Atom& atom : atoms) {
+      Level level;
+      level.atom = std::move(atom);
+      levels_.push_back(std::move(level));
+    }
+    return;
+  }
+  // Greedy: repeatedly take the atom with the most bound positions (constants
+  // plus variables bound so far), tie-broken by smaller relation.
+  std::vector<bool> var_bound;
+  auto is_bound = [&](const Term& t) {
+    if (t.is_const()) return true;
+    if (static_cast<size_t>(t.var()) < binding_->size() &&
+        binding_->IsBound(t.var())) {
+      return true;
+    }
+    return static_cast<size_t>(t.var()) < var_bound.size() &&
+           var_bound[t.var()];
+  };
+  std::vector<bool> used(atoms.size(), false);
+  for (size_t picked = 0; picked < atoms.size(); ++picked) {
+    int best = -1;
+    size_t best_bound = 0;
+    size_t best_card = 0;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      size_t bound = 0;
+      for (const Term& t : atoms[i].terms) {
+        if (is_bound(t)) ++bound;
+      }
+      size_t card = instance_.NumTuples(atoms[i].relation);
+      if (best < 0 || bound > best_bound ||
+          (bound == best_bound && card < best_card)) {
+        best = static_cast<int>(i);
+        best_bound = bound;
+        best_card = card;
+      }
+    }
+    used[best] = true;
+    for (const Term& t : atoms[best].terms) {
+      if (t.is_var()) {
+        if (static_cast<size_t>(t.var()) >= var_bound.size()) {
+          var_bound.resize(t.var() + 1, false);
+        }
+        var_bound[t.var()] = true;
+      }
+    }
+    Level level;
+    level.atom = std::move(atoms[best]);
+    levels_.push_back(std::move(level));
+  }
+}
+
+void MatchIterator::EnterLevel(size_t depth) {
+  Level& level = levels_[depth];
+  level.cursor = 0;
+  level.bound_here.clear();
+  level.entered = true;
+  level.index_rows = nullptr;
+  if (!options_.use_indexes) return;
+  // Probe on the first bound position, if any.
+  for (size_t col = 0; col < level.atom.terms.size(); ++col) {
+    const Term& t = level.atom.terms[col];
+    if (t.is_const()) {
+      level.index_rows =
+          &instance_.Probe(level.atom.relation, static_cast<int>(col),
+                           t.value());
+      return;
+    }
+    if (binding_->IsBound(t.var())) {
+      level.index_rows =
+          &instance_.Probe(level.atom.relation, static_cast<int>(col),
+                           binding_->Get(t.var()));
+      return;
+    }
+  }
+}
+
+bool MatchIterator::TryRow(Level& level, int32_t row) {
+  const Tuple& tuple = instance_.tuple(level.atom.relation, row);
+  for (size_t col = 0; col < level.atom.terms.size(); ++col) {
+    const Term& t = level.atom.terms[col];
+    const Value& v = tuple.at(col);
+    bool ok;
+    if (t.is_const()) {
+      ok = (t.value() == v);
+    } else if (binding_->IsBound(t.var())) {
+      ok = (binding_->Get(t.var()) == v);
+    } else {
+      binding_->Set(t.var(), v);
+      level.bound_here.push_back(t.var());
+      ok = true;
+    }
+    if (!ok) {
+      UnbindLevel(level);
+      return false;
+    }
+  }
+  return true;
+}
+
+void MatchIterator::UnbindLevel(Level& level) {
+  for (VarId v : level.bound_here) binding_->Unset(v);
+  level.bound_here.clear();
+}
+
+bool MatchIterator::Next() {
+  if (done_) return false;
+  if (levels_.empty()) {
+    // An empty conjunction matches exactly once (with the initial binding).
+    if (!started_) {
+      started_ = true;
+      return true;
+    }
+    done_ = true;
+    return false;
+  }
+  size_t depth;
+  if (!started_) {
+    started_ = true;
+    depth = 0;
+    EnterLevel(depth);
+  } else {
+    depth = levels_.size() - 1;
+  }
+  while (true) {
+    Level& level = levels_[depth];
+    UnbindLevel(level);
+    bool found = false;
+    while (true) {
+      int32_t row;
+      if (level.index_rows != nullptr) {
+        if (level.cursor >= level.index_rows->size()) break;
+        row = (*level.index_rows)[level.cursor++];
+      } else {
+        size_t n = instance_.NumTuples(level.atom.relation);
+        if (level.cursor >= n) break;
+        row = static_cast<int32_t>(level.cursor++);
+      }
+      ++tuples_scanned_;
+      if (TryRow(level, row)) {
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      if (depth + 1 == levels_.size()) return true;
+      ++depth;
+      EnterLevel(depth);
+    } else {
+      level.entered = false;
+      if (depth == 0) {
+        done_ = true;
+        return false;
+      }
+      --depth;
+    }
+  }
+}
+
+std::vector<Binding> EvaluateAll(const Instance& instance,
+                                 const std::vector<Atom>& atoms,
+                                 const Binding& initial, EvalOptions options) {
+  std::vector<Binding> results;
+  Binding binding = initial;
+  MatchIterator it(instance, atoms, &binding, options);
+  while (it.Next()) results.push_back(binding);
+  return results;
+}
+
+bool HasMatch(const Instance& instance, const std::vector<Atom>& atoms,
+              const Binding& initial, EvalOptions options) {
+  Binding binding = initial;
+  MatchIterator it(instance, atoms, &binding, options);
+  return it.Next();
+}
+
+}  // namespace spider

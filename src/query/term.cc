@@ -1,0 +1,26 @@
+#include "query/term.h"
+
+#include <sstream>
+
+namespace spider {
+
+std::string AtomToString(const Atom& atom, const Schema& schema,
+                         const std::vector<std::string>& var_names) {
+  std::ostringstream os;
+  os << schema.relation(atom.relation).name() << '(';
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i > 0) os << ", ";
+    const Term& t = atom.terms[i];
+    if (t.is_const()) {
+      os << t.value();
+    } else if (static_cast<size_t>(t.var()) < var_names.size()) {
+      os << var_names[t.var()];
+    } else {
+      os << "?v" << t.var();
+    }
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace spider

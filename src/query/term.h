@@ -1,0 +1,54 @@
+#ifndef SPIDER_QUERY_TERM_H_
+#define SPIDER_QUERY_TERM_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/value.h"
+#include "catalog/schema.h"
+
+namespace spider {
+
+/// Index of a variable within the variable table of its enclosing formula
+/// (dependency or query). Variables are scoped locally to that formula.
+using VarId = int32_t;
+
+/// One position of an atom: either a variable or a constant.
+class Term {
+ public:
+  static Term Var(VarId v) { return Term(v, Value()); }
+  static Term Const(Value v) { return Term(-1, std::move(v)); }
+
+  bool is_var() const { return var_ >= 0; }
+  bool is_const() const { return var_ < 0; }
+  VarId var() const { return var_; }
+  const Value& value() const { return value_; }
+
+  friend bool operator==(const Term&, const Term&) = default;
+
+ private:
+  Term(VarId var, Value value) : var_(var), value_(std::move(value)) {}
+
+  VarId var_;
+  Value value_;
+};
+
+/// A relational atom R(t1, ..., tk) over some schema. Which schema (source
+/// or target) is determined by the enclosing formula.
+struct Atom {
+  RelationId relation = kInvalidRelation;
+  std::vector<Term> terms;
+
+  friend bool operator==(const Atom&, const Atom&) = default;
+};
+
+/// Renders an atom using `schema` for the relation name and `var_names`
+/// (indexed by VarId) for variables.
+std::string AtomToString(const Atom& atom, const Schema& schema,
+                         const std::vector<std::string>& var_names);
+
+}  // namespace spider
+
+#endif  // SPIDER_QUERY_TERM_H_

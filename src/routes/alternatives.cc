@@ -1,0 +1,64 @@
+#include "routes/alternatives.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spider {
+
+RouteEnumerator::RouteEnumerator(const SchemaMapping& mapping,
+                                 const Instance& source,
+                                 const Instance& target,
+                                 std::vector<FactRef> js,
+                                 const RouteOptions& options)
+    : forest_(mapping, source, target, js, options), js_(std::move(js)) {}
+
+std::string RouteEnumerator::StepSetKey(const Route& route) {
+  std::vector<SatStep> steps = route.steps();
+  std::sort(steps.begin(), steps.end(), SatStepLess);
+  steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+  std::ostringstream os;
+  for (const SatStep& step : steps) {
+    os << step.tgd << '|';
+    for (size_t v = 0; v < step.h.size(); ++v) {
+      if (step.h.IsBound(static_cast<VarId>(v))) {
+        os << step.h.Get(static_cast<VarId>(v)) << ',';
+      } else {
+        os << "_,";
+      }
+    }
+    os << ';';
+  }
+  return os.str();
+}
+
+void RouteEnumerator::Refill() {
+  // Enumerate with a growing cap against the (memoized) lazy forest until a
+  // new distinct route shows up or the enumeration completes.
+  while (!exhausted_ && buffer_.size() <= cursor_) {
+    NaivePrintOptions opts;
+    opts.max_routes = cap_;
+    NaivePrintResult result = NaivePrint(&forest_, js_, opts);
+    for (Route& route : result.routes) {
+      if (seen_.insert(StepSetKey(route)).second) {
+        buffer_.push_back(std::move(route));
+      }
+    }
+    if (!result.truncated) {
+      exhausted_ = true;
+    } else if (cap_ >= (size_t{1} << 22)) {
+      // Deduplication may collapse an astronomically large enumeration;
+      // stop growing at ~4M raw routes.
+      exhausted_ = true;
+    } else {
+      cap_ *= 4;
+    }
+  }
+}
+
+std::optional<Route> RouteEnumerator::Next() {
+  if (cursor_ >= buffer_.size()) Refill();
+  if (cursor_ >= buffer_.size()) return std::nullopt;
+  return buffer_[cursor_++];
+}
+
+}  // namespace spider

@@ -1,0 +1,54 @@
+#ifndef SPIDER_ROUTES_ALTERNATIVES_H_
+#define SPIDER_ROUTES_ALTERNATIVES_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "routes/naive_print.h"
+#include "routes/route.h"
+#include "routes/route_forest.h"
+
+namespace spider {
+
+/// Enumerates alternative routes for a set of selected target facts on
+/// demand (§3.4: "we have extended our algorithms for computing one route to
+/// generate alternative routes at the user's request").
+///
+/// Implementation: a lazily expanded route forest shared across requests —
+/// each Next() call enumerates with a growing cap, expanding (and paying
+/// findHom cost for) only the forest region the enumeration reaches, so the
+/// user's "debugging time" is exploited between requests. Routes that use
+/// the same set of satisfaction steps (i.e. strat-equivalent routes) are
+/// reported once.
+class RouteEnumerator {
+ public:
+  RouteEnumerator(const SchemaMapping& mapping, const Instance& source,
+                  const Instance& target, std::vector<FactRef> js,
+                  const RouteOptions& options = {});
+
+  /// Returns the next distinct route, or std::nullopt when exhausted.
+  std::optional<Route> Next();
+
+  /// Routes handed out so far.
+  size_t produced() const { return cursor_; }
+
+  const RouteForest& forest() const { return forest_; }
+
+ private:
+  void Refill();
+  static std::string StepSetKey(const Route& route);
+
+  RouteForest forest_;
+  std::vector<FactRef> js_;
+  std::vector<Route> buffer_;
+  std::unordered_set<std::string> seen_;
+  size_t cursor_ = 0;
+  size_t cap_ = 4;
+  bool exhausted_ = false;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_ROUTES_ALTERNATIVES_H_

@@ -1,0 +1,80 @@
+#include "routes/fact_util.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "base/status.h"
+
+namespace spider {
+
+std::vector<FactRef> ResolveFacts(const Instance& instance, Side side,
+                                  const std::vector<Atom>& atoms,
+                                  const Binding& h) {
+  std::vector<FactRef> facts;
+  std::unordered_set<FactRef, FactRefHash> seen;
+  facts.reserve(atoms.size());
+  for (const Atom& atom : atoms) {
+    Tuple tuple = h.Instantiate(atom);
+    std::optional<int32_t> row = instance.FindRow(atom.relation, tuple);
+    SPIDER_CHECK(row.has_value(),
+                 "instantiated atom " +
+                     instance.schema().relation(atom.relation).name() +
+                     tuple.ToString() + " is not a fact of the instance");
+    FactRef fact{side, atom.relation, *row};
+    if (seen.insert(fact).second) facts.push_back(fact);
+  }
+  return facts;
+}
+
+std::vector<FactRef> LhsFacts(const SchemaMapping& mapping, TgdId tgd,
+                              const Binding& h, const Instance& source,
+                              const Instance& target) {
+  const Tgd& dep = mapping.tgd(tgd);
+  if (dep.source_to_target()) {
+    return ResolveFacts(source, Side::kSource, dep.lhs(), h);
+  }
+  return ResolveFacts(target, Side::kTarget, dep.lhs(), h);
+}
+
+std::vector<FactRef> RhsFacts(const SchemaMapping& mapping, TgdId tgd,
+                              const Binding& h, const Instance& target) {
+  return ResolveFacts(target, Side::kTarget, mapping.tgd(tgd).rhs(), h);
+}
+
+const Tuple& Deref(const FactRef& fact, const Instance& source,
+                   const Instance& target) {
+  const Instance& instance = fact.side == Side::kSource ? source : target;
+  return instance.tuple(fact.relation, fact.row);
+}
+
+std::string FactToString(const FactRef& fact, const Instance& source,
+                         const Instance& target) {
+  const Instance& instance = fact.side == Side::kSource ? source : target;
+  std::ostringstream os;
+  os << instance.schema().relation(fact.relation).name()
+     << instance.tuple(fact.relation, fact.row);
+  return os.str();
+}
+
+namespace {
+FactRef RequireFact(const Instance& instance, Side side,
+                    const std::string& relation, const Tuple& tuple) {
+  RelationId rel = instance.schema().Require(relation);
+  std::optional<int32_t> row = instance.FindRow(rel, tuple);
+  SPIDER_CHECK(row.has_value(), "fact " + relation + tuple.ToString() +
+                                    " is not in the instance");
+  return FactRef{side, rel, *row};
+}
+}  // namespace
+
+FactRef RequireTargetFact(const Instance& target, const std::string& relation,
+                          const Tuple& tuple) {
+  return RequireFact(target, Side::kTarget, relation, tuple);
+}
+
+FactRef RequireSourceFact(const Instance& source, const std::string& relation,
+                          const Tuple& tuple) {
+  return RequireFact(source, Side::kSource, relation, tuple);
+}
+
+}  // namespace spider

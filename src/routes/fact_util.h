@@ -1,0 +1,52 @@
+#ifndef SPIDER_ROUTES_FACT_UTIL_H_
+#define SPIDER_ROUTES_FACT_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "base/tuple.h"
+#include "mapping/schema_mapping.h"
+#include "query/binding.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Resolves the facts h(atoms) inside `instance` (which lives on `side`).
+/// Every instantiated atom must exist in the instance; throws SpiderError
+/// otherwise (callers only instantiate bindings produced by findHom, which
+/// guarantees membership). Duplicate facts are collapsed, preserving first
+/// occurrence order.
+std::vector<FactRef> ResolveFacts(const Instance& instance, Side side,
+                                  const std::vector<Atom>& atoms,
+                                  const Binding& h);
+
+/// LHS facts of h(σ): in the source instance for an s-t tgd, in the target
+/// instance for a target tgd.
+std::vector<FactRef> LhsFacts(const SchemaMapping& mapping, TgdId tgd,
+                              const Binding& h, const Instance& source,
+                              const Instance& target);
+
+/// RHS facts of h(σ), always in the target instance.
+std::vector<FactRef> RhsFacts(const SchemaMapping& mapping, TgdId tgd,
+                              const Binding& h, const Instance& target);
+
+/// The tuple a FactRef denotes.
+const Tuple& Deref(const FactRef& fact, const Instance& source,
+                   const Instance& target);
+
+/// Renders a fact as `Rel(v1, ...)`.
+std::string FactToString(const FactRef& fact, const Instance& source,
+                         const Instance& target);
+
+/// Finds the FactRef of a target fact written as relation name + values;
+/// throws SpiderError when the fact is not in the instance.
+FactRef RequireTargetFact(const Instance& target, const std::string& relation,
+                          const Tuple& tuple);
+
+/// Finds the FactRef of a source fact; throws when absent.
+FactRef RequireSourceFact(const Instance& source, const std::string& relation,
+                          const Tuple& tuple);
+
+}  // namespace spider
+
+#endif  // SPIDER_ROUTES_FACT_UTIL_H_

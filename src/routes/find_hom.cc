@@ -1,0 +1,135 @@
+#include "routes/find_hom.h"
+
+#include <unordered_set>
+
+#include "base/status.h"
+
+namespace spider {
+
+namespace {
+const Tuple& ProbeTuple(const Instance& target, const FactRef& fact) {
+  SPIDER_CHECK(fact.side == Side::kTarget, "findHom probes target facts");
+  return target.tuple(fact.relation, fact.row);
+}
+}  // namespace
+
+FindHomIterator::FindHomIterator(const SchemaMapping& mapping,
+                                 const Instance& source,
+                                 const Instance& target, const FactRef& fact,
+                                 TgdId tgd, const RouteOptions& options,
+                                 RouteStats* stats)
+    : mapping_(mapping),
+      source_(source),
+      target_(target),
+      tgd_(mapping.tgd(tgd)),
+      tgd_id_(tgd),
+      probe_(ProbeTuple(target, fact)),
+      probe_rel_(fact.relation),
+      options_(options),
+      binding_(tgd_.num_vars()),
+      stats_(stats) {
+  if (stats_ != nullptr) ++stats_->findhom_calls;
+  if (options_.eager_findhom) {
+    Binding h;
+    while (NextLazy(&h)) eager_results_.push_back(h);
+  }
+}
+
+bool FindHomIterator::Next(Binding* h) {
+  if (options_.eager_findhom) {
+    if (eager_cursor_ >= eager_results_.size()) return false;
+    *h = eager_results_[eager_cursor_++];
+    return true;
+  }
+  return NextLazy(h);
+}
+
+bool FindHomIterator::UnifyAtom() {
+  const Atom& atom = tgd_.rhs()[atom_index_];
+  if (atom.relation != probe_rel_) return false;
+  for (size_t col = 0; col < atom.terms.size(); ++col) {
+    const Term& t = atom.terms[col];
+    const Value& v = probe_.at(col);
+    bool ok;
+    if (t.is_const()) {
+      ok = (t.value() == v);
+    } else if (binding_.IsBound(t.var())) {
+      ok = (binding_.Get(t.var()) == v);
+    } else {
+      binding_.Set(t.var(), v);
+      v1_bound_.push_back(t.var());
+      ok = true;
+    }
+    if (!ok) {
+      UnbindV1();
+      return false;
+    }
+  }
+  return true;
+}
+
+void FindHomIterator::UnbindV1() {
+  for (VarId v : v1_bound_) binding_.Unset(v);
+  v1_bound_.clear();
+}
+
+bool FindHomIterator::NextLazy(Binding* h) {
+  // Duplicate assignments can only arise when the probed relation occurs in
+  // more than one RHS atom.
+  size_t probe_atoms = 0;
+  for (const Atom& atom : tgd_.rhs()) {
+    if (atom.relation == probe_rel_) ++probe_atoms;
+  }
+  const bool dedup = probe_atoms > 1;
+  const Instance& lhs_instance =
+      tgd_.source_to_target() ? source_ : target_;
+  while (true) {
+    if (rhs_iter_ != nullptr) {
+      if (rhs_iter_->Next()) {
+        if (dedup) {
+          bool fresh = true;
+          for (const Binding& b : seen_) {
+            if (b == binding_) {
+              fresh = false;
+              break;
+            }
+          }
+          if (!fresh) continue;
+          seen_.push_back(binding_);
+        }
+        ++assignments_enumerated_;
+        if (stats_ != nullptr) ++stats_->findhom_successes;
+        *h = binding_;
+        return true;
+      }
+      rhs_iter_.reset();
+    }
+    if (lhs_iter_ != nullptr) {
+      if (lhs_iter_->Next()) {
+        rhs_iter_ = std::make_unique<MatchIterator>(target_, tgd_.rhs(),
+                                                    &binding_, options_.eval);
+        continue;
+      }
+      lhs_iter_.reset();
+      UnbindV1();
+      ++atom_index_;
+    }
+    while (atom_index_ < tgd_.rhs().size() && !UnifyAtom()) ++atom_index_;
+    if (atom_index_ >= tgd_.rhs().size()) return false;
+    lhs_iter_ = std::make_unique<MatchIterator>(lhs_instance, tgd_.lhs(),
+                                                &binding_, options_.eval);
+  }
+}
+
+std::optional<Binding> FindHomFirst(const SchemaMapping& mapping,
+                                    const Instance& source,
+                                    const Instance& target,
+                                    const FactRef& fact, TgdId tgd,
+                                    const RouteOptions& options) {
+  FindHomIterator it(mapping, source, target, fact, tgd, options);
+  Binding h;
+  if (it.Next(&h)) return h;
+  return std::nullopt;
+}
+
+}  // namespace spider

@@ -1,0 +1,95 @@
+#ifndef SPIDER_ROUTES_FIND_HOM_H_
+#define SPIDER_ROUTES_FIND_HOM_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/tuple.h"
+#include "mapping/schema_mapping.h"
+#include "query/binding.h"
+#include "query/evaluator.h"
+#include "routes/options.h"
+
+namespace spider {
+
+/// The findHom procedure (Fig. 4 of the paper): given a target fact t and a
+/// tgd σ : ∀x φ(x) → ∃y ψ(x, y), enumerates assignments h over ALL variables
+/// of σ (universal and existential) such that
+///   h(φ(x)) ⊆ K,  h(ψ(x, y)) ⊆ J,  and  t ∈ h(ψ(x, y)),
+/// where K is the source instance I for an s-t tgd and the solution J for a
+/// target tgd.
+///
+/// Assignments are derived in three stages, mirroring the paper:
+///   v1 — match t against a RHS atom of σ with t's relation;
+///   v2 — evaluate the (partially instantiated) LHS as a selection query
+///        against K;
+///   v3 — evaluate the RHS as a selection query against J, binding the
+///        existential variables.
+/// All (atom, v2, v3) combinations are enumerated; assignments are fetched
+/// lazily (one Next() call per assignment) unless RouteOptions::eager_findhom
+/// asks for up-front materialization (the paper's XML mode).
+class FindHomIterator {
+ public:
+  /// When `stats` is non-null, findhom_calls is bumped once and
+  /// findhom_successes once per assignment enumerated internally (in eager
+  /// mode the full enumeration is charged at construction).
+  FindHomIterator(const SchemaMapping& mapping, const Instance& source,
+                  const Instance& target, const FactRef& fact, TgdId tgd,
+                  const RouteOptions& options = {},
+                  RouteStats* stats = nullptr);
+
+  FindHomIterator(const FindHomIterator&) = delete;
+  FindHomIterator& operator=(const FindHomIterator&) = delete;
+
+  /// Produces the next assignment into *h (a total binding over the tgd's
+  /// variables). Returns false when exhausted. Duplicate assignments (the
+  /// same h reachable through different RHS atom choices) are suppressed.
+  bool Next(Binding* h);
+
+  /// Assignments enumerated internally so far. In lazy mode this equals the
+  /// number of successful Next() calls; in eager mode the full enumeration
+  /// happens up front (the paper's XML engine behaviour), so this reports
+  /// the materialized count regardless of how many were consumed.
+  uint64_t assignments_enumerated() const { return assignments_enumerated_; }
+
+ private:
+  bool NextLazy(Binding* h);
+  /// Attempts to unify the RHS atom at `atom_index_` with the probed tuple;
+  /// on success binds the atom's variables (recorded in v1_bound_).
+  bool UnifyAtom();
+  void UnbindV1();
+
+  const SchemaMapping& mapping_;
+  const Instance& source_;
+  const Instance& target_;
+  const Tgd& tgd_;
+  TgdId tgd_id_;
+  const Tuple& probe_;       // the probed fact's tuple
+  RelationId probe_rel_;
+  RouteOptions options_;
+
+  Binding binding_;
+  size_t atom_index_ = 0;    // next RHS atom to try for v1
+  std::vector<VarId> v1_bound_;
+  std::unique_ptr<MatchIterator> lhs_iter_;  // v2 over K
+  std::unique_ptr<MatchIterator> rhs_iter_;  // v3 over J
+  std::vector<Binding> seen_;  // small: duplicate suppression
+
+  uint64_t assignments_enumerated_ = 0;
+  RouteStats* stats_ = nullptr;
+
+  // Eager mode: everything materialized at construction.
+  std::vector<Binding> eager_results_;
+  size_t eager_cursor_ = 0;
+};
+
+/// Convenience wrapper: the first assignment, if any.
+std::optional<Binding> FindHomFirst(const SchemaMapping& mapping,
+                                    const Instance& source,
+                                    const Instance& target,
+                                    const FactRef& fact, TgdId tgd,
+                                    const RouteOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ROUTES_FIND_HOM_H_

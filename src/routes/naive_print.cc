@@ -1,0 +1,105 @@
+#include "routes/naive_print.h"
+
+#include <unordered_set>
+
+namespace spider {
+
+namespace {
+
+using StepSeq = std::vector<SatStep>;
+
+class Printer {
+ public:
+  Printer(RouteForest* forest, const NaivePrintOptions& options)
+      : forest_(forest), options_(options) {}
+
+  /// L(t1) x ... x L(tk): concatenations of routes for the individual facts.
+  std::vector<StepSeq> RoutesForSet(const std::vector<FactRef>& facts) {
+    std::vector<StepSeq> result = {StepSeq{}};
+    for (const FactRef& fact : facts) {
+      std::vector<StepSeq> per_fact = RoutesForOne(fact);
+      if (per_fact.empty()) return {};
+      std::vector<StepSeq> product;
+      for (const StepSeq& prefix : result) {
+        for (const StepSeq& suffix : per_fact) {
+          if (Exhausted(product.size())) break;
+          StepSeq combined = prefix;
+          combined.insert(combined.end(), suffix.begin(), suffix.end());
+          work_ += combined.size();
+          product.push_back(std::move(combined));
+        }
+        if (Exhausted(product.size())) break;
+      }
+      result = std::move(product);
+      if (result.empty()) return {};
+    }
+    return result;
+  }
+
+  bool truncated() const { return truncated_; }
+
+ private:
+  bool Exhausted(size_t routes_so_far) {
+    if (routes_so_far >= options_.max_routes || work_ >= options_.max_work) {
+      truncated_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  std::vector<StepSeq> RoutesForOne(const FactRef& fact) {
+    ancestors_.insert(fact);
+    const RouteForest::Node& node = forest_->Expand(fact);
+    std::vector<StepSeq> result;
+    for (const RouteForest::Branch& branch : node.branches) {
+      if (Exhausted(result.size())) break;
+      const Tgd& tgd = forest_->mapping().tgd(branch.tgd);
+      if (tgd.source_to_target()) {
+        // L1: a one-step route witnesses the fact directly from the source.
+        result.push_back(StepSeq{SatStep{branch.tgd, branch.h}});
+        ++work_;
+        continue;
+      }
+      // L2/L3: follow the branch unless one of its LHS facts is an ancestor.
+      bool cyclic = false;
+      for (const FactRef& f : branch.lhs_facts) {
+        if (ancestors_.count(f) > 0) {
+          cyclic = true;
+          break;
+        }
+      }
+      if (cyclic) continue;
+      std::vector<StepSeq> sub = RoutesForSet(branch.lhs_facts);
+      for (StepSeq& seq : sub) {
+        if (Exhausted(result.size())) break;
+        seq.push_back(SatStep{branch.tgd, branch.h});
+        ++work_;
+        result.push_back(std::move(seq));
+      }
+    }
+    ancestors_.erase(fact);
+    return result;
+  }
+
+  RouteForest* forest_;
+  NaivePrintOptions options_;
+  std::unordered_set<FactRef, FactRefHash> ancestors_;
+  uint64_t work_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+NaivePrintResult NaivePrint(RouteForest* forest,
+                            const std::vector<FactRef>& js,
+                            const NaivePrintOptions& options) {
+  Printer printer(forest, options);
+  NaivePrintResult result;
+  for (StepSeq& seq : printer.RoutesForSet(js)) {
+    result.routes.push_back(Route(std::move(seq)));
+  }
+  result.truncated = printer.truncated();
+  return result;
+}
+
+}  // namespace spider

@@ -1,0 +1,41 @@
+#ifndef SPIDER_ROUTES_NAIVE_PRINT_H_
+#define SPIDER_ROUTES_NAIVE_PRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "routes/route.h"
+#include "routes/route_forest.h"
+
+namespace spider {
+
+struct NaivePrintOptions {
+  /// Cap on the number of routes returned (there may be exponentially many).
+  size_t max_routes = 1024;
+  /// Budget on total step copies performed during enumeration.
+  uint64_t max_work = 10'000'000;
+};
+
+struct NaivePrintResult {
+  std::vector<Route> routes;
+  /// True when a cap stopped the enumeration early.
+  bool truncated = false;
+};
+
+/// NaivePrint (Fig. 6): enumerates routes for `js` from a route forest. The
+/// ANCESTORS stack prevents cycles: a target-tgd branch is followed only
+/// when none of its LHS facts is an ancestor of the current fact. Routes for
+/// a set of facts are the concatenations (cartesian product) of routes for
+/// the individual facts, so emitted routes may contain redundant steps —
+/// Theorem 3.7 guarantees that every minimal route for `js` has the same
+/// stratified interpretation as one of the emitted routes.
+///
+/// The forest is taken by pointer because enumeration expands nodes lazily;
+/// on a forest built by ComputeAllRoutes the expansion is already complete.
+NaivePrintResult NaivePrint(RouteForest* forest,
+                            const std::vector<FactRef>& js,
+                            const NaivePrintOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ROUTES_NAIVE_PRINT_H_

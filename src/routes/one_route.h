@@ -1,0 +1,48 @@
+#ifndef SPIDER_ROUTES_ONE_ROUTE_H_
+#define SPIDER_ROUTES_ONE_ROUTE_H_
+
+#include <vector>
+
+#include "base/tuple.h"
+#include "mapping/schema_mapping.h"
+#include "routes/options.h"
+#include "routes/route.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+struct OneRouteResult {
+  /// True when every selected fact has a route; by Theorem 3.10 this holds
+  /// exactly when a route for Js exists.
+  bool found = false;
+  /// The computed route (valid for the proven subset of Js even on partial
+  /// failure; empty when nothing was provable).
+  Route route;
+  /// Selected facts for which no route exists.
+  std::vector<FactRef> unproven;
+  RouteStats stats;
+};
+
+/// ComputeOneRoute (Figs. 7 and 8): produces one route for the selected
+/// target facts fast, if one exists, in polynomial time in |I| + |J| + |Js|
+/// (Proposition 3.9).
+///
+/// The search explores one successful branch per fact: s-t tgds are tried
+/// before target tgds; ACTIVETUPLES prevents re-exploration; the UNPROVEN
+/// set plus the Infer procedure propagate proven-ness to facts whose
+/// witnessing branch was suspended on a cycle, which is required for
+/// completeness (see the discussion of Example 3.8). Matching the paper, the
+/// returned sequence may contain redundant steps (Infer fires every
+/// applicable suspended triple); use Route::Minimize for a minimal route.
+///
+/// RouteOptions::propagate_rhs_proven enables the §3.3 optimization: all
+/// facts produced by a successful findHom step are marked proven, not just
+/// the probed one.
+OneRouteResult ComputeOneRoute(const SchemaMapping& mapping,
+                               const Instance& source, const Instance& target,
+                               const std::vector<FactRef>& js,
+                               const RouteOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ROUTES_ONE_ROUTE_H_

@@ -1,0 +1,40 @@
+#ifndef SPIDER_ROUTES_OPTIONS_H_
+#define SPIDER_ROUTES_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "query/evaluator.h"
+
+namespace spider {
+
+/// Options shared by the route algorithms.
+struct RouteOptions {
+  /// Options for the conjunctive queries issued by findHom.
+  EvalOptions eval;
+
+  /// When true, findHom materializes every assignment up front instead of
+  /// fetching them one at a time. This models the paper's XML setting, where
+  /// "all the assignments are fetched at once, since the result produced by
+  /// the Saxon engine is stored in memory" (§3.3). The relational default is
+  /// lazy, cursor-style fetching.
+  bool eager_findhom = false;
+
+  /// §3.3 optimization for ComputeOneRoute: when a findHom step succeeds,
+  /// conclude that *all* target tuples produced by the tgd (not only the
+  /// probed one) are proven, avoiding redundant findHom calls.
+  bool propagate_rhs_proven = true;
+};
+
+/// Statistics accumulated by the route algorithms.
+struct RouteStats {
+  uint64_t findhom_calls = 0;       ///< findHom invocations (per tgd).
+  uint64_t findhom_successes = 0;   ///< Assignments produced.
+  uint64_t infer_fires = 0;         ///< UNPROVEN triples fired by Infer.
+  uint64_t nodes_expanded = 0;      ///< Route forest nodes expanded.
+  uint64_t branches_added = 0;      ///< Route forest branches added.
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_ROUTES_OPTIONS_H_

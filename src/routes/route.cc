@@ -1,0 +1,162 @@
+#include "routes/route.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "base/status.h"
+#include "routes/fact_util.h"
+
+namespace spider {
+
+bool SatStepLess(const SatStep& a, const SatStep& b) {
+  if (a.tgd != b.tgd) return a.tgd < b.tgd;
+  return a.h < b.h;
+}
+
+std::vector<FactRef> Route::ProducedFacts(const SchemaMapping& mapping,
+                                          const Instance& /*source*/,
+                                          const Instance& target) const {
+  std::vector<FactRef> produced;
+  std::unordered_set<FactRef, FactRefHash> seen;
+  for (const SatStep& step : steps_) {
+    for (const FactRef& f : RhsFacts(mapping, step.tgd, step.h, target)) {
+      if (seen.insert(f).second) produced.push_back(f);
+    }
+  }
+  return produced;
+}
+
+bool Route::Validate(const SchemaMapping& mapping, const Instance& source,
+                     const Instance& target, const std::vector<FactRef>& js,
+                     std::string* why) const {
+  auto fail = [&](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  if (steps_.empty()) return fail("a route must be a non-empty sequence");
+  std::unordered_set<FactRef, FactRefHash> produced;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const SatStep& step = steps_[i];
+    SPIDER_CHECK(step.tgd >= 0 &&
+                     static_cast<size_t>(step.tgd) < mapping.NumTgds(),
+                 "route step refers to an unknown tgd");
+    const Tgd& tgd = mapping.tgd(step.tgd);
+    if (step.h.size() != tgd.num_vars() || !step.h.IsTotal()) {
+      return fail("step " + std::to_string(i + 1) + " (tgd '" + tgd.name() +
+                  "'): the homomorphism must cover all variables");
+    }
+    // LHS availability. ResolveFacts throws when an instantiated atom is not
+    // a fact of the ambient instance at all; catch that as invalidity.
+    std::vector<FactRef> lhs;
+    std::vector<FactRef> rhs;
+    try {
+      lhs = LhsFacts(mapping, step.tgd, step.h, source, target);
+      rhs = RhsFacts(mapping, step.tgd, step.h, target);
+    } catch (const SpiderError& e) {
+      return fail("step " + std::to_string(i + 1) + " (tgd '" + tgd.name() +
+                  "'): " + e.what());
+    }
+    if (!tgd.source_to_target()) {
+      for (const FactRef& f : lhs) {
+        if (produced.find(f) == produced.end()) {
+          return fail("step " + std::to_string(i + 1) + " (tgd '" +
+                      tgd.name() + "'): LHS fact " +
+                      FactToString(f, source, target) +
+                      " was not produced by an earlier step");
+        }
+      }
+    }
+    for (const FactRef& f : rhs) produced.insert(f);
+  }
+  for (const FactRef& f : js) {
+    if (f.side != Side::kTarget) {
+      return fail("selected facts must be target facts");
+    }
+    if (produced.find(f) == produced.end()) {
+      return fail("selected fact " + FactToString(f, source, target) +
+                  " is not produced by the route");
+    }
+  }
+  return true;
+}
+
+bool Route::IsMinimal(const SchemaMapping& mapping, const Instance& source,
+                      const Instance& target,
+                      const std::vector<FactRef>& js) const {
+  for (size_t skip = 0; skip < steps_.size(); ++skip) {
+    std::vector<SatStep> reduced;
+    reduced.reserve(steps_.size() - 1);
+    for (size_t i = 0; i < steps_.size(); ++i) {
+      if (i != skip) reduced.push_back(steps_[i]);
+    }
+    if (Route(std::move(reduced)).Validate(mapping, source, target, js)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Route Route::Minimize(const SchemaMapping& mapping, const Instance& source,
+                      const Instance& target,
+                      const std::vector<FactRef>& js) const {
+  std::string why;
+  SPIDER_CHECK(Validate(mapping, source, target, js, &why),
+               "cannot minimize an invalid route: " + why);
+  std::vector<SatStep> current = steps_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Scan from the back: later steps are more likely to be redundant
+    // duplicates appended by Infer.
+    for (size_t i = current.size(); i-- > 0;) {
+      std::vector<SatStep> reduced;
+      reduced.reserve(current.size() - 1);
+      for (size_t j = 0; j < current.size(); ++j) {
+        if (j != i) reduced.push_back(current[j]);
+      }
+      if (!reduced.empty() &&
+          Route(reduced).Validate(mapping, source, target, js)) {
+        current = std::move(reduced);
+        changed = true;
+      }
+    }
+  }
+  return Route(std::move(current));
+}
+
+std::string Route::ToString(const SchemaMapping& mapping,
+                            const Instance& source,
+                            const Instance& target) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const SatStep& step = steps_[i];
+    const Tgd& tgd = mapping.tgd(step.tgd);
+    os << "step " << (i + 1) << ": ";
+    std::vector<FactRef> lhs =
+        LhsFacts(mapping, step.tgd, step.h, source, target);
+    for (size_t k = 0; k < lhs.size(); ++k) {
+      if (k > 0) os << " & ";
+      os << FactToString(lhs[k], source, target);
+    }
+    os << "\n  --" << tgd.name() << ", " << step.h.ToString(tgd.var_names())
+       << "-->\n  ";
+    std::vector<FactRef> rhs = RhsFacts(mapping, step.tgd, step.h, target);
+    for (size_t k = 0; k < rhs.size(); ++k) {
+      if (k > 0) os << " & ";
+      os << FactToString(rhs[k], source, target);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Route::TgdNames(const SchemaMapping& mapping) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << mapping.tgd(steps_[i].tgd).name();
+  }
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,88 @@
+#ifndef SPIDER_ROUTES_ROUTE_H_
+#define SPIDER_ROUTES_ROUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/tuple.h"
+#include "mapping/schema_mapping.h"
+#include "query/binding.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// One satisfaction step (Definition 3.1): a tgd σ together with a
+/// homomorphism h defined over ALL variables of σ (universal and
+/// existential). Satisfying σ on (I, J_i) with h yields
+/// J_{i+1} = J_i ∪ h(ψ); h(ψ) is always contained in the ambient solution J.
+struct SatStep {
+  TgdId tgd = -1;
+  Binding h;
+
+  friend bool operator==(const SatStep&, const SatStep&) = default;
+};
+
+/// Canonical ordering for steps (by tgd id, then assignment); used by
+/// stratified interpretations and route deduplication.
+bool SatStepLess(const SatStep& a, const SatStep& b);
+
+/// A route for a set of target facts Js (Definition 3.3): a finite non-empty
+/// sequence of satisfaction steps (I, ∅) → ... → (I, J_n) with J_n ⊆ J and
+/// Js ⊆ J_n.
+class Route {
+ public:
+  Route() = default;
+  explicit Route(std::vector<SatStep> steps) : steps_(std::move(steps)) {}
+
+  const std::vector<SatStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+  size_t size() const { return steps_.size(); }
+
+  void Append(SatStep step) { steps_.push_back(std::move(step)); }
+
+  /// The target facts produced by the route (the J_n of Definition 3.3),
+  /// in first-production order.
+  std::vector<FactRef> ProducedFacts(const SchemaMapping& mapping,
+                                     const Instance& source,
+                                     const Instance& target) const;
+
+  /// Replays the route and checks Definition 3.1/3.3 validity for `js`:
+  /// (a) every step's LHS facts are available (source facts in I; target
+  ///     facts produced by earlier steps),
+  /// (b) every step's RHS facts are contained in the solution J,
+  /// (c) Js ⊆ J_n.
+  /// On failure, a description is stored in *why (if non-null).
+  bool Validate(const SchemaMapping& mapping, const Instance& source,
+                const Instance& target, const std::vector<FactRef>& js,
+                std::string* why = nullptr) const;
+
+  /// True when no single step can be dropped while the remaining sequence
+  /// is still a route for `js` (the paper's minimality notion).
+  bool IsMinimal(const SchemaMapping& mapping, const Instance& source,
+                 const Instance& target,
+                 const std::vector<FactRef>& js) const;
+
+  /// Greedily removes redundant steps (scanning repeatedly until fixpoint)
+  /// and returns a minimal route for `js`. The route must validate.
+  Route Minimize(const SchemaMapping& mapping, const Instance& source,
+                 const Instance& target,
+                 const std::vector<FactRef>& js) const;
+
+  /// Renders the route, one step per line:
+  ///   `--σ, {x -> ...}--> Rel(v, ...) & ...`.
+  std::string ToString(const SchemaMapping& mapping, const Instance& source,
+                       const Instance& target) const;
+
+  /// Compact form listing only tgd names: `s2 --m2--> t6 --m5--> t2` style
+  /// is rendered by the debugger; this prints `m2 -> m5`.
+  std::string TgdNames(const SchemaMapping& mapping) const;
+
+  friend bool operator==(const Route&, const Route&) = default;
+
+ private:
+  std::vector<SatStep> steps_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_ROUTES_ROUTE_H_

@@ -1,0 +1,153 @@
+#include "routes/route_forest.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "base/status.h"
+#include "routes/fact_util.h"
+#include "routes/find_hom.h"
+
+namespace spider {
+
+RouteForest::RouteForest(const SchemaMapping& mapping, const Instance& source,
+                         const Instance& target, std::vector<FactRef> roots,
+                         const RouteOptions& options)
+    : mapping_(&mapping),
+      source_(&source),
+      target_(&target),
+      roots_(std::move(roots)),
+      options_(options) {
+  for (const FactRef& f : roots_) {
+    SPIDER_CHECK(f.side == Side::kTarget,
+                 "route forests are rooted at target facts");
+  }
+}
+
+RouteForest::Node& RouteForest::GetOrCreate(const FactRef& fact) {
+  auto it = node_of_.find(fact);
+  if (it != node_of_.end()) return nodes_[it->second];
+  node_of_.emplace(fact, nodes_.size());
+  nodes_.push_back(Node{fact, false, {}});
+  return nodes_.back();
+}
+
+const RouteForest::Node& RouteForest::Expand(const FactRef& fact) {
+  Node& node = GetOrCreate(fact);
+  if (node.expanded) return node;
+  node.expanded = true;
+  ++stats_.nodes_expanded;
+  // Steps 2 and 3 of ComputeAllRoutes: one branch per (σ, h) pair, s-t tgds
+  // first, then target tgds.
+  auto add_branches = [&](const std::vector<TgdId>& tgds) {
+    for (TgdId tgd : tgds) {
+      FindHomIterator it(*mapping_, *source_, *target_, fact, tgd, options_,
+                         &stats_);
+      Binding h;
+      while (it.Next(&h)) {
+        Branch branch;
+        branch.tgd = tgd;
+        branch.h = h;
+        branch.lhs_facts = LhsFacts(*mapping_, tgd, h, *source_, *target_);
+        branch.rhs_facts = RhsFacts(*mapping_, tgd, h, *target_);
+        node.branches.push_back(std::move(branch));
+        ++stats_.branches_added;
+      }
+    }
+  };
+  add_branches(mapping_->st_tgds());
+  add_branches(mapping_->target_tgds());
+  return node;
+}
+
+const RouteForest::Node* RouteForest::Find(const FactRef& fact) const {
+  auto it = node_of_.find(fact);
+  return it == node_of_.end() ? nullptr : &nodes_[it->second];
+}
+
+void RouteForest::ExpandAll() {
+  std::vector<FactRef> worklist = roots_;
+  while (!worklist.empty()) {
+    FactRef fact = worklist.back();
+    worklist.pop_back();
+    const Node* existing = Find(fact);
+    if (existing != nullptr && existing->expanded) continue;
+    const Node& node = Expand(fact);
+    for (const Branch& branch : node.branches) {
+      if (mapping_->tgd(branch.tgd).source_to_target()) continue;
+      for (const FactRef& child : branch.lhs_facts) {
+        const Node* child_node = Find(child);
+        if (child_node == nullptr || !child_node->expanded) {
+          worklist.push_back(child);
+        }
+      }
+    }
+  }
+}
+
+size_t RouteForest::NumBranches() const {
+  size_t total = 0;
+  for (const Node& node : nodes_) total += node.branches.size();
+  return total;
+}
+
+size_t RouteForest::NumExpandedNodes() const {
+  size_t total = 0;
+  for (const Node& node : nodes_) {
+    if (node.expanded) ++total;
+  }
+  return total;
+}
+
+void RouteForest::AppendNode(
+    std::ostream& os, const FactRef& fact, int indent,
+    std::unordered_map<FactRef, bool, FactRefHash>* printed) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  const Node* node = Find(fact);
+  os << pad << FactToString(fact, *source_, *target_);
+  if (node == nullptr || !node->expanded) {
+    os << "  [unexpanded]\n";
+    return;
+  }
+  auto it = printed->find(fact);
+  if (it != printed->end()) {
+    os << "  [see above]\n";
+    return;
+  }
+  printed->emplace(fact, true);
+  os << '\n';
+  for (const Branch& branch : node->branches) {
+    const Tgd& tgd = mapping_->tgd(branch.tgd);
+    os << pad << "  <-- " << tgd.name() << ", "
+       << branch.h.ToString(tgd.var_names()) << '\n';
+    if (tgd.source_to_target()) {
+      for (const FactRef& f : branch.lhs_facts) {
+        os << pad << "    " << FactToString(f, *source_, *target_)
+           << "  [source]\n";
+      }
+    } else {
+      for (const FactRef& f : branch.lhs_facts) {
+        AppendNode(os, f, indent + 2, printed);
+      }
+    }
+  }
+}
+
+std::string RouteForest::ToString() const {
+  std::ostringstream os;
+  std::unordered_map<FactRef, bool, FactRefHash> printed;
+  for (const FactRef& root : roots_) {
+    AppendNode(os, root, 0, &printed);
+  }
+  return os.str();
+}
+
+RouteForest ComputeAllRoutes(const SchemaMapping& mapping,
+                             const Instance& source, const Instance& target,
+                             std::vector<FactRef> js,
+                             const RouteOptions& options) {
+  RouteForest forest(mapping, source, target, std::move(js), options);
+  forest.ExpandAll();
+  return forest;
+}
+
+}  // namespace spider

@@ -1,0 +1,109 @@
+#ifndef SPIDER_ROUTES_ROUTE_FOREST_H_
+#define SPIDER_ROUTES_ROUTE_FOREST_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/tuple.h"
+#include "mapping/schema_mapping.h"
+#include "routes/options.h"
+#include "routes/route.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// The route forest of ComputeAllRoutes (Fig. 3): a concise, polynomial-size
+/// representation of all routes for a set of selected target facts.
+///
+/// Each target fact encountered gets exactly one node (the ACTIVETUPLES
+/// memoization); under a node there is one branch per (σ, h) pair returned
+/// by findHom. A branch of a target tgd has the facts of LHS(h(σ)) as
+/// children (each resolved through the node map); a branch of an s-t tgd is
+/// a leaf whose LHS facts are source facts. Later occurrences of a fact
+/// reference its unique node rather than re-expanding it.
+///
+/// The forest expands lazily: Expand(fact) materializes the branches of one
+/// node; ExpandAll() drives a worklist from the roots to a full expansion
+/// (this is exactly ComputeAllRoutes). NaivePrint and the alternative-route
+/// enumerator work against the lazy interface, expanding only what they
+/// reach.
+class RouteForest {
+ public:
+  struct Branch {
+    TgdId tgd = -1;
+    Binding h;
+    /// LHS(h(σ)): source facts for an s-t tgd, target facts otherwise.
+    std::vector<FactRef> lhs_facts;
+    /// RHS(h(σ)) resolved in J.
+    std::vector<FactRef> rhs_facts;
+  };
+
+  struct Node {
+    FactRef fact;
+    bool expanded = false;
+    std::vector<Branch> branches;
+  };
+
+  RouteForest(const SchemaMapping& mapping, const Instance& source,
+              const Instance& target, std::vector<FactRef> roots,
+              const RouteOptions& options = {});
+
+  RouteForest(const RouteForest&) = delete;
+  RouteForest& operator=(const RouteForest&) = delete;
+  RouteForest(RouteForest&&) = default;
+
+  const std::vector<FactRef>& roots() const { return roots_; }
+  const SchemaMapping& mapping() const { return *mapping_; }
+  const Instance& source() const { return *source_; }
+  const Instance& target() const { return *target_; }
+
+  /// Returns the node for `fact`, expanding it (running findHom against
+  /// every tgd) on first use. Children of target-tgd branches are NOT
+  /// recursively expanded.
+  const Node& Expand(const FactRef& fact);
+
+  /// Returns the node if it exists (expanded or not), else nullptr.
+  const Node* Find(const FactRef& fact) const;
+
+  /// Fully expands the forest reachable from the roots (ComputeAllRoutes).
+  void ExpandAll();
+
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumBranches() const;
+  size_t NumExpandedNodes() const;
+  const RouteStats& stats() const { return stats_; }
+
+  /// Renders the forest as an indented tree (one tree per root); facts that
+  /// were already printed are cross-referenced instead of re-expanded,
+  /// mirroring Fig. 5's shared subtrees.
+  std::string ToString() const;
+
+ private:
+  Node& GetOrCreate(const FactRef& fact);
+  void AppendNode(std::ostream& os, const FactRef& fact, int indent,
+                  std::unordered_map<FactRef, bool, FactRefHash>* printed)
+      const;
+
+  const SchemaMapping* mapping_;
+  const Instance* source_;
+  const Instance* target_;
+  std::vector<FactRef> roots_;
+  RouteOptions options_;
+  std::deque<Node> nodes_;
+  std::unordered_map<FactRef, size_t, FactRefHash> node_of_;
+  RouteStats stats_;
+};
+
+/// ComputeAllRoutes (Fig. 3): constructs the fully expanded route forest for
+/// the selected target facts `js`. Runs in polynomial time in |I| + |J| +
+/// |Js| (Proposition 3.6).
+RouteForest ComputeAllRoutes(const SchemaMapping& mapping,
+                             const Instance& source, const Instance& target,
+                             std::vector<FactRef> js,
+                             const RouteOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ROUTES_ROUTE_FOREST_H_

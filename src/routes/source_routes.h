@@ -1,0 +1,61 @@
+#ifndef SPIDER_ROUTES_SOURCE_ROUTES_H_
+#define SPIDER_ROUTES_SOURCE_ROUTES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/tuple.h"
+#include "mapping/schema_mapping.h"
+#include "routes/options.h"
+#include "routes/route.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Routes for selected SOURCE facts (§3.4): which target data do the
+/// selected source tuples contribute to, and through which tgds?
+///
+/// ComputeSourceConsequences explores forward from the selected facts: first
+/// every s-t satisfaction step whose LHS uses a selected fact (and whose RHS
+/// lies in J), then every target-tgd step whose LHS facts have all been
+/// derived, to a fixpoint bounded by `max_steps`. The result records, for
+/// each derived target fact, the step that first derived it; RouteFor
+/// extracts a route (in the sense of Definition 3.3) that starts at a
+/// selected source fact and witnesses any chosen derived fact.
+struct ConsequenceForest {
+  /// All satisfaction steps discovered, in derivation order (a step's LHS
+  /// target facts are always produced by earlier steps).
+  std::vector<SatStep> steps;
+  /// The facts each step produced that were new at the time.
+  std::vector<std::vector<FactRef>> produced;
+  /// fact -> index into `steps` of its first producer.
+  std::unordered_map<FactRef, size_t, FactRefHash> producer;
+  /// The selected source facts the exploration started from.
+  std::vector<FactRef> selected;
+  bool truncated = false;
+
+  /// All target facts derived from the selection.
+  std::vector<FactRef> DerivedFacts() const;
+
+  /// A route producing `fact` (which must be a derived target fact): the
+  /// backward closure of producing steps, in derivation order. Throws
+  /// SpiderError when the fact was not derived.
+  Route RouteFor(const FactRef& fact, const SchemaMapping& mapping,
+                 const Instance& source, const Instance& target) const;
+};
+
+struct SourceRouteOptions {
+  RouteOptions route;
+  /// Bound on the number of satisfaction steps explored.
+  size_t max_steps = 100'000;
+};
+
+ConsequenceForest ComputeSourceConsequences(
+    const SchemaMapping& mapping, const Instance& source,
+    const Instance& target, const std::vector<FactRef>& selected,
+    const SourceRouteOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ROUTES_SOURCE_ROUTES_H_

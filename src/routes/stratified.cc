@@ -1,0 +1,92 @@
+#include "routes/stratified.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/status.h"
+#include "routes/fact_util.h"
+
+namespace spider {
+
+StratifiedInterpretation Stratify(const Route& route,
+                                  const SchemaMapping& mapping,
+                                  const Instance& source,
+                                  const Instance& target) {
+  struct StepFacts {
+    std::vector<FactRef> lhs;
+    std::vector<FactRef> rhs;
+  };
+  std::vector<StepFacts> facts;
+  facts.reserve(route.size());
+  for (const SatStep& step : route.steps()) {
+    facts.push_back(StepFacts{
+        LhsFacts(mapping, step.tgd, step.h, source, target),
+        RhsFacts(mapping, step.tgd, step.h, target)});
+  }
+
+  // Minimal fact ranks, to a fixpoint. Source facts have rank 0 and are not
+  // stored; target facts start unranked (absent).
+  std::unordered_map<FactRef, int, FactRefHash> rank;
+  auto lhs_rank = [&](const StepFacts& sf) -> int {
+    // Returns the max rank of the LHS facts, or -1 when some fact is
+    // unranked.
+    int max_rank = 0;
+    for (const FactRef& f : sf.lhs) {
+      if (f.side == Side::kSource) continue;
+      auto it = rank.find(f);
+      if (it == rank.end()) return -1;
+      max_rank = std::max(max_rank, it->second);
+    }
+    return max_rank;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const StepFacts& sf : facts) {
+      int base = lhs_rank(sf);
+      if (base < 0) continue;
+      int step_rank = base + 1;
+      for (const FactRef& f : sf.rhs) {
+        auto it = rank.find(f);
+        if (it == rank.end() || it->second > step_rank) {
+          rank[f] = step_rank;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Assign each step to the block given by its LHS ranks.
+  StratifiedInterpretation strat;
+  for (size_t i = 0; i < facts.size(); ++i) {
+    int base = lhs_rank(facts[i]);
+    SPIDER_CHECK(base >= 0,
+                 "cannot stratify: a step's LHS fact is never produced "
+                 "(is the route valid?)");
+    size_t block = static_cast<size_t>(base);  // block index = rank-1
+    if (strat.blocks.size() <= block) strat.blocks.resize(block + 1);
+    strat.blocks[block].push_back(route.steps()[i]);
+  }
+  for (std::vector<SatStep>& block : strat.blocks) {
+    std::sort(block.begin(), block.end(), SatStepLess);
+    block.erase(std::unique(block.begin(), block.end()), block.end());
+  }
+  return strat;
+}
+
+std::string StratifiedInterpretation::ToString(
+    const SchemaMapping& mapping) const {
+  std::ostringstream os;
+  for (size_t k = 0; k < blocks.size(); ++k) {
+    if (k > 0) os << " | ";
+    os << "rank " << (k + 1) << ": ";
+    for (size_t i = 0; i < blocks[k].size(); ++i) {
+      if (i > 0) os << ", ";
+      os << mapping.tgd(blocks[k][i].tgd).name();
+    }
+  }
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,43 @@
+#ifndef SPIDER_ROUTES_STRATIFIED_H_
+#define SPIDER_ROUTES_STRATIFIED_H_
+
+#include <string>
+#include <vector>
+
+#include "routes/route.h"
+
+namespace spider {
+
+/// The stratified interpretation strat(R) of a route (§3.1): the (σ, h)
+/// pairs of the route partitioned into rank blocks. Source facts have rank
+/// 0; a fact has rank k when some step produces it from LHS facts of maximum
+/// rank k-1 and no step gives it a lower rank; a step belongs to block k
+/// when the maximum rank of its LHS facts is k-1.
+///
+/// Two routes are strat-equivalent iff they have the same blocks as sets —
+/// equivalently, they use the same set of satisfaction steps. Theorem 3.7
+/// states every minimal route appears, up to strat-equivalence, in the
+/// NaivePrint output of the route forest.
+struct StratifiedInterpretation {
+  /// blocks[k] holds the steps of rank k+1, canonically sorted and deduped.
+  std::vector<std::vector<SatStep>> blocks;
+
+  /// The rank of the route: the number of blocks.
+  size_t rank() const { return blocks.size(); }
+
+  /// Renders as `rank 1: m1, m2 | rank 2: m3 | ...`.
+  std::string ToString(const SchemaMapping& mapping) const;
+
+  friend bool operator==(const StratifiedInterpretation&,
+                         const StratifiedInterpretation&) = default;
+};
+
+/// Computes strat(R). The route must be valid for its produced facts.
+StratifiedInterpretation Stratify(const Route& route,
+                                  const SchemaMapping& mapping,
+                                  const Instance& source,
+                                  const Instance& target);
+
+}  // namespace spider
+
+#endif  // SPIDER_ROUTES_STRATIFIED_H_

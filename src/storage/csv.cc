@@ -1,0 +1,160 @@
+#include "storage/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+#include "base/status.h"
+
+namespace spider {
+
+namespace {
+
+/// Splits one CSV record into raw fields, tracking quoting per field.
+struct Field {
+  std::string text;
+  bool quoted = false;
+};
+
+std::vector<Field> SplitRecord(const std::string& line, int line_number) {
+  std::vector<Field> fields;
+  Field current;
+  size_t i = 0;
+  bool in_quotes = false;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.text.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.text.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      SPIDER_CHECK(current.text.empty(),
+                   "csv line " + std::to_string(line_number) +
+                       ": quote in the middle of an unquoted field");
+      current.quoted = true;
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current = Field{};
+      ++i;
+      continue;
+    }
+    current.text.push_back(c);
+    ++i;
+  }
+  SPIDER_CHECK(!in_quotes, "csv line " + std::to_string(line_number) +
+                               ": unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+/// Type inference for unquoted fields.
+Value InferValue(const Field& field) {
+  if (field.quoted) return Value::Str(field.text);
+  const std::string& s = field.text;
+  if (!s.empty()) {
+    char* end = nullptr;
+    long long as_int = std::strtoll(s.c_str(), &end, 10);
+    if (end == s.c_str() + s.size()) return Value::Int(as_int);
+    double as_double = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() + s.size()) return Value::Real(as_double);
+  }
+  return Value::Str(s);
+}
+
+}  // namespace
+
+size_t LoadCsv(std::istream& in, const std::string& relation,
+               Instance* instance, const CsvOptions& options) {
+  SPIDER_CHECK(instance != nullptr, "LoadCsv requires an instance");
+  RelationId rel = instance->schema().Require(relation);
+  size_t arity = instance->schema().relation(rel).arity();
+  std::string line;
+  int line_number = 0;
+  size_t inserted = 0;
+  bool skipped_header = !options.skip_header;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    std::vector<Field> fields = SplitRecord(line, line_number);
+    SPIDER_CHECK(fields.size() == arity,
+                 "csv line " + std::to_string(line_number) + ": expected " +
+                     std::to_string(arity) + " fields for relation '" +
+                     relation + "', got " + std::to_string(fields.size()));
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (const Field& f : fields) values.push_back(InferValue(f));
+    if (instance->Insert(rel, Tuple(std::move(values))).inserted) ++inserted;
+  }
+  return inserted;
+}
+
+size_t LoadCsvText(const std::string& text, const std::string& relation,
+                   Instance* instance, const CsvOptions& options) {
+  std::istringstream in(text);
+  return LoadCsv(in, relation, instance, options);
+}
+
+std::string DumpCsv(const Instance& instance, const std::string& relation) {
+  RelationId rel = instance.schema().Require(relation);
+  const RelationDef& def = instance.schema().relation(rel);
+  std::ostringstream os;
+  for (size_t c = 0; c < def.arity(); ++c) {
+    if (c > 0) os << ',';
+    os << def.attribute(c);
+  }
+  os << '\n';
+  auto emit = [&os](const Value& v) {
+    switch (v.kind()) {
+      case Value::Kind::kInt:
+        os << v.AsInt();
+        return;
+      case Value::Kind::kDouble:
+        os << v.AsDouble();
+        return;
+      case Value::Kind::kNull:
+        os << "\"#N" << v.AsNull().id << '"';
+        return;
+      case Value::Kind::kString: {
+        os << '"';
+        for (char ch : v.AsString()) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+        return;
+      }
+    }
+  };
+  for (const Tuple& t : instance.tuples(rel)) {
+    for (size_t c = 0; c < t.arity(); ++c) {
+      if (c > 0) os << ',';
+      emit(t.at(c));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace spider

@@ -1,0 +1,40 @@
+#ifndef SPIDER_STORAGE_CSV_H_
+#define SPIDER_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Loads CSV rows into one relation of an instance — the practical entry
+/// point for debugging a mapping against real exported data.
+///
+/// Format: comma-separated, double quotes for fields containing commas or
+/// quotes (`""` escapes a quote), one row per line; `\r\n` accepted. Every
+/// row must match the relation's arity. Unquoted fields are type-inferred:
+/// integers and decimals become numeric values, everything else a string;
+/// quoted fields are always strings. An optional header row is skipped
+/// when `skip_header` is set.
+///
+/// Returns the number of rows inserted (after deduplication). Throws
+/// SpiderError with a line number on malformed input.
+struct CsvOptions {
+  bool skip_header = false;
+};
+
+size_t LoadCsv(std::istream& in, const std::string& relation,
+               Instance* instance, const CsvOptions& options = {});
+
+/// Convenience overload for in-memory text (used by tests and the shell).
+size_t LoadCsvText(const std::string& text, const std::string& relation,
+                   Instance* instance, const CsvOptions& options = {});
+
+/// Serializes one relation as CSV (header row with attribute names; labeled
+/// nulls rendered as `#N<id>` strings).
+std::string DumpCsv(const Instance& instance, const std::string& relation);
+
+}  // namespace spider
+
+#endif  // SPIDER_STORAGE_CSV_H_

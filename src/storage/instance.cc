@@ -1,0 +1,151 @@
+#include "storage/instance.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace spider {
+
+namespace {
+const std::vector<int32_t> kEmptyRows;
+}  // namespace
+
+int32_t Instance::RelationData::FindInBucket(size_t hash,
+                                             const Tuple& tuple) const {
+  auto it = dedup.find(hash);
+  if (it == dedup.end()) return -1;
+  for (int32_t row : it->second) {
+    if (rows[row] == tuple) return row;
+  }
+  return -1;
+}
+
+Instance::Instance(const Schema* schema) : schema_(schema) {
+  SPIDER_CHECK(schema != nullptr, "instance requires a schema");
+  relations_.resize(schema->size());
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    size_t arity = schema->relation(static_cast<RelationId>(r)).arity();
+    relations_[r].indexes.resize(arity);
+    relations_[r].index_built.assign(arity, false);
+  }
+}
+
+InsertResult Instance::Insert(RelationId rel, Tuple tuple) {
+  SPIDER_CHECK(rel >= 0 && static_cast<size_t>(rel) < relations_.size(),
+               "relation id out of range");
+  const RelationDef& def = schema_->relation(rel);
+  SPIDER_CHECK(tuple.arity() == def.arity(),
+               "arity mismatch inserting into '" + def.name() + "': got " +
+                   std::to_string(tuple.arity()) + ", want " +
+                   std::to_string(def.arity()));
+  RelationData& data = relations_[rel];
+  size_t hash = tuple.Hash();
+  int32_t existing = data.FindInBucket(hash, tuple);
+  if (existing >= 0) return {existing, false};
+  int32_t row = static_cast<int32_t>(data.rows.size());
+  // Maintain any already-built indexes incrementally.
+  for (size_t col = 0; col < def.arity(); ++col) {
+    if (data.index_built[col]) {
+      data.indexes[col][tuple.at(col)].push_back(row);
+    }
+  }
+  data.dedup[hash].push_back(row);
+  data.rows.push_back(std::move(tuple));
+  return {row, true};
+}
+
+InsertResult Instance::Insert(const std::string& relation,
+                              std::vector<Value> values) {
+  return Insert(schema_->Require(relation), Tuple(std::move(values)));
+}
+
+std::optional<int32_t> Instance::FindRow(RelationId rel,
+                                         const Tuple& tuple) const {
+  const RelationData& data = relations_[rel];
+  int32_t row = data.FindInBucket(tuple.Hash(), tuple);
+  if (row < 0) return std::nullopt;
+  return row;
+}
+
+size_t Instance::TotalTuples() const {
+  size_t total = 0;
+  for (const RelationData& data : relations_) total += data.rows.size();
+  return total;
+}
+
+void Instance::EnsureIndex(RelationId rel, int col) const {
+  const RelationData& data = relations_[rel];
+  if (data.index_built[col]) return;
+  auto& index = data.indexes[col];
+  index.clear();
+  for (int32_t row = 0; row < static_cast<int32_t>(data.rows.size()); ++row) {
+    index[data.rows[row].at(col)].push_back(row);
+  }
+  data.index_built[col] = true;
+}
+
+const std::vector<int32_t>& Instance::Probe(RelationId rel, int col,
+                                            const Value& v) const {
+  EnsureIndex(rel, col);
+  const auto& index = relations_[rel].indexes[col];
+  auto it = index.find(v);
+  return it == index.end() ? kEmptyRows : it->second;
+}
+
+bool Instance::ContainsNulls() const {
+  for (const RelationData& data : relations_) {
+    for (const Tuple& t : data.rows) {
+      if (t.ContainsNulls()) return true;
+    }
+  }
+  return false;
+}
+
+size_t Instance::ApplySubstitution(NullId from, const Value& to) {
+  const Value from_value = Value::Null(from.id);
+  size_t rewritten = 0;
+  for (RelationData& data : relations_) {
+    bool touched = false;
+    std::vector<Tuple> rows = std::move(data.rows);
+    data.rows.clear();
+    data.dedup.clear();
+    for (size_t col = 0; col < data.index_built.size(); ++col) {
+      data.index_built[col] = false;
+      data.indexes[col].clear();
+    }
+    for (Tuple& t : rows) {
+      for (size_t i = 0; i < t.arity(); ++i) {
+        if (t.at(i) == from_value) {
+          t.at(i) = to;
+          ++rewritten;
+          touched = true;
+        }
+      }
+      size_t hash = t.Hash();
+      if (data.FindInBucket(hash, t) < 0) {
+        data.dedup[hash].push_back(static_cast<int32_t>(data.rows.size()));
+        data.rows.push_back(std::move(t));
+      }
+    }
+    (void)touched;
+  }
+  return rewritten;
+}
+
+std::string Instance::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Instance& instance) {
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    const RelationDef& def = instance.schema().relation(rel);
+    for (const Tuple& t : instance.tuples(rel)) {
+      os << def.name() << t << '\n';
+    }
+  }
+  return os;
+}
+
+}  // namespace spider

@@ -1,0 +1,99 @@
+#ifndef SPIDER_STORAGE_INSTANCE_H_
+#define SPIDER_STORAGE_INSTANCE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/tuple.h"
+#include "base/value.h"
+#include "catalog/schema.h"
+
+namespace spider {
+
+/// Outcome of Instance::Insert.
+struct InsertResult {
+  int32_t row = -1;        ///< Row index of the (new or pre-existing) tuple.
+  bool inserted = false;   ///< True when the tuple was not already present.
+};
+
+/// A database instance over a Schema: one duplicate-free, append-only bag of
+/// tuples per relation, with lazily built per-column hash indexes.
+///
+/// Tuples are identified by (relation id, row index); rows are stable under
+/// insertion. The only mutating operation besides Insert is
+/// ApplySubstitution, used by the egd chase to unify labeled nulls; it
+/// invalidates indexes and may merge duplicate rows (callers are warned that
+/// row indexes change).
+class Instance {
+ public:
+  explicit Instance(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Inserts a tuple (deduplicating). Throws SpiderError on arity mismatch.
+  InsertResult Insert(RelationId rel, Tuple tuple);
+
+  /// Convenience: inserts into the named relation.
+  InsertResult Insert(const std::string& relation, std::vector<Value> values);
+
+  const std::vector<Tuple>& tuples(RelationId rel) const {
+    return relations_[rel].rows;
+  }
+  const Tuple& tuple(RelationId rel, int32_t row) const {
+    return relations_[rel].rows[row];
+  }
+
+  /// Returns the row index of the given tuple in `rel`, if present.
+  std::optional<int32_t> FindRow(RelationId rel, const Tuple& tuple) const;
+
+  size_t NumRelations() const { return relations_.size(); }
+  size_t NumTuples(RelationId rel) const { return relations_[rel].rows.size(); }
+  size_t TotalTuples() const;
+
+  /// Rows of `rel` whose column `col` equals `v`, served from a hash index
+  /// (built on first use, maintained incrementally afterwards). The returned
+  /// reference is invalidated by the next mutation of this instance.
+  const std::vector<int32_t>& Probe(RelationId rel, int col,
+                                    const Value& v) const;
+
+  /// True when some tuple of the instance contains a labeled null.
+  bool ContainsNulls() const;
+
+  /// Replaces every occurrence of labeled null `from` with `to` across all
+  /// relations, re-deduplicating rows and rebuilding indexes. Returns the
+  /// number of cells rewritten. Row indexes are NOT stable across this call.
+  size_t ApplySubstitution(NullId from, const Value& to);
+
+  /// Renders the full instance, one `Rel(v1, ...)` fact per line.
+  std::string ToString() const;
+
+ private:
+  struct RelationData {
+    std::vector<Tuple> rows;
+    // Hash -> candidate row indexes (tuples are not duplicated; candidates
+    // are verified against `rows`).
+    std::unordered_map<size_t, std::vector<int32_t>> dedup;
+    /// Returns the row equal to `tuple` within the bucket, or -1.
+    int32_t FindInBucket(size_t hash, const Tuple& tuple) const;
+    // Lazily built: per column, value -> row indexes.
+    mutable std::vector<
+        std::unordered_map<Value, std::vector<int32_t>, ValueHash>>
+        indexes;
+    mutable std::vector<bool> index_built;
+  };
+
+  void EnsureIndex(RelationId rel, int col) const;
+
+  const Schema* schema_;
+  std::vector<RelationData> relations_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Instance& instance);
+
+}  // namespace spider
+
+#endif  // SPIDER_STORAGE_INSTANCE_H_

@@ -1,0 +1,41 @@
+#include "workload/example_gen.h"
+
+#include <string>
+
+#include "base/status.h"
+#include "query/binding.h"
+
+namespace spider {
+
+size_t GenerateIllustrativeSource(Scenario* scenario,
+                                  const ExampleGenOptions& options) {
+  SPIDER_CHECK(scenario != nullptr && scenario->mapping != nullptr &&
+                   scenario->source != nullptr,
+               "GenerateIllustrativeSource requires a populated scenario");
+  const SchemaMapping& mapping = *scenario->mapping;
+  Instance* source = scenario->source.get();
+  size_t inserted = 0;
+  int64_t counter = 1;
+  for (TgdId id : mapping.st_tgds()) {
+    const Tgd& tgd = mapping.tgd(id);
+    for (int row = 0; row < options.rows_per_tgd; ++row) {
+      Binding h(tgd.num_vars());
+      for (VarId v : tgd.UniversalVars()) {
+        if (options.use_integers) {
+          h.Set(v, Value::Int(counter++));
+        } else {
+          h.Set(v, Value::Str(tgd.var_names()[v] + "_" + tgd.name() + "_" +
+                              std::to_string(row)));
+        }
+      }
+      for (const Atom& atom : tgd.lhs()) {
+        if (source->Insert(atom.relation, h.Instantiate(atom)).inserted) {
+          ++inserted;
+        }
+      }
+    }
+  }
+  return inserted;
+}
+
+}  // namespace spider

@@ -1,0 +1,37 @@
+#ifndef SPIDER_WORKLOAD_EXAMPLE_GEN_H_
+#define SPIDER_WORKLOAD_EXAMPLE_GEN_H_
+
+#include <cstdint>
+
+#include "mapping/scenario.h"
+
+namespace spider {
+
+/// Generates a small ILLUSTRATIVE source instance for a mapping — the
+/// complementary functionality of Yan et al. (SIGMOD'01) that §5 discusses:
+/// instead of debugging with whatever data the user supplies, synthesize a
+/// compact instance that exercises every source-to-target tgd, so that
+/// every dependency's behaviour is visible in the solution.
+///
+/// For every s-t tgd and every one of `rows_per_tgd` examples, each
+/// universal variable is assigned a fresh constant (`<var>_<k>` strings, or
+/// sequential integers when `use_integers`), and the instantiated LHS atoms
+/// are inserted into the source. Join conditions hold by construction
+/// (shared variables share values); distinct tgds never share values, so a
+/// probed target fact's routes exercise exactly one tgd (plus whatever the
+/// target tgds derive).
+struct ExampleGenOptions {
+  int rows_per_tgd = 1;
+  bool use_integers = false;
+  uint64_t seed = 1;  ///< Reserved for future randomized variants.
+};
+
+/// Appends the generated facts to scenario->source. Returns the number of
+/// facts inserted. The scenario's target is untouched (run ChaseScenario
+/// afterwards).
+size_t GenerateIllustrativeSource(Scenario* scenario,
+                                  const ExampleGenOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_WORKLOAD_EXAMPLE_GEN_H_

@@ -1,0 +1,183 @@
+#include "workload/hierarchy_scenario.h"
+
+#include <unordered_set>
+
+#include "base/status.h"
+#include "workload/relational_scenario.h"
+#include "workload/rng.h"
+#include "workload/tpch.h"
+
+namespace spider {
+
+namespace {
+
+/// The five nesting levels of the deep hierarchy, shredded: each level
+/// carries its own key, its parent's key, and one payload attribute.
+void AddDeepRelations(Schema* schema, const std::string& suffix) {
+  schema->AddRelation("Region" + suffix, {"regionkey", "rname"});
+  schema->AddRelation("Nation" + suffix, {"nationkey", "regionkey", "nname"});
+  schema->AddRelation("Customer" + suffix,
+                      {"custkey", "nationkey", "cname"});
+  schema->AddRelation("Orders" + suffix, {"orderkey", "custkey", "ostatus"});
+  schema->AddRelation("Lineitem" + suffix,
+                      {"linekey", "orderkey", "quantity"});
+}
+
+constexpr const char* kDepthRelation[] = {"Region", "Nation", "Customer",
+                                          "Orders", "Lineitem"};
+
+}  // namespace
+
+Scenario BuildDeepHierarchyScenario(const DeepHierarchyOptions& options) {
+  Schema source("source");
+  Schema target("target");
+  AddDeepRelations(&source, "0");
+  AddDeepRelations(&target, "1");
+
+  Scenario scenario;
+  scenario.mapping =
+      std::make_unique<SchemaMapping>(std::move(source), std::move(target));
+  // One s-t tgd copying the entire hierarchy; the joins reconstruct the
+  // root-to-leaf path of the nested representation.
+  AddCopyTgd(scenario.mapping.get(), "deep_copy",
+             {"Region", "Nation", "Customer", "Orders", "Lineitem"}, "0", "1",
+             {{0, "regionkey", 1, "regionkey"},
+              {1, "nationkey", 2, "nationkey"},
+              {2, "custkey", 3, "custkey"},
+              {3, "orderkey", 4, "orderkey"}},
+             /*source_to_target=*/true);
+
+  scenario.source = std::make_unique<Instance>(&scenario.mapping->source());
+  scenario.target = std::make_unique<Instance>(&scenario.mapping->target());
+
+  Instance* I = scenario.source.get();
+  const Schema& s = scenario.mapping->source();
+  Rng rng(options.seed);
+  int nation_id = 0;
+  int cust_id = 0;
+  int order_id = 0;
+  int line_id = 0;
+  for (int r = 0; r < options.regions; ++r) {
+    I->Insert(s.Require("Region0"),
+              Tuple({Value::Int(r), Value::Str("region#" + std::to_string(r))}));
+    for (int n = 0; n < options.fanout; ++n) {
+      int nk = nation_id++;
+      I->Insert(s.Require("Nation0"),
+                Tuple({Value::Int(nk), Value::Int(r),
+                       Value::Str("nation#" + std::to_string(nk))}));
+      for (int c = 0; c < options.fanout; ++c) {
+        int ck = cust_id++;
+        I->Insert(s.Require("Customer0"),
+                  Tuple({Value::Int(ck), Value::Int(nk),
+                         Value::Str("customer#" + std::to_string(ck))}));
+        for (int o = 0; o < options.fanout; ++o) {
+          int ok = order_id++;
+          I->Insert(s.Require("Orders0"),
+                    Tuple({Value::Int(ok), Value::Int(ck),
+                           Value::Str(rng.Below(2) == 0 ? "O" : "F")}));
+          for (int l = 0; l < options.fanout; ++l) {
+            int lk = line_id++;
+            I->Insert(s.Require("Lineitem0"),
+                      Tuple({Value::Int(lk), Value::Int(ok),
+                             Value::Int(static_cast<int64_t>(
+                                 rng.Below(50) + 1))}));
+          }
+        }
+      }
+    }
+  }
+  return scenario;
+}
+
+std::vector<FactRef> SelectDepthFacts(const Scenario& scenario, int depth,
+                                      size_t count, uint64_t seed) {
+  SPIDER_CHECK(depth >= 1 && depth <= 5, "depth must be in 1..5");
+  const Instance& target = *scenario.target;
+  RelationId rel = scenario.mapping->target().Require(
+      std::string(kDepthRelation[depth - 1]) + "1");
+  size_t available = target.NumTuples(rel);
+  SPIDER_CHECK(available > 0, "no facts at requested depth (chase first?)");
+  Rng rng(seed);
+  std::vector<FactRef> facts;
+  std::unordered_set<FactRef, FactRefHash> seen;
+  size_t attempts = 0;
+  while (facts.size() < count && facts.size() < available &&
+         attempts < count * 50 + 100) {
+    ++attempts;
+    FactRef fact{Side::kTarget, rel,
+                 static_cast<int32_t>(rng.Below(available))};
+    if (seen.insert(fact).second) facts.push_back(fact);
+  }
+  return facts;
+}
+
+Scenario BuildFlatHierarchyScenario(const FlatHierarchyOptions& options) {
+  // Shredded encoding: every relation gets a leading rootid column shared
+  // with all other relations of its document; tgds join through the root.
+  Schema source("source");
+  Schema target("target");
+  auto add_flat = [](Schema* schema, const std::string& suffix) {
+    Schema plain("plain");
+    AddTpchRelations(&plain, suffix);
+    for (const RelationDef& rel : plain.relations()) {
+      std::vector<std::string> attrs = {"rootid"};
+      attrs.insert(attrs.end(), rel.attributes().begin(),
+                   rel.attributes().end());
+      schema->AddRelation(rel.name(), std::move(attrs));
+    }
+  };
+  add_flat(&source, "0");
+  for (int g = 1; g <= options.groups; ++g) {
+    add_flat(&target, std::to_string(g));
+  }
+
+  Scenario scenario;
+  scenario.mapping =
+      std::make_unique<SchemaMapping>(std::move(source), std::move(target));
+
+  std::vector<CopyTemplate> templates = TpchJoinTemplates(options.joins);
+  // Join every relation of a template to the first through the root.
+  for (CopyTemplate& t : templates) {
+    for (int i = 1; i < static_cast<int>(t.relations.size()); ++i) {
+      t.joins.push_back(JoinSpec{0, "rootid", i, "rootid"});
+    }
+  }
+  int counter = 0;
+  for (const CopyTemplate& t : templates) {
+    AddCopyTgd(scenario.mapping.get(), "st" + std::to_string(++counter),
+               t.relations, "0", "1", t.joins, /*source_to_target=*/true);
+  }
+  for (int g = 1; g < options.groups; ++g) {
+    counter = 0;
+    for (const CopyTemplate& t : templates) {
+      AddCopyTgd(scenario.mapping.get(),
+                 "t" + std::to_string(g) + "_" + std::to_string(++counter),
+                 t.relations, std::to_string(g), std::to_string(g + 1),
+                 t.joins, /*source_to_target=*/false);
+    }
+  }
+
+  scenario.source = std::make_unique<Instance>(&scenario.mapping->source());
+  scenario.target = std::make_unique<Instance>(&scenario.mapping->target());
+
+  // Generate plain TPC-H data, then shred it under a single document root.
+  Schema plain_schema("plain");
+  AddTpchRelations(&plain_schema, "0");
+  Instance plain(&plain_schema);
+  TpchSizes sizes;
+  sizes.units = options.units;
+  GenerateTpchData(&plain, "0", sizes, options.seed);
+  for (size_t r = 0; r < plain.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    RelationId dst =
+        scenario.mapping->source().Require(plain_schema.relation(rel).name());
+    for (const Tuple& t : plain.tuples(rel)) {
+      std::vector<Value> values = {Value::Int(0)};
+      values.insert(values.end(), t.values().begin(), t.values().end());
+      scenario.source->Insert(dst, Tuple(std::move(values)));
+    }
+  }
+  return scenario;
+}
+
+}  // namespace spider

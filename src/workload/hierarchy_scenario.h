@@ -1,0 +1,55 @@
+#ifndef SPIDER_WORKLOAD_HIERARCHY_SCENARIO_H_
+#define SPIDER_WORKLOAD_HIERARCHY_SCENARIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/tuple.h"
+#include "mapping/scenario.h"
+
+namespace spider {
+
+/// The paper's deep-hierarchy scenario (§4.1): source and target are the
+/// nesting Region/Nation/Customer/Orders/Lineitem, and Σst is a single tgd
+/// copying the whole hierarchy (Σt is empty). The XML documents of the paper
+/// are represented by shredding: each nesting level is a relation carrying
+/// its parent's key, and the copy tgd joins the full root-to-leaf path —
+/// exactly the path context a nested tgd binds.
+///
+/// Fig. 11's effect (probing a DEEPER element is FASTER) comes from the XML
+/// engine fetching all assignments eagerly: a deep element pins the whole
+/// path (few assignments), a shallow one leaves the subtree below it free
+/// (many assignments). Benchmarks reproduce it by enabling
+/// RouteOptions::eager_findhom.
+struct DeepHierarchyOptions {
+  /// Fanout per level: regions, nations/region, customers/nation,
+  /// orders/customer, lineitems/order.
+  int regions = 5;
+  int fanout = 4;
+  uint64_t seed = 42;
+};
+
+Scenario BuildDeepHierarchyScenario(const DeepHierarchyOptions& options);
+
+/// Selects up to `count` facts at the given depth (1 = Region ... 5 =
+/// Lineitem) in the target instance.
+std::vector<FactRef> SelectDepthFacts(const Scenario& scenario, int depth,
+                                      size_t count, uint64_t seed);
+
+/// The flat-hierarchy scenario (§4.1): a root record with the eight TPC-H
+/// sets nested directly underneath (depth 1). Shredded, this is the
+/// relational scenario with an extra Root relation joined into every tgd.
+/// Benchmarks run it with eager_findhom (and reorder_atoms=false) to model
+/// the Saxon XSLT engine.
+struct FlatHierarchyOptions {
+  int joins = 1;
+  int groups = 6;
+  int units = 4;  ///< TpchSizes units (XML instances are small in the paper).
+  uint64_t seed = 42;
+};
+
+Scenario BuildFlatHierarchyScenario(const FlatHierarchyOptions& options);
+
+}  // namespace spider
+
+#endif  // SPIDER_WORKLOAD_HIERARCHY_SCENARIO_H_

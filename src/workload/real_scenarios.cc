@@ -1,0 +1,416 @@
+#include "workload/real_scenarios.h"
+
+#include <string>
+#include <vector>
+
+#include "mapping/parser.h"
+#include "workload/rng.h"
+
+namespace spider {
+
+namespace {
+
+constexpr const char* kDblpText = R"(
+// ---- DBLP1: flattened bibliographic records (nesting depth 1) ----
+source schema {
+  D1Article(pubkey, title, journal, year, volume, number, pages, month, ee);
+  D1Inproceedings(pubkey, title, booktitle, year, pages, ee);
+  D1Book(pubkey, title, publisher, year, isbn, series);
+  D1Incollection(pubkey, title, booktitle, year, pages, chapter);
+  D1Phdthesis(pubkey, title, school, year);
+  D1Mastersthesis(pubkey, title, school, year);
+  D1Www(pubkey, title, url);
+  D1AuthorOf(author, pubkey, position);
+  D1Editor(pubkey, editor);
+  D1Publisher(pname, address);
+  D1Cite(citing, cited);
+  // ---- DBLP2: nested proceedings/inproceedings/author (depth 4),
+  //      shredded with parent keys ----
+  D2Proceedings(prockey, ptitle, pyear);
+  D2Inproc(inprockey, prockey, ititle, ipages);
+  D2InprocAuthor(inprockey, aname);
+}
+// ---- Amalgam-style relational target ----
+target schema {
+  AAuthor(authorid, name);
+  APublication(pubid, title, year, month, note, annote, class, crossref);
+  AWrote(authorid, pubid, position);
+  AJournal(journalid, jname, publisherinfo);
+  AArticleIn(pubid, journalid, volume, number, pages);
+  AConference(confid, cname, location);
+  AInProcPub(pubid, confid, pages);
+  APublisher(publisherid, pname, address);
+  ABookPub(pubid, publisherid, isbn, series);
+  ASchool(schoolid, sname);
+  AThesis(pubid, schoolid, kind);
+  AWebResource(pubid, url);
+  ACitation(citingpub, citedpub);
+  AEditorOf(editorid, pubid);
+}
+
+// ---- Σst: 12 source-to-target tgds ----
+d1: D1Article(pk,t,j,y,v,n,p,mo,e) -> exists J, NT, AN, CL, CR, PI .
+      APublication(pk,t,y,mo,NT,AN,CL,CR) & AJournal(J,j,PI) &
+      AArticleIn(pk,J,v,n,p);
+d2: D1Inproceedings(pk,t,bt,y,p,e) -> exists C, MO, NT, AN, CL, CR, LOC .
+      APublication(pk,t,y,MO,NT,AN,CL,CR) & AConference(C,bt,LOC) &
+      AInProcPub(pk,C,p);
+d3: D1Book(pk,t,pub,y,isbn,ser) & D1Publisher(pub,addr) ->
+      exists P, MO, NT, AN, CL, CR .
+      APublication(pk,t,y,MO,NT,AN,CL,CR) & APublisher(P,pub,addr) &
+      ABookPub(pk,P,isbn,ser);
+d4: D1Incollection(pk,t,bt,y,p,ch) -> exists C, MO, NT, AN, CL, CR, LOC .
+      APublication(pk,t,y,MO,NT,AN,CL,CR) & AConference(C,bt,LOC) &
+      AInProcPub(pk,C,p);
+d5: D1Phdthesis(pk,t,sch,y) -> exists S, MO, NT, AN, CL, CR .
+      APublication(pk,t,y,MO,NT,AN,CL,CR) & ASchool(S,sch) &
+      AThesis(pk,S,"phd");
+d6: D1Mastersthesis(pk,t,sch,y) -> exists S, MO, NT, AN, CL, CR .
+      APublication(pk,t,y,MO,NT,AN,CL,CR) & ASchool(S,sch) &
+      AThesis(pk,S,"ms");
+d7: D1Www(pk,t,u) -> exists Y, MO, NT, AN, CL, CR .
+      APublication(pk,t,Y,MO,NT,AN,CL,CR) & AWebResource(pk,u);
+d8: D1AuthorOf(a,pk,pos) -> AAuthor(a,a) & AWrote(a,pk,pos);
+d9: D1Editor(pk,ed) -> AAuthor(ed,ed) & AEditorOf(ed,pk);
+d10: D1Cite(c1,c2) -> ACitation(c1,c2);
+d11: D2Proceedings(prk,pt,py) & D2Inproc(ik,prk,it,ip) ->
+      exists C, MO, NT, AN, CL, CR, LOC .
+      APublication(ik,it,py,MO,NT,AN,CL,CR) & AConference(C,pt,LOC) &
+      AInProcPub(ik,C,ip);
+d12: D2InprocAuthor(ik,n) -> exists P . AAuthor(n,n) & AWrote(n,ik,P);
+
+// ---- Σt: 14 target tgds (the target schema's foreign keys) ----
+f1: AWrote(a,p,pos) -> exists N . AAuthor(a,N);
+f2: AWrote(a,p,pos) -> exists T,Y,MO,NT,AN,CL,CR .
+      APublication(p,T,Y,MO,NT,AN,CL,CR);
+f3: AArticleIn(p,j,v,n,pg) -> exists T,Y,MO,NT,AN,CL,CR .
+      APublication(p,T,Y,MO,NT,AN,CL,CR);
+f4: AArticleIn(p,j,v,n,pg) -> exists JN,PI . AJournal(j,JN,PI);
+f5: AInProcPub(p,c,pg) -> exists T,Y,MO,NT,AN,CL,CR .
+      APublication(p,T,Y,MO,NT,AN,CL,CR);
+f6: AInProcPub(p,c,pg) -> exists CN,LOC . AConference(c,CN,LOC);
+f7: ABookPub(p,pub,isbn,ser) -> exists T,Y,MO,NT,AN,CL,CR .
+      APublication(p,T,Y,MO,NT,AN,CL,CR);
+f8: ABookPub(p,pub,isbn,ser) -> exists PN,AD . APublisher(pub,PN,AD);
+f9: AThesis(p,s,k) -> exists T,Y,MO,NT,AN,CL,CR .
+      APublication(p,T,Y,MO,NT,AN,CL,CR);
+f10: AThesis(p,s,k) -> exists SN . ASchool(s,SN);
+f11: AWebResource(p,u) -> exists T,Y,MO,NT,AN,CL,CR .
+      APublication(p,T,Y,MO,NT,AN,CL,CR);
+f12: ACitation(c1,c2) -> exists T,Y,MO,NT,AN,CL,CR .
+      APublication(c1,T,Y,MO,NT,AN,CL,CR);
+f13: ACitation(c1,c2) -> exists T,Y,MO,NT,AN,CL,CR .
+      APublication(c2,T,Y,MO,NT,AN,CL,CR);
+f14: AEditorOf(e,p) -> exists N . AAuthor(e,N);
+)";
+
+constexpr const char* kMondialText = R"(
+// ---- Mondial1: relational geography source ----
+source schema {
+  MCountry(code, cname, capital, area, population, gdp, inflation);
+  MProvince(pname, country, pcapital, parea, ppopulation);
+  MCity(ctname, country, province, cpopulation, longitude, latitude);
+  MContinent(contname, carea);
+  MEncompasses(country, continent, percentage);
+  MBorders(country1, country2, blength);
+  MLanguage(country, lname, lpercentage);
+  MReligion(country, rname, rpercentage);
+  MEthnicGroup(country, ename, epercentage);
+  MOrganization(abbrev, oname, city, ocountry, established);
+  MIsMember(country, organization, mtype);
+  MMountain(mname, height, mcountry, mprovince);
+  MRiver(rivname, rlength, rcountry, rprovince);
+  MLake(lakname, larea, lcountry, lprovince);
+  MSea(sname, depth, scountry);
+  MDesert(dname, darea, dcountry, dprovince);
+  MIsland(iname, iarea, icountry, iprovince);
+}
+// ---- Mondial2: nested target (shredded with parent keys) ----
+target schema {
+  NCountry(code, cname, capital, area, population);
+  NProvince(pname, country, pcapital, ppopulation);
+  NCity(ctname, province, country, cpopulation);
+  NContinent(contname, carea);
+  NEncompasses(country, continent, percentage);
+  NBorder(country1, country2, blength);
+  NLanguage(country, lname, lpercentage);
+  NReligion(country, rname, rpercentage);
+  NEthnicGroup(country, ename, epercentage);
+  NOrganization(abbrev, oname, hqcity, hqcountry);
+  NMember(organization, country, mtype);
+  NGeoFeature(gname, gtype, country, size);
+}
+
+// ---- Σst: 17 source-to-target tgds ----
+g1: MCountry(c,n,cap,a,p,g,i) -> NCountry(c,n,cap,a,p);
+g2: MProvince(pn,c,pc,pa,pp) & MCountry(c,n,cap,a,p,gd,inf) ->
+      NProvince(pn,c,pc,pp);
+g3: MCity(ct,c,pv,cp,lon,lat) & MProvince(pv,c,pc,pa,pp) -> NCity(ct,pv,c,cp);
+g4: MContinent(cn,ca) -> NContinent(cn,ca);
+g5: MEncompasses(c,ct,pct) -> NEncompasses(c,ct,pct);
+g6: MBorders(c1,c2,l) -> NBorder(c1,c2,l);
+g7: MLanguage(c,l,p) -> NLanguage(c,l,p);
+g8: MReligion(c,r,p) -> NReligion(c,r,p);
+g9: MEthnicGroup(c,e,p) -> NEthnicGroup(c,e,p);
+g10: MOrganization(ab,o,ci,c,est) -> NOrganization(ab,o,ci,c);
+g11: MIsMember(c,o,t) -> NMember(o,c,t);
+g12: MMountain(m,h,c,pv) -> NGeoFeature(m,"mountain",c,h);
+g13: MRiver(r,l,c,pv) -> NGeoFeature(r,"river",c,l);
+g14: MLake(l,a,c,pv) -> NGeoFeature(l,"lake",c,a);
+g15: MSea(s,d,c) -> NGeoFeature(s,"sea",c,d);
+g16: MDesert(d,a,c,pv) -> NGeoFeature(d,"desert",c,a);
+g17: MIsland(i,a,c,pv) -> NGeoFeature(i,"island",c,a);
+
+// ---- Σt: 25 target tgds (foreign keys of the nested target) ----
+h1: NProvince(pn,c,pc,pp) -> exists N,CAP,A,P . NCountry(c,N,CAP,A,P);
+h2: NCity(ct,pv,c,cp) -> exists PC,PP . NProvince(pv,c,PC,PP);
+h3: NCity(ct,pv,c,cp) -> exists N,CAP,A,P . NCountry(c,N,CAP,A,P);
+h4: NEncompasses(c,ct,pct) -> exists N,CAP,A,P . NCountry(c,N,CAP,A,P);
+h5: NEncompasses(c,ct,pct) -> exists CA . NContinent(ct,CA);
+h6: NBorder(c1,c2,l) -> exists N,CAP,A,P . NCountry(c1,N,CAP,A,P);
+h7: NBorder(c1,c2,l) -> exists N,CAP,A,P . NCountry(c2,N,CAP,A,P);
+h8: NLanguage(c,l,p) -> exists N,CAP,A,P . NCountry(c,N,CAP,A,P);
+h9: NReligion(c,r,p) -> exists N,CAP,A,P . NCountry(c,N,CAP,A,P);
+h10: NEthnicGroup(c,e,p) -> exists N,CAP,A,P . NCountry(c,N,CAP,A,P);
+h11: NOrganization(ab,o,ci,c) -> exists N,CAP,A,P . NCountry(c,N,CAP,A,P);
+h12: NMember(o,c,t) -> exists ON,CI,HC . NOrganization(o,ON,CI,HC);
+h13: NMember(o,c,t) -> exists N,CAP,A,P . NCountry(c,N,CAP,A,P);
+h14: NGeoFeature(g,t,c,s) -> exists N,CAP,A,P . NCountry(c,N,CAP,A,P);
+h15: NCountry(c,n,cap,a,p) -> exists PV,PC,PP . NProvince(PV,c,PC,PP);
+h16: NCountry(c,n,cap,a,p) -> exists CT,PCT . NEncompasses(c,CT,PCT);
+h17: NProvince(pn,c,pc,pp) -> exists CT,CP . NCity(CT,pn,c,CP);
+h18: NOrganization(ab,o,ci,c) -> exists CC,T . NMember(ab,CC,T);
+h19: NCountry(c,n,cap,a,p) -> exists L,P2 . NLanguage(c,L,P2);
+h20: NCountry(c,n,cap,a,p) -> exists R,P2 . NReligion(c,R,P2);
+h21: NCountry(c,n,cap,a,p) -> exists E,P2 . NEthnicGroup(c,E,P2);
+h22: NEncompasses(c,ct,pct) -> exists CA . NContinent(ct,CA);
+h23: NGeoFeature(g,t,c,s) -> exists PV,PC,PP . NProvince(PV,c,PC,PP);
+h24: NBorder(c1,c2,l) -> exists L2 . NBorder(c2,c1,L2);
+h25: NOrganization(ab,o,ci,c) -> exists PV,PC,PP . NProvince(PV,c,PC,PP);
+)";
+
+std::string Key(const char* prefix, int i) {
+  return std::string(prefix) + std::to_string(i);
+}
+
+}  // namespace
+
+Scenario BuildDblpScenario(const RealScenarioOptions& options) {
+  Scenario scenario = ParseScenario(kDblpText);
+  Instance* I = scenario.source.get();
+  Rng rng(options.seed);
+  const int u = options.units;
+
+  const int journals = 15;
+  const int venues = 25;
+  const int publishers = 10;
+  const int schools = 12;
+  const int authors = 8 * u;
+
+  for (int p = 0; p < publishers; ++p) {
+    I->Insert("D1Publisher", {Value::Str(Key("pub", p)),
+                              Value::Str(Key("addr", p))});
+  }
+  std::vector<std::string> pubkeys;
+  auto year = [&]() {
+    return Value::Int(static_cast<int64_t>(1970 + rng.Below(36)));
+  };
+  auto pages = [&]() {
+    int64_t lo = static_cast<int64_t>(rng.Below(400));
+    return Value::Str(std::to_string(lo) + "-" + std::to_string(lo + 12));
+  };
+  for (int i = 0; i < 12 * u; ++i) {
+    std::string key = Key("art", i);
+    pubkeys.push_back(key);
+    I->Insert("D1Article",
+              {Value::Str(key), Value::Str(Key("Title A", i)),
+               Value::Str(Key("journal", rng.Below(journals))), year(),
+               Value::Int(static_cast<int64_t>(rng.Below(40) + 1)),
+               Value::Int(static_cast<int64_t>(rng.Below(12) + 1)), pages(),
+               Value::Int(static_cast<int64_t>(rng.Below(12) + 1)),
+               Value::Str(Key("http://ee/", i))});
+  }
+  for (int i = 0; i < 16 * u; ++i) {
+    std::string key = Key("inp", i);
+    pubkeys.push_back(key);
+    I->Insert("D1Inproceedings",
+              {Value::Str(key), Value::Str(Key("Title I", i)),
+               Value::Str(Key("conf", rng.Below(venues))), year(), pages(),
+               Value::Str(Key("http://ee/i", i))});
+  }
+  for (int i = 0; i < 2 * u; ++i) {
+    std::string key = Key("book", i);
+    pubkeys.push_back(key);
+    I->Insert("D1Book",
+              {Value::Str(key), Value::Str(Key("Title B", i)),
+               Value::Str(Key("pub", rng.Below(publishers))), year(),
+               Value::Str(Key("isbn", i)), Value::Str(Key("series", i % 5))});
+  }
+  for (int i = 0; i < 3 * u; ++i) {
+    std::string key = Key("inc", i);
+    pubkeys.push_back(key);
+    I->Insert("D1Incollection",
+              {Value::Str(key), Value::Str(Key("Title C", i)),
+               Value::Str(Key("conf", rng.Below(venues))), year(), pages(),
+               Value::Int(static_cast<int64_t>(rng.Below(20) + 1))});
+  }
+  for (int i = 0; i < u; ++i) {
+    std::string key = Key("phd", i);
+    pubkeys.push_back(key);
+    I->Insert("D1Phdthesis",
+              {Value::Str(key), Value::Str(Key("Thesis P", i)),
+               Value::Str(Key("school", rng.Below(schools))), year()});
+    std::string mkey = Key("msc", i);
+    pubkeys.push_back(mkey);
+    I->Insert("D1Mastersthesis",
+              {Value::Str(mkey), Value::Str(Key("Thesis M", i)),
+               Value::Str(Key("school", rng.Below(schools))), year()});
+  }
+  for (int i = 0; i < u; ++i) {
+    std::string key = Key("www", i);
+    pubkeys.push_back(key);
+    I->Insert("D1Www", {Value::Str(key), Value::Str(Key("Web", i)),
+                        Value::Str(Key("http://w/", i))});
+  }
+  // Authorship: ~2.2 authors per publication; editors and citations.
+  for (const std::string& key : pubkeys) {
+    int n = static_cast<int>(rng.Below(3)) + 1;
+    for (int a = 0; a < n; ++a) {
+      I->Insert("D1AuthorOf",
+                {Value::Str(Key("author", rng.Below(authors))),
+                 Value::Str(key), Value::Int(a + 1)});
+    }
+    if (rng.Below(8) == 0) {
+      I->Insert("D1Editor", {Value::Str(key),
+                             Value::Str(Key("author", rng.Below(authors)))});
+    }
+    if (rng.Below(2) == 0) {
+      I->Insert("D1Cite",
+                {Value::Str(key),
+                 Value::Str(pubkeys[rng.Below(pubkeys.size())])});
+    }
+  }
+  // DBLP2: nested proceedings.
+  for (int p = 0; p < 2 * u; ++p) {
+    std::string prk = Key("proc", p);
+    I->Insert("D2Proceedings",
+              {Value::Str(prk), Value::Str(Key("Proc", p)), year()});
+    int n = static_cast<int>(rng.Below(6)) + 2;
+    for (int i = 0; i < n; ++i) {
+      std::string ik = prk + "/" + std::to_string(i);
+      I->Insert("D2Inproc", {Value::Str(ik), Value::Str(prk),
+                             Value::Str(Key("NTitle", p * 100 + i)), pages()});
+      int na = static_cast<int>(rng.Below(3)) + 1;
+      for (int a = 0; a < na; ++a) {
+        I->Insert("D2InprocAuthor",
+                  {Value::Str(ik),
+                   Value::Str(Key("author", rng.Below(authors)))});
+      }
+    }
+  }
+  return scenario;
+}
+
+Scenario BuildMondialScenario(const RealScenarioOptions& options) {
+  Scenario scenario = ParseScenario(kMondialText);
+  Instance* I = scenario.source.get();
+  Rng rng(options.seed);
+  const int u = options.units;
+
+  const int countries = 2 * u;
+  const int continents = 6;
+  auto num = [&](uint64_t n) {
+    return Value::Int(static_cast<int64_t>(rng.Below(n) + 1));
+  };
+  for (int c = 0; c < continents; ++c) {
+    I->Insert("MContinent", {Value::Str(Key("continent", c)), num(40000000)});
+  }
+  int city_count = 0;
+  for (int c = 0; c < countries; ++c) {
+    std::string code = Key("C", c);
+    I->Insert("MCountry", {Value::Str(code), Value::Str(Key("country", c)),
+                           Value::Str(Key("city", c * 6)), num(1000000),
+                           num(90000000), num(500000), num(20)});
+    I->Insert("MEncompasses",
+              {Value::Str(code), Value::Str(Key("continent",
+                                                rng.Below(continents))),
+               num(100)});
+    for (int p = 0; p < 4; ++p) {
+      std::string pname = Key("prov", c * 4 + p);
+      I->Insert("MProvince", {Value::Str(pname), Value::Str(code),
+                              Value::Str(Key("city", city_count)), num(80000),
+                              num(5000000)});
+      for (int t = 0; t < 3; ++t) {
+        I->Insert("MCity", {Value::Str(Key("city", city_count++)),
+                            Value::Str(code), Value::Str(pname), num(2000000),
+                            num(360), num(180)});
+      }
+    }
+    for (int l = 0; l < 2; ++l) {
+      I->Insert("MLanguage", {Value::Str(code),
+                              Value::Str(Key("lang", rng.Below(30))),
+                              num(100)});
+      I->Insert("MReligion", {Value::Str(code),
+                              Value::Str(Key("rel", rng.Below(12))),
+                              num(100)});
+      I->Insert("MEthnicGroup", {Value::Str(code),
+                                 Value::Str(Key("eth", rng.Below(40))),
+                                 num(100)});
+    }
+    if (c > 0) {
+      I->Insert("MBorders", {Value::Str(code),
+                             Value::Str(Key("C", rng.Below(c))), num(4000)});
+    }
+    // Geographic features.
+    I->Insert("MMountain",
+              {Value::Str(Key("mountain", c)), num(8000), Value::Str(code),
+               Value::Str(Key("prov", c * 4))});
+    I->Insert("MRiver", {Value::Str(Key("river", c)), num(6000),
+                         Value::Str(code), Value::Str(Key("prov", c * 4 + 1))});
+    if (rng.Below(2) == 0) {
+      I->Insert("MLake", {Value::Str(Key("lake", c)), num(30000),
+                          Value::Str(code), Value::Str(Key("prov", c * 4))});
+      I->Insert("MSea",
+                {Value::Str(Key("sea", rng.Below(20))), num(10000),
+                 Value::Str(code)});
+      I->Insert("MDesert", {Value::Str(Key("desert", c)), num(100000),
+                            Value::Str(code),
+                            Value::Str(Key("prov", c * 4 + 2))});
+      I->Insert("MIsland", {Value::Str(Key("island", c)), num(20000),
+                            Value::Str(code),
+                            Value::Str(Key("prov", c * 4 + 3))});
+    }
+  }
+  const int organizations = u;
+  for (int o = 0; o < organizations; ++o) {
+    std::string abbrev = Key("ORG", o);
+    int64_t c = static_cast<int64_t>(rng.Below(countries));
+    I->Insert("MOrganization",
+              {Value::Str(abbrev), Value::Str(Key("organization", o)),
+               Value::Str(Key("city", c * 12)), Value::Str(Key("C", c)),
+               num(2005)});
+    int members = static_cast<int>(rng.Below(6)) + 2;
+    for (int m = 0; m < members; ++m) {
+      I->Insert("MIsMember",
+                {Value::Str(Key("C", rng.Below(countries))),
+                 Value::Str(abbrev), Value::Str("member")});
+    }
+  }
+  return scenario;
+}
+
+ScenarioStats ComputeStats(const Scenario& scenario) {
+  ScenarioStats stats;
+  stats.source_elements = scenario.mapping->source().TotalElements();
+  stats.target_elements = scenario.mapping->target().TotalElements();
+  stats.st_tgds = scenario.mapping->st_tgds().size();
+  stats.target_tgds = scenario.mapping->target_tgds().size();
+  stats.egds = scenario.mapping->NumEgds();
+  stats.source_tuples =
+      scenario.source != nullptr ? scenario.source->TotalTuples() : 0;
+  stats.target_tuples =
+      scenario.target != nullptr ? scenario.target->TotalTuples() : 0;
+  return stats;
+}
+
+}  // namespace spider

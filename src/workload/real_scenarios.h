@@ -1,0 +1,46 @@
+#ifndef SPIDER_WORKLOAD_REAL_SCENARIOS_H_
+#define SPIDER_WORKLOAD_REAL_SCENARIOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "mapping/scenario.h"
+
+namespace spider {
+
+/// Emulations of the paper's two real datasets (§4.2, Table 1). The paper's
+/// actual data (DBLP dumps, the Mondial database, the Amalgam test suite) is
+/// not redistributable here, so these builders synthesize instances with the
+/// same *shape*: schemas mirroring the published element counts, s-t tgds
+/// mapping publications/geography into the target, and target tgds derived
+/// from the target schemas' foreign keys — the properties the §4.2
+/// experiment actually exercises (many relations and tgds, FK-shaped target
+/// dependencies, a few thousand tuples).
+struct RealScenarioOptions {
+  int units = 20;  ///< Scale knob; ~70 source tuples per unit (DBLP).
+  uint64_t seed = 42;
+};
+
+/// DBLP: two bibliographic sources (a flattened DBLP1, a nested/shredded
+/// DBLP2) mapped into an Amalgam-style relational target.
+Scenario BuildDblpScenario(const RealScenarioOptions& options = {});
+
+/// Mondial: the relational Mondial schema mapped into a nested (shredded)
+/// Mondial target, with the target's foreign keys as target tgds.
+Scenario BuildMondialScenario(const RealScenarioOptions& options = {});
+
+/// Schema/mapping statistics in the shape of Table 1.
+struct ScenarioStats {
+  size_t source_elements = 0;  ///< Relations + attributes, source schema.
+  size_t target_elements = 0;
+  size_t st_tgds = 0;
+  size_t target_tgds = 0;
+  size_t egds = 0;
+  size_t source_tuples = 0;
+  size_t target_tuples = 0;
+};
+ScenarioStats ComputeStats(const Scenario& scenario);
+
+}  // namespace spider
+
+#endif  // SPIDER_WORKLOAD_REAL_SCENARIOS_H_

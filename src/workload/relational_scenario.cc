@@ -1,0 +1,186 @@
+#include "workload/relational_scenario.h"
+
+#include <unordered_set>
+
+#include "base/status.h"
+#include "workload/rng.h"
+
+namespace spider {
+
+void AddCopyTgd(SchemaMapping* mapping, const std::string& name,
+                const std::vector<std::string>& relations,
+                const std::string& from_suffix, const std::string& to_suffix,
+                const std::vector<JoinSpec>& joins, bool source_to_target) {
+  const Schema& lhs_schema =
+      source_to_target ? mapping->source() : mapping->target();
+  const Schema& rhs_schema = mapping->target();
+
+  // Assign a fresh variable to every (relation, column), then unify along
+  // the join specs.
+  std::vector<RelationId> lhs_rels;
+  std::vector<RelationId> rhs_rels;
+  std::vector<std::vector<int>> var_of(relations.size());
+  int next_var = 0;
+  for (size_t i = 0; i < relations.size(); ++i) {
+    lhs_rels.push_back(lhs_schema.Require(relations[i] + from_suffix));
+    rhs_rels.push_back(rhs_schema.Require(relations[i] + to_suffix));
+    size_t arity = lhs_schema.relation(lhs_rels[i]).arity();
+    SPIDER_CHECK(arity == rhs_schema.relation(rhs_rels[i]).arity(),
+                 "copy tgd requires equal arities for '" + relations[i] + "'");
+    for (size_t c = 0; c < arity; ++c) var_of[i].push_back(next_var++);
+  }
+  for (const JoinSpec& join : joins) {
+    const RelationDef& left = lhs_schema.relation(lhs_rels[join.left_rel]);
+    const RelationDef& right = lhs_schema.relation(lhs_rels[join.right_rel]);
+    int lc = left.AttributeIndex(join.left_col);
+    int rc = right.AttributeIndex(join.right_col);
+    SPIDER_CHECK(lc >= 0 && rc >= 0, "join column not found building tgd '" +
+                                         name + "'");
+    var_of[join.right_rel][rc] = var_of[join.left_rel][lc];
+  }
+
+  // Compact the surviving variable ids.
+  std::vector<int> dense(static_cast<size_t>(next_var), -1);
+  std::vector<std::string> var_names;
+  auto intern = [&](int raw) {
+    if (dense[raw] < 0) {
+      dense[raw] = static_cast<int>(var_names.size());
+      var_names.push_back("x" + std::to_string(var_names.size()));
+    }
+    return dense[raw];
+  };
+  auto make_atoms = [&](const std::vector<RelationId>& rels) {
+    std::vector<Atom> atoms;
+    for (size_t i = 0; i < rels.size(); ++i) {
+      Atom atom;
+      atom.relation = rels[i];
+      for (int raw : var_of[i]) {
+        atom.terms.push_back(Term::Var(intern(raw)));
+      }
+      atoms.push_back(std::move(atom));
+    }
+    return atoms;
+  };
+  std::vector<Atom> lhs = make_atoms(lhs_rels);
+  std::vector<Atom> rhs = make_atoms(rhs_rels);
+  mapping->AddTgd(
+      Tgd(name, std::move(var_names), std::move(lhs), std::move(rhs),
+          source_to_target));
+}
+
+std::vector<CopyTemplate> TpchJoinTemplates(int joins) {
+  switch (joins) {
+    case 0: {
+      std::vector<CopyTemplate> templates;
+      for (const char* rel : kTpchRelations) {
+        templates.push_back(CopyTemplate{{rel}, {}});
+      }
+      return templates;
+    }
+    case 1:
+      return {
+          {{"Supplier", "Lineitem"}, {{0, "suppkey", 1, "suppkey"}}},
+          {{"Orders", "Customer"}, {{0, "custkey", 1, "custkey"}}},
+          {{"Partsupp", "Part"}, {{0, "partkey", 1, "partkey"}}},
+          {{"Nation", "Region"}, {{0, "regionkey", 1, "regionkey"}}},
+      };
+    case 2:
+      return {
+          {{"Supplier", "Lineitem", "Orders"},
+           {{0, "suppkey", 1, "suppkey"}, {1, "orderkey", 2, "orderkey"}}},
+          {{"Supplier", "Partsupp", "Part"},
+           {{0, "suppkey", 1, "suppkey"}, {1, "partkey", 2, "partkey"}}},
+          {{"Customer", "Nation", "Region"},
+           {{0, "nationkey", 1, "nationkey"},
+            {1, "regionkey", 2, "regionkey"}}},
+      };
+    case 3:
+      return {
+          {{"Supplier", "Lineitem", "Partsupp", "Part"},
+           {{0, "suppkey", 1, "suppkey"},
+            {1, "partkey", 2, "partkey"},
+            {1, "suppkey", 2, "suppkey"},
+            {2, "partkey", 3, "partkey"}}},
+          {{"Orders", "Customer", "Nation", "Region"},
+           {{0, "custkey", 1, "custkey"},
+            {1, "nationkey", 2, "nationkey"},
+            {2, "regionkey", 3, "regionkey"}}},
+      };
+    default:
+      throw SpiderError("relational scenario supports 0..3 joins");
+  }
+}
+
+Scenario BuildRelationalScenario(const RelationalScenarioOptions& options) {
+  SPIDER_CHECK(options.groups >= 1, "at least one target group is required");
+  Schema source("source");
+  Schema target("target");
+  AddTpchRelations(&source, "0");
+  for (int g = 1; g <= options.groups; ++g) {
+    AddTpchRelations(&target, std::to_string(g));
+  }
+
+  Scenario scenario;
+  scenario.mapping =
+      std::make_unique<SchemaMapping>(std::move(source), std::move(target));
+
+  std::vector<CopyTemplate> templates = TpchJoinTemplates(options.joins);
+  int counter = 0;
+  for (const CopyTemplate& t : templates) {
+    AddCopyTgd(scenario.mapping.get(), "st" + std::to_string(++counter),
+               t.relations, "0", "1", t.joins, /*source_to_target=*/true);
+  }
+  for (int g = 1; g < options.groups; ++g) {
+    counter = 0;
+    for (const CopyTemplate& t : templates) {
+      AddCopyTgd(scenario.mapping.get(),
+                 "t" + std::to_string(g) + "_" + std::to_string(++counter),
+                 t.relations, std::to_string(g), std::to_string(g + 1),
+                 t.joins, /*source_to_target=*/false);
+    }
+  }
+
+  scenario.source = std::make_unique<Instance>(&scenario.mapping->source());
+  scenario.target = std::make_unique<Instance>(&scenario.mapping->target());
+  GenerateTpchData(scenario.source.get(), "0", options.sizes, options.seed);
+  return scenario;
+}
+
+std::vector<FactRef> SelectGroupFacts(const Scenario& scenario, int group,
+                                      size_t count, uint64_t seed) {
+  const Instance& target = *scenario.target;
+  const Schema& schema = scenario.mapping->target();
+  std::string suffix = std::to_string(group);
+  std::vector<RelationId> group_rels;
+  for (size_t r = 0; r < schema.size(); ++r) {
+    const std::string& name = schema.relation(static_cast<RelationId>(r))
+                                  .name();
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0 &&
+        target.NumTuples(static_cast<RelationId>(r)) > 0) {
+      // Guard against suffix collisions like "1" vs "11": the prefix must
+      // not end in a digit.
+      char before = name[name.size() - suffix.size() - 1];
+      if (before < '0' || before > '9') {
+        group_rels.push_back(static_cast<RelationId>(r));
+      }
+    }
+  }
+  SPIDER_CHECK(!group_rels.empty(),
+               "no populated relations found for group " + suffix);
+  Rng rng(seed);
+  std::vector<FactRef> facts;
+  std::unordered_set<FactRef, FactRefHash> seen;
+  size_t attempts = 0;
+  while (facts.size() < count && attempts < count * 50 + 100) {
+    ++attempts;
+    RelationId rel = group_rels[rng.Below(group_rels.size())];
+    FactRef fact{Side::kTarget, rel,
+                 static_cast<int32_t>(rng.Below(target.NumTuples(rel)))};
+    if (seen.insert(fact).second) facts.push_back(fact);
+  }
+  return facts;
+}
+
+}  // namespace spider

@@ -1,0 +1,67 @@
+#ifndef SPIDER_WORKLOAD_RELATIONAL_SCENARIO_H_
+#define SPIDER_WORKLOAD_RELATIONAL_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/tuple.h"
+#include "mapping/scenario.h"
+#include "workload/tpch.h"
+
+namespace spider {
+
+/// The paper's relational synthetic scenario (§4.1): the source schema is
+/// TPC-H-shaped; the target schema consists of `groups` copies of it. The
+/// s-t tgds copy group 0 (the source) into group 1, and the target tgds copy
+/// group g into group g+1, so a tuple in group g is witnessed by exactly g
+/// satisfaction steps (the paper's "M/T factor" = g). Each tgd carries
+/// `joins` joins per side, following the join templates of Fig. 9.
+struct RelationalScenarioOptions {
+  int joins = 1;     ///< 0..3 (the paper's M0..M3).
+  int groups = 6;    ///< Number of target copy groups.
+  TpchSizes sizes;   ///< Source instance scale.
+  uint64_t seed = 42;
+};
+
+/// Builds the mapping and the source instance. Run ChaseScenario afterwards
+/// to materialize the solution J.
+Scenario BuildRelationalScenario(const RelationalScenarioOptions& options);
+
+/// Selects up to `count` random facts from the target relations of the
+/// given group (1-based), i.e. facts with M/T factor = `group`. The target
+/// instance must be populated (chased).
+std::vector<FactRef> SelectGroupFacts(const Scenario& scenario, int group,
+                                      size_t count, uint64_t seed);
+
+/// Shared helper for workload builders: appends a tgd copying the suffixed
+/// `relations` (joined per `joins`) from one suffix to another. `joins`
+/// entries reference relation positions within `relations` and attribute
+/// names. Variables are generated per (relation, column) and unified along
+/// the joins on both sides.
+struct JoinSpec {
+  int left_rel;
+  std::string left_col;
+  int right_rel;
+  std::string right_col;
+};
+
+/// One copy-tgd template: a group of relations plus the joins tying them
+/// together (Fig. 9).
+struct CopyTemplate {
+  std::vector<std::string> relations;
+  std::vector<JoinSpec> joins;
+};
+
+/// The templates of Fig. 9 for 0..3 joins. Together the groups of each
+/// template set cover all eight TPC-H relations.
+std::vector<CopyTemplate> TpchJoinTemplates(int joins);
+
+void AddCopyTgd(SchemaMapping* mapping, const std::string& name,
+                const std::vector<std::string>& relations,
+                const std::string& from_suffix, const std::string& to_suffix,
+                const std::vector<JoinSpec>& joins, bool source_to_target);
+
+}  // namespace spider
+
+#endif  // SPIDER_WORKLOAD_RELATIONAL_SCENARIO_H_

@@ -1,0 +1,31 @@
+#ifndef SPIDER_WORKLOAD_RNG_H_
+#define SPIDER_WORKLOAD_RNG_H_
+
+#include <cstdint>
+
+namespace spider {
+
+/// Small deterministic PRNG (splitmix64). The workload generators are fully
+/// reproducible from their seeds, independent of the platform's
+/// std::mt19937 stream.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be positive.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_WORKLOAD_RNG_H_

@@ -1,0 +1,107 @@
+#include "workload/tpch.h"
+
+#include <vector>
+
+#include "base/status.h"
+#include "workload/rng.h"
+
+namespace spider {
+
+void AddTpchRelations(Schema* schema, const std::string& suffix) {
+  schema->AddRelation("Region" + suffix, {"regionkey", "rname"});
+  schema->AddRelation("Nation" + suffix, {"nationkey", "regionkey", "nname"});
+  schema->AddRelation("Supplier" + suffix,
+                      {"suppkey", "nationkey", "sname", "sacctbal"});
+  schema->AddRelation("Part" + suffix, {"partkey", "pname", "retailprice"});
+  schema->AddRelation("Partsupp" + suffix,
+                      {"partkey", "suppkey", "availqty", "supplycost"});
+  schema->AddRelation("Customer" + suffix,
+                      {"custkey", "nationkey", "cname", "acctbal"});
+  schema->AddRelation("Orders" + suffix,
+                      {"orderkey", "custkey", "ostatus", "totalprice"});
+  schema->AddRelation(
+      "Lineitem" + suffix,
+      {"orderkey", "partkey", "suppkey", "linenumber", "quantity",
+       "extprice"});
+}
+
+void GenerateTpchData(Instance* instance, const std::string& suffix,
+                      const TpchSizes& sizes, uint64_t seed) {
+  Rng rng(seed);
+  const Schema& schema = instance->schema();
+  auto rel = [&](const char* name) { return schema.Require(name + suffix); };
+
+  RelationId region = rel("Region");
+  for (int r = 0; r < sizes.regions(); ++r) {
+    instance->Insert(region, Tuple({Value::Int(r),
+                                    Value::Str("region#" + std::to_string(r))}));
+  }
+  RelationId nation = rel("Nation");
+  for (int n = 0; n < sizes.nations(); ++n) {
+    instance->Insert(nation,
+                     Tuple({Value::Int(n), Value::Int(n % sizes.regions()),
+                            Value::Str("nation#" + std::to_string(n))}));
+  }
+  RelationId supplier = rel("Supplier");
+  for (int s = 0; s < sizes.suppliers(); ++s) {
+    instance->Insert(
+        supplier,
+        Tuple({Value::Int(s),
+               Value::Int(static_cast<int64_t>(rng.Below(sizes.nations()))),
+               Value::Str("supplier#" + std::to_string(s)),
+               Value::Int(static_cast<int64_t>(rng.Below(100000)))}));
+  }
+  RelationId part = rel("Part");
+  for (int p = 0; p < sizes.parts(); ++p) {
+    instance->Insert(part,
+                     Tuple({Value::Int(p),
+                            Value::Str("part#" + std::to_string(p)),
+                            Value::Int(static_cast<int64_t>(rng.Below(10000)))}));
+  }
+  // Partsupp: 4 suppliers per part, distinct (partkey, suppkey) pairs. The
+  // pairs are remembered so Lineitems can reference valid combinations.
+  RelationId partsupp = rel("Partsupp");
+  std::vector<std::pair<int, int>> ps_pairs;
+  ps_pairs.reserve(static_cast<size_t>(sizes.partsupps()));
+  for (int p = 0; p < sizes.parts(); ++p) {
+    for (int j = 0; j < 4; ++j) {
+      int s = (p + j * 7 + j) % sizes.suppliers();
+      ps_pairs.emplace_back(p, s);
+      instance->Insert(
+          partsupp,
+          Tuple({Value::Int(p), Value::Int(s),
+                 Value::Int(static_cast<int64_t>(rng.Below(1000))),
+                 Value::Int(static_cast<int64_t>(rng.Below(500)))}));
+    }
+  }
+  RelationId customer = rel("Customer");
+  for (int c = 0; c < sizes.customers(); ++c) {
+    instance->Insert(
+        customer,
+        Tuple({Value::Int(c),
+               Value::Int(static_cast<int64_t>(rng.Below(sizes.nations()))),
+               Value::Str("customer#" + std::to_string(c)),
+               Value::Int(static_cast<int64_t>(rng.Below(100000)))}));
+  }
+  RelationId orders = rel("Orders");
+  for (int o = 0; o < sizes.orders(); ++o) {
+    instance->Insert(
+        orders,
+        Tuple({Value::Int(o),
+               Value::Int(static_cast<int64_t>(rng.Below(sizes.customers()))),
+               Value::Str(rng.Below(2) == 0 ? "O" : "F"),
+               Value::Int(static_cast<int64_t>(rng.Below(500000)))}));
+  }
+  RelationId lineitem = rel("Lineitem");
+  for (int l = 0; l < sizes.lineitems(); ++l) {
+    const auto& [pk, sk] = ps_pairs[rng.Below(ps_pairs.size())];
+    instance->Insert(
+        lineitem,
+        Tuple({Value::Int(l / 4), Value::Int(pk), Value::Int(sk),
+               Value::Int(l % 4 + 1),
+               Value::Int(static_cast<int64_t>(rng.Below(50) + 1)),
+               Value::Int(static_cast<int64_t>(rng.Below(100000)))}));
+  }
+}
+
+}  // namespace spider

@@ -1,0 +1,60 @@
+#ifndef SPIDER_WORKLOAD_TPCH_H_
+#define SPIDER_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/schema.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Row counts for the TPC-H-shaped synthetic data, scaled by `units`
+/// (roughly 140 tuples per unit). The relation ratios follow TPC-H:
+/// Lineitem is the largest by far, Region and Nation are constant.
+struct TpchSizes {
+  int units = 15;
+
+  int regions() const { return 5; }
+  int nations() const { return 25; }
+  int suppliers() const { return 5 * units; }
+  int parts() const { return 10 * units; }
+  int partsupps() const { return 4 * parts(); }
+  int customers() const { return 8 * units; }
+  int orders() const { return 15 * units; }
+  int lineitems() const { return 4 * orders(); }
+
+  size_t total() const {
+    return static_cast<size_t>(regions()) + nations() + suppliers() + parts() +
+           partsupps() + customers() + orders() + lineitems();
+  }
+};
+
+/// Names of the 8 TPC-H relations, in generation order.
+inline constexpr const char* kTpchRelations[] = {
+    "Region", "Nation", "Supplier", "Part",
+    "Partsupp", "Customer", "Orders", "Lineitem"};
+inline constexpr int kNumTpchRelations = 8;
+
+/// Adds the 8 TPC-H-shaped relations, each named `<relation><suffix>`, to
+/// `schema`:
+///   Region(regionkey, rname)
+///   Nation(nationkey, regionkey, nname)
+///   Supplier(suppkey, nationkey, sname, sacctbal)
+///   Part(partkey, pname, retailprice)
+///   Partsupp(partkey, suppkey, availqty, supplycost)
+///   Customer(custkey, nationkey, cname, acctbal)
+///   Orders(orderkey, custkey, ostatus, totalprice)
+///   Lineitem(orderkey, partkey, suppkey, linenumber, quantity, extprice)
+void AddTpchRelations(Schema* schema, const std::string& suffix);
+
+/// Populates the suffixed relations with referentially consistent data:
+/// every foreign key refers to an existing row, and every Lineitem's
+/// (partkey, suppkey) pair exists in Partsupp (so that the 3-join tgds of
+/// Fig. 9 have matches).
+void GenerateTpchData(Instance* instance, const std::string& suffix,
+                      const TpchSizes& sizes, uint64_t seed);
+
+}  // namespace spider
+
+#endif  // SPIDER_WORKLOAD_TPCH_H_

@@ -1,0 +1,65 @@
+#include "base/tuple.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace spider {
+namespace {
+
+TEST(TupleTest, ConstructionAndAccess) {
+  Tuple t({Value::Int(1), Value::Str("a")});
+  EXPECT_EQ(t.arity(), 2u);
+  EXPECT_EQ(t.at(0), Value::Int(1));
+  EXPECT_EQ(t.at(1), Value::Str("a"));
+}
+
+TEST(TupleTest, Equality) {
+  Tuple a({Value::Int(1), Value::Str("x")});
+  Tuple b({Value::Int(1), Value::Str("x")});
+  Tuple c({Value::Int(1), Value::Str("y")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TupleTest, ContainsNulls) {
+  EXPECT_FALSE(Tuple({Value::Int(1), Value::Str("a")}).ContainsNulls());
+  EXPECT_TRUE(Tuple({Value::Int(1), Value::Null(3)}).ContainsNulls());
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t({Value::Int(6689), Value::Str("15K"), Value::Null(1)});
+  EXPECT_EQ(t.ToString(), "(6689, \"15K\", #N1)");
+}
+
+TEST(TupleTest, EmptyTupleIsValid) {
+  Tuple t;
+  EXPECT_EQ(t.arity(), 0u);
+  EXPECT_EQ(t, Tuple(std::vector<Value>{}));
+}
+
+TEST(TupleTest, OrderingLexicographic) {
+  EXPECT_LT(Tuple({Value::Int(1)}), Tuple({Value::Int(2)}));
+  EXPECT_LT(Tuple({Value::Int(1)}), Tuple({Value::Int(1), Value::Int(0)}));
+}
+
+TEST(FactRefTest, EqualityAndHash) {
+  FactRef a{Side::kTarget, 2, 5};
+  FactRef b{Side::kTarget, 2, 5};
+  FactRef c{Side::kSource, 2, 5};
+  FactRef d{Side::kTarget, 2, 6};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  std::unordered_set<FactRef, FactRefHash> set = {a, b, c, d};
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(FactRefTest, Validity) {
+  EXPECT_FALSE(FactRef{}.valid());
+  EXPECT_TRUE((FactRef{Side::kSource, 0, 0}).valid());
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,105 @@
+#include "base/value.h"
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace spider {
+namespace {
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.kind(), Value::Kind::kInt);
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(-42);
+  EXPECT_EQ(v.kind(), Value::Kind::kInt);
+  EXPECT_EQ(v.AsInt(), -42);
+  EXPECT_TRUE(v.is_constant());
+  EXPECT_FALSE(v.is_null());
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v = Value::Real(2.5);
+  EXPECT_EQ(v.kind(), Value::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 2.5);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v = Value::Str("Seattle");
+  EXPECT_EQ(v.kind(), Value::Kind::kString);
+  EXPECT_EQ(v.AsString(), "Seattle");
+}
+
+TEST(ValueTest, NullRoundTrip) {
+  Value v = Value::Null(7);
+  EXPECT_EQ(v.kind(), Value::Kind::kNull);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_constant());
+  EXPECT_EQ(v.AsNull().id, 7);
+}
+
+TEST(ValueTest, EqualityWithinKind) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Null(1), Value::Null(1));
+  EXPECT_NE(Value::Null(1), Value::Null(2));
+}
+
+TEST(ValueTest, DistinctKindsNeverEqual) {
+  EXPECT_NE(Value::Int(1), Value::Real(1.0));
+  EXPECT_NE(Value::Int(1), Value::Str("1"));
+  // A labeled null is not equal to any constant.
+  EXPECT_NE(Value::Null(1), Value::Int(1));
+  EXPECT_NE(Value::Null(1), Value::Str("N1"));
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  std::set<Value> values = {Value::Int(3), Value::Int(1), Value::Str("b"),
+                            Value::Str("a"), Value::Null(2), Value::Null(1),
+                            Value::Real(0.5)};
+  EXPECT_EQ(values.size(), 7u);
+  // Same-kind ordering is payload ordering.
+  EXPECT_LT(Value::Int(1), Value::Int(3));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  EXPECT_LT(Value::Null(1), Value::Null(2));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+  EXPECT_EQ(Value::Null(3).Hash(), Value::Null(3).Hash());
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  // Not guaranteed in general, but these particular values should not
+  // collide with a reasonable hash.
+  std::unordered_set<size_t> hashes = {
+      Value::Int(1).Hash(), Value::Str("1").Hash(), Value::Null(1).Hash()};
+  EXPECT_EQ(hashes.size(), 3u);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("J. Long").ToString(), "\"J. Long\"");
+  EXPECT_EQ(Value::Null(12).ToString(), "#N12");
+}
+
+TEST(ValueTest, UsableInUnorderedSet) {
+  std::unordered_set<Value> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Int(1));
+  set.insert(Value::Str("a"));
+  set.insert(Value::Null(1));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(Value::Int(1)));
+  EXPECT_FALSE(set.count(Value::Int(2)));
+}
+
+}  // namespace
+}  // namespace spider

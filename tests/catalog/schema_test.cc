@@ -1,0 +1,77 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+
+namespace spider {
+namespace {
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s("src");
+  RelationId cards = s.AddRelation("Cards", {"cardNo", "limit", "ssn"});
+  RelationId accounts = s.AddRelation("Accounts", {"accNo", "limit"});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.Find("Cards"), cards);
+  EXPECT_EQ(s.Find("Accounts"), accounts);
+  EXPECT_EQ(s.Find("Nope"), kInvalidRelation);
+  EXPECT_EQ(s.relation(cards).name(), "Cards");
+  EXPECT_EQ(s.relation(cards).arity(), 3u);
+}
+
+TEST(SchemaTest, RequireThrowsOnUnknown) {
+  Schema s("src");
+  s.AddRelation("R", {"a"});
+  EXPECT_NO_THROW(s.Require("R"));
+  EXPECT_THROW(s.Require("Q"), SpiderError);
+}
+
+TEST(SchemaTest, DuplicateRelationRejected) {
+  Schema s("src");
+  s.AddRelation("R", {"a"});
+  EXPECT_THROW(s.AddRelation("R", {"b", "c"}), SpiderError);
+}
+
+TEST(SchemaTest, EmptyRelationNameRejected) {
+  Schema s("src");
+  EXPECT_THROW(s.AddRelation("", {"a"}), SpiderError);
+}
+
+TEST(SchemaTest, ZeroArityRejected) {
+  Schema s("src");
+  EXPECT_THROW(s.AddRelation("R", {}), SpiderError);
+}
+
+TEST(SchemaTest, AttributeIndex) {
+  Schema s("src");
+  RelationId r = s.AddRelation("R", {"a", "b", "c"});
+  EXPECT_EQ(s.relation(r).AttributeIndex("a"), 0);
+  EXPECT_EQ(s.relation(r).AttributeIndex("c"), 2);
+  EXPECT_EQ(s.relation(r).AttributeIndex("z"), -1);
+}
+
+TEST(SchemaTest, TotalElementsCountsRelationsAndAttributes) {
+  Schema s("src");
+  s.AddRelation("R", {"a", "b"});
+  s.AddRelation("Q", {"x", "y", "z"});
+  // 2 relations + 5 attributes.
+  EXPECT_EQ(s.TotalElements(), 7u);
+}
+
+TEST(SchemaTest, ToStringListsRelations) {
+  Schema s("bank");
+  s.AddRelation("Accounts", {"accNo", "limit"});
+  std::string str = s.ToString();
+  EXPECT_NE(str.find("schema bank"), std::string::npos);
+  EXPECT_NE(str.find("Accounts(accNo, limit)"), std::string::npos);
+}
+
+TEST(SchemaTest, RelationIdsAreDense) {
+  Schema s("src");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(s.AddRelation("R" + std::to_string(i), {"a"}), i);
+  }
+}
+
+}  // namespace
+}  // namespace spider

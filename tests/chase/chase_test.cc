@@ -1,0 +1,209 @@
+#include "chase/chase.h"
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "chase/homomorphism.h"
+#include "chase/solution_check.h"
+#include "mapping/parser.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+TEST(ChaseTest, CopiesWithStTgd) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); }
+    target schema { T(a, b); }
+    m: R(x, y) -> T(x, y);
+    source instance { R(1, 2); R(3, 4); }
+  )");
+  ChaseStats stats = ChaseScenario(&s);
+  EXPECT_EQ(stats.st_steps, 2u);
+  EXPECT_EQ(s.target->TotalTuples(), 2u);
+  EXPECT_TRUE(s.target->FindRow(0, Tuple({Value::Int(1), Value::Int(2)}))
+                  .has_value());
+}
+
+TEST(ChaseTest, InventsLabeledNullsForExistentials) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(a, b); }
+    m: R(x) -> exists Y . T(x, Y);
+    source instance { R(1); }
+  )");
+  ChaseStats stats = ChaseScenario(&s);
+  EXPECT_EQ(stats.nulls_created, 1u);
+  const Tuple& t = s.target->tuple(0, 0);
+  EXPECT_EQ(t.at(0), Value::Int(1));
+  EXPECT_TRUE(t.at(1).is_null());
+  EXPECT_EQ(s.max_null_id, 1);
+}
+
+TEST(ChaseTest, StandardChaseDoesNotFireSatisfiedTriggers) {
+  // Both R rows map to the same T row; the second trigger is already
+  // satisfied and must not fire.
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); }
+    target schema { T(a); }
+    m: R(x, y) -> exists Z . T(Z);
+    source instance { R(1, 2); R(3, 4); }
+  )");
+  ChaseStats stats = ChaseScenario(&s);
+  EXPECT_EQ(stats.st_steps, 1u);
+  EXPECT_EQ(s.target->TotalTuples(), 1u);
+}
+
+TEST(ChaseTest, TargetTgdsRunToFixpoint) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T1(a); T2(a); T3(a); }
+    m: S(x) -> T1(x);
+    t1: T1(x) -> T2(x);
+    t2: T2(x) -> T3(x);
+    source instance { S(1); }
+  )");
+  ChaseScenario(&s);
+  EXPECT_EQ(s.target->TotalTuples(), 3u);
+}
+
+TEST(ChaseTest, TransitiveClosure) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(x, y); }
+    target schema { T(x, y); }
+    sigma1: S(x,y) -> T(x,y);
+    sigma2: T(x,y) & T(y,z) -> T(x,z);
+    source instance { S(1,2); S(2,3); S(3,4); }
+  )");
+  ChaseScenario(&s);
+  // 1->2,2->3,3->4 plus 1->3,2->4,1->4.
+  EXPECT_EQ(s.target->TotalTuples(), 6u);
+}
+
+TEST(ChaseTest, EgdUnifiesNullWithConstant) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); P(a, c); }
+    target schema { T(a, b, c); }
+    m1: R(x, y) -> exists C . T(x, y, C);
+    m2: P(x, z) -> exists B . T(x, B, z);
+    e: T(x, y, z) & T(x, y2, z2) -> y = y2;
+    e2: T(x, y, z) & T(x, y2, z2) -> z = z2;
+    source instance { R(1, "b"); P(1, "c"); }
+  )");
+  ChaseStats stats = ChaseScenario(&s);
+  EXPECT_GE(stats.egd_steps, 2u);
+  // The two T facts must have merged into T(1, "b", "c").
+  EXPECT_EQ(s.target->TotalTuples(), 1u);
+  EXPECT_EQ(s.target->tuple(0, 0),
+            Tuple({Value::Int(1), Value::Str("b"), Value::Str("c")}));
+}
+
+TEST(ChaseTest, EgdFailureOnDistinctConstants) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); }
+    target schema { T(a, b); }
+    m: R(x, y) -> T(x, y);
+    e: T(x, y) & T(x, y2) -> y = y2;
+    source instance { R(1, 10); R(1, 20); }
+  )");
+  ChaseResult result = Chase(*s.mapping, *s.source);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kEgdFailure);
+  EXPECT_NE(result.failure_message.find("e"), std::string::npos);
+  EXPECT_THROW(ChaseScenario(&s), SpiderError);
+}
+
+TEST(ChaseTest, EgdUnifiesTwoNullsDeterministically) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); P(a); }
+    target schema { T(a, b); }
+    m1: R(x) -> exists B . T(x, B);
+    m2: P(x) -> exists B . T(x, B);
+    e: T(x, y) & T(x, y2) -> y = y2;
+    source instance { R(1); P(1); }
+  )");
+  ChaseScenario(&s);
+  EXPECT_EQ(s.target->TotalTuples(), 1u);
+  EXPECT_TRUE(s.target->tuple(0, 0).at(1).is_null());
+}
+
+TEST(ChaseTest, StepLimitDetectsDivergence) {
+  // T(x,y) -> exists Z . T(y,Z) diverges on any nonempty T.
+  Scenario s = ParseScenario(R"(
+    source schema { S(x, y); }
+    target schema { T(x, y); }
+    m: S(x, y) -> T(x, y);
+    t: T(x, y) -> exists Z . T(y, Z);
+    source instance { S(1, 2); }
+  )");
+  ChaseOptions options;
+  options.max_steps = 1000;
+  ChaseResult result = Chase(*s.mapping, *s.source, options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kStepLimit);
+}
+
+TEST(ChaseTest, ProducesSolution) {
+  Scenario s = testing::CreditCardScenario();
+  // Chase I from scratch; the result must satisfy all dependencies.
+  ChaseResult result = Chase(*s.mapping, *s.source);
+  ASSERT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  std::string why;
+  EXPECT_TRUE(IsSolution(*s.mapping, *s.source, *result.target, &why)) << why;
+}
+
+TEST(ChaseTest, PaperTargetInstanceIsSolution) {
+  // Figure 2's J is a solution for I (the paper's premise).
+  Scenario s = testing::CreditCardScenario();
+  std::string why;
+  EXPECT_TRUE(IsSolution(*s.mapping, *s.source, *s.target, &why)) << why;
+}
+
+TEST(ChaseTest, ChaseResultIsUniversal) {
+  // The chased instance maps homomorphically into the paper's J.
+  Scenario s = testing::CreditCardScenario();
+  ChaseResult result = Chase(*s.mapping, *s.source);
+  ASSERT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  EXPECT_TRUE(FindHomomorphism(*result.target, *s.target).has_value());
+}
+
+TEST(ChaseTest, NullCounterContinuesFromScenario) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(a, b); U(a); }
+    m: R(x) -> exists Y . T(x, Y);
+    source instance { R(1); }
+    target instance { U(#Z9); }
+  )");
+  int64_t declared = s.max_null_id;
+  ChaseScenario(&s);
+  const Tuple& t = s.target->tuple(0, 0);
+  EXPECT_TRUE(t.at(1).is_null());
+  EXPECT_GT(t.at(1).AsNull().id, 0);
+  EXPECT_GT(s.max_null_id, declared);
+}
+
+TEST(ChaseTest, IsSolutionDetectsViolation) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(a); }
+    m: R(x) -> T(x);
+    source instance { R(1); }
+    target instance { }
+  )");
+  std::string why;
+  EXPECT_FALSE(IsSolution(*s.mapping, *s.source, *s.target, &why));
+  EXPECT_NE(why.find("m"), std::string::npos);
+}
+
+TEST(ChaseTest, EmptySourceYieldsEmptySolution) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(a); }
+    m: R(x) -> T(x);
+    t: T(x) -> T(x);
+  )");
+  ChaseScenario(&s);
+  EXPECT_EQ(s.target->TotalTuples(), 0u);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,116 @@
+#include "chase/core.h"
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "mapping/parser.h"
+
+namespace spider {
+namespace {
+
+TEST(CoreTest, NullPaddedFactFoldsIntoSpecificOne) {
+  // Chase order makes m1 fire before m2, leaving both T(1, #N) and T(1, 5);
+  // the former is redundant and the core drops it.
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); P(a, b); }
+    target schema { T(a, b); }
+    m1: S(x) -> exists Y . T(x, Y);
+    m2: S(x) & P(x, y) -> T(x, y);
+    source instance { S(1); P(1, 5); }
+  )");
+  ChaseScenario(&s);
+  ASSERT_EQ(s.target->TotalTuples(), 2u);
+  CoreResult result = ComputeCore(*s.target);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.facts_removed, 1u);
+  ASSERT_EQ(result.core->TotalTuples(), 1u);
+  EXPECT_EQ(result.core->tuple(0, 0), Tuple({Value::Int(1), Value::Int(5)}));
+  // The core is homomorphically equivalent to the original.
+  EXPECT_TRUE(HomomorphicallyEquivalent(*s.target, *result.core));
+}
+
+TEST(CoreTest, ConstantFactsNeverRemoved) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    source instance { S(1); }
+    target instance { T(1, 2); T(1, 3); }
+  )");
+  CoreResult result = ComputeCore(*s.target);
+  EXPECT_EQ(result.facts_removed, 0u);
+  EXPECT_EQ(result.core->TotalTuples(), 2u);
+}
+
+TEST(CoreTest, AlreadyCoreInstanceUnchanged) {
+  // Two nulls in genuinely different roles cannot fold.
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    target instance { T(1, #X); T(2, #Y); }
+  )");
+  CoreResult result = ComputeCore(*s.target);
+  EXPECT_EQ(result.facts_removed, 0u);
+  EXPECT_EQ(result.core->TotalTuples(), 2u);
+}
+
+TEST(CoreTest, ChainOfRedundantNulls) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    target instance { T(1, #X); T(1, #Y); T(1, #Z); T(1, 9); }
+  )");
+  CoreResult result = ComputeCore(*s.target);
+  EXPECT_EQ(result.facts_removed, 3u);
+  EXPECT_EQ(result.core->TotalTuples(), 1u);
+}
+
+TEST(CoreTest, SharedNullBlocksFolding) {
+  // #X occurs in two facts; folding T(1, #X) into T(1, 9) would force
+  // U(#X) -> U(9), which exists, so BOTH facts fold; but if U(9) is absent
+  // the shared null keeps them.
+  Scenario with_u9 = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); U(b); }
+    target instance { T(1, #X); U(#X); T(1, 9); U(9); }
+  )");
+  CoreResult folded = ComputeCore(*with_u9.target);
+  EXPECT_EQ(folded.facts_removed, 2u);
+
+  Scenario without_u9 = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); U(b); }
+    target instance { T(1, #X); U(#X); T(1, 9); }
+  )");
+  CoreResult kept = ComputeCore(*without_u9.target);
+  EXPECT_EQ(kept.facts_removed, 0u);
+  EXPECT_EQ(kept.core->TotalTuples(), 3u);
+}
+
+TEST(CoreTest, IsRedundantFact) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    target instance { T(1, #X); T(1, 9); }
+  )");
+  RelationId t = s.mapping->target().Require("T");
+  FactRef padded{Side::kTarget, t, 0};
+  FactRef specific{Side::kTarget, t, 1};
+  EXPECT_TRUE(IsRedundantFact(*s.target, padded));
+  EXPECT_FALSE(IsRedundantFact(*s.target, specific));
+}
+
+TEST(CoreTest, BudgetStopsGracefully) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    target instance { T(1, #X); T(1, #Y); T(1, 9); }
+  )");
+  CoreOptions options;
+  options.max_hom_tests = 1;
+  CoreResult result = ComputeCore(*s.target, options);
+  EXPECT_FALSE(result.complete);
+}
+
+}  // namespace
+}  // namespace spider

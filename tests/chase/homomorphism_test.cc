@@ -1,0 +1,64 @@
+#include "chase/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+
+namespace spider {
+namespace {
+
+Scenario TwoInstances(const std::string& target_facts) {
+  return ParseScenario("source schema { R(a); }\n"
+                       "target schema { T(a, b); }\n"
+                       "target instance {\n" +
+                       target_facts + "\n}\n");
+}
+
+TEST(HomomorphismTest, NullMapsToConstant) {
+  Scenario from = TwoInstances("T(1, #X);");
+  Scenario to = TwoInstances("T(1, 2);");
+  auto hom = FindHomomorphism(*from.target, *to.target);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->at(1), Value::Int(2));
+}
+
+TEST(HomomorphismTest, ConstantsAreFixed) {
+  Scenario from = TwoInstances("T(1, 2);");
+  Scenario to = TwoInstances("T(1, 3);");
+  EXPECT_FALSE(FindHomomorphism(*from.target, *to.target).has_value());
+}
+
+TEST(HomomorphismTest, SharedNullMustMapConsistently) {
+  Scenario from = TwoInstances("T(1, #X); T(2, #X);");
+  Scenario to_consistent = TwoInstances("T(1, 5); T(2, 5);");
+  Scenario to_inconsistent = TwoInstances("T(1, 5); T(2, 6);");
+  EXPECT_TRUE(
+      FindHomomorphism(*from.target, *to_consistent.target).has_value());
+  EXPECT_FALSE(
+      FindHomomorphism(*from.target, *to_inconsistent.target).has_value());
+}
+
+TEST(HomomorphismTest, NullToNullAllowed) {
+  Scenario from = TwoInstances("T(1, #X);");
+  Scenario to = TwoInstances("T(1, #Y);");
+  auto hom = FindHomomorphism(*from.target, *to.target);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_TRUE(hom->at(1).is_null());
+}
+
+TEST(HomomorphismTest, EmptyInstanceMapsAnywhere) {
+  Scenario from = TwoInstances("");
+  Scenario to = TwoInstances("T(1, 1);");
+  EXPECT_TRUE(FindHomomorphism(*from.target, *to.target).has_value());
+  // And nothing maps into an empty instance unless it is empty too.
+  EXPECT_FALSE(FindHomomorphism(*to.target, *from.target).has_value());
+}
+
+TEST(HomomorphismTest, Equivalence) {
+  Scenario a = TwoInstances("T(1, #X);");
+  Scenario b = TwoInstances("T(1, #Y); T(1, #Z);");
+  EXPECT_TRUE(HomomorphicallyEquivalent(*a.target, *b.target));
+}
+
+}  // namespace
+}  // namespace spider

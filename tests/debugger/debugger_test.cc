@@ -1,0 +1,131 @@
+#include "debugger/debugger.h"
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+class DebuggerTest : public ::testing::Test {
+ protected:
+  DebuggerTest()
+      : scenario_(testing::CreditCardScenario()), debugger_(&scenario_) {}
+
+  Scenario scenario_;
+  MappingDebugger debugger_;
+};
+
+TEST_F(DebuggerTest, ResolvesTargetFactFromText) {
+  FactRef t1 = debugger_.TargetFact("Accounts(6689, \"15K\", 434)");
+  EXPECT_EQ(t1.side, Side::kTarget);
+  EXPECT_EQ(debugger_.RenderFactRef(t1), "Accounts(6689, \"15K\", 434)");
+}
+
+TEST_F(DebuggerTest, ResolvesNamedNulls) {
+  FactRef t2 = debugger_.TargetFact("Accounts(#N1, \"2K\", 234)");
+  EXPECT_EQ(debugger_.RenderFactRef(t2), "Accounts(#N1, \"2K\", 234)");
+}
+
+TEST_F(DebuggerTest, UnknownFactThrows) {
+  EXPECT_THROW(debugger_.TargetFact("Accounts(1, \"1K\", 1)"), SpiderError);
+  EXPECT_THROW(debugger_.TargetFact("Nope(1)"), SpiderError);
+}
+
+TEST_F(DebuggerTest, OneRouteRenders) {
+  FactRef t5 =
+      debugger_.TargetFact(R"(Clients(434, "Smith", "Smith", "50K", #A1))");
+  OneRouteResult result = debugger_.OneRoute({t5});
+  ASSERT_TRUE(result.found);
+  std::string rendered = debugger_.Render(result.route);
+  EXPECT_NE(rendered.find("m1"), std::string::npos);
+  EXPECT_NE(rendered.find("Cards(6689"), std::string::npos);
+  // The named null renders as #A1, not as a raw id.
+  EXPECT_NE(rendered.find("#A1"), std::string::npos);
+}
+
+TEST_F(DebuggerTest, AllRoutesRenders) {
+  FactRef t4 = debugger_.TargetFact("Accounts(5539, \"40K\", 153)");
+  RouteForest forest = debugger_.AllRoutes({t4});
+  std::string rendered = debugger_.Render(forest);
+  EXPECT_NE(rendered.find("m3"), std::string::npos);
+  EXPECT_NE(rendered.find("[source]"), std::string::npos);
+}
+
+TEST_F(DebuggerTest, EnumerateRoutesOnDemand) {
+  FactRef t4 = debugger_.TargetFact("Accounts(5539, \"40K\", 153)");
+  auto en = debugger_.EnumerateRoutes({t4});
+  EXPECT_TRUE(en->Next().has_value());
+  EXPECT_TRUE(en->Next().has_value());
+}
+
+TEST_F(DebuggerTest, SourceFactAndConsequences) {
+  FactRef s2 = debugger_.SourceFact(
+      R"(SupplementaryCards(6689, 234, "A. Long", "California"))");
+  ConsequenceForest forest = debugger_.SourceConsequences({s2});
+  EXPECT_FALSE(forest.steps.empty());
+  std::string rendered = debugger_.Render(forest);
+  EXPECT_NE(rendered.find("m2"), std::string::npos);
+  EXPECT_NE(rendered.find("produced"), std::string::npos);
+}
+
+TEST_F(DebuggerTest, BreakpointsValidateTgdNames) {
+  debugger_.SetBreakpoint("m5");
+  EXPECT_EQ(debugger_.breakpoints().size(), 1u);
+  EXPECT_THROW(debugger_.SetBreakpoint("zzz"), SpiderError);
+  debugger_.ClearBreakpoint("m5");
+  EXPECT_TRUE(debugger_.breakpoints().empty());
+}
+
+TEST_F(DebuggerTest, PlayerStepsThroughRoute) {
+  FactRef t2 = debugger_.TargetFact("Accounts(#N1, \"2K\", 234)");
+  OneRouteResult result = debugger_.OneRoute({t2});
+  ASSERT_TRUE(result.found);
+  RoutePlayer player = debugger_.Play(result.route);
+  EXPECT_EQ(player.position(), 0u);
+  EXPECT_TRUE(player.Step());
+  EXPECT_EQ(player.produced().size(), 1u);  // t6
+  EXPECT_TRUE(player.Step());
+  EXPECT_EQ(player.produced().size(), 2u);  // + t2
+  EXPECT_FALSE(player.Step());
+  EXPECT_TRUE(player.done());
+  player.Reset();
+  EXPECT_EQ(player.position(), 0u);
+  EXPECT_TRUE(player.produced().empty());
+}
+
+TEST_F(DebuggerTest, PlayerStopsAtBreakpoint) {
+  debugger_.SetBreakpoint("m5");
+  FactRef t2 = debugger_.TargetFact("Accounts(#N1, \"2K\", 234)");
+  OneRouteResult result = debugger_.OneRoute({t2});
+  RoutePlayer player = debugger_.Play(result.route);
+  EXPECT_TRUE(player.RunToBreakpoint());
+  // Stopped after m2, before m5.
+  EXPECT_EQ(player.position(), 1u);
+  // Resuming steps over the breakpoint... RunToBreakpoint would stall, so
+  // Step() past it, then run to the end.
+  EXPECT_TRUE(player.Step());
+  EXPECT_FALSE(player.RunToBreakpoint());
+  EXPECT_TRUE(player.done());
+}
+
+TEST_F(DebuggerTest, WatchShowsAssignmentAndFacts) {
+  FactRef t2 = debugger_.TargetFact("Accounts(#N1, \"2K\", 234)");
+  OneRouteResult result = debugger_.OneRoute({t2});
+  RoutePlayer player = debugger_.Play(result.route);
+  player.Step();
+  std::string watch = player.Watch();
+  EXPECT_NE(watch.find("position: 1/2"), std::string::npos);
+  EXPECT_NE(watch.find("last step: m2"), std::string::npos);
+  EXPECT_NE(watch.find("next step: m5"), std::string::npos);
+  EXPECT_NE(watch.find("Clients(234"), std::string::npos);
+}
+
+TEST_F(DebuggerTest, RequiresCompleteScenario) {
+  Scenario incomplete;
+  EXPECT_THROW(MappingDebugger{&incomplete}, SpiderError);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,69 @@
+#include "debugger/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "debugger/debugger.h"
+#include "routes/one_route.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+class DotExportTest : public ::testing::Test {
+ protected:
+  DotExportTest()
+      : scenario_(testing::CreditCardScenario()), debugger_(&scenario_) {}
+
+  Scenario scenario_;
+  MappingDebugger debugger_;
+};
+
+TEST_F(DotExportTest, ForestContainsNodesEdgesAndHighlights) {
+  FactRef t4 = debugger_.TargetFact(R"(Accounts(5539, "40K", 153))");
+  RouteForest forest = debugger_.AllRoutes({t4});
+  std::string dot = RouteForestToDot(forest, debugger_.render_context());
+  EXPECT_NE(dot.find("digraph route_forest"), std::string::npos);
+  // The selected fact is emphasized.
+  EXPECT_NE(dot.find("#ffe9a8"), std::string::npos);
+  // Source facts are shaded, branch labels show tgd names.
+  EXPECT_NE(dot.find("#dcebff"), std::string::npos);
+  EXPECT_NE(dot.find("\"m3\""), std::string::npos);
+  // Both m3 witnesses (s3 and s4) appear.
+  EXPECT_NE(dot.find("FBAccounts(1001"), std::string::npos);
+  EXPECT_NE(dot.find("FBAccounts(4341"), std::string::npos);
+  // Balanced braces, ends with a newline.
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST_F(DotExportTest, SharedSubtreesEmittedOnce) {
+  FactRef t2 = debugger_.TargetFact(R"(Accounts(#N1, "2K", 234))");
+  RouteForest forest = debugger_.AllRoutes({t2});
+  std::string dot = RouteForestToDot(forest, debugger_.render_context());
+  // The t6 node appears exactly once as a node definition.
+  std::string needle = "label=\"Clients(234, \\\"A. Long\\\", #M1, #I1";
+  size_t first = dot.find(needle);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(dot.find(needle, first + 1), std::string::npos);
+}
+
+TEST_F(DotExportTest, QuotesEscaped) {
+  FactRef t5 =
+      debugger_.TargetFact(R"(Clients(434, "Smith", "Smith", "50K", #A1))");
+  RouteForest forest = debugger_.AllRoutes({t5});
+  std::string dot = RouteForestToDot(forest, debugger_.render_context());
+  EXPECT_NE(dot.find("\\\"Smith\\\""), std::string::npos);
+}
+
+TEST_F(DotExportTest, RouteChain) {
+  FactRef t2 = debugger_.TargetFact(R"(Accounts(#N1, "2K", 234))");
+  OneRouteResult result = debugger_.OneRoute({t2});
+  ASSERT_TRUE(result.found);
+  std::string dot = RouteToDot(result.route, debugger_.render_context());
+  EXPECT_NE(dot.find("digraph route"), std::string::npos);
+  EXPECT_NE(dot.find("1: m2"), std::string::npos);
+  EXPECT_NE(dot.find("2: m5"), std::string::npos);
+  EXPECT_NE(dot.find("SupplementaryCards"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spider

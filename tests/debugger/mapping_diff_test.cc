@@ -1,0 +1,164 @@
+#include "debugger/mapping_diff.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+
+namespace spider {
+namespace {
+
+Scenario Before() {
+  return ParseScenario(R"(
+    source schema { Cards(cardNo, limit, ssn, name, maidenName, salary, location); }
+    target schema {
+      Accounts(accNo, limit, accHolder);
+      Clients(ssn, name, maidenName, income, address);
+    }
+    m1: Cards(cn,l,s,n,m,sal,loc) ->
+          exists A . Accounts(cn,l,s) & Clients(s,m,m,sal,A);
+    source instance {
+      Cards(6689, "15K", 434, "J. Long", "Smith", "50K", "Seattle");
+    }
+  )");
+}
+
+Scenario After() {
+  // Scenario 1's fix: name from name, address from location.
+  return ParseScenario(R"(
+    source schema { Cards(cardNo, limit, ssn, name, maidenName, salary, location); }
+    target schema {
+      Accounts(accNo, limit, accHolder);
+      Clients(ssn, name, maidenName, income, address);
+    }
+    m1: Cards(cn,l,s,n,m,sal,loc) -> Accounts(cn,l,s) & Clients(s,n,m,sal,loc);
+    source instance {
+      Cards(6689, "15K", 434, "J. Long", "Smith", "50K", "Seattle");
+    }
+  )");
+}
+
+TEST(MappingDiffTest, Scenario1FixShowsTheRepairedClient) {
+  Scenario before = Before();
+  Scenario after = After();
+  MappingDiffReport report =
+      DiffMappings(*before.mapping, *before.source, *after.mapping,
+                   *after.source);
+  EXPECT_FALSE(report.Unchanged());
+  // The broken client row disappears, the repaired one appears; the
+  // Accounts row is untouched.
+  ASSERT_EQ(report.removed.size(), 1u);
+  ASSERT_EQ(report.added.size(), 1u);
+  EXPECT_EQ(report.removed[0].relation, "Clients");
+  EXPECT_EQ(report.removed[0].tuple.at(1), Value::Str("Smith"));
+  EXPECT_TRUE(report.removed[0].tuple.at(4).is_null());
+  EXPECT_EQ(report.added[0].tuple.at(1), Value::Str("J. Long"));
+  EXPECT_EQ(report.added[0].tuple.at(4), Value::Str("Seattle"));
+  // The dependency change is reported.
+  EXPECT_EQ(report.removed_dependencies.size(), 1u);
+  EXPECT_EQ(report.added_dependencies.size(), 1u);
+}
+
+TEST(MappingDiffTest, IdenticalMappingsUnchanged) {
+  Scenario a = Before();
+  Scenario b = Before();
+  MappingDiffReport report =
+      DiffMappings(*a.mapping, *a.source, *b.mapping, *b.source);
+  EXPECT_TRUE(report.Unchanged());
+  EXPECT_TRUE(report.removed_dependencies.empty());
+  EXPECT_TRUE(report.added_dependencies.empty());
+}
+
+TEST(MappingDiffTest, NullBlindnessIgnoresNullRenaming) {
+  // Both mappings invent existential nulls; different chase orders number
+  // them differently, but the diff must be empty.
+  Scenario a = Before();
+  Scenario b = Before();
+  // Pre-populate b's scenario with an unrelated null id offset.
+  b.max_null_id = 500;
+  MappingDiffReport report =
+      DiffMappings(*a.mapping, *a.source, *b.mapping, *b.source);
+  EXPECT_TRUE(report.Unchanged());
+}
+
+TEST(MappingDiffTest, DroppedTgdRemovesItsFacts) {
+  Scenario before = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a); U(a); }
+    m1: S(x) -> T(x);
+    m2: S(x) -> U(x);
+    source instance { S(1); S(2); }
+  )");
+  Scenario after = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a); U(a); }
+    m1: S(x) -> T(x);
+    source instance { S(1); S(2); }
+  )");
+  MappingDiffReport report = DiffMappings(*before.mapping, *before.source,
+                                          *after.mapping, *after.source);
+  EXPECT_EQ(report.removed.size(), 2u);  // U(1), U(2)
+  EXPECT_TRUE(report.added.empty());
+  EXPECT_EQ(report.before_total, 4u);
+  EXPECT_EQ(report.after_total, 2u);
+}
+
+TEST(MappingDiffTest, StandardChaseReusesNullWitnesses) {
+  // With the STANDARD chase, m2's trigger is already satisfied by m1's
+  // invented null, so dropping m2 changes nothing — the diff is empty.
+  Scenario before = ParseScenario(R"(
+    source schema { S(a); P(a); }
+    target schema { U(a, b); }
+    m1: S(x) -> exists Y . U(x, Y);
+    m2: P(x) -> exists Z . U(x, Z);
+    source instance { S(1); P(1); }
+  )");
+  Scenario after = ParseScenario(R"(
+    source schema { S(a); P(a); }
+    target schema { U(a, b); }
+    m1: S(x) -> exists Y . U(x, Y);
+    source instance { S(1); P(1); }
+  )");
+  MappingDiffReport report = DiffMappings(*before.mapping, *before.source,
+                                          *after.mapping, *after.source);
+  EXPECT_TRUE(report.Unchanged());
+}
+
+TEST(MappingDiffTest, MultiplicityCounted) {
+  // Copying vs. null-inventing variants of the same tgd: the copying side
+  // keeps both rows, the inventing side collapses them into one null-padded
+  // fact (the standard chase fires only once for x=1).
+  Scenario before2 = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { U(a, b); }
+    m1: S(x, t) -> U(x, t);
+    source instance { S(1, 10); S(1, 20); }
+  )");
+  Scenario after = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { U(a, b); }
+    m1: S(x, t) -> exists Y . U(x, Y);
+    source instance { S(1, 10); S(1, 20); }
+  )");
+  MappingDiffReport report = DiffMappings(*before2.mapping, *before2.source,
+                                          *after.mapping, *after.source);
+  // before2: U(1,10), U(1,20); after: U(1, #null) once.
+  EXPECT_EQ(report.before_total, 2u);
+  EXPECT_EQ(report.after_total, 1u);
+  ASSERT_EQ(report.removed.size(), 2u);
+  ASSERT_EQ(report.added.size(), 1u);
+  EXPECT_TRUE(report.added[0].tuple.at(1).is_null());
+}
+
+TEST(MappingDiffTest, ToStringMentionsEverything) {
+  Scenario before = Before();
+  Scenario after = After();
+  MappingDiffReport report = DiffMappings(*before.mapping, *before.source,
+                                          *after.mapping, *after.source);
+  std::string str = report.ToString();
+  EXPECT_NE(str.find("m1"), std::string::npos);
+  EXPECT_NE(str.find("- Clients"), std::string::npos);
+  EXPECT_NE(str.find("+ Clients"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,77 @@
+#include "debugger/render.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "debugger/debugger.h"
+
+#include "routes/one_route.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+class RenderTest : public ::testing::Test {
+ protected:
+  RenderTest() : scenario_(testing::CreditCardScenario()) {
+    ctx_.mapping = scenario_.mapping.get();
+    ctx_.source = scenario_.source.get();
+    ctx_.target = scenario_.target.get();
+    ctx_.null_names = &scenario_.null_names;
+  }
+
+  Scenario scenario_;
+  RenderContext ctx_;
+};
+
+TEST_F(RenderTest, ValuesUseDisplayNamesForNulls) {
+  EXPECT_EQ(RenderValue(Value::Null(1), ctx_), "#N1");  // named N1 in text
+  EXPECT_EQ(RenderValue(Value::Null(2), ctx_), "#A1");
+  // A null with no display name falls back to #N<id>.
+  EXPECT_EQ(RenderValue(Value::Null(999), ctx_), "#N999");
+  EXPECT_EQ(RenderValue(Value::Int(5), ctx_), "5");
+  EXPECT_EQ(RenderValue(Value::Str("x"), ctx_), "\"x\"");
+}
+
+TEST_F(RenderTest, NullContextFallsBackToIds) {
+  RenderContext bare = ctx_;
+  bare.null_names = nullptr;
+  EXPECT_EQ(RenderValue(Value::Null(2), bare), "#N2");
+}
+
+TEST_F(RenderTest, TupleAndFact) {
+  EXPECT_EQ(RenderTuple(Tuple({Value::Int(1), Value::Null(2)}), ctx_),
+            "(1, #A1)");
+  FactRef s1{Side::kSource, scenario_.mapping->source().Require("Cards"), 0};
+  EXPECT_EQ(RenderFact(s1, ctx_),
+            R"(Cards(6689, "15K", 434, "J. Long", "Smith", "50K", "Seattle"))");
+}
+
+TEST_F(RenderTest, BindingOmitsUnboundSlots) {
+  Binding b(3);
+  b.Set(0, Value::Int(7));
+  b.Set(2, Value::Null(2));
+  std::string rendered = RenderBinding(b, {"x", "y", "z"}, ctx_);
+  EXPECT_EQ(rendered, "{x -> 7, z -> #A1}");
+}
+
+TEST_F(RenderTest, InstanceRendersAllFacts) {
+  std::string rendered = RenderInstance(*scenario_.target, ctx_);
+  // One line per target fact, nulls named.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 10);
+  EXPECT_NE(rendered.find("#M5"), std::string::npos);
+}
+
+TEST_F(RenderTest, RouteRenderingUsesArrowsAndNames) {
+  MappingDebugger debugger(&scenario_);
+  FactRef t2 = debugger.TargetFact(R"(Accounts(#N1, "2K", 234))");
+  OneRouteResult result = debugger.OneRoute({t2});
+  std::string rendered = RenderRoute(result.route, ctx_);
+  EXPECT_NE(rendered.find("--m2, {"), std::string::npos);
+  EXPECT_NE(rendered.find("-->"), std::string::npos);
+  EXPECT_NE(rendered.find("#I1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spider

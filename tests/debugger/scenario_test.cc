@@ -1,0 +1,185 @@
+// End-to-end walkthroughs of the three debugging scenarios of §2.1.
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "chase/solution_check.h"
+#include "debugger/debugger.h"
+#include "mapping/parser.h"
+#include "routes/fact_util.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+class PaperScenarioTest : public ::testing::Test {
+ protected:
+  PaperScenarioTest()
+      : scenario_(testing::CreditCardScenario()), debugger_(&scenario_) {}
+
+  Scenario scenario_;
+  MappingDebugger debugger_;
+};
+
+TEST_F(PaperScenarioTest, Scenario1IncompleteAndIncorrectCorrespondences) {
+  // Alice probes t5 because its address is a null. The route shows s1 with
+  // m1 and the assignment of the paper; she reads off that location was
+  // never copied and maidenName was mapped to name.
+  FactRef t5 =
+      debugger_.TargetFact(R"(Clients(434, "Smith", "Smith", "50K", #A1))");
+  OneRouteResult result = debugger_.OneRoute({t5});
+  ASSERT_TRUE(result.found);
+  ASSERT_EQ(result.route.size(), 1u);
+  const SatStep& step = result.route.steps()[0];
+  const Tgd& m1 = scenario_.mapping->tgd(step.tgd);
+  EXPECT_EQ(m1.name(), "m1");
+  // The witness is s1.
+  std::vector<FactRef> lhs = LhsFacts(*scenario_.mapping, step.tgd, step.h,
+                                      *scenario_.source, *scenario_.target);
+  ASSERT_EQ(lhs.size(), 1u);
+  EXPECT_EQ(debugger_.RenderFactRef(lhs[0]),
+            R"(Cards(6689, "15K", 434, "J. Long", "Smith", "50K", "Seattle"))");
+
+  // Alice fixes m1 as in the paper (name from name, address from location);
+  // after re-chasing, the anomalous tuple is gone.
+  Scenario fixed = ParseScenario(R"(
+source schema {
+  Cards(cardNo, limit, ssn, name, maidenName, salary, location);
+}
+target schema {
+  Accounts(accNo, limit, accHolder);
+  Clients(ssn, name, maidenName, income, address);
+}
+m1: Cards(cn,l,s,n,m,sal,loc) -> Accounts(cn,l,s) & Clients(s,n,m,sal,loc);
+source instance {
+  Cards(6689, "15K", 434, "J. Long", "Smith", "50K", "Seattle");
+}
+)");
+  ChaseScenario(&fixed);
+  EXPECT_TRUE(fixed.target
+                  ->FindRow(fixed.mapping->target().Require("Clients"),
+                            Tuple({Value::Int(434), Value::Str("J. Long"),
+                                   Value::Str("Smith"), Value::Str("50K"),
+                                   Value::Str("Seattle")}))
+                  .has_value());
+}
+
+TEST_F(PaperScenarioTest, Scenario2MissingJoinCondition) {
+  // Alice probes t4 (credit limit 40K for an income of 30K). The first
+  // route uses s4 and s6; nothing odd. All routes reveal a second witness
+  // using s3 (ssn 234!) and s6 — m3 is missing the join on ssn.
+  FactRef t4 = debugger_.TargetFact(R"(Accounts(5539, "40K", 153))");
+  auto en = debugger_.EnumerateRoutes({t4});
+  std::optional<Route> first = en->Next();
+  ASSERT_TRUE(first.has_value());
+  std::optional<Route> second = en->Next();
+  ASSERT_TRUE(second.has_value());
+
+  // The two one-step witnesses use different FBAccounts rows with
+  // different ssn values.
+  RouteForest forest = debugger_.AllRoutes({t4});
+  const RouteForest::Node* node = forest.Find(t4);
+  std::vector<int64_t> witness_ssns;
+  for (const RouteForest::Branch& b : node->branches) {
+    if (scenario_.mapping->tgd(b.tgd).name() != "m3") continue;
+    for (const FactRef& f : b.lhs_facts) {
+      if (scenario_.mapping->source().relation(f.relation).name() ==
+          "FBAccounts") {
+        witness_ssns.push_back(
+            scenario_.source->tuple(f.relation, f.row).at(1).AsInt());
+      }
+    }
+  }
+  ASSERT_EQ(witness_ssns.size(), 2u);
+  EXPECT_NE(witness_ssns[0], witness_ssns[1]);
+
+  // With the corrected m3 (join on ssn), the chase no longer produces t4's
+  // bogus sibling Clients(153, "A. Long", ...).
+  Scenario fixed = ParseScenario(R"(
+source schema {
+  FBAccounts(bankNo, ssn, name, income, address);
+  CreditCards(cardNo, creditLimit, custSSN);
+}
+target schema {
+  Accounts(accNo, limit, accHolder);
+  Clients(ssn, name, maidenName, income, address);
+}
+m3: FBAccounts(bn,cs,n,i,a) & CreditCards(cn,cl,cs) ->
+      exists M . Accounts(cn,cl,cs) & Clients(cs,n,M,i,a);
+source instance {
+  FBAccounts(1001, 234, "A. Long", "30K", "California");
+  FBAccounts(4341, 153, "C. Don", "900K", "New York");
+  CreditCards(2252, "2K", 234);
+  CreditCards(5539, "40K", 153);
+}
+)");
+  ChaseScenario(&fixed);
+  RelationId clients = fixed.mapping->target().Require("Clients");
+  for (const Tuple& t : fixed.target->tuples(clients)) {
+    if (t.at(0) == Value::Int(153)) {
+      EXPECT_EQ(t.at(1), Value::Str("C. Don"));
+    }
+  }
+}
+
+TEST_F(PaperScenarioTest, Scenario3MissingAssociationBetweenRelations) {
+  // Alice probes N1 in t2. The route explains: t2 came from t6 via the
+  // target tgd m5 (with L mapped to "2K"), and t6 came from s2 via m2.
+  FactRef t2 = debugger_.TargetFact(R"(Accounts(#N1, "2K", 234))");
+  OneRouteResult result = debugger_.OneRoute({t2});
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.route.TgdNames(*scenario_.mapping), "m2 -> m5");
+  const SatStep& m5_step = result.route.steps()[1];
+  const Tgd& m5 = scenario_.mapping->tgd(m5_step.tgd);
+  // The existentially quantified L is assumed to map to "2K" of t2.
+  int l_var = -1;
+  for (size_t v = 0; v < m5.var_names().size(); ++v) {
+    if (m5.var_names()[v] == "L") l_var = static_cast<int>(v);
+  }
+  ASSERT_GE(l_var, 0);
+  EXPECT_EQ(m5_step.h.Get(l_var), Value::Str("2K"));
+
+  // Alice's corrected m2 joins SupplementaryCards with Cards and also
+  // populates Accounts; the supplementary card holder now gets a real
+  // account number (no null).
+  Scenario fixed = ParseScenario(R"(
+source schema {
+  Cards(cardNo, limit, ssn, name, maidenName, salary, location);
+  SupplementaryCards(accNo, ssn, name, address);
+}
+target schema {
+  Accounts(accNo, limit, accHolder);
+  Clients(ssn, name, maidenName, income, address);
+}
+m2: Cards(cn,l,s1,n1,m,sal,loc) & SupplementaryCards(cn,s2,n2,a) ->
+      exists M, I . Clients(s2,n2,M,I,a) & Accounts(cn,l,s2);
+source instance {
+  Cards(6689, "15K", 434, "J. Long", "Smith", "50K", "Seattle");
+  SupplementaryCards(6689, 234, "A. Long", "California");
+}
+)");
+  ChaseScenario(&fixed);
+  RelationId accounts = fixed.mapping->target().Require("Accounts");
+  ASSERT_EQ(fixed.target->NumTuples(accounts), 1u);
+  const Tuple& account = fixed.target->tuple(accounts, 0);
+  EXPECT_EQ(account.at(0), Value::Int(6689));   // real account number
+  EXPECT_EQ(account.at(1), Value::Str("15K"));  // sponsor's credit limit
+  EXPECT_EQ(account.at(2), Value::Int(234));
+}
+
+TEST_F(PaperScenarioTest, RoutesAreComputedInTheirEntirety) {
+  // §2.1's remark: routes are always complete even though only part may
+  // demonstrate the problem — the two-step route for t2 also exhibits the
+  // full witness chain down to the source.
+  FactRef t2 = debugger_.TargetFact(R"(Accounts(#N1, "2K", 234))");
+  OneRouteResult result = debugger_.OneRoute({t2});
+  ASSERT_TRUE(result.found);
+  std::vector<FactRef> lhs0 =
+      LhsFacts(*scenario_.mapping, result.route.steps()[0].tgd,
+               result.route.steps()[0].h, *scenario_.source,
+               *scenario_.target);
+  ASSERT_EQ(lhs0.size(), 1u);
+  EXPECT_EQ(lhs0[0].side, Side::kSource);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,425 @@
+// Property-based tests: the paper's theorems checked over families of
+// scenarios (randomized mappings/instances are deterministic per seed).
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "chase/solution_check.h"
+#include "mapping/parser.h"
+#include "routes/fact_util.h"
+#include "provenance/annotated_chase.h"
+#include "provenance/explain.h"
+#include "routes/alternatives.h"
+#include "routes/naive_print.h"
+#include "routes/one_route.h"
+#include "routes/route_forest.h"
+#include "routes/source_routes.h"
+#include "routes/stratified.h"
+#include "testing/fixtures.h"
+#include "workload/rng.h"
+
+namespace spider {
+namespace {
+
+/// Builds a random small scenario: K unary/binary target relations, chains
+/// of tgds with joins and existentials, then chases a random source
+/// instance. Everything is deterministic in `seed`.
+Scenario RandomScenario(uint64_t seed) {
+  Rng rng(seed);
+  std::ostringstream text;
+  const int source_rels = 2 + static_cast<int>(rng.Below(2));   // 2..3
+  const int target_rels = 3 + static_cast<int>(rng.Below(3));   // 3..5
+  text << "source schema { ";
+  for (int i = 0; i < source_rels; ++i) {
+    text << "S" << i << "(a, b); ";
+  }
+  text << "}\ntarget schema { ";
+  for (int i = 0; i < target_rels; ++i) {
+    text << "T" << i << "(a, b); ";
+  }
+  text << "}\n";
+  // One s-t tgd per source relation into a random target relation,
+  // sometimes with an existential.
+  for (int i = 0; i < source_rels; ++i) {
+    int dst = static_cast<int>(rng.Below(target_rels));
+    if (rng.Below(3) == 0) {
+      text << "st" << i << ": S" << i << "(x, y) -> exists Z . T" << dst
+           << "(x, Z);\n";
+    } else {
+      text << "st" << i << ": S" << i << "(x, y) -> T" << dst << "(x, y);\n";
+    }
+  }
+  // A few target tgds: copies, swaps, joins between consecutive relations.
+  int num_tt = 2 + static_cast<int>(rng.Below(3));
+  for (int i = 0; i < num_tt; ++i) {
+    int a = static_cast<int>(rng.Below(target_rels));
+    int b = static_cast<int>(rng.Below(target_rels));
+    switch (rng.Below(3)) {
+      case 0:
+        text << "tt" << i << ": T" << a << "(x, y) -> T" << b << "(y, x);\n";
+        break;
+      case 1:
+        text << "tt" << i << ": T" << a << "(x, y) & T" << b
+             << "(y, z) -> T" << a << "(x, z);\n";
+        break;
+      default:
+        text << "tt" << i << ": T" << a << "(x, y) -> T" << b << "(x, y);\n";
+        break;
+    }
+  }
+  // Random source data over a tiny domain so joins actually meet.
+  text << "source instance {\n";
+  for (int i = 0; i < source_rels; ++i) {
+    int rows = 2 + static_cast<int>(rng.Below(3));
+    for (int r = 0; r < rows; ++r) {
+      text << "  S" << i << "(" << rng.Below(4) << ", " << rng.Below(4)
+           << ");\n";
+    }
+  }
+  text << "}\n";
+  Scenario scenario = ParseScenario(text.str());
+  ChaseScenario(&scenario);
+  return scenario;
+}
+
+std::vector<FactRef> AllTargetFacts(const Scenario& s) {
+  std::vector<FactRef> facts;
+  for (size_t r = 0; r < s.target->NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    for (int32_t row = 0;
+         row < static_cast<int32_t>(s.target->NumTuples(rel)); ++row) {
+      facts.push_back(FactRef{Side::kTarget, rel, row});
+    }
+  }
+  return facts;
+}
+
+class RouteProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RouteProperties, ChaseProducesSolutions) {
+  Scenario s = RandomScenario(GetParam());
+  std::string why;
+  EXPECT_TRUE(IsSolution(*s.mapping, *s.source, *s.target, &why)) << why;
+}
+
+TEST_P(RouteProperties, EveryChasedFactHasARouteAndItValidates) {
+  // Chase-produced facts always have routes (the chase steps themselves
+  // form routes); ComputeOneRoute must find one, and it must replay
+  // (Theorem 3.10 + Definition 3.3).
+  Scenario s = RandomScenario(GetParam());
+  for (const FactRef& fact : AllTargetFacts(s)) {
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, {fact});
+    ASSERT_TRUE(result.found)
+        << FactToString(fact, *s.source, *s.target) << " seed " << GetParam();
+    std::string why;
+    EXPECT_TRUE(
+        result.route.Validate(*s.mapping, *s.source, *s.target, {fact}, &why))
+        << why;
+  }
+}
+
+TEST_P(RouteProperties, OneRouteAgreesWithForestReachability) {
+  // ComputeOneRoute succeeds exactly when NaivePrint emits at least one
+  // route from the (complete) forest.
+  Scenario s = RandomScenario(GetParam());
+  for (const FactRef& fact : AllTargetFacts(s)) {
+    OneRouteResult one =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, {fact});
+    RouteForest forest =
+        ComputeAllRoutes(*s.mapping, *s.source, *s.target, {fact});
+    NaivePrintOptions opts;
+    opts.max_routes = 1;  // existence check
+    NaivePrintResult printed = NaivePrint(&forest, {fact}, opts);
+    EXPECT_EQ(one.found, !printed.routes.empty() || printed.truncated)
+        << FactToString(fact, *s.source, *s.target) << " seed " << GetParam();
+  }
+}
+
+TEST_P(RouteProperties, NaivePrintRoutesAllValidate) {
+  Scenario s = RandomScenario(GetParam());
+  std::vector<FactRef> facts = AllTargetFacts(s);
+  if (facts.empty()) return;
+  std::vector<FactRef> js = {facts[facts.size() / 2]};
+  RouteForest forest = ComputeAllRoutes(*s.mapping, *s.source, *s.target, js);
+  NaivePrintOptions opts;
+  opts.max_routes = 64;
+  for (const Route& route : NaivePrint(&forest, js, opts).routes) {
+    std::string why;
+    EXPECT_TRUE(route.Validate(*s.mapping, *s.source, *s.target, js, &why))
+        << why << " seed " << GetParam();
+  }
+}
+
+TEST_P(RouteProperties, ForestIsPolynomiallySmall) {
+  // Node count <= |J|; branch count <= nodes * sum over tgds of possible
+  // assignments — here simply checked against a generous polynomial bound.
+  Scenario s = RandomScenario(GetParam());
+  std::vector<FactRef> facts = AllTargetFacts(s);
+  if (facts.empty()) return;
+  RouteForest forest =
+      ComputeAllRoutes(*s.mapping, *s.source, *s.target, facts);
+  size_t j = s.target->TotalTuples();
+  size_t i = s.source->TotalTuples();
+  EXPECT_LE(forest.NumNodes(), j);
+  EXPECT_LE(forest.NumBranches(),
+            j * s.mapping->NumTgds() * (i + j) * (i + j));
+}
+
+TEST_P(RouteProperties, MinimizedRoutesAreMinimalAndStratEquivalent) {
+  // Theorem 3.7 (operational form): minimizing any printed route yields a
+  // minimal route whose strat equals the strat of some printed route.
+  Scenario s = RandomScenario(GetParam());
+  std::vector<FactRef> facts = AllTargetFacts(s);
+  if (facts.empty()) return;
+  std::vector<FactRef> js = {facts[0]};
+  RouteForest forest = ComputeAllRoutes(*s.mapping, *s.source, *s.target, js);
+  NaivePrintOptions opts;
+  opts.max_routes = 32;
+  NaivePrintResult printed = NaivePrint(&forest, js, opts);
+  for (const Route& route : printed.routes) {
+    Route minimal = route.Minimize(*s.mapping, *s.source, *s.target, js);
+    EXPECT_TRUE(minimal.IsMinimal(*s.mapping, *s.source, *s.target, js));
+    StratifiedInterpretation mstrat =
+        Stratify(minimal, *s.mapping, *s.source, *s.target);
+    // The minimal route's steps are a subset of the original's.
+    std::set<std::pair<TgdId, Binding>> orig;
+    for (const SatStep& step : route.steps()) {
+      orig.insert({step.tgd, step.h});
+    }
+    for (const SatStep& step : minimal.steps()) {
+      EXPECT_TRUE(orig.count({step.tgd, step.h}) > 0);
+    }
+    EXPECT_GE(mstrat.rank(), 1u);
+  }
+}
+
+TEST_P(RouteProperties, OptimizationTogglesAgree) {
+  Scenario s = RandomScenario(GetParam());
+  RouteOptions no_opt;
+  no_opt.propagate_rhs_proven = false;
+  RouteOptions eager;
+  eager.eager_findhom = true;
+  for (const FactRef& fact : AllTargetFacts(s)) {
+    bool base =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, {fact}).found;
+    EXPECT_EQ(
+        base,
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, {fact}, no_opt)
+            .found);
+    EXPECT_EQ(
+        base,
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, {fact}, eager)
+            .found);
+  }
+}
+
+TEST_P(RouteProperties, EvaluatorKnobsDoNotChangeRouteExistence) {
+  Scenario s = RandomScenario(GetParam());
+  RouteOptions plain;
+  plain.eval.use_indexes = false;
+  plain.eval.reorder_atoms = false;
+  for (const FactRef& fact : AllTargetFacts(s)) {
+    EXPECT_EQ(
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, {fact}).found,
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, {fact}, plain)
+            .found);
+  }
+}
+
+TEST_P(RouteProperties, SourceConsequenceRoutesValidate) {
+  // Every fact derived by the forward consequence search has an extractable
+  // route that replays, and every derived fact is genuinely in J.
+  Scenario s = RandomScenario(GetParam());
+  std::vector<FactRef> selected;
+  for (size_t r = 0; r < s.source->NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    if (s.source->NumTuples(rel) > 0) {
+      selected.push_back(FactRef{Side::kSource, rel, 0});
+    }
+  }
+  if (selected.empty()) return;
+  ConsequenceForest forest = ComputeSourceConsequences(
+      *s.mapping, *s.source, *s.target, selected);
+  for (const FactRef& fact : forest.DerivedFacts()) {
+    Route route = forest.RouteFor(fact, *s.mapping, *s.source, *s.target);
+    std::string why;
+    EXPECT_TRUE(route.Validate(*s.mapping, *s.source, *s.target, {fact},
+                               &why))
+        << why << " seed " << GetParam();
+  }
+}
+
+TEST_P(RouteProperties, EnumeratorAgreesWithOneRouteOnExistence) {
+  Scenario s = RandomScenario(GetParam());
+  std::vector<FactRef> facts = AllTargetFacts(s);
+  if (facts.empty()) return;
+  std::vector<FactRef> js = {facts[facts.size() - 1]};
+  RouteEnumerator en(*s.mapping, *s.source, *s.target, js);
+  bool has_route = en.Next().has_value();
+  EXPECT_EQ(has_route,
+            ComputeOneRoute(*s.mapping, *s.source, *s.target, js).found);
+}
+
+TEST_P(RouteProperties, EnumeratedRoutesDistinctAndValid) {
+  Scenario s = RandomScenario(GetParam());
+  std::vector<FactRef> facts = AllTargetFacts(s);
+  if (facts.empty()) return;
+  std::vector<FactRef> js = {facts[0]};
+  RouteEnumerator en(*s.mapping, *s.source, *s.target, js);
+  std::vector<Route> seen;
+  size_t count = 0;
+  while (auto route = en.Next()) {
+    EXPECT_TRUE(route->Validate(*s.mapping, *s.source, *s.target, js));
+    for (const Route& prev : seen) {
+      EXPECT_NE(prev.steps(), route->steps());
+    }
+    seen.push_back(*route);
+    if (++count >= 16) break;  // bound the check
+  }
+}
+
+TEST_P(RouteProperties, EagerExplanationsValidateEverywhere) {
+  // AnnotatedChase + ExplainFact on random (egd-free) scenarios: every
+  // live fact's extended route replays against the source.
+  Scenario s = RandomScenario(GetParam());
+  AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+  ASSERT_EQ(result.outcome, AnnotatedChaseOutcome::kSuccess);
+  for (size_t f = 0; f < result.log.NumFacts(); ++f) {
+    auto id = static_cast<AnnotatedChaseLog::ProvFactId>(f);
+    ExtendedRoute route = ExplainFact(result.log, id, *s.mapping);
+    std::string why;
+    EXPECT_TRUE(route.Validate(*s.mapping, *s.source,
+                               {{result.log.relation(id),
+                                 result.log.tuple(id)}},
+                               &why))
+        << why << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouteProperties,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+// Exhaustive Theorem 3.7 check on the paper's Example 3.5 (extended): every
+// minimal step-SET (computed by brute force over subsets of all candidate
+// steps) matches the step set of some NaivePrint route.
+TEST(Theorem37Test, EveryMinimalRouteRepresentedInForest) {
+  Scenario s = ParseScenario(testing::Example35Text(true, 1));
+  FactRef t7 = RequireTargetFact(*s.target, "T7", Tuple({Value::Str("a")}));
+  std::vector<FactRef> js = {t7};
+
+  // Candidate steps: every (tgd, h) over every target fact.
+  std::vector<SatStep> candidates;
+  std::set<std::pair<TgdId, Binding>> seen;
+  RouteForest full =
+      ComputeAllRoutes(*s.mapping, *s.source, *s.target, AllTargetFacts(s));
+  for (size_t r = 0; r < s.target->NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    for (int32_t row = 0;
+         row < static_cast<int32_t>(s.target->NumTuples(rel)); ++row) {
+      const RouteForest::Node* node =
+          full.Find(FactRef{Side::kTarget, rel, row});
+      if (node == nullptr) continue;
+      for (const RouteForest::Branch& b : node->branches) {
+        if (seen.insert({b.tgd, b.h}).second) {
+          candidates.push_back(SatStep{b.tgd, b.h});
+        }
+      }
+    }
+  }
+  ASSERT_LE(candidates.size(), 16u) << "brute force would explode";
+
+  // A step set is routable if some ordering forms a valid route for js:
+  // greedily apply any step whose LHS is available; all steps must apply
+  // and t7 must be produced.
+  auto routable = [&](const std::vector<SatStep>& steps) {
+    std::vector<bool> used(steps.size(), false);
+    std::vector<SatStep> ordered;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t i = 0; i < steps.size(); ++i) {
+        if (used[i]) continue;
+        std::vector<SatStep> attempt = ordered;
+        attempt.push_back(steps[i]);
+        // Valid prefix: every LHS fact available in order.
+        if (Route(attempt).Validate(*s.mapping, *s.source, *s.target, {})) {
+          ordered = std::move(attempt);
+          used[i] = true;
+          progress = true;
+        }
+      }
+    }
+    if (ordered.size() != steps.size()) return false;
+    return Route(ordered).Validate(*s.mapping, *s.source, *s.target, js);
+  };
+
+  // Enumerate all subsets; collect minimal routable step sets.
+  std::vector<std::set<size_t>> minimal_sets;
+  size_t n = candidates.size();
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    std::vector<SatStep> subset;
+    std::set<size_t> indices;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        subset.push_back(candidates[i]);
+        indices.insert(i);
+      }
+    }
+    if (!routable(subset)) continue;
+    bool is_minimal = true;
+    for (const std::set<size_t>& other : minimal_sets) {
+      if (std::includes(indices.begin(), indices.end(), other.begin(),
+                        other.end())) {
+        is_minimal = false;
+        break;
+      }
+    }
+    if (is_minimal) {
+      // Remove any previously found supersets (enumeration order by mask
+      // does not imply subset order).
+      minimal_sets.erase(
+          std::remove_if(minimal_sets.begin(), minimal_sets.end(),
+                         [&](const std::set<size_t>& other) {
+                           return std::includes(other.begin(), other.end(),
+                                                indices.begin(),
+                                                indices.end());
+                         }),
+          minimal_sets.end());
+      minimal_sets.push_back(indices);
+    }
+  }
+  ASSERT_FALSE(minimal_sets.empty());
+
+  // NaivePrint routes, as step sets.
+  RouteForest forest = ComputeAllRoutes(*s.mapping, *s.source, *s.target, js);
+  NaivePrintOptions opts;
+  opts.max_routes = 4096;
+  NaivePrintResult printed = NaivePrint(&forest, js, opts);
+  ASSERT_FALSE(printed.truncated);
+  std::vector<std::set<std::pair<TgdId, Binding>>> printed_sets;
+  for (const Route& route : printed.routes) {
+    std::set<std::pair<TgdId, Binding>> set;
+    for (const SatStep& step : route.steps()) set.insert({step.tgd, step.h});
+    printed_sets.push_back(std::move(set));
+  }
+  for (const std::set<size_t>& indices : minimal_sets) {
+    std::set<std::pair<TgdId, Binding>> want;
+    for (size_t i : indices) want.insert({candidates[i].tgd, candidates[i].h});
+    bool found = false;
+    for (const auto& have : printed_sets) {
+      if (have == want) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "a minimal route's step set is missing from "
+                          "NaivePrint (Theorem 3.7 violation)";
+  }
+}
+
+}  // namespace
+}  // namespace spider

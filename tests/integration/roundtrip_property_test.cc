@@ -1,0 +1,123 @@
+// Properties of the serialization, core, and certain-answer companions
+// over randomized scenarios (shares the generator with property_test.cc in
+// spirit; regenerated locally to keep the files self-contained).
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "chase/certain_answers.h"
+#include "chase/chase.h"
+#include "chase/core.h"
+#include "chase/homomorphism.h"
+#include "chase/solution_check.h"
+#include "mapping/parser.h"
+#include "mapping/writer.h"
+#include "workload/rng.h"
+
+namespace spider {
+namespace {
+
+Scenario RandomScenario(uint64_t seed) {
+  Rng rng(seed);
+  std::ostringstream text;
+  const int source_rels = 2;
+  const int target_rels = 3;
+  text << "source schema { ";
+  for (int i = 0; i < source_rels; ++i) text << "S" << i << "(a, b); ";
+  text << "}\ntarget schema { ";
+  for (int i = 0; i < target_rels; ++i) text << "T" << i << "(a, b); ";
+  text << "}\n";
+  for (int i = 0; i < source_rels; ++i) {
+    int dst = static_cast<int>(rng.Below(target_rels));
+    if (rng.Below(2) == 0) {
+      text << "st" << i << ": S" << i << "(x, y) -> exists Z . T" << dst
+           << "(x, Z);\n";
+    } else {
+      text << "st" << i << ": S" << i << "(x, y) -> T" << dst << "(x, y);\n";
+    }
+  }
+  text << "tt0: T0(x, y) -> T1(y, x);\n";
+  text << "tt1: T1(x, y) & T2(y, z) -> T0(x, z);\n";
+  text << "source instance {\n";
+  for (int i = 0; i < source_rels; ++i) {
+    int rows = 2 + static_cast<int>(rng.Below(3));
+    for (int r = 0; r < rows; ++r) {
+      text << "  S" << i << "(" << rng.Below(3) << ", " << rng.Below(3)
+           << ");\n";
+    }
+  }
+  text << "}\n";
+  Scenario scenario = ParseScenario(text.str());
+  ChaseScenario(&scenario);
+  return scenario;
+}
+
+class CompanionProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompanionProperties, WriterRoundTripPreservesEverything) {
+  Scenario s = RandomScenario(GetParam());
+  Scenario reparsed = ParseScenario(WriteScenario(s));
+  EXPECT_EQ(reparsed.mapping->NumTgds(), s.mapping->NumTgds());
+  EXPECT_EQ(reparsed.source->TotalTuples(), s.source->TotalTuples());
+  EXPECT_EQ(reparsed.target->TotalTuples(), s.target->TotalTuples());
+  EXPECT_TRUE(HomomorphicallyEquivalent(*reparsed.target, *s.target));
+  // The reparsed pair still satisfies the mapping.
+  std::string why;
+  EXPECT_TRUE(IsSolution(*reparsed.mapping, *reparsed.source,
+                         *reparsed.target, &why))
+      << why << " seed " << GetParam();
+}
+
+TEST_P(CompanionProperties, CoreIsEquivalentMinimalAndIdempotent) {
+  Scenario s = RandomScenario(GetParam());
+  CoreResult core = ComputeCore(*s.target);
+  ASSERT_TRUE(core.complete);
+  EXPECT_LE(core.core->TotalTuples(), s.target->TotalTuples());
+  EXPECT_TRUE(HomomorphicallyEquivalent(*s.target, *core.core));
+  // Idempotent: the core of the core removes nothing.
+  CoreResult again = ComputeCore(*core.core);
+  EXPECT_EQ(again.facts_removed, 0u);
+  // No remaining null-carrying fact is redundant.
+  for (size_t r = 0; r < core.core->NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    for (int32_t row = 0;
+         row < static_cast<int32_t>(core.core->NumTuples(rel)); ++row) {
+      EXPECT_FALSE(
+          IsRedundantFact(*core.core, FactRef{Side::kTarget, rel, row}));
+    }
+  }
+}
+
+TEST_P(CompanionProperties, CoreIsStillASolution) {
+  // The core of a universal solution is a (universal) solution.
+  Scenario s = RandomScenario(GetParam());
+  CoreResult core = ComputeCore(*s.target);
+  std::string why;
+  EXPECT_TRUE(IsSolution(*s.mapping, *s.source, *core.core, &why))
+      << why << " seed " << GetParam();
+}
+
+TEST_P(CompanionProperties, CertainAnswersInvariantUnderCore) {
+  // Naive evaluation over any universal solution gives the same certain
+  // answers; in particular J and core(J) agree.
+  Scenario s = RandomScenario(GetParam());
+  CoreResult core = ComputeCore(*s.target);
+  for (size_t r = 0; r < s.target->NumRelations(); ++r) {
+    Atom atom;
+    atom.relation = static_cast<RelationId>(r);
+    atom.terms = {Term::Var(0), Term::Var(1)};
+    std::vector<Tuple> from_j =
+        CertainAnswers(*s.target, {atom}, {0, 1}, 2);
+    std::vector<Tuple> from_core =
+        CertainAnswers(*core.core, {atom}, {0, 1}, 2);
+    std::sort(from_j.begin(), from_j.end());
+    std::sort(from_core.begin(), from_core.end());
+    EXPECT_EQ(from_j, from_core) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompanionProperties,
+                         ::testing::Range(uint64_t{100}, uint64_t{120}));
+
+}  // namespace
+}  // namespace spider

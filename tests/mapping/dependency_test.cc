@@ -1,0 +1,106 @@
+#include "mapping/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "mapping/schema_mapping.h"
+
+namespace spider {
+namespace {
+
+Atom MakeAtom(RelationId rel, std::vector<Term> terms) {
+  Atom atom;
+  atom.relation = rel;
+  atom.terms = std::move(terms);
+  return atom;
+}
+
+class DependencyTest : public ::testing::Test {
+ protected:
+  DependencyTest() {
+    Schema source("source");
+    source.AddRelation("R", {"a", "b"});
+    Schema target("target");
+    target.AddRelation("T", {"u", "v"});
+    target.AddRelation("U", {"w"});
+    mapping_ = std::make_unique<SchemaMapping>(std::move(source),
+                                               std::move(target));
+  }
+  std::unique_ptr<SchemaMapping> mapping_;
+};
+
+TEST_F(DependencyTest, UniversalAndExistentialVars) {
+  Tgd tgd("m", {"x", "y", "z"},
+          {MakeAtom(0, {Term::Var(0), Term::Var(1)})},
+          {MakeAtom(0, {Term::Var(0), Term::Var(2)})},
+          /*source_to_target=*/true);
+  EXPECT_TRUE(tgd.IsUniversal(0));
+  EXPECT_TRUE(tgd.IsUniversal(1));
+  EXPECT_FALSE(tgd.IsUniversal(2));
+  EXPECT_EQ(tgd.UniversalVars(), (std::vector<VarId>{0, 1}));
+  EXPECT_EQ(tgd.ExistentialVars(), (std::vector<VarId>{2}));
+}
+
+TEST_F(DependencyTest, EmptySidesRejected) {
+  EXPECT_THROW(
+      Tgd("m", {"x"}, {}, {MakeAtom(0, {Term::Var(0), Term::Var(0)})}, true),
+      SpiderError);
+  EXPECT_THROW(
+      Tgd("m", {"x"}, {MakeAtom(0, {Term::Var(0), Term::Var(0)})}, {}, true),
+      SpiderError);
+}
+
+TEST_F(DependencyTest, VarIdOutOfRangeRejected) {
+  EXPECT_THROW(Tgd("m", {"x"}, {MakeAtom(0, {Term::Var(0), Term::Var(5)})},
+                   {MakeAtom(0, {Term::Var(0), Term::Var(0)})}, true),
+               SpiderError);
+}
+
+TEST_F(DependencyTest, AddTgdValidatesArity) {
+  // R has arity 2 in the source; a 1-term atom must be rejected.
+  Tgd bad("m", {"x"}, {MakeAtom(0, {Term::Var(0)})},
+          {MakeAtom(1, {Term::Var(0)})}, true);
+  EXPECT_THROW(mapping_->AddTgd(std::move(bad)), SpiderError);
+}
+
+TEST_F(DependencyTest, AddTgdValidatesRelationRange) {
+  Tgd bad("m", {"x"}, {MakeAtom(7, {Term::Var(0)})},
+          {MakeAtom(1, {Term::Var(0)})}, true);
+  EXPECT_THROW(mapping_->AddTgd(std::move(bad)), SpiderError);
+}
+
+TEST_F(DependencyTest, EgdRequiresVarsInLhs) {
+  EXPECT_THROW(
+      Egd("e", {"x", "y", "z"}, {MakeAtom(0, {Term::Var(0), Term::Var(1)})},
+          0, 2),
+      SpiderError);
+  EXPECT_THROW(
+      Egd("e", {"x"}, {MakeAtom(1, {Term::Var(0)})}, 0, 0),
+      SpiderError);
+}
+
+TEST_F(DependencyTest, TgdIdsPartitionedBySide) {
+  mapping_->AddTgd(Tgd("st", {"x", "y"},
+                       {MakeAtom(0, {Term::Var(0), Term::Var(1)})},
+                       {MakeAtom(0, {Term::Var(0), Term::Var(1)})}, true));
+  mapping_->AddTgd(Tgd("tt", {"x", "y"},
+                       {MakeAtom(0, {Term::Var(0), Term::Var(1)})},
+                       {MakeAtom(1, {Term::Var(0)})}, false));
+  EXPECT_EQ(mapping_->st_tgds(), (std::vector<TgdId>{0}));
+  EXPECT_EQ(mapping_->target_tgds(), (std::vector<TgdId>{1}));
+  EXPECT_EQ(mapping_->FindTgd("tt"), 1);
+  EXPECT_EQ(mapping_->FindTgd("none"), -1);
+}
+
+TEST_F(DependencyTest, ToStringShowsQuantifiers) {
+  Tgd tgd("m", {"x", "y", "Z"},
+          {MakeAtom(0, {Term::Var(0), Term::Var(1)})},
+          {MakeAtom(0, {Term::Var(0), Term::Var(2)})}, true);
+  std::string str = tgd.ToString(mapping_->source(), mapping_->target());
+  EXPECT_NE(str.find("exists Z"), std::string::npos);
+  EXPECT_NE(str.find("R(x, y)"), std::string::npos);
+  EXPECT_NE(str.find("T(x, Z)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spider

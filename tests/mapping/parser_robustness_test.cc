@@ -1,0 +1,88 @@
+// Robustness: malformed input must fail with SpiderError (never crash,
+// never accept silently). Inputs are mutations of a valid scenario.
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "mapping/parser.h"
+#include "testing/fixtures.h"
+#include "workload/rng.h"
+
+namespace spider {
+namespace {
+
+TEST(ParserRobustnessTest, TruncationsNeverCrash) {
+  std::string text = testing::CreditCardScenarioText();
+  // Parsing any prefix either succeeds or throws SpiderError.
+  for (size_t len = 0; len <= text.size(); len += 17) {
+    std::string prefix = text.substr(0, len);
+    try {
+      Scenario s = ParseScenario(prefix);
+      // Accepted prefixes must at least produce a mapping.
+      EXPECT_NE(s.mapping, nullptr);
+    } catch (const SpiderError&) {
+      // Expected for most prefixes.
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomByteFlipsNeverCrash) {
+  std::string original = testing::CreditCardScenarioText();
+  Rng rng(7);
+  constexpr char kAlphabet[] = "(){};,.->&#\"x1 ";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text = original;
+    int flips = 1 + static_cast<int>(rng.Below(4));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Below(text.size());
+      text[pos] = kAlphabet[rng.Below(sizeof(kAlphabet) - 1)];
+    }
+    try {
+      ParseScenario(text);
+    } catch (const SpiderError&) {
+      // Fine: rejected with a proper error.
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, GarbageInputsRejected) {
+  const char* cases[] = {
+      "%%%",
+      "source",
+      "source schema",
+      "source schema {",
+      "source schema { R(); }",
+      "source schema { R(a); } target schema { T(a); } m: -> T(x);",
+      "source schema { R(a); } target schema { T(a); } m: R(x) -> ;",
+      "source schema { R(a); } target schema { T(a); } m: R(x) T(x);",
+      "source schema { R(a); } target schema { T(a); } m: R(x) -> x = ;",
+      "source schema { R(a); } target schema { T(a); } "
+      "source instance { R(\"unterminated); }",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(ParseScenario(text), SpiderError) << text;
+  }
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedGarbageBounded) {
+  // A pathological stream of punctuation terminates promptly.
+  std::string text(10000, '(');
+  EXPECT_THROW(ParseScenario(text), SpiderError);
+}
+
+TEST(ParserRobustnessTest, EgdEquatingConstantPositionRejected) {
+  EXPECT_THROW(ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(a); }
+    e: T(x) -> x = y;
+  )"),
+               SpiderError);
+}
+
+TEST(ParserRobustnessTest, ValidScenarioStillParsesAfterAllThat) {
+  // Sanity: the fixture itself is unscathed by the mutation machinery.
+  Scenario s = testing::CreditCardScenario();
+  EXPECT_EQ(s.mapping->NumTgds(), 5u);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,268 @@
+#include "mapping/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+TEST(ParserTest, ParsesSchemas) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); Q(x); }
+    target schema { T(u, v); }
+  )");
+  EXPECT_EQ(s.mapping->source().size(), 2u);
+  EXPECT_EQ(s.mapping->target().size(), 1u);
+  EXPECT_EQ(s.mapping->source().relation(0).name(), "R");
+  EXPECT_EQ(s.mapping->source().relation(0).arity(), 2u);
+}
+
+TEST(ParserTest, ParsesStTgd) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); }
+    target schema { T(u, v, w); }
+    m1: R(x, y) -> exists Z . T(x, y, Z);
+  )");
+  ASSERT_EQ(s.mapping->NumTgds(), 1u);
+  const Tgd& tgd = s.mapping->tgd(0);
+  EXPECT_TRUE(tgd.source_to_target());
+  EXPECT_EQ(tgd.name(), "m1");
+  EXPECT_EQ(tgd.num_vars(), 3u);
+  EXPECT_EQ(tgd.UniversalVars().size(), 2u);
+  EXPECT_EQ(tgd.ExistentialVars().size(), 1u);
+  EXPECT_EQ(s.mapping->st_tgds().size(), 1u);
+  EXPECT_TRUE(s.mapping->target_tgds().empty());
+}
+
+TEST(ParserTest, ParsesTargetTgd) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u); U(v); }
+    t1: T(x) -> U(x);
+  )");
+  ASSERT_EQ(s.mapping->NumTgds(), 1u);
+  EXPECT_FALSE(s.mapping->tgd(0).source_to_target());
+  EXPECT_EQ(s.mapping->target_tgds().size(), 1u);
+}
+
+TEST(ParserTest, ParsesEgd) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u, v); }
+    e1: T(x, y) & T(x, z) -> y = z;
+  )");
+  ASSERT_EQ(s.mapping->NumEgds(), 1u);
+  const Egd& egd = s.mapping->egd(0);
+  EXPECT_EQ(egd.name(), "e1");
+  EXPECT_NE(egd.left(), egd.right());
+}
+
+TEST(ParserTest, ExistentialInferredWithoutDeclaration) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u, v); }
+    m: R(x) -> T(x, Y);
+  )");
+  EXPECT_EQ(s.mapping->tgd(0).ExistentialVars().size(), 1u);
+}
+
+TEST(ParserTest, DeclaredExistentialMustNotOccurInLhs) {
+  EXPECT_THROW(ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u, v); }
+    m: R(x) -> exists x . T(x, x);
+  )"),
+               SpiderError);
+}
+
+TEST(ParserTest, UnusedDeclaredExistentialRejected) {
+  EXPECT_THROW(ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u, v); }
+    m: R(x) -> exists Z . T(x, x);
+  )"),
+               SpiderError);
+}
+
+TEST(ParserTest, ConstantsInDependencies) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u, v); }
+    m: R(x) -> T(x, "phd");
+  )");
+  const Atom& atom = s.mapping->tgd(0).rhs()[0];
+  EXPECT_TRUE(atom.terms[1].is_const());
+  EXPECT_EQ(atom.terms[1].value(), Value::Str("phd"));
+}
+
+TEST(ParserTest, ParsesInstances) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); }
+    target schema { T(u); }
+    source instance { R(1, "x"); R(2, "y"); }
+    target instance { T(#N1); T(7); }
+  )");
+  EXPECT_EQ(s.source->TotalTuples(), 2u);
+  EXPECT_EQ(s.target->TotalTuples(), 2u);
+  EXPECT_EQ(s.target->tuple(0, 0), Tuple({Value::Null(1)}));
+  EXPECT_EQ(s.max_null_id, 1);
+  EXPECT_EQ(s.null_names.at(1), "N1");
+}
+
+TEST(ParserTest, SharedNullNamesDenoteSameNull) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u, v); }
+    target instance { T(#A, #A); T(#B, #A); }
+  )");
+  const Tuple& t0 = s.target->tuple(0, 0);
+  EXPECT_EQ(t0.at(0), t0.at(1));
+  const Tuple& t1 = s.target->tuple(0, 1);
+  EXPECT_NE(t1.at(0), t1.at(1));
+  EXPECT_EQ(t1.at(1), t0.at(0));
+}
+
+TEST(ParserTest, CommentsIgnored) {
+  Scenario s = ParseScenario(R"(
+    // leading comment
+    source schema { R(a); } // trailing
+    target schema { T(u); }
+    // a dependency:
+    m: R(x) -> T(x);
+  )");
+  EXPECT_EQ(s.mapping->NumTgds(), 1u);
+}
+
+TEST(ParserTest, AnonymousDependencyGetsName) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u); }
+    R(x) -> T(x);
+  )");
+  EXPECT_EQ(s.mapping->tgd(0).name(), "d1");
+}
+
+TEST(ParserTest, MixedLhsRejected) {
+  EXPECT_THROW(ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u); }
+    m: R(x) & T(x) -> T(x);
+  )"),
+               SpiderError);
+}
+
+TEST(ParserTest, UnknownRelationRejected) {
+  EXPECT_THROW(ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u); }
+    m: Nope(x) -> T(x);
+  )"),
+               SpiderError);
+}
+
+TEST(ParserTest, LabeledNullInDependencyRejected) {
+  EXPECT_THROW(ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u); }
+    m: R(x) -> T(#N1);
+  )"),
+               SpiderError);
+}
+
+TEST(ParserTest, BareIdentifierInFactRejected) {
+  EXPECT_THROW(ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u); }
+    source instance { R(hello); }
+  )"),
+               SpiderError);
+}
+
+TEST(ParserTest, ArityMismatchInFactRejected) {
+  EXPECT_THROW(ParseScenario(R"(
+    source schema { R(a, b); }
+    target schema { T(u); }
+    source instance { R(1); }
+  )"),
+               SpiderError);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  try {
+    ParseScenario("source schema {\n  R(a;\n}");
+    FAIL() << "expected SpiderError";
+  } catch (const SpiderError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, ParseDependenciesAppendsToMapping) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u); U(v); }
+  )");
+  ParseDependencies("m: R(x) -> T(x); t: T(x) -> U(x);", s.mapping.get());
+  EXPECT_EQ(s.mapping->NumTgds(), 2u);
+}
+
+TEST(ParserTest, ParseFactsAppendsToInstance) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(u); }
+  )");
+  ParseFacts("R(1); R(2);", s.source.get());
+  EXPECT_EQ(s.source->TotalTuples(), 2u);
+}
+
+TEST(ParserTest, ParseFactTextResolvesNamedNulls) {
+  std::string relation;
+  Tuple t = ParseFactText("T(#M1, 3)", &relation, {{"M1", 42}});
+  EXPECT_EQ(relation, "T");
+  EXPECT_EQ(t.at(0), Value::Null(42));
+  EXPECT_EQ(t.at(1), Value::Int(3));
+}
+
+TEST(ParserTest, ParseFactTextResolvesDefaultNullNames) {
+  std::string relation;
+  Tuple t = ParseFactText("T(#N17)", &relation, {});
+  EXPECT_EQ(t.at(0), Value::Null(17));
+}
+
+TEST(ParserTest, ParseFactTextRejectsUnknownNull) {
+  std::string relation;
+  EXPECT_THROW(ParseFactText("T(#XYZ)", &relation, {}), SpiderError);
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  Scenario s = testing::CreditCardScenario();
+  std::string rendered = s.mapping->ToString();
+  EXPECT_NE(rendered.find("m1:"), std::string::npos);
+  EXPECT_NE(rendered.find("exists"), std::string::npos);
+  EXPECT_NE(rendered.find("l = l2"), std::string::npos);
+}
+
+TEST(ParserTest, CreditCardScenarioShape) {
+  Scenario s = testing::CreditCardScenario();
+  EXPECT_EQ(s.mapping->st_tgds().size(), 3u);
+  EXPECT_EQ(s.mapping->target_tgds().size(), 2u);
+  EXPECT_EQ(s.mapping->NumEgds(), 1u);
+  EXPECT_EQ(s.source->TotalTuples(), 6u);
+  EXPECT_EQ(s.target->TotalTuples(), 10u);
+  // Eight named nulls: N1, A1, M1..M5, I1.
+  EXPECT_EQ(s.null_names.size(), 8u);
+}
+
+TEST(ParserTest, NegativeNumbersAndDoubles) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); }
+    target schema { T(u); }
+    source instance { R(-5, 2.25); }
+  )");
+  EXPECT_EQ(s.source->tuple(0, 0).at(0), Value::Int(-5));
+  EXPECT_EQ(s.source->tuple(0, 0).at(1), Value::Real(2.25));
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,128 @@
+#include "nested/nested_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "chase/solution_check.h"
+#include "nested/shredded_builder.h"
+#include "routes/fact_util.h"
+#include "routes/one_route.h"
+
+namespace spider {
+namespace {
+
+/// The deep-hierarchy shape of §4.1: Region/Nation/Customer/Orders/Lineitem.
+NestedSchema DeepSchema() {
+  NestedSchema nested("tpch_nested");
+  NestedSetDef* region = nested.AddRoot("Region", {"rname"});
+  NestedSetDef* nation = region->AddChild("Nation", {"nname"});
+  NestedSetDef* customer = nation->AddChild("Customer", {"cname"});
+  NestedSetDef* orders = customer->AddChild("Orders", {"ostatus"});
+  orders->AddChild("Lineitem", {"quantity"});
+  return nested;
+}
+
+TEST(NestedSchemaTest, DepthAndElements) {
+  NestedSchema nested = DeepSchema();
+  EXPECT_EQ(nested.Depth(), 5);
+  // 5 sets + 5 atomic attributes.
+  EXPECT_EQ(nested.TotalElements(), 10u);
+}
+
+TEST(NestedSchemaTest, ShreddingLayout) {
+  Schema shredded = DeepSchema().Shred();
+  EXPECT_EQ(shredded.size(), 5u);
+  RelationId region = shredded.Require("Region");
+  EXPECT_EQ(shredded.relation(region).attributes(),
+            (std::vector<std::string>{"nkey", "rname"}));
+  RelationId nation = shredded.Require("Nation");
+  EXPECT_EQ(shredded.relation(nation).attributes(),
+            (std::vector<std::string>{"nkey", "nparent", "nname"}));
+}
+
+TEST(NestedSchemaTest, ForestOfRoots) {
+  NestedSchema nested("two_docs");
+  nested.AddRoot("A", {"x"});
+  nested.AddRoot("B", {"y"});
+  EXPECT_EQ(nested.Depth(), 1);
+  EXPECT_EQ(nested.Shred().size(), 2u);
+}
+
+TEST(NestedCopyMappingTest, OneTgdPerLeafPath) {
+  NestedSchema nested("n");
+  NestedSetDef* root = nested.AddRoot("Doc", {"title"});
+  root->AddChild("SectionA", {"heading"});
+  NestedSetDef* b = root->AddChild("SectionB", {"heading"});
+  b->AddChild("Paragraph", {"text"});
+  NestedCopyMapping copy = BuildNestedCopyMapping(nested, "_t");
+  // Two leaves: Doc/SectionA and Doc/SectionB/Paragraph.
+  EXPECT_EQ(copy.mapping->st_tgds().size(), 2u);
+  // The second tgd joins three levels on both sides.
+  const Tgd& tgd = copy.mapping->tgd(copy.mapping->st_tgds()[1]);
+  EXPECT_EQ(tgd.lhs().size(), 3u);
+  EXPECT_EQ(tgd.rhs().size(), 3u);
+}
+
+TEST(NestedCopyMappingTest, EmptySuffixRejected) {
+  EXPECT_THROW(BuildNestedCopyMapping(DeepSchema(), ""), SpiderError);
+}
+
+class NestedEndToEndTest : public ::testing::Test {
+ protected:
+  NestedEndToEndTest() : nested_(DeepSchema()) {
+    NestedCopyMapping copy = BuildNestedCopyMapping(nested_, "_t");
+    scenario_.mapping = std::move(copy.mapping);
+    scenario_.source = std::make_unique<Instance>(&scenario_.mapping->source());
+    scenario_.target = std::make_unique<Instance>(&scenario_.mapping->target());
+    ShreddedInstanceBuilder builder(scenario_.source.get());
+    for (int r = 0; r < 2; ++r) {
+      int64_t region = builder.InsertRoot(
+          "Region", {Value::Str("region#" + std::to_string(r))});
+      for (int n = 0; n < 2; ++n) {
+        int64_t nation = builder.InsertChild("Nation", region,
+                                             {Value::Str("nation")});
+        int64_t customer = builder.InsertChild("Customer", nation,
+                                               {Value::Str("cust")});
+        int64_t order = builder.InsertChild("Orders", customer,
+                                            {Value::Str("O")});
+        builder.InsertChild("Lineitem", order, {Value::Int(7)});
+      }
+    }
+    ChaseScenario(&scenario_);
+  }
+
+  NestedSchema nested_;
+  Scenario scenario_;
+};
+
+TEST_F(NestedEndToEndTest, CopiesWholeHierarchy) {
+  EXPECT_EQ(scenario_.target->TotalTuples(),
+            scenario_.source->TotalTuples());
+  std::string why;
+  EXPECT_TRUE(IsSolution(*scenario_.mapping, *scenario_.source,
+                         *scenario_.target, &why))
+      << why;
+}
+
+TEST_F(NestedEndToEndTest, DeepElementRouteBindsWholePath) {
+  // Probing a copied Lineitem element: the single satisfaction step's
+  // assignment binds the full root-to-leaf path, as a nested tgd would.
+  RelationId lineitem = scenario_.mapping->target().Require("Lineitem_t");
+  ASSERT_GT(scenario_.target->NumTuples(lineitem), 0u);
+  FactRef fact{Side::kTarget, lineitem, 0};
+  OneRouteResult result = ComputeOneRoute(*scenario_.mapping,
+                                          *scenario_.source,
+                                          *scenario_.target, {fact});
+  ASSERT_TRUE(result.found);
+  ASSERT_EQ(result.route.size(), 1u);
+  const SatStep& step = result.route.steps()[0];
+  std::vector<FactRef> lhs =
+      LhsFacts(*scenario_.mapping, step.tgd, step.h, *scenario_.source,
+               *scenario_.target);
+  // One source fact per nesting level.
+  EXPECT_EQ(lhs.size(), 5u);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,153 @@
+#include "provenance/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+#include "routes/fact_util.h"
+#include "routes/one_route.h"
+#include "routes/stratified.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+AnnotatedChaseLog::ProvFactId Resolve(const AnnotatedChaseResult& result,
+                                      const Schema& target,
+                                      const std::string& relation,
+                                      Tuple tuple) {
+  auto id = result.log.Find(target.Require(relation), tuple);
+  EXPECT_TRUE(id.has_value()) << relation << tuple.ToString();
+  return id.value_or(-1);
+}
+
+TEST(ExplainTest, TransitiveClosureRoute) {
+  Scenario s = ParseScenario(testing::TransitiveClosureText());
+  AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+  auto t13 = Resolve(result, s.mapping->target(), "T",
+                     Tuple({Value::Int(1), Value::Int(3)}));
+  ExtendedRoute route = ExplainFact(result.log, t13, *s.mapping);
+  // No egds: the extended route is a plain route (two sigma1 steps, one
+  // sigma2 step) and its projection validates against the chase output.
+  EXPECT_EQ(route.NumEgdEntries(), 0u);
+  EXPECT_EQ(route.size(), 3u);
+  std::string why;
+  EXPECT_TRUE(route.Validate(
+      *s.mapping, *s.source,
+      {{s.mapping->target().Require("T"),
+        Tuple({Value::Int(1), Value::Int(3)})}},
+      &why))
+      << why;
+  Route plain = route.TgdProjection();
+  FactRef fact = RequireTargetFact(*result.target, "T",
+                                   Tuple({Value::Int(1), Value::Int(3)}));
+  EXPECT_TRUE(
+      plain.Validate(*s.mapping, *s.source, *result.target, {fact}, &why))
+      << why;
+}
+
+TEST(ExplainTest, EgdAwareRoute) {
+  // The §6 extension: T(1, y, z) is merged by two egds; the extended route
+  // for the final fact includes both unification entries and replays.
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); P(a, c); }
+    target schema { T(a, b, c); }
+    m1: R(x, y) -> exists C . T(x, y, C);
+    m2: P(x, z) -> exists B . T(x, B, z);
+    e1: T(x, y, z) & T(x, y2, z2) -> y = y2;
+    e2: T(x, y, z) & T(x, y2, z2) -> z = z2;
+    source instance { R(1, "b"); P(1, "c"); }
+  )");
+  AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+  ASSERT_EQ(result.outcome, AnnotatedChaseOutcome::kSuccess);
+  Tuple final_tuple({Value::Int(1), Value::Str("b"), Value::Str("c")});
+  auto fact = Resolve(result, s.mapping->target(), "T", final_tuple);
+  ExtendedRoute route = ExplainFact(result.log, fact, *s.mapping);
+  EXPECT_GE(route.NumEgdEntries(), 1u);
+  EXPECT_GE(route.size() - route.NumEgdEntries(), 2u);  // both tgd steps
+  std::string why;
+  EXPECT_TRUE(route.Validate(*s.mapping, *s.source,
+                             {{s.mapping->target().Require("T"),
+                               final_tuple}},
+                             &why))
+      << why;
+  // The plain projection CANNOT produce the merged fact: dropping the egd
+  // entries loses the unification.
+  Route plain = route.TgdProjection();
+  FactRef final_ref = RequireTargetFact(*result.target, "T", final_tuple);
+  EXPECT_FALSE(plain.Validate(*s.mapping, *s.source, *result.target,
+                              {final_ref}));
+  // The rendering mentions the unifications.
+  EXPECT_NE(route.ToString(*s.mapping).find("unify"), std::string::npos);
+}
+
+TEST(ExplainTest, ExtendedRouteOrderIsReplayable) {
+  Scenario s = testing::CreditCardScenario();
+  AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+  ASSERT_EQ(result.outcome, AnnotatedChaseOutcome::kSuccess);
+  // Every chased fact's explanation validates.
+  for (size_t f = 0; f < result.log.NumFacts(); ++f) {
+    auto id = static_cast<AnnotatedChaseLog::ProvFactId>(f);
+    if (!result.log.Find(result.log.relation(id), result.log.tuple(id))
+             .has_value()) {
+      continue;  // merged away
+    }
+    ExtendedRoute route = ExplainFact(result.log, id, *s.mapping);
+    std::string why;
+    EXPECT_TRUE(route.Validate(*s.mapping, *s.source,
+                               {{result.log.relation(id),
+                                 result.log.tuple(id)}},
+                               &why))
+        << why;
+  }
+}
+
+TEST(ExplainTest, WhyProvenanceMatchesPaperExample) {
+  // §5.1: the why-provenance of t3 = T(1,3) is {s1, s2}; the route is more
+  // informative, but the projection to source facts must coincide.
+  Scenario s = ParseScenario(testing::TransitiveClosureText());
+  AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+  auto t13 = Resolve(result, s.mapping->target(), "T",
+                     Tuple({Value::Int(1), Value::Int(3)}));
+  std::vector<FactRef> sources = WhyProvenance(result.log, t13);
+  ASSERT_EQ(sources.size(), 2u);
+  for (const FactRef& f : sources) EXPECT_EQ(f.side, Side::kSource);
+}
+
+TEST(ExplainTest, EagerAndLazyAgreeOnTgdSteps) {
+  // The eager explanation and the lazy ComputeOneRoute agree up to
+  // minimization on egd-free scenarios.
+  Scenario s = ParseScenario(testing::Example35Text(false));
+  AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+  auto t7 = Resolve(result, s.mapping->target(), "T7",
+                    Tuple({Value::Str("a")}));
+  ExtendedRoute eager = ExplainFact(result.log, t7, *s.mapping);
+  Route eager_route = eager.TgdProjection();
+
+  FactRef fact =
+      RequireTargetFact(*result.target, "T7", Tuple({Value::Str("a")}));
+  OneRouteResult lazy = ComputeOneRoute(*s.mapping, *s.source,
+                                        *result.target, {fact});
+  ASSERT_TRUE(lazy.found);
+  Route lazy_min = lazy.route.Minimize(*s.mapping, *s.source, *result.target,
+                                       {fact});
+  Route eager_min = eager_route.Minimize(*s.mapping, *s.source,
+                                         *result.target, {fact});
+  EXPECT_EQ(Stratify(lazy_min, *s.mapping, *s.source, *result.target),
+            Stratify(eager_min, *s.mapping, *s.source, *result.target));
+}
+
+TEST(ExplainTest, ValidationRejectsTamperedRoutes) {
+  Scenario s = ParseScenario(testing::TransitiveClosureText());
+  AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+  auto t13 = Resolve(result, s.mapping->target(), "T",
+                     Tuple({Value::Int(1), Value::Int(3)}));
+  ExtendedRoute route = ExplainFact(result.log, t13, *s.mapping);
+  // Drop the first entry: the closure step loses a dependency.
+  route.entries.erase(route.entries.begin());
+  EXPECT_FALSE(route.Validate(*s.mapping, *s.source,
+                              {{s.mapping->target().Require("T"),
+                                Tuple({Value::Int(1), Value::Int(3)})}}));
+}
+
+}  // namespace
+}  // namespace spider

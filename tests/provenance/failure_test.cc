@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+#include "provenance/explain.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+TEST(ExplainFailureTest, DerivesTheViolatingFacts) {
+  // Two Fargo Bank customers give account holder 1 different limits; the
+  // key egd fails and the explanation derives both offending facts.
+  Scenario s = ParseScenario(R"(
+    source schema { R(card, limit, owner); }
+    target schema { Accounts(card, limit, owner); }
+    m: R(c, l, o) -> Accounts(c, l, o);
+    key: Accounts(c, l, o) & Accounts(c2, l2, o) -> l = l2;
+    source instance { R(10, "2K", 1); R(11, "9K", 1); }
+  )");
+  AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+  ASSERT_EQ(result.outcome, AnnotatedChaseOutcome::kEgdFailure);
+  ASSERT_TRUE(result.failure.has_value());
+  EXPECT_EQ(result.failure->lhs.size(), 2u);
+
+  FailureExplanation explanation =
+      ExplainFailure(result.log, *result.failure, *s.mapping);
+  EXPECT_NE(explanation.message.find("no solution exists"),
+            std::string::npos);
+  EXPECT_NE(explanation.message.find("key"), std::string::npos);
+  // The route has the two m-steps deriving the clashing accounts, and it
+  // replays against the source, producing both facts.
+  EXPECT_EQ(explanation.route.size(), 2u);
+  RelationId accounts = s.mapping->target().Require("Accounts");
+  std::string why;
+  EXPECT_TRUE(explanation.route.Validate(
+      *s.mapping, *s.source,
+      {{accounts, Tuple({Value::Int(10), Value::Str("2K"), Value::Int(1)})},
+       {accounts, Tuple({Value::Int(11), Value::Str("9K"), Value::Int(1)})}},
+      &why))
+      << why;
+}
+
+TEST(ExplainFailureTest, FailureAfterUnificationsIncludesEgdEntries) {
+  // The clash only appears after an earlier egd merged a null: the
+  // explanation carries that unification too.
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); P(a, b); Q(a, b); }
+    target schema { T(a, b); U(a, b); }
+    m1: R(x) -> exists Y . T(x, Y) & U(x, Y);
+    m2: P(x, y) -> T(x, y);
+    m3: Q(x, y) -> U(x, y);
+    e1: T(x, y) & T(x, y2) -> y = y2;
+    e2: U(x, y) & U(x, y2) -> y = y2;
+    source instance { R(1); P(1, 5); Q(1, 6); }
+  )");
+  AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+  ASSERT_EQ(result.outcome, AnnotatedChaseOutcome::kEgdFailure);
+  ASSERT_TRUE(result.failure.has_value());
+  FailureExplanation explanation =
+      ExplainFailure(result.log, *result.failure, *s.mapping);
+  // e1 unified the invented Y with 5; e2 then clashes 5 with 6 through U.
+  EXPECT_GE(explanation.route.NumEgdEntries(), 1u);
+}
+
+TEST(ExplainFailureTest, NoFailureObjectOnSuccess) {
+  Scenario s = testing::CreditCardScenario();
+  AnnotatedChaseResult result = AnnotatedChase(*s.mapping, *s.source);
+  EXPECT_EQ(result.outcome, AnnotatedChaseOutcome::kSuccess);
+  EXPECT_FALSE(result.failure.has_value());
+}
+
+}  // namespace
+}  // namespace spider

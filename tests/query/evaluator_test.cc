@@ -1,0 +1,262 @@
+#include "query/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+
+namespace spider {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() : schema_("test") {
+    edge_ = schema_.AddRelation("Edge", {"src", "dst"});
+    node_ = schema_.AddRelation("Node", {"id", "label"});
+    inst_ = std::make_unique<Instance>(&schema_);
+    // A small graph: 1->2, 2->3, 1->3, 3->4.
+    AddEdge(1, 2);
+    AddEdge(2, 3);
+    AddEdge(1, 3);
+    AddEdge(3, 4);
+    for (int n = 1; n <= 4; ++n) {
+      inst_->Insert(node_, Tuple({Value::Int(n),
+                                  Value::Str(n % 2 == 0 ? "even" : "odd")}));
+    }
+  }
+
+  void AddEdge(int a, int b) {
+    inst_->Insert(edge_, Tuple({Value::Int(a), Value::Int(b)}));
+  }
+
+  Atom EdgeAtom(Term a, Term b) {
+    Atom atom;
+    atom.relation = edge_;
+    atom.terms = {a, b};
+    return atom;
+  }
+  Atom NodeAtom(Term a, Term b) {
+    Atom atom;
+    atom.relation = node_;
+    atom.terms = {a, b};
+    return atom;
+  }
+
+  Schema schema_;
+  RelationId edge_;
+  RelationId node_;
+  std::unique_ptr<Instance> inst_;
+};
+
+TEST_F(EvaluatorTest, SingleAtomScan) {
+  Binding b(2);
+  MatchIterator it(*inst_, {EdgeAtom(Term::Var(0), Term::Var(1))}, &b);
+  int count = 0;
+  while (it.Next()) ++count;
+  EXPECT_EQ(count, 4);
+}
+
+TEST_F(EvaluatorTest, ConstantSelection) {
+  Binding b(1);
+  MatchIterator it(*inst_, {EdgeAtom(Term::Const(Value::Int(1)),
+                                     Term::Var(0))},
+                   &b);
+  std::vector<int64_t> dsts;
+  while (it.Next()) dsts.push_back(b.Get(0).AsInt());
+  EXPECT_EQ(dsts.size(), 2u);  // 1->2, 1->3
+}
+
+TEST_F(EvaluatorTest, BoundVariableActsAsSelection) {
+  Binding b(2);
+  b.Set(0, Value::Int(3));
+  MatchIterator it(*inst_, {EdgeAtom(Term::Var(0), Term::Var(1))}, &b);
+  ASSERT_TRUE(it.Next());
+  EXPECT_EQ(b.Get(1).AsInt(), 4);
+  EXPECT_FALSE(it.Next());
+  // The initial binding is restored on exhaustion.
+  EXPECT_TRUE(b.IsBound(0));
+  EXPECT_FALSE(b.IsBound(1));
+}
+
+TEST_F(EvaluatorTest, TwoAtomJoin) {
+  // Edge(x, y) & Edge(y, z): paths of length 2.
+  Binding b(3);
+  MatchIterator it(*inst_,
+                   {EdgeAtom(Term::Var(0), Term::Var(1)),
+                    EdgeAtom(Term::Var(1), Term::Var(2))},
+                   &b);
+  int count = 0;
+  while (it.Next()) ++count;
+  // 1->2->3, 2->3->4, 1->3->4.
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(EvaluatorTest, SelfJoinWithRepeatedVariable) {
+  // Edge(x, x): none in this graph.
+  Binding b(1);
+  MatchIterator it(*inst_, {EdgeAtom(Term::Var(0), Term::Var(0))}, &b);
+  EXPECT_FALSE(it.Next());
+  AddEdge(7, 7);
+  Binding b2(1);
+  MatchIterator it2(*inst_, {EdgeAtom(Term::Var(0), Term::Var(0))}, &b2);
+  ASSERT_TRUE(it2.Next());
+  EXPECT_EQ(b2.Get(0).AsInt(), 7);
+}
+
+TEST_F(EvaluatorTest, CrossProductWhenNoSharedVars) {
+  Binding b(4);
+  MatchIterator it(*inst_,
+                   {EdgeAtom(Term::Var(0), Term::Var(1)),
+                    EdgeAtom(Term::Var(2), Term::Var(3))},
+                   &b);
+  int count = 0;
+  while (it.Next()) ++count;
+  EXPECT_EQ(count, 16);
+}
+
+TEST_F(EvaluatorTest, EmptyConjunctionMatchesOnce) {
+  Binding b(0);
+  MatchIterator it(*inst_, {}, &b);
+  EXPECT_TRUE(it.Next());
+  EXPECT_FALSE(it.Next());
+}
+
+TEST_F(EvaluatorTest, TriangleQuery) {
+  AddEdge(4, 1);  // close a cycle 1->3->4->1
+  Binding b(3);
+  MatchIterator it(*inst_,
+                   {EdgeAtom(Term::Var(0), Term::Var(1)),
+                    EdgeAtom(Term::Var(1), Term::Var(2)),
+                    EdgeAtom(Term::Var(2), Term::Var(0))},
+                   &b);
+  std::vector<std::vector<int64_t>> triangles;
+  while (it.Next()) {
+    triangles.push_back({b.Get(0).AsInt(), b.Get(1).AsInt(),
+                         b.Get(2).AsInt()});
+  }
+  // 1->3->4->1 in its three rotations.
+  EXPECT_EQ(triangles.size(), 3u);
+}
+
+TEST_F(EvaluatorTest, MixedRelationsJoin) {
+  // Edge(x, y) & Node(y, "even").
+  Binding b(2);
+  MatchIterator it(
+      *inst_,
+      {EdgeAtom(Term::Var(0), Term::Var(1)),
+       NodeAtom(Term::Var(1), Term::Const(Value::Str("even")))},
+      &b);
+  int count = 0;
+  while (it.Next()) ++count;
+  EXPECT_EQ(count, 2);  // 1->2 and 3->4.
+}
+
+TEST_F(EvaluatorTest, NoIndexesMatchesIndexedResults) {
+  EvalOptions no_index;
+  no_index.use_indexes = false;
+  Binding b1(3);
+  Binding b2(3);
+  std::vector<Atom> atoms = {EdgeAtom(Term::Var(0), Term::Var(1)),
+                             EdgeAtom(Term::Var(1), Term::Var(2))};
+  std::vector<Binding> with = EvaluateAll(*inst_, atoms, Binding(3));
+  std::vector<Binding> without = EvaluateAll(*inst_, atoms, Binding(3),
+                                             no_index);
+  EXPECT_EQ(with.size(), without.size());
+}
+
+TEST_F(EvaluatorTest, NoReorderingMatchesReorderedResults) {
+  EvalOptions no_reorder;
+  no_reorder.reorder_atoms = false;
+  std::vector<Atom> atoms = {EdgeAtom(Term::Var(0), Term::Var(1)),
+                             EdgeAtom(Term::Const(Value::Int(1)),
+                                      Term::Var(0))};
+  std::vector<Binding> a = EvaluateAll(*inst_, atoms, Binding(2));
+  std::vector<Binding> b = EvaluateAll(*inst_, atoms, Binding(2), no_reorder);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST_F(EvaluatorTest, HasMatch) {
+  EXPECT_TRUE(HasMatch(*inst_, {EdgeAtom(Term::Const(Value::Int(1)),
+                                         Term::Var(0))},
+                       Binding(1)));
+  EXPECT_FALSE(HasMatch(*inst_, {EdgeAtom(Term::Const(Value::Int(99)),
+                                          Term::Var(0))},
+                        Binding(1)));
+}
+
+TEST_F(EvaluatorTest, ConstantMismatchInAtomRejected) {
+  // Atom over a relation not in the instance's schema fails validation.
+  Atom bad;
+  bad.relation = 42;
+  bad.terms = {Term::Var(0)};
+  Binding b(1);
+  EXPECT_THROW(MatchIterator(*inst_, {bad}, &b), SpiderError);
+}
+
+TEST_F(EvaluatorTest, ArityMismatchRejected) {
+  Atom bad;
+  bad.relation = edge_;
+  bad.terms = {Term::Var(0)};
+  Binding b(1);
+  EXPECT_THROW(MatchIterator(*inst_, {bad}, &b), SpiderError);
+}
+
+TEST_F(EvaluatorTest, TuplesScannedGrowsWithWork) {
+  Binding b(2);
+  MatchIterator it(*inst_, {EdgeAtom(Term::Var(0), Term::Var(1))}, &b);
+  while (it.Next()) {
+  }
+  EXPECT_GE(it.tuples_scanned(), 4u);
+}
+
+TEST_F(EvaluatorTest, IndexProbeScansFewerTuplesThanScan) {
+  // Selection on a constant: the index probe touches only matching rows.
+  for (int i = 10; i < 60; ++i) AddEdge(i, i + 1);
+  std::vector<Atom> atoms = {EdgeAtom(Term::Const(Value::Int(1)),
+                                      Term::Var(0))};
+  Binding b1(1);
+  MatchIterator indexed(*inst_, atoms, &b1);
+  while (indexed.Next()) {
+  }
+  EvalOptions no_index;
+  no_index.use_indexes = false;
+  Binding b2(1);
+  MatchIterator scanning(*inst_, atoms, &b2, no_index);
+  while (scanning.Next()) {
+  }
+  EXPECT_LT(indexed.tuples_scanned(), scanning.tuples_scanned());
+}
+
+TEST_F(EvaluatorTest, ReorderingStartsFromTheBoundAtom) {
+  // Edge(x, y) & Edge(1, x): the planner must evaluate the selective
+  // second atom first; without reordering the scan-heavy order stands.
+  for (int i = 10; i < 60; ++i) AddEdge(i, i + 1);
+  std::vector<Atom> atoms = {EdgeAtom(Term::Var(0), Term::Var(1)),
+                             EdgeAtom(Term::Const(Value::Int(1)),
+                                      Term::Var(0))};
+  EvalOptions no_index_reorder;
+  no_index_reorder.use_indexes = false;
+  Binding b1(2);
+  MatchIterator reordered(*inst_, atoms, &b1, no_index_reorder);
+  while (reordered.Next()) {
+  }
+  EvalOptions no_index_no_reorder = no_index_reorder;
+  no_index_no_reorder.reorder_atoms = false;
+  Binding b2(2);
+  MatchIterator in_order(*inst_, atoms, &b2, no_index_no_reorder);
+  while (in_order.Next()) {
+  }
+  EXPECT_LT(reordered.tuples_scanned(), in_order.tuples_scanned());
+}
+
+TEST_F(EvaluatorTest, EvaluateAllReturnsDistinctBindings) {
+  std::vector<Binding> all = EvaluateAll(
+      *inst_, {EdgeAtom(Term::Var(0), Term::Var(1))}, Binding(2));
+  EXPECT_EQ(all.size(), 4u);
+  for (const Binding& b : all) {
+    EXPECT_TRUE(b.IsBound(0));
+    EXPECT_TRUE(b.IsBound(1));
+  }
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,165 @@
+#include "routes/find_hom.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+
+#include "base/status.h"
+#include "routes/fact_util.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+class FindHomTest : public ::testing::Test {
+ protected:
+  FindHomTest() : scenario_(testing::CreditCardScenario()) {}
+
+  FactRef Target(const std::string& relation, std::vector<Value> values) {
+    return RequireTargetFact(*scenario_.target, relation,
+                             Tuple(std::move(values)));
+  }
+  TgdId TgdByName(const std::string& name) {
+    TgdId id = scenario_.mapping->FindTgd(name);
+    EXPECT_GE(id, 0);
+    return id;
+  }
+  size_t CountAssignments(const FactRef& fact, TgdId tgd,
+                          RouteOptions options = {}) {
+    FindHomIterator it(*scenario_.mapping, *scenario_.source,
+                       *scenario_.target, fact, tgd, options);
+    Binding h;
+    size_t n = 0;
+    while (it.Next(&h)) ++n;
+    return n;
+  }
+
+  Scenario scenario_;
+};
+
+TEST_F(FindHomTest, PaperExampleT1WithM1) {
+  // findHom(I, J, t1, m1) from §3.1: matching t1 = Accounts(6689,15K,434)
+  // against m1's Accounts atom yields the assignment of the paper.
+  FactRef t1 = Target("Accounts",
+                      {Value::Int(6689), Value::Str("15K"), Value::Int(434)});
+  FindHomIterator it(*scenario_.mapping, *scenario_.source, *scenario_.target,
+                     t1, TgdByName("m1"));
+  Binding h;
+  ASSERT_TRUE(it.Next(&h));
+  const Tgd& m1 = scenario_.mapping->tgd(TgdByName("m1"));
+  EXPECT_TRUE(h.IsTotal());
+  // Check a few named variables: cn=6689, n="J. Long", A = the null A1.
+  auto var = [&](const std::string& name) {
+    for (size_t v = 0; v < m1.var_names().size(); ++v) {
+      if (m1.var_names()[v] == name) return static_cast<VarId>(v);
+    }
+    ADD_FAILURE() << "no variable " << name;
+    return VarId{-1};
+  };
+  EXPECT_EQ(h.Get(var("cn")), Value::Int(6689));
+  EXPECT_EQ(h.Get(var("n")), Value::Str("J. Long"));
+  EXPECT_EQ(h.Get(var("sal")), Value::Str("50K"));
+  EXPECT_TRUE(h.Get(var("A")).is_null());
+  // There is exactly one assignment for t1 with m1.
+  EXPECT_FALSE(it.Next(&h));
+}
+
+TEST_F(FindHomTest, NoAssignmentWhenRelationNotInRhs) {
+  // m2 only produces Clients facts; probing an Accounts fact fails fast.
+  FactRef t1 = Target("Accounts",
+                      {Value::Int(6689), Value::Str("15K"), Value::Int(434)});
+  EXPECT_EQ(CountAssignments(t1, TgdByName("m2")), 0u);
+}
+
+TEST_F(FindHomTest, ScenarioTwoRoutesForT4) {
+  // t4 = Accounts(5539, 40K, 153) has two witnesses through m3: (s4, s6)
+  // and the bogus (s3, s6) caused by the missing join on ssn.
+  FactRef t4 = Target("Accounts",
+                      {Value::Int(5539), Value::Str("40K"), Value::Int(153)});
+  EXPECT_EQ(CountAssignments(t4, TgdByName("m3")), 2u);
+}
+
+TEST_F(FindHomTest, TargetTgdAssignments) {
+  // t2 = Accounts(N1, 2K, 234) via m5: three Clients tuples with ssn 234,
+  // each with the existentials pinned by v1 to (N1, 2K).
+  FactRef t2 = Target("Accounts",
+                      {Value::Null(1), Value::Str("2K"), Value::Int(234)});
+  EXPECT_EQ(CountAssignments(t2, TgdByName("m5")), 3u);
+}
+
+TEST_F(FindHomTest, ExistentialsBoundFromTargetInstance) {
+  // m5's existentials N, L must be bound to values from J (v3), here to the
+  // two distinct Accounts with holder 234 per LHS client: 3 clients x 2
+  // accounts... but v1 pins (N, L) when probing a specific account.
+  FactRef t3 = Target("Accounts",
+                      {Value::Int(2252), Value::Str("2K"), Value::Int(234)});
+  EXPECT_EQ(CountAssignments(t3, TgdByName("m5")), 3u);
+}
+
+TEST_F(FindHomTest, EagerModeReturnsSameAssignments) {
+  FactRef t4 = Target("Accounts",
+                      {Value::Int(5539), Value::Str("40K"), Value::Int(153)});
+  RouteOptions eager;
+  eager.eager_findhom = true;
+  EXPECT_EQ(CountAssignments(t4, TgdByName("m3"), eager),
+            CountAssignments(t4, TgdByName("m3")));
+}
+
+TEST_F(FindHomTest, RejectsSourceFacts) {
+  FactRef bogus{Side::kSource, 0, 0};
+  EXPECT_THROW(FindHomIterator(*scenario_.mapping, *scenario_.source,
+                               *scenario_.target, bogus, TgdByName("m1")),
+               SpiderError);
+}
+
+TEST_F(FindHomTest, AssignmentSatisfiesDefinition) {
+  // For every assignment h: LHS(h) ⊆ K, RHS(h) ⊆ J, t ∈ RHS(h).
+  FactRef t4 = Target("Accounts",
+                      {Value::Int(5539), Value::Str("40K"), Value::Int(153)});
+  TgdId m3 = TgdByName("m3");
+  FindHomIterator it(*scenario_.mapping, *scenario_.source, *scenario_.target,
+                     t4, m3);
+  Binding h;
+  while (it.Next(&h)) {
+    std::vector<FactRef> lhs = LhsFacts(*scenario_.mapping, m3, h,
+                                        *scenario_.source, *scenario_.target);
+    for (const FactRef& f : lhs) EXPECT_EQ(f.side, Side::kSource);
+    std::vector<FactRef> rhs =
+        RhsFacts(*scenario_.mapping, m3, h, *scenario_.target);
+    EXPECT_NE(std::find(rhs.begin(), rhs.end(), t4), rhs.end());
+  }
+}
+
+TEST_F(FindHomTest, FindHomFirstConvenience) {
+  FactRef t1 = Target("Accounts",
+                      {Value::Int(6689), Value::Str("15K"), Value::Int(434)});
+  EXPECT_TRUE(FindHomFirst(*scenario_.mapping, *scenario_.source,
+                           *scenario_.target, t1, TgdByName("m1"))
+                  .has_value());
+  EXPECT_FALSE(FindHomFirst(*scenario_.mapping, *scenario_.source,
+                            *scenario_.target, t1, TgdByName("m2"))
+                   .has_value());
+}
+
+TEST(FindHomDuplicateTest, RepeatedRhsAtomsDeduplicated) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    m: S(x, y) -> T(x, y) & T(y, x);
+    source instance { S(1, 1); }
+    target instance { T(1, 1); }
+  )");
+  FactRef t = RequireTargetFact(*s.target, "T",
+                                Tuple({Value::Int(1), Value::Int(1)}));
+  FindHomIterator it(*s.mapping, *s.source, *s.target, t, 0);
+  Binding h;
+  size_t n = 0;
+  while (it.Next(&h)) ++n;
+  // Matching either RHS atom yields the same assignment {x->1, y->1}.
+  EXPECT_EQ(n, 1u);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,233 @@
+#include "routes/one_route.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+#include "routes/fact_util.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+FactRef TargetFact(const Scenario& s, const std::string& relation,
+                   std::vector<Value> values) {
+  return RequireTargetFact(*s.target, relation, Tuple(std::move(values)));
+}
+
+class OneRouteExample38Test : public ::testing::Test {
+ protected:
+  OneRouteExample38Test()
+      : scenario_(ParseScenario(testing::Example35Text(false))) {}
+
+  FactRef T(int i) {
+    return TargetFact(scenario_, "T" + std::to_string(i), {Value::Str("a")});
+  }
+
+  Scenario scenario_;
+};
+
+TEST_F(OneRouteExample38Test, ReproducesPaperTrace) {
+  // Example 3.8: the algorithm returns exactly
+  // [sigma1, sigma2, sigma3, sigma4, sigma5, sigma7, sigma8, sigma6]
+  // (sigma7 appears even though T3 was already proven by sigma3 — Infer
+  // fires every suspended triple, per Fig. 8).
+  OneRouteResult result = ComputeOneRoute(*scenario_.mapping,
+                                          *scenario_.source,
+                                          *scenario_.target, {T(7)});
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.route.TgdNames(*scenario_.mapping),
+            "sigma1 -> sigma2 -> sigma3 -> sigma4 -> sigma5 -> sigma7 -> "
+            "sigma8 -> sigma6");
+  EXPECT_TRUE(result.route.Validate(*scenario_.mapping, *scenario_.source,
+                                    *scenario_.target, {T(7)}));
+}
+
+TEST_F(OneRouteExample38Test, RouteNotMinimalButMinimizes) {
+  OneRouteResult result = ComputeOneRoute(*scenario_.mapping,
+                                          *scenario_.source,
+                                          *scenario_.target, {T(7)});
+  ASSERT_TRUE(result.found);
+  // The sigma7 step is redundant.
+  EXPECT_FALSE(result.route.IsMinimal(*scenario_.mapping, *scenario_.source,
+                                      *scenario_.target, {T(7)}));
+  Route minimal = result.route.Minimize(*scenario_.mapping, *scenario_.source,
+                                        *scenario_.target, {T(7)});
+  // The paper's R1: sigma1, sigma2, sigma3, sigma4, sigma5, sigma8, sigma6
+  // in some valid order (7 steps).
+  EXPECT_EQ(minimal.size(), 7u);
+  EXPECT_TRUE(minimal.IsMinimal(*scenario_.mapping, *scenario_.source,
+                                *scenario_.target, {T(7)}));
+}
+
+TEST_F(OneRouteExample38Test, InferIsRequiredForCompleteness) {
+  // Without Infer the status of T5 would be unknown when sigma8 is tried
+  // (see the paper's discussion); our implementation must still succeed.
+  for (int i = 1; i <= 7; ++i) {
+    OneRouteResult result = ComputeOneRoute(
+        *scenario_.mapping, *scenario_.source, *scenario_.target, {T(i)});
+    EXPECT_TRUE(result.found) << "T" << i;
+  }
+}
+
+TEST_F(OneRouteExample38Test, StatsAreTracked) {
+  OneRouteResult result = ComputeOneRoute(*scenario_.mapping,
+                                          *scenario_.source,
+                                          *scenario_.target, {T(7)});
+  EXPECT_GT(result.stats.findhom_calls, 0u);
+  EXPECT_GT(result.stats.findhom_successes, 0u);
+  EXPECT_GT(result.stats.infer_fires, 0u);
+}
+
+class OneRouteCreditCardTest : public ::testing::Test {
+ protected:
+  OneRouteCreditCardTest() : scenario_(testing::CreditCardScenario()) {}
+  Scenario scenario_;
+};
+
+TEST_F(OneRouteCreditCardTest, Scenario1RouteForT5) {
+  // Probing t5 yields the one-step route s1 --m1--> t1, t5.
+  FactRef t5 = TargetFact(scenario_, "Clients",
+                          {Value::Int(434), Value::Str("Smith"),
+                           Value::Str("Smith"), Value::Str("50K"),
+                           Value::Null(2)});
+  OneRouteResult result = ComputeOneRoute(*scenario_.mapping,
+                                          *scenario_.source,
+                                          *scenario_.target, {t5});
+  ASSERT_TRUE(result.found);
+  ASSERT_EQ(result.route.size(), 1u);
+  EXPECT_EQ(scenario_.mapping->tgd(result.route.steps()[0].tgd).name(), "m1");
+}
+
+TEST_F(OneRouteCreditCardTest, Scenario3RouteForT2) {
+  // Probing t2 = Accounts(N1, 2K, 234): the route is m2 (witnessing t6)
+  // followed by m5 (witnessing t2 from t6).
+  FactRef t2 = TargetFact(scenario_, "Accounts",
+                          {Value::Null(1), Value::Str("2K"), Value::Int(234)});
+  OneRouteResult result = ComputeOneRoute(*scenario_.mapping,
+                                          *scenario_.source,
+                                          *scenario_.target, {t2});
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.route.TgdNames(*scenario_.mapping), "m2 -> m5");
+}
+
+TEST_F(OneRouteCreditCardTest, MultipleSelectedFacts) {
+  FactRef t2 = TargetFact(scenario_, "Accounts",
+                          {Value::Null(1), Value::Str("2K"), Value::Int(234)});
+  FactRef t4 = TargetFact(scenario_, "Accounts",
+                          {Value::Int(5539), Value::Str("40K"),
+                           Value::Int(153)});
+  OneRouteResult result = ComputeOneRoute(*scenario_.mapping,
+                                          *scenario_.source,
+                                          *scenario_.target, {t2, t4});
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.route.Validate(*scenario_.mapping, *scenario_.source,
+                                    *scenario_.target, {t2, t4}));
+}
+
+TEST_F(OneRouteCreditCardTest, OptimizationOffStillCorrect) {
+  RouteOptions options;
+  options.propagate_rhs_proven = false;
+  FactRef t2 = TargetFact(scenario_, "Accounts",
+                          {Value::Null(1), Value::Str("2K"), Value::Int(234)});
+  OneRouteResult result =
+      ComputeOneRoute(*scenario_.mapping, *scenario_.source, *scenario_.target,
+                      {t2}, options);
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.route.Validate(*scenario_.mapping, *scenario_.source,
+                                    *scenario_.target, {t2}));
+}
+
+TEST_F(OneRouteCreditCardTest, OptimizationReducesFindHomCalls) {
+  // Probing every Clients tuple: with §3.3 propagation, facts proven as a
+  // side effect of earlier steps skip their own findHom exploration.
+  std::vector<FactRef> all_clients;
+  RelationId clients = scenario_.mapping->target().Require("Clients");
+  for (int32_t row = 0;
+       row < static_cast<int32_t>(scenario_.target->NumTuples(clients));
+       ++row) {
+    all_clients.push_back(FactRef{Side::kTarget, clients, row});
+  }
+  RouteOptions with_opt;
+  RouteOptions without_opt;
+  without_opt.propagate_rhs_proven = false;
+  OneRouteResult fast = ComputeOneRoute(
+      *scenario_.mapping, *scenario_.source, *scenario_.target, all_clients,
+      with_opt);
+  OneRouteResult slow = ComputeOneRoute(
+      *scenario_.mapping, *scenario_.source, *scenario_.target, all_clients,
+      without_opt);
+  ASSERT_TRUE(fast.found);
+  ASSERT_TRUE(slow.found);
+  EXPECT_LE(fast.stats.findhom_calls, slow.stats.findhom_calls);
+}
+
+TEST(OneRouteNoRouteTest, UnwitnessedFactReported) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a); U(a); }
+    m: S(x) -> T(x);
+    source instance { S(1); }
+    target instance { T(1); U(5); }
+  )");
+  FactRef orphan = TargetFact(s, "U", {Value::Int(5)});
+  FactRef good = TargetFact(s, "T", {Value::Int(1)});
+  OneRouteResult result =
+      ComputeOneRoute(*s.mapping, *s.source, *s.target, {orphan, good});
+  EXPECT_FALSE(result.found);
+  ASSERT_EQ(result.unproven.size(), 1u);
+  EXPECT_EQ(result.unproven[0], orphan);
+  // The partial route still witnesses the provable fact.
+  EXPECT_TRUE(result.route.Validate(*s.mapping, *s.source, *s.target, {good}));
+}
+
+TEST(OneRouteCycleTest, MutuallyRecursiveTgdsWithNoBase) {
+  // A(x) -> B(x), B(x) -> A(x): with J = {A(1), B(1)} and no s-t witness,
+  // neither fact has a route; the algorithm must terminate and report it.
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { A(a); B(a); }
+    m: S(x) -> A(x);
+    t1: A(x) -> B(x);
+    t2: B(x) -> A(x);
+    target instance { A(1); B(1); }
+  )");
+  FactRef a1 = TargetFact(s, "A", {Value::Int(1)});
+  OneRouteResult result =
+      ComputeOneRoute(*s.mapping, *s.source, *s.target, {a1});
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.unproven.size(), 1u);
+}
+
+TEST(OneRouteCycleTest, CycleWithBaseResolvesThroughInfer) {
+  // Same recursion, but S(1) provides a base witness for A(1).
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { A(a); B(a); }
+    m: S(x) -> A(x);
+    t1: A(x) -> B(x);
+    t2: B(x) -> A(x);
+    source instance { S(1); }
+    target instance { A(1); B(1); }
+  )");
+  FactRef b1 = TargetFact(s, "B", {Value::Int(1)});
+  OneRouteResult result =
+      ComputeOneRoute(*s.mapping, *s.source, *s.target, {b1});
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(result.route.Validate(*s.mapping, *s.source, *s.target, {b1}));
+}
+
+TEST(OneRouteTransitiveClosureTest, IntermediateStepsShown) {
+  // §5.1: the route for T(1,3) shows the intermediate facts T(1,2), T(2,3),
+  // unlike source-only why-provenance.
+  Scenario s = ParseScenario(testing::TransitiveClosureText());
+  FactRef t13 = TargetFact(s, "T", {Value::Int(1), Value::Int(3)});
+  OneRouteResult result =
+      ComputeOneRoute(*s.mapping, *s.source, *s.target, {t13});
+  ASSERT_TRUE(result.found);
+  // Route: sigma1 (twice, for both base edges) then sigma2.
+  EXPECT_EQ(result.route.size(), 3u);
+  EXPECT_EQ(s.mapping->tgd(result.route.steps().back().tgd).name(), "sigma2");
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,153 @@
+#include "routes/route.h"
+
+#include <gtest/gtest.h>
+
+#include "routes/fact_util.h"
+#include "routes/one_route.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+class RouteTest : public ::testing::Test {
+ protected:
+  RouteTest() : scenario_(testing::CreditCardScenario()) {}
+
+  FactRef Target(const std::string& relation, std::vector<Value> values) {
+    return RequireTargetFact(*scenario_.target, relation,
+                             Tuple(std::move(values)));
+  }
+
+  FactRef T2() {
+    return Target("Accounts",
+                  {Value::Null(1), Value::Str("2K"), Value::Int(234)});
+  }
+  FactRef T5() {
+    return Target("Clients", {Value::Int(434), Value::Str("Smith"),
+                              Value::Str("Smith"), Value::Str("50K"),
+                              Value::Null(2)});
+  }
+
+  Route RouteFor(const FactRef& fact) {
+    OneRouteResult result =
+        ComputeOneRoute(*scenario_.mapping, *scenario_.source,
+                        *scenario_.target, {fact});
+    EXPECT_TRUE(result.found);
+    return result.route;
+  }
+
+  Scenario scenario_;
+};
+
+TEST_F(RouteTest, ValidRouteValidates) {
+  Route route = RouteFor(T2());
+  std::string why;
+  EXPECT_TRUE(route.Validate(*scenario_.mapping, *scenario_.source,
+                             *scenario_.target, {T2()}, &why))
+      << why;
+}
+
+TEST_F(RouteTest, EmptyRouteInvalid) {
+  Route route;
+  std::string why;
+  EXPECT_FALSE(route.Validate(*scenario_.mapping, *scenario_.source,
+                              *scenario_.target, {}, &why));
+  EXPECT_NE(why.find("non-empty"), std::string::npos);
+}
+
+TEST_F(RouteTest, RouteMustProduceSelectedFacts) {
+  Route route = RouteFor(T5());  // witnesses t1 and t5 via m1
+  EXPECT_TRUE(route.Validate(*scenario_.mapping, *scenario_.source,
+                             *scenario_.target, {T5()}));
+  // ... but not t2.
+  std::string why;
+  EXPECT_FALSE(route.Validate(*scenario_.mapping, *scenario_.source,
+                              *scenario_.target, {T2()}, &why));
+  EXPECT_NE(why.find("not produced"), std::string::npos);
+}
+
+TEST_F(RouteTest, OrderMatters) {
+  // The two-step route for t2 is m2 then m5; reversed it is invalid because
+  // m5's LHS fact t6 has not been produced yet.
+  Route route = RouteFor(T2());
+  ASSERT_EQ(route.size(), 2u);
+  Route reversed(
+      std::vector<SatStep>{route.steps()[1], route.steps()[0]});
+  EXPECT_FALSE(reversed.Validate(*scenario_.mapping, *scenario_.source,
+                                 *scenario_.target, {T2()}));
+}
+
+TEST_F(RouteTest, PartialHomomorphismRejected) {
+  Route route = RouteFor(T5());
+  SatStep step = route.steps()[0];
+  step.h.Unset(0);
+  Route broken(std::vector<SatStep>{step});
+  std::string why;
+  EXPECT_FALSE(broken.Validate(*scenario_.mapping, *scenario_.source,
+                               *scenario_.target, {}, &why));
+  EXPECT_NE(why.find("cover all variables"), std::string::npos);
+}
+
+TEST_F(RouteTest, ProducedFacts) {
+  Route route = RouteFor(T2());
+  std::vector<FactRef> produced =
+      route.ProducedFacts(*scenario_.mapping, *scenario_.source,
+                          *scenario_.target);
+  // m2 produces t6; m5 produces t2.
+  ASSERT_EQ(produced.size(), 2u);
+  EXPECT_EQ(produced[1], T2());
+}
+
+TEST_F(RouteTest, MinimizeRemovesRedundantSteps) {
+  Route route = RouteFor(T5());
+  // Duplicate the steps; minimization must bring it back to minimal size.
+  std::vector<SatStep> doubled = route.steps();
+  doubled.insert(doubled.end(), route.steps().begin(), route.steps().end());
+  Route redundant(doubled);
+  ASSERT_TRUE(redundant.Validate(*scenario_.mapping, *scenario_.source,
+                                 *scenario_.target, {T5()}));
+  Route minimal = redundant.Minimize(*scenario_.mapping, *scenario_.source,
+                                     *scenario_.target, {T5()});
+  EXPECT_EQ(minimal.size(), 1u);
+  EXPECT_TRUE(minimal.IsMinimal(*scenario_.mapping, *scenario_.source,
+                                *scenario_.target, {T5()}));
+}
+
+TEST_F(RouteTest, IsMinimalDetectsRedundancy) {
+  Route route = RouteFor(T2());
+  std::vector<SatStep> padded = route.steps();
+  padded.push_back(route.steps()[0]);
+  EXPECT_FALSE(Route(padded).IsMinimal(*scenario_.mapping, *scenario_.source,
+                                       *scenario_.target, {T2()}));
+  EXPECT_TRUE(route.IsMinimal(*scenario_.mapping, *scenario_.source,
+                              *scenario_.target, {T2()}));
+}
+
+TEST_F(RouteTest, MinimizeRequiresValidRoute) {
+  Route route;
+  EXPECT_THROW(route.Minimize(*scenario_.mapping, *scenario_.source,
+                              *scenario_.target, {}),
+               SpiderError);
+}
+
+TEST_F(RouteTest, ToStringShowsStepsAndAssignments) {
+  Route route = RouteFor(T2());
+  std::string str =
+      route.ToString(*scenario_.mapping, *scenario_.source, *scenario_.target);
+  EXPECT_NE(str.find("step 1"), std::string::npos);
+  EXPECT_NE(str.find("m2"), std::string::npos);
+  EXPECT_NE(str.find("m5"), std::string::npos);
+  EXPECT_NE(str.find("SupplementaryCards"), std::string::npos);
+  EXPECT_EQ(route.TgdNames(*scenario_.mapping), "m2 -> m5");
+}
+
+TEST_F(RouteTest, SatStepLessIsStrictWeakOrder) {
+  Route route = RouteFor(T2());
+  const SatStep& a = route.steps()[0];
+  const SatStep& b = route.steps()[1];
+  EXPECT_TRUE(SatStepLess(a, b) || SatStepLess(b, a));
+  EXPECT_FALSE(SatStepLess(a, a));
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,135 @@
+#include "routes/source_routes.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "mapping/parser.h"
+#include "routes/fact_util.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+class SourceRoutesTest : public ::testing::Test {
+ protected:
+  SourceRoutesTest() : scenario_(testing::CreditCardScenario()) {}
+
+  FactRef S2() {
+    return RequireSourceFact(
+        *scenario_.source, "SupplementaryCards",
+        Tuple({Value::Int(6689), Value::Int(234), Value::Str("A. Long"),
+               Value::Str("California")}));
+  }
+
+  Scenario scenario_;
+};
+
+TEST_F(SourceRoutesTest, S2ProducesT6AndT2) {
+  // Selecting s2 shows its consequences: t6 directly via m2, then t2 via m5
+  // (the situation Alice untangles backwards in Scenario 3).
+  ConsequenceForest forest = ComputeSourceConsequences(
+      *scenario_.mapping, *scenario_.source, *scenario_.target, {S2()});
+  EXPECT_FALSE(forest.truncated);
+  std::vector<FactRef> derived = forest.DerivedFacts();
+  FactRef t6 = RequireTargetFact(
+      *scenario_.target, "Clients",
+      Tuple({Value::Int(234), Value::Str("A. Long"), Value::Null(3),
+             Value::Null(4), Value::Str("California")}));
+  FactRef t2 = RequireTargetFact(
+      *scenario_.target, "Accounts",
+      Tuple({Value::Null(1), Value::Str("2K"), Value::Int(234)}));
+  EXPECT_NE(std::find(derived.begin(), derived.end(), t6), derived.end());
+  EXPECT_NE(std::find(derived.begin(), derived.end(), t2), derived.end());
+}
+
+TEST_F(SourceRoutesTest, ExtractedRouteIsValid) {
+  ConsequenceForest forest = ComputeSourceConsequences(
+      *scenario_.mapping, *scenario_.source, *scenario_.target, {S2()});
+  FactRef t2 = RequireTargetFact(
+      *scenario_.target, "Accounts",
+      Tuple({Value::Null(1), Value::Str("2K"), Value::Int(234)}));
+  Route route = forest.RouteFor(t2, *scenario_.mapping, *scenario_.source,
+                                *scenario_.target);
+  EXPECT_TRUE(route.Validate(*scenario_.mapping, *scenario_.source,
+                             *scenario_.target, {t2}));
+  EXPECT_EQ(route.TgdNames(*scenario_.mapping), "m2 -> m5");
+}
+
+TEST_F(SourceRoutesTest, RouteForUnderivedFactThrows) {
+  ConsequenceForest forest = ComputeSourceConsequences(
+      *scenario_.mapping, *scenario_.source, *scenario_.target, {S2()});
+  FactRef t1 = RequireTargetFact(
+      *scenario_.target, "Accounts",
+      Tuple({Value::Int(6689), Value::Str("15K"), Value::Int(434)}));
+  EXPECT_THROW(forest.RouteFor(t1, *scenario_.mapping, *scenario_.source,
+                               *scenario_.target),
+               SpiderError);
+}
+
+TEST_F(SourceRoutesTest, SelectionMustBeSourceFacts) {
+  FactRef bogus{Side::kTarget, 0, 0};
+  EXPECT_THROW(
+      ComputeSourceConsequences(*scenario_.mapping, *scenario_.source,
+                                *scenario_.target, {bogus}),
+      SpiderError);
+}
+
+TEST_F(SourceRoutesTest, TruncationBound) {
+  SourceRouteOptions options;
+  options.max_steps = 1;
+  ConsequenceForest forest = ComputeSourceConsequences(
+      *scenario_.mapping, *scenario_.source, *scenario_.target, {S2()},
+      options);
+  EXPECT_TRUE(forest.truncated);
+  EXPECT_LE(forest.steps.size(), 1u);
+}
+
+TEST(SourceRoutesJoinTest, JointTgdUsesBothSelectedAndUnselectedFacts) {
+  Scenario s = testing::CreditCardScenario();
+  FactRef s6 = RequireSourceFact(
+      *s.source, "CreditCards",
+      Tuple({Value::Int(5539), Value::Str("40K"), Value::Int(153)}));
+  ConsequenceForest forest = ComputeSourceConsequences(
+      *s.mapping, *s.source, *s.target, {s6});
+  // s6 joins with both FBAccounts rows through m3 (the missing-join bug),
+  // so two m3 steps are discovered.
+  size_t m3_steps = 0;
+  for (const SatStep& step : forest.steps) {
+    if (s.mapping->tgd(step.tgd).name() == "m3") ++m3_steps;
+  }
+  EXPECT_EQ(m3_steps, 2u);
+}
+
+TEST(SourceRoutesClosureTest, ForwardClosureFollowsTargetTgds) {
+  Scenario s = ParseScenario(testing::TransitiveClosureText());
+  FactRef s12 = RequireSourceFact(*s.source, "S",
+                                  Tuple({Value::Int(1), Value::Int(2)}));
+  ConsequenceForest forest =
+      ComputeSourceConsequences(*s.mapping, *s.source, *s.target, {s12});
+  // s12 yields T(1,2); T(1,3) requires T(2,3), which was NOT derived from
+  // the selection, so the closure stops at T(1,2).
+  std::vector<FactRef> derived = forest.DerivedFacts();
+  EXPECT_EQ(derived.size(), 1u);
+}
+
+TEST(SourceRoutesClosureTest, FullSelectionDerivesClosure) {
+  Scenario s = ParseScenario(testing::TransitiveClosureText());
+  FactRef s12 = RequireSourceFact(*s.source, "S",
+                                  Tuple({Value::Int(1), Value::Int(2)}));
+  FactRef s23 = RequireSourceFact(*s.source, "S",
+                                  Tuple({Value::Int(2), Value::Int(3)}));
+  ConsequenceForest forest =
+      ComputeSourceConsequences(*s.mapping, *s.source, *s.target, {s12, s23});
+  EXPECT_EQ(forest.DerivedFacts().size(), 3u);
+  FactRef t13 = RequireTargetFact(*s.target, "T",
+                                  Tuple({Value::Int(1), Value::Int(3)}));
+  Route route =
+      forest.RouteFor(t13, *s.mapping, *s.source, *s.target);
+  EXPECT_TRUE(route.Validate(*s.mapping, *s.source, *s.target, {t13}));
+  EXPECT_EQ(route.size(), 3u);
+}
+
+}  // namespace
+}  // namespace spider

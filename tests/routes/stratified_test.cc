@@ -1,0 +1,125 @@
+#include "routes/stratified.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+#include "routes/fact_util.h"
+#include "routes/naive_print.h"
+#include "routes/one_route.h"
+#include "routes/route_forest.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+class StratifiedTest : public ::testing::Test {
+ protected:
+  StratifiedTest() : scenario_(ParseScenario(testing::Example35Text(false))) {}
+
+  FactRef T(int i) {
+    return RequireTargetFact(*scenario_.target, "T" + std::to_string(i),
+                             Tuple({Value::Str("a")}));
+  }
+
+  Scenario scenario_;
+};
+
+TEST_F(StratifiedTest, PaperExampleBlocks) {
+  // strat(R1) = strat(R3): rank 1 {sigma1, sigma2}, 2 {sigma3}, 3 {sigma4},
+  // 4 {sigma5}, 5 {sigma8}, 6 {sigma6}, and the route rank is 6.
+  OneRouteResult one = ComputeOneRoute(*scenario_.mapping, *scenario_.source,
+                                       *scenario_.target, {T(7)});
+  ASSERT_TRUE(one.found);
+  Route r1 = one.route.Minimize(*scenario_.mapping, *scenario_.source,
+                                *scenario_.target, {T(7)});
+  StratifiedInterpretation strat =
+      Stratify(r1, *scenario_.mapping, *scenario_.source, *scenario_.target);
+  ASSERT_EQ(strat.rank(), 6u);
+  auto block_names = [&](size_t k) {
+    std::vector<std::string> names;
+    for (const SatStep& step : strat.blocks[k]) {
+      names.push_back(scenario_.mapping->tgd(step.tgd).name());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+  EXPECT_EQ(block_names(0), (std::vector<std::string>{"sigma1", "sigma2"}));
+  EXPECT_EQ(block_names(1), (std::vector<std::string>{"sigma3"}));
+  EXPECT_EQ(block_names(2), (std::vector<std::string>{"sigma4"}));
+  EXPECT_EQ(block_names(3), (std::vector<std::string>{"sigma5"}));
+  EXPECT_EQ(block_names(4), (std::vector<std::string>{"sigma8"}));
+  EXPECT_EQ(block_names(5), (std::vector<std::string>{"sigma6"}));
+}
+
+TEST_F(StratifiedTest, R1AndR3HaveSameStratifiedInterpretation) {
+  // R3 (NaivePrint with duplicates) and R1 (its minimization) coincide.
+  RouteForest forest = ComputeAllRoutes(*scenario_.mapping, *scenario_.source,
+                                        *scenario_.target, {T(7)});
+  NaivePrintResult printed = NaivePrint(&forest, {T(7)});
+  ASSERT_EQ(printed.routes.size(), 1u);
+  const Route& r3 = printed.routes[0];
+  Route r1 = r3.Minimize(*scenario_.mapping, *scenario_.source,
+                         *scenario_.target, {T(7)});
+  EXPECT_NE(r1.steps(), r3.steps());
+  EXPECT_EQ(Stratify(r1, *scenario_.mapping, *scenario_.source,
+                     *scenario_.target),
+            Stratify(r3, *scenario_.mapping, *scenario_.source,
+                     *scenario_.target));
+}
+
+TEST_F(StratifiedTest, DifferentStepsDifferentStrat) {
+  Scenario ext = ParseScenario(testing::Example35Text(true));
+  FactRef t5 = RequireTargetFact(*ext.target, "T5", Tuple({Value::Str("a")}));
+  // Two genuinely different routes for T5: via sigma9 directly, or via
+  // sigma1/sigma2/.../sigma5.
+  RouteForest forest =
+      ComputeAllRoutes(*ext.mapping, *ext.source, *ext.target, {t5});
+  NaivePrintResult printed = NaivePrint(&forest, {t5});
+  ASSERT_GE(printed.routes.size(), 2u);
+  StratifiedInterpretation a = Stratify(printed.routes[0], *ext.mapping,
+                                        *ext.source, *ext.target);
+  StratifiedInterpretation b = Stratify(printed.routes[1], *ext.mapping,
+                                        *ext.source, *ext.target);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(StratifiedTest, SingleStepRouteHasRankOne) {
+  FactRef t1 = T(1);
+  OneRouteResult one = ComputeOneRoute(*scenario_.mapping, *scenario_.source,
+                                       *scenario_.target, {t1});
+  ASSERT_TRUE(one.found);
+  StratifiedInterpretation strat = Stratify(
+      one.route, *scenario_.mapping, *scenario_.source, *scenario_.target);
+  EXPECT_EQ(strat.rank(), 1u);
+}
+
+TEST_F(StratifiedTest, ToStringListsRanks) {
+  OneRouteResult one = ComputeOneRoute(*scenario_.mapping, *scenario_.source,
+                                       *scenario_.target, {T(4)});
+  ASSERT_TRUE(one.found);
+  StratifiedInterpretation strat = Stratify(
+      one.route, *scenario_.mapping, *scenario_.source, *scenario_.target);
+  std::string str = strat.ToString(*scenario_.mapping);
+  EXPECT_NE(str.find("rank 1"), std::string::npos);
+  EXPECT_NE(str.find("sigma2"), std::string::npos);
+}
+
+TEST_F(StratifiedTest, DuplicateStepsCollapseInBlocks) {
+  OneRouteResult one = ComputeOneRoute(*scenario_.mapping, *scenario_.source,
+                                       *scenario_.target, {T(2)});
+  ASSERT_TRUE(one.found);
+  std::vector<SatStep> doubled = one.route.steps();
+  doubled.insert(doubled.end(), one.route.steps().begin(),
+                 one.route.steps().end());
+  StratifiedInterpretation a = Stratify(
+      one.route, *scenario_.mapping, *scenario_.source, *scenario_.target);
+  StratifiedInterpretation b =
+      Stratify(Route(doubled), *scenario_.mapping, *scenario_.source,
+               *scenario_.target);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,102 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+
+namespace spider {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  CsvTest() : schema_("s") {
+    rel_ = schema_.AddRelation("Cards", {"cardNo", "limit", "name"});
+    instance_ = std::make_unique<Instance>(&schema_);
+  }
+  Schema schema_;
+  RelationId rel_;
+  std::unique_ptr<Instance> instance_;
+};
+
+TEST_F(CsvTest, BasicRowsWithTypeInference) {
+  size_t n = LoadCsvText("6689,15.5,\"J. Long\"\n7012,25,\"B. Short\"\n",
+                         "Cards", instance_.get());
+  EXPECT_EQ(n, 2u);
+  const Tuple& row = instance_->tuple(rel_, 0);
+  EXPECT_EQ(row.at(0), Value::Int(6689));
+  EXPECT_EQ(row.at(1), Value::Real(15.5));
+  EXPECT_EQ(row.at(2), Value::Str("J. Long"));
+}
+
+TEST_F(CsvTest, QuotedFieldsStayStrings) {
+  LoadCsvText("\"42\",\"1.5\",\"x\"\n", "Cards", instance_.get());
+  const Tuple& row = instance_->tuple(rel_, 0);
+  EXPECT_EQ(row.at(0), Value::Str("42"));
+  EXPECT_EQ(row.at(1), Value::Str("1.5"));
+}
+
+TEST_F(CsvTest, EscapedQuotesAndCommas) {
+  LoadCsvText(R"(1,2,"said ""hi"", twice")" "\n", "Cards", instance_.get());
+  EXPECT_EQ(instance_->tuple(rel_, 0).at(2),
+            Value::Str("said \"hi\", twice"));
+}
+
+TEST_F(CsvTest, HeaderSkippedOnRequest) {
+  CsvOptions options;
+  options.skip_header = true;
+  size_t n = LoadCsvText("cardNo,limit,name\n1,2,\"x\"\n", "Cards",
+                         instance_.get(), options);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(instance_->NumTuples(rel_), 1u);
+}
+
+TEST_F(CsvTest, CrLfAndBlankLinesTolerated) {
+  size_t n = LoadCsvText("1,2,\"a\"\r\n\r\n3,4,\"b\"\r\n", "Cards",
+                         instance_.get());
+  EXPECT_EQ(n, 2u);
+}
+
+TEST_F(CsvTest, DuplicateRowsDeduplicated) {
+  size_t n = LoadCsvText("1,2,\"a\"\n1,2,\"a\"\n", "Cards", instance_.get());
+  EXPECT_EQ(n, 1u);
+}
+
+TEST_F(CsvTest, ArityMismatchRejectedWithLineNumber) {
+  try {
+    LoadCsvText("1,2,\"a\"\n1,2\n", "Cards", instance_.get());
+    FAIL() << "expected SpiderError";
+  } catch (const SpiderError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST_F(CsvTest, UnterminatedQuoteRejected) {
+  EXPECT_THROW(LoadCsvText("1,2,\"oops\n", "Cards", instance_.get()),
+               SpiderError);
+}
+
+TEST_F(CsvTest, UnknownRelationRejected) {
+  EXPECT_THROW(LoadCsvText("1\n", "Nope", instance_.get()), SpiderError);
+}
+
+TEST_F(CsvTest, DumpRoundTrips) {
+  LoadCsvText("6689,15.5,\"J. \"\"Long\"\"\"\n-3,2,\"plain\"\n", "Cards",
+              instance_.get());
+  std::string csv = DumpCsv(*instance_, "Cards");
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "cardNo,limit,name");
+  Instance fresh(&schema_);
+  CsvOptions options;
+  options.skip_header = true;
+  LoadCsvText(csv, "Cards", &fresh, options);
+  EXPECT_EQ(fresh.tuples(rel_), instance_->tuples(rel_));
+}
+
+TEST_F(CsvTest, NullsDumpedAsMarkers) {
+  instance_->Insert(rel_, Tuple({Value::Int(1), Value::Null(7),
+                                 Value::Str("x")}));
+  std::string csv = DumpCsv(*instance_, "Cards");
+  EXPECT_NE(csv.find("\"#N7\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,141 @@
+#include "storage/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+
+namespace spider {
+namespace {
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  InstanceTest() : schema_("test") {
+    r_ = schema_.AddRelation("R", {"a", "b"});
+    q_ = schema_.AddRelation("Q", {"x"});
+  }
+  Schema schema_;
+  RelationId r_;
+  RelationId q_;
+};
+
+TEST_F(InstanceTest, InsertAndRead) {
+  Instance inst(&schema_);
+  InsertResult res = inst.Insert(r_, Tuple({Value::Int(1), Value::Int(2)}));
+  EXPECT_TRUE(res.inserted);
+  EXPECT_EQ(res.row, 0);
+  EXPECT_EQ(inst.NumTuples(r_), 1u);
+  EXPECT_EQ(inst.tuple(r_, 0), Tuple({Value::Int(1), Value::Int(2)}));
+}
+
+TEST_F(InstanceTest, InsertDeduplicates) {
+  Instance inst(&schema_);
+  inst.Insert(r_, Tuple({Value::Int(1), Value::Int(2)}));
+  InsertResult res = inst.Insert(r_, Tuple({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(res.inserted);
+  EXPECT_EQ(res.row, 0);
+  EXPECT_EQ(inst.NumTuples(r_), 1u);
+}
+
+TEST_F(InstanceTest, InsertByName) {
+  Instance inst(&schema_);
+  inst.Insert("Q", {Value::Str("hello")});
+  EXPECT_EQ(inst.NumTuples(q_), 1u);
+  EXPECT_THROW(inst.Insert("Missing", {Value::Int(1)}), SpiderError);
+}
+
+TEST_F(InstanceTest, ArityMismatchRejected) {
+  Instance inst(&schema_);
+  EXPECT_THROW(inst.Insert(r_, Tuple({Value::Int(1)})), SpiderError);
+}
+
+TEST_F(InstanceTest, FindRow) {
+  Instance inst(&schema_);
+  inst.Insert(r_, Tuple({Value::Int(1), Value::Int(2)}));
+  inst.Insert(r_, Tuple({Value::Int(3), Value::Int(4)}));
+  EXPECT_EQ(inst.FindRow(r_, Tuple({Value::Int(3), Value::Int(4)})), 1);
+  EXPECT_FALSE(inst.FindRow(r_, Tuple({Value::Int(9), Value::Int(9)}))
+                   .has_value());
+}
+
+TEST_F(InstanceTest, TotalTuples) {
+  Instance inst(&schema_);
+  inst.Insert(r_, Tuple({Value::Int(1), Value::Int(2)}));
+  inst.Insert(q_, Tuple({Value::Int(7)}));
+  inst.Insert(q_, Tuple({Value::Int(8)}));
+  EXPECT_EQ(inst.TotalTuples(), 3u);
+}
+
+TEST_F(InstanceTest, ProbeFindsMatchingRows) {
+  Instance inst(&schema_);
+  inst.Insert(r_, Tuple({Value::Int(1), Value::Int(10)}));
+  inst.Insert(r_, Tuple({Value::Int(2), Value::Int(10)}));
+  inst.Insert(r_, Tuple({Value::Int(1), Value::Int(20)}));
+  const std::vector<int32_t>& rows = inst.Probe(r_, 0, Value::Int(1));
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_EQ(inst.Probe(r_, 1, Value::Int(10)).size(), 2u);
+  EXPECT_TRUE(inst.Probe(r_, 0, Value::Int(99)).empty());
+}
+
+TEST_F(InstanceTest, ProbeIndexMaintainedIncrementally) {
+  Instance inst(&schema_);
+  inst.Insert(r_, Tuple({Value::Int(1), Value::Int(10)}));
+  EXPECT_EQ(inst.Probe(r_, 0, Value::Int(1)).size(), 1u);  // builds index
+  inst.Insert(r_, Tuple({Value::Int(1), Value::Int(30)}));
+  EXPECT_EQ(inst.Probe(r_, 0, Value::Int(1)).size(), 2u);
+}
+
+TEST_F(InstanceTest, ContainsNulls) {
+  Instance inst(&schema_);
+  inst.Insert(r_, Tuple({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(inst.ContainsNulls());
+  inst.Insert(q_, Tuple({Value::Null(1)}));
+  EXPECT_TRUE(inst.ContainsNulls());
+}
+
+TEST_F(InstanceTest, ApplySubstitutionRewritesCells) {
+  Instance inst(&schema_);
+  inst.Insert(r_, Tuple({Value::Null(1), Value::Int(2)}));
+  inst.Insert(q_, Tuple({Value::Null(1)}));
+  size_t rewritten = inst.ApplySubstitution(NullId{1}, Value::Int(9));
+  EXPECT_EQ(rewritten, 2u);
+  EXPECT_EQ(inst.tuple(r_, 0), Tuple({Value::Int(9), Value::Int(2)}));
+  EXPECT_EQ(inst.tuple(q_, 0), Tuple({Value::Int(9)}));
+  EXPECT_FALSE(inst.ContainsNulls());
+}
+
+TEST_F(InstanceTest, ApplySubstitutionMergesDuplicates) {
+  Instance inst(&schema_);
+  inst.Insert(q_, Tuple({Value::Null(1)}));
+  inst.Insert(q_, Tuple({Value::Int(9)}));
+  inst.ApplySubstitution(NullId{1}, Value::Int(9));
+  EXPECT_EQ(inst.NumTuples(q_), 1u);
+}
+
+TEST_F(InstanceTest, ApplySubstitutionNullToNull) {
+  Instance inst(&schema_);
+  inst.Insert(q_, Tuple({Value::Null(2)}));
+  inst.ApplySubstitution(NullId{2}, Value::Null(1));
+  EXPECT_EQ(inst.tuple(q_, 0), Tuple({Value::Null(1)}));
+}
+
+TEST_F(InstanceTest, ProbeAfterSubstitutionIsConsistent) {
+  Instance inst(&schema_);
+  inst.Insert(r_, Tuple({Value::Null(1), Value::Int(2)}));
+  EXPECT_EQ(inst.Probe(r_, 0, Value::Null(1)).size(), 1u);
+  inst.ApplySubstitution(NullId{1}, Value::Int(5));
+  EXPECT_TRUE(inst.Probe(r_, 0, Value::Null(1)).empty());
+  EXPECT_EQ(inst.Probe(r_, 0, Value::Int(5)).size(), 1u);
+}
+
+TEST_F(InstanceTest, ToStringListsFacts) {
+  Instance inst(&schema_);
+  inst.Insert(r_, Tuple({Value::Int(1), Value::Str("x")}));
+  EXPECT_EQ(inst.ToString(), "R(1, \"x\")\n");
+}
+
+TEST_F(InstanceTest, RequiresSchema) {
+  EXPECT_THROW(Instance(nullptr), SpiderError);
+}
+
+}  // namespace
+}  // namespace spider

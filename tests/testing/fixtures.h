@@ -1,0 +1,120 @@
+#ifndef SPIDER_TESTS_TESTING_FIXTURES_H_
+#define SPIDER_TESTS_TESTING_FIXTURES_H_
+
+#include <string>
+
+#include "chase/chase.h"
+#include "mapping/parser.h"
+#include "mapping/scenario.h"
+
+namespace spider::testing {
+
+/// The paper's running example (Figures 1 and 2): the Manhattan Credit /
+/// Fargo Bank -> Fargo Finance mapping with the source instance I and the
+/// solution J exactly as printed. Tuple names follow the figure (s1..s6,
+/// t1..t10), in insertion order.
+inline std::string CreditCardScenarioText() {
+  return R"(
+source schema {
+  Cards(cardNo, limit, ssn, name, maidenName, salary, location);
+  SupplementaryCards(accNo, ssn, name, address);
+  FBAccounts(bankNo, ssn, name, income, address);
+  CreditCards(cardNo, creditLimit, custSSN);
+}
+target schema {
+  Accounts(accNo, limit, accHolder);
+  Clients(ssn, name, maidenName, income, address);
+}
+m1: Cards(cn,l,s,n,m,sal,loc) ->
+      exists A . Accounts(cn,l,s) & Clients(s,m,m,sal,A);
+m2: SupplementaryCards(an,s,n,a) -> exists M, I . Clients(s,n,M,I,a);
+m3: FBAccounts(bn,s,n,i,a) & CreditCards(cn,cl,cs) ->
+      exists M . Accounts(cn,cl,cs) & Clients(cs,n,M,i,a);
+m4: Accounts(a,l,s) -> exists N, M, I, A2 . Clients(s,N,M,I,A2);
+m5: Clients(s,n,m,i,a) -> exists N, L . Accounts(N,L,s);
+m6: Accounts(a,l,s) & Accounts(a2,l2,s) -> l = l2;
+
+source instance {
+  Cards(6689, "15K", 434, "J. Long", "Smith", "50K", "Seattle");   // s1
+  SupplementaryCards(6689, 234, "A. Long", "California");          // s2
+  FBAccounts(1001, 234, "A. Long", "30K", "California");           // s3
+  FBAccounts(4341, 153, "C. Don", "900K", "New York");             // s4
+  CreditCards(2252, "2K", 234);                                    // s5
+  CreditCards(5539, "40K", 153);                                   // s6
+}
+target instance {
+  Accounts(6689, "15K", 434);                                      // t1
+  Accounts(#N1, "2K", 234);                                        // t2
+  Accounts(2252, "2K", 234);                                       // t3
+  Accounts(5539, "40K", 153);                                      // t4
+  Clients(434, "Smith", "Smith", "50K", #A1);                      // t5
+  Clients(234, "A. Long", #M1, #I1, "California");                 // t6
+  Clients(153, "A. Long", #M2, "30K", "California");               // t7
+  Clients(234, "A. Long", #M3, "30K", "California");               // t8
+  Clients(153, "C. Don", #M4, "900K", "New York");                 // t9
+  Clients(234, "C. Don", #M5, "900K", "New York");                 // t10
+}
+)";
+}
+
+inline Scenario CreditCardScenario() {
+  return ParseScenario(CreditCardScenarioText());
+}
+
+/// Example 3.5 / Fig. 5: the sigma1..sigma8 mapping over unary relations.
+/// sigma7 is declared before sigma3 so that exploration visits the sigma7
+/// branch of T3(a) first, matching the paper's trace of both algorithms.
+/// `extended` adds sigma9 (S3(x) -> T5(x)), sigma10
+/// (T5(x) & T8(y) -> T3(x)) and the source tuple S3(a) plus T8 facts — the
+/// dotted branches of Fig. 5.
+inline std::string Example35Text(bool extended, int num_t8 = 2) {
+  std::string text = R"(
+source schema { S1(a); S2(a); S3(a); }
+target schema { T1(a); T2(a); T3(a); T4(a); T5(a); T6(a); T7(a); T8(a); }
+sigma1: S1(x) -> T1(x);
+sigma2: S2(x) -> T2(x);
+sigma7: T5(x) -> T3(x);
+sigma3: T2(x) -> T3(x);
+sigma4: T3(x) -> T4(x);
+sigma5: T4(x) & T1(x) -> T5(x);
+sigma6: T4(x) & T6(x) -> T7(x);
+sigma8: T5(x) -> T6(x);
+)";
+  if (extended) {
+    text += R"(
+sigma9: S3(x) -> T5(x);
+sigma10: T5(x) & T8(y) -> T3(x);
+)";
+  }
+  text += R"(
+source instance { S1("a"); S2("a"); )";
+  if (extended) text += R"(S3("a"); )";
+  text += R"(}
+target instance {
+  T1("a"); T2("a"); T3("a"); T4("a"); T5("a"); T6("a"); T7("a");
+)";
+  if (extended) {
+    for (int i = 1; i <= num_t8; ++i) {
+      text += "  T8(\"b" + std::to_string(i) + "\");\n";
+    }
+  }
+  text += "}\n";
+  return text;
+}
+
+/// §5.1's transitive-closure example: sigma1 copies S into T, sigma2 closes
+/// T transitively. I = {S(1,2), S(2,3)}; J = {T(1,2), T(2,3), T(1,3)}.
+inline std::string TransitiveClosureText() {
+  return R"(
+source schema { S(x, y); }
+target schema { T(x, y); }
+sigma1: S(x,y) -> T(x,y);
+sigma2: T(x,y) & T(y,z) -> T(x,z);
+source instance { S(1,2); S(2,3); }
+target instance { T(1,2); T(2,3); T(1,3); }
+)";
+}
+
+}  // namespace spider::testing
+
+#endif  // SPIDER_TESTS_TESTING_FIXTURES_H_

@@ -1,0 +1,105 @@
+#include "workload/example_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "mapping/parser.h"
+#include "query/evaluator.h"
+#include "routes/one_route.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+TEST(ExampleGenTest, EveryStTgdFires) {
+  Scenario s = testing::CreditCardScenario();
+  // Start from an empty source.
+  s.source = std::make_unique<Instance>(&s.mapping->source());
+  s.target = std::make_unique<Instance>(&s.mapping->target());
+  size_t inserted = GenerateIllustrativeSource(&s);
+  EXPECT_GT(inserted, 0u);
+  // Every s-t tgd has at least one LHS match.
+  for (TgdId id : s.mapping->st_tgds()) {
+    const Tgd& tgd = s.mapping->tgd(id);
+    EXPECT_TRUE(HasMatch(*s.source, tgd.lhs(), Binding(tgd.num_vars())))
+        << tgd.name();
+  }
+}
+
+TEST(ExampleGenTest, ChasedExampleAnswersRoutesForEveryTgd) {
+  Scenario s = testing::CreditCardScenario();
+  s.source = std::make_unique<Instance>(&s.mapping->source());
+  s.target = std::make_unique<Instance>(&s.mapping->target());
+  GenerateIllustrativeSource(&s);
+  ChaseScenario(&s);
+  // Every target fact has a route, and collectively the routes exercise
+  // every s-t tgd.
+  std::set<TgdId> used;
+  for (size_t r = 0; r < s.target->NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    for (int32_t row = 0;
+         row < static_cast<int32_t>(s.target->NumTuples(rel)); ++row) {
+      OneRouteResult result = ComputeOneRoute(
+          *s.mapping, *s.source, *s.target, {FactRef{Side::kTarget, rel,
+                                                     row}});
+      ASSERT_TRUE(result.found);
+      for (const SatStep& step : result.route.steps()) used.insert(step.tgd);
+    }
+  }
+  for (TgdId id : s.mapping->st_tgds()) {
+    EXPECT_TRUE(used.count(id) > 0)
+        << s.mapping->tgd(id).name() << " never used";
+  }
+}
+
+TEST(ExampleGenTest, JoinConditionsHoldByConstruction) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); Q(b, c); }
+    target schema { T(a, c); }
+    m: R(x, y) & Q(y, z) -> T(x, z);
+  )");
+  GenerateIllustrativeSource(&s);
+  // The R and Q rows share the join value on b.
+  const Tuple& r = s.source->tuples(0)[0];
+  const Tuple& q = s.source->tuples(1)[0];
+  EXPECT_EQ(r.at(1), q.at(0));
+}
+
+TEST(ExampleGenTest, RowsPerTgdScales) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); }
+    target schema { T(a); }
+    m: R(x) -> T(x);
+  )");
+  ExampleGenOptions options;
+  options.rows_per_tgd = 5;
+  EXPECT_EQ(GenerateIllustrativeSource(&s, options), 5u);
+}
+
+TEST(ExampleGenTest, IntegerMode) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); }
+    target schema { T(a); }
+    m: R(x, y) -> T(x);
+  )");
+  ExampleGenOptions options;
+  options.use_integers = true;
+  GenerateIllustrativeSource(&s, options);
+  EXPECT_EQ(s.source->tuple(0, 0).at(0).kind(), Value::Kind::kInt);
+}
+
+TEST(ExampleGenTest, DistinctTgdsDoNotShareValues) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a); Q(a); }
+    target schema { T(a); U(a); }
+    m1: R(x) -> T(x);
+    m2: Q(x) -> U(x);
+  )");
+  GenerateIllustrativeSource(&s);
+  EXPECT_NE(s.source->tuple(0, 0).at(0), s.source->tuple(1, 0).at(0));
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "chase/solution_check.h"
+#include "routes/one_route.h"
+#include "workload/hierarchy_scenario.h"
+#include "workload/real_scenarios.h"
+#include "workload/relational_scenario.h"
+#include "workload/tpch.h"
+
+namespace spider {
+namespace {
+
+TEST(TpchTest, SizesScaleWithUnits) {
+  TpchSizes small;
+  small.units = 1;
+  TpchSizes big;
+  big.units = 10;
+  EXPECT_EQ(big.suppliers(), 10 * small.suppliers());
+  EXPECT_EQ(small.regions(), big.regions());
+  EXPECT_GT(big.total(), small.total());
+}
+
+TEST(TpchTest, GeneratedDataIsReferentiallyConsistent) {
+  Schema schema("s");
+  AddTpchRelations(&schema, "0");
+  Instance inst(&schema);
+  TpchSizes sizes;
+  sizes.units = 3;
+  GenerateTpchData(&inst, "0", sizes, /*seed=*/7);
+  EXPECT_EQ(inst.TotalTuples(), sizes.total());
+  // Every Lineitem (partkey, suppkey) pair exists in Partsupp.
+  RelationId lineitem = schema.Require("Lineitem0");
+  RelationId partsupp = schema.Require("Partsupp0");
+  for (const Tuple& l : inst.tuples(lineitem)) {
+    bool found = false;
+    for (int32_t row : inst.Probe(partsupp, 0, l.at(1))) {
+      if (inst.tuple(partsupp, row).at(1) == l.at(2)) found = true;
+    }
+    EXPECT_TRUE(found) << l.ToString();
+  }
+}
+
+TEST(TpchTest, GenerationIsDeterministic) {
+  Schema schema("s");
+  AddTpchRelations(&schema, "0");
+  Instance a(&schema);
+  Instance b(&schema);
+  TpchSizes sizes;
+  sizes.units = 2;
+  GenerateTpchData(&a, "0", sizes, 42);
+  GenerateTpchData(&b, "0", sizes, 42);
+  for (size_t r = 0; r < schema.size(); ++r) {
+    EXPECT_EQ(a.tuples(static_cast<RelationId>(r)),
+              b.tuples(static_cast<RelationId>(r)));
+  }
+}
+
+class RelationalScenarioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelationalScenarioTest, ChasesToSolutionForAllJoinCounts) {
+  RelationalScenarioOptions options;
+  options.joins = GetParam();
+  options.groups = 3;
+  options.sizes.units = 2;
+  Scenario s = BuildRelationalScenario(options);
+  ChaseScenario(&s);
+  EXPECT_GT(s.target->TotalTuples(), 0u);
+  std::string why;
+  EXPECT_TRUE(IsSolution(*s.mapping, *s.source, *s.target, &why)) << why;
+}
+
+TEST_P(RelationalScenarioTest, GroupFactsHaveExpectedRouteLength) {
+  RelationalScenarioOptions options;
+  options.joins = GetParam();
+  options.groups = 3;
+  options.sizes.units = 2;
+  Scenario s = BuildRelationalScenario(options);
+  ChaseScenario(&s);
+  // A fact in group g has M/T factor g: its minimal route has g steps
+  // (1 s-t + (g-1) target copy steps) — for 0/1 join templates each step
+  // witnesses all tuples of its template, so the ComputeOneRoute result
+  // minimizes to exactly g steps.
+  for (int group = 1; group <= 3; ++group) {
+    std::vector<FactRef> facts = SelectGroupFacts(s, group, 1, /*seed=*/5);
+    ASSERT_EQ(facts.size(), 1u);
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts);
+    ASSERT_TRUE(result.found) << "group " << group;
+    Route minimal = result.route.Minimize(*s.mapping, *s.source, *s.target,
+                                          facts);
+    EXPECT_EQ(minimal.size(), static_cast<size_t>(group));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Joins, RelationalScenarioTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(RelationalScenarioShapeTest, MappingShapeMatchesPaper) {
+  RelationalScenarioOptions options;
+  options.joins = 1;
+  options.groups = 6;
+  options.sizes.units = 1;
+  Scenario s = BuildRelationalScenario(options);
+  // 4 templates for 1 join: 4 s-t tgds and 5x4 target tgds.
+  EXPECT_EQ(s.mapping->st_tgds().size(), 4u);
+  EXPECT_EQ(s.mapping->target_tgds().size(), 20u);
+  // 8 source relations, 48 target relations.
+  EXPECT_EQ(s.mapping->source().size(), 8u);
+  EXPECT_EQ(s.mapping->target().size(), 48u);
+}
+
+TEST(DeepHierarchyTest, ChasesAndSelectsAtEveryDepth) {
+  DeepHierarchyOptions options;
+  options.regions = 2;
+  options.fanout = 2;
+  Scenario s = BuildDeepHierarchyScenario(options);
+  ChaseScenario(&s);
+  std::string why;
+  EXPECT_TRUE(IsSolution(*s.mapping, *s.source, *s.target, &why)) << why;
+  for (int depth = 1; depth <= 5; ++depth) {
+    std::vector<FactRef> facts = SelectDepthFacts(s, depth, 2, 7);
+    ASSERT_FALSE(facts.empty());
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, facts);
+    EXPECT_TRUE(result.found) << "depth " << depth;
+  }
+}
+
+TEST(DeepHierarchyTest, DeeperSelectionsYieldFewerEagerAssignments) {
+  // The Fig. 11 mechanism: with eager (XML-style) evaluation, probing a
+  // shallow element enumerates every path below it, a deep element pins
+  // the whole path.
+  DeepHierarchyOptions options;
+  options.regions = 2;
+  options.fanout = 3;
+  Scenario s = BuildDeepHierarchyScenario(options);
+  ChaseScenario(&s);
+  RouteOptions eager;
+  eager.eager_findhom = true;
+  std::vector<FactRef> shallow = SelectDepthFacts(s, 1, 1, 3);
+  std::vector<FactRef> deep = SelectDepthFacts(s, 5, 1, 3);
+  OneRouteResult r_shallow =
+      ComputeOneRoute(*s.mapping, *s.source, *s.target, shallow, eager);
+  OneRouteResult r_deep =
+      ComputeOneRoute(*s.mapping, *s.source, *s.target, deep, eager);
+  ASSERT_TRUE(r_shallow.found);
+  ASSERT_TRUE(r_deep.found);
+  // findhom_successes counts enumerated assignments.
+  EXPECT_GT(r_shallow.stats.findhom_successes,
+            r_deep.stats.findhom_successes);
+}
+
+TEST(FlatHierarchyTest, BuildsAndChases) {
+  FlatHierarchyOptions options;
+  options.joins = 1;
+  options.groups = 2;
+  options.units = 1;
+  Scenario s = BuildFlatHierarchyScenario(options);
+  ChaseScenario(&s);
+  EXPECT_GT(s.target->TotalTuples(), 0u);
+  std::string why;
+  EXPECT_TRUE(IsSolution(*s.mapping, *s.source, *s.target, &why)) << why;
+  // Every relation has the rootid column first.
+  EXPECT_EQ(s.mapping->source().relation(0).attribute(0), "rootid");
+}
+
+TEST(RealScenariosTest, DblpBuildsChasesAndAnswersRoutes) {
+  RealScenarioOptions options;
+  options.units = 2;
+  Scenario s = BuildDblpScenario(options);
+  ChaseScenario(&s);
+  std::string why;
+  EXPECT_TRUE(IsSolution(*s.mapping, *s.source, *s.target, &why)) << why;
+  ScenarioStats stats = ComputeStats(s);
+  EXPECT_EQ(stats.st_tgds, 12u);
+  EXPECT_EQ(stats.target_tgds, 14u);
+  EXPECT_GT(stats.target_tuples, stats.source_tuples / 2);
+  // Probe a random publication.
+  RelationId pubs = s.mapping->target().Require("APublication");
+  ASSERT_GT(s.target->NumTuples(pubs), 0u);
+  OneRouteResult result = ComputeOneRoute(
+      *s.mapping, *s.source, *s.target, {FactRef{Side::kTarget, pubs, 0}});
+  EXPECT_TRUE(result.found);
+}
+
+TEST(RealScenariosTest, MondialBuildsChasesAndAnswersRoutes) {
+  RealScenarioOptions options;
+  options.units = 2;
+  Scenario s = BuildMondialScenario(options);
+  ChaseScenario(&s);
+  std::string why;
+  EXPECT_TRUE(IsSolution(*s.mapping, *s.source, *s.target, &why)) << why;
+  ScenarioStats stats = ComputeStats(s);
+  EXPECT_EQ(stats.st_tgds, 17u);
+  EXPECT_EQ(stats.target_tgds, 25u);
+  RelationId cities = s.mapping->target().Require("NCity");
+  ASSERT_GT(s.target->NumTuples(cities), 0u);
+  OneRouteResult result = ComputeOneRoute(
+      *s.mapping, *s.source, *s.target, {FactRef{Side::kTarget, cities, 0}});
+  EXPECT_TRUE(result.found);
+}
+
+TEST(RealScenariosTest, StatsInTable1Ballpark) {
+  Scenario dblp = BuildDblpScenario();
+  ScenarioStats stats = ComputeStats(dblp);
+  // Table 1: DBLP sources 65+20 elements, Amalgam target 117. Our
+  // emulation is in the same ballpark.
+  EXPECT_GT(stats.source_elements, 50u);
+  EXPECT_GT(stats.target_elements, 50u);
+  Scenario mondial = BuildMondialScenario();
+  ScenarioStats mstats = ComputeStats(mondial);
+  EXPECT_GT(mstats.source_elements, 80u);
+  EXPECT_GT(mstats.target_elements, 50u);
+}
+
+}  // namespace
+}  // namespace spider
