@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eager_vs_lazy.dir/bench_eager_vs_lazy.cc.o"
+  "CMakeFiles/bench_eager_vs_lazy.dir/bench_eager_vs_lazy.cc.o.d"
+  "bench_eager_vs_lazy"
+  "bench_eager_vs_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eager_vs_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

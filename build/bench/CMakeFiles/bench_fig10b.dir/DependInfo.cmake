@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10b.cc" "bench/CMakeFiles/bench_fig10b.dir/bench_fig10b.cc.o" "gcc" "bench/CMakeFiles/bench_fig10b.dir/bench_fig10b.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/debugger/CMakeFiles/spider_debugger.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/spider_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/spider_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/routes/CMakeFiles/spider_routes.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/spider_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/spider_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/spider_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/spider_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spider_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flat_hierarchy.dir/bench_flat_hierarchy.cc.o"
+  "CMakeFiles/bench_flat_hierarchy.dir/bench_flat_hierarchy.cc.o.d"
+  "bench_flat_hierarchy"
+  "bench_flat_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flat_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

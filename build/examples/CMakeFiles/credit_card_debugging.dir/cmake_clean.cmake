@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/credit_card_debugging.dir/credit_card_debugging.cpp.o"
+  "CMakeFiles/credit_card_debugging.dir/credit_card_debugging.cpp.o.d"
+  "credit_card_debugging"
+  "credit_card_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/credit_card_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

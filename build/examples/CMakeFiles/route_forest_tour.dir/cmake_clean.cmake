@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_forest_tour.dir/route_forest_tour.cpp.o"
+  "CMakeFiles/route_forest_tour.dir/route_forest_tour.cpp.o.d"
+  "route_forest_tour"
+  "route_forest_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_forest_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_shell.dir/spider_shell.cpp.o"
+  "CMakeFiles/spider_shell.dir/spider_shell.cpp.o.d"
+  "spider_shell"
+  "spider_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_base.dir/status.cc.o"
+  "CMakeFiles/spider_base.dir/status.cc.o.d"
+  "CMakeFiles/spider_base.dir/tuple.cc.o"
+  "CMakeFiles/spider_base.dir/tuple.cc.o.d"
+  "CMakeFiles/spider_base.dir/value.cc.o"
+  "CMakeFiles/spider_base.dir/value.cc.o.d"
+  "libspider_base.a"
+  "libspider_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

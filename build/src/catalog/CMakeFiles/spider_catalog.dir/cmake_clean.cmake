@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_catalog.dir/schema.cc.o"
+  "CMakeFiles/spider_catalog.dir/schema.cc.o.d"
+  "libspider_catalog.a"
+  "libspider_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

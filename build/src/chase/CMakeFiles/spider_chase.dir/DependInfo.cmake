@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/certain_answers.cc" "src/chase/CMakeFiles/spider_chase.dir/certain_answers.cc.o" "gcc" "src/chase/CMakeFiles/spider_chase.dir/certain_answers.cc.o.d"
+  "/root/repo/src/chase/chase.cc" "src/chase/CMakeFiles/spider_chase.dir/chase.cc.o" "gcc" "src/chase/CMakeFiles/spider_chase.dir/chase.cc.o.d"
+  "/root/repo/src/chase/core.cc" "src/chase/CMakeFiles/spider_chase.dir/core.cc.o" "gcc" "src/chase/CMakeFiles/spider_chase.dir/core.cc.o.d"
+  "/root/repo/src/chase/homomorphism.cc" "src/chase/CMakeFiles/spider_chase.dir/homomorphism.cc.o" "gcc" "src/chase/CMakeFiles/spider_chase.dir/homomorphism.cc.o.d"
+  "/root/repo/src/chase/solution_check.cc" "src/chase/CMakeFiles/spider_chase.dir/solution_check.cc.o" "gcc" "src/chase/CMakeFiles/spider_chase.dir/solution_check.cc.o.d"
+  "/root/repo/src/chase/weak_acyclicity.cc" "src/chase/CMakeFiles/spider_chase.dir/weak_acyclicity.cc.o" "gcc" "src/chase/CMakeFiles/spider_chase.dir/weak_acyclicity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/spider_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/spider_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/spider_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spider_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_chase.dir/certain_answers.cc.o"
+  "CMakeFiles/spider_chase.dir/certain_answers.cc.o.d"
+  "CMakeFiles/spider_chase.dir/chase.cc.o"
+  "CMakeFiles/spider_chase.dir/chase.cc.o.d"
+  "CMakeFiles/spider_chase.dir/core.cc.o"
+  "CMakeFiles/spider_chase.dir/core.cc.o.d"
+  "CMakeFiles/spider_chase.dir/homomorphism.cc.o"
+  "CMakeFiles/spider_chase.dir/homomorphism.cc.o.d"
+  "CMakeFiles/spider_chase.dir/solution_check.cc.o"
+  "CMakeFiles/spider_chase.dir/solution_check.cc.o.d"
+  "CMakeFiles/spider_chase.dir/weak_acyclicity.cc.o"
+  "CMakeFiles/spider_chase.dir/weak_acyclicity.cc.o.d"
+  "libspider_chase.a"
+  "libspider_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/debugger/debugger.cc" "src/debugger/CMakeFiles/spider_debugger.dir/debugger.cc.o" "gcc" "src/debugger/CMakeFiles/spider_debugger.dir/debugger.cc.o.d"
+  "/root/repo/src/debugger/dot_export.cc" "src/debugger/CMakeFiles/spider_debugger.dir/dot_export.cc.o" "gcc" "src/debugger/CMakeFiles/spider_debugger.dir/dot_export.cc.o.d"
+  "/root/repo/src/debugger/linter.cc" "src/debugger/CMakeFiles/spider_debugger.dir/linter.cc.o" "gcc" "src/debugger/CMakeFiles/spider_debugger.dir/linter.cc.o.d"
+  "/root/repo/src/debugger/mapping_diff.cc" "src/debugger/CMakeFiles/spider_debugger.dir/mapping_diff.cc.o" "gcc" "src/debugger/CMakeFiles/spider_debugger.dir/mapping_diff.cc.o.d"
+  "/root/repo/src/debugger/render.cc" "src/debugger/CMakeFiles/spider_debugger.dir/render.cc.o" "gcc" "src/debugger/CMakeFiles/spider_debugger.dir/render.cc.o.d"
+  "/root/repo/src/debugger/route_player.cc" "src/debugger/CMakeFiles/spider_debugger.dir/route_player.cc.o" "gcc" "src/debugger/CMakeFiles/spider_debugger.dir/route_player.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routes/CMakeFiles/spider_routes.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/spider_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/spider_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/spider_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/spider_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spider_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

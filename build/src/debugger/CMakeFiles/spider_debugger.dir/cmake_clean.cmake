@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_debugger.dir/debugger.cc.o"
+  "CMakeFiles/spider_debugger.dir/debugger.cc.o.d"
+  "CMakeFiles/spider_debugger.dir/dot_export.cc.o"
+  "CMakeFiles/spider_debugger.dir/dot_export.cc.o.d"
+  "CMakeFiles/spider_debugger.dir/linter.cc.o"
+  "CMakeFiles/spider_debugger.dir/linter.cc.o.d"
+  "CMakeFiles/spider_debugger.dir/mapping_diff.cc.o"
+  "CMakeFiles/spider_debugger.dir/mapping_diff.cc.o.d"
+  "CMakeFiles/spider_debugger.dir/render.cc.o"
+  "CMakeFiles/spider_debugger.dir/render.cc.o.d"
+  "CMakeFiles/spider_debugger.dir/route_player.cc.o"
+  "CMakeFiles/spider_debugger.dir/route_player.cc.o.d"
+  "libspider_debugger.a"
+  "libspider_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/dependency.cc" "src/mapping/CMakeFiles/spider_mapping.dir/dependency.cc.o" "gcc" "src/mapping/CMakeFiles/spider_mapping.dir/dependency.cc.o.d"
+  "/root/repo/src/mapping/parser.cc" "src/mapping/CMakeFiles/spider_mapping.dir/parser.cc.o" "gcc" "src/mapping/CMakeFiles/spider_mapping.dir/parser.cc.o.d"
+  "/root/repo/src/mapping/schema_mapping.cc" "src/mapping/CMakeFiles/spider_mapping.dir/schema_mapping.cc.o" "gcc" "src/mapping/CMakeFiles/spider_mapping.dir/schema_mapping.cc.o.d"
+  "/root/repo/src/mapping/writer.cc" "src/mapping/CMakeFiles/spider_mapping.dir/writer.cc.o" "gcc" "src/mapping/CMakeFiles/spider_mapping.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/spider_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/spider_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spider_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_mapping.dir/dependency.cc.o"
+  "CMakeFiles/spider_mapping.dir/dependency.cc.o.d"
+  "CMakeFiles/spider_mapping.dir/parser.cc.o"
+  "CMakeFiles/spider_mapping.dir/parser.cc.o.d"
+  "CMakeFiles/spider_mapping.dir/schema_mapping.cc.o"
+  "CMakeFiles/spider_mapping.dir/schema_mapping.cc.o.d"
+  "CMakeFiles/spider_mapping.dir/writer.cc.o"
+  "CMakeFiles/spider_mapping.dir/writer.cc.o.d"
+  "libspider_mapping.a"
+  "libspider_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_nested.dir/nested_schema.cc.o"
+  "CMakeFiles/spider_nested.dir/nested_schema.cc.o.d"
+  "CMakeFiles/spider_nested.dir/shredded_builder.cc.o"
+  "CMakeFiles/spider_nested.dir/shredded_builder.cc.o.d"
+  "libspider_nested.a"
+  "libspider_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

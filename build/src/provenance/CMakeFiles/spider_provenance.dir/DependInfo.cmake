@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/annotated_chase.cc" "src/provenance/CMakeFiles/spider_provenance.dir/annotated_chase.cc.o" "gcc" "src/provenance/CMakeFiles/spider_provenance.dir/annotated_chase.cc.o.d"
+  "/root/repo/src/provenance/exchange_player.cc" "src/provenance/CMakeFiles/spider_provenance.dir/exchange_player.cc.o" "gcc" "src/provenance/CMakeFiles/spider_provenance.dir/exchange_player.cc.o.d"
+  "/root/repo/src/provenance/explain.cc" "src/provenance/CMakeFiles/spider_provenance.dir/explain.cc.o" "gcc" "src/provenance/CMakeFiles/spider_provenance.dir/explain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routes/CMakeFiles/spider_routes.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/spider_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/spider_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/spider_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/spider_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spider_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_provenance.dir/annotated_chase.cc.o"
+  "CMakeFiles/spider_provenance.dir/annotated_chase.cc.o.d"
+  "CMakeFiles/spider_provenance.dir/exchange_player.cc.o"
+  "CMakeFiles/spider_provenance.dir/exchange_player.cc.o.d"
+  "CMakeFiles/spider_provenance.dir/explain.cc.o"
+  "CMakeFiles/spider_provenance.dir/explain.cc.o.d"
+  "libspider_provenance.a"
+  "libspider_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

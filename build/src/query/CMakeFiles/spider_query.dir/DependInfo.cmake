@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/binding.cc" "src/query/CMakeFiles/spider_query.dir/binding.cc.o" "gcc" "src/query/CMakeFiles/spider_query.dir/binding.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/query/CMakeFiles/spider_query.dir/evaluator.cc.o" "gcc" "src/query/CMakeFiles/spider_query.dir/evaluator.cc.o.d"
+  "/root/repo/src/query/term.cc" "src/query/CMakeFiles/spider_query.dir/term.cc.o" "gcc" "src/query/CMakeFiles/spider_query.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/spider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/spider_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spider_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

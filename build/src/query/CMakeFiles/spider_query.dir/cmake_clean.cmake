@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_query.dir/binding.cc.o"
+  "CMakeFiles/spider_query.dir/binding.cc.o.d"
+  "CMakeFiles/spider_query.dir/evaluator.cc.o"
+  "CMakeFiles/spider_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/spider_query.dir/term.cc.o"
+  "CMakeFiles/spider_query.dir/term.cc.o.d"
+  "libspider_query.a"
+  "libspider_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routes/alternatives.cc" "src/routes/CMakeFiles/spider_routes.dir/alternatives.cc.o" "gcc" "src/routes/CMakeFiles/spider_routes.dir/alternatives.cc.o.d"
+  "/root/repo/src/routes/fact_util.cc" "src/routes/CMakeFiles/spider_routes.dir/fact_util.cc.o" "gcc" "src/routes/CMakeFiles/spider_routes.dir/fact_util.cc.o.d"
+  "/root/repo/src/routes/find_hom.cc" "src/routes/CMakeFiles/spider_routes.dir/find_hom.cc.o" "gcc" "src/routes/CMakeFiles/spider_routes.dir/find_hom.cc.o.d"
+  "/root/repo/src/routes/naive_print.cc" "src/routes/CMakeFiles/spider_routes.dir/naive_print.cc.o" "gcc" "src/routes/CMakeFiles/spider_routes.dir/naive_print.cc.o.d"
+  "/root/repo/src/routes/one_route.cc" "src/routes/CMakeFiles/spider_routes.dir/one_route.cc.o" "gcc" "src/routes/CMakeFiles/spider_routes.dir/one_route.cc.o.d"
+  "/root/repo/src/routes/route.cc" "src/routes/CMakeFiles/spider_routes.dir/route.cc.o" "gcc" "src/routes/CMakeFiles/spider_routes.dir/route.cc.o.d"
+  "/root/repo/src/routes/route_forest.cc" "src/routes/CMakeFiles/spider_routes.dir/route_forest.cc.o" "gcc" "src/routes/CMakeFiles/spider_routes.dir/route_forest.cc.o.d"
+  "/root/repo/src/routes/source_routes.cc" "src/routes/CMakeFiles/spider_routes.dir/source_routes.cc.o" "gcc" "src/routes/CMakeFiles/spider_routes.dir/source_routes.cc.o.d"
+  "/root/repo/src/routes/stratified.cc" "src/routes/CMakeFiles/spider_routes.dir/stratified.cc.o" "gcc" "src/routes/CMakeFiles/spider_routes.dir/stratified.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/spider_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/spider_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/spider_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/spider_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spider_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_routes.dir/alternatives.cc.o"
+  "CMakeFiles/spider_routes.dir/alternatives.cc.o.d"
+  "CMakeFiles/spider_routes.dir/fact_util.cc.o"
+  "CMakeFiles/spider_routes.dir/fact_util.cc.o.d"
+  "CMakeFiles/spider_routes.dir/find_hom.cc.o"
+  "CMakeFiles/spider_routes.dir/find_hom.cc.o.d"
+  "CMakeFiles/spider_routes.dir/naive_print.cc.o"
+  "CMakeFiles/spider_routes.dir/naive_print.cc.o.d"
+  "CMakeFiles/spider_routes.dir/one_route.cc.o"
+  "CMakeFiles/spider_routes.dir/one_route.cc.o.d"
+  "CMakeFiles/spider_routes.dir/route.cc.o"
+  "CMakeFiles/spider_routes.dir/route.cc.o.d"
+  "CMakeFiles/spider_routes.dir/route_forest.cc.o"
+  "CMakeFiles/spider_routes.dir/route_forest.cc.o.d"
+  "CMakeFiles/spider_routes.dir/source_routes.cc.o"
+  "CMakeFiles/spider_routes.dir/source_routes.cc.o.d"
+  "CMakeFiles/spider_routes.dir/stratified.cc.o"
+  "CMakeFiles/spider_routes.dir/stratified.cc.o.d"
+  "libspider_routes.a"
+  "libspider_routes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_routes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

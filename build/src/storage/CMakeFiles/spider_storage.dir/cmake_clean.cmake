@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_storage.dir/csv.cc.o"
+  "CMakeFiles/spider_storage.dir/csv.cc.o.d"
+  "CMakeFiles/spider_storage.dir/instance.cc.o"
+  "CMakeFiles/spider_storage.dir/instance.cc.o.d"
+  "libspider_storage.a"
+  "libspider_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

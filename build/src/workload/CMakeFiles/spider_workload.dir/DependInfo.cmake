@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/example_gen.cc" "src/workload/CMakeFiles/spider_workload.dir/example_gen.cc.o" "gcc" "src/workload/CMakeFiles/spider_workload.dir/example_gen.cc.o.d"
+  "/root/repo/src/workload/hierarchy_scenario.cc" "src/workload/CMakeFiles/spider_workload.dir/hierarchy_scenario.cc.o" "gcc" "src/workload/CMakeFiles/spider_workload.dir/hierarchy_scenario.cc.o.d"
+  "/root/repo/src/workload/real_scenarios.cc" "src/workload/CMakeFiles/spider_workload.dir/real_scenarios.cc.o" "gcc" "src/workload/CMakeFiles/spider_workload.dir/real_scenarios.cc.o.d"
+  "/root/repo/src/workload/relational_scenario.cc" "src/workload/CMakeFiles/spider_workload.dir/relational_scenario.cc.o" "gcc" "src/workload/CMakeFiles/spider_workload.dir/relational_scenario.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/workload/CMakeFiles/spider_workload.dir/tpch.cc.o" "gcc" "src/workload/CMakeFiles/spider_workload.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/spider_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/chase/CMakeFiles/spider_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/spider_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/spider_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/spider_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/spider_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

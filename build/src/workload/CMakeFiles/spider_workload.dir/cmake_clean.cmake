@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spider_workload.dir/example_gen.cc.o"
+  "CMakeFiles/spider_workload.dir/example_gen.cc.o.d"
+  "CMakeFiles/spider_workload.dir/hierarchy_scenario.cc.o"
+  "CMakeFiles/spider_workload.dir/hierarchy_scenario.cc.o.d"
+  "CMakeFiles/spider_workload.dir/real_scenarios.cc.o"
+  "CMakeFiles/spider_workload.dir/real_scenarios.cc.o.d"
+  "CMakeFiles/spider_workload.dir/relational_scenario.cc.o"
+  "CMakeFiles/spider_workload.dir/relational_scenario.cc.o.d"
+  "CMakeFiles/spider_workload.dir/tpch.cc.o"
+  "CMakeFiles/spider_workload.dir/tpch.cc.o.d"
+  "libspider_workload.a"
+  "libspider_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spider_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chase_test.dir/chase/certain_answers_test.cc.o"
+  "CMakeFiles/chase_test.dir/chase/certain_answers_test.cc.o.d"
+  "CMakeFiles/chase_test.dir/chase/chase_test.cc.o"
+  "CMakeFiles/chase_test.dir/chase/chase_test.cc.o.d"
+  "CMakeFiles/chase_test.dir/chase/core_test.cc.o"
+  "CMakeFiles/chase_test.dir/chase/core_test.cc.o.d"
+  "CMakeFiles/chase_test.dir/chase/homomorphism_test.cc.o"
+  "CMakeFiles/chase_test.dir/chase/homomorphism_test.cc.o.d"
+  "CMakeFiles/chase_test.dir/chase/weak_acyclicity_test.cc.o"
+  "CMakeFiles/chase_test.dir/chase/weak_acyclicity_test.cc.o.d"
+  "chase_test"
+  "chase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugger_test.dir/debugger/debugger_test.cc.o"
+  "CMakeFiles/debugger_test.dir/debugger/debugger_test.cc.o.d"
+  "CMakeFiles/debugger_test.dir/debugger/dot_export_test.cc.o"
+  "CMakeFiles/debugger_test.dir/debugger/dot_export_test.cc.o.d"
+  "CMakeFiles/debugger_test.dir/debugger/linter_test.cc.o"
+  "CMakeFiles/debugger_test.dir/debugger/linter_test.cc.o.d"
+  "CMakeFiles/debugger_test.dir/debugger/mapping_diff_test.cc.o"
+  "CMakeFiles/debugger_test.dir/debugger/mapping_diff_test.cc.o.d"
+  "CMakeFiles/debugger_test.dir/debugger/render_test.cc.o"
+  "CMakeFiles/debugger_test.dir/debugger/render_test.cc.o.d"
+  "CMakeFiles/debugger_test.dir/debugger/scenario_test.cc.o"
+  "CMakeFiles/debugger_test.dir/debugger/scenario_test.cc.o.d"
+  "debugger_test"
+  "debugger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_test.dir/mapping/dependency_test.cc.o"
+  "CMakeFiles/mapping_test.dir/mapping/dependency_test.cc.o.d"
+  "CMakeFiles/mapping_test.dir/mapping/parser_robustness_test.cc.o"
+  "CMakeFiles/mapping_test.dir/mapping/parser_robustness_test.cc.o.d"
+  "CMakeFiles/mapping_test.dir/mapping/parser_test.cc.o"
+  "CMakeFiles/mapping_test.dir/mapping/parser_test.cc.o.d"
+  "CMakeFiles/mapping_test.dir/mapping/writer_test.cc.o"
+  "CMakeFiles/mapping_test.dir/mapping/writer_test.cc.o.d"
+  "mapping_test"
+  "mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_test.dir/provenance/annotated_chase_test.cc.o"
+  "CMakeFiles/provenance_test.dir/provenance/annotated_chase_test.cc.o.d"
+  "CMakeFiles/provenance_test.dir/provenance/exchange_player_test.cc.o"
+  "CMakeFiles/provenance_test.dir/provenance/exchange_player_test.cc.o.d"
+  "CMakeFiles/provenance_test.dir/provenance/explain_test.cc.o"
+  "CMakeFiles/provenance_test.dir/provenance/explain_test.cc.o.d"
+  "CMakeFiles/provenance_test.dir/provenance/failure_test.cc.o"
+  "CMakeFiles/provenance_test.dir/provenance/failure_test.cc.o.d"
+  "provenance_test"
+  "provenance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routes_test.dir/routes/all_routes_test.cc.o"
+  "CMakeFiles/routes_test.dir/routes/all_routes_test.cc.o.d"
+  "CMakeFiles/routes_test.dir/routes/alternatives_test.cc.o"
+  "CMakeFiles/routes_test.dir/routes/alternatives_test.cc.o.d"
+  "CMakeFiles/routes_test.dir/routes/find_hom_test.cc.o"
+  "CMakeFiles/routes_test.dir/routes/find_hom_test.cc.o.d"
+  "CMakeFiles/routes_test.dir/routes/one_route_test.cc.o"
+  "CMakeFiles/routes_test.dir/routes/one_route_test.cc.o.d"
+  "CMakeFiles/routes_test.dir/routes/route_test.cc.o"
+  "CMakeFiles/routes_test.dir/routes/route_test.cc.o.d"
+  "CMakeFiles/routes_test.dir/routes/source_routes_test.cc.o"
+  "CMakeFiles/routes_test.dir/routes/source_routes_test.cc.o.d"
+  "CMakeFiles/routes_test.dir/routes/stratified_test.cc.o"
+  "CMakeFiles/routes_test.dir/routes/stratified_test.cc.o.d"
+  "routes_test"
+  "routes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
