@@ -1,0 +1,220 @@
+// Threads-vs-wall-clock for the spider::exec runtime on the largest bench
+// workloads, starting the perf trajectory for the parallel runtime. Unlike
+// the google-benchmark figures, this emits machine-readable JSON
+// (BENCH_parallel_scaling.json by default, or argv[1]) so successive PRs
+// can track the scaling curve.
+//
+// Three timed sections, each at num_threads in {1, 2, 4, 8}:
+//   chase         — relational L source (~277k tuples), s-t tgds only
+//                   (groups=1), so phase 1's per-dependency fan-out is the
+//                   whole chase;
+//   all_routes    — ComputeAllRoutes over group-3 facts of the chased
+//                   relational M scenario (wave-parallel node expansion);
+//   source_routes — ComputeSourceConsequences seeding fan-out on the same
+//                   scenario.
+// Each run's output is fingerprinted (outside the timed window) and checked
+// identical to the single-threaded baseline before its timing is reported.
+// The JSON records hardware_concurrency: speedup is bounded by physical
+// cores, not by the thread knob.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "routes/route_forest.h"
+#include "routes/source_routes.h"
+#include "workload/relational_scenario.h"
+
+namespace spider::bench {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr int kRepetitions = 3;
+
+struct Timing {
+  int threads = 1;
+  double best_ms = 0;
+};
+
+/// One measured run: wall-clock of the computation alone, plus a
+/// fingerprint of its output built outside the timed window.
+struct RunResult {
+  double wall_ms = 0;
+  std::string fingerprint;
+};
+
+/// Best-of-k wall clock of `fn(threads)` (the analogue of the paper
+/// discarding the cold run); every run's fingerprint must match the
+/// single-threaded baseline.
+template <typename F>
+Timing Measure(int threads, const std::string& baseline, const F& fn) {
+  Timing timing;
+  timing.threads = threads;
+  timing.best_ms = 1e100;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    RunResult run = fn(threads);
+    SPIDER_CHECK(run.fingerprint == baseline,
+                 "parallel run diverged from the sequential baseline at " +
+                     std::to_string(threads) + " threads");
+    if (run.wall_ms < timing.best_ms) timing.best_ms = run.wall_ms;
+  }
+  return timing;
+}
+
+/// Runs `work` under a steady_clock, then fingerprints its result.
+template <typename Work, typename Fingerprint>
+RunResult TimedRun(const Work& work, const Fingerprint& fingerprint) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = work();
+  std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return RunResult{elapsed.count(), fingerprint(result)};
+}
+
+void AppendSection(std::ostream& os, const std::string& name,
+                   const std::vector<Timing>& timings) {
+  os << "  \"" << name << "\": [";
+  double base_ms = timings.empty() ? 0 : timings.front().best_ms;
+  for (size_t i = 0; i < timings.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"threads\": " << timings[i].threads
+       << ", \"wall_ms\": " << timings[i].best_ms
+       << ", \"speedup\": " << base_ms / timings[i].best_ms << "}";
+  }
+  os << "\n  ]";
+}
+
+template <typename F>
+std::vector<Timing> Sweep(const std::string& name, const F& fn) {
+  std::string baseline = fn(1).fingerprint;  // Also warms lazy indexes.
+  std::vector<Timing> timings;
+  for (int threads : kThreadCounts) {
+    timings.push_back(Measure(threads, baseline, fn));
+    std::cerr << name << " threads=" << threads
+              << " best_ms=" << timings.back().best_ms << "\n";
+  }
+  return timings;
+}
+
+int Run(const std::string& out_path) {
+  // --- Chase: L-scale source, s-t tgds only (the phase the pool covers).
+  RelationalScenarioOptions chase_options;
+  chase_options.joins = 1;
+  chase_options.groups = 1;
+  chase_options.sizes.units = 2000;  // The L scale of bench_common.
+  Scenario chase_scenario = BuildRelationalScenario(chase_options);
+  std::cerr << "chase scenario: " << chase_scenario.source->TotalTuples()
+            << " source tuples\n";
+  auto run_chase = [&](int threads) {
+    ChaseOptions options;
+    options.exec.num_threads = threads;
+    return TimedRun(
+        [&] {
+          return Chase(*chase_scenario.mapping, *chase_scenario.source,
+                       options);
+        },
+        [](const ChaseResult& result) {
+          SPIDER_CHECK(result.outcome == ChaseOutcome::kSuccess,
+                       "chase failed");
+          return result.target->ToString() + "|st=" +
+                 std::to_string(result.stats.st_steps) + "|trig=" +
+                 std::to_string(result.stats.st_triggers) + "|nulls=" +
+                 std::to_string(result.stats.nulls_created);
+        });
+  };
+  std::vector<Timing> chase_timings = Sweep("chase", run_chase);
+
+  // --- Routes: chased M-scale scenario, the bench_common route workload.
+  RelationalScenarioOptions route_options;
+  route_options.joins = 1;
+  route_options.groups = 6;
+  route_options.sizes.units = 400;  // The M scale: J is ~6x the source.
+  Scenario route_scenario = BuildRelationalScenario(route_options);
+  ChaseScenario(&route_scenario);
+  std::cerr << "route scenario: " << route_scenario.target->TotalTuples()
+            << " target tuples\n";
+  std::vector<FactRef> selected =
+      SelectGroupFacts(route_scenario, /*group=*/3, /*count=*/20, /*seed=*/7);
+  auto run_all_routes = [&](int threads) {
+    RouteOptions options;
+    options.exec.num_threads = threads;
+    return TimedRun(
+        [&] {
+          return ComputeAllRoutes(*route_scenario.mapping,
+                                  *route_scenario.source,
+                                  *route_scenario.target, selected, options);
+        },
+        [](const RouteForest& forest) {
+          return forest.ToString() + "|nodes=" +
+                 std::to_string(forest.NumNodes()) + "|findhom=" +
+                 std::to_string(forest.stats().findhom_calls);
+        });
+  };
+  std::vector<Timing> route_timings = Sweep("all_routes", run_all_routes);
+
+  // The first 20 source facts in relation-major order (the first relations
+  // are tiny, so this spans several of them).
+  std::vector<FactRef> sources;
+  const Instance& src = *route_scenario.source;
+  for (size_t r = 0; r < src.NumRelations() && sources.size() < 20; ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    int32_t rows = static_cast<int32_t>(src.NumTuples(rel));
+    for (int32_t row = 0; row < rows && sources.size() < 20; ++row) {
+      sources.push_back(FactRef{Side::kSource, rel, row});
+    }
+  }
+  auto run_source_routes = [&](int threads) {
+    SourceRouteOptions options;
+    options.route.exec.num_threads = threads;
+    return TimedRun(
+        [&] {
+          return ComputeSourceConsequences(
+              *route_scenario.mapping, *route_scenario.source,
+              *route_scenario.target, sources, options);
+        },
+        [](const ConsequenceForest& forest) {
+          return std::to_string(forest.steps.size()) + "|" +
+                 std::to_string(forest.DerivedFacts().size());
+        });
+  };
+  std::vector<Timing> source_timings =
+      Sweep("source_routes", run_source_routes);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"host\": {\"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << "},\n";
+  out << "  \"chase_workload\": {\"scenario\": \"relational\", \"joins\": 1, "
+         "\"groups\": 1, \"units\": 2000, \"source_tuples\": "
+      << chase_scenario.source->TotalTuples() << "},\n";
+  out << "  \"route_workload\": {\"scenario\": \"relational\", \"joins\": 1, "
+         "\"groups\": 6, \"units\": 400, \"target_tuples\": "
+      << route_scenario.target->TotalTuples()
+      << ", \"selected_facts\": " << selected.size() << "},\n";
+  AppendSection(out, "chase", chase_timings);
+  out << ",\n";
+  AppendSection(out, "all_routes", route_timings);
+  out << ",\n";
+  AppendSection(out, "source_routes", source_timings);
+  out << "\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace spider::bench
+
+int main(int argc, char** argv) {
+  std::string out = argc > 1 ? argv[1] : "BENCH_parallel_scaling.json";
+  return spider::bench::Run(out);
+}

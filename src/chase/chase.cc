@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "base/status.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 
 namespace spider {
 
@@ -76,20 +78,40 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
   size_t steps = 0;
   auto over_limit = [&]() { return steps > options.max_steps; };
 
-  // Phase 1: s-t tgds. The source is never mutated, so triggers can be
-  // enumerated and fired in one pass.
-  for (TgdId id : mapping.st_tgds()) {
-    const Tgd& tgd = mapping.tgd(id);
+  // Phase 1: s-t tgds. The source is never mutated, so trigger enumeration
+  // is a pure read over I and fans out per dependency on the exec pool,
+  // buffering each dependency's triggers and stats separately. Firing then
+  // runs on this thread in canonical dependency order (including the
+  // standard-chase RHS check, which must see the target as it grows), so
+  // the target instance, null-id assignment, and stats are byte-identical
+  // to the sequential run — which is the very same code with a null pool.
+  const std::vector<TgdId>& st_tgds = mapping.st_tgds();
+  std::vector<std::vector<Binding>> triggers(st_tgds.size());
+  std::vector<ChaseStats> worker_stats(st_tgds.size());
+  ThreadPool* pool = ThreadPool::For(options.exec);
+  if (pool != nullptr && options.eval.use_indexes) {
+    // Lazy index builds mutate shared state; warm them before the fan-out.
+    source.WarmIndexes();
+  }
+  ParallelFor(pool, 0, st_tgds.size(), /*grain=*/1, [&](size_t i) {
+    const Tgd& tgd = mapping.tgd(st_tgds[i]);
     Binding b(tgd.num_vars());
     MatchIterator it(source, tgd.lhs(), &b, options.eval);
     while (it.Next()) {
+      triggers[i].push_back(b);
+      ++worker_stats[i].st_triggers;
+    }
+  });
+  for (size_t i = 0; i < st_tgds.size() && !over_limit(); ++i) {
+    result.stats += worker_stats[i];
+    const Tgd& tgd = mapping.tgd(st_tgds[i]);
+    for (const Binding& b : triggers[i]) {
       if (++steps, over_limit()) break;
       if (!HasMatch(target, tgd.rhs(), b, options.eval)) {
         FireTgd(tgd, b, &target, &null_counter, &result.stats);
         ++result.stats.st_steps;
       }
     }
-    if (over_limit()) break;
   }
 
   // Phase 2: target tgds and egds to a fixpoint. Triggers over the (mutable)

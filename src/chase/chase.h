@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "exec/exec_options.h"
 #include "mapping/scenario.h"
 #include "mapping/schema_mapping.h"
 #include "query/evaluator.h"
@@ -23,6 +24,12 @@ struct ChaseOptions {
   int64_t first_null_id = 1;
 
   EvalOptions eval;
+
+  /// Work-stealing runtime knobs. With num_threads > 1 the s-t tgd trigger
+  /// enumeration fans out per dependency over the shared pool; firing stays
+  /// sequential in canonical dependency order, so the produced instance,
+  /// null ids, and stats are byte-identical to num_threads = 1.
+  ExecOptions exec;
 };
 
 enum class ChaseOutcome {
@@ -33,10 +40,30 @@ enum class ChaseOutcome {
 
 struct ChaseStats {
   size_t st_steps = 0;      ///< s-t tgd chase steps applied.
+  size_t st_triggers = 0;   ///< s-t tgd triggers enumerated (fired or not).
   size_t target_steps = 0;  ///< Target tgd chase steps applied.
   size_t egd_steps = 0;     ///< Egd unifications applied.
   size_t nulls_created = 0;
   size_t rounds = 0;        ///< Target fixpoint rounds.
+
+  /// Merges counters accumulated by another worker. Parallel regions give
+  /// each task its own ChaseStats and sum them at the join in canonical
+  /// task order, so totals are exact and deterministic.
+  ChaseStats& operator+=(const ChaseStats& other) {
+    st_steps += other.st_steps;
+    st_triggers += other.st_triggers;
+    target_steps += other.target_steps;
+    egd_steps += other.egd_steps;
+    nulls_created += other.nulls_created;
+    rounds += other.rounds;
+    return *this;
+  }
+
+  friend bool operator==(const ChaseStats& a, const ChaseStats& b) {
+    return a.st_steps == b.st_steps && a.st_triggers == b.st_triggers &&
+           a.target_steps == b.target_steps && a.egd_steps == b.egd_steps &&
+           a.nulls_created == b.nulls_created && a.rounds == b.rounds;
+  }
 };
 
 struct ChaseResult {

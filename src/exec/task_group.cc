@@ -1,0 +1,30 @@
+#include "exec/task_group.h"
+
+namespace spider {
+
+void TaskGroup::Wait() {
+  if (pool_ != nullptr) {
+    while (pending_.load(std::memory_order_seq_cst) > 0) {
+      // Help: run whatever pool task is available. This keeps every thread
+      // productive during joins and makes nested groups deadlock-free (a
+      // worker waiting on an inner group executes other tasks, including
+      // the ones the inner group is waiting for).
+      if (pool_->RunOneTask()) continue;
+      // Nothing to help with: the remaining group tasks are in flight on
+      // other threads. Sleep until one finishes. The timeout is a backstop
+      // against a task acquired between our predicate check and the wait.
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+        return pending_.load(std::memory_order_seq_cst) == 0;
+      });
+    }
+  }
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace spider

@@ -1,0 +1,149 @@
+#include "exec/thread_pool.h"
+
+#include <map>
+
+#include "base/status.h"
+
+namespace spider {
+
+namespace {
+
+/// Identifies the pool (and slot) the current thread works for, so Submit
+/// can hit the owner fast path and Acquire knows whose deque is "own".
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+int ResolveNumThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = ResolveNumThreads(num_threads);
+  SPIDER_CHECK(n >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Deques exist before any thread starts so workers can steal from every
+  // sibling immediately.
+  for (int i = 0; i < n; ++i) {
+    workers_[static_cast<size_t>(i)]->thread =
+        std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_all();
+  }
+  for (auto& worker : workers_) worker->thread.join();
+  // Structured callers join before teardown, so normally nothing is left;
+  // drain defensively anyway.
+  for (auto& worker : workers_) {
+    while (Task* task = worker->deque.Pop()) delete task;
+  }
+  for (Task* task : injector_) delete task;
+}
+
+ThreadPool* ThreadPool::For(const ExecOptions& options) {
+  int n = ResolveNumThreads(options.num_threads);
+  if (n <= 1) return nullptr;
+  // Pools are shared per thread count and intentionally leaked: workers
+  // park when idle, and teardown at static-destruction time would race
+  // whatever user code still runs.
+  static std::mutex* mu = new std::mutex();
+  static std::map<int, ThreadPool*>* pools = new std::map<int, ThreadPool*>();
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = pools->find(n);
+  if (it == pools->end()) {
+    it = pools->emplace(n, new ThreadPool(n)).first;
+  }
+  return it->second;
+}
+
+void ThreadPool::Submit(Task* task) {
+  ready_tasks_.fetch_add(1, std::memory_order_seq_cst);
+  if (tls_pool == this && tls_worker_index >= 0) {
+    workers_[static_cast<size_t>(tls_worker_index)]->deque.Push(task);
+  } else {
+    std::lock_guard<std::mutex> lock(injector_mu_);
+    injector_.push_back(task);
+  }
+  // Lock-step with the park predicate: a worker that observed no work
+  // re-checks under park_mu_ before sleeping, so this wake cannot be lost.
+  std::lock_guard<std::mutex> lock(park_mu_);
+  park_cv_.notify_one();
+}
+
+Task* ThreadPool::PopInjector() {
+  std::lock_guard<std::mutex> lock(injector_mu_);
+  if (injector_.empty()) return nullptr;
+  Task* task = injector_.front();
+  injector_.pop_front();
+  return task;
+}
+
+Task* ThreadPool::Acquire(int self_index) {
+  if (self_index >= 0) {
+    if (Task* task = workers_[static_cast<size_t>(self_index)]->deque.Pop()) {
+      return task;
+    }
+  }
+  // Steal round-robin, starting after self so workers fan out over
+  // different victims.
+  size_t n = workers_.size();
+  size_t start = self_index >= 0 ? static_cast<size_t>(self_index) + 1 : 0;
+  for (size_t k = 0; k < n; ++k) {
+    size_t victim = (start + k) % n;
+    if (self_index >= 0 && victim == static_cast<size_t>(self_index)) continue;
+    if (Task* task = workers_[victim]->deque.Steal()) return task;
+  }
+  return PopInjector();
+}
+
+bool ThreadPool::RunOneTask() {
+  int self = (tls_pool == this) ? tls_worker_index : -1;
+  Task* task = Acquire(self);
+  if (task == nullptr) return false;
+  ready_tasks_.fetch_sub(1, std::memory_order_seq_cst);
+  task->Execute();
+  delete task;
+  return true;
+}
+
+int ThreadPool::WorkerIndexHere() const {
+  return tls_pool == this ? tls_worker_index : -1;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_pool = this;
+  tls_worker_index = index;
+  // A few spin rounds before parking: fork/join bursts resubmit quickly.
+  constexpr int kSpinRounds = 64;
+  int idle_rounds = 0;
+  while (true) {
+    if (RunOneTask()) {
+      idle_rounds = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_seq_cst)) return;
+    if (++idle_rounds < kSpinRounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(park_mu_);
+    park_cv_.wait(lock, [this] {
+      return ready_tasks_.load(std::memory_order_seq_cst) > 0 ||
+             stop_.load(std::memory_order_seq_cst);
+    });
+    idle_rounds = 0;
+  }
+}
+
+}  // namespace spider

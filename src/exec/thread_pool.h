@@ -1,0 +1,87 @@
+#ifndef SPIDER_EXEC_THREAD_POOL_H_
+#define SPIDER_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/exec_options.h"
+#include "exec/work_stealing_queue.h"
+
+namespace spider {
+
+/// Fixed-size work-stealing thread pool: one Chase–Lev deque per worker
+/// (mutex-free fast path), plus a mutex-protected injector queue for
+/// submissions from non-worker threads.
+///
+/// Scheduling: a worker runs tasks popped from its own deque (LIFO), then
+/// steals from sibling deques (FIFO, round-robin from a per-worker start),
+/// then drains the injector; after enough failed acquisition attempts it
+/// parks on a condition variable until new work is submitted.
+///
+/// The pool schedules; it does not order. Determinism of the algorithms
+/// built on top comes from TaskGroup/ParallelFor call sites buffering
+/// per-task results and merging them in canonical order on the joining
+/// thread.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (resolved via ResolveNumThreads).
+  explicit ThreadPool(int num_threads);
+
+  /// Stops and joins all workers; drains (deletes) any unexecuted tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Shared process-wide pool for `options`; pools are created on first use
+  /// per thread count and live for the process lifetime (workers park when
+  /// idle). Returns nullptr when the resolved count is 1: callers must then
+  /// run inline, which is exactly the sequential path.
+  static ThreadPool* For(const ExecOptions& options);
+
+  /// Schedules `task` (takes ownership). Called from a worker of this pool
+  /// it lands on that worker's own deque; otherwise on the injector queue.
+  void Submit(Task* task);
+
+  /// Cooperative helping: acquires one pending task (own deque if the
+  /// caller is a worker, else steal/injector) and executes it. Returns
+  /// false when no task could be acquired. Used by TaskGroup::Wait so a
+  /// joining worker keeps the pool busy instead of blocking.
+  bool RunOneTask();
+
+  /// Index of the calling thread within this pool, or -1.
+  int WorkerIndexHere() const;
+
+ private:
+  struct Worker {
+    WorkStealingDeque deque;
+    std::thread thread;
+  };
+
+  void WorkerLoop(int index);
+  /// Tries to acquire a task: own deque (workers), siblings, injector.
+  Task* Acquire(int self_index);
+  Task* PopInjector();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  /// Tasks submitted but not yet acquired; the park/wake predicate.
+  std::atomic<int64_t> ready_tasks_{0};
+
+  std::mutex injector_mu_;
+  std::deque<Task*> injector_;
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_EXEC_THREAD_POOL_H_

@@ -1,0 +1,137 @@
+#ifndef SPIDER_EXEC_WORK_STEALING_QUEUE_H_
+#define SPIDER_EXEC_WORK_STEALING_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace spider {
+
+/// A unit of work owned by the runtime. Heap-allocated by the submitter;
+/// deleted by whichever thread executes (or drains) it.
+class Task {
+ public:
+  virtual ~Task() = default;
+  virtual void Execute() = 0;
+};
+
+/// Chase–Lev work-stealing deque [Chase & Lev, SPAA'05] over Task*.
+///
+/// The owning worker pushes and pops at the bottom (LIFO — hot caches,
+/// depth-first descent of fork trees); thieves steal from the top (FIFO —
+/// they take the oldest, largest-granularity work). Push/Pop/Steal are
+/// mutex-free; the only synchronization is on the atomic top/bottom cursors
+/// and the atomic slots.
+///
+/// Memory ordering is the conservative variant: seq_cst on the top/bottom
+/// cursors (the proven baseline of the original algorithm, and precisely
+/// modelled by ThreadSanitizer, unlike fence-based relaxations) and
+/// release/acquire on slot publication. On a contended pop-vs-steal of the
+/// last element the CAS on `top_` decides the winner.
+///
+/// The ring grows geometrically when full. Retired rings are kept alive
+/// until destruction instead of being freed, so a thief holding a stale
+/// ring pointer can still read it: a stale ring is immutable (the owner
+/// only writes to the current ring), and the entry for any logical index
+/// the thief can win via its CAS on `top_` was copied verbatim.
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(int64_t initial_capacity = 256) {
+    rings_.push_back(std::make_unique<Ring>(initial_capacity));
+    ring_.store(rings_.back().get(), std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only. Appends at the bottom.
+  void Push(Task* task) {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_acquire);
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    if (b - t >= ring->capacity) ring = Grow(ring, t, b);
+    ring->slot(b).store(task, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only. Removes from the bottom (LIFO). Returns nullptr when
+  /// empty or when a thief won the race for the last element.
+  Task* Pop() {
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* ring = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // Deque was empty; undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Task* task = ring->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race thieves via the same CAS they use.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;  // A thief got it.
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
+  /// Any thread. Removes from the top (FIFO). Returns nullptr when empty
+  /// or when the race for the element was lost.
+  Task* Steal() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* ring = ring_.load(std::memory_order_acquire);
+    Task* task = ring->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return task;
+  }
+
+  /// Racy size estimate, for idle/backoff heuristics only.
+  bool LooksEmpty() const {
+    return top_.load(std::memory_order_relaxed) >=
+           bottom_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(int64_t cap)
+        : capacity(cap), slots(new std::atomic<Task*>[cap]) {
+      for (int64_t i = 0; i < cap; ++i) {
+        slots[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+    std::atomic<Task*>& slot(int64_t i) { return slots[i & (capacity - 1)]; }
+    const int64_t capacity;  // Always a power of two.
+    std::unique_ptr<std::atomic<Task*>[]> slots;
+  };
+
+  /// Owner only: doubles the ring, copying the live range [t, b).
+  Ring* Grow(Ring* old_ring, int64_t t, int64_t b) {
+    rings_.push_back(std::make_unique<Ring>(old_ring->capacity * 2));
+    Ring* bigger = rings_.back().get();
+    for (int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old_ring->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    ring_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Ring*> ring_;
+  /// All rings ever allocated (owner-written under Push only); freeing is
+  /// deferred to destruction so stale thief reads stay valid.
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_EXEC_WORK_STEALING_QUEUE_H_

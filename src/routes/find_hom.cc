@@ -16,8 +16,7 @@ const Tuple& ProbeTuple(const Instance& target, const FactRef& fact) {
 FindHomIterator::FindHomIterator(const SchemaMapping& mapping,
                                  const Instance& source,
                                  const Instance& target, const FactRef& fact,
-                                 TgdId tgd, const RouteOptions& options,
-                                 RouteStats* stats)
+                                 TgdId tgd, const RouteOptions& options)
     : mapping_(mapping),
       source_(source),
       target_(target),
@@ -26,9 +25,8 @@ FindHomIterator::FindHomIterator(const SchemaMapping& mapping,
       probe_(ProbeTuple(target, fact)),
       probe_rel_(fact.relation),
       options_(options),
-      binding_(tgd_.num_vars()),
-      stats_(stats) {
-  if (stats_ != nullptr) ++stats_->findhom_calls;
+      binding_(tgd_.num_vars()) {
+  ++stats_.findhom_calls;
   if (options_.eager_findhom) {
     Binding h;
     while (NextLazy(&h)) eager_results_.push_back(h);
@@ -98,7 +96,7 @@ bool FindHomIterator::NextLazy(Binding* h) {
           seen_.push_back(binding_);
         }
         ++assignments_enumerated_;
-        if (stats_ != nullptr) ++stats_->findhom_successes;
+        ++stats_.findhom_successes;
         *h = binding_;
         return true;
       }

@@ -30,13 +30,9 @@ namespace spider {
 /// asks for up-front materialization (the paper's XML mode).
 class FindHomIterator {
  public:
-  /// When `stats` is non-null, findhom_calls is bumped once and
-  /// findhom_successes once per assignment enumerated internally (in eager
-  /// mode the full enumeration is charged at construction).
   FindHomIterator(const SchemaMapping& mapping, const Instance& source,
                   const Instance& target, const FactRef& fact, TgdId tgd,
-                  const RouteOptions& options = {},
-                  RouteStats* stats = nullptr);
+                  const RouteOptions& options = {});
 
   FindHomIterator(const FindHomIterator&) = delete;
   FindHomIterator& operator=(const FindHomIterator&) = delete;
@@ -51,6 +47,14 @@ class FindHomIterator {
   /// happens up front (the paper's XML engine behaviour), so this reports
   /// the materialized count regardless of how many were consumed.
   uint64_t assignments_enumerated() const { return assignments_enumerated_; }
+
+  /// Counters accumulated by this iterator: findhom_calls is 1, and
+  /// findhom_successes counts assignments enumerated internally (in eager
+  /// mode the full enumeration is charged at construction). The iterator
+  /// owns its stats — there is no shared pointer to write through, so
+  /// iterators on different exec workers never contend; callers merge with
+  /// `total += it.stats()` when done.
+  const RouteStats& stats() const { return stats_; }
 
  private:
   bool NextLazy(Binding* h);
@@ -76,7 +80,7 @@ class FindHomIterator {
   std::vector<Binding> seen_;  // small: duplicate suppression
 
   uint64_t assignments_enumerated_ = 0;
-  RouteStats* stats_ = nullptr;
+  RouteStats stats_;
 
   // Eager mode: everything materialized at construction.
   std::vector<Binding> eager_results_;

@@ -10,6 +10,22 @@ namespace spider {
 
 namespace {
 
+/// Folds a FindHomIterator's owned stats into an accumulator at scope
+/// exit, covering every early exit from the enumeration loops.
+class StatsMerger {
+ public:
+  StatsMerger(const FindHomIterator* it, RouteStats* total)
+      : it_(it), total_(total) {}
+  ~StatsMerger() { *total_ += it_->stats(); }
+
+  StatsMerger(const StatsMerger&) = delete;
+  StatsMerger& operator=(const StatsMerger&) = delete;
+
+ private:
+  const FindHomIterator* it_;
+  RouteStats* total_;
+};
+
 class OneRouteComputation {
  public:
   OneRouteComputation(const SchemaMapping& mapping, const Instance& source,
@@ -100,15 +116,15 @@ class OneRouteComputation {
       // witnesses the fact directly from the source.
       bool witnessed = false;
       for (TgdId tgd : mapping_.st_tgds()) {
-        FindHomIterator it(mapping_, source_, target_, fact, tgd, options_,
-                           &stats_);
+        FindHomIterator it(mapping_, source_, target_, fact, tgd, options_);
         Binding h;
         if (it.Next(&h)) {
           AppendStep(tgd, h);
           Infer(SeedsFor(fact, RhsFacts(mapping_, tgd, h, target_)));
           witnessed = true;
-          break;
         }
+        stats_ += it.stats();
+        if (witnessed) break;
       }
       if (witnessed) continue;
 
@@ -116,8 +132,8 @@ class OneRouteComputation {
       // proven, suspending on LHS facts that are not proven yet.
       for (TgdId tgd : mapping_.target_tgds()) {
         if (proven_.count(fact) > 0) break;
-        FindHomIterator it(mapping_, source_, target_, fact, tgd, options_,
-                           &stats_);
+        FindHomIterator it(mapping_, source_, target_, fact, tgd, options_);
+        StatsMerger merge_on_exit(&it, &stats_);
         Binding h;
         while (proven_.count(fact) == 0 && it.Next(&h)) {
           std::vector<FactRef> lhs =

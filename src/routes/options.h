@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "exec/exec_options.h"
 #include "query/evaluator.h"
 
 namespace spider {
@@ -24,15 +25,43 @@ struct RouteOptions {
   /// conclude that *all* target tuples produced by the tgd (not only the
   /// probed one) are proven, avoiding redundant findHom calls.
   bool propagate_rhs_proven = true;
+
+  /// Work-stealing runtime knobs. With num_threads > 1 the independent
+  /// per-fact work fans out over the shared pool: route-forest node
+  /// expansion (ComputeAllRoutes) and the s-t seeding of source routes.
+  /// Results and stats are byte-identical for every thread count;
+  /// ComputeOneRoute's depth-first search is inherently order-dependent
+  /// and always runs sequentially.
+  ExecOptions exec;
 };
 
-/// Statistics accumulated by the route algorithms.
+/// Statistics accumulated by the route algorithms. Parallel regions give
+/// each task its own RouteStats (FindHomIterator likewise owns one) and
+/// merge them at the join in canonical task order, so counters stay exact
+/// at every thread count.
 struct RouteStats {
   uint64_t findhom_calls = 0;       ///< findHom invocations (per tgd).
   uint64_t findhom_successes = 0;   ///< Assignments produced.
   uint64_t infer_fires = 0;         ///< UNPROVEN triples fired by Infer.
   uint64_t nodes_expanded = 0;      ///< Route forest nodes expanded.
   uint64_t branches_added = 0;      ///< Route forest branches added.
+
+  RouteStats& operator+=(const RouteStats& other) {
+    findhom_calls += other.findhom_calls;
+    findhom_successes += other.findhom_successes;
+    infer_fires += other.infer_fires;
+    nodes_expanded += other.nodes_expanded;
+    branches_added += other.branches_added;
+    return *this;
+  }
+
+  friend bool operator==(const RouteStats& a, const RouteStats& b) {
+    return a.findhom_calls == b.findhom_calls &&
+           a.findhom_successes == b.findhom_successes &&
+           a.infer_fires == b.infer_fires &&
+           a.nodes_expanded == b.nodes_expanded &&
+           a.branches_added == b.branches_added;
+  }
 };
 
 }  // namespace spider

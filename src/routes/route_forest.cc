@@ -2,8 +2,12 @@
 
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
+#include <utility>
 
 #include "base/status.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 #include "routes/fact_util.h"
 #include "routes/find_hom.h"
 
@@ -31,17 +35,14 @@ RouteForest::Node& RouteForest::GetOrCreate(const FactRef& fact) {
   return nodes_.back();
 }
 
-const RouteForest::Node& RouteForest::Expand(const FactRef& fact) {
-  Node& node = GetOrCreate(fact);
-  if (node.expanded) return node;
-  node.expanded = true;
-  ++stats_.nodes_expanded;
+std::vector<RouteForest::Branch> RouteForest::ComputeBranches(
+    const FactRef& fact, RouteStats* stats) const {
+  std::vector<Branch> branches;
   // Steps 2 and 3 of ComputeAllRoutes: one branch per (σ, h) pair, s-t tgds
   // first, then target tgds.
   auto add_branches = [&](const std::vector<TgdId>& tgds) {
     for (TgdId tgd : tgds) {
-      FindHomIterator it(*mapping_, *source_, *target_, fact, tgd, options_,
-                         &stats_);
+      FindHomIterator it(*mapping_, *source_, *target_, fact, tgd, options_);
       Binding h;
       while (it.Next(&h)) {
         Branch branch;
@@ -49,13 +50,28 @@ const RouteForest::Node& RouteForest::Expand(const FactRef& fact) {
         branch.h = h;
         branch.lhs_facts = LhsFacts(*mapping_, tgd, h, *source_, *target_);
         branch.rhs_facts = RhsFacts(*mapping_, tgd, h, *target_);
-        node.branches.push_back(std::move(branch));
-        ++stats_.branches_added;
+        branches.push_back(std::move(branch));
       }
+      *stats += it.stats();
     }
   };
   add_branches(mapping_->st_tgds());
   add_branches(mapping_->target_tgds());
+  return branches;
+}
+
+void RouteForest::InstallBranches(Node* node, std::vector<Branch> branches) {
+  node->expanded = true;
+  ++stats_.nodes_expanded;
+  stats_.branches_added += branches.size();
+  node->branches = std::move(branches);
+}
+
+const RouteForest::Node& RouteForest::Expand(const FactRef& fact) {
+  Node& node = GetOrCreate(fact);
+  if (node.expanded) return node;
+  std::vector<Branch> branches = ComputeBranches(fact, &stats_);
+  InstallBranches(&node, std::move(branches));
   return node;
 }
 
@@ -65,20 +81,41 @@ const RouteForest::Node* RouteForest::Find(const FactRef& fact) const {
 }
 
 void RouteForest::ExpandAll() {
-  std::vector<FactRef> worklist = roots_;
-  while (!worklist.empty()) {
-    FactRef fact = worklist.back();
-    worklist.pop_back();
-    const Node* existing = Find(fact);
-    if (existing != nullptr && existing->expanded) continue;
-    const Node& node = Expand(fact);
-    for (const Branch& branch : node.branches) {
-      if (mapping_->tgd(branch.tgd).source_to_target()) continue;
-      for (const FactRef& child : branch.lhs_facts) {
-        const Node* child_node = Find(child);
-        if (child_node == nullptr || !child_node->expanded) {
-          worklist.push_back(child);
-        }
+  ThreadPool* pool = ThreadPool::For(options_.exec);
+  if (pool != nullptr && options_.eval.use_indexes) {
+    // Lazy index builds mutate shared state; warm before the fan-out.
+    source_->WarmIndexes();
+    target_->WarmIndexes();
+  }
+  // Wave-parallel BFS from the roots; see the header. `scheduled` prevents
+  // a fact reached from two parents (in the same or different waves) from
+  // being expanded twice.
+  std::unordered_set<FactRef, FactRefHash> scheduled;
+  std::vector<FactRef> frontier;
+  auto schedule = [&](const FactRef& fact) {
+    const Node* node = Find(fact);
+    if (node != nullptr && node->expanded) return;
+    if (scheduled.insert(fact).second) frontier.push_back(fact);
+  };
+  for (const FactRef& root : roots_) schedule(root);
+  while (!frontier.empty()) {
+    std::vector<std::vector<Branch>> branches(frontier.size());
+    std::vector<RouteStats> worker_stats(frontier.size());
+    ParallelFor(pool, 0, frontier.size(), options_.exec.grain, [&](size_t i) {
+      branches[i] = ComputeBranches(frontier[i], &worker_stats[i]);
+    });
+    std::vector<FactRef> wave = std::move(frontier);
+    frontier.clear();
+    for (size_t i = 0; i < wave.size(); ++i) {
+      stats_ += worker_stats[i];
+      InstallBranches(&GetOrCreate(wave[i]), std::move(branches[i]));
+    }
+    // Discover the next wave only after the whole wave is installed, so
+    // sibling references resolve to this wave's nodes, not to duplicates.
+    for (const FactRef& fact : wave) {
+      for (const Branch& branch : Find(fact)->branches) {
+        if (mapping_->tgd(branch.tgd).source_to_target()) continue;
+        for (const FactRef& child : branch.lhs_facts) schedule(child);
       }
     }
   }

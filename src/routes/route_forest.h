@@ -68,6 +68,15 @@ class RouteForest {
   const Node* Find(const FactRef& fact) const;
 
   /// Fully expands the forest reachable from the roots (ComputeAllRoutes).
+  ///
+  /// With RouteOptions::exec.num_threads > 1 the expansion proceeds in
+  /// waves: computing a node's branches is a pure findHom enumeration over
+  /// the immutable instances, so each wave's frontier fans out over the
+  /// exec pool into per-node branch buffers; nodes are then installed (and
+  /// the next frontier discovered) on the joining thread in frontier
+  /// order. Node ids, branch order, and stats are therefore identical for
+  /// every thread count — a single thread runs the exact same waves
+  /// inline.
   void ExpandAll();
 
   size_t NumNodes() const { return nodes_.size(); }
@@ -82,6 +91,13 @@ class RouteForest {
 
  private:
   Node& GetOrCreate(const FactRef& fact);
+  /// The findHom enumeration behind Expand: one branch per (σ, h) pair,
+  /// s-t tgds first. Pure (mutates neither the forest nor the instances),
+  /// so it can run on any exec worker; findHom counters go to `stats`.
+  std::vector<Branch> ComputeBranches(const FactRef& fact,
+                                      RouteStats* stats) const;
+  /// Marks `node` expanded with `branches`, charging stats_.
+  void InstallBranches(Node* node, std::vector<Branch> branches);
   void AppendNode(std::ostream& os, const FactRef& fact, int indent,
                   std::unordered_map<FactRef, bool, FactRefHash>* printed)
       const;

@@ -1,10 +1,14 @@
 #include "routes/source_routes.h"
 
 #include <algorithm>
+#include <functional>
 #include <sstream>
 #include <unordered_set>
+#include <utility>
 
 #include "base/status.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
 #include "query/evaluator.h"
 #include "routes/fact_util.h"
 
@@ -118,11 +122,15 @@ ConsequenceForest ComputeSourceConsequences(
     forest.produced.push_back(std::move(new_facts));
   };
 
-  /// Enumerates all satisfaction steps of `tgd` whose LHS uses `fact` (which
-  /// lives in `lhs_instance`), with RHS inside J. For target tgds, only
-  /// steps whose other LHS facts are already derived are recorded.
+  /// Enumerates all satisfaction steps of `tgd` whose LHS uses `fact`
+  /// (which lives in `lhs_instance`), with RHS inside J, feeding each RHS
+  /// binding to `emit` (which returns false to stop the enumeration). For
+  /// target tgds, only steps whose other LHS facts are already derived are
+  /// emitted. With a collecting `emit` this is a pure read of the
+  /// instances, so it can run on any exec worker.
   auto explore = [&](TgdId tgd, const FactRef& fact,
-                     const Instance& lhs_instance) {
+                     const Instance& lhs_instance,
+                     const std::function<bool(const Binding&)>& emit) {
     const Tgd& dep = mapping.tgd(tgd);
     const Tuple& tuple = lhs_instance.tuple(fact.relation, fact.row);
     for (size_t a = 0; a < dep.lhs().size(); ++a) {
@@ -148,8 +156,7 @@ ConsequenceForest ComputeSourceConsequences(
         MatchIterator rhs_it(target, dep.rhs(), &rhs_binding,
                              options.route.eval);
         while (rhs_it.Next()) {
-          record_step(tgd, rhs_binding);
-          if (forest.truncated) return;
+          if (!emit(rhs_binding)) return;
         }
       }
     }
@@ -158,17 +165,56 @@ ConsequenceForest ComputeSourceConsequences(
   for (const FactRef& fact : selected) {
     SPIDER_CHECK(fact.side == Side::kSource,
                  "ComputeSourceConsequences selects source facts");
-    for (TgdId tgd : mapping.st_tgds()) {
-      explore(tgd, fact, source);
+    SPIDER_CHECK(static_cast<size_t>(fact.relation) < source.NumRelations() &&
+                     static_cast<size_t>(fact.row) <
+                         source.NumTuples(fact.relation),
+                 "selected source fact is out of range");
+  }
+
+  // Seeding stage: s-t steps touch only the immutable source and target,
+  // and recording a step never influences which s-t steps match — so the
+  // (selected fact × s-t tgd) grid fans out over the exec pool into
+  // per-pair buffers. The merge then replays record_step in the exact
+  // order the sequential loop used (fact-major, tgd-minor, match order),
+  // so the forest — dedup, step ids, truncation point — is byte-identical
+  // at every thread count.
+  const std::vector<TgdId>& st_tgds = mapping.st_tgds();
+  size_t num_pairs = selected.size() * st_tgds.size();
+  std::vector<std::vector<Binding>> pair_steps(num_pairs);
+  ThreadPool* pool = ThreadPool::For(options.route.exec);
+  if (pool != nullptr && options.route.eval.use_indexes) {
+    source.WarmIndexes();
+    target.WarmIndexes();
+  }
+  ParallelFor(pool, 0, num_pairs, options.route.exec.grain, [&](size_t p) {
+    const FactRef& fact = selected[p / st_tgds.size()];
+    TgdId tgd = st_tgds[p % st_tgds.size()];
+    explore(tgd, fact, source, [&](const Binding& h) {
+      pair_steps[p].push_back(h);
+      return true;
+    });
+  });
+  for (size_t p = 0; p < num_pairs; ++p) {
+    TgdId tgd = st_tgds[p % st_tgds.size()];
+    for (const Binding& h : pair_steps[p]) {
+      record_step(tgd, h);
       if (forest.truncated) return forest;
     }
   }
+
+  // Target-tgd fixpoint: derivations depend on the evolving `derived` set,
+  // so this stage stays sequential (and identical for every thread count).
   while (!worklist.empty()) {
     FactRef fact = worklist.back();
     worklist.pop_back();
     for (TgdId tgd : mapping.target_tgds()) {
-      explore(tgd, fact, target);
-      if (forest.truncated) return forest;
+      bool stopped = false;
+      explore(tgd, fact, target, [&](const Binding& h) {
+        record_step(tgd, h);
+        stopped = forest.truncated;
+        return !stopped;
+      });
+      if (stopped) return forest;
     }
   }
   return forest;

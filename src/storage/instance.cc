@@ -83,6 +83,15 @@ void Instance::EnsureIndex(RelationId rel, int col) const {
   data.index_built[col] = true;
 }
 
+void Instance::WarmIndexes() const {
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    size_t arity = schema_->relation(static_cast<RelationId>(r)).arity();
+    for (size_t col = 0; col < arity; ++col) {
+      EnsureIndex(static_cast<RelationId>(r), static_cast<int>(col));
+    }
+  }
+}
+
 const std::vector<int32_t>& Instance::Probe(RelationId rel, int col,
                                             const Value& v) const {
   EnsureIndex(rel, col);

@@ -60,6 +60,12 @@ class Instance {
   const std::vector<int32_t>& Probe(RelationId rel, int col,
                                     const Value& v) const;
 
+  /// Builds every per-column index now. Probe's lazy build mutates shared
+  /// (mutable) state, so an instance that will be read from several exec
+  /// workers concurrently must be warmed first; afterwards concurrent
+  /// Probe/tuple reads are safe as long as nobody mutates the instance.
+  void WarmIndexes() const;
+
   /// True when some tuple of the instance contains a labeled null.
   bool ContainsNulls() const;
 

@@ -1,0 +1,219 @@
+// Byte-identity of the parallel runtime: chase, ComputeOneRoute,
+// ComputeAllRoutes, and ComputeSourceConsequences must produce exactly the
+// same instances, routes, forests, and stats at every thread count. Each
+// workload scenario is rebuilt per thread count and the full pipeline run
+// end-to-end, so divergence anywhere (trigger merge order, null ids, stats
+// summing, forest waves) fails loudly.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "mapping/parser.h"
+#include "routes/one_route.h"
+#include "routes/route_forest.h"
+#include "routes/source_routes.h"
+#include "testing/fixtures.h"
+#include "workload/hierarchy_scenario.h"
+#include "workload/real_scenarios.h"
+#include "workload/relational_scenario.h"
+
+namespace spider {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// The first `count` target (or source) facts in relation-major order —
+/// a deterministic selection that works for every scenario.
+std::vector<FactRef> FirstFacts(const Instance& instance, Side side,
+                                size_t count) {
+  std::vector<FactRef> facts;
+  for (size_t r = 0; r < instance.NumRelations() && facts.size() < count;
+       ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    int32_t rows = static_cast<int32_t>(instance.NumTuples(rel));
+    for (int32_t row = 0; row < rows && facts.size() < count; ++row) {
+      facts.push_back(FactRef{side, rel, row});
+    }
+  }
+  return facts;
+}
+
+/// Everything observable from one end-to-end run at a given thread count.
+struct PipelineSnapshot {
+  std::string chased_target;
+  ChaseStats chase_stats;
+  int64_t max_null_id = 0;
+  Route one_route;
+  bool one_route_found = false;
+  RouteStats one_route_stats;
+  std::string forest;
+  size_t forest_nodes = 0;
+  size_t forest_branches = 0;
+  RouteStats forest_stats;
+  std::vector<SatStep> source_steps;
+  std::vector<FactRef> source_derived;
+  bool source_truncated = false;
+};
+
+template <typename BuildScenario>
+PipelineSnapshot RunPipeline(const BuildScenario& build, int num_threads) {
+  Scenario scenario = build();
+  ChaseOptions chase_options;
+  chase_options.exec.num_threads = num_threads;
+  PipelineSnapshot snap;
+  snap.chase_stats = ChaseScenario(&scenario, chase_options);
+  snap.chased_target = scenario.target->ToString();
+  snap.max_null_id = scenario.max_null_id;
+
+  RouteOptions route_options;
+  route_options.exec.num_threads = num_threads;
+  std::vector<FactRef> selected =
+      FirstFacts(*scenario.target, Side::kTarget, 8);
+  OneRouteResult one = ComputeOneRoute(*scenario.mapping, *scenario.source,
+                                       *scenario.target, selected,
+                                       route_options);
+  snap.one_route = one.route;
+  snap.one_route_found = one.found;
+  snap.one_route_stats = one.stats;
+
+  RouteForest forest =
+      ComputeAllRoutes(*scenario.mapping, *scenario.source, *scenario.target,
+                       selected, route_options);
+  snap.forest = forest.ToString();
+  snap.forest_nodes = forest.NumNodes();
+  snap.forest_branches = forest.NumBranches();
+  snap.forest_stats = forest.stats();
+
+  SourceRouteOptions source_options;
+  source_options.route = route_options;
+  std::vector<FactRef> sources =
+      FirstFacts(*scenario.source, Side::kSource, 8);
+  ConsequenceForest consequences = ComputeSourceConsequences(
+      *scenario.mapping, *scenario.source, *scenario.target, sources,
+      source_options);
+  snap.source_steps = consequences.steps;
+  snap.source_derived = consequences.DerivedFacts();
+  snap.source_truncated = consequences.truncated;
+  return snap;
+}
+
+template <typename BuildScenario>
+void ExpectPipelineDeterministic(const BuildScenario& build) {
+  PipelineSnapshot base = RunPipeline(build, /*num_threads=*/1);
+  EXPECT_FALSE(base.chased_target.empty());
+  for (int threads : kThreadCounts) {
+    if (threads == 1) continue;
+    PipelineSnapshot snap = RunPipeline(build, threads);
+    EXPECT_EQ(snap.chased_target, base.chased_target) << threads;
+    EXPECT_TRUE(snap.chase_stats == base.chase_stats) << threads;
+    EXPECT_EQ(snap.max_null_id, base.max_null_id) << threads;
+    EXPECT_EQ(snap.one_route_found, base.one_route_found) << threads;
+    EXPECT_TRUE(snap.one_route == base.one_route) << threads;
+    EXPECT_TRUE(snap.one_route_stats == base.one_route_stats) << threads;
+    EXPECT_EQ(snap.forest, base.forest) << threads;
+    EXPECT_EQ(snap.forest_nodes, base.forest_nodes) << threads;
+    EXPECT_EQ(snap.forest_branches, base.forest_branches) << threads;
+    EXPECT_TRUE(snap.forest_stats == base.forest_stats) << threads;
+    EXPECT_TRUE(snap.source_steps == base.source_steps) << threads;
+    EXPECT_TRUE(snap.source_derived == base.source_derived) << threads;
+    EXPECT_EQ(snap.source_truncated, base.source_truncated) << threads;
+  }
+}
+
+TEST(ExecDeterminismTest, CreditCardScenario) {
+  ExpectPipelineDeterministic([] {
+    Scenario s = testing::CreditCardScenario();
+    // The fixture ships a hand-written J; rebuild it with the chase so the
+    // pipeline exercises the parallel path end-to-end.
+    s.target = std::make_unique<Instance>(&s.mapping->target());
+    return s;
+  });
+}
+
+TEST(ExecDeterminismTest, RelationalScenario) {
+  for (int joins : {0, 2}) {
+    ExpectPipelineDeterministic([joins] {
+      RelationalScenarioOptions options;
+      options.joins = joins;
+      options.groups = 3;
+      options.sizes.units = 2;
+      return BuildRelationalScenario(options);
+    });
+  }
+}
+
+TEST(ExecDeterminismTest, DeepHierarchyScenario) {
+  ExpectPipelineDeterministic([] {
+    DeepHierarchyOptions options;
+    options.regions = 2;
+    options.fanout = 2;
+    return BuildDeepHierarchyScenario(options);
+  });
+}
+
+TEST(ExecDeterminismTest, FlatHierarchyScenario) {
+  ExpectPipelineDeterministic([] {
+    FlatHierarchyOptions options;
+    options.joins = 1;
+    options.groups = 2;
+    options.units = 1;
+    return BuildFlatHierarchyScenario(options);
+  });
+}
+
+TEST(ExecDeterminismTest, DblpScenario) {
+  ExpectPipelineDeterministic([] {
+    RealScenarioOptions options;
+    options.units = 3;
+    return BuildDblpScenario(options);
+  });
+}
+
+TEST(ExecDeterminismTest, MondialScenario) {
+  ExpectPipelineDeterministic([] {
+    RealScenarioOptions options;
+    options.units = 3;
+    return BuildMondialScenario(options);
+  });
+}
+
+// Egds force ApplySubstitution (row renumbering + index invalidation) after
+// the parallel phase; the merge must stay deterministic through that too.
+TEST(ExecDeterminismTest, EgdScenario) {
+  ExpectPipelineDeterministic([] {
+    return ParseScenario(R"(
+      source schema { R(a, b); P(a, c); }
+      target schema { T(a, b, c); U(a); }
+      m1: R(x, y) -> exists C . T(x, y, C);
+      m2: P(x, z) -> exists B . T(x, B, z);
+      t1: T(x, y, z) -> U(x);
+      e: T(x, y, z) & T(x, y2, z2) -> y = y2;
+      e2: T(x, y, z) & T(x, y2, z2) -> z = z2;
+      source instance { R(1, "b"); P(1, "c"); R(2, "d"); P(3, "e"); }
+    )");
+  });
+}
+
+// Many s-t tgds with shared RHS relations: the standard-chase RHS check
+// must see exactly the same growing target during the canonical-order
+// merge, whichever worker enumerated the triggers.
+TEST(ExecDeterminismTest, OverlappingStTgds) {
+  ExpectPipelineDeterministic([] {
+    return ParseScenario(R"(
+      source schema { A(x); B(x); C(x); }
+      target schema { T(x); V(x, y); }
+      m1: A(x) -> T(x);
+      m2: B(x) -> T(x);
+      m3: C(x) -> T(x);
+      m4: A(x) -> exists Y . V(x, Y);
+      m5: B(x) -> exists Y . V(x, Y);
+      source instance { A(1); A(2); B(1); B(3); C(2); C(4); }
+    )");
+  });
+}
+
+}  // namespace
+}  // namespace spider

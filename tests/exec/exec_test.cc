@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/parallel_for.h"
+#include "exec/task_group.h"
+#include "exec/thread_pool.h"
+#include "exec/work_stealing_queue.h"
+
+namespace spider {
+namespace {
+
+class CountingTask : public Task {
+ public:
+  explicit CountingTask(std::atomic<int>* counter) : counter_(counter) {}
+  void Execute() override { counter_->fetch_add(1); }
+
+ private:
+  std::atomic<int>* counter_;
+};
+
+TEST(WorkStealingDequeTest, OwnerPopsLifo) {
+  WorkStealingDeque deque;
+  std::atomic<int> counter{0};
+  auto a = std::make_unique<CountingTask>(&counter);
+  auto b = std::make_unique<CountingTask>(&counter);
+  deque.Push(a.get());
+  deque.Push(b.get());
+  EXPECT_EQ(deque.Pop(), b.get());
+  EXPECT_EQ(deque.Pop(), a.get());
+  EXPECT_EQ(deque.Pop(), nullptr);
+}
+
+TEST(WorkStealingDequeTest, ThiefStealsFifo) {
+  WorkStealingDeque deque;
+  std::atomic<int> counter{0};
+  auto a = std::make_unique<CountingTask>(&counter);
+  auto b = std::make_unique<CountingTask>(&counter);
+  deque.Push(a.get());
+  deque.Push(b.get());
+  EXPECT_EQ(deque.Steal(), a.get());
+  EXPECT_EQ(deque.Pop(), b.get());
+  EXPECT_EQ(deque.Steal(), nullptr);
+}
+
+TEST(WorkStealingDequeTest, GrowsPastInitialCapacity) {
+  WorkStealingDeque deque(/*initial_capacity=*/2);
+  std::atomic<int> counter{0};
+  std::vector<std::unique_ptr<CountingTask>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back(std::make_unique<CountingTask>(&counter));
+    deque.Push(tasks.back().get());
+  }
+  // Steal a prefix, pop the rest; every task comes out exactly once.
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(deque.Steal(), tasks[i].get());
+  for (int i = 99; i >= 40; --i) EXPECT_EQ(deque.Pop(), tasks[i].get());
+  EXPECT_TRUE(deque.LooksEmpty());
+}
+
+TEST(ResolveNumThreadsTest, MapsZeroToHardware) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+  EXPECT_GE(ResolveNumThreads(0), 1);
+}
+
+TEST(ThreadPoolTest, ForReturnsNullForSequential) {
+  ExecOptions options;
+  options.num_threads = 1;
+  EXPECT_EQ(ThreadPool::For(options), nullptr);
+}
+
+TEST(ThreadPoolTest, ForSharesPoolPerThreadCount) {
+  ExecOptions options;
+  options.num_threads = 2;
+  ThreadPool* first = ThreadPool::For(options);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->num_threads(), 2);
+  EXPECT_EQ(ThreadPool::For(options), first);
+  options.num_threads = 3;
+  EXPECT_NE(ThreadPool::For(options), first);
+}
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 1000; ++i) {
+    group.Run([&counter] { counter.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(TaskGroupTest, InlineWithNullPool) {
+  std::atomic<int> counter{0};
+  TaskGroup group(nullptr);
+  for (int i = 0; i < 10; ++i) {
+    group.Run([&counter] { counter.fetch_add(1); });
+  }
+  // Inline groups run eagerly; Wait is a no-op but must be callable.
+  EXPECT_EQ(counter.load(), 10);
+  group.Wait();
+}
+
+TEST(TaskGroupTest, WaitRethrowsFirstException) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Run([] { throw std::runtime_error("task failed"); });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // A second Wait does not re-observe the consumed exception.
+  group.Wait();
+}
+
+TEST(TaskGroupTest, InlineExceptionDeferredToWait) {
+  TaskGroup group(nullptr);
+  group.Run([] { throw std::runtime_error("inline failure"); });
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(TaskGroupTest, NestedForkJoin) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 16; ++i) {
+    outer.Run([&pool, &counter] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 16; ++j) {
+        inner.Run([&counter] { counter.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(counter.load(), 16 * 16);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    for (size_t grain : {1u, 7u, 64u, 10000u}) {
+      ExecOptions options;
+      options.num_threads = threads;
+      options.grain = grain;
+      std::vector<std::atomic<int>> hits(1237);
+      ParallelFor(ThreadPool::For(options), 0, hits.size(), grain,
+                  [&](size_t i) { hits[i].fetch_add(1); });
+      for (size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at threads="
+                                     << threads << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyAndTinyRanges) {
+  ExecOptions options;
+  options.num_threads = 4;
+  std::atomic<int> counter{0};
+  ThreadPool* pool = ThreadPool::For(options);
+  ParallelFor(pool, 5, 5, 1, [&](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 0);
+  ParallelFor(pool, 5, 6, 1, [&](size_t i) {
+    EXPECT_EQ(i, 5u);
+    counter.fetch_add(1);
+  });
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, HelpingWorkerCanRunNestedParallelFor) {
+  ExecOptions options;
+  options.num_threads = 3;
+  ThreadPool* pool = ThreadPool::For(options);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 0, 8, 1, [&](size_t) {
+    ParallelFor(pool, 0, 8, 1, [&](size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace spider
