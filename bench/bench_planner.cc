@@ -1,0 +1,192 @@
+// Selectivity planner vs. the seed bound-count planner, measured in
+// evaluator work (tuples scanned, index probes) rather than wall clock, so
+// the numbers are deterministic across machines. Emits BENCH_planner.json
+// (or argv[1]) with before/after counters for the three main drivers on the
+// largest route workload of bench_common (relational, joins=1, groups=6,
+// units=400):
+//   all_routes — ComputeAllRoutes over 20 group-3 facts;
+//   one_route  — ComputeOneRoute per selected fact;
+//   chase      — the full chase of the same scenario.
+// Each comparison checks the two planners agree on every semantic output
+// (forest rendering, findHom successes, route found flags, chase triggers)
+// before reporting the counter deltas.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "query/eval_stats.h"
+#include "routes/one_route.h"
+#include "routes/route_forest.h"
+#include "workload/relational_scenario.h"
+
+namespace spider::bench {
+namespace {
+
+struct Measured {
+  EvalStats eval;
+  double wall_ms = 0;
+};
+
+template <typename F>
+Measured Timed(const F& fn) {
+  Measured m;
+  auto start = std::chrono::steady_clock::now();
+  m.eval = fn();
+  std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+  m.wall_ms = elapsed.count();
+  return m;
+}
+
+void AppendCounters(std::ostream& os, const std::string& name,
+                    const Measured& m) {
+  os << "    \"" << name << "\": {\"tuples_scanned\": " << m.eval.tuples_scanned
+     << ", \"index_probes\": " << m.eval.index_probes
+     << ", \"levels_entered\": " << m.eval.levels_entered
+     << ", \"plans_built\": " << m.eval.plans_built
+     << ", \"plan_cache_hits\": " << m.eval.plan_cache_hits
+     << ", \"wall_ms\": " << m.wall_ms << "}";
+}
+
+void AppendSection(std::ostream& os, const std::string& name,
+                   const Measured& before, const Measured& after) {
+  double reduction =
+      before.eval.tuples_scanned == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(after.eval.tuples_scanned) /
+                      static_cast<double>(before.eval.tuples_scanned);
+  os << "  \"" << name << "\": {\n";
+  AppendCounters(os, "before", before);
+  os << ",\n";
+  AppendCounters(os, "after", after);
+  os << ",\n    \"tuples_scanned_reduction\": " << reduction << "\n  }";
+}
+
+int Run(const std::string& out_path) {
+  RelationalScenarioOptions workload;
+  workload.joins = 1;
+  workload.groups = 6;
+  workload.sizes.units = 400;  // The M scale: J is ~6x the source.
+  Scenario scenario = BuildRelationalScenario(workload);
+  ChaseScenario(&scenario);
+  std::cerr << "scenario: " << scenario.source->TotalTuples()
+            << " source tuples, " << scenario.target->TotalTuples()
+            << " target tuples\n";
+  std::vector<FactRef> selected =
+      SelectGroupFacts(scenario, /*group=*/3, /*count=*/20, /*seed=*/7);
+
+  auto route_options = [](PlannerMode planner) {
+    RouteOptions options;
+    options.eval.planner = planner;
+    return options;
+  };
+
+  // --- ComputeAllRoutes.
+  std::string forest_rendering;
+  uint64_t forest_successes = 0;
+  auto run_forest = [&](PlannerMode planner) {
+    std::string rendering;
+    uint64_t successes = 0;
+    Measured m = Timed([&] {
+      RouteForest forest =
+          ComputeAllRoutes(*scenario.mapping, *scenario.source,
+                           *scenario.target, selected, route_options(planner));
+      rendering = forest.ToString();
+      successes = forest.stats().findhom_successes;
+      return forest.stats().eval;
+    });
+    if (forest_rendering.empty()) {
+      forest_rendering = rendering;
+      forest_successes = successes;
+    } else {
+      SPIDER_CHECK(rendering == forest_rendering,
+                   "planners disagree on the route forest");
+      SPIDER_CHECK(successes == forest_successes,
+                   "planners disagree on findHom successes");
+    }
+    return m;
+  };
+  Measured forest_before = run_forest(PlannerMode::kBoundCount);
+  Measured forest_after = run_forest(PlannerMode::kSelectivity);
+
+  // --- ComputeOneRoute, one probe per selected fact.
+  auto run_one_route = [&](PlannerMode planner) {
+    size_t found = 0;
+    size_t steps = 0;
+    Measured m = Timed([&] {
+      EvalStats total;
+      for (const FactRef& fact : selected) {
+        OneRouteResult result =
+            ComputeOneRoute(*scenario.mapping, *scenario.source,
+                            *scenario.target, {fact}, route_options(planner));
+        if (result.found) ++found;
+        steps += result.route.size();
+        total += result.stats.eval;
+      }
+      return total;
+    });
+    SPIDER_CHECK(found == selected.size(),
+                 "one_route failed on a chase-produced fact");
+    std::cerr << "one_route planner=" << static_cast<int>(planner)
+              << " steps=" << steps << "\n";
+    return m;
+  };
+  Measured one_before = run_one_route(PlannerMode::kBoundCount);
+  Measured one_after = run_one_route(PlannerMode::kSelectivity);
+
+  // --- Chase.
+  size_t chase_triggers = 0;
+  auto run_chase = [&](PlannerMode planner) {
+    ChaseOptions options;
+    options.eval.planner = planner;
+    size_t triggers = 0;
+    Measured m = Timed([&] {
+      ChaseResult result = Chase(*scenario.mapping, *scenario.source, options);
+      SPIDER_CHECK(result.outcome == ChaseOutcome::kSuccess, "chase failed");
+      triggers = result.stats.st_triggers;
+      return result.stats.eval;
+    });
+    if (chase_triggers == 0) {
+      chase_triggers = triggers;
+    } else {
+      SPIDER_CHECK(triggers == chase_triggers,
+                   "planners disagree on chase triggers");
+    }
+    return m;
+  };
+  Measured chase_before = run_chase(PlannerMode::kBoundCount);
+  Measured chase_after = run_chase(PlannerMode::kSelectivity);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"workload\": {\"scenario\": \"relational\", \"joins\": 1, "
+         "\"groups\": 6, \"units\": 400, \"source_tuples\": "
+      << scenario.source->TotalTuples()
+      << ", \"target_tuples\": " << scenario.target->TotalTuples()
+      << ", \"selected_facts\": " << selected.size() << "},\n";
+  AppendSection(out, "all_routes", forest_before, forest_after);
+  out << ",\n";
+  AppendSection(out, "one_route", one_before, one_after);
+  out << ",\n";
+  AppendSection(out, "chase", chase_before, chase_after);
+  out << "\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace spider::bench
+
+int main(int argc, char** argv) {
+  std::string out = argc > 1 ? argv[1] : "BENCH_planner.json";
+  return spider::bench::Run(out);
+}

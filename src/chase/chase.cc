@@ -6,6 +6,7 @@
 #include "base/status.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
+#include "query/plan_cache.h"
 
 namespace spider {
 
@@ -34,7 +35,10 @@ bool ApplyOneEgdStep(const SchemaMapping& mapping, Instance* target,
   for (size_t e = 0; e < mapping.NumEgds(); ++e) {
     const Egd& egd = mapping.egd(static_cast<EgdId>(e));
     Binding b(egd.num_vars());
-    MatchIterator it(*target, egd.lhs(), &b, eval);
+    MatchIterator it(*target, egd.lhs(), &b, eval,
+                     MakePlanKey(PlanKeyFamily::kChaseEgd, e));
+    // The iterator's counters are folded into `stats` on every exit path
+    // (ApplySubstitution invalidates it, so each step uses a fresh one).
     while (it.Next()) {
       const Value& left = b.Get(egd.left());
       const Value& right = b.Get(egd.right());
@@ -44,6 +48,7 @@ bool ApplyOneEgdStep(const SchemaMapping& mapping, Instance* target,
         *failure_message = "egd '" + egd.name() +
                            "' equates distinct constants " + left.ToString() +
                            " and " + right.ToString();
+        stats->eval += it.stats();
         return false;
       }
       // Replace a labeled null by the other value. When both are nulls the
@@ -61,8 +66,10 @@ bool ApplyOneEgdStep(const SchemaMapping& mapping, Instance* target,
       }
       target->ApplySubstitution(victim, replacement);
       ++stats->egd_steps;
+      stats->eval += it.stats();
       return true;
     }
+    stats->eval += it.stats();
   }
   return false;
 }
@@ -77,6 +84,14 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
   int64_t null_counter = options.first_null_id;
   size_t steps = 0;
   auto over_limit = [&]() { return steps > options.max_steps; };
+
+  // Every query the chase issues goes through one plan cache, so a tgd
+  // whose premise is re-evaluated across rounds (or whose RHS is re-checked
+  // per trigger) replans only when the target's version has moved. Callers
+  // may supply their own cache via options.eval.plan_cache.
+  PlanCache local_cache;
+  EvalOptions eval = options.eval;
+  if (eval.plan_cache == nullptr) eval.plan_cache = &local_cache;
 
   // Phase 1: s-t tgds. The source is never mutated, so trigger enumeration
   // is a pure read over I and fans out per dependency on the exec pool,
@@ -96,18 +111,24 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
   ParallelFor(pool, 0, st_tgds.size(), /*grain=*/1, [&](size_t i) {
     const Tgd& tgd = mapping.tgd(st_tgds[i]);
     Binding b(tgd.num_vars());
-    MatchIterator it(source, tgd.lhs(), &b, options.eval);
+    MatchIterator it(
+        source, tgd.lhs(), &b, eval,
+        MakePlanKey(PlanKeyFamily::kChaseTrigger,
+                    static_cast<uint64_t>(st_tgds[i])));
     while (it.Next()) {
       triggers[i].push_back(b);
       ++worker_stats[i].st_triggers;
     }
+    worker_stats[i].eval += it.stats();
   });
   for (size_t i = 0; i < st_tgds.size() && !over_limit(); ++i) {
     result.stats += worker_stats[i];
     const Tgd& tgd = mapping.tgd(st_tgds[i]);
     for (const Binding& b : triggers[i]) {
       if (++steps, over_limit()) break;
-      if (!HasMatch(target, tgd.rhs(), b, options.eval)) {
+      if (!HasMatch(target, tgd.rhs(), b, eval, &result.stats.eval,
+                    MakePlanKey(PlanKeyFamily::kChaseRhsCheck,
+                                static_cast<uint64_t>(st_tgds[i])))) {
         FireTgd(tgd, b, &target, &null_counter, &result.stats);
         ++result.stats.st_steps;
       }
@@ -122,21 +143,29 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
     ++result.stats.rounds;
     for (TgdId id : mapping.target_tgds()) {
       const Tgd& tgd = mapping.tgd(id);
+      const uint64_t rhs_key = MakePlanKey(PlanKeyFamily::kChaseRhsCheck,
+                                           static_cast<uint64_t>(id));
       std::vector<Binding> pending;
       {
         Binding b(tgd.num_vars());
-        MatchIterator it(target, tgd.lhs(), &b, options.eval);
+        MatchIterator it(target, tgd.lhs(), &b, eval,
+                         MakePlanKey(PlanKeyFamily::kChaseTrigger,
+                                     static_cast<uint64_t>(id)));
         while (it.Next()) {
           if (++steps, over_limit()) break;
-          if (!HasMatch(target, tgd.rhs(), b, options.eval)) {
+          if (!HasMatch(target, tgd.rhs(), b, eval, &result.stats.eval,
+                        rhs_key)) {
             pending.push_back(b);
           }
         }
+        result.stats.eval += it.stats();
       }
       for (const Binding& b : pending) {
         if (++steps, over_limit()) break;
         // An earlier firing in this batch may have satisfied this trigger.
-        if (HasMatch(target, tgd.rhs(), b, options.eval)) continue;
+        if (HasMatch(target, tgd.rhs(), b, eval, &result.stats.eval, rhs_key)) {
+          continue;
+        }
         FireTgd(tgd, b, &target, &null_counter, &result.stats);
         ++result.stats.target_steps;
         changed = true;
@@ -147,9 +176,8 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
     bool failed = false;
     while (!over_limit()) {
       ++steps;
-      bool fired = ApplyOneEgdStep(mapping, &target, options.eval,
-                                   &result.stats, &failed,
-                                   &result.failure_message);
+      bool fired = ApplyOneEgdStep(mapping, &target, eval, &result.stats,
+                                   &failed, &result.failure_message);
       if (failed) {
         result.outcome = ChaseOutcome::kEgdFailure;
         result.next_null_id = null_counter;

@@ -8,6 +8,7 @@
 #include "exec/exec_options.h"
 #include "mapping/scenario.h"
 #include "mapping/schema_mapping.h"
+#include "query/eval_stats.h"
 #include "query/evaluator.h"
 #include "storage/instance.h"
 
@@ -46,6 +47,12 @@ struct ChaseStats {
   size_t nulls_created = 0;
   size_t rounds = 0;        ///< Target fixpoint rounds.
 
+  /// Evaluator counters for every conjunctive query the chase issued
+  /// (trigger enumeration, RHS containment checks, egd matching). Exact and
+  /// deterministic at every thread count: plans are value-independent and
+  /// the per-chase plan cache builds each (key, version) plan exactly once.
+  EvalStats eval;
+
   /// Merges counters accumulated by another worker. Parallel regions give
   /// each task its own ChaseStats and sum them at the join in canonical
   /// task order, so totals are exact and deterministic.
@@ -56,13 +63,15 @@ struct ChaseStats {
     egd_steps += other.egd_steps;
     nulls_created += other.nulls_created;
     rounds += other.rounds;
+    eval += other.eval;
     return *this;
   }
 
   friend bool operator==(const ChaseStats& a, const ChaseStats& b) {
     return a.st_steps == b.st_steps && a.st_triggers == b.st_triggers &&
            a.target_steps == b.target_steps && a.egd_steps == b.egd_steps &&
-           a.nulls_created == b.nulls_created && a.rounds == b.rounds;
+           a.nulls_created == b.nulls_created && a.rounds == b.rounds &&
+           a.eval == b.eval;
   }
 };
 

@@ -1,0 +1,39 @@
+#ifndef SPIDER_QUERY_EVAL_STATS_H_
+#define SPIDER_QUERY_EVAL_STATS_H_
+
+#include <cstdint>
+
+namespace spider {
+
+/// Counters accumulated by the conjunctive-query evaluator. A MatchIterator
+/// owns one; findHom folds its iterators' stats into RouteStats::eval and the
+/// chase folds them into ChaseStats::eval, so the cost of the selection
+/// queries the paper pushes to DB2 is visible at every level of the stack.
+///
+/// All counters are deterministic for a fixed input: plans and probe choices
+/// are computed from exact index statistics (built on demand per column), so
+/// they do not depend on index warm-up order or thread count. Cache counters
+/// stay deterministic because PlanCache plans under its lock — a key is built
+/// exactly once per (instance, version) no matter how many workers race to it.
+struct EvalStats {
+  uint64_t tuples_scanned = 0;   ///< Candidate rows fetched and tested.
+  uint64_t index_probes = 0;     ///< Posting-list lookups issued.
+  uint64_t levels_entered = 0;   ///< Join levels entered during backtracking.
+  uint64_t plans_built = 0;      ///< Join orders computed by the planner.
+  uint64_t plan_cache_hits = 0;  ///< Plans served from a PlanCache.
+
+  EvalStats& operator+=(const EvalStats& other) {
+    tuples_scanned += other.tuples_scanned;
+    index_probes += other.index_probes;
+    levels_entered += other.levels_entered;
+    plans_built += other.plans_built;
+    plan_cache_hits += other.plan_cache_hits;
+    return *this;
+  }
+
+  friend bool operator==(const EvalStats&, const EvalStats&) = default;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_QUERY_EVAL_STATS_H_

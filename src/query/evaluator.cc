@@ -1,13 +1,16 @@
 #include "query/evaluator.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "base/status.h"
+#include "query/plan_cache.h"
 
 namespace spider {
 
 MatchIterator::MatchIterator(const Instance& instance, std::vector<Atom> atoms,
-                             Binding* binding, EvalOptions options)
+                             Binding* binding, EvalOptions options,
+                             uint64_t plan_key)
     : instance_(instance), binding_(binding), options_(options) {
   SPIDER_CHECK(binding != nullptr, "MatchIterator requires a binding");
   for (const Atom& atom : atoms) {
@@ -19,64 +22,121 @@ MatchIterator::MatchIterator(const Instance& instance, std::vector<Atom> atoms,
         atom.terms.size() == instance.schema().relation(atom.relation).arity(),
         "atom arity mismatch for relation '" +
             instance.schema().relation(atom.relation).name() + "'");
+    for (const Term& t : atom.terms) {
+      if (t.is_var()) {
+        SPIDER_CHECK(static_cast<size_t>(t.var()) < binding->size(),
+                     "atom variable id " + std::to_string(t.var()) +
+                         " out of range for binding of size " +
+                         std::to_string(binding->size()));
+      }
+    }
   }
-  PlanOrder(std::move(atoms));
+  PlanOrder(std::move(atoms), plan_key);
 }
 
-void MatchIterator::PlanOrder(std::vector<Atom> atoms) {
+void MatchIterator::PlanOrder(std::vector<Atom> atoms, uint64_t plan_key) {
   levels_.reserve(atoms.size());
+  std::vector<size_t> order;
   if (!options_.reorder_atoms) {
-    for (Atom& atom : atoms) {
-      Level level;
-      level.atom = std::move(atom);
-      levels_.push_back(std::move(level));
-    }
-    return;
+    order.resize(atoms.size());
+    for (size_t i = 0; i < atoms.size(); ++i) order[i] = i;
+  } else if (options_.plan_cache != nullptr && plan_key != kNoPlanKey) {
+    order = options_.plan_cache->Get(
+        plan_key, instance_, [&] { return ComputeOrder(atoms); }, &stats_);
+  } else {
+    order = ComputeOrder(atoms);
+    ++stats_.plans_built;
   }
-  // Greedy: repeatedly take the atom with the most bound positions (constants
-  // plus variables bound so far), tie-broken by smaller relation.
-  std::vector<bool> var_bound;
-  auto is_bound = [&](const Term& t) {
-    if (t.is_const()) return true;
-    if (static_cast<size_t>(t.var()) < binding_->size() &&
-        binding_->IsBound(t.var())) {
-      return true;
+  for (size_t i : order) {
+    Level level;
+    level.atom = std::move(atoms[i]);
+    levels_.push_back(std::move(level));
+  }
+}
+
+std::vector<size_t> MatchIterator::ComputeOrder(
+    const std::vector<Atom>& atoms) const {
+  // Track which variables are available when an atom is considered: those
+  // bound in the initial binding plus those produced by atoms already
+  // ordered. Which *variables* the caller binds is part of the plan-cache
+  // key contract; their values are never consulted.
+  std::vector<bool> var_bound(binding_->size(), false);
+  for (size_t v = 0; v < binding_->size(); ++v) {
+    var_bound[v] = binding_->IsBound(static_cast<VarId>(v));
+  }
+  auto bound_positions = [&](const Atom& atom) {
+    size_t bound = 0;
+    for (const Term& t : atom.terms) {
+      if (t.is_const() || var_bound[t.var()]) ++bound;
     }
-    return static_cast<size_t>(t.var()) < var_bound.size() &&
-           var_bound[t.var()];
+    return bound;
   };
+  const bool selectivity = options_.use_indexes &&
+                           options_.planner == PlannerMode::kSelectivity;
+  std::vector<size_t> order;
+  order.reserve(atoms.size());
   std::vector<bool> used(atoms.size(), false);
   for (size_t picked = 0; picked < atoms.size(); ++picked) {
     int best = -1;
+    double best_est = std::numeric_limits<double>::infinity();
     size_t best_bound = 0;
     size_t best_card = 0;
     for (size_t i = 0; i < atoms.size(); ++i) {
       if (used[i]) continue;
-      size_t bound = 0;
-      for (const Term& t : atoms[i].terms) {
-        if (is_bound(t)) ++bound;
-      }
+      size_t bound = bound_positions(atoms[i]);
       size_t card = instance_.NumTuples(atoms[i].relation);
-      if (best < 0 || bound > best_bound ||
-          (bound == best_bound && card < best_card)) {
-        best = static_cast<int>(i);
-        best_bound = bound;
-        best_card = card;
+      if (selectivity) {
+        // Cheapest estimated output first; ties fall back to the
+        // bound-count criteria, then to the original atom position.
+        double est = EstimateCardinality(atoms[i], var_bound);
+        if (best < 0 || est < best_est ||
+            (est == best_est &&
+             (bound > best_bound ||
+              (bound == best_bound && card < best_card)))) {
+          best = static_cast<int>(i);
+          best_est = est;
+          best_bound = bound;
+          best_card = card;
+        }
+      } else {
+        if (best < 0 || bound > best_bound ||
+            (bound == best_bound && card < best_card)) {
+          best = static_cast<int>(i);
+          best_bound = bound;
+          best_card = card;
+        }
       }
     }
     used[best] = true;
     for (const Term& t : atoms[best].terms) {
-      if (t.is_var()) {
-        if (static_cast<size_t>(t.var()) >= var_bound.size()) {
-          var_bound.resize(t.var() + 1, false);
-        }
-        var_bound[t.var()] = true;
-      }
+      if (t.is_var()) var_bound[t.var()] = true;
     }
-    Level level;
-    level.atom = std::move(atoms[best]);
-    levels_.push_back(std::move(level));
+    order.push_back(static_cast<size_t>(best));
   }
+  return order;
+}
+
+double MatchIterator::EstimateCardinality(
+    const Atom& atom, const std::vector<bool>& var_bound) const {
+  const double n = static_cast<double>(instance_.NumTuples(atom.relation));
+  if (n == 0) return 0.0;
+  double est = n;
+  for (size_t col = 0; col < atom.terms.size(); ++col) {
+    const Term& t = atom.terms[col];
+    if (t.is_const()) {
+      // Exact: the posting list for this constant is what a probe would scan.
+      est *= static_cast<double>(instance_.PostingListSize(
+                 atom.relation, static_cast<int>(col), t.value())) /
+             n;
+    } else if (var_bound[t.var()]) {
+      // The value is unknown at plan time (and must stay unconsulted for
+      // cache-key validity); assume uniform: n / distinct rows match.
+      size_t distinct =
+          instance_.NumDistinct(atom.relation, static_cast<int>(col));
+      if (distinct > 0) est *= 1.0 / static_cast<double>(distinct);
+    }
+  }
+  return est;
 }
 
 void MatchIterator::EnterLevel(size_t depth) {
@@ -85,22 +145,31 @@ void MatchIterator::EnterLevel(size_t depth) {
   level.bound_here.clear();
   level.entered = true;
   level.index_rows = nullptr;
+  ++stats_.levels_entered;
   if (!options_.use_indexes) return;
-  // Probe on the first bound position, if any.
+  const bool pick_smallest = options_.planner == PlannerMode::kSelectivity;
+  // Probe bound positions: the seed behavior takes the first one; the
+  // selectivity engine probes them all and scans the shortest posting list.
+  // Posting lists are ascending by row id, so the choice changes how many
+  // candidate rows get scanned but not the order matches are produced in.
   for (size_t col = 0; col < level.atom.terms.size(); ++col) {
     const Term& t = level.atom.terms[col];
+    const Value* v = nullptr;
     if (t.is_const()) {
-      level.index_rows =
-          &instance_.Probe(level.atom.relation, static_cast<int>(col),
-                           t.value());
-      return;
+      v = &t.value();
+    } else if (binding_->IsBound(t.var())) {
+      v = &binding_->Get(t.var());
+    } else {
+      continue;
     }
-    if (binding_->IsBound(t.var())) {
-      level.index_rows =
-          &instance_.Probe(level.atom.relation, static_cast<int>(col),
-                           binding_->Get(t.var()));
-      return;
+    const std::vector<int32_t>& rows =
+        instance_.Probe(level.atom.relation, static_cast<int>(col), *v);
+    ++stats_.index_probes;
+    if (level.index_rows == nullptr ||
+        rows.size() < level.index_rows->size()) {
+      level.index_rows = &rows;
     }
+    if (!pick_smallest || level.index_rows->empty()) return;
   }
 }
 
@@ -165,7 +234,7 @@ bool MatchIterator::Next() {
         if (level.cursor >= n) break;
         row = static_cast<int32_t>(level.cursor++);
       }
-      ++tuples_scanned_;
+      ++stats_.tuples_scanned;
       if (TryRow(level, row)) {
         found = true;
         break;
@@ -188,19 +257,24 @@ bool MatchIterator::Next() {
 
 std::vector<Binding> EvaluateAll(const Instance& instance,
                                  const std::vector<Atom>& atoms,
-                                 const Binding& initial, EvalOptions options) {
+                                 const Binding& initial, EvalOptions options,
+                                 EvalStats* stats) {
   std::vector<Binding> results;
   Binding binding = initial;
   MatchIterator it(instance, atoms, &binding, options);
   while (it.Next()) results.push_back(binding);
+  if (stats != nullptr) *stats += it.stats();
   return results;
 }
 
 bool HasMatch(const Instance& instance, const std::vector<Atom>& atoms,
-              const Binding& initial, EvalOptions options) {
+              const Binding& initial, EvalOptions options, EvalStats* stats,
+              uint64_t plan_key) {
   Binding binding = initial;
-  MatchIterator it(instance, atoms, &binding, options);
-  return it.Next();
+  MatchIterator it(instance, atoms, &binding, options, plan_key);
+  bool found = it.Next();
+  if (stats != nullptr) *stats += it.stats();
+  return found;
 }
 
 }  // namespace spider

@@ -5,20 +5,46 @@
 #include <vector>
 
 #include "query/binding.h"
+#include "query/eval_stats.h"
 #include "query/term.h"
 #include "storage/instance.h"
 
 namespace spider {
+
+class PlanCache;
+
+/// Join-planning strategy for MatchIterator when reordering is enabled.
+enum class PlannerMode {
+  /// The seed planner: greedily take the atom with the most bound positions,
+  /// tie-broken by smaller relation, and probe the first bound column.
+  kBoundCount,
+  /// Cost-based: estimate per-atom output cardinality from actual index
+  /// posting-list statistics (exact posting lengths for constants, relation
+  /// size over distinct-count for bound variables), take the cheapest atom
+  /// next, and probe the bound column with the smallest posting list.
+  kSelectivity,
+};
 
 /// Evaluation knobs. The defaults model the paper's relational setting (DB2:
 /// index-backed, join-reordering, cursor-based fetching). Turning
 /// `reorder_atoms` off models the paper's XML setting, where the free Saxon
 /// XSLT engine "does not perform join reordering and simply implements all
 /// for-each clauses as nested loops". Both knobs are exercised by the
-/// ablation benches.
+/// ablation benches; the planner modes by bench_planner.
 struct EvalOptions {
   bool use_indexes = true;
   bool reorder_atoms = true;
+
+  /// Which planner orders the atoms when `reorder_atoms` is set. With
+  /// `use_indexes` off there are no posting-list statistics (and consulting
+  /// them would lazily build indexes the "no index" engine model forbids),
+  /// so kSelectivity degrades to the bound-count heuristic.
+  PlannerMode planner = PlannerMode::kSelectivity;
+
+  /// Optional cross-iterator plan memo (owned by the driver — chase, route
+  /// forest, one-route). Only engaged for MatchIterators constructed with a
+  /// non-zero plan key; see PlanCache for the key contract.
+  PlanCache* plan_cache = nullptr;
 };
 
 /// Pull-based evaluator for a conjunction of atoms over a single Instance,
@@ -33,11 +59,26 @@ struct EvalOptions {
 /// After a successful Next() the binding holds a total match of the atoms'
 /// variables (variables not mentioned in the atoms keep their prior state);
 /// when Next() returns false the binding is restored to its initial state.
-/// The instance must not be mutated while iteration is in progress.
+/// Every variable mentioned by the atoms must fit the binding — ids out of
+/// range fail a SPIDER_CHECK at construction. The instance must not be
+/// mutated while iteration is in progress.
+///
+/// Match enumeration order depends on the atom order the planner picks (and
+/// is deterministic for fixed options), but not on which bound column a
+/// level probes: posting lists and scans both visit rows in ascending row
+/// order, so the per-level match sequence is probe-invariant. The binding
+/// multiset is identical across all option combinations.
 class MatchIterator {
  public:
+  /// No plan-cache participation (the default for ad-hoc queries).
+  static constexpr uint64_t kNoPlanKey = 0;
+
+  /// `plan_key` identifies this (atom list, bound-variable signature) shape
+  /// in `options.plan_cache`; pass kNoPlanKey (or leave the cache null) to
+  /// plan privately.
   MatchIterator(const Instance& instance, std::vector<Atom> atoms,
-                Binding* binding, EvalOptions options = {});
+                Binding* binding, EvalOptions options = {},
+                uint64_t plan_key = kNoPlanKey);
 
   MatchIterator(const MatchIterator&) = delete;
   MatchIterator& operator=(const MatchIterator&) = delete;
@@ -46,7 +87,10 @@ class MatchIterator {
   bool Next();
 
   /// Number of candidate tuples inspected so far (for tests/benchmarks).
-  uint64_t tuples_scanned() const { return tuples_scanned_; }
+  uint64_t tuples_scanned() const { return stats_.tuples_scanned; }
+
+  /// All evaluator counters accumulated by this iterator.
+  const EvalStats& stats() const { return stats_; }
 
  private:
   struct Level {
@@ -58,9 +102,18 @@ class MatchIterator {
     bool entered = false;
   };
 
-  /// Orders atoms greedily: most-bound atom first (given variables bound so
-  /// far), tie-broken by smaller relation cardinality.
-  void PlanOrder(std::vector<Atom> atoms);
+  /// Orders the atoms (via the cache when engaged) and builds the levels.
+  void PlanOrder(std::vector<Atom> atoms, uint64_t plan_key);
+
+  /// Computes the evaluation order as a permutation of atom indexes.
+  /// Value-independent: consults only per-column statistics and constants,
+  /// never the values currently bound (see PlanCache for why).
+  std::vector<size_t> ComputeOrder(const std::vector<Atom>& atoms) const;
+
+  /// Estimated output cardinality of `atom` given the bound-variable set
+  /// (kSelectivity only; requires use_indexes).
+  double EstimateCardinality(const Atom& atom,
+                             const std::vector<bool>& var_bound) const;
 
   void EnterLevel(size_t depth);
   bool TryRow(Level& level, int32_t row);
@@ -70,23 +123,25 @@ class MatchIterator {
   Binding* binding_;
   EvalOptions options_;
   std::vector<Level> levels_;
-  // Current depth in the backtracking search; -1 before start.
-  int64_t depth_ = 0;
   bool started_ = false;
   bool done_ = false;
-  uint64_t tuples_scanned_ = 0;
+  EvalStats stats_;
 };
 
 /// Convenience: materializes all matches (used for eager "XML mode" and in
 /// tests). Each returned Binding is the state after a successful Next().
+/// When `stats` is non-null the iterator's counters are added to it.
 std::vector<Binding> EvaluateAll(const Instance& instance,
                                  const std::vector<Atom>& atoms,
                                  const Binding& initial,
-                                 EvalOptions options = {});
+                                 EvalOptions options = {},
+                                 EvalStats* stats = nullptr);
 
 /// True when the atoms have at least one match.
 bool HasMatch(const Instance& instance, const std::vector<Atom>& atoms,
-              const Binding& initial, EvalOptions options = {});
+              const Binding& initial, EvalOptions options = {},
+              EvalStats* stats = nullptr,
+              uint64_t plan_key = MatchIterator::kNoPlanKey);
 
 }  // namespace spider
 

@@ -1,0 +1,28 @@
+#include "query/plan_cache.h"
+
+#include "storage/instance.h"
+
+namespace spider {
+
+std::vector<size_t> PlanCache::Get(
+    uint64_t key, const Instance& instance,
+    const std::function<std::vector<size_t>()>& plan, EvalStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[key];
+  if (entry.instance == &instance && entry.version == instance.version()) {
+    if (stats != nullptr) ++stats->plan_cache_hits;
+    return entry.order;
+  }
+  entry.instance = &instance;
+  entry.version = instance.version();
+  entry.order = plan();
+  if (stats != nullptr) ++stats->plans_built;
+  return entry.order;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace spider

@@ -1,0 +1,86 @@
+#ifndef SPIDER_QUERY_PLAN_CACHE_H_
+#define SPIDER_QUERY_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "query/eval_stats.h"
+
+namespace spider {
+
+class Instance;
+
+/// Disjoint key families for plan-cache keys. Each caller that shares a
+/// PlanCache picks keys from its own family so two query shapes never
+/// collide: findHom's LHS/RHS selections (per tgd and probed-atom index),
+/// the chase's trigger enumeration and RHS containment check (per tgd), and
+/// the egd chase's LHS enumeration (per egd).
+enum class PlanKeyFamily : uint64_t {
+  kFindHomLhs = 1,
+  kFindHomRhs = 2,
+  kChaseTrigger = 3,
+  kChaseRhsCheck = 4,
+  kChaseEgd = 5,
+};
+
+/// Packs (family, dependency id, atom index) into a nonzero cache key.
+/// `dep` is a TgdId/EgdId (families keep the two id spaces apart), `atom`
+/// the probed RHS atom index for findHom keys (it determines the set of
+/// initially-bound variables, which the plan depends on).
+constexpr uint64_t MakePlanKey(PlanKeyFamily family, uint64_t dep,
+                               uint64_t atom = 0) {
+  return ((dep + 1) << 24) | ((atom & 0xffff) << 8) |
+         static_cast<uint64_t>(family);
+}
+
+/// Memoizes join orders across MatchIterator instantiations. findHom plans
+/// the same premise once per (dependency, RHS atom) — every later probe of
+/// the same shape reuses the order instead of re-planning, which matters
+/// because ComputeOneRoute/ComputeAllRoutes issue one findHom call per fact.
+///
+/// Keys are caller-chosen 64-bit ids that must encode everything the plan
+/// depends on besides the instance: the atom list and the bound-variable
+/// signature (for findHom: tgd id, side, and RHS atom index — the set of
+/// v1-bound variables is a function of those). Entries additionally record
+/// the instance pointer and its version, so a plan computed against a target
+/// that has since been chased further is transparently re-planned. Plans must
+/// be value-independent (the selectivity planner only consults per-column
+/// statistics and constants, never the values currently bound), so a cached
+/// order is correct — and deterministic — for every probe sharing the key.
+///
+/// Thread-safe: route-forest waves share one cache across exec workers.
+/// Planning happens under the lock, so each (key, instance, version) is
+/// planned exactly once regardless of scheduling — keeping plans_built /
+/// plan_cache_hits totals byte-identical at every thread count.
+class PlanCache {
+ public:
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached atom order for `key` against `instance`, planning
+  /// via `plan` (and storing the result) on miss or version mismatch.
+  /// Charges plans_built or plan_cache_hits to `stats` when non-null.
+  std::vector<size_t> Get(uint64_t key, const Instance& instance,
+                          const std::function<std::vector<size_t>()>& plan,
+                          EvalStats* stats);
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    const Instance* instance = nullptr;
+    uint64_t version = 0;
+    std::vector<size_t> order;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_QUERY_PLAN_CACHE_H_

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "base/value.h"
 #include "catalog/schema.h"
 
@@ -18,7 +19,12 @@ using VarId = int32_t;
 /// One position of an atom: either a variable or a constant.
 class Term {
  public:
-  static Term Var(VarId v) { return Term(v, Value()); }
+  static Term Var(VarId v) {
+    // A negative id would masquerade as a constant (is_var() keys on the
+    // sign) and later index Binding slots out of range; reject it here.
+    SPIDER_CHECK(v >= 0, "variable ids must be non-negative");
+    return Term(v, Value());
+  }
   static Term Const(Value v) { return Term(-1, std::move(v)); }
 
   bool is_var() const { return var_ >= 0; }

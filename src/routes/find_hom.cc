@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "base/status.h"
+#include "query/plan_cache.h"
 
 namespace spider {
 
@@ -31,6 +32,13 @@ FindHomIterator::FindHomIterator(const SchemaMapping& mapping,
     Binding h;
     while (NextLazy(&h)) eager_results_.push_back(h);
   }
+}
+
+RouteStats FindHomIterator::stats() const {
+  RouteStats snapshot = stats_;
+  if (lhs_iter_ != nullptr) snapshot.eval += lhs_iter_->stats();
+  if (rhs_iter_ != nullptr) snapshot.eval += rhs_iter_->stats();
+  return snapshot;
 }
 
 bool FindHomIterator::Next(Binding* h) {
@@ -100,22 +108,28 @@ bool FindHomIterator::NextLazy(Binding* h) {
         *h = binding_;
         return true;
       }
+      stats_.eval += rhs_iter_->stats();
       rhs_iter_.reset();
     }
     if (lhs_iter_ != nullptr) {
       if (lhs_iter_->Next()) {
-        rhs_iter_ = std::make_unique<MatchIterator>(target_, tgd_.rhs(),
-                                                    &binding_, options_.eval);
+        rhs_iter_ = std::make_unique<MatchIterator>(
+            target_, tgd_.rhs(), &binding_, options_.eval,
+            MakePlanKey(PlanKeyFamily::kFindHomRhs,
+                        static_cast<uint64_t>(tgd_id_), atom_index_));
         continue;
       }
+      stats_.eval += lhs_iter_->stats();
       lhs_iter_.reset();
       UnbindV1();
       ++atom_index_;
     }
     while (atom_index_ < tgd_.rhs().size() && !UnifyAtom()) ++atom_index_;
     if (atom_index_ >= tgd_.rhs().size()) return false;
-    lhs_iter_ = std::make_unique<MatchIterator>(lhs_instance, tgd_.lhs(),
-                                                &binding_, options_.eval);
+    lhs_iter_ = std::make_unique<MatchIterator>(
+        lhs_instance, tgd_.lhs(), &binding_, options_.eval,
+        MakePlanKey(PlanKeyFamily::kFindHomLhs,
+                    static_cast<uint64_t>(tgd_id_), atom_index_));
   }
 }
 

@@ -48,13 +48,15 @@ class FindHomIterator {
   /// the materialized count regardless of how many were consumed.
   uint64_t assignments_enumerated() const { return assignments_enumerated_; }
 
-  /// Counters accumulated by this iterator: findhom_calls is 1, and
+  /// Counters accumulated by this iterator: findhom_calls is 1,
   /// findhom_successes counts assignments enumerated internally (in eager
-  /// mode the full enumeration is charged at construction). The iterator
+  /// mode the full enumeration is charged at construction), and `eval` folds
+  /// in the evaluator counters of the v2/v3 MatchIterators — including the
+  /// ones still live, so the snapshot is complete at any point. The iterator
   /// owns its stats — there is no shared pointer to write through, so
   /// iterators on different exec workers never contend; callers merge with
   /// `total += it.stats()` when done.
-  const RouteStats& stats() const { return stats_; }
+  RouteStats stats() const;
 
  private:
   bool NextLazy(Binding* h);

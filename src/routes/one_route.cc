@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "base/status.h"
+#include "query/plan_cache.h"
 #include "routes/fact_util.h"
 #include "routes/find_hom.h"
 
@@ -33,7 +34,14 @@ class OneRouteComputation {
       : mapping_(mapping),
         source_(source),
         target_(target),
-        options_(options) {}
+        options_(options) {
+    // The DFS probes the same tgds over and over (one findHom per fact per
+    // tgd); share one plan memo across all of them unless the caller
+    // brought their own.
+    if (options_.eval.plan_cache == nullptr) {
+      options_.eval.plan_cache = &plan_cache_;
+    }
+  }
 
   OneRouteResult Run(const std::vector<FactRef>& js) {
     FindRoute(js);
@@ -161,6 +169,7 @@ class OneRouteComputation {
   const SchemaMapping& mapping_;
   const Instance& source_;
   const Instance& target_;
+  PlanCache plan_cache_;
   RouteOptions options_;
   std::unordered_set<FactRef, FactRefHash> active_;
   std::unordered_set<FactRef, FactRefHash> proven_;

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "exec/exec_options.h"
+#include "query/eval_stats.h"
 #include "query/evaluator.h"
 
 namespace spider {
@@ -46,12 +47,20 @@ struct RouteStats {
   uint64_t nodes_expanded = 0;      ///< Route forest nodes expanded.
   uint64_t branches_added = 0;      ///< Route forest branches added.
 
+  /// Evaluator counters for the conjunctive queries findHom issued. These
+  /// are deterministic for a fixed scenario and options at every thread
+  /// count: plans are value-independent, posting lists enumerate rows in
+  /// ascending order regardless of the probe column, and the shared plan
+  /// cache builds each plan exactly once under its lock.
+  EvalStats eval;
+
   RouteStats& operator+=(const RouteStats& other) {
     findhom_calls += other.findhom_calls;
     findhom_successes += other.findhom_successes;
     infer_fires += other.infer_fires;
     nodes_expanded += other.nodes_expanded;
     branches_added += other.branches_added;
+    eval += other.eval;
     return *this;
   }
 
@@ -60,7 +69,7 @@ struct RouteStats {
            a.findhom_successes == b.findhom_successes &&
            a.infer_fires == b.infer_fires &&
            a.nodes_expanded == b.nodes_expanded &&
-           a.branches_added == b.branches_added;
+           a.branches_added == b.branches_added && a.eval == b.eval;
   }
 };
 

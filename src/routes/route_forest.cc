@@ -21,6 +21,10 @@ RouteForest::RouteForest(const SchemaMapping& mapping, const Instance& source,
       target_(&target),
       roots_(std::move(roots)),
       options_(options) {
+  if (options_.eval.plan_cache == nullptr) {
+    owned_plan_cache_ = std::make_unique<PlanCache>();
+    options_.eval.plan_cache = owned_plan_cache_.get();
+  }
   for (const FactRef& f : roots_) {
     SPIDER_CHECK(f.side == Side::kTarget,
                  "route forests are rooted at target facts");

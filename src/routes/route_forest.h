@@ -2,12 +2,14 @@
 #define SPIDER_ROUTES_ROUTE_FOREST_H_
 
 #include <deque>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/tuple.h"
 #include "mapping/schema_mapping.h"
+#include "query/plan_cache.h"
 #include "routes/options.h"
 #include "routes/route.h"
 #include "storage/instance.h"
@@ -107,6 +109,11 @@ class RouteForest {
   const Instance* target_;
   std::vector<FactRef> roots_;
   RouteOptions options_;
+  /// Plan memo shared by every findHom this forest issues (across nodes,
+  /// waves, and exec workers). Owned here unless the caller supplied one
+  /// through RouteOptions::eval.plan_cache; the heap slot keeps the pointer
+  /// in options_ stable across moves of the forest.
+  std::unique_ptr<PlanCache> owned_plan_cache_;
   std::deque<Node> nodes_;
   std::unordered_map<FactRef, size_t, FactRefHash> node_of_;
   RouteStats stats_;

@@ -50,6 +50,7 @@ InsertResult Instance::Insert(RelationId rel, Tuple tuple) {
   }
   data.dedup[hash].push_back(row);
   data.rows.push_back(std::move(tuple));
+  ++version_;
   return {row, true};
 }
 
@@ -100,6 +101,11 @@ const std::vector<int32_t>& Instance::Probe(RelationId rel, int col,
   return it == index.end() ? kEmptyRows : it->second;
 }
 
+size_t Instance::NumDistinct(RelationId rel, int col) const {
+  EnsureIndex(rel, col);
+  return relations_[rel].indexes[col].size();
+}
+
 bool Instance::ContainsNulls() const {
   for (const RelationData& data : relations_) {
     for (const Tuple& t : data.rows) {
@@ -112,6 +118,7 @@ bool Instance::ContainsNulls() const {
 size_t Instance::ApplySubstitution(NullId from, const Value& to) {
   const Value from_value = Value::Null(from.id);
   size_t rewritten = 0;
+  ++version_;
   for (RelationData& data : relations_) {
     bool touched = false;
     std::vector<Tuple> rows = std::move(data.rows);

@@ -60,6 +60,25 @@ class Instance {
   const std::vector<int32_t>& Probe(RelationId rel, int col,
                                     const Value& v) const;
 
+  /// Length of the posting list for (rel, col, v) — the exact number of rows
+  /// whose column `col` equals `v`. Like Probe, this builds only that one
+  /// column's index on first use; it never forces a full WarmIndexes pass,
+  /// so the planner can ask for one statistic without paying for the rest.
+  size_t PostingListSize(RelationId rel, int col, const Value& v) const {
+    return Probe(rel, col, v).size();
+  }
+
+  /// Number of distinct values in column `col` of `rel` (the column index's
+  /// bucket count; builds only that column's index on first use). The
+  /// selectivity planner uses NumTuples/NumDistinct as the expected posting
+  /// length for a column that will be bound to a yet-unknown value.
+  size_t NumDistinct(RelationId rel, int col) const;
+
+  /// Monotonic content version: bumped whenever a tuple is added or the egd
+  /// chase rewrites nulls. PlanCache entries record the version they were
+  /// planned against and re-plan when it moves.
+  uint64_t version() const { return version_; }
+
   /// Builds every per-column index now. Probe's lazy build mutates shared
   /// (mutable) state, so an instance that will be read from several exec
   /// workers concurrently must be warmed first; afterwards concurrent
@@ -96,6 +115,7 @@ class Instance {
 
   const Schema* schema_;
   std::vector<RelationData> relations_;
+  uint64_t version_ = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const Instance& instance);

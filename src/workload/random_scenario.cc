@@ -1,0 +1,213 @@
+#include "workload/random_scenario.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "workload/rng.h"
+
+namespace spider {
+
+namespace {
+
+/// Accumulates the variable table of one dependency under construction.
+class VarTable {
+ public:
+  VarId Fresh() {
+    VarId v = static_cast<VarId>(names_.size());
+    names_.push_back("x" + std::to_string(v));
+    return v;
+  }
+
+  std::vector<std::string>& names() { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+Schema RandomSchema(const std::string& prefix, int relations, int max_arity,
+                    Rng* rng) {
+  Schema schema(prefix);
+  for (int r = 0; r < relations; ++r) {
+    size_t arity = 1 + rng->Below(static_cast<uint64_t>(max_arity));
+    std::vector<std::string> attrs;
+    for (size_t a = 0; a < arity; ++a) {
+      attrs.push_back("a" + std::to_string(a));
+    }
+    schema.AddRelation(prefix + std::to_string(r), std::move(attrs));
+  }
+  return schema;
+}
+
+Value RandomConstant(const RandomScenarioOptions& options, Rng* rng) {
+  return Value::Int(
+      static_cast<int64_t>(rng->Below(static_cast<uint64_t>(options.fanout))));
+}
+
+/// Builds atoms over `rels`, drawing each position from `pool` (variables
+/// eligible for reuse), a fresh variable, or occasionally a constant. Fresh
+/// variables are appended to `pool` so later positions can join on them.
+std::vector<Atom> RandomAtoms(const Schema& schema,
+                              const std::vector<RelationId>& rels,
+                              std::vector<VarId>* pool, VarTable* vars,
+                              const RandomScenarioOptions& options, Rng* rng) {
+  std::vector<Atom> atoms;
+  for (RelationId rel : rels) {
+    Atom atom;
+    atom.relation = rel;
+    size_t arity = schema.relation(rel).arity();
+    for (size_t col = 0; col < arity; ++col) {
+      uint64_t roll = rng->Below(8);
+      if (roll == 0) {
+        atom.terms.push_back(Term::Const(RandomConstant(options, rng)));
+      } else if (roll <= 3 && !pool->empty()) {
+        atom.terms.push_back(
+            Term::Var((*pool)[rng->Below(pool->size())]));
+      } else {
+        VarId v = vars->Fresh();
+        pool->push_back(v);
+        atom.terms.push_back(Term::Var(v));
+      }
+    }
+    atoms.push_back(std::move(atom));
+  }
+  return atoms;
+}
+
+std::vector<RelationId> PickRelations(size_t count, RelationId lo,
+                                      RelationId hi, Rng* rng) {
+  std::vector<RelationId> rels;
+  for (size_t i = 0; i < count; ++i) {
+    rels.push_back(static_cast<RelationId>(
+        lo + static_cast<RelationId>(rng->Below(
+                 static_cast<uint64_t>(hi - lo)))));
+  }
+  return rels;
+}
+
+void AddRandomStTgd(SchemaMapping* mapping, int index,
+                    const RandomScenarioOptions& options, Rng* rng) {
+  VarTable vars;
+  std::vector<VarId> lhs_pool;
+  std::vector<RelationId> lhs_rels =
+      PickRelations(1 + rng->Below(2), 0,
+                    static_cast<RelationId>(mapping->source().size()), rng);
+  std::vector<Atom> lhs = RandomAtoms(mapping->source(), lhs_rels, &lhs_pool,
+                                      &vars, options, rng);
+  // RHS positions favor universal variables (so routes have source
+  // witnesses) but also introduce existentials, which become labeled nulls.
+  std::vector<VarId> rhs_pool = lhs_pool;
+  std::vector<RelationId> rhs_rels =
+      PickRelations(1 + rng->Below(2), 0,
+                    static_cast<RelationId>(mapping->target().size()), rng);
+  std::vector<Atom> rhs = RandomAtoms(mapping->target(), rhs_rels, &rhs_pool,
+                                      &vars, options, rng);
+  mapping->AddTgd(Tgd("rst" + std::to_string(index), std::move(vars.names()),
+                      std::move(lhs), std::move(rhs),
+                      /*source_to_target=*/true));
+}
+
+void AddRandomTargetTgd(SchemaMapping* mapping, int index,
+                        const RandomScenarioOptions& options, Rng* rng) {
+  // Stratify: LHS relations strictly below the pivot, RHS at or above it.
+  // Relation T_i is then only ever written by tgds reading strictly lower
+  // relations, so the target chase terminates by induction on i.
+  RelationId m = static_cast<RelationId>(mapping->target().size());
+  RelationId pivot = 1 + static_cast<RelationId>(
+                             rng->Below(static_cast<uint64_t>(m - 1)));
+  VarTable vars;
+  std::vector<VarId> lhs_pool;
+  std::vector<RelationId> lhs_rels =
+      PickRelations(1 + rng->Below(2), 0, pivot, rng);
+  std::vector<Atom> lhs = RandomAtoms(mapping->target(), lhs_rels, &lhs_pool,
+                                      &vars, options, rng);
+  std::vector<VarId> rhs_pool = lhs_pool;
+  std::vector<RelationId> rhs_rels = PickRelations(1, pivot, m, rng);
+  std::vector<Atom> rhs = RandomAtoms(mapping->target(), rhs_rels, &rhs_pool,
+                                      &vars, options, rng);
+  mapping->AddTgd(Tgd("rt" + std::to_string(index), std::move(vars.names()),
+                      std::move(lhs), std::move(rhs),
+                      /*source_to_target=*/false));
+}
+
+bool AddRandomEgd(SchemaMapping* mapping, int index, Rng* rng) {
+  // Key-style: R(x, y1, ...), R(x, z1, ...) -> y_c = z_c for a random
+  // relation of arity >= 2 and a random non-key column c.
+  std::vector<RelationId> candidates;
+  for (size_t r = 0; r < mapping->target().size(); ++r) {
+    if (mapping->target().relation(static_cast<RelationId>(r)).arity() >= 2) {
+      candidates.push_back(static_cast<RelationId>(r));
+    }
+  }
+  if (candidates.empty()) return false;
+  RelationId rel = candidates[rng->Below(candidates.size())];
+  size_t arity = mapping->target().relation(rel).arity();
+  VarTable vars;
+  VarId key = vars.Fresh();
+  Atom left_atom{rel, {Term::Var(key)}};
+  Atom right_atom{rel, {Term::Var(key)}};
+  VarId left_eq = -1;
+  VarId right_eq = -1;
+  size_t eq_col = 1 + rng->Below(arity - 1);
+  for (size_t col = 1; col < arity; ++col) {
+    VarId y = vars.Fresh();
+    VarId z = vars.Fresh();
+    left_atom.terms.push_back(Term::Var(y));
+    right_atom.terms.push_back(Term::Var(z));
+    if (col == eq_col) {
+      left_eq = y;
+      right_eq = z;
+    }
+  }
+  mapping->AddEgd(Egd("re" + std::to_string(index), std::move(vars.names()),
+                      {std::move(left_atom), std::move(right_atom)}, left_eq,
+                      right_eq));
+  return true;
+}
+
+}  // namespace
+
+Scenario BuildRandomScenario(const RandomScenarioOptions& options) {
+  SPIDER_CHECK(options.source_relations >= 1 && options.target_relations >= 1,
+               "random scenario needs at least one relation per schema");
+  SPIDER_CHECK(options.max_arity >= 1 && options.fanout >= 1,
+               "random scenario needs positive arity and fanout");
+  Rng rng(options.seed);
+  Schema source =
+      RandomSchema("S", options.source_relations, options.max_arity, &rng);
+  Schema target =
+      RandomSchema("T", options.target_relations, options.max_arity, &rng);
+
+  Scenario scenario;
+  scenario.mapping =
+      std::make_unique<SchemaMapping>(std::move(source), std::move(target));
+  for (int i = 0; i < options.st_tgds; ++i) {
+    AddRandomStTgd(scenario.mapping.get(), i, options, &rng);
+  }
+  if (options.target_relations >= 2) {
+    for (int i = 0; i < options.target_tgds; ++i) {
+      AddRandomTargetTgd(scenario.mapping.get(), i, options, &rng);
+    }
+  }
+  for (int i = 0; i < options.egds; ++i) {
+    if (!AddRandomEgd(scenario.mapping.get(), i, &rng)) break;
+  }
+
+  scenario.source = std::make_unique<Instance>(&scenario.mapping->source());
+  scenario.target = std::make_unique<Instance>(&scenario.mapping->target());
+  for (size_t r = 0; r < scenario.mapping->source().size(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    size_t arity = scenario.mapping->source().relation(rel).arity();
+    for (int row = 0; row < options.rows_per_relation; ++row) {
+      std::vector<Value> values;
+      for (size_t col = 0; col < arity; ++col) {
+        values.push_back(RandomConstant(options, &rng));
+      }
+      scenario.source->Insert(rel, Tuple(std::move(values)));
+    }
+  }
+  return scenario;
+}
+
+}  // namespace spider

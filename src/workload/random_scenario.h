@@ -1,0 +1,49 @@
+#ifndef SPIDER_WORKLOAD_RANDOM_SCENARIO_H_
+#define SPIDER_WORKLOAD_RANDOM_SCENARIO_H_
+
+#include <cstdint>
+
+#include "mapping/scenario.h"
+
+namespace spider {
+
+/// Knobs for BuildRandomScenario. The defaults produce a small but
+/// non-trivial setting: multi-atom premises, shared join variables,
+/// existential nulls, occasional constants, stratified target tgds, and
+/// key-style egds.
+struct RandomScenarioOptions {
+  uint64_t seed = 1;
+
+  int source_relations = 3;
+  int target_relations = 3;
+  /// Relation arities are drawn uniformly from [1, max_arity].
+  int max_arity = 3;
+
+  int st_tgds = 3;
+  /// Target tgds are stratified (every LHS relation index is strictly below
+  /// every RHS relation index), which guarantees chase termination; with
+  /// target_relations < 2 none can be generated.
+  int target_tgds = 2;
+  /// Key-style egds R(x, y..), R(x, z..) -> y_c = z_c over random target
+  /// relations of arity >= 2. Egds may fail the chase (equating two
+  /// distinct constants); callers that need a solution must check the
+  /// chase outcome.
+  int egds = 1;
+
+  int rows_per_relation = 12;
+  /// Size of the integer value domain per source column. Smaller domains
+  /// mean more duplicate join keys, i.e. higher join fan-out and more
+  /// chase triggers / routes per fact; larger domains approach key-like
+  /// columns.
+  int fanout = 4;
+};
+
+/// Generates a reproducible random data-exchange scenario: random source and
+/// target schemas, random s-t tgds, stratified target tgds, key-style egds,
+/// and a populated source instance (target left empty for the chase). The
+/// same options always produce the identical scenario.
+Scenario BuildRandomScenario(const RandomScenarioOptions& options);
+
+}  // namespace spider
+
+#endif  // SPIDER_WORKLOAD_RANDOM_SCENARIO_H_

@@ -1,0 +1,190 @@
+// Oracle property tests: the chase output must verify as a solution, be
+// homomorphically equivalent across every evaluator configuration and
+// thread count, and every route the algorithms produce must validate and
+// replay through the debugger's route player. Run on curated workload
+// scenarios plus a batch of random ones.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "chase/solution_check.h"
+#include "debugger/route_player.h"
+#include "mapping/scenario.h"
+#include "routes/one_route.h"
+#include "routes/route_forest.h"
+#include "testing/fixtures.h"
+#include "workload/random_scenario.h"
+#include "workload/relational_scenario.h"
+
+namespace spider {
+namespace {
+
+/// Chase variants that must all produce equivalent universal solutions.
+std::vector<ChaseOptions> ChaseVariants() {
+  std::vector<ChaseOptions> variants;
+  ChaseOptions base;
+  variants.push_back(base);
+
+  ChaseOptions no_indexes = base;
+  no_indexes.eval.use_indexes = false;
+  variants.push_back(no_indexes);
+
+  ChaseOptions no_reorder = base;
+  no_reorder.eval.reorder_atoms = false;
+  variants.push_back(no_reorder);
+
+  ChaseOptions bound_count = base;
+  bound_count.eval.planner = PlannerMode::kBoundCount;
+  variants.push_back(bound_count);
+
+  ChaseOptions threaded = base;
+  threaded.exec.num_threads = 4;
+  variants.push_back(threaded);
+  return variants;
+}
+
+/// A handful of probe facts: the first and last tuple of every nonempty
+/// target relation, capped to keep the route computations fast.
+std::vector<FactRef> ProbeFacts(const Instance& target, size_t cap = 6) {
+  std::vector<FactRef> facts;
+  for (size_t r = 0; r < target.NumRelations() && facts.size() < cap; ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    size_t n = target.NumTuples(rel);
+    if (n == 0) continue;
+    facts.push_back(FactRef{Side::kTarget, rel, 0});
+    if (n > 1 && facts.size() < cap) {
+      facts.push_back(
+          FactRef{Side::kTarget, rel, static_cast<int32_t>(n - 1)});
+    }
+  }
+  return facts;
+}
+
+void ReplayRoute(const Route& route, const Scenario& scenario,
+                 const Instance& target, const FactRef& fact,
+                 const std::string& what) {
+  RenderContext ctx{scenario.mapping.get(), scenario.source.get(), &target,
+                    &scenario.null_names};
+  RoutePlayer player(route, ctx, {});
+  size_t steps = 0;
+  while (player.Step()) ++steps;
+  EXPECT_EQ(route.size(), steps) << what << ": player stopped early";
+  EXPECT_TRUE(player.done()) << what;
+  bool produced = false;
+  for (const FactRef& f : player.produced()) {
+    if (f == fact) {
+      produced = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(produced) << what << ": replay never produced the probed fact";
+}
+
+void CheckScenario(Scenario scenario, const std::string& label) {
+  const SchemaMapping& mapping = *scenario.mapping;
+
+  // Chase oracle: every variant agrees on the outcome; successful outputs
+  // are solutions and are homomorphically equivalent (all universal).
+  std::vector<ChaseOptions> variants = ChaseVariants();
+  ChaseResult reference = Chase(mapping, *scenario.source, variants[0]);
+  for (size_t v = 1; v < variants.size(); ++v) {
+    ChaseResult other = Chase(mapping, *scenario.source, variants[v]);
+    ASSERT_EQ(static_cast<int>(reference.outcome),
+              static_cast<int>(other.outcome))
+        << label << ": chase variant " << v << " changed the outcome";
+    if (reference.outcome != ChaseOutcome::kSuccess) continue;
+    EXPECT_TRUE(HomomorphicallyEquivalent(*reference.target, *other.target))
+        << label << ": chase variant " << v
+        << " produced an inequivalent solution";
+  }
+  if (reference.outcome != ChaseOutcome::kSuccess) return;
+  const Instance& target = *reference.target;
+
+  std::string why;
+  EXPECT_TRUE(IsSolution(mapping, *scenario.source, target, &why))
+      << label << ": chase output is not a solution: " << why;
+
+  // Route oracles. Every chase-produced fact must have a route
+  // (Theorem 3.10: ComputeOneRoute finds one iff one exists; here the chase
+  // itself is a witness when no egd rewrote the instance).
+  std::vector<FactRef> facts = ProbeFacts(target);
+  const bool routes_guaranteed = mapping.NumEgds() == 0;
+  for (const FactRef& fact : facts) {
+    OneRouteResult one =
+        ComputeOneRoute(mapping, *scenario.source, target, {fact});
+    if (routes_guaranteed) {
+      EXPECT_TRUE(one.found)
+          << label << ": no route for a chase-produced fact";
+    }
+    if (!one.found) continue;
+    EXPECT_TRUE(one.route.Validate(mapping, *scenario.source, target, {fact},
+                                   &why))
+        << label << ": invalid route: " << why;
+    ReplayRoute(one.route, scenario, target, fact, label + "/one-route");
+  }
+
+  // The route forest agrees across thread counts, and the naive enumeration
+  // of the forest replays as well.
+  if (!facts.empty()) {
+    RouteOptions seq;
+    RouteForest forest =
+        ComputeAllRoutes(mapping, *scenario.source, target, facts, seq);
+    RouteOptions par;
+    par.exec.num_threads = 4;
+    RouteForest forest4 =
+        ComputeAllRoutes(mapping, *scenario.source, target, facts, par);
+    EXPECT_TRUE(forest.stats() == forest4.stats())
+        << label << ": forest stats differ across thread counts";
+    EXPECT_EQ(forest.ToString(), forest4.ToString())
+        << label << ": forest differs across thread counts";
+  }
+}
+
+TEST(OracleProperty, CreditCardScenario) {
+  CheckScenario(testing::CreditCardScenario(), "creditcard");
+}
+
+TEST(OracleProperty, Example35Scenario) {
+  CheckScenario(ParseScenario(testing::Example35Text(/*extended=*/true)),
+                "example35");
+}
+
+TEST(OracleProperty, TransitiveClosure) {
+  CheckScenario(ParseScenario(testing::TransitiveClosureText()), "tc");
+}
+
+TEST(OracleProperty, RelationalScenario) {
+  // Deliberately tiny: the homomorphism-equivalence oracle solves a
+  // conjunctive query with one atom per target tuple, which grows very
+  // costly past a few hundred tuples.
+  RelationalScenarioOptions options;
+  options.joins = 1;
+  options.groups = 2;
+  options.sizes.units = 8;
+  CheckScenario(BuildRelationalScenario(options), "relational");
+}
+
+TEST(OracleProperty, RandomScenarios) {
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    RandomScenarioOptions options;
+    options.seed = seed;
+    options.source_relations = 2 + static_cast<int>(seed % 3);
+    options.target_relations = 2 + static_cast<int>(seed % 3);
+    options.max_arity = 2 + static_cast<int>(seed % 2);
+    options.st_tgds = 2 + static_cast<int>(seed % 2);
+    options.target_tgds = 1 + static_cast<int>(seed % 2);
+    options.egds = static_cast<int>(seed % 3 == 0);
+    options.rows_per_relation = 5 + static_cast<int>(seed % 6);
+    options.fanout = 2 + static_cast<int>(seed % 4);
+    CheckScenario(BuildRandomScenario(options),
+                  "random-" + std::to_string(seed));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+}  // namespace
+}  // namespace spider
