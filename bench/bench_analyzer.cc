@@ -1,0 +1,89 @@
+// Analyzer runtime over the bundled workloads. Plain main() (no
+// google-benchmark harness): emits BENCH_analyzer.json (or argv[1]) with,
+// per scenario, the wall time of one full AnalyzeMapping run, the number of
+// frozen-LHS chases it executed, and the diagnostic count — the
+// "analyzer-runtime" row of EXPERIMENTS.md. Diagnostic counts are
+// deterministic; wall times are machine-dependent.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "testing/fixtures.h"
+#include "workload/random_scenario.h"
+#include "workload/real_scenarios.h"
+
+namespace spider::bench {
+namespace {
+
+struct Row {
+  std::string name;
+  size_t tgds = 0;
+  size_t egds = 0;
+  size_t diagnostics = 0;
+  size_t chases_run = 0;
+  double wall_ms = 0;
+};
+
+Row Measure(const std::string& name, const SchemaMapping& mapping) {
+  Row row;
+  row.name = name;
+  row.tgds = mapping.NumTgds();
+  row.egds = mapping.NumEgds();
+  auto start = std::chrono::steady_clock::now();
+  AnalysisReport report = AnalyzeMapping(mapping);
+  std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+  row.diagnostics = report.diagnostics.size();
+  row.chases_run = report.chases_run;
+  row.wall_ms = elapsed.count();
+  return row;
+}
+
+int Run(const std::string& out_path) {
+  std::vector<Row> rows;
+
+  Scenario credit = spider::testing::CreditCardScenario();
+  rows.push_back(Measure("credit_card", *credit.mapping));
+
+  RealScenarioOptions real;
+  real.units = 20;
+  Scenario dblp = BuildDblpScenario(real);
+  rows.push_back(Measure("dblp", *dblp.mapping));
+  Scenario mondial = BuildMondialScenario(real);
+  rows.push_back(Measure("mondial", *mondial.mapping));
+
+  RandomScenarioOptions random;
+  random.seed = 7;
+  random.st_tgds = 6;
+  random.target_tgds = 3;
+  random.egds = 2;
+  Scenario rnd = BuildRandomScenario(random);
+  rows.push_back(Measure("random_seed7", *rnd.mapping));
+
+  std::ofstream out(out_path);
+  out << "{\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"tgds\": " << r.tgds
+        << ", \"egds\": " << r.egds << ", \"diagnostics\": " << r.diagnostics
+        << ", \"chases_run\": " << r.chases_run
+        << ", \"wall_ms\": " << r.wall_ms << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+    std::cerr << r.name << ": " << r.diagnostics << " diagnostics, "
+              << r.chases_run << " chases, " << r.wall_ms << " ms\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace spider::bench
+
+int main(int argc, char** argv) {
+  return spider::bench::Run(argc > 1 ? argv[1] : "BENCH_analyzer.json");
+}

@@ -1,0 +1,89 @@
+// spider_lint — static semantic analysis of a scenario's schema mapping.
+//
+// Runs the spider::analysis passes (shape, coverage, termination,
+// subsumption, egd interaction) over the dependencies of a scenario file
+// and prints the diagnostics with source positions, compiler style:
+//
+//   $ ./spider_lint scenario.txt
+//   12:7: warning: [shape/dropped-variable] tgd 'm1': LHS variable 'loc'
+//   never reaches the RHS (source data dropped?)
+//       hint: map 'loc' to a target attribute, ...
+//
+// Options:
+//   --json          emit a JSON array instead of text
+//   --fast          structural passes only (no frozen-LHS chases)
+//   --max-steps N   step budget per frozen-LHS chase (default 100000)
+//   -               read the scenario from stdin
+//
+// Exit status: 0 = no findings, 1 = findings, 2 = usage or parse error.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "base/status.h"
+#include "mapping/parser.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: spider_lint [--json] [--fast] [--max-steps N] "
+               "scenario.txt|-\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  spider::AnalysisOptions options;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fast") {
+      options.termination = true;
+      options.subsumption = false;
+      options.egd_interaction = false;
+    } else if (arg == "--max-steps") {
+      if (++i == argc) return Usage();
+      options.chase_max_steps = std::strtoull(argv[i], nullptr, 10);
+    } else if (!path.empty()) {
+      return Usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return Usage();
+
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "spider_lint: cannot open " << path << '\n';
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  try {
+    spider::Scenario scenario = spider::ParseScenario(text);
+    spider::AnalysisReport report =
+        spider::AnalyzeMapping(*scenario.mapping, options);
+    std::cout << (json ? spider::DiagnosticsToJson(report.diagnostics)
+                       : spider::RenderDiagnostics(report.diagnostics));
+    return report.diagnostics.empty() ? 0 : 1;
+  } catch (const spider::SpiderError& e) {
+    std::cerr << "spider_lint: " << e.what() << '\n';
+    return 2;
+  }
+}

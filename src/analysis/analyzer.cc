@@ -1,0 +1,437 @@
+#include "analysis/analyzer.h"
+
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "analysis/position_flow.h"
+#include "analysis/subsumption.h"
+#include "chase/weak_acyclicity.h"
+#include "query/evaluator.h"
+
+namespace spider {
+
+std::vector<Diagnostic> AnalysisReport::Matching(const std::string& pass,
+                                                 const std::string& code) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics) {
+    if (!pass.empty() && d.pass != pass) continue;
+    if (!code.empty() && d.code != code) continue;
+    out.push_back(d);
+  }
+  return out;
+}
+
+namespace {
+
+/// Union-find over variable ids, for LHS connectivity.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+Diagnostic Make(Severity severity, std::string pass, std::string code,
+                std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.pass = std::move(pass);
+  d.code = std::move(code);
+  d.message = std::move(message);
+  return d;
+}
+
+/// Span of the first LHS atom of `tgd` that binds variable `v`.
+SourceSpan FirstLhsSpanOf(const Tgd& tgd, VarId v) {
+  for (size_t a = 0; a < tgd.lhs().size(); ++a) {
+    for (const Term& t : tgd.lhs()[a].terms) {
+      if (t.is_var() && t.var() == v) return tgd.LhsAtomSpan(a);
+    }
+  }
+  return tgd.span();
+}
+
+// ---------------------------------------------------------------------------
+// Shape pass — the seed linter's per-dependency and per-relation checks,
+// message-for-message, now with spans and hints.
+// ---------------------------------------------------------------------------
+
+void ShapeTgd(const SchemaMapping& mapping, TgdId id,
+              std::vector<Diagnostic>* out) {
+  const Tgd& tgd = mapping.tgd(id);
+
+  // disconnected-lhs: atoms joined through shared variables must form one
+  // connected component (single-atom LHS is trivially connected).
+  if (tgd.lhs().size() > 1) {
+    UnionFind uf(tgd.num_vars() + tgd.lhs().size());
+    for (size_t a = 0; a < tgd.lhs().size(); ++a) {
+      int atom_node = static_cast<int>(tgd.num_vars() + a);
+      for (const Term& t : tgd.lhs()[a].terms) {
+        if (t.is_var()) uf.Union(atom_node, t.var());
+      }
+    }
+    int root = uf.Find(static_cast<int>(tgd.num_vars()));
+    bool connected = true;
+    for (size_t a = 1; a < tgd.lhs().size(); ++a) {
+      if (uf.Find(static_cast<int>(tgd.num_vars() + a)) != root) {
+        connected = false;
+        break;
+      }
+    }
+    if (!connected) {
+      Diagnostic d = Make(
+          Severity::kWarning, "shape", "disconnected-lhs",
+          "tgd '" + tgd.name() +
+              "': LHS atoms share no variables (cartesian product — is a "
+              "join condition missing?)");
+      d.tgd = id;
+      d.span = tgd.span();
+      d.hint = "add a variable shared by the LHS atoms to join them";
+      out->push_back(std::move(d));
+    }
+  }
+
+  // dropped-variable / repeated-variable.
+  std::vector<bool> in_rhs(tgd.num_vars(), false);
+  for (size_t a = 0; a < tgd.rhs().size(); ++a) {
+    const Atom& atom = tgd.rhs()[a];
+    std::unordered_set<VarId> seen_in_atom;
+    for (const Term& t : atom.terms) {
+      if (!t.is_var()) continue;
+      in_rhs[t.var()] = true;
+      if (tgd.IsUniversal(t.var()) && !seen_in_atom.insert(t.var()).second) {
+        Diagnostic d = Make(
+            Severity::kWarning, "shape", "repeated-variable",
+            "tgd '" + tgd.name() + "': variable '" +
+                tgd.var_names()[t.var()] + "' occurs twice in " +
+                mapping.target().relation(atom.relation).name() +
+                " (copying one source value into two target attributes?)");
+        d.tgd = id;
+        d.span = tgd.RhsAtomSpan(a);
+        d.hint = "use a distinct source variable for one of the occurrences";
+        out->push_back(std::move(d));
+      }
+    }
+  }
+  for (VarId v : tgd.UniversalVars()) {
+    if (in_rhs[v]) continue;
+    Diagnostic d = Make(Severity::kWarning, "shape", "dropped-variable",
+                        "tgd '" + tgd.name() + "': LHS variable '" +
+                            tgd.var_names()[v] +
+                            "' never reaches the RHS (source data dropped?)");
+    d.tgd = id;
+    d.span = FirstLhsSpanOf(tgd, v);
+    d.hint =
+        "map '" + tgd.var_names()[v] + "' to a target attribute, or rename "
+        "it if the projection is intended";
+    out->push_back(std::move(d));
+  }
+}
+
+void ShapePass(const SchemaMapping& mapping, const PositionFlow& flow,
+               std::vector<Diagnostic>* out) {
+  for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+    ShapeTgd(mapping, id, out);
+  }
+
+  std::vector<bool> source_used(mapping.source().size(), false);
+  for (TgdId id : mapping.st_tgds()) {
+    for (const Atom& atom : mapping.tgd(id).lhs()) {
+      source_used[atom.relation] = true;
+    }
+  }
+  for (RelationId r = 0; r < static_cast<RelationId>(mapping.source().size());
+       ++r) {
+    if (source_used[r]) continue;
+    out->push_back(Make(Severity::kWarning, "shape", "unused-source-relation",
+                        "source relation '" +
+                            mapping.source().relation(r).name() +
+                            "' is not read by any s-t tgd (data never "
+                            "migrated)"));
+  }
+  for (RelationId r = 0; r < static_cast<RelationId>(mapping.target().size());
+       ++r) {
+    const RelationDef& rel = mapping.target().relation(r);
+    bool written = false;
+    for (size_t c = 0; c < rel.arity() && !written; ++c) {
+      written = flow.target_written[flow.target.Id(r, static_cast<int>(c))];
+    }
+    if (written || rel.arity() == 0) continue;
+    out->push_back(Make(Severity::kWarning, "shape",
+                        "unpopulated-target-relation",
+                        "target relation '" + rel.name() +
+                            "' is not written by any tgd (always empty)"));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Coverage pass — transitive position flow.
+// ---------------------------------------------------------------------------
+
+/// First (tgd, atom span) writing target position (rel, col), by TgdId.
+std::pair<TgdId, SourceSpan> FirstWriter(const SchemaMapping& mapping,
+                                         RelationId rel, int col) {
+  for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+    const Tgd& tgd = mapping.tgd(id);
+    for (size_t a = 0; a < tgd.rhs().size(); ++a) {
+      if (tgd.rhs()[a].relation == rel) return {id, tgd.RhsAtomSpan(a)};
+    }
+  }
+  return {-1, SourceSpan{}};
+}
+
+/// First (s-t tgd, atom span) reading source relation `rel`, by TgdId.
+std::pair<TgdId, SourceSpan> FirstReader(const SchemaMapping& mapping,
+                                         RelationId rel) {
+  for (TgdId id : mapping.st_tgds()) {
+    const Tgd& tgd = mapping.tgd(id);
+    for (size_t a = 0; a < tgd.lhs().size(); ++a) {
+      if (tgd.lhs()[a].relation == rel) return {id, tgd.LhsAtomSpan(a)};
+    }
+  }
+  return {-1, SourceSpan{}};
+}
+
+void CoveragePass(const SchemaMapping& mapping, const PositionFlow& flow,
+                  std::vector<Diagnostic>* out) {
+  for (int p = 0; p < flow.target.size(); ++p) {
+    if (!flow.target_written[p] || flow.target_can_hold_constant[p]) continue;
+    RelationId rel = flow.target.relation(p);
+    int col = flow.target.column(p);
+    const RelationDef& def = mapping.target().relation(rel);
+    std::string attr = def.name() + "." + def.attribute(col);
+    Diagnostic d =
+        flow.target_directly_grounded[p]
+            ? Make(Severity::kWarning, "coverage", "null-only-position",
+                   "target attribute " + attr +
+                       " can only ever hold invented nulls: every value "
+                       "reaching it descends from an existential")
+            : Make(Severity::kWarning, "coverage", "null-only-position",
+                   "target attribute " + attr +
+                       " is only ever filled with invented nulls (no tgd "
+                       "supplies a value)");
+    auto [tgd, span] = FirstWriter(mapping, rel, col);
+    d.tgd = tgd;
+    d.span = span;
+    d.hint = "have some tgd copy a source value or constant into " + attr;
+    out->push_back(std::move(d));
+  }
+
+  for (int p = 0; p < flow.source.size(); ++p) {
+    if (!flow.source_read[p] || flow.source_reaches_target[p]) continue;
+    RelationId rel = flow.source.relation(p);
+    int col = flow.source.column(p);
+    const RelationDef& def = mapping.source().relation(rel);
+    std::string attr = def.name() + "." + def.attribute(col);
+    auto [tgd, span] = FirstReader(mapping, rel);
+    if (flow.source_joins[p]) {
+      Diagnostic d = Make(Severity::kNote, "coverage", "join-only-position",
+                          "source attribute " + attr +
+                              " is used only in joins: its values decide "
+                              "which facts appear but never appear "
+                              "themselves");
+      d.tgd = tgd;
+      d.span = span;
+      out->push_back(std::move(d));
+    } else {
+      Diagnostic d = Make(Severity::kWarning, "coverage",
+                          "dead-source-position",
+                          "source attribute " + attr +
+                              " never reaches the target: no s-t tgd copies "
+                              "its value or compares it");
+      d.tgd = tgd;
+      d.span = span;
+      d.hint = "map " + attr + " to a target attribute, or confirm the "
+               "projection is intended";
+      out->push_back(std::move(d));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Termination pass — weak acyclicity with a witness cycle.
+// ---------------------------------------------------------------------------
+
+void TerminationPass(const SchemaMapping& mapping,
+                     std::vector<Diagnostic>* out) {
+  PositionDependencyGraph graph = PositionDependencyGraph::Build(mapping);
+  AcyclicityWitness witness = CheckWeakAcyclicity(graph);
+  if (witness.weakly_acyclic) return;
+  TgdId tgd = graph.edges()[witness.cycle.front()].tgd;
+  Diagnostic d = Make(Severity::kWarning, "termination", "not-weakly-acyclic",
+                      "mapping is not weakly acyclic; the chase may not "
+                      "terminate: " +
+                          witness.Describe(mapping, graph));
+  d.tgd = tgd;
+  d.span = mapping.tgd(tgd).span();
+  d.hint =
+      "break the cycle: drop an existential on it or split tgd '" +
+      mapping.tgd(tgd).name() + "'";
+  out->push_back(std::move(d));
+}
+
+// ---------------------------------------------------------------------------
+// Subsumption pass — frozen-LHS chase + homomorphism.
+// ---------------------------------------------------------------------------
+
+void SubsumptionPass(const SchemaMapping& mapping,
+                     const AnalysisOptions& options, AnalysisReport* report) {
+  if (mapping.NumTgds() < 2) return;
+  for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+    ++report->chases_run;
+    SubsumptionVerdict verdict =
+        TestTgdSubsumption(mapping, id, options.chase_max_steps);
+    if (verdict == SubsumptionVerdict::kInconclusive) {
+      ++report->inconclusive_subsumptions;
+      continue;
+    }
+    if (verdict != SubsumptionVerdict::kImplied) continue;
+    const Tgd& tgd = mapping.tgd(id);
+    Diagnostic d = Make(Severity::kWarning, "subsumption", "subsumed-tgd",
+                        "tgd '" + tgd.name() +
+                            "' is implied by the remaining dependencies "
+                            "(chasing its frozen LHS already derives its "
+                            "RHS)");
+    d.tgd = id;
+    d.span = tgd.span();
+    d.hint = "delete it: every fact it creates is created anyway";
+    report->diagnostics.push_back(std::move(d));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Egd interaction pass.
+// ---------------------------------------------------------------------------
+
+void EgdPass(const SchemaMapping& mapping, const PositionFlow& flow,
+             const AnalysisOptions& options, AnalysisReport* report) {
+  if (mapping.NumEgds() == 0) return;
+
+  // Statically dead egds.
+  std::vector<bool> dead(mapping.NumEgds(), false);
+  for (EgdId e = 0; e < static_cast<EgdId>(mapping.NumEgds()); ++e) {
+    const Egd& egd = mapping.egd(e);
+    for (size_t a = 0; a < egd.lhs().size() && !dead[e]; ++a) {
+      const Atom& atom = egd.lhs()[a];
+      const RelationDef& def = mapping.target().relation(atom.relation);
+      bool written = false;
+      for (size_t c = 0; c < atom.terms.size() && !written; ++c) {
+        written =
+            flow.target_written[flow.target.Id(atom.relation,
+                                               static_cast<int>(c))];
+      }
+      if (!written && !atom.terms.empty()) {
+        Diagnostic d = Make(Severity::kNote, "egd", "egd-never-fires",
+                            "egd '" + egd.name() +
+                                "' can never fire: no tgd writes " +
+                                def.name());
+        d.egd = e;
+        d.span = egd.LhsAtomSpan(a);
+        report->diagnostics.push_back(std::move(d));
+        dead[e] = true;
+        break;
+      }
+      for (size_t c = 0; c < atom.terms.size(); ++c) {
+        const Term& t = atom.terms[c];
+        int pos = flow.target.Id(atom.relation, static_cast<int>(c));
+        if (t.is_const() && flow.target_written[pos] &&
+            !flow.target_can_hold_constant[pos]) {
+          Diagnostic d = Make(
+              Severity::kNote, "egd", "egd-never-fires",
+              "egd '" + egd.name() + "' can never fire: it requires " +
+                  t.value().ToString() + " at " + def.name() + "." +
+                  def.attribute(c) + ", which only ever holds invented "
+                  "nulls");
+          d.egd = e;
+          d.span = egd.LhsAtomSpan(a);
+          report->diagnostics.push_back(std::move(d));
+          dead[e] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Guaranteed interactions: chase each tgd's frozen LHS (with the tgd
+  // itself and the rest of Σ, but without the egds) and ask which egds have
+  // triggers in the result. A trigger equating two distinct constants means
+  // every chase that fires the tgd on generic data fails — a latent key
+  // violation baked into the dependencies, not the data.
+  FrozenChaseOptions frozen_options;
+  frozen_options.include_sigma = true;
+  frozen_options.include_egds = false;
+  frozen_options.max_steps = options.chase_max_steps;
+  for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+    ++report->chases_run;
+    FrozenChaseResult frozen = ChaseFrozenLhs(mapping, id, frozen_options);
+    if (!frozen.ok) continue;
+    for (EgdId e = 0; e < static_cast<EgdId>(mapping.NumEgds()); ++e) {
+      if (dead[e]) continue;
+      const Egd& egd = mapping.egd(e);
+      Binding binding(egd.num_vars());
+      MatchIterator it(*frozen.chase.target, egd.lhs(), &binding);
+      bool equates_constants = false;
+      bool unifies_nulls = false;
+      while (it.Next()) {
+        const Value& left = binding.Get(egd.left());
+        const Value& right = binding.Get(egd.right());
+        if (left == right) continue;
+        if (left.is_constant() && right.is_constant()) {
+          equates_constants = true;
+          break;
+        }
+        unifies_nulls = true;
+      }
+      if (equates_constants) {
+        Diagnostic d = Make(
+            Severity::kError, "egd", "latent-key-violation",
+            "egd '" + egd.name() + "' equates two distinct values on every "
+                "chase that fires tgd '" + mapping.tgd(id).name() +
+                "': generic source data has no solution");
+        d.tgd = id;
+        d.egd = e;
+        d.span = egd.span().valid() ? egd.span() : mapping.tgd(id).span();
+        d.hint = "add the joining variable the egd expects to tgd '" +
+                 mapping.tgd(id).name() + "', or relax the egd";
+        report->diagnostics.push_back(std::move(d));
+      } else if (unifies_nulls) {
+        Diagnostic d = Make(Severity::kNote, "egd", "egd-always-fires",
+                            "egd '" + egd.name() +
+                                "' unifies nulls on every chase that fires "
+                                "tgd '" + mapping.tgd(id).name() + "'");
+        d.tgd = id;
+        d.egd = e;
+        d.span = egd.span();
+        report->diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AnalysisReport AnalyzeMapping(const SchemaMapping& mapping,
+                              const AnalysisOptions& options) {
+  AnalysisReport report;
+  PositionFlow flow = ComputePositionFlow(mapping);
+  if (options.shape) ShapePass(mapping, flow, &report.diagnostics);
+  if (options.coverage) CoveragePass(mapping, flow, &report.diagnostics);
+  if (options.termination) TerminationPass(mapping, &report.diagnostics);
+  if (options.subsumption) SubsumptionPass(mapping, options, &report);
+  if (options.egd_interaction) EgdPass(mapping, flow, options, &report);
+  return report;
+}
+
+}  // namespace spider

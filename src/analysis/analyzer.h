@@ -1,0 +1,68 @@
+#ifndef SPIDER_ANALYSIS_ANALYZER_H_
+#define SPIDER_ANALYSIS_ANALYZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "mapping/schema_mapping.h"
+
+namespace spider {
+
+/// Which passes AnalyzeMapping runs. The shape and coverage passes are pure
+/// structural analysis (fast, no chase); termination builds the position
+/// dependency graph; subsumption and egd interaction run frozen-LHS chases
+/// (one or two per dependency) and dominate the runtime.
+struct AnalysisOptions {
+  bool shape = true;
+  bool coverage = true;
+  bool termination = true;
+  bool subsumption = true;
+  bool egd_interaction = true;
+  /// Step budget for each frozen-LHS chase. The frozen instance has one
+  /// tuple per LHS atom, so a well-behaved mapping finishes in a handful of
+  /// steps; hitting the budget marks the check inconclusive, never throws.
+  size_t chase_max_steps = 100'000;
+};
+
+/// Result of AnalyzeMapping: the findings plus counters for benchmarks.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+  /// Frozen-LHS chases executed (subsumption + egd interaction).
+  size_t chases_run = 0;
+  /// Subsumption tests that hit the step limit or an egd failure.
+  size_t inconclusive_subsumptions = 0;
+
+  /// Diagnostics matching pass/code (empty strings match everything).
+  std::vector<Diagnostic> Matching(const std::string& pass,
+                                   const std::string& code = "") const;
+};
+
+/// Statically analyzes a schema mapping. Never throws on any mapping the
+/// SchemaMapping invariants admit, never mutates anything, and is
+/// deterministic: equal mappings yield byte-identical reports.
+///
+/// Passes and their codes:
+///  * shape — per-dependency syntactic smells, the seed linter's checks:
+///    disconnected-lhs, dropped-variable, repeated-variable,
+///    unused-source-relation, unpopulated-target-relation;
+///  * coverage — transitive position flow: null-only-position (a target
+///    attribute that can never hold a constant, even through chains of
+///    target tgds), dead-source-position (a source attribute whose values
+///    never reach the target), join-only-position (note: values used only
+///    to join);
+///  * termination — not-weakly-acyclic, with the witness cycle through a
+///    special edge spelled out position by position;
+///  * subsumption — subsumed-tgd: the remaining dependencies imply this one
+///    (frozen-LHS chase + homomorphism check);
+///  * egd — egd-never-fires (reads an unwritten relation, or requires a
+///    constant at a null-only position), latent-key-violation (an egd is
+///    guaranteed to equate two distinct generic values every time some tgd
+///    fires), egd-always-fires (note: every firing of some tgd triggers a
+///    null unification).
+AnalysisReport AnalyzeMapping(const SchemaMapping& mapping,
+                              const AnalysisOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ANALYSIS_ANALYZER_H_

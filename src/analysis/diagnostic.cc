@@ -1,0 +1,105 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace spider {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string RenderDiagnostic(const Diagnostic& diagnostic) {
+  std::ostringstream os;
+  if (diagnostic.span.valid()) {
+    os << diagnostic.span.line << ':' << diagnostic.span.col;
+  } else {
+    os << '-';
+  }
+  os << ": " << SeverityName(diagnostic.severity) << ": [" << diagnostic.pass
+     << '/' << diagnostic.code << "] " << diagnostic.message << '\n';
+  if (!diagnostic.hint.empty()) {
+    os << "    hint: " << diagnostic.hint << '\n';
+  }
+  return os.str();
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  if (diagnostics.empty()) return "no findings\n";
+  std::string out;
+  for (const Diagnostic& d : diagnostics) out += RenderDiagnostic(d);
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"severity\": \""
+       << SeverityName(d.severity) << "\", \"pass\": ";
+    AppendJsonString(os, d.pass);
+    os << ", \"code\": ";
+    AppendJsonString(os, d.code);
+    if (d.tgd >= 0) os << ", \"tgd\": " << d.tgd;
+    if (d.egd >= 0) os << ", \"egd\": " << d.egd;
+    if (d.span.valid()) {
+      os << ", \"span\": {\"line\": " << d.span.line
+         << ", \"col\": " << d.span.col << ", \"end_line\": " << d.span.end_line
+         << ", \"end_col\": " << d.span.end_col << "}";
+    }
+    os << ", \"message\": ";
+    AppendJsonString(os, d.message);
+    if (!d.hint.empty()) {
+      os << ", \"hint\": ";
+      AppendJsonString(os, d.hint);
+    }
+    os << "}";
+  }
+  os << (diagnostics.empty() ? "]" : "\n]");
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace spider

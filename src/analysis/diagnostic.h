@@ -1,0 +1,59 @@
+#ifndef SPIDER_ANALYSIS_DIAGNOSTIC_H_
+#define SPIDER_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "mapping/dependency.h"
+#include "mapping/source_span.h"
+
+namespace spider {
+
+/// How much a finding matters. Notes are informational, warnings flag
+/// constructs that are occasionally intended (projections drop attributes
+/// legitimately), errors flag mappings that are almost certainly broken.
+enum class Severity { kNote, kWarning, kError };
+
+const char* SeverityName(Severity severity);
+
+/// One finding of the semantic analyzer. Every pass emits this common
+/// record: a stable machine tag (`pass` + `code`), the offending dependency,
+/// a source span anchored to the parsed scenario text (invalid for
+/// programmatically built mappings), a human message, and an optional fix-it
+/// hint. Renderable as text (RenderDiagnostics) or JSON (DiagnosticsToJson)
+/// for tooling.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  /// The pass that produced the finding: "shape", "coverage", "termination",
+  /// "subsumption" or "egd".
+  std::string pass;
+  /// Stable machine tag within the pass, e.g. "dropped-variable".
+  std::string code;
+  /// The offending tgd, or -1 when the finding is not about one tgd.
+  TgdId tgd = -1;
+  /// The offending egd, or -1.
+  EgdId egd = -1;
+  /// Anchor in the scenario text; invalid (line 0) when unknown.
+  SourceSpan span;
+  std::string message;
+  /// Optional fix-it hint ("add a join variable shared by the LHS atoms").
+  std::string hint;
+};
+
+/// Renders one diagnostic: `line:col: severity: [pass/code] message` plus an
+/// indented `hint:` line when present. Spanless diagnostics render `-` in
+/// place of the position.
+std::string RenderDiagnostic(const Diagnostic& diagnostic);
+
+/// Renders all diagnostics, one per entry, or "no findings\n" when empty.
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diagnostics);
+
+/// Machine-readable rendering: a JSON array of objects with keys severity,
+/// pass, code, message and — when meaningful — tgd, egd, span {line, col,
+/// end_line, end_col} and hint. Key order is fixed, so equal diagnostics
+/// render byte-identically (the fuzz determinism tests rely on this).
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace spider
+
+#endif  // SPIDER_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,66 @@
+#ifndef SPIDER_ANALYSIS_POSITION_FLOW_H_
+#define SPIDER_ANALYSIS_POSITION_FLOW_H_
+
+#include <vector>
+
+#include "mapping/schema_mapping.h"
+
+namespace spider {
+
+/// Dense ids for the positions (relation, attribute) of one schema.
+class PositionIndex {
+ public:
+  explicit PositionIndex(const Schema& schema);
+
+  int Id(RelationId rel, int col) const { return offsets_[rel] + col; }
+  int size() const { return static_cast<int>(relations_.size()); }
+  RelationId relation(int id) const { return relations_[id]; }
+  int column(int id) const { return columns_[id]; }
+
+ private:
+  std::vector<int> offsets_;
+  std::vector<RelationId> relations_;
+  std::vector<int> columns_;
+};
+
+/// Data-independent value-flow facts about every schema position, computed
+/// by a fixpoint over the dependencies. This is the transitive, multi-tgd
+/// generalization of the seed linter's per-occurrence checks: a target
+/// position is flagged null-only even when a target tgd copies into it, as
+/// long as every value that can ever arrive there descends from an
+/// existential; a source position is dead even when several tgds read it, as
+/// long as none lets its value reach the target.
+struct PositionFlow {
+  PositionIndex source;
+  PositionIndex target;
+
+  // --- per source position ---
+  /// Some s-t tgd reads the position's relation.
+  std::vector<bool> source_read;
+  /// Some s-t tgd copies the value at this position into the target.
+  std::vector<bool> source_reaches_target;
+  /// The value is compared (join: the variable occurs at another LHS
+  /// position too) by some s-t tgd. With source_reaches_target false this
+  /// means the position influences *which* facts appear but its values never
+  /// do.
+  std::vector<bool> source_joins;
+
+  // --- per target position ---
+  /// The position's relation is written by some tgd.
+  std::vector<bool> target_written;
+  /// Fixpoint: a constant can arrive here — directly (constant or universal
+  /// variable of an s-t tgd in the RHS) or transitively (a target tgd whose
+  /// universal variable reads only constant-capable positions). A written
+  /// position where this is false only ever holds invented nulls.
+  std::vector<bool> target_can_hold_constant;
+  /// The seed linter's direct notion: some tgd fills the position with a
+  /// constant or a universal variable. Kept so diagnostics can distinguish
+  /// "no tgd supplies a value" from "values flow here but are always nulls".
+  std::vector<bool> target_directly_grounded;
+};
+
+PositionFlow ComputePositionFlow(const SchemaMapping& mapping);
+
+}  // namespace spider
+
+#endif  // SPIDER_ANALYSIS_POSITION_FLOW_H_

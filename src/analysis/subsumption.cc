@@ -1,0 +1,141 @@
+#include "analysis/subsumption.h"
+
+#include <string>
+#include <utility>
+
+#include "base/status.h"
+#include "chase/homomorphism.h"
+
+namespace spider {
+
+namespace {
+
+/// Frozen constant standing for universal variable `name`. The \x01 prefix
+/// cannot be produced by the parser or any workload generator, so frozen
+/// constants never collide with real data values.
+Value FrozenConstant(const std::string& name) {
+  return Value::Str(std::string("\x01frz:") + name);
+}
+
+/// Inserts the canonical instance of `atoms` (one tuple per atom, universal
+/// variables frozen) into `into`.
+void FreezeAtoms(const std::vector<Atom>& atoms,
+                 const std::vector<Value>& frozen, Instance* into) {
+  for (const Atom& atom : atoms) {
+    std::vector<Value> tuple;
+    tuple.reserve(atom.terms.size());
+    for (const Term& term : atom.terms) {
+      tuple.push_back(term.is_var() ? frozen[term.var()] : term.value());
+    }
+    into->Insert(atom.relation, Tuple(std::move(tuple)));
+  }
+}
+
+}  // namespace
+
+FrozenChaseResult ChaseFrozenLhs(const SchemaMapping& mapping, TgdId sigma,
+                                 const FrozenChaseOptions& options) {
+  SPIDER_CHECK(sigma >= 0 && sigma < static_cast<TgdId>(mapping.NumTgds()),
+               "ChaseFrozenLhs: tgd id out of range");
+  const Tgd& frozen_tgd = mapping.tgd(sigma);
+
+  FrozenChaseResult result;
+  result.frozen.resize(frozen_tgd.num_vars());
+  for (VarId v = 0; v < static_cast<VarId>(frozen_tgd.num_vars()); ++v) {
+    if (frozen_tgd.IsUniversal(v)) {
+      result.frozen[v] = FrozenConstant(frozen_tgd.var_names()[v]);
+    }
+  }
+
+  if (frozen_tgd.source_to_target()) {
+    // Chase the frozen source instance with the original mapping (minus
+    // sigma unless included).
+    auto derived = std::make_unique<SchemaMapping>(mapping.source(),
+                                                   mapping.target());
+    for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+      if (id == sigma && !options.include_sigma) continue;
+      derived->AddTgd(mapping.tgd(id));
+    }
+    if (options.include_egds) {
+      for (EgdId id = 0; id < static_cast<EgdId>(mapping.NumEgds()); ++id) {
+        derived->AddEgd(mapping.egd(id));
+      }
+    }
+    result.derived = std::move(derived);
+  } else {
+    // A target tgd's LHS lives in the target schema, but Chase() starts from
+    // a source instance. Build a copy mapping: source := a copy of the
+    // target schema, bridged by identity tgds, so the frozen LHS is copied
+    // into the target verbatim and the target dependencies chase it there.
+    // The original s-t tgds are irrelevant (nothing of the real source
+    // exists in the frozen instance) and are dropped.
+    Schema copy_source = mapping.target();
+    auto derived = std::make_unique<SchemaMapping>(std::move(copy_source),
+                                                   mapping.target());
+    const Schema& target = mapping.target();
+    for (RelationId rel = 0; rel < static_cast<RelationId>(target.size());
+         ++rel) {
+      const RelationDef& def = target.relation(rel);
+      std::vector<std::string> vars;
+      std::vector<Term> terms;
+      for (size_t i = 0; i < def.arity(); ++i) {
+        vars.push_back("v" + std::to_string(i));
+        terms.push_back(Term::Var(static_cast<VarId>(i)));
+      }
+      Atom atom{rel, terms};
+      derived->AddTgd(Tgd("__copy_" + def.name(), std::move(vars), {atom},
+                          {atom}, /*source_to_target=*/true));
+    }
+    for (TgdId id : mapping.target_tgds()) {
+      if (id == sigma && !options.include_sigma) continue;
+      derived->AddTgd(mapping.tgd(id));
+    }
+    if (options.include_egds) {
+      for (EgdId id = 0; id < static_cast<EgdId>(mapping.NumEgds()); ++id) {
+        derived->AddEgd(mapping.egd(id));
+      }
+    }
+    result.derived = std::move(derived);
+  }
+
+  result.frozen_source =
+      std::make_unique<Instance>(&result.derived->source());
+  FreezeAtoms(frozen_tgd.lhs(), result.frozen, result.frozen_source.get());
+
+  ChaseOptions chase_options;
+  chase_options.max_steps = options.max_steps;
+  result.chase =
+      Chase(*result.derived, *result.frozen_source, chase_options);
+  result.ok = result.chase.outcome == ChaseOutcome::kSuccess;
+  return result;
+}
+
+SubsumptionVerdict TestTgdSubsumption(const SchemaMapping& mapping,
+                                      TgdId sigma, size_t max_steps) {
+  const Tgd& tgd = mapping.tgd(sigma);
+  FrozenChaseOptions options;
+  options.include_sigma = false;
+  options.include_egds = true;
+  options.max_steps = max_steps;
+  FrozenChaseResult frozen = ChaseFrozenLhs(mapping, sigma, options);
+  if (!frozen.ok) return SubsumptionVerdict::kInconclusive;
+
+  // Egd unifications may have rewritten the frozen constants' companions but
+  // never the frozen constants themselves (constants are never substituted),
+  // so the RHS test instance can use result.frozen directly. Existential
+  // variables become labeled nulls — FindHomomorphism treats them as free
+  // variables, which is exactly ∃y ψ(frz(x), y).
+  std::vector<Value> assignment = frozen.frozen;
+  int64_t next_null = frozen.chase.next_null_id;
+  for (VarId v = 0; v < static_cast<VarId>(tgd.num_vars()); ++v) {
+    if (!tgd.IsUniversal(v)) assignment[v] = Value::Null(next_null++);
+  }
+  Instance rhs(&frozen.derived->target());
+  FreezeAtoms(tgd.rhs(), assignment, &rhs);
+
+  return FindHomomorphism(rhs, *frozen.chase.target).has_value()
+             ? SubsumptionVerdict::kImplied
+             : SubsumptionVerdict::kNotImplied;
+}
+
+}  // namespace spider

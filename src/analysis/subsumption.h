@@ -1,0 +1,70 @@
+#ifndef SPIDER_ANALYSIS_SUBSUMPTION_H_
+#define SPIDER_ANALYSIS_SUBSUMPTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "chase/chase.h"
+#include "mapping/schema_mapping.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Options for ChaseFrozenLhs.
+struct FrozenChaseOptions {
+  /// Include the frozen tgd itself among the chasing dependencies. The
+  /// subsumption test excludes it (the question is whether the REST implies
+  /// it); the egd-interaction pass includes it (the question is what an
+  /// actual chase does right after firing it).
+  bool include_sigma = false;
+  /// Chase with the mapping's egds too.
+  bool include_egds = true;
+  /// Step budget; the frozen instance is tiny, so hitting this means the
+  /// target tgds likely do not terminate.
+  size_t max_steps = 100'000;
+};
+
+/// A frozen-LHS chase: the canonical instance of one tgd's LHS (universal
+/// variables replaced by fresh frozen constants) chased with the other
+/// dependencies of the mapping.
+struct FrozenChaseResult {
+  /// False when the chase did not complete (step limit or egd failure);
+  /// `chase.outcome` says which.
+  bool ok = false;
+  /// The mapping actually chased. For a source-to-target tgd this mirrors
+  /// the original; for a target tgd the source schema is a copy of the
+  /// target schema bridged by identity `__copy_<rel>` tgds, because the
+  /// chase starts from a source instance. The instances below hold pointers
+  /// into this mapping's schemas, so it travels with them.
+  std::unique_ptr<SchemaMapping> derived;
+  /// The canonical (frozen) LHS instance the chase started from.
+  std::unique_ptr<Instance> frozen_source;
+  ChaseResult chase;
+  /// Per VarId of the frozen tgd: the frozen constant for universal
+  /// variables (default Value for existential ones).
+  std::vector<Value> frozen;
+};
+
+/// Freezes `sigma`'s LHS into a canonical instance and chases it with the
+/// mapping's dependencies (minus `sigma` unless `include_sigma`).
+FrozenChaseResult ChaseFrozenLhs(const SchemaMapping& mapping, TgdId sigma,
+                                 const FrozenChaseOptions& options = {});
+
+enum class SubsumptionVerdict {
+  kImplied,       ///< Σ \ {σ} logically implies σ: the tgd is redundant.
+  kNotImplied,    ///< The chase completed and no homomorphism exists.
+  kInconclusive,  ///< Chase hit the step limit or an egd failed.
+};
+
+/// Tests whether `sigma` is implied by the remaining dependencies, by the
+/// classical chase argument: chase σ's frozen LHS with Σ \ {σ}; σ is implied
+/// iff the frozen RHS maps homomorphically into the result (frozen constants
+/// fixed pointwise, existentials free). Sound and complete when the chase
+/// terminates [Cali & Torlone-style containment via the chase].
+SubsumptionVerdict TestTgdSubsumption(const SchemaMapping& mapping,
+                                      TgdId sigma,
+                                      size_t max_steps = 100'000);
+
+}  // namespace spider
+
+#endif  // SPIDER_ANALYSIS_SUBSUMPTION_H_

@@ -1,60 +1,26 @@
 #include "chase/weak_acyclicity.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace spider {
 
-namespace {
-
-/// Dense id for a target position (relation, attribute).
-struct PositionTable {
-  explicit PositionTable(const Schema& target) {
-    offsets.reserve(target.size() + 1);
-    offsets.push_back(0);
-    for (const RelationDef& rel : target.relations()) {
-      offsets.push_back(offsets.back() + static_cast<int>(rel.arity()));
-    }
-  }
-  int Id(RelationId rel, int col) const { return offsets[rel] + col; }
-  int size() const { return offsets.back(); }
-  std::vector<int> offsets;
-};
-
-struct Edge {
-  int to;
-  bool special;
-};
-
-bool Reaches(const std::vector<std::vector<Edge>>& graph, int from, int to) {
-  std::vector<bool> seen(graph.size(), false);
-  std::vector<int> stack = {from};
-  seen[from] = true;
-  while (!stack.empty()) {
-    int node = stack.back();
-    stack.pop_back();
-    if (node == to) return true;
-    for (const Edge& e : graph[node]) {
-      if (!seen[e.to]) {
-        seen[e.to] = true;
-        stack.push_back(e.to);
-      }
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
-bool IsWeaklyAcyclic(const SchemaMapping& mapping, std::string* why) {
+PositionDependencyGraph PositionDependencyGraph::Build(
+    const SchemaMapping& mapping) {
   const Schema& target = mapping.target();
-  PositionTable positions(target);
-  std::vector<std::vector<Edge>> graph(positions.size());
-  struct SpecialEdge {
-    int from;
-    int to;
-    TgdId tgd;
-  };
-  std::vector<SpecialEdge> specials;
+  PositionDependencyGraph graph;
+  graph.offsets_.reserve(target.size());
+  int next = 0;
+  for (size_t r = 0; r < target.size(); ++r) {
+    graph.offsets_.push_back(next);
+    const RelationDef& rel = target.relation(static_cast<RelationId>(r));
+    for (size_t c = 0; c < rel.arity(); ++c) {
+      graph.positions_.push_back(
+          TargetPosition{static_cast<RelationId>(r), static_cast<int>(c)});
+      ++next;
+    }
+  }
+  graph.out_.resize(graph.positions_.size());
 
   for (TgdId id : mapping.target_tgds()) {
     const Tgd& tgd = mapping.tgd(id);
@@ -65,7 +31,7 @@ bool IsWeaklyAcyclic(const SchemaMapping& mapping, std::string* why) {
         const Term& t = atom.terms[col];
         if (t.is_var()) {
           lhs_positions[t.var()].push_back(
-              positions.Id(atom.relation, static_cast<int>(col)));
+              graph.PositionId(atom.relation, static_cast<int>(col)));
         }
       }
     }
@@ -73,10 +39,11 @@ bool IsWeaklyAcyclic(const SchemaMapping& mapping, std::string* why) {
       for (size_t col = 0; col < atom.terms.size(); ++col) {
         const Term& t = atom.terms[col];
         if (!t.is_var()) continue;
-        int to = positions.Id(atom.relation, static_cast<int>(col));
+        int to = graph.PositionId(atom.relation, static_cast<int>(col));
         if (tgd.IsUniversal(t.var())) {
           for (int from : lhs_positions[t.var()]) {
-            graph[from].push_back(Edge{to, false});
+            graph.out_[from].push_back(static_cast<int>(graph.edges_.size()));
+            graph.edges_.push_back(PositionEdge{from, to, false, id});
           }
         } else {
           // Existential variable: special edge from every LHS position of
@@ -84,25 +51,105 @@ bool IsWeaklyAcyclic(const SchemaMapping& mapping, std::string* why) {
           for (size_t v = 0; v < tgd.num_vars(); ++v) {
             if (!tgd.IsUniversal(static_cast<VarId>(v))) continue;
             for (int from : lhs_positions[v]) {
-              graph[from].push_back(Edge{to, true});
-              specials.push_back(SpecialEdge{from, to, id});
+              graph.out_[from].push_back(
+                  static_cast<int>(graph.edges_.size()));
+              graph.edges_.push_back(PositionEdge{from, to, true, id});
             }
           }
         }
       }
     }
   }
+  return graph;
+}
 
-  for (const SpecialEdge& se : specials) {
-    if (Reaches(graph, se.to, se.from)) {
-      if (why != nullptr) {
-        *why = "special edge introduced by tgd '" + mapping.tgd(se.tgd).name() +
-               "' lies on a cycle";
+std::string PositionDependencyGraph::PositionName(const Schema& target,
+                                                  int id) const {
+  const TargetPosition& pos = positions_[id];
+  const RelationDef& rel = target.relation(pos.relation);
+  return rel.name() + "." + rel.attribute(pos.column);
+}
+
+namespace {
+
+/// BFS from `from` to `to`; on success fills `path` with the edge indexes of
+/// one shortest from→to walk.
+bool FindPath(const PositionDependencyGraph& graph, int from, int to,
+              std::vector<int>* path) {
+  std::vector<int> parent_edge(graph.NumPositions(), -1);
+  std::vector<bool> seen(graph.NumPositions(), false);
+  std::vector<int> queue = {from};
+  seen[from] = true;
+  // `from == to` means the empty walk; callers close the cycle themselves.
+  if (from == to) {
+    path->clear();
+    return true;
+  }
+  for (size_t head = 0; head < queue.size(); ++head) {
+    int node = queue[head];
+    for (int e : graph.out_edges()[node]) {
+      int next = graph.edges()[e].to;
+      if (seen[next]) continue;
+      seen[next] = true;
+      parent_edge[next] = e;
+      if (next == to) {
+        // Reconstruct backwards.
+        path->clear();
+        for (int cur = to; cur != from;) {
+          int pe = parent_edge[cur];
+          path->push_back(pe);
+          cur = graph.edges()[pe].from;
+        }
+        std::reverse(path->begin(), path->end());
+        return true;
       }
-      return false;
+      queue.push_back(next);
     }
   }
-  return true;
+  return false;
+}
+
+}  // namespace
+
+AcyclicityWitness CheckWeakAcyclicity(const PositionDependencyGraph& graph) {
+  AcyclicityWitness witness;
+  for (size_t e = 0; e < graph.edges().size(); ++e) {
+    const PositionEdge& edge = graph.edges()[e];
+    if (!edge.special) continue;
+    std::vector<int> path;
+    if (FindPath(graph, edge.to, edge.from, &path)) {
+      witness.weakly_acyclic = false;
+      witness.cycle.push_back(static_cast<int>(e));
+      witness.cycle.insert(witness.cycle.end(), path.begin(), path.end());
+      return witness;
+    }
+  }
+  return witness;
+}
+
+std::string AcyclicityWitness::Describe(
+    const SchemaMapping& mapping, const PositionDependencyGraph& graph) const {
+  if (cycle.empty()) return "weakly acyclic";
+  std::string out = graph.PositionName(mapping.target(), graph.edges()[cycle[0]].from);
+  for (int e : cycle) {
+    const PositionEdge& edge = graph.edges()[e];
+    const std::string& tgd = mapping.tgd(edge.tgd).name();
+    out += edge.special ? " ~(" + tgd + ")~> " : " -(" + tgd + ")-> ";
+    out += graph.PositionName(mapping.target(), edge.to);
+  }
+  return out;
+}
+
+bool IsWeaklyAcyclic(const SchemaMapping& mapping, std::string* why) {
+  PositionDependencyGraph graph = PositionDependencyGraph::Build(mapping);
+  AcyclicityWitness witness = CheckWeakAcyclicity(graph);
+  if (witness.weakly_acyclic) return true;
+  if (why != nullptr) {
+    *why = "special edge introduced by tgd '" +
+           mapping.tgd(graph.edges()[witness.cycle[0]].tgd).name() +
+           "' lies on a cycle";
+  }
+  return false;
 }
 
 }  // namespace spider

@@ -2,24 +2,89 @@
 #define SPIDER_CHASE_WEAK_ACYCLICITY_H_
 
 #include <string>
+#include <vector>
 
 #include "mapping/schema_mapping.h"
 
 namespace spider {
 
+/// One target position (relation, attribute) — a node of the position
+/// dependency graph.
+struct TargetPosition {
+  RelationId relation = kInvalidRelation;
+  int column = 0;
+
+  friend bool operator==(const TargetPosition&,
+                         const TargetPosition&) = default;
+};
+
+/// One edge of the position dependency graph, with provenance: which target
+/// tgd contributed it and whether it is special (the RHS position holds an
+/// existential variable).
+struct PositionEdge {
+  int from = 0;  ///< Position id (index into PositionDependencyGraph nodes).
+  int to = 0;
+  bool special = false;
+  TgdId tgd = -1;
+
+  friend bool operator==(const PositionEdge&, const PositionEdge&) = default;
+};
+
+/// The position dependency graph of a mapping's target tgds [Fagin et al.,
+/// TCS'05]: one node per target position, and for every target tgd with a
+/// universal variable x at LHS position p, a regular edge p → q for every RHS
+/// position q where x occurs plus a special edge p → q' for every RHS
+/// position q' holding an existential variable. Built once, queried by the
+/// acyclicity check and rendered by the analyzer / dot export.
+class PositionDependencyGraph {
+ public:
+  static PositionDependencyGraph Build(const SchemaMapping& mapping);
+
+  int NumPositions() const { return static_cast<int>(positions_.size()); }
+  const TargetPosition& position(int id) const { return positions_[id]; }
+  int PositionId(RelationId rel, int col) const {
+    return offsets_[rel] + col;
+  }
+
+  const std::vector<PositionEdge>& edges() const { return edges_; }
+  /// Edge indexes grouped by their `from` node.
+  const std::vector<std::vector<int>>& out_edges() const { return out_; }
+
+  /// Renders a position as "Relation.attribute".
+  std::string PositionName(const Schema& target, int id) const;
+
+ private:
+  std::vector<TargetPosition> positions_;
+  std::vector<int> offsets_;  // dense id of (rel, 0), per relation
+  std::vector<PositionEdge> edges_;
+  std::vector<std::vector<int>> out_;
+};
+
+/// Outcome of the weak-acyclicity test, with the actual offending cycle when
+/// the test fails: `cycle` lists edge indexes (into graph.edges()) forming a
+/// closed walk node-wise (cycle[0].from == cycle.back().to) whose first edge
+/// is special. Empty when weakly acyclic.
+struct AcyclicityWitness {
+  bool weakly_acyclic = true;
+  std::vector<int> cycle;
+
+  /// Human-readable walk "T.a -(t1)-> T.b ~(t2)~> T.a" (special edges use
+  /// `~>`), for diagnostics.
+  std::string Describe(const SchemaMapping& mapping,
+                       const PositionDependencyGraph& graph) const;
+};
+
+/// Tests the graph for a cycle through a special edge and reconstructs one
+/// when present.
+AcyclicityWitness CheckWeakAcyclicity(const PositionDependencyGraph& graph);
+
 /// Tests whether the target tgds of `mapping` are weakly acyclic
 /// [Fagin et al., TCS'05], which guarantees that the chase terminates on
 /// every source instance.
 ///
-/// The dependency graph has one node per target position (relation,
-/// attribute). For every target tgd, every occurrence of a universal
-/// variable x at LHS position p contributes: a regular edge p → q for every
-/// RHS position q where x occurs, and a special edge p → q' for every RHS
-/// position q' holding an existential variable. The set is weakly acyclic
-/// iff no cycle goes through a special edge.
-///
 /// When the test fails and `why` is non-null, it receives a description of
-/// an offending special edge.
+/// an offending special edge. Thin wrapper over Build + CheckWeakAcyclicity;
+/// callers that want the cycle itself use those directly.
 bool IsWeaklyAcyclic(const SchemaMapping& mapping, std::string* why = nullptr);
 
 }  // namespace spider

@@ -112,4 +112,40 @@ std::string RouteToDot(const Route& route, const RenderContext& ctx) {
   return os.str();
 }
 
+std::string PositionGraphToDot(const SchemaMapping& mapping,
+                               const PositionDependencyGraph& graph,
+                               const AcyclicityWitness* witness) {
+  std::unordered_set<int> cycle_edges;
+  std::unordered_set<int> cycle_nodes;
+  if (witness != nullptr) {
+    for (int e : witness->cycle) {
+      cycle_edges.insert(e);
+      cycle_nodes.insert(graph.edges()[e].from);
+      cycle_nodes.insert(graph.edges()[e].to);
+    }
+  }
+  std::ostringstream os;
+  os << "digraph positions {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontname=\"Helvetica\", fontsize=10, shape=box];\n";
+  for (int p = 0; p < graph.NumPositions(); ++p) {
+    os << "  p" << p << " [label=\""
+       << Escape(graph.PositionName(mapping.target(), p)) << '"';
+    if (cycle_nodes.count(p) != 0) os << ", color=red, fontcolor=red";
+    os << "];\n";
+  }
+  for (size_t e = 0; e < graph.edges().size(); ++e) {
+    const PositionEdge& edge = graph.edges()[e];
+    os << "  p" << edge.from << " -> p" << edge.to << " [label=\""
+       << Escape(mapping.tgd(edge.tgd).name()) << '"';
+    if (edge.special) os << ", style=dashed";
+    if (cycle_edges.count(static_cast<int>(e)) != 0) {
+      os << ", color=red, fontcolor=red, penwidth=2";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
 }  // namespace spider

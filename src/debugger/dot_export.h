@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "chase/weak_acyclicity.h"
 #include "debugger/render.h"
 #include "routes/route.h"
 #include "routes/route_forest.h"
@@ -22,6 +23,16 @@ std::string RouteForestToDot(const RouteForest& forest,
 
 /// Renders one route as a left-to-right chain of satisfaction steps.
 std::string RouteToDot(const Route& route, const RenderContext& ctx);
+
+/// Renders the position dependency graph of `mapping`'s target tgds: one node
+/// per target position ("Rel.attr"), solid edges for regular dependencies and
+/// dashed ones for special (existential) dependencies, each labeled with the
+/// tgd that contributes it. When `witness` describes a failed weak-acyclicity
+/// test, the offending cycle is drawn in red — the visual form of the
+/// analyzer's termination diagnostic.
+std::string PositionGraphToDot(const SchemaMapping& mapping,
+                               const PositionDependencyGraph& graph,
+                               const AcyclicityWitness* witness = nullptr);
 
 }  // namespace spider
 

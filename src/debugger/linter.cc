@@ -1,160 +1,48 @@
 #include "debugger/linter.h"
 
 #include <sstream>
-#include <unordered_set>
-#include <vector>
+
+#include "analysis/analyzer.h"
 
 namespace spider {
 
-namespace {
-
-/// Union-find over variable ids, for LHS connectivity.
-class UnionFind {
- public:
-  explicit UnionFind(size_t n) : parent_(n) {
-    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
-  }
-  int Find(int x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
-
- private:
-  std::vector<int> parent_;
-};
-
-void LintTgd(const SchemaMapping& mapping, TgdId id,
-             std::vector<LintFinding>* findings) {
-  const Tgd& tgd = mapping.tgd(id);
-  const Schema& lhs_schema =
-      tgd.source_to_target() ? mapping.source() : mapping.target();
-
-  // kDisconnectedLhs: atoms joined through shared variables must form one
-  // connected component (single-atom LHS is trivially connected).
-  if (tgd.lhs().size() > 1) {
-    UnionFind uf(tgd.num_vars() + tgd.lhs().size());
-    // Extra nodes, one per atom, unioned with each variable in the atom.
-    for (size_t a = 0; a < tgd.lhs().size(); ++a) {
-      int atom_node = static_cast<int>(tgd.num_vars() + a);
-      for (const Term& t : tgd.lhs()[a].terms) {
-        if (t.is_var()) uf.Union(atom_node, t.var());
-      }
-    }
-    int root = uf.Find(static_cast<int>(tgd.num_vars()));
-    bool connected = true;
-    for (size_t a = 1; a < tgd.lhs().size(); ++a) {
-      if (uf.Find(static_cast<int>(tgd.num_vars() + a)) != root) {
-        connected = false;
-        break;
-      }
-    }
-    if (!connected) {
-      findings->push_back(LintFinding{
-          LintFinding::Kind::kDisconnectedLhs, id,
-          "tgd '" + tgd.name() +
-              "': LHS atoms share no variables (cartesian product — is a "
-              "join condition missing?)"});
-    }
-  }
-
-  // kDroppedLhsVariable / kRepeatedRhsVariable.
-  std::vector<bool> in_rhs(tgd.num_vars(), false);
-  for (const Atom& atom : tgd.rhs()) {
-    std::unordered_set<VarId> seen_in_atom;
-    for (const Term& t : atom.terms) {
-      if (!t.is_var()) continue;
-      in_rhs[t.var()] = true;
-      if (tgd.IsUniversal(t.var()) &&
-          !seen_in_atom.insert(t.var()).second) {
-        findings->push_back(LintFinding{
-            LintFinding::Kind::kRepeatedRhsVariable, id,
-            "tgd '" + tgd.name() + "': variable '" +
-                tgd.var_names()[t.var()] + "' occurs twice in " +
-                mapping.target().relation(atom.relation).name() +
-                " (copying one source value into two target attributes?)"});
-      }
-    }
-  }
-  for (VarId v : tgd.UniversalVars()) {
-    if (!in_rhs[v]) {
-      findings->push_back(LintFinding{
-          LintFinding::Kind::kDroppedLhsVariable, id,
-          "tgd '" + tgd.name() + "': LHS variable '" + tgd.var_names()[v] +
-              "' never reaches the RHS (source data dropped?)"});
-    }
-  }
-  (void)lhs_schema;
-}
-
-}  // namespace
-
+// The linter is a thin adapter over spider::AnalyzeMapping: it runs the
+// structural passes (shape + coverage) and translates their diagnostics to
+// the original LintFinding vocabulary, so the seed API — and everything
+// built on it — keeps working with the analyzer underneath. Schema-level
+// findings keep tgd = -1 exactly as before, even though the analyzer
+// anchors its coverage diagnostics to a specific dependency.
 std::vector<LintFinding> LintMapping(const SchemaMapping& mapping) {
-  std::vector<LintFinding> findings;
-  for (size_t i = 0; i < mapping.NumTgds(); ++i) {
-    LintTgd(mapping, static_cast<TgdId>(i), &findings);
-  }
+  AnalysisOptions options;
+  options.termination = false;
+  options.subsumption = false;
+  options.egd_interaction = false;
+  AnalysisReport report = AnalyzeMapping(mapping, options);
 
-  // Schema-level: relation usage.
-  std::vector<bool> source_used(mapping.source().size(), false);
-  std::vector<bool> target_written(mapping.target().size(), false);
-  // Per target position: filled by a universal variable or constant at
-  // least once?
-  std::vector<std::vector<bool>> position_grounded(mapping.target().size());
-  for (size_t r = 0; r < mapping.target().size(); ++r) {
-    position_grounded[r].assign(
-        mapping.target().relation(static_cast<RelationId>(r)).arity(), false);
-  }
-  for (size_t i = 0; i < mapping.NumTgds(); ++i) {
-    const Tgd& tgd = mapping.tgd(static_cast<TgdId>(i));
-    if (tgd.source_to_target()) {
-      for (const Atom& atom : tgd.lhs()) source_used[atom.relation] = true;
-    }
-    for (const Atom& atom : tgd.rhs()) {
-      target_written[atom.relation] = true;
-      for (size_t c = 0; c < atom.terms.size(); ++c) {
-        const Term& t = atom.terms[c];
-        if (t.is_const() || tgd.IsUniversal(t.var())) {
-          position_grounded[atom.relation][c] = true;
-        }
+  std::vector<LintFinding> findings;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.pass == "shape") {
+      if (d.code == "disconnected-lhs") {
+        findings.push_back(
+            {LintFinding::Kind::kDisconnectedLhs, d.tgd, d.message});
+      } else if (d.code == "dropped-variable") {
+        findings.push_back(
+            {LintFinding::Kind::kDroppedLhsVariable, d.tgd, d.message});
+      } else if (d.code == "repeated-variable") {
+        findings.push_back(
+            {LintFinding::Kind::kRepeatedRhsVariable, d.tgd, d.message});
+      } else if (d.code == "unused-source-relation") {
+        findings.push_back(
+            {LintFinding::Kind::kUnusedSourceRelation, -1, d.message});
+      } else if (d.code == "unpopulated-target-relation") {
+        findings.push_back(
+            {LintFinding::Kind::kUnpopulatedTargetRelation, -1, d.message});
       }
+    } else if (d.pass == "coverage" && d.code == "null-only-position") {
+      findings.push_back({LintFinding::Kind::kNullFactory, -1, d.message});
     }
-  }
-  for (size_t e = 0; e < mapping.NumEgds(); ++e) {
-    // Egds read but do not write; they do not ground positions.
-    (void)e;
-  }
-  for (size_t r = 0; r < mapping.source().size(); ++r) {
-    if (!source_used[r]) {
-      findings.push_back(LintFinding{
-          LintFinding::Kind::kUnusedSourceRelation, -1,
-          "source relation '" +
-              mapping.source().relation(static_cast<RelationId>(r)).name() +
-              "' is not read by any s-t tgd (data never migrated)"});
-    }
-  }
-  for (size_t r = 0; r < mapping.target().size(); ++r) {
-    const RelationDef& rel =
-        mapping.target().relation(static_cast<RelationId>(r));
-    if (!target_written[r]) {
-      findings.push_back(LintFinding{
-          LintFinding::Kind::kUnpopulatedTargetRelation, -1,
-          "target relation '" + rel.name() +
-              "' is not written by any tgd (always empty)"});
-      continue;
-    }
-    for (size_t c = 0; c < rel.arity(); ++c) {
-      if (!position_grounded[r][c]) {
-        findings.push_back(LintFinding{
-            LintFinding::Kind::kNullFactory, -1,
-            "target attribute " + rel.name() + "." + rel.attribute(c) +
-                " is only ever filled with invented nulls (no tgd supplies "
-                "a value)"});
-      }
-    }
+    // The analyzer-only codes (dead-source-position, join-only-position)
+    // have no LintFinding kind; callers who want them use AnalyzeMapping.
   }
   return findings;
 }

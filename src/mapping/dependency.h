@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "mapping/source_span.h"
 #include "query/term.h"
 
 namespace spider {
@@ -46,6 +47,29 @@ class Tgd {
   /// Renders the tgd, e.g. `m1: Cards(cn, ...) -> Accounts(cn, ...) & ...`.
   std::string ToString(const Schema& source, const Schema& target) const;
 
+  /// Source-text region of the whole dependency (name through ';'). Invalid
+  /// (line 0) for tgds built programmatically rather than parsed.
+  const SourceSpan& span() const { return span_; }
+  void set_span(SourceSpan span) { span_ = span; }
+
+  /// Per-atom spans, parallel to lhs()/rhs(). Empty when unknown.
+  const std::vector<SourceSpan>& lhs_spans() const { return lhs_spans_; }
+  const std::vector<SourceSpan>& rhs_spans() const { return rhs_spans_; }
+  void set_atom_spans(std::vector<SourceSpan> lhs_spans,
+                      std::vector<SourceSpan> rhs_spans) {
+    lhs_spans_ = std::move(lhs_spans);
+    rhs_spans_ = std::move(rhs_spans);
+  }
+
+  /// Span of the given LHS/RHS atom, or the dependency span when per-atom
+  /// spans were not recorded.
+  SourceSpan LhsAtomSpan(size_t i) const {
+    return i < lhs_spans_.size() ? lhs_spans_[i] : span_;
+  }
+  SourceSpan RhsAtomSpan(size_t i) const {
+    return i < rhs_spans_.size() ? rhs_spans_[i] : span_;
+  }
+
  private:
   std::string name_;
   std::vector<std::string> var_names_;
@@ -53,6 +77,9 @@ class Tgd {
   std::vector<Atom> rhs_;
   bool source_to_target_;
   std::vector<bool> universal_;
+  SourceSpan span_;
+  std::vector<SourceSpan> lhs_spans_;
+  std::vector<SourceSpan> rhs_spans_;
 };
 
 /// An equality-generating dependency  ∀x φ(x) → x1 = x2, with φ over the
@@ -73,12 +100,28 @@ class Egd {
 
   std::string ToString(const Schema& target) const;
 
+  /// Source-text region of the whole egd; invalid (line 0) when built
+  /// programmatically.
+  const SourceSpan& span() const { return span_; }
+  void set_span(SourceSpan span) { span_ = span; }
+
+  /// Per-atom spans, parallel to lhs(). Empty when unknown.
+  const std::vector<SourceSpan>& lhs_spans() const { return lhs_spans_; }
+  void set_atom_spans(std::vector<SourceSpan> lhs_spans) {
+    lhs_spans_ = std::move(lhs_spans);
+  }
+  SourceSpan LhsAtomSpan(size_t i) const {
+    return i < lhs_spans_.size() ? lhs_spans_[i] : span_;
+  }
+
  private:
   std::string name_;
   std::vector<std::string> var_names_;
   std::vector<Atom> lhs_;
   VarId left_;
   VarId right_;
+  SourceSpan span_;
+  std::vector<SourceSpan> lhs_spans_;
 };
 
 }  // namespace spider

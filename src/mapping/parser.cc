@@ -21,6 +21,7 @@ struct Token {
   int64_t int_value = 0;
   double double_value = 0;
   int line = 0;
+  int col = 0;  // 1-based column of the token's first character
 };
 
 class Lexer {
@@ -40,11 +41,19 @@ class Lexer {
                       ": " + message);
   }
 
+  /// Line/column one past the last character of the most recently consumed
+  /// token (the previous current_), for closing spans.
+  int prev_end_line() const { return prev_end_line_; }
+  int prev_end_col() const { return prev_end_col_; }
+
  private:
   void Advance() {
+    prev_end_line_ = line_;
+    prev_end_col_ = Col();
     SkipSpaceAndComments();
     current_ = Token{};
     current_.line = line_;
+    current_.col = Col();
     if (pos_ >= text_.size()) {
       current_.kind = TokKind::kEnd;
       return;
@@ -87,7 +96,10 @@ class Lexer {
       ++pos_;
       std::string contents;
       while (pos_ < text_.size() && text_[pos_] != '"') {
-        if (text_[pos_] == '\n') ++line_;
+        if (text_[pos_] == '\n') {
+          ++line_;
+          line_start_ = pos_ + 1;
+        }
         contents.push_back(text_[pos_++]);
       }
       if (pos_ >= text_.size()) Fail("unterminated string literal");
@@ -114,6 +126,7 @@ class Lexer {
       if (c == '\n') {
         ++line_;
         ++pos_;
+        line_start_ = pos_;
       } else if (std::isspace(static_cast<unsigned char>(c))) {
         ++pos_;
       } else if (c == '/' && pos_ + 1 < text_.size() &&
@@ -125,9 +138,14 @@ class Lexer {
     }
   }
 
+  int Col() const { return static_cast<int>(pos_ - line_start_) + 1; }
+
   const std::string& text_;
   size_t pos_ = 0;
+  size_t line_start_ = 0;
   int line_ = 1;
+  int prev_end_line_ = 1;
+  int prev_end_col_ = 1;
   Token current_;
 };
 
@@ -142,6 +160,7 @@ struct RawAtom {
   std::string relation;
   std::vector<RawTerm> terms;
   int line = 0;
+  SourceSpan span;  // relation identifier through the closing ')'
 };
 
 class Parser {
@@ -329,6 +348,7 @@ class Parser {
     // Optional `name:` prefix. An atom also starts with IDENT, but is
     // followed by '(' rather than ':'.
     std::string name;
+    SourceSpan dep_span{lex_.peek().line, lex_.peek().col, 0, 0};
     if (lex_.peek().kind == TokKind::kIdent) {
       Token ident = lex_.Take();
       if (AcceptPunct(":")) {
@@ -336,6 +356,8 @@ class Parser {
       } else {
         // Not a name: re-parse as the first atom's relation.
         pending_relation_ = ident.text;
+        pending_relation_line_ = ident.line;
+        pending_relation_col_ = ident.col;
       }
     } else {
       lex_.Fail("expected a dependency");
@@ -363,12 +385,16 @@ class Parser {
       ExpectPunct("=");
       Token right = ExpectIdent();
       ExpectPunct(";");
-      BuildEgd(mapping, name, lhs, left.text, right.text);
+      dep_span.end_line = lex_.prev_end_line();
+      dep_span.end_col = lex_.prev_end_col();
+      BuildEgd(mapping, name, dep_span, lhs, left.text, right.text);
       return;
     }
     std::vector<RawAtom> rhs = ParseRawAtomList();
     ExpectPunct(";");
-    BuildTgd(mapping, name, lhs, rhs, declared_existential);
+    dep_span.end_line = lex_.prev_end_line();
+    dep_span.end_col = lex_.prev_end_col();
+    BuildTgd(mapping, name, dep_span, lhs, rhs, declared_existential);
   }
 
   /// True when the upcoming ident is followed by '(' (i.e. starts an atom).
@@ -380,6 +406,8 @@ class Parser {
     Token ident = lex_.Take();
     if (lex_.peek().kind == TokKind::kPunct && lex_.peek().text == "(") {
       pending_relation_ = ident.text;
+      pending_relation_line_ = ident.line;
+      pending_relation_col_ = ident.col;
       return true;
     }
     pending_ident_ = ident.text;
@@ -398,17 +426,28 @@ class Parser {
     atom.line = lex_.peek().line;
     if (!pending_relation_.empty()) {
       atom.relation = std::move(pending_relation_);
+      atom.span.line = pending_relation_line_;
+      atom.span.col = pending_relation_col_;
       pending_relation_.clear();
     } else {
-      atom.relation = ExpectIdent().text;
+      const Token rel = ExpectIdent();
+      atom.relation = rel.text;
+      atom.span.line = rel.line;
+      atom.span.col = rel.col;
     }
     ExpectPunct("(");
-    if (AcceptPunct(")")) return atom;
+    if (AcceptPunct(")")) {
+      atom.span.end_line = lex_.prev_end_line();
+      atom.span.end_col = lex_.prev_end_col();
+      return atom;
+    }
     while (true) {
       atom.terms.push_back(ParseRawTerm());
       if (AcceptPunct(")")) break;
       ExpectPunct(",");
     }
+    atom.span.end_line = lex_.prev_end_line();
+    atom.span.end_col = lex_.prev_end_col();
     return atom;
   }
 
@@ -480,8 +519,15 @@ class Parser {
     return atoms;
   }
 
+  static std::vector<SourceSpan> AtomSpans(const std::vector<RawAtom>& raw) {
+    std::vector<SourceSpan> spans;
+    spans.reserve(raw.size());
+    for (const RawAtom& ra : raw) spans.push_back(ra.span);
+    return spans;
+  }
+
   void BuildTgd(SchemaMapping* mapping, const std::string& name,
-                const std::vector<RawAtom>& raw_lhs,
+                const SourceSpan& dep_span, const std::vector<RawAtom>& raw_lhs,
                 const std::vector<RawAtom>& raw_rhs,
                 const std::vector<std::string>& declared_existential) {
     std::unordered_map<std::string, VarId> vars;
@@ -514,13 +560,16 @@ class Parser {
                    "dependency '" + name + "': existential variable '" + ev +
                        "' also occurs in the LHS");
     }
-    mapping->AddTgd(Tgd(name, std::move(var_names), std::move(*lhs),
-                        std::move(*rhs), source_to_target));
+    Tgd tgd(name, std::move(var_names), std::move(*lhs), std::move(*rhs),
+            source_to_target);
+    tgd.set_span(dep_span);
+    tgd.set_atom_spans(AtomSpans(raw_lhs), AtomSpans(raw_rhs));
+    mapping->AddTgd(std::move(tgd));
   }
 
   void BuildEgd(SchemaMapping* mapping, const std::string& name,
-                const std::vector<RawAtom>& raw_lhs, const std::string& left,
-                const std::string& right) {
+                const SourceSpan& dep_span, const std::vector<RawAtom>& raw_lhs,
+                const std::string& left, const std::string& right) {
     std::unordered_map<std::string, VarId> vars;
     std::vector<std::string> var_names;
     auto lhs = ResolveAtoms(raw_lhs, mapping->target(), &vars, &var_names);
@@ -531,8 +580,11 @@ class Parser {
     auto rit = vars.find(right);
     SPIDER_CHECK(lit != vars.end() && rit != vars.end(),
                  "egd '" + name + "': equated variables must occur in the LHS");
-    mapping->AddEgd(Egd(name, std::move(var_names), std::move(*lhs),
-                        lit->second, rit->second));
+    Egd egd(name, std::move(var_names), std::move(*lhs), lit->second,
+            rit->second);
+    egd.set_span(dep_span);
+    egd.set_atom_spans(AtomSpans(raw_lhs));
+    mapping->AddEgd(std::move(egd));
   }
 
   Token ExpectIdent() {
@@ -566,6 +618,8 @@ class Parser {
   // One-token pushback slots used to disambiguate `name:` vs. atom and
   // egd-vs-tgd right-hand sides.
   std::string pending_relation_;
+  int pending_relation_line_ = 0;
+  int pending_relation_col_ = 0;
   std::string pending_ident_;
 };
 

@@ -1,0 +1,32 @@
+#ifndef SPIDER_MAPPING_SOURCE_SPAN_H_
+#define SPIDER_MAPPING_SOURCE_SPAN_H_
+
+#include <string>
+
+namespace spider {
+
+/// A half-open region of scenario text: from (line, col) up to but not
+/// including (end_line, end_col). Lines and columns are 1-based; a
+/// default-constructed span (line 0) means "position unknown" — dependencies
+/// built programmatically (workload generators, tests constructing Tgd
+/// directly) carry no span, only parsed ones do.
+struct SourceSpan {
+  int line = 0;
+  int col = 0;
+  int end_line = 0;
+  int end_col = 0;
+
+  bool valid() const { return line > 0; }
+
+  /// Renders "line:col" (the anchor point), or "?" when unknown.
+  std::string ToString() const {
+    if (!valid()) return "?";
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+
+  friend bool operator==(const SourceSpan&, const SourceSpan&) = default;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_MAPPING_SOURCE_SPAN_H_

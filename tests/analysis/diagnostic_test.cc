@@ -1,0 +1,81 @@
+#include "analysis/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+namespace spider {
+namespace {
+
+Diagnostic Sample() {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.pass = "shape";
+  d.code = "dropped-variable";
+  d.tgd = 2;
+  d.span = SourceSpan{6, 5, 6, 30};
+  d.message = "tgd 'm1': LHS variable 'loc' never reaches the RHS";
+  d.hint = "map 'loc' to a target attribute";
+  return d;
+}
+
+TEST(DiagnosticTest, RendersCompilerStyle) {
+  EXPECT_EQ(RenderDiagnostic(Sample()),
+            "6:5: warning: [shape/dropped-variable] tgd 'm1': LHS variable "
+            "'loc' never reaches the RHS\n"
+            "    hint: map 'loc' to a target attribute\n");
+}
+
+TEST(DiagnosticTest, SpanlessRendersDash) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.pass = "egd";
+  d.code = "latent-key-violation";
+  d.message = "boom";
+  EXPECT_EQ(RenderDiagnostic(d),
+            "-: error: [egd/latent-key-violation] boom\n");
+}
+
+TEST(DiagnosticTest, EmptyListSaysNoFindings) {
+  EXPECT_EQ(RenderDiagnostics({}), "no findings\n");
+}
+
+TEST(DiagnosticTest, JsonHasFixedKeyOrderAndOmitsAbsentFields) {
+  EXPECT_EQ(DiagnosticsToJson({Sample()}),
+            "[\n"
+            "  {\"severity\": \"warning\", \"pass\": \"shape\", "
+            "\"code\": \"dropped-variable\", \"tgd\": 2, "
+            "\"span\": {\"line\": 6, \"col\": 5, \"end_line\": 6, "
+            "\"end_col\": 30}, "
+            "\"message\": \"tgd 'm1': LHS variable 'loc' never reaches the "
+            "RHS\", \"hint\": \"map 'loc' to a target attribute\"}\n"
+            "]\n");
+  EXPECT_EQ(DiagnosticsToJson({}), "[]\n");
+
+  Diagnostic bare;
+  bare.severity = Severity::kNote;
+  bare.pass = "egd";
+  bare.code = "x";
+  bare.message = "m";
+  EXPECT_EQ(DiagnosticsToJson({bare}),
+            "[\n"
+            "  {\"severity\": \"note\", \"pass\": \"egd\", \"code\": \"x\", "
+            "\"message\": \"m\"}\n"
+            "]\n");
+}
+
+TEST(DiagnosticTest, JsonEscapesSpecials) {
+  Diagnostic d;
+  d.pass = "p";
+  d.code = "c";
+  d.message = "say \"hi\"\\\nnew\tline";
+  std::string json = DiagnosticsToJson({d});
+  EXPECT_NE(json.find("say \\\"hi\\\"\\\\\\nnew\\tline"), std::string::npos);
+}
+
+TEST(DiagnosticTest, SeverityNames) {
+  EXPECT_STREQ(SeverityName(Severity::kNote), "note");
+  EXPECT_STREQ(SeverityName(Severity::kWarning), "warning");
+  EXPECT_STREQ(SeverityName(Severity::kError), "error");
+}
+
+}  // namespace
+}  // namespace spider

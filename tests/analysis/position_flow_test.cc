@@ -1,0 +1,118 @@
+#include "analysis/position_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+
+namespace spider {
+namespace {
+
+int SourcePos(const PositionFlow& flow, const Schema& schema,
+              const std::string& rel, int col) {
+  return flow.source.Id(schema.Require(rel), col);
+}
+
+int TargetPos(const PositionFlow& flow, const Schema& schema,
+              const std::string& rel, int col) {
+  return flow.target.Id(schema.Require(rel), col);
+}
+
+TEST(PositionFlowTest, CopiedAndDroppedSourcePositions) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a); }
+    m: S(x, y) -> T(x);
+  )");
+  PositionFlow flow = ComputePositionFlow(*s.mapping);
+  int sa = SourcePos(flow, s.mapping->source(), "S", 0);
+  int sb = SourcePos(flow, s.mapping->source(), "S", 1);
+  EXPECT_TRUE(flow.source_read[sa]);
+  EXPECT_TRUE(flow.source_reaches_target[sa]);
+  EXPECT_TRUE(flow.source_read[sb]);
+  EXPECT_FALSE(flow.source_reaches_target[sb]);
+  EXPECT_FALSE(flow.source_joins[sb]);
+
+  int ta = TargetPos(flow, s.mapping->target(), "T", 0);
+  EXPECT_TRUE(flow.target_written[ta]);
+  EXPECT_TRUE(flow.target_directly_grounded[ta]);
+  EXPECT_TRUE(flow.target_can_hold_constant[ta]);
+}
+
+TEST(PositionFlowTest, JoinOnlyPositions) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, k); Q(k); }
+    target schema { T(a); }
+    m: R(x, y) & Q(y) -> T(x);
+  )");
+  PositionFlow flow = ComputePositionFlow(*s.mapping);
+  int rk = SourcePos(flow, s.mapping->source(), "R", 1);
+  int qk = SourcePos(flow, s.mapping->source(), "Q", 0);
+  EXPECT_FALSE(flow.source_reaches_target[rk]);
+  EXPECT_TRUE(flow.source_joins[rk]);
+  EXPECT_FALSE(flow.source_reaches_target[qk]);
+  EXPECT_TRUE(flow.source_joins[qk]);
+}
+
+TEST(PositionFlowTest, TransitiveGroundingThroughTargetTgd) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T1(a); T2(a); }
+    m: S(x) -> T1(x);
+    t: T1(x) -> T2(x);
+  )");
+  PositionFlow flow = ComputePositionFlow(*s.mapping);
+  int t2a = TargetPos(flow, s.mapping->target(), "T2", 0);
+  EXPECT_TRUE(flow.target_written[t2a]);
+  EXPECT_TRUE(flow.target_can_hold_constant[t2a]);
+}
+
+TEST(PositionFlowTest, TransitiveNullOnlyThroughTargetTgd) {
+  // t copies T1.a into T2.a with a universal variable — the seed linter's
+  // direct notion calls T2.a grounded — but everything arriving at T1.a is
+  // an invented null, so transitively T2.a is null-only.
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T1(a); T2(a); }
+    m: S(x) -> exists N . T1(N);
+    t: T1(x) -> T2(x);
+  )");
+  PositionFlow flow = ComputePositionFlow(*s.mapping);
+  int t1a = TargetPos(flow, s.mapping->target(), "T1", 0);
+  int t2a = TargetPos(flow, s.mapping->target(), "T2", 0);
+  EXPECT_FALSE(flow.target_can_hold_constant[t1a]);
+  EXPECT_FALSE(flow.target_directly_grounded[t1a]);
+  EXPECT_FALSE(flow.target_can_hold_constant[t2a]);
+  EXPECT_TRUE(flow.target_directly_grounded[t2a]);
+}
+
+TEST(PositionFlowTest, JoinInTargetTgdNeedsAllReadPositionsConstant) {
+  // q joins a constant-capable position with a null-only one; the joined
+  // value must occur at both, so it can never be a constant.
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { G(a); N(a); Out(a); }
+    m1: S(x) -> G(x);
+    m2: S(x) -> exists Z . N(Z);
+    t: G(q) & N(q) -> Out(q);
+  )");
+  PositionFlow flow = ComputePositionFlow(*s.mapping);
+  int out = TargetPos(flow, s.mapping->target(), "Out", 0);
+  EXPECT_TRUE(flow.target_written[out]);
+  EXPECT_FALSE(flow.target_can_hold_constant[out]);
+}
+
+TEST(PositionFlowTest, ConstantInRhsGroundsPosition) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    m: S(x) -> exists Z . T(Z, 7);
+  )");
+  PositionFlow flow = ComputePositionFlow(*s.mapping);
+  EXPECT_FALSE(flow.target_can_hold_constant[TargetPos(
+      flow, s.mapping->target(), "T", 0)]);
+  EXPECT_TRUE(flow.target_can_hold_constant[TargetPos(
+      flow, s.mapping->target(), "T", 1)]);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,128 @@
+#include "analysis/subsumption.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+
+namespace spider {
+namespace {
+
+TEST(SubsumptionTest, WeakerStTgdIsImplied) {
+  // m2 asks for less than m1 delivers: chase m2's frozen LHS with {m1} and
+  // T(frz:x, frz:y) already provides the required T(frz:x, Z).
+  Scenario s = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    m1: S(x, y) -> T(x, y);
+    m2: S(x, y) -> exists Z . T(x, Z);
+  )");
+  EXPECT_EQ(TestTgdSubsumption(*s.mapping, s.mapping->FindTgd("m2")),
+            SubsumptionVerdict::kImplied);
+  EXPECT_EQ(TestTgdSubsumption(*s.mapping, s.mapping->FindTgd("m1")),
+            SubsumptionVerdict::kNotImplied);
+}
+
+TEST(SubsumptionTest, TargetTgdImpliedTransitively) {
+  // ac is the composition of ab and bc: the frozen chase copies A(frz:x)
+  // into the target, runs ab then bc, and C(frz:x) appears.
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { A(a); B(a); C(a); }
+    m: S(x) -> A(x);
+    ab: A(x) -> B(x);
+    bc: B(x) -> C(x);
+    ac: A(x) -> C(x);
+  )");
+  EXPECT_EQ(TestTgdSubsumption(*s.mapping, s.mapping->FindTgd("ac")),
+            SubsumptionVerdict::kImplied);
+  EXPECT_EQ(TestTgdSubsumption(*s.mapping, s.mapping->FindTgd("ab")),
+            SubsumptionVerdict::kNotImplied);
+  EXPECT_EQ(TestTgdSubsumption(*s.mapping, s.mapping->FindTgd("bc")),
+            SubsumptionVerdict::kNotImplied);
+}
+
+TEST(SubsumptionTest, DuplicateTgdIsImpliedEitherWay) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a); }
+    m1: S(x) -> T(x);
+    m2: S(y) -> T(y);
+  )");
+  EXPECT_EQ(TestTgdSubsumption(*s.mapping, 0), SubsumptionVerdict::kImplied);
+  EXPECT_EQ(TestTgdSubsumption(*s.mapping, 1), SubsumptionVerdict::kImplied);
+}
+
+TEST(SubsumptionTest, StepLimitIsInconclusive) {
+  // grow never terminates on a frozen T fact; the budget makes the test for
+  // m2 inconclusive rather than hanging.
+  Scenario s = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    m1: S(x, y) -> T(x, y);
+    grow: T(x, y) -> exists Z . T(y, Z);
+    m2: S(x, y) -> exists Z . T(x, Z);
+  )");
+  EXPECT_EQ(TestTgdSubsumption(*s.mapping, s.mapping->FindTgd("m2"),
+                               /*max_steps=*/100),
+            SubsumptionVerdict::kInconclusive);
+}
+
+TEST(SubsumptionTest, EgdFailureIsInconclusive) {
+  // Chasing m2's frozen LHS fires m1, and the key egd then equates the
+  // frozen constant with 1 — two distinct constants, no solution for the
+  // frozen instance, so the implication test cannot conclude.
+  Scenario s = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    m1: S(x, y) -> T(x, y) & T(x, 1);
+    m2: S(x, y) -> exists Z . T(x, Z);
+    e: T(a, b) & T(a, c) -> b = c;
+  )");
+  EXPECT_EQ(TestTgdSubsumption(*s.mapping, s.mapping->FindTgd("m2")),
+            SubsumptionVerdict::kInconclusive);
+}
+
+TEST(SubsumptionTest, FrozenChaseBuildsCanonicalInstance) {
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); Q(b); }
+    target schema { T(a); }
+    m: R(x, y) & Q(y) -> T(x);
+  )");
+  FrozenChaseResult frozen = ChaseFrozenLhs(*s.mapping, 0);
+  ASSERT_TRUE(frozen.ok);
+  // One tuple per LHS atom, sharing the frozen constant for y.
+  const Instance& source = *frozen.frozen_source;
+  ASSERT_EQ(source.NumTuples(source.schema().Require("R")), 1u);
+  ASSERT_EQ(source.NumTuples(source.schema().Require("Q")), 1u);
+  const Tuple& r = source.tuples(source.schema().Require("R"))[0];
+  const Tuple& q = source.tuples(source.schema().Require("Q"))[0];
+  EXPECT_TRUE(r.at(0).is_constant());
+  EXPECT_EQ(r.at(1), q.at(0));
+  EXPECT_NE(r.at(0), r.at(1));
+  // With sigma excluded nothing fires: the target stays empty.
+  EXPECT_EQ(frozen.chase.target->TotalTuples(), 0u);
+}
+
+TEST(SubsumptionTest, TargetTgdChasesThroughCopyMapping) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { A(a); B(a); }
+    m: S(x) -> A(x);
+    t: A(x) -> B(x);
+  )");
+  FrozenChaseOptions options;
+  options.include_sigma = true;
+  FrozenChaseResult frozen =
+      ChaseFrozenLhs(*s.mapping, s.mapping->FindTgd("t"), options);
+  ASSERT_TRUE(frozen.ok);
+  // The derived source schema mirrors the target, bridged by identity tgds.
+  EXPECT_NE(frozen.derived->source().Find("A"), kInvalidRelation);
+  EXPECT_NE(frozen.derived->FindTgd("__copy_A"), -1);
+  // The frozen A fact was copied to the target and t fired on it there.
+  const Instance& target = *frozen.chase.target;
+  EXPECT_EQ(target.NumTuples(target.schema().Require("A")), 1u);
+  EXPECT_EQ(target.NumTuples(target.schema().Require("B")), 1u);
+}
+
+}  // namespace
+}  // namespace spider

@@ -57,6 +57,67 @@ TEST(WeakAcyclicityTest, CreditCardMappingIsNotWeaklyAcyclic) {
   EXPECT_FALSE(IsWeaklyAcyclic(*s.mapping));
 }
 
+TEST(WeakAcyclicityTest, WitnessReturnsClosedCycleThroughSpecialEdge) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { A(x); B(x); }
+    m: S(x) -> A(x);
+    t1: A(x) -> exists Y . B(Y);
+    t2: B(x) -> exists Z . A(Z);
+  )");
+  PositionDependencyGraph graph = PositionDependencyGraph::Build(*s.mapping);
+  AcyclicityWitness witness = CheckWeakAcyclicity(graph);
+  ASSERT_FALSE(witness.weakly_acyclic);
+  ASSERT_FALSE(witness.cycle.empty());
+  // The cycle is a closed walk whose first edge is special.
+  EXPECT_TRUE(graph.edges()[witness.cycle[0]].special);
+  for (size_t i = 0; i + 1 < witness.cycle.size(); ++i) {
+    EXPECT_EQ(graph.edges()[witness.cycle[i]].to,
+              graph.edges()[witness.cycle[i + 1]].from);
+  }
+  EXPECT_EQ(graph.edges()[witness.cycle.front()].from,
+            graph.edges()[witness.cycle.back()].to);
+  // A.x ~t1~> B.x ~t2~> A.x, rendered with tgd provenance.
+  std::string walk = witness.Describe(*s.mapping, graph);
+  EXPECT_NE(walk.find("A.x"), std::string::npos);
+  EXPECT_NE(walk.find("B.x"), std::string::npos);
+  EXPECT_NE(walk.find("~(t1)~>"), std::string::npos);
+  EXPECT_NE(walk.find("~(t2)~>"), std::string::npos);
+}
+
+TEST(WeakAcyclicityTest, WitnessOnAcyclicMappingIsEmpty) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T1(a); T2(a); }
+    m: S(x) -> T1(x);
+    t: T1(x) -> T2(x);
+  )");
+  PositionDependencyGraph graph = PositionDependencyGraph::Build(*s.mapping);
+  AcyclicityWitness witness = CheckWeakAcyclicity(graph);
+  EXPECT_TRUE(witness.weakly_acyclic);
+  EXPECT_TRUE(witness.cycle.empty());
+  EXPECT_EQ(witness.Describe(*s.mapping, graph), "weakly acyclic");
+  // The graph itself still records the regular copy edge with provenance.
+  ASSERT_EQ(graph.edges().size(), 1u);
+  EXPECT_FALSE(graph.edges()[0].special);
+  EXPECT_EQ(s.mapping->tgd(graph.edges()[0].tgd).name(), "t");
+  EXPECT_EQ(graph.PositionName(s.mapping->target(), graph.edges()[0].from),
+            "T1.a");
+  EXPECT_EQ(graph.PositionName(s.mapping->target(), graph.edges()[0].to),
+            "T2.a");
+}
+
+TEST(WeakAcyclicityTest, CreditCardWitnessNamesTheFeedingTgds) {
+  Scenario s = testing::CreditCardScenario();
+  PositionDependencyGraph graph = PositionDependencyGraph::Build(*s.mapping);
+  AcyclicityWitness witness = CheckWeakAcyclicity(graph);
+  ASSERT_FALSE(witness.weakly_acyclic);
+  std::string walk = witness.Describe(*s.mapping, graph);
+  // m4 and m5 feed each other's existential positions.
+  EXPECT_NE(walk.find("m4"), std::string::npos);
+  EXPECT_NE(walk.find("m5"), std::string::npos);
+}
+
 TEST(WeakAcyclicityTest, FullTgdsAlwaysWeaklyAcyclic) {
   Scenario s = ParseScenario(R"(
     source schema { S(a, b); }

@@ -125,6 +125,35 @@ TEST(LinterTest, RenderingListsTags) {
   EXPECT_EQ(RenderLintFindings({}), "no findings\n");
 }
 
+TEST(LinterTest, AdapterPinsSeedRenderingByteForByte) {
+  // LintMapping is now an adapter over spider::AnalyzeMapping; this pins the
+  // seed linter's exact output (messages, tags, order) for a mapping that
+  // exercises every mapped finding class.
+  Scenario s = ParseScenario(R"(
+    source schema { R(a, b); Dead(a); }
+    target schema { T(a, b); Empty(a); }
+    m: R(x, y) -> exists Z . T(x, Z);
+  )");
+  EXPECT_EQ(
+      RenderLintFindings(LintMapping(*s.mapping)),
+      "[dropped-variable] tgd 'm': LHS variable 'y' never reaches the RHS "
+      "(source data dropped?)\n"
+      "[unused-source-relation] source relation 'Dead' is not read by any "
+      "s-t tgd (data never migrated)\n"
+      "[unpopulated-target-relation] target relation 'Empty' is not written "
+      "by any tgd (always empty)\n"
+      "[null-factory] target attribute T.b is only ever filled with "
+      "invented nulls (no tgd supplies a value)\n");
+  // Schema-level findings keep tgd = -1, per the seed contract.
+  for (const LintFinding& f : LintMapping(*s.mapping)) {
+    if (f.kind == LintFinding::Kind::kDroppedLhsVariable) {
+      EXPECT_EQ(s.mapping->tgd(f.tgd).name(), "m");
+    } else {
+      EXPECT_EQ(f.tgd, -1);
+    }
+  }
+}
+
 TEST(LinterTest, TargetTgdsAlsoLinted) {
   Scenario s = ParseScenario(R"(
     source schema { R(a); }

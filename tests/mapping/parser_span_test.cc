@@ -1,0 +1,123 @@
+// Span tracking: the parser records line/column spans per dependency and per
+// atom, and malformed inputs keep their line-numbered SpiderError messages.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/status.h"
+#include "mapping/parser.h"
+
+namespace spider {
+namespace {
+
+// Built with explicit newlines so every column below is exact.
+const char* kSpanText =
+    "source schema { R(a, b); }\n"             // line 1
+    "target schema { T(u, v); U(w); }\n"       // line 2
+    "m1: R(x, y) -> T(x, y);\n"                // line 3
+    "t1: T(x, y) & T(y, z)\n"                  // line 4
+    "      -> U(x);\n"                         // line 5
+    "e1: U(x) & U(y) -> x = y;\n";             // line 6
+
+TEST(ParserSpanTest, DependencySpansCoverNameThroughSemicolon) {
+  Scenario s = ParseScenario(kSpanText);
+  ASSERT_EQ(s.mapping->NumTgds(), 2u);
+  ASSERT_EQ(s.mapping->NumEgds(), 1u);
+
+  const Tgd& m1 = s.mapping->tgd(s.mapping->FindTgd("m1"));
+  EXPECT_EQ(m1.span(), (SourceSpan{3, 1, 3, 24}));
+
+  // t1 wraps onto line 5; the span follows.
+  const Tgd& t1 = s.mapping->tgd(s.mapping->FindTgd("t1"));
+  EXPECT_EQ(t1.span(), (SourceSpan{4, 1, 5, 15}));
+
+  const Egd& e1 = s.mapping->egd(0);
+  EXPECT_EQ(e1.span(), (SourceSpan{6, 1, 6, 26}));
+}
+
+TEST(ParserSpanTest, AtomSpansCoverRelationThroughClosingParen) {
+  Scenario s = ParseScenario(kSpanText);
+  const Tgd& m1 = s.mapping->tgd(s.mapping->FindTgd("m1"));
+  ASSERT_EQ(m1.lhs_spans().size(), 1u);
+  ASSERT_EQ(m1.rhs_spans().size(), 1u);
+  EXPECT_EQ(m1.lhs_spans()[0], (SourceSpan{3, 5, 3, 12}));   // R(x, y)
+  EXPECT_EQ(m1.rhs_spans()[0], (SourceSpan{3, 16, 3, 23}));  // T(x, y)
+  EXPECT_EQ(m1.LhsAtomSpan(0), m1.lhs_spans()[0]);
+
+  const Tgd& t1 = s.mapping->tgd(s.mapping->FindTgd("t1"));
+  ASSERT_EQ(t1.lhs_spans().size(), 2u);
+  EXPECT_EQ(t1.lhs_spans()[1], (SourceSpan{4, 15, 4, 22}));  // T(y, z)
+  ASSERT_EQ(t1.rhs_spans().size(), 1u);
+  EXPECT_EQ(t1.rhs_spans()[0], (SourceSpan{5, 10, 5, 14}));  // U(x)
+
+  const Egd& e1 = s.mapping->egd(0);
+  ASSERT_EQ(e1.lhs_spans().size(), 2u);
+  EXPECT_EQ(e1.lhs_spans()[0], (SourceSpan{6, 5, 6, 9}));    // U(x)
+  EXPECT_EQ(e1.lhs_spans()[1], (SourceSpan{6, 12, 6, 16}));  // U(y)
+}
+
+TEST(ParserSpanTest, UnnamedDependencySpanStartsAtFirstAtom) {
+  Scenario s = ParseScenario(
+      "source schema { R(a); }\n"
+      "target schema { T(a); }\n"
+      "R(x) -> T(x);\n");
+  const Tgd& tgd = s.mapping->tgd(0);
+  EXPECT_EQ(tgd.span(), (SourceSpan{3, 1, 3, 14}));
+  ASSERT_EQ(tgd.lhs_spans().size(), 1u);
+  EXPECT_EQ(tgd.lhs_spans()[0], (SourceSpan{3, 1, 3, 5}));
+}
+
+TEST(ParserSpanTest, ProgrammaticTgdHasInvalidSpan) {
+  Tgd tgd("t", {"x"}, {Atom{0, {Term::Var(0)}}}, {Atom{0, {Term::Var(0)}}},
+          true);
+  EXPECT_FALSE(tgd.span().valid());
+  EXPECT_TRUE(tgd.lhs_spans().empty());
+  // Atom-span accessors fall back to the (invalid) dependency span.
+  EXPECT_FALSE(tgd.LhsAtomSpan(0).valid());
+  EXPECT_EQ(tgd.span().ToString(), "?");
+}
+
+// Error positions on malformed inputs must stay stable: downstream tooling
+// (and users) rely on the "parse error at line N" prefix.
+TEST(ParserSpanTest, ErrorPositionsOnMalformedInputs) {
+  struct Case {
+    const char* text;
+    const char* message_prefix;
+  };
+  const Case cases[] = {
+      {"source schema {\nR(a;\n}", "parse error at line 2: expected ','"},
+      {"source schema { R(a); }\ntarget schema { T(a); }\nm: R(x) -> T(@);",
+       "parse error at line 3: expected a term"},
+      {"source schema { R(a); }\ntarget schema { T(a); }\n\nm: R(x) - T(x);",
+       "parse error at line 4: expected '->'"},
+      {"source schema { R(a); }\ntarget\n",
+       "parse error at line 3: expected identifier"},
+      {"source schema { R(a); }\ntarget instanse { }\n",
+       "parse error at line 2: expected 'schema' or 'instance'"},
+  };
+  for (const Case& c : cases) {
+    try {
+      ParseScenario(c.text);
+      FAIL() << "expected SpiderError for: " << c.text;
+    } catch (const SpiderError& e) {
+      EXPECT_EQ(std::string(e.what()).rfind(c.message_prefix, 0), 0u)
+          << "got: " << e.what();
+    }
+  }
+}
+
+TEST(ParserSpanTest, SpansSurviveMultilineStringLiterals) {
+  // A string literal containing a newline shifts subsequent lines; spans must
+  // account for it.
+  Scenario s = ParseScenario(
+      "source schema { R(a); }\n"
+      "target schema { T(a); }\n"
+      "source instance { R(\"two\nline\"); }\n"
+      "m: R(x) -> T(x);\n");
+  const Tgd& tgd = s.mapping->tgd(0);
+  EXPECT_EQ(tgd.span().line, 5);
+  EXPECT_EQ(tgd.span().col, 1);
+}
+
+}  // namespace
+}  // namespace spider
