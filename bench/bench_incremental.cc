@@ -1,0 +1,185 @@
+// Incremental maintenance vs. full re-chase on the relational workload
+// (§4.1 shapes). For source deltas of 0.1%, 1% and 10% (half deletions of
+// existing tuples, half insertions of fresh ones) the bench measures
+//   full_rechase_ms — chasing the edited source from scratch, which is what
+//                     the edit/re-debug loop would pay without
+//                     spider::incremental;
+//   incremental_ms  — IncrementalChaser::Apply on a maintainer whose
+//                     initial chase ran untimed;
+// and cross-checks the two solutions relation-by-relation (cardinality)
+// before reporting — full homomorphic equivalence is a test-scale check
+// (the differential fuzz suite); posing a 170k-tuple instance as one
+// conjunctive query is itself minutes of planner work at bench scale.
+// Emits BENCH_incremental.json (or argv[1]).
+//
+// Plain main(), no google-benchmark harness: each configuration is a single
+// long-running measured call, and the JSON is consumed by CI.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "incremental/delta_chase.h"
+#include "incremental/source_delta.h"
+#include "workload/relational_scenario.h"
+#include "workload/rng.h"
+
+namespace spider::bench {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+struct DeltaRun {
+  std::string label;
+  size_t ops = 0;
+  size_t deleted = 0;
+  size_t inserted = 0;
+  double full_ms = 0;
+  double incremental_ms = 0;
+  IncrementalStats stats;
+};
+
+/// Builds a delta touching ~`fraction` of the source: the first half
+/// deletes existing tuples spread across all relations, the second half
+/// inserts fresh tuples (copies with a fresh key column, so every insert is
+/// genuinely new and triggers downstream work).
+SourceDelta DrawDelta(const Scenario& scenario, double fraction,
+                      uint64_t seed) {
+  const Instance& source = *scenario.source;
+  const Schema& schema = scenario.mapping->source();
+  size_t total = source.TotalTuples();
+  size_t ops = static_cast<size_t>(static_cast<double>(total) * fraction);
+  if (ops < 2) ops = 2;
+  Rng rng(seed);
+  SourceDelta delta;
+  size_t num_rels = source.NumRelations();
+  for (size_t i = 0; i < ops / 2; ++i) {
+    RelationId rel = static_cast<RelationId>(rng.Below(num_rels));
+    if (source.NumTuples(rel) == 0) continue;
+    int32_t row = static_cast<int32_t>(rng.Below(source.NumTuples(rel)));
+    delta.Delete(schema.relation(rel).name(), source.tuple(rel, row));
+  }
+  int64_t fresh = 1'000'000'000;
+  for (size_t i = ops / 2; i < ops; ++i) {
+    RelationId rel = static_cast<RelationId>(rng.Below(num_rels));
+    if (source.NumTuples(rel) == 0) continue;
+    int32_t row = static_cast<int32_t>(rng.Below(source.NumTuples(rel)));
+    std::vector<Value> values = source.tuple(rel, row).values();
+    values[0] = Value::Int(fresh + static_cast<int64_t>(i));
+    delta.Insert(schema.relation(rel).name(), Tuple(std::move(values)));
+  }
+  return delta;
+}
+
+DeltaRun RunOne(const Scenario& scenario, const std::string& label,
+                double fraction) {
+  DeltaRun run;
+  run.label = label;
+  SourceDelta delta = DrawDelta(scenario, fraction, /*seed=*/17);
+  run.ops = delta.size();
+
+  // Maintainer over private copies; the initial chase is setup, not
+  // measured (the debug session pays it once when the scenario opens).
+  Instance source = *scenario.source;
+  Instance target(&scenario.mapping->target());
+  std::cerr << label << ": opening (initial chase)...\n";
+  IncrementalChaser chaser(scenario.mapping.get(), &source, &target);
+  std::cerr << label << ": applying " << run.ops << " ops\n";
+
+  auto start = std::chrono::steady_clock::now();
+  ApplyDeltaResult result = chaser.Apply(delta);
+  run.incremental_ms = MillisSince(start);
+  run.deleted = result.source_deleted;
+  run.inserted = result.source_inserted;
+  run.stats = chaser.stats();
+  const IncrementalPhaseTimes& ph = run.stats.phases;
+  std::cerr << label << ": phases del=" << ph.delete_apply_ms
+            << " dred=" << ph.dred_ms << " commit=" << ph.commit_ms
+            << " refire=" << ph.refire_ms << " ins=" << ph.insert_apply_ms
+            << " trig=" << ph.trigger_ms << " fire=" << ph.fire_ms
+            << " prop=" << ph.propagate_ms << " (ms)\n";
+  SPIDER_CHECK(!result.full_rechase,
+               "relational workload has no egds; Apply must stay incremental");
+
+  // The from-scratch alternative on the identical edited source.
+  start = std::chrono::steady_clock::now();
+  ChaseResult scratch = Chase(*scenario.mapping, source);
+  run.full_ms = MillisSince(start);
+  SPIDER_CHECK(scratch.outcome == ChaseOutcome::kSuccess,
+               "full re-chase failed");
+  // Sanity cross-check: the copy mapping is existential-free, so the two
+  // solutions must agree relation-by-relation on cardinality.
+  for (size_t r = 0; r < target.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    SPIDER_CHECK(target.NumTuples(rel) == scratch.target->NumTuples(rel),
+                 "incremental and from-scratch solutions diverge on " +
+                     target.schema().relation(rel).name());
+  }
+  return run;
+}
+
+int Run(const std::string& out_path) {
+  RelationalScenarioOptions workload;
+  workload.joins = 1;
+  workload.groups = 6;
+  workload.sizes.units = 200;  // The S scale, ~28k source tuples.
+  Scenario scenario = BuildRelationalScenario(workload);
+  std::cerr << "scenario: " << scenario.source->TotalTuples()
+            << " source tuples\n";
+
+  std::vector<DeltaRun> runs;
+  runs.push_back(RunOne(scenario, "0.1%", 0.001));
+  runs.push_back(RunOne(scenario, "1%", 0.01));
+  runs.push_back(RunOne(scenario, "10%", 0.1));
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"incremental\",\n";
+  out << "  \"source_tuples\": " << scenario.source->TotalTuples() << ",\n";
+  out << "  \"deltas\": {\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const DeltaRun& r = runs[i];
+    double speedup =
+        r.incremental_ms > 0 ? r.full_ms / r.incremental_ms : 0.0;
+    out << "    \"" << r.label << "\": {"
+        << "\"ops\": " << r.ops << ", \"deleted\": " << r.deleted
+        << ", \"inserted\": " << r.inserted
+        << ", \"full_rechase_ms\": " << r.full_ms
+        << ", \"incremental_ms\": " << r.incremental_ms
+        << ", \"speedup\": " << speedup
+        << ", \"triggers_enumerated\": " << r.stats.triggers_enumerated
+        << ", \"overdeleted\": " << r.stats.overdeleted
+        << ", \"rederived\": " << r.stats.rederived
+        << ", \"refired\": " << r.stats.refired
+        << ", \"phases_ms\": {\"delete_apply\": "
+        << r.stats.phases.delete_apply_ms
+        << ", \"dred\": " << r.stats.phases.dred_ms
+        << ", \"commit\": " << r.stats.phases.commit_ms
+        << ", \"refire\": " << r.stats.phases.refire_ms
+        << ", \"insert_apply\": " << r.stats.phases.insert_apply_ms
+        << ", \"trigger\": " << r.stats.phases.trigger_ms
+        << ", \"fire\": " << r.stats.phases.fire_ms
+        << ", \"propagate\": " << r.stats.phases.propagate_ms << "}}"
+        << (i + 1 < runs.size() ? ",\n" : "\n");
+    std::cerr << r.label << ": full=" << r.full_ms
+              << "ms incremental=" << r.incremental_ms << "ms speedup="
+              << speedup << "x\n";
+  }
+  out << "  }\n}\n";
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace spider::bench
+
+int main(int argc, char** argv) {
+  return spider::bench::Run(argc > 1 ? argv[1] : "BENCH_incremental.json");
+}

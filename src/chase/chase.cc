@@ -42,8 +42,9 @@ bool ApplyOneEgdStep(const SchemaMapping& mapping, Instance* target,
     while (it.Next()) {
       const Value& left = b.Get(egd.left());
       const Value& right = b.Get(egd.right());
-      if (left == right) continue;
-      if (left.is_constant() && right.is_constant()) {
+      EgdUnification u = ChooseEgdUnification(left, right);
+      if (u.kind == EgdUnification::Kind::kNoop) continue;
+      if (u.kind == EgdUnification::Kind::kFailure) {
         *failed = true;
         *failure_message = "egd '" + egd.name() +
                            "' equates distinct constants " + left.ToString() +
@@ -51,20 +52,7 @@ bool ApplyOneEgdStep(const SchemaMapping& mapping, Instance* target,
         stats->eval += it.stats();
         return false;
       }
-      // Replace a labeled null by the other value. When both are nulls the
-      // one with the larger id is replaced, which keeps the result
-      // deterministic.
-      NullId victim;
-      Value replacement;
-      if (left.is_null() && (right.is_constant() ||
-                             right.AsNull().id < left.AsNull().id)) {
-        victim = left.AsNull();
-        replacement = right;
-      } else {
-        victim = right.AsNull();
-        replacement = left;
-      }
-      target->ApplySubstitution(victim, replacement);
+      target->ApplySubstitution(u.victim, u.replacement);
       ++stats->egd_steps;
       stats->eval += it.stats();
       return true;
@@ -75,6 +63,25 @@ bool ApplyOneEgdStep(const SchemaMapping& mapping, Instance* target,
 }
 
 }  // namespace
+
+EgdUnification ChooseEgdUnification(const Value& left, const Value& right) {
+  EgdUnification result;
+  if (left == right) return result;
+  if (left.is_constant() && right.is_constant()) {
+    result.kind = EgdUnification::Kind::kFailure;
+    return result;
+  }
+  result.kind = EgdUnification::Kind::kUnify;
+  if (left.is_null() &&
+      (right.is_constant() || right.AsNull().id < left.AsNull().id)) {
+    result.victim = left.AsNull();
+    result.replacement = right;
+  } else {
+    result.victim = right.AsNull();
+    result.replacement = left;
+  }
+  return result;
+}
 
 ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
                   const ChaseOptions& options) {

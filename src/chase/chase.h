@@ -75,6 +75,25 @@ struct ChaseStats {
   }
 };
 
+/// Outcome of comparing the two sides of a violated egd equality: what the
+/// chase step must do about `left` != `right`.
+struct EgdUnification {
+  enum class Kind {
+    kNoop,     ///< Values already equal — nothing to do.
+    kUnify,    ///< Replace `victim` by `replacement`.
+    kFailure,  ///< Two distinct constants — no solution exists.
+  };
+  Kind kind = Kind::kNoop;
+  NullId victim;
+  Value replacement;
+};
+
+/// The deterministic unification rule shared by every chase variant (plain,
+/// annotated, incremental): a labeled null yields to a constant, and of two
+/// nulls the one with the larger id is replaced, so the result does not
+/// depend on enumeration order.
+EgdUnification ChooseEgdUnification(const Value& left, const Value& right);
+
 struct ChaseResult {
   ChaseOutcome outcome = ChaseOutcome::kSuccess;
   /// The produced target instance (a universal solution on success; partial

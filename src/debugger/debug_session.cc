@@ -1,0 +1,59 @@
+#include "debugger/debug_session.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+
+namespace spider {
+
+DebugSession::DebugSession(Scenario scenario, DebugSessionOptions options)
+    : scenario_(std::move(scenario)), options_(std::move(options)) {
+  SPIDER_CHECK(scenario_.mapping != nullptr && scenario_.source != nullptr,
+               "DebugSession requires a populated scenario");
+  if (scenario_.target == nullptr) {
+    scenario_.target = std::make_unique<Instance>(&scenario_.mapping->target());
+  }
+  IncrementalOptions inc = options_.incremental;
+  inc.first_null_id = scenario_.max_null_id + 1;
+  chaser_ = std::make_unique<IncrementalChaser>(
+      scenario_.mapping.get(), scenario_.source.get(), scenario_.target.get(),
+      std::move(inc));
+  scenario_.max_null_id = chaser_->next_null_id() - 1;
+  debugger_ = std::make_unique<MappingDebugger>(&scenario_, options_.routes);
+}
+
+ApplyDeltaResult DebugSession::Apply(const SourceDelta& delta) {
+  ApplyDeltaResult result = chaser_->Apply(delta);
+  scenario_.max_null_id = chaser_->next_null_id() - 1;
+  cache_.Invalidate(*scenario_.mapping, result);
+  return result;
+}
+
+FactKey DebugSession::TargetKey(const std::string& fact_text) const {
+  FactRef ref = debugger_->TargetFact(fact_text);
+  return FactKey{Side::kTarget, ref.relation,
+                 scenario_.target->tuple(ref.relation, ref.row)};
+}
+
+const Route& DebugSession::RouteFor(const std::string& fact_text) {
+  FactRef ref = debugger_->TargetFact(fact_text);
+  FactKey key{Side::kTarget, ref.relation,
+              scenario_.target->tuple(ref.relation, ref.row)};
+  if (const Route* cached = cache_.FindRoute(key)) return *cached;
+  OneRouteResult result = debugger_->OneRoute({ref});
+  SPIDER_CHECK(result.found, "no route exists for " + fact_text);
+  std::vector<FactKey> deps =
+      RouteDependencies(*scenario_.mapping, result.route);
+  return cache_.PutRoute(key, std::move(result.route), std::move(deps));
+}
+
+RouteForest& DebugSession::ForestFor(const std::string& fact_text) {
+  FactRef ref = debugger_->TargetFact(fact_text);
+  FactKey key{Side::kTarget, ref.relation,
+              scenario_.target->tuple(ref.relation, ref.row)};
+  if (RouteForest* cached = cache_.FindForest(key)) return *cached;
+  return cache_.PutForest(key, debugger_->AllRoutes({ref}));
+}
+
+}  // namespace spider

@@ -1,0 +1,84 @@
+#ifndef SPIDER_DEBUGGER_DEBUG_SESSION_H_
+#define SPIDER_DEBUGGER_DEBUG_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "debugger/debugger.h"
+#include "incremental/delta_chase.h"
+#include "incremental/route_cache.h"
+#include "incremental/source_delta.h"
+#include "mapping/scenario.h"
+#include "routes/options.h"
+
+namespace spider {
+
+struct DebugSessionOptions {
+  /// Knobs for the incremental maintainer. `first_null_id` is ignored — the
+  /// session derives it from the scenario's max_null_id.
+  IncrementalOptions incremental;
+  RouteOptions routes;
+};
+
+/// The edit/re-debug loop in one object (§6 of the paper): open a scenario,
+/// probe facts for routes, apply a source edit, probe again — without
+/// re-running the exchange or recomputing unaffected routes.
+///
+/// Opening chases the source into the scenario's target instance (replacing
+/// whatever it held) via the IncrementalChaser; Apply() maintains the target
+/// incrementally and feeds the resulting dirty-fact sets to a RouteCache, so
+/// RouteFor()/ForestFor() answer from cache whenever the probed fact's
+/// routes could not have changed. The wrapped MappingDebugger stays valid
+/// across edits because the instances are mutated strictly in place.
+class DebugSession {
+ public:
+  /// Takes ownership of the scenario (mapping and source must be populated;
+  /// a missing target instance is created). Throws SpiderError when the
+  /// initial chase fails.
+  explicit DebugSession(Scenario scenario, DebugSessionOptions options = {});
+
+  /// Not movable: the wrapped debugger points at the owned scenario member.
+  /// Factory functions still work — returning a prvalue constructs in place.
+  DebugSession(const DebugSession&) = delete;
+  DebugSession& operator=(const DebugSession&) = delete;
+
+  const Scenario& scenario() const { return scenario_; }
+  MappingDebugger& debugger() { return *debugger_; }
+  const MappingDebugger& debugger() const { return *debugger_; }
+
+  /// Applies one source edit batch, bringing the target back to a universal
+  /// solution and evicting exactly the cached routes/forests the edit could
+  /// have affected.
+  ApplyDeltaResult Apply(const SourceDelta& delta);
+
+  /// Content key of a target fact written as `Rel(v1, ...)` (the route
+  /// cache's notion of identity). Throws when the fact does not exist.
+  FactKey TargetKey(const std::string& fact_text) const;
+
+  /// One route for the fact, served from the cache when the fact's route
+  /// dependencies survived every edit since it was computed. Throws
+  /// SpiderError when the fact has no route. The reference is valid until
+  /// the next Apply().
+  const Route& RouteFor(const std::string& fact_text);
+
+  /// The route forest (all routes) for the fact, cached likewise.
+  RouteForest& ForestFor(const std::string& fact_text);
+
+  /// Step-through player for a route, honoring the debugger's breakpoints.
+  RoutePlayer Play(Route route) const { return debugger_->Play(std::move(route)); }
+
+  bool egd_entangled() const { return chaser_->egd_entangled(); }
+  const IncrementalStats& chase_stats() const { return chaser_->stats(); }
+  const RouteCacheStats& cache_stats() const { return cache_.stats(); }
+
+ private:
+  Scenario scenario_;
+  DebugSessionOptions options_;
+  std::unique_ptr<IncrementalChaser> chaser_;
+  std::unique_ptr<MappingDebugger> debugger_;
+  RouteCache cache_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_DEBUGGER_DEBUG_SESSION_H_

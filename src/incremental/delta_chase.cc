@@ -1,0 +1,708 @@
+#include "incremental/delta_chase.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "base/status.h"
+#include "exec/parallel_for.h"
+#include "exec/thread_pool.h"
+#include "provenance/annotated_chase.h"
+
+namespace spider {
+
+namespace {
+
+/// Unifies one atom against a concrete tuple. Universal variables (per
+/// `tgd`, or all of them when `tgd` is null — every LHS/egd variable is
+/// universal) are bound into *b; existential ones only get a consistency
+/// check through *existential. Returns false when a constant or an earlier
+/// binding disagrees.
+bool UnifyAtomWithTuple(const Atom& atom, const Tuple& tuple, Binding* b,
+                        const Tgd* tgd,
+                        std::unordered_map<VarId, Value>* existential) {
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& term = atom.terms[i];
+    const Value& v = tuple.at(i);
+    if (term.is_const()) {
+      if (term.value() != v) return false;
+      continue;
+    }
+    VarId var = term.var();
+    if (tgd != nullptr && !tgd->IsUniversal(var)) {
+      auto [it, inserted] = existential->emplace(var, v);
+      if (!inserted && it->second != v) return false;
+      continue;
+    }
+    if (b->IsBound(var)) {
+      if (b->Get(var) != v) return false;
+    } else {
+      b->Set(var, v);
+    }
+  }
+  return true;
+}
+
+/// Adds the scope's wall-clock duration to *sink on destruction.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    *sink_ += elapsed.count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+IncrementalChaser::IncrementalChaser(const SchemaMapping* mapping,
+                                     Instance* source, Instance* target,
+                                     IncrementalOptions options)
+    : mapping_(mapping),
+      source_(source),
+      target_(target),
+      options_(std::move(options)),
+      eval_(options_.eval),
+      null_counter_(options_.first_null_id) {
+  SPIDER_CHECK(mapping_ != nullptr && source_ != nullptr && target_ != nullptr,
+               "IncrementalChaser requires a mapping and both instances");
+  if (eval_.plan_cache == nullptr) eval_.plan_cache = &owned_cache_;
+  FullRechase(nullptr);  // The initial build IS a "re"-chase from nothing.
+}
+
+void IncrementalChaser::FullRechase(ApplyDeltaResult* result) {
+  AnnotatedChaseOptions aco;
+  aco.max_steps = options_.max_steps;
+  aco.first_null_id = null_counter_;
+  aco.eval = eval_;
+  AnnotatedChaseResult chased = AnnotatedChase(*mapping_, *source_, aco);
+  SPIDER_CHECK(chased.outcome == AnnotatedChaseOutcome::kSuccess,
+               "incremental full re-chase failed: " + chased.failure_message);
+  target_->ReplaceContents(std::move(*chased.target));
+  null_counter_ = chased.next_null_id;
+  ImportLog(chased.log);
+  if (result != nullptr) {
+    result->full_rechase = true;
+    ++stats_.full_rechases;
+  }
+}
+
+void IncrementalChaser::ImportLog(const AnnotatedChaseLog& log) {
+  facts_.clear();
+  derivs_.clear();
+  fact_of_.clear();
+  std::vector<FactId> node_of(log.NumFacts(), -1);
+  for (size_t i = 0; i < log.NumFacts(); ++i) {
+    auto id = static_cast<AnnotatedChaseLog::ProvFactId>(i);
+    if (log.MergedAway(id)) continue;
+    node_of[i] = NewFact(FactKey{Side::kTarget, log.relation(id),
+                                 log.tuple(id)});
+  }
+  for (const AnnotatedChaseLog::TgdStep& step : log.tgd_steps()) {
+    Derivation d;
+    d.tgd = step.tgd;
+    for (const FactRef& ref : step.source_lhs) {
+      d.lhs.push_back(
+          EnsureSourceFact(ref.relation, source_->tuple(ref.relation,
+                                                        ref.row)));
+    }
+    for (AnnotatedChaseLog::ProvFactId id : step.target_lhs) {
+      d.lhs.push_back(node_of[log.Resolve(id)]);
+    }
+    for (AnnotatedChaseLog::ProvFactId id : step.rhs) {
+      d.rhs.push_back(node_of[log.Resolve(id)]);
+    }
+    AddDerivation(std::move(d));
+  }
+  egd_fired_ = !log.egd_steps().empty();
+}
+
+IncrementalChaser::FactId IncrementalChaser::NewFact(FactKey key) {
+  auto id = static_cast<FactId>(facts_.size());
+  auto [it, inserted] = fact_of_.emplace(key, id);
+  SPIDER_CHECK(inserted, "incremental maintainer saw a duplicate fact");
+  facts_.push_back(FactNode{std::move(key), true, {}, {}});
+  return id;
+}
+
+IncrementalChaser::FactId IncrementalChaser::EnsureSourceFact(
+    RelationId rel, const Tuple& tuple) {
+  FactKey key{Side::kSource, rel, tuple};
+  auto it = fact_of_.find(key);
+  if (it != fact_of_.end()) return it->second;
+  return NewFact(std::move(key));
+}
+
+IncrementalChaser::FactId IncrementalChaser::RequireTargetFact(
+    RelationId rel, const Tuple& tuple) const {
+  auto it = fact_of_.find(FactKey{Side::kTarget, rel, tuple});
+  SPIDER_CHECK(it != fact_of_.end(),
+               "incremental maintainer lost track of a target fact");
+  return it->second;
+}
+
+void IncrementalChaser::AddDerivation(Derivation d) {
+  auto id = static_cast<int32_t>(derivs_.size());
+  for (FactId l : d.lhs) facts_[l].consumers.push_back(id);
+  for (FactId r : d.rhs) facts_[r].producers.push_back(id);
+  derivs_.push_back(std::move(d));
+}
+
+void IncrementalChaser::KillFact(FactId f) {
+  FactNode& node = facts_[f];
+  node.alive = false;
+  fact_of_.erase(node.key);
+  for (int32_t d : node.consumers) derivs_[d].dead = true;
+}
+
+void IncrementalChaser::MergeFacts(FactId survivor, FactId victim) {
+  FactNode& from = facts_[victim];
+  FactNode& into = facts_[survivor];
+  for (int32_t d : from.producers) {
+    for (FactId& r : derivs_[d].rhs) {
+      if (r == victim) r = survivor;
+    }
+    into.producers.push_back(d);
+  }
+  for (int32_t d : from.consumers) {
+    for (FactId& l : derivs_[d].lhs) {
+      if (l == victim) l = survivor;
+    }
+    into.consumers.push_back(d);
+  }
+  from.alive = false;
+  from.producers.clear();
+  from.consumers.clear();
+}
+
+void IncrementalChaser::BumpSteps() {
+  SPIDER_CHECK(++steps_ <= options_.max_steps,
+               "incremental chase exceeded max_steps = " +
+                   std::to_string(options_.max_steps));
+}
+
+ApplyDeltaResult IncrementalChaser::Apply(const SourceDelta& delta) {
+  ApplyDeltaResult result;
+  steps_ = 0;
+
+  // Normalize against current content: drop deletions of absent tuples,
+  // insertions of present ones (unless the same batch deletes them first),
+  // and duplicates. What remains are the operations that change the source.
+  const Schema& src_schema = mapping_->source();
+  std::vector<std::pair<RelationId, Tuple>> deletes;
+  std::unordered_set<FactKey, FactKeyHash> delete_keys;
+  for (const SourceDelta::Op& op : delta.deletes()) {
+    RelationId rel = src_schema.Require(op.relation);
+    if (!source_->FindRow(rel, op.tuple).has_value()) continue;
+    if (!delete_keys.insert(FactKey{Side::kSource, rel, op.tuple}).second) {
+      continue;
+    }
+    deletes.emplace_back(rel, op.tuple);
+  }
+  std::vector<std::pair<RelationId, Tuple>> inserts;
+  std::unordered_set<FactKey, FactKeyHash> insert_keys;
+  for (const SourceDelta::Op& op : delta.inserts()) {
+    RelationId rel = src_schema.Require(op.relation);
+    FactKey key{Side::kSource, rel, op.tuple};
+    bool present = source_->FindRow(rel, op.tuple).has_value();
+    if (present && delete_keys.find(key) == delete_keys.end()) continue;
+    if (!insert_keys.insert(std::move(key)).second) continue;
+    inserts.emplace_back(rel, op.tuple);
+  }
+  if (deletes.empty() && inserts.empty()) return result;
+  ++stats_.batches;
+
+  // Entangled or forced: apply the source ops and re-chase from scratch.
+  if (options_.force_full_rechase || (!deletes.empty() && egd_fired_)) {
+    for (auto& [rel, tuple] : deletes) {
+      source_->Erase(rel, tuple);
+      result.removed.push_back(FactKey{Side::kSource, rel, std::move(tuple)});
+      ++result.source_deleted;
+      ++stats_.source_deleted;
+    }
+    for (auto& [rel, tuple] : inserts) {
+      source_->Insert(rel, Tuple(tuple));
+      result.added.push_back(FactKey{Side::kSource, rel, std::move(tuple)});
+      ++result.source_inserted;
+      ++stats_.source_inserted;
+    }
+    FullRechase(&result);
+    return result;
+  }
+
+  if (!deletes.empty()) DeleteBatch(deletes, &result);
+  if (!inserts.empty()) InsertBatch(inserts, &result);
+  return result;
+}
+
+void IncrementalChaser::InsertBatch(
+    const std::vector<std::pair<RelationId, Tuple>>& inserts,
+    ApplyDeltaResult* result) {
+  std::unordered_map<RelationId, std::vector<Tuple>> dirty;
+  {
+    PhaseTimer timer(&stats_.phases.insert_apply_ms);
+    for (const auto& [rel, tuple] : inserts) {
+      source_->Insert(rel, Tuple(tuple));
+      EnsureSourceFact(rel, tuple);
+      result->added.push_back(FactKey{Side::kSource, rel, tuple});
+      ++result->source_inserted;
+      ++stats_.source_inserted;
+      dirty[rel].push_back(tuple);
+    }
+  }
+
+  // Semi-naive s-t round: every genuinely new trigger maps at least one LHS
+  // atom onto a new source fact, so binding each atom position to each new
+  // fact in turn enumerates them all (duplicates collapse in
+  // FireCandidates).
+  std::vector<Candidate> cands;
+  {
+    PhaseTimer timer(&stats_.phases.trigger_ms);
+    std::vector<ScopedQuery> queries;
+    queries.reserve(mapping_->st_tgds().size());
+    for (TgdId id : mapping_->st_tgds()) {
+      const Tgd& tgd = mapping_->tgd(id);
+      queries.push_back(ScopedQuery{id, &tgd.lhs(), tgd.num_vars()});
+    }
+    EnumerateScoped(*source_, queries, dirty, PlanKeyFamily::kDeltaTrigger,
+                    &cands);
+  }
+  std::vector<FactId> frontier;
+  {
+    PhaseTimer timer(&stats_.phases.fire_ms);
+    frontier = FireCandidates(cands, result);
+  }
+  PropagateFixpoint(std::move(frontier), result);
+}
+
+void IncrementalChaser::DeleteBatch(
+    const std::vector<std::pair<RelationId, Tuple>>& deletes,
+    ApplyDeltaResult* result) {
+  // Resolve every doomed row first (row indexes are stable until the first
+  // erase), then retract with ONE EraseRows per relation: each EraseRows
+  // call re-deduplicates the whole relation, so per-tuple Erase would make
+  // large deletion batches quadratic.
+  std::vector<FactId> dead_sources;
+  {
+    PhaseTimer timer(&stats_.phases.delete_apply_ms);
+    std::unordered_map<RelationId, std::vector<int32_t>> doomed_source_rows;
+    for (const auto& [rel, tuple] : deletes) {
+      std::optional<int32_t> row = source_->FindRow(rel, tuple);
+      SPIDER_CHECK(row.has_value(), "normalized deletion lost its tuple");
+      doomed_source_rows[rel].push_back(*row);
+      result->removed.push_back(FactKey{Side::kSource, rel, tuple});
+      ++result->source_deleted;
+      ++stats_.source_deleted;
+      auto it = fact_of_.find(FactKey{Side::kSource, rel, tuple});
+      if (it != fact_of_.end()) dead_sources.push_back(it->second);
+    }
+    for (auto& [rel, rows] : doomed_source_rows) {
+      source_->EraseRows(rel, std::move(rows));
+    }
+  }
+
+  std::vector<FactId> affected_sorted;
+  std::unordered_set<FactId> condemned;
+  {
+    PhaseTimer timer(&stats_.phases.dred_ms);
+
+    // DRed phase A — over-delete: condemn every fact reachable from a
+    // deleted fact through recorded derivations, ignoring alternative
+    // support.
+    std::unordered_set<FactId> dead_set(dead_sources.begin(),
+                                        dead_sources.end());
+    std::unordered_set<FactId> affected;
+    std::vector<FactId> worklist = dead_sources;
+    while (!worklist.empty()) {
+      FactId f = worklist.back();
+      worklist.pop_back();
+      for (int32_t d : facts_[f].consumers) {
+        if (derivs_[d].dead) continue;
+        for (FactId r : derivs_[d].rhs) {
+          if (dead_set.count(r) != 0 || affected.count(r) != 0) continue;
+          affected.insert(r);
+          worklist.push_back(r);
+        }
+      }
+    }
+    stats_.overdeleted += affected.size();
+
+    // DRed phase B — re-derive: the least fixpoint of "revive a condemned
+    // fact when some recorded step producing it has every LHS fact alive".
+    // Recorded steps (not arbitrary re-derivability) keep the result inside
+    // a homomorphic image of the from-scratch chase: a step's pre-existing
+    // RHS facts never contain that step's fresh existential nulls.
+    affected_sorted.assign(affected.begin(), affected.end());
+    std::sort(affected_sorted.begin(), affected_sorted.end());
+    condemned = dead_set;
+    condemned.insert(affected.begin(), affected.end());
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (FactId f : affected_sorted) {
+        if (condemned.count(f) == 0) continue;
+        for (int32_t d : facts_[f].producers) {
+          const Derivation& dv = derivs_[d];
+          if (dv.dead) continue;
+          bool supported = true;
+          for (FactId l : dv.lhs) {
+            if (condemned.count(l) != 0) {
+              supported = false;
+              break;
+            }
+          }
+          if (!supported) continue;
+          condemned.erase(f);
+          ++stats_.rederived;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Commit: kill the deleted sources and the unrevived targets, then erase
+  // the target rows in one EraseRows per relation.
+  std::vector<FactKey> deleted_keys;
+  {
+    PhaseTimer timer(&stats_.phases.commit_ms);
+    for (FactId f : dead_sources) KillFact(f);
+    std::unordered_map<RelationId, std::vector<int32_t>> doomed_rows;
+    for (FactId f : affected_sorted) {
+      if (condemned.count(f) == 0) continue;
+      const FactKey& key = facts_[f].key;
+      std::optional<int32_t> row = target_->FindRow(key.relation, key.tuple);
+      SPIDER_CHECK(row.has_value(),
+                   "incremental maintainer lost track of a target fact");
+      doomed_rows[key.relation].push_back(*row);
+      deleted_keys.push_back(key);
+      result->removed.push_back(key);
+      ++result->target_removed;
+      KillFact(f);
+    }
+    for (auto& [rel, rows] : doomed_rows) {
+      target_->EraseRows(rel, std::move(rows));
+    }
+  }
+
+  // Backward re-fire: a trigger that the standard-chase RHS check once
+  // skipped may be violated now that its only witnesses are gone. Every
+  // such witness mapped some RHS atom onto a deleted fact, so unifying
+  // each RHS atom with each deleted fact and enumerating the LHS over the
+  // live instances finds all of them.
+  std::vector<FactId> frontier;
+  {
+    PhaseTimer timer(&stats_.phases.refire_ms);
+    std::sort(deleted_keys.begin(), deleted_keys.end());
+    std::vector<Candidate> cands;
+    EnumerateRefireCandidates(deleted_keys, &cands);
+    size_t fired_before = stats_.st_steps + stats_.target_steps;
+    frontier = FireCandidates(cands, result);
+    stats_.refired += stats_.st_steps + stats_.target_steps - fired_before;
+  }
+  PropagateFixpoint(std::move(frontier), result);
+}
+
+size_t IncrementalChaser::EnumerateScoped(
+    const Instance& inst, const std::vector<ScopedQuery>& queries,
+    const std::unordered_map<RelationId, std::vector<Tuple>>& dirty,
+    PlanKeyFamily family, std::vector<Candidate>* out) {
+  struct Item {
+    size_t query;
+    size_t atom;
+    const Tuple* tuple;
+  };
+  std::vector<Item> items;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const std::vector<Atom>& atoms = *queries[q].lhs;
+    for (size_t a = 0; a < atoms.size(); ++a) {
+      auto it = dirty.find(atoms[a].relation);
+      if (it == dirty.end()) continue;
+      for (const Tuple& tuple : it->second) items.push_back({q, a, &tuple});
+    }
+  }
+  if (items.empty()) return 0;
+
+  std::vector<std::vector<Binding>> buffers(items.size());
+  std::vector<EvalStats> item_stats(items.size());
+  ThreadPool* pool = ThreadPool::For(options_.exec);
+  if (pool != nullptr && eval_.use_indexes) inst.WarmIndexes();
+  ParallelFor(pool, 0, items.size(), options_.exec.grain, [&](size_t i) {
+    const Item& item = items[i];
+    const ScopedQuery& query = queries[item.query];
+    const std::vector<Atom>& atoms = *query.lhs;
+    Binding b(query.num_vars);
+    if (!UnifyAtomWithTuple(atoms[item.atom], *item.tuple, &b, nullptr,
+                            nullptr)) {
+      return;
+    }
+    std::vector<Atom> rest;
+    rest.reserve(atoms.size() - 1);
+    for (size_t j = 0; j < atoms.size(); ++j) {
+      if (j != item.atom) rest.push_back(atoms[j]);
+    }
+    if (rest.empty()) {
+      buffers[i].push_back(std::move(b));
+      return;
+    }
+    MatchIterator mi(inst, std::move(rest), &b, eval_,
+                     MakePlanKey(family, static_cast<uint64_t>(query.dep),
+                                 item.atom));
+    while (mi.Next()) buffers[i].push_back(b);
+    item_stats[i] += mi.stats();
+  });
+
+  size_t produced = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    stats_.eval += item_stats[i];
+    for (Binding& b : buffers[i]) {
+      out->push_back(Candidate{queries[items[i].query].dep, std::move(b)});
+      ++produced;
+    }
+  }
+  stats_.triggers_enumerated += produced;
+  return produced;
+}
+
+void IncrementalChaser::EnumerateRefireCandidates(
+    const std::vector<FactKey>& deleted, std::vector<Candidate>* out) {
+  struct Item {
+    size_t fact;
+    TgdId tgd;
+    size_t atom;
+  };
+  std::vector<Item> items;
+  for (size_t f = 0; f < deleted.size(); ++f) {
+    for (TgdId id = 0; id < static_cast<TgdId>(mapping_->NumTgds()); ++id) {
+      const Tgd& tgd = mapping_->tgd(id);
+      for (size_t q = 0; q < tgd.rhs().size(); ++q) {
+        if (tgd.rhs()[q].relation == deleted[f].relation) {
+          items.push_back({f, id, q});
+        }
+      }
+    }
+  }
+  if (items.empty()) return;
+
+  std::vector<std::vector<Binding>> buffers(items.size());
+  std::vector<EvalStats> item_stats(items.size());
+  ThreadPool* pool = ThreadPool::For(options_.exec);
+  if (pool != nullptr && eval_.use_indexes) {
+    source_->WarmIndexes();
+    target_->WarmIndexes();
+  }
+  ParallelFor(pool, 0, items.size(), options_.exec.grain, [&](size_t i) {
+    const Item& item = items[i];
+    const Tgd& tgd = mapping_->tgd(item.tgd);
+    Binding b(tgd.num_vars());
+    std::unordered_map<VarId, Value> existential;
+    if (!UnifyAtomWithTuple(tgd.rhs()[item.atom], deleted[item.fact].tuple,
+                            &b, &tgd, &existential)) {
+      return;
+    }
+    const Instance& inst = tgd.source_to_target() ? *source_ : *target_;
+    MatchIterator mi(inst, tgd.lhs(), &b, eval_,
+                     MakePlanKey(PlanKeyFamily::kDeltaRefire,
+                                 static_cast<uint64_t>(item.tgd), item.atom));
+    while (mi.Next()) buffers[i].push_back(b);
+    item_stats[i] += mi.stats();
+  });
+
+  size_t produced = 0;
+  for (size_t i = 0; i < items.size(); ++i) {
+    stats_.eval += item_stats[i];
+    for (Binding& b : buffers[i]) {
+      out->push_back(Candidate{items[i].tgd, std::move(b)});
+      ++produced;
+    }
+  }
+  stats_.triggers_enumerated += produced;
+}
+
+std::vector<IncrementalChaser::FactId> IncrementalChaser::FireCandidates(
+    const std::vector<Candidate>& cands, ApplyDeltaResult* result) {
+  std::unordered_map<int32_t, std::unordered_set<Binding, BindingHash>> seen;
+  std::vector<FactId> created;
+  for (const Candidate& c : cands) {
+    if (!seen[c.dep].insert(c.b).second) continue;
+    BumpSteps();
+    const Tgd& tgd = mapping_->tgd(c.dep);
+    if (HasMatch(*target_, tgd.rhs(), c.b, eval_, &stats_.eval,
+                 MakePlanKey(PlanKeyFamily::kChaseRhsCheck,
+                             static_cast<uint64_t>(c.dep)))) {
+      continue;
+    }
+    std::vector<FactId> made = FireTgdStep(c.dep, c.b, result);
+    created.insert(created.end(), made.begin(), made.end());
+  }
+  return created;
+}
+
+std::vector<IncrementalChaser::FactId> IncrementalChaser::FireTgdStep(
+    TgdId id, const Binding& universal, ApplyDeltaResult* result) {
+  const Tgd& tgd = mapping_->tgd(id);
+  Binding h = universal;
+  for (VarId y : tgd.ExistentialVars()) {
+    h.Set(y, Value::Null(null_counter_++));
+  }
+  Derivation d;
+  d.tgd = id;
+  if (tgd.source_to_target()) {
+    for (const Atom& atom : tgd.lhs()) {
+      d.lhs.push_back(EnsureSourceFact(atom.relation, h.Instantiate(atom)));
+    }
+  } else {
+    for (const Atom& atom : tgd.lhs()) {
+      d.lhs.push_back(RequireTargetFact(atom.relation, h.Instantiate(atom)));
+    }
+  }
+  std::vector<FactId> created;
+  for (const Atom& atom : tgd.rhs()) {
+    Tuple tuple = h.Instantiate(atom);
+    target_->Insert(atom.relation, Tuple(tuple));
+    FactKey key{Side::kTarget, atom.relation, std::move(tuple)};
+    auto it = fact_of_.find(key);
+    FactId f;
+    if (it != fact_of_.end()) {
+      f = it->second;
+    } else {
+      result->added.push_back(key);
+      ++result->target_added;
+      f = NewFact(std::move(key));
+      created.push_back(f);
+    }
+    d.rhs.push_back(f);
+  }
+  AddDerivation(std::move(d));
+  ++(tgd.source_to_target() ? stats_.st_steps : stats_.target_steps);
+  return created;
+}
+
+void IncrementalChaser::PropagateFixpoint(std::vector<FactId> frontier,
+                                          ApplyDeltaResult* result) {
+  PhaseTimer timer(&stats_.phases.propagate_ms);
+  // The incoming frontier (st insertions, re-fired facts) has not been
+  // egd-checked yet.
+  EgdFixpoint(&frontier, result);
+  std::vector<ScopedQuery> queries;
+  queries.reserve(mapping_->target_tgds().size());
+  for (TgdId id : mapping_->target_tgds()) {
+    const Tgd& tgd = mapping_->tgd(id);
+    queries.push_back(ScopedQuery{id, &tgd.lhs(), tgd.num_vars()});
+  }
+  while (true) {
+    std::unordered_map<RelationId, std::vector<Tuple>> dirty;
+    std::unordered_set<FactId> grouped;
+    for (FactId f : frontier) {
+      if (!facts_[f].alive || facts_[f].key.side != Side::kTarget) continue;
+      if (!grouped.insert(f).second) continue;
+      dirty[facts_[f].key.relation].push_back(facts_[f].key.tuple);
+    }
+    if (dirty.empty()) return;
+    std::vector<Candidate> cands;
+    EnumerateScoped(*target_, queries, dirty, PlanKeyFamily::kDeltaTrigger,
+                    &cands);
+    std::vector<FactId> created = FireCandidates(cands, result);
+    if (created.empty()) return;
+    EgdFixpoint(&created, result);
+    frontier = std::move(created);
+  }
+}
+
+void IncrementalChaser::EgdFixpoint(std::vector<FactId>* frontier,
+                                    ApplyDeltaResult* result) {
+  if (mapping_->NumEgds() == 0) return;
+  std::vector<ScopedQuery> queries;
+  queries.reserve(mapping_->NumEgds());
+  for (size_t e = 0; e < mapping_->NumEgds(); ++e) {
+    const Egd& egd = mapping_->egd(static_cast<EgdId>(e));
+    queries.push_back(ScopedQuery{static_cast<int32_t>(e), &egd.lhs(),
+                                  egd.num_vars()});
+  }
+  // A substitution invalidates every outstanding candidate binding, so the
+  // scan restarts from a fresh enumeration after each one (the scope only
+  // grows: rewritten facts join the frontier). Terminates because every
+  // unification removes a labeled null from the target.
+  bool clean = false;
+  while (!clean) {
+    clean = true;
+    std::unordered_map<RelationId, std::vector<Tuple>> dirty;
+    std::unordered_set<FactId> grouped;
+    for (FactId f : *frontier) {
+      if (!facts_[f].alive || facts_[f].key.side != Side::kTarget) continue;
+      if (!grouped.insert(f).second) continue;
+      dirty[facts_[f].key.relation].push_back(facts_[f].key.tuple);
+    }
+    if (dirty.empty()) return;
+    std::vector<Candidate> cands;
+    EnumerateScoped(*target_, queries, dirty, PlanKeyFamily::kDeltaEgd,
+                    &cands);
+    for (const Candidate& c : cands) {
+      BumpSteps();
+      const Egd& egd = mapping_->egd(c.dep);
+      const Value& left = c.b.Get(egd.left());
+      const Value& right = c.b.Get(egd.right());
+      EgdUnification u = ChooseEgdUnification(left, right);
+      if (u.kind == EgdUnification::Kind::kNoop) continue;
+      SPIDER_CHECK(u.kind != EgdUnification::Kind::kFailure,
+                   "egd '" + egd.name() + "' equates distinct constants " +
+                       left.ToString() + " and " + right.ToString() +
+                       " after a source edit: the scenario has no solution");
+      ApplyEgdSubstitution(u.victim, u.replacement, frontier, result);
+      ++stats_.egd_steps;
+      egd_fired_ = true;
+      clean = false;
+      break;
+    }
+  }
+}
+
+void IncrementalChaser::ApplyEgdSubstitution(NullId victim,
+                                             const Value& replacement,
+                                             std::vector<FactId>* frontier,
+                                             ApplyDeltaResult* result) {
+  target_->ApplySubstitution(victim, replacement);
+  const Value victim_value = Value::Null(victim.id);
+  // Rewrite the fact table to match, rebuilding the key map; two facts that
+  // collapse onto the same tuple merge (the older id survives, mirroring
+  // the annotated chase).
+  fact_of_.clear();
+  for (FactId f = 0; f < static_cast<FactId>(facts_.size()); ++f) {
+    FactNode& node = facts_[f];
+    if (!node.alive) continue;
+    if (node.key.side == Side::kSource) {
+      fact_of_.emplace(node.key, f);
+      continue;
+    }
+    FactKey old_key = node.key;
+    bool touched = false;
+    for (size_t c = 0; c < node.key.tuple.arity(); ++c) {
+      if (node.key.tuple.at(c) == victim_value) {
+        node.key.tuple.at(c) = replacement;
+        touched = true;
+      }
+    }
+    if (touched) {
+      result->removed.push_back(std::move(old_key));
+      result->added.push_back(node.key);
+      ++result->target_rewritten;
+      frontier->push_back(f);
+    }
+    auto [it, inserted] = fact_of_.emplace(node.key, f);
+    if (!inserted) {
+      MergeFacts(it->second, f);
+      frontier->push_back(it->second);
+    }
+  }
+}
+
+}  // namespace spider

@@ -1,0 +1,260 @@
+#ifndef SPIDER_INCREMENTAL_DELTA_CHASE_H_
+#define SPIDER_INCREMENTAL_DELTA_CHASE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "chase/chase.h"
+#include "exec/exec_options.h"
+#include "incremental/fact_key.h"
+#include "incremental/source_delta.h"
+#include "mapping/schema_mapping.h"
+#include "query/evaluator.h"
+#include "query/plan_cache.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+struct IncrementalOptions {
+  /// Per-batch chase-step safety net (same role as ChaseOptions::max_steps).
+  size_t max_steps = 10'000'000;
+
+  /// First id for labeled nulls invented by the initial chase; later batches
+  /// continue from wherever the previous one stopped. Scenario-aware callers
+  /// pass Scenario::max_null_id + 1.
+  int64_t first_null_id = 1;
+
+  EvalOptions eval;
+
+  /// Parallel fan-out knobs for trigger enumeration (delta-scoped s-t and
+  /// target triggers, backward re-fire matching). As everywhere in spider,
+  /// enumeration buffers per task and fires sequentially in canonical order,
+  /// so the maintained instance, null ids and stats are byte-identical at
+  /// every thread count.
+  ExecOptions exec;
+
+  /// Escape hatch: treat every batch as entangled and re-chase from scratch
+  /// (still through this class, so callers keep the same interface and
+  /// dirty-fact reporting). Used to cross-check the incremental paths.
+  bool force_full_rechase = false;
+};
+
+/// Wall-clock milliseconds per Apply() phase, accumulated across batches.
+/// The split makes regressions attributable: storage churn (erase), graph
+/// work (dred), query work (enumeration/refire) and firing show up
+/// separately (bench_incremental reports them alongside the totals).
+struct IncrementalPhaseTimes {
+  double delete_apply_ms = 0;  ///< Source row resolution + batched erases.
+  double dred_ms = 0;          ///< Over-delete cascade + re-derive fixpoint.
+  double commit_ms = 0;        ///< Target row resolution + batched erases.
+  double refire_ms = 0;        ///< Backward re-fire enumeration + firing.
+  double insert_apply_ms = 0;  ///< Source inserts + dirty-set bookkeeping.
+  double trigger_ms = 0;       ///< Semi-naive s-t trigger enumeration.
+  double fire_ms = 0;          ///< Candidate RHS checks + tgd firings.
+  double propagate_ms = 0;     ///< Target-tgd/egd fixpoint rounds.
+};
+
+struct IncrementalStats {
+  size_t batches = 0;          ///< Apply() calls processed.
+  size_t source_inserted = 0;  ///< Source tuples actually added.
+  size_t source_deleted = 0;   ///< Source tuples actually removed.
+  size_t st_steps = 0;         ///< s-t tgd firings (insert + re-fire paths).
+  size_t target_steps = 0;     ///< Target tgd firings.
+  size_t egd_steps = 0;        ///< Egd unifications applied incrementally.
+  size_t triggers_enumerated = 0;  ///< Delta-scoped candidates inspected.
+  size_t overdeleted = 0;      ///< Facts condemned by the DRed over-delete.
+  size_t rederived = 0;        ///< Over-deleted facts revived by re-derivation.
+  size_t refired = 0;          ///< Triggers re-fired by the backward pass.
+  size_t full_rechases = 0;    ///< Batches that fell back to a full re-chase.
+  EvalStats eval;              ///< All conjunctive-query work issued.
+  IncrementalPhaseTimes phases;  ///< Where Apply() time went.
+};
+
+/// What one Apply() did, in terms a cache can act on: the content keys of
+/// every fact that changed. `added` lists source and target facts that came
+/// into existence, `removed` facts that ceased to exist; an egd rewrite
+/// contributes its OLD key to `removed` and its new key to `added` (caches
+/// index by the old one). When `full_rechase` is set the lists cover only
+/// the source ops, NOT the target churn — caches must drop everything.
+struct ApplyDeltaResult {
+  bool full_rechase = false;
+  std::vector<FactKey> added;
+  std::vector<FactKey> removed;
+  size_t source_inserted = 0;
+  size_t source_deleted = 0;
+  size_t target_added = 0;
+  size_t target_removed = 0;
+  size_t target_rewritten = 0;
+};
+
+/// Maintains a chased target instance under batches of source edits — the
+/// engine of the edit/re-debug loop (§6 of the paper: the user repairs
+/// source data, then re-asks for routes; re-running the whole exchange per
+/// repair is what this avoids).
+///
+/// Construction runs the initial (annotated) chase of *source into *target
+/// and imports the provenance log as a derivation graph. Each Apply(delta)
+/// then:
+///   * insertions — semi-naive trigger enumeration scoped to the delta:
+///     one LHS atom is bound to a new fact, the remaining atoms are matched
+///     with the regular spider::query machinery (plan-cached under the
+///     kDelta* key families), fanning out over spider::exec; new facts
+///     propagate through target tgds and egds the same way;
+///   * deletions — DRed over the derivation graph: an over-delete cascade
+///     condemns everything reachable from the deleted facts, a least-
+///     fixpoint pass revives facts still derivable from surviving recorded
+///     steps, and a backward re-fire pass re-runs triggers whose standard-
+///     chase RHS check had been satisfied only through deleted facts.
+///
+/// Egd entanglement: once any egd unification has fired (initially or
+/// incrementally), recorded derivations no longer correspond literally to
+/// chase steps, so the next deletion batch conservatively falls back to a
+/// full re-chase (insertion-only batches stay incremental — adding facts
+/// never invalidates a recorded step). The re-chase swaps the new solution
+/// into the SAME Instance object via ReplaceContents, so debugger pointers
+/// stay valid and plan caches see a strictly larger version.
+///
+/// Invariant (enforced by the differential fuzz suite): after every batch
+/// the maintained target is homomorphically equivalent to the from-scratch
+/// chase of the edited source.
+class IncrementalChaser {
+ public:
+  /// `mapping`, `source` and `target` must outlive the chaser; the instances
+  /// are mutated in place (the chaser is their only legal writer between
+  /// batches). Throws SpiderError when the initial chase fails.
+  IncrementalChaser(const SchemaMapping* mapping, Instance* source,
+                    Instance* target, IncrementalOptions options = {});
+
+  IncrementalChaser(const IncrementalChaser&) = delete;
+  IncrementalChaser& operator=(const IncrementalChaser&) = delete;
+
+  /// Applies one batch (deletions first, then insertions) to the source and
+  /// brings the target back to a universal solution. Operations that do not
+  /// change the source (deleting an absent tuple, inserting a present one)
+  /// are skipped. Throws SpiderError when the edited scenario has no
+  /// solution (an egd equates distinct constants) or max_steps is exceeded;
+  /// the instances are then in an unspecified-but-consistent state and the
+  /// caller should treat the session as poisoned.
+  ApplyDeltaResult Apply(const SourceDelta& delta);
+
+  /// Next labeled-null id the maintainer would invent (callers keeping a
+  /// Scenario in sync store this minus one into max_null_id).
+  int64_t next_null_id() const { return null_counter_; }
+
+  /// True when an egd has ever fired: the next deletion batch will re-chase.
+  bool egd_entangled() const { return egd_fired_; }
+
+  const IncrementalStats& stats() const { return stats_; }
+
+ private:
+  using FactId = int32_t;
+
+  /// One fact of the maintained pair (I, J) with its adjacency in the
+  /// derivation graph: `producers` are recorded steps with this fact in
+  /// their RHS, `consumers` steps with it in their LHS.
+  struct FactNode {
+    FactKey key;
+    bool alive = true;
+    std::vector<int32_t> producers;
+    std::vector<int32_t> consumers;
+  };
+
+  /// A recorded chase step: tgd plus the facts its LHS matched and its RHS
+  /// asserted (new or pre-existing). Dead once any LHS fact is gone.
+  struct Derivation {
+    TgdId tgd = -1;
+    bool dead = false;
+    std::vector<FactId> lhs;
+    std::vector<FactId> rhs;
+  };
+
+  /// A delta-scoped trigger candidate: dependency id plus the universal
+  /// binding (egds: the full LHS binding).
+  struct Candidate {
+    int32_t dep = -1;
+    Binding b;
+  };
+
+  void FullRechase(ApplyDeltaResult* result);
+  void ImportLog(const class AnnotatedChaseLog& log);
+
+  FactId NewFact(FactKey key);
+  FactId EnsureSourceFact(RelationId rel, const Tuple& tuple);
+  FactId RequireTargetFact(RelationId rel, const Tuple& tuple) const;
+  void AddDerivation(Derivation d);
+  void KillFact(FactId f);
+  void MergeFacts(FactId survivor, FactId victim);
+
+  void InsertBatch(const std::vector<std::pair<RelationId, Tuple>>& inserts,
+                   ApplyDeltaResult* result);
+  void DeleteBatch(const std::vector<std::pair<RelationId, Tuple>>& deletes,
+                   ApplyDeltaResult* result);
+
+  /// One dependency LHS offered to the scoped enumerator (tgd or egd —
+  /// `dep` is interpreted by the caller, the families keep plan keys apart).
+  struct ScopedQuery {
+    int32_t dep = -1;
+    const std::vector<Atom>* lhs = nullptr;
+    size_t num_vars = 0;
+  };
+
+  /// Delta-scoped trigger enumeration: for every query, every LHS atom
+  /// position over a dirty relation and every dirty tuple of it, seed the
+  /// binding by unifying that atom with the tuple and enumerate the
+  /// remaining LHS atoms over `inst`. Items fan out over the exec pool into
+  /// per-item buffers and are merged in item order, so the candidate
+  /// sequence is thread-count independent. Appends to `out` and returns the
+  /// number of candidates.
+  size_t EnumerateScoped(
+      const Instance& inst, const std::vector<ScopedQuery>& queries,
+      const std::unordered_map<RelationId, std::vector<Tuple>>& dirty,
+      PlanKeyFamily family, std::vector<Candidate>* out);
+
+  /// Backward re-fire enumeration: unify each tgd RHS atom against each
+  /// deleted fact, then enumerate the full LHS over the live instances.
+  void EnumerateRefireCandidates(const std::vector<FactKey>& deleted,
+                                 std::vector<Candidate>* out);
+
+  /// Dedups candidates (per dependency) and fires those whose RHS is not
+  /// already satisfied; returns the created facts.
+  std::vector<FactId> FireCandidates(const std::vector<Candidate>& cands,
+                                     ApplyDeltaResult* result);
+  std::vector<FactId> FireTgdStep(TgdId id, const Binding& universal,
+                                  ApplyDeltaResult* result);
+
+  /// Runs delta-scoped target-tgd rounds and egd checks until `frontier`
+  /// stops growing.
+  void PropagateFixpoint(std::vector<FactId> frontier,
+                         ApplyDeltaResult* result);
+
+  /// Scoped egd fixpoint over the dirty facts; substituted/rewritten facts
+  /// are appended to `frontier` for the next tgd round.
+  void EgdFixpoint(std::vector<FactId>* frontier, ApplyDeltaResult* result);
+  void ApplyEgdSubstitution(NullId victim, const Value& replacement,
+                            std::vector<FactId>* frontier,
+                            ApplyDeltaResult* result);
+
+  void BumpSteps();
+
+  const SchemaMapping* mapping_;
+  Instance* source_;
+  Instance* target_;
+  IncrementalOptions options_;
+  EvalOptions eval_;          ///< options_.eval with the cache filled in.
+  PlanCache owned_cache_;
+
+  std::vector<FactNode> facts_;
+  std::vector<Derivation> derivs_;
+  std::unordered_map<FactKey, FactId, FactKeyHash> fact_of_;  ///< Alive only.
+
+  int64_t null_counter_;
+  bool egd_fired_ = false;
+  size_t steps_ = 0;  ///< Within the current batch.
+  IncrementalStats stats_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_INCREMENTAL_DELTA_CHASE_H_

@@ -1,0 +1,35 @@
+#ifndef SPIDER_INCREMENTAL_FACT_KEY_H_
+#define SPIDER_INCREMENTAL_FACT_KEY_H_
+
+#include <cstdint>
+
+#include "base/hash.h"
+#include "base/tuple.h"
+
+namespace spider {
+
+/// Content identity of a fact: which instance it lives in, its relation and
+/// its tuple. Unlike a FactRef (whose row index is invalidated by deletions
+/// and egd rewrites), a FactKey survives every mutation that does not touch
+/// the fact itself — the incremental subsystem keys dirty sets, the
+/// derivation graph and the route cache on it.
+struct FactKey {
+  Side side = Side::kTarget;
+  int32_t relation = -1;
+  Tuple tuple;
+
+  friend bool operator==(const FactKey&, const FactKey&) = default;
+  friend auto operator<=>(const FactKey&, const FactKey&) = default;
+};
+
+struct FactKeyHash {
+  size_t operator()(const FactKey& key) const {
+    size_t seed = static_cast<size_t>(key.side);
+    seed = HashCombine(seed, std::hash<int32_t>{}(key.relation));
+    return HashCombine(seed, key.tuple.Hash());
+  }
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_INCREMENTAL_FACT_KEY_H_

@@ -1,0 +1,149 @@
+#include "incremental/route_cache.h"
+
+#include <utility>
+
+namespace spider {
+
+std::vector<FactKey> RouteDependencies(const SchemaMapping& mapping,
+                                       const Route& route) {
+  std::vector<FactKey> deps;
+  std::unordered_set<FactKey, FactKeyHash> seen;
+  auto add = [&](Side side, const Atom& atom, const Binding& h) {
+    FactKey key{side, atom.relation, h.Instantiate(atom)};
+    if (seen.insert(key).second) deps.push_back(std::move(key));
+  };
+  for (const SatStep& step : route.steps()) {
+    const Tgd& tgd = mapping.tgd(step.tgd);
+    Side lhs_side = tgd.source_to_target() ? Side::kSource : Side::kTarget;
+    for (const Atom& atom : tgd.lhs()) add(lhs_side, atom, step.h);
+    for (const Atom& atom : tgd.rhs()) add(Side::kTarget, atom, step.h);
+  }
+  return deps;
+}
+
+const Route* RouteCache::FindRoute(const FactKey& fact) {
+  auto it = routes_.find(fact);
+  if (it == routes_.end()) {
+    ++stats_.route_misses;
+    return nullptr;
+  }
+  ++stats_.route_hits;
+  return &it->second.route;
+}
+
+const Route& RouteCache::PutRoute(const FactKey& fact, Route route,
+                                  std::vector<FactKey> deps) {
+  auto [it, inserted] = routes_.insert_or_assign(
+      fact, RouteEntry{std::move(route), std::move(deps)});
+  return it->second.route;
+}
+
+RouteForest* RouteCache::FindForest(const FactKey& fact) {
+  auto it = forests_.find(fact);
+  if (it == forests_.end()) {
+    ++stats_.forest_misses;
+    return nullptr;
+  }
+  ++stats_.forest_hits;
+  return &it->second.forest;
+}
+
+RouteForest& RouteCache::PutForest(const FactKey& fact, RouteForest forest) {
+  forests_.erase(fact);
+  auto [it, inserted] = forests_.emplace(fact, ForestEntry(std::move(forest)));
+  for (const RouteForest::Node& node : it->second.forest.nodes()) {
+    it->second.node_relations.insert(node.fact.relation);
+  }
+  return it->second.forest;
+}
+
+void RouteCache::Invalidate(const SchemaMapping& mapping,
+                            const ApplyDeltaResult& delta) {
+  if (delta.full_rechase) {
+    Clear();
+    return;
+  }
+
+  if (!delta.removed.empty()) {
+    std::unordered_set<FactKey, FactKeyHash> removed(delta.removed.begin(),
+                                                     delta.removed.end());
+    for (auto it = routes_.begin(); it != routes_.end();) {
+      bool stale = false;
+      for (const FactKey& dep : it->second.deps) {
+        if (removed.find(dep) != removed.end()) {
+          stale = true;
+          break;
+        }
+      }
+      if (stale) {
+        it = routes_.erase(it);
+        ++stats_.route_evictions;
+      } else {
+        ++it;
+      }
+    }
+    // Removals (including egd rewrites) renumber rows, and forests hold
+    // row-indexed FactRefs — every forest goes.
+    stats_.forest_evictions += forests_.size();
+    forests_.clear();
+  }
+
+  if (delta.added.empty() || forests_.empty()) return;
+
+  // Additions: rows are append-stable and routes only require presence, so
+  // cached routes all survive. Forests may be missing newly enabled
+  // branches; compute which target relations could now host one.
+  std::unordered_set<RelationId> threatened;
+  for (size_t t = 0; t < mapping.NumTgds(); ++t) {
+    const Tgd& tgd = mapping.tgd(static_cast<TgdId>(t));
+    Side lhs_side = tgd.source_to_target() ? Side::kSource : Side::kTarget;
+    bool hit = false;
+    for (const FactKey& key : delta.added) {
+      if (key.side == lhs_side) {
+        for (const Atom& atom : tgd.lhs()) {
+          if (atom.relation == key.relation) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (!hit && key.side == Side::kTarget) {
+        for (const Atom& atom : tgd.rhs()) {
+          if (atom.relation == key.relation) {
+            hit = true;
+            break;
+          }
+        }
+      }
+      if (hit) break;
+    }
+    if (!hit) continue;
+    for (const Atom& atom : tgd.rhs()) threatened.insert(atom.relation);
+  }
+  if (threatened.empty()) return;
+  for (auto it = forests_.begin(); it != forests_.end();) {
+    bool stale = false;
+    for (RelationId rel : it->second.node_relations) {
+      if (threatened.find(rel) != threatened.end()) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      it = forests_.erase(it);
+      ++stats_.forest_evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RouteCache::Clear() {
+  stats_.route_evictions += routes_.size();
+  stats_.forest_evictions += forests_.size();
+  routes_.clear();
+  forests_.clear();
+  ++stats_.clears;
+}
+
+}  // namespace spider

@@ -1,0 +1,88 @@
+#ifndef SPIDER_INCREMENTAL_ROUTE_CACHE_H_
+#define SPIDER_INCREMENTAL_ROUTE_CACHE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "incremental/delta_chase.h"
+#include "incremental/fact_key.h"
+#include "mapping/schema_mapping.h"
+#include "routes/route.h"
+#include "routes/route_forest.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+struct RouteCacheStats {
+  size_t route_hits = 0;
+  size_t route_misses = 0;
+  size_t forest_hits = 0;
+  size_t forest_misses = 0;
+  size_t route_evictions = 0;
+  size_t forest_evictions = 0;
+  size_t clears = 0;  ///< Wholesale drops (full re-chase batches).
+};
+
+/// The content keys of every fact a route touches: per step, the
+/// instantiated LHS facts (source side for an s-t tgd, target otherwise)
+/// and the instantiated RHS facts. A cached route stays valid exactly while
+/// all of these exist — routes only require facts to be PRESENT, so source
+/// or target additions never invalidate one; removals and egd rewrites of
+/// any dependency do.
+std::vector<FactKey> RouteDependencies(const SchemaMapping& mapping,
+                                       const Route& route);
+
+/// Caches computed routes and route forests across edits of the debugged
+/// scenario, keyed by the probed fact's content. Invalidate() consumes the
+/// fact-level delta the IncrementalChaser reports:
+///   * routes are dropped when any dependency fact was removed (or rewritten
+///     — the old key appears in `removed`); additions never evict a route.
+///   * forests are dropped on ANY removal (their FactRefs carry row indexes,
+///     which deletions and substitutions destabilize), and on additions that
+///     could grow a node's branch list: an added fact matching the LHS side
+///     and relation of some tgd — or an added target fact in a tgd's RHS
+///     relations — threatens that tgd's RHS relations, and a forest owning a
+///     node in a threatened relation is evicted.
+/// A full re-chase clears everything.
+class RouteCache {
+ public:
+  /// Returns the cached route for the probed fact, or nullptr (each call
+  /// counts a hit or a miss).
+  const Route* FindRoute(const FactKey& fact);
+  /// Stores (replacing any previous entry) and returns the cached copy.
+  const Route& PutRoute(const FactKey& fact, Route route,
+                        std::vector<FactKey> deps);
+
+  /// Returns the cached forest for the probed fact, or nullptr. The pointer
+  /// stays valid until the entry is evicted.
+  RouteForest* FindForest(const FactKey& fact);
+  /// Stores (replacing any previous entry) and returns the cached copy.
+  RouteForest& PutForest(const FactKey& fact, RouteForest forest);
+
+  void Invalidate(const SchemaMapping& mapping, const ApplyDeltaResult& delta);
+  void Clear();
+
+  size_t NumRoutes() const { return routes_.size(); }
+  size_t NumForests() const { return forests_.size(); }
+  const RouteCacheStats& stats() const { return stats_; }
+
+ private:
+  struct RouteEntry {
+    Route route;
+    std::vector<FactKey> deps;
+  };
+  struct ForestEntry {
+    RouteForest forest;
+    std::unordered_set<RelationId> node_relations;
+    explicit ForestEntry(RouteForest f) : forest(std::move(f)) {}
+  };
+
+  std::unordered_map<FactKey, RouteEntry, FactKeyHash> routes_;
+  std::unordered_map<FactKey, ForestEntry, FactKeyHash> forests_;
+  RouteCacheStats stats_;
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_INCREMENTAL_ROUTE_CACHE_H_

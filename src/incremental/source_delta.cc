@@ -1,0 +1,24 @@
+#include "incremental/source_delta.h"
+
+#include <utility>
+
+namespace spider {
+
+size_t LoadDeltaCsv(std::istream& in, const std::string& relation,
+                    const Schema& source_schema, DeltaKind kind,
+                    SourceDelta* delta, const CsvOptions& options) {
+  RelationId rel = source_schema.Require(relation);
+  std::vector<Tuple> rows = ParseCsvRows(
+      in, source_schema.relation(rel).arity(),
+      "relation '" + relation + "'", options);
+  for (Tuple& row : rows) {
+    if (kind == DeltaKind::kInsert) {
+      delta->Insert(relation, std::move(row));
+    } else {
+      delta->Delete(relation, std::move(row));
+    }
+  }
+  return rows.size();
+}
+
+}  // namespace spider

@@ -1,0 +1,61 @@
+#ifndef SPIDER_INCREMENTAL_SOURCE_DELTA_H_
+#define SPIDER_INCREMENTAL_SOURCE_DELTA_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/tuple.h"
+#include "catalog/schema.h"
+#include "storage/csv.h"
+
+namespace spider {
+
+/// One batch edit of the source instance in the edit/re-debug loop (§6 of
+/// the paper: the user fixes data or mappings and re-asks for routes): a set
+/// of tuple deletions plus a set of tuple insertions. The incremental
+/// maintainer applies the deletions first, then the insertions, so a batch
+/// that deletes and re-inserts the same tuple is a no-op on the instance
+/// (though it still dirties the fact).
+///
+/// Operations are kept in the order they were added; duplicates are
+/// tolerated (the maintainer deduplicates against instance content).
+class SourceDelta {
+ public:
+  struct Op {
+    std::string relation;
+    Tuple tuple;
+  };
+
+  void Insert(std::string relation, Tuple tuple) {
+    inserts_.push_back(Op{std::move(relation), std::move(tuple)});
+  }
+  void Delete(std::string relation, Tuple tuple) {
+    deletes_.push_back(Op{std::move(relation), std::move(tuple)});
+  }
+
+  const std::vector<Op>& inserts() const { return inserts_; }
+  const std::vector<Op>& deletes() const { return deletes_; }
+
+  bool empty() const { return inserts_.empty() && deletes_.empty(); }
+  size_t size() const { return inserts_.size() + deletes_.size(); }
+
+ private:
+  std::vector<Op> inserts_;
+  std::vector<Op> deletes_;
+};
+
+enum class DeltaKind { kInsert, kDelete };
+
+/// Reads CSV records (same dialect as LoadCsv, including quoted fields that
+/// span lines) and appends them to `delta` as insertions or deletions of
+/// `relation`, which must exist in `source_schema` (arity checked per row).
+/// Returns the number of operations added. Throws SpiderError with a line
+/// number on malformed input.
+size_t LoadDeltaCsv(std::istream& in, const std::string& relation,
+                    const Schema& source_schema, DeltaKind kind,
+                    SourceDelta* delta, const CsvOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_INCREMENTAL_SOURCE_DELTA_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/status.h"
+#include "chase/chase.h"
 
 namespace spider {
 
@@ -169,8 +170,9 @@ class AnnotatedChaser {
       while (it.Next()) {
         const Value& left = b.Get(egd.left());
         const Value& right = b.Get(egd.right());
-        if (left == right) continue;
-        if (left.is_constant() && right.is_constant()) {
+        EgdUnification u = ChooseEgdUnification(left, right);
+        if (u.kind == EgdUnification::Kind::kNoop) continue;
+        if (u.kind == EgdUnification::Kind::kFailure) {
           failed_ = true;
           failure_message_ = "egd '" + egd.name() +
                              "' equates distinct constants " +
@@ -182,16 +184,8 @@ class AnnotatedChaser {
           }
           return -1;
         }
-        NullId victim;
-        Value replacement;
-        if (left.is_null() && (right.is_constant() ||
-                               right.AsNull().id < left.AsNull().id)) {
-          victim = left.AsNull();
-          replacement = right;
-        } else {
-          victim = right.AsNull();
-          replacement = left;
-        }
+        NullId victim = u.victim;
+        Value replacement = u.replacement;
         AnnotatedChaseLog::EgdStep step;
         step.egd = static_cast<EgdId>(e);
         step.seq = log_.events_.size();

@@ -77,6 +77,19 @@ class AnnotatedChaseLog {
   /// The tgd step that first asserted the fact.
   size_t ProducerStep(ProvFactId id) const { return facts_[id].producer; }
 
+  /// True when an egd rewrite collapsed this fact into another one; its
+  /// tuple then equals the survivor's and it is absent from Materialize().
+  bool MergedAway(ProvFactId id) const { return facts_[id].merged_away; }
+
+  /// Follows merged_into links to the surviving representative of the fact
+  /// (the id itself when it never merged). The incremental maintainer
+  /// resolves step lhs/rhs ids through this when importing the log as a
+  /// derivation graph.
+  ProvFactId Resolve(ProvFactId id) const {
+    while (facts_[id].merged_away) id = facts_[id].merged_into;
+    return id;
+  }
+
   /// Resolves a final target tuple to its fact id, if it exists.
   std::optional<ProvFactId> Find(RelationId relation,
                                  const Tuple& tuple) const;

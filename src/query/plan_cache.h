@@ -24,6 +24,16 @@ enum class PlanKeyFamily : uint64_t {
   kChaseTrigger = 3,
   kChaseRhsCheck = 4,
   kChaseEgd = 5,
+  /// spider::incremental — semi-naive trigger enumeration scoped to one
+  /// delta-bound LHS atom (the key's `atom` slot is the bound atom index;
+  /// the remaining atoms form the planned conjunction).
+  kDeltaTrigger = 6,
+  /// spider::incremental — backward re-fire matching: LHS enumeration after
+  /// binding one RHS atom against a deleted fact.
+  kDeltaRefire = 7,
+  /// spider::incremental — egd LHS enumeration scoped to one dirty-bound
+  /// atom.
+  kDeltaEgd = 8,
 };
 
 /// Packs (family, dependency id, atom index) into a nonzero cache key.

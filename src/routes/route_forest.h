@@ -82,6 +82,12 @@ class RouteForest {
   void ExpandAll();
 
   size_t NumNodes() const { return nodes_.size(); }
+
+  /// All nodes created so far (expanded or merely referenced), in creation
+  /// order. The incremental route cache scans these to learn which target
+  /// relations a cached forest touches — the granularity its insertion-time
+  /// invalidation works at.
+  const std::deque<Node>& nodes() const { return nodes_; }
   size_t NumBranches() const;
   size_t NumExpandedNodes() const;
   const RouteStats& stats() const { return stats_; }

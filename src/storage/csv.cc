@@ -78,34 +78,82 @@ Value InferValue(const Field& field) {
   return Value::Str(s);
 }
 
+/// True when `record` ends inside an open quoted field. Escaped quotes are
+/// two consecutive `"` characters, so plain parity over the whole record is
+/// exact.
+bool InsideQuotes(const std::string& record) {
+  bool in_quotes = false;
+  for (char c : record) {
+    if (c == '"') in_quotes = !in_quotes;
+  }
+  return in_quotes;
+}
+
+/// Reads one CSV record. A quoted field may contain raw newlines, in which
+/// case the record spans several physical lines (`\r\n` is normalized to
+/// `\n` inside the field). Returns false at end of input; throws on a quote
+/// left open at EOF. `line_number` tracks the record's FIRST physical line
+/// for error messages and is advanced past all consumed lines.
+bool ReadRecord(std::istream& in, std::string* record, int* line_number,
+                int* record_line) {
+  record->clear();
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  ++*line_number;
+  *record_line = *line_number;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  *record = std::move(line);
+  while (InsideQuotes(*record)) {
+    std::string more;
+    SPIDER_CHECK(std::getline(in, more),
+                 "csv line " + std::to_string(*record_line) +
+                     ": unterminated quoted field");
+    ++*line_number;
+    if (!more.empty() && more.back() == '\r') more.pop_back();
+    record->push_back('\n');
+    record->append(more);
+  }
+  return true;
+}
+
 }  // namespace
+
+std::vector<Tuple> ParseCsvRows(std::istream& in, size_t arity,
+                                const std::string& context,
+                                const CsvOptions& options) {
+  std::vector<Tuple> rows;
+  std::string record;
+  int line_number = 0;
+  int record_line = 0;
+  bool skipped_header = !options.skip_header;
+  while (ReadRecord(in, &record, &line_number, &record_line)) {
+    if (record.empty()) continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    std::vector<Field> fields = SplitRecord(record, record_line);
+    SPIDER_CHECK(fields.size() == arity,
+                 "csv line " + std::to_string(record_line) + ": expected " +
+                     std::to_string(arity) + " fields for " + context +
+                     ", got " + std::to_string(fields.size()));
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (const Field& f : fields) values.push_back(InferValue(f));
+    rows.emplace_back(std::move(values));
+  }
+  return rows;
+}
 
 size_t LoadCsv(std::istream& in, const std::string& relation,
                Instance* instance, const CsvOptions& options) {
   SPIDER_CHECK(instance != nullptr, "LoadCsv requires an instance");
   RelationId rel = instance->schema().Require(relation);
   size_t arity = instance->schema().relation(rel).arity();
-  std::string line;
-  int line_number = 0;
   size_t inserted = 0;
-  bool skipped_header = !options.skip_header;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    if (!skipped_header) {
-      skipped_header = true;
-      continue;
-    }
-    std::vector<Field> fields = SplitRecord(line, line_number);
-    SPIDER_CHECK(fields.size() == arity,
-                 "csv line " + std::to_string(line_number) + ": expected " +
-                     std::to_string(arity) + " fields for relation '" +
-                     relation + "', got " + std::to_string(fields.size()));
-    std::vector<Value> values;
-    values.reserve(fields.size());
-    for (const Field& f : fields) values.push_back(InferValue(f));
-    if (instance->Insert(rel, Tuple(std::move(values))).inserted) ++inserted;
+  for (Tuple& row : ParseCsvRows(in, arity, "relation '" + relation + "'",
+                                 options)) {
+    if (instance->Insert(rel, std::move(row)).inserted) ++inserted;
   }
   return inserted;
 }

@@ -3,7 +3,9 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "base/tuple.h"
 #include "storage/instance.h"
 
 namespace spider {
@@ -11,12 +13,13 @@ namespace spider {
 /// Loads CSV rows into one relation of an instance — the practical entry
 /// point for debugging a mapping against real exported data.
 ///
-/// Format: comma-separated, double quotes for fields containing commas or
-/// quotes (`""` escapes a quote), one row per line; `\r\n` accepted. Every
-/// row must match the relation's arity. Unquoted fields are type-inferred:
-/// integers and decimals become numeric values, everything else a string;
-/// quoted fields are always strings. An optional header row is skipped
-/// when `skip_header` is set.
+/// Format: comma-separated, double quotes for fields containing commas,
+/// quotes (`""` escapes a quote) or newlines; one record per line, except
+/// that a quoted field may span lines (`\r\n` is accepted and normalized to
+/// `\n` inside such a field). Every row must match the relation's arity.
+/// Unquoted fields are type-inferred: integers and decimals become numeric
+/// values, everything else a string; quoted fields are always strings. An
+/// optional header row is skipped when `skip_header` is set.
 ///
 /// Returns the number of rows inserted (after deduplication). Throws
 /// SpiderError with a line number on malformed input.
@@ -26,6 +29,15 @@ struct CsvOptions {
 
 size_t LoadCsv(std::istream& in, const std::string& relation,
                Instance* instance, const CsvOptions& options = {});
+
+/// Parses CSV records into tuples of the given arity without inserting
+/// anywhere — the shared engine behind LoadCsv and the incremental
+/// subsystem's delta edit files (spider::LoadDeltaCsv), which need rows for
+/// relations they do not want materialized yet. `context` names the
+/// destination in error messages (e.g. "relation 'Cards'").
+std::vector<Tuple> ParseCsvRows(std::istream& in, size_t arity,
+                                const std::string& context,
+                                const CsvOptions& options = {});
 
 /// Convenience overload for in-memory text (used by tests and the shell).
 size_t LoadCsvText(const std::string& text, const std::string& relation,

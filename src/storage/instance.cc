@@ -1,7 +1,9 @@
 #include "storage/instance.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 namespace spider {
 
@@ -145,6 +147,165 @@ size_t Instance::ApplySubstitution(NullId from, const Value& to) {
     (void)touched;
   }
   return rewritten;
+}
+
+namespace {
+
+/// Removes `id` from an unsorted candidate list by swap-with-last.
+void DropFromBucket(std::vector<int32_t>* list, int32_t id) {
+  for (int32_t& entry : *list) {
+    if (entry == id) {
+      entry = list->back();
+      list->pop_back();
+      return;
+    }
+  }
+}
+
+/// Removes `id` from a row-id-sorted posting list, keeping it sorted.
+void EraseSorted(std::vector<int32_t>* list, int32_t id) {
+  auto it = std::lower_bound(list->begin(), list->end(), id);
+  if (it != list->end() && *it == id) list->erase(it);
+}
+
+/// Renumbers `from` to `to` (with to < from) in a sorted posting list.
+void MoveSorted(std::vector<int32_t>* list, int32_t from, int32_t to) {
+  EraseSorted(list, from);
+  list->insert(std::lower_bound(list->begin(), list->end(), to), to);
+}
+
+}  // namespace
+
+size_t Instance::EraseRows(RelationId rel, std::vector<int32_t> rows) {
+  SPIDER_CHECK(rel >= 0 && static_cast<size_t>(rel) < relations_.size(),
+               "relation id out of range");
+  if (rows.empty()) return 0;
+  RelationData& data = relations_[rel];
+  std::vector<bool> dead(data.rows.size(), false);
+  size_t removed = 0;
+  for (int32_t row : rows) {
+    SPIDER_CHECK(row >= 0 && static_cast<size_t>(row) < data.rows.size(),
+                 "row index out of range in EraseRows");
+    if (!dead[row]) {
+      dead[row] = true;
+      ++removed;
+    }
+  }
+  if (removed == 0) return 0;
+  ++version_;
+
+  // Erasing a large fraction: rebuilding dedup from scratch costs about the
+  // same as maintaining it and leaves nothing stale, so take the simple
+  // path (indexes invalidate and rebuild lazily on the next probe).
+  if (removed * 4 >= data.rows.size()) {
+    std::vector<Tuple> old_rows = std::move(data.rows);
+    data.rows.clear();
+    data.dedup.clear();
+    for (size_t col = 0; col < data.index_built.size(); ++col) {
+      data.index_built[col] = false;
+      data.indexes[col].clear();
+    }
+    for (size_t row = 0; row < old_rows.size(); ++row) {
+      if (dead[row]) continue;
+      Tuple& t = old_rows[row];
+      data.dedup[t.Hash()].push_back(static_cast<int32_t>(data.rows.size()));
+      data.rows.push_back(std::move(t));
+    }
+    return removed;
+  }
+
+  // Small batch: maintain dedup and built indexes in place so the cost
+  // scales with the batch, not the relation (the incremental chaser's
+  // deletion path retracts a few hundred rows from relations of tens of
+  // thousands). Compaction fills each hole with a surviving row from the
+  // tail — remaining-row ORDER is not preserved — and every maintained
+  // posting list ends up exactly as a fresh EnsureIndex rebuild would
+  // produce it (sorted by row id), so behavior cannot depend on WHEN an
+  // index was built relative to the erase.
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+
+  // Plan the compaction: holes ascending, donors from the live tail.
+  std::vector<std::pair<int32_t, int32_t>> moves;  // {from, to}
+  moves.reserve(removed);
+  int32_t tail = static_cast<int32_t>(data.rows.size()) - 1;
+  for (int32_t hole : rows) {
+    while (tail > hole && dead[tail]) --tail;
+    if (tail <= hole) break;
+    moves.emplace_back(tail, hole);
+    --tail;
+  }
+
+  // Dedup: drop dead rows, renumber donors (bucket order is irrelevant —
+  // buckets hold hash-collision candidates, at most one of which matches).
+  for (int32_t row : rows) {
+    auto it = data.dedup.find(data.rows[row].Hash());
+    if (it == data.dedup.end()) continue;
+    DropFromBucket(&it->second, row);
+    if (it->second.empty()) data.dedup.erase(it);
+  }
+  for (const auto& [from, to] : moves) {
+    auto it = data.dedup.find(data.rows[from].Hash());
+    if (it == data.dedup.end()) continue;
+    for (int32_t& entry : it->second) {
+      if (entry == from) entry = to;
+    }
+  }
+
+  // Built column indexes: maintain in place unless the disturbed posting
+  // lists sum to more work than the O(rows) lazy rebuild the index would
+  // otherwise get — low-cardinality columns hit that bound, key-like
+  // columns never do.
+  for (size_t col = 0; col < data.index_built.size(); ++col) {
+    if (!data.index_built[col]) continue;
+    auto& index = data.indexes[col];
+    size_t touched = 0;
+    for (int32_t row : rows) {
+      auto it = index.find(data.rows[row].at(col));
+      if (it != index.end()) touched += it->second.size();
+    }
+    for (const auto& [from, to] : moves) {
+      auto it = index.find(data.rows[from].at(col));
+      if (it != index.end()) touched += it->second.size();
+    }
+    if (touched > data.rows.size()) {
+      data.index_built[col] = false;
+      index.clear();
+      continue;
+    }
+    for (int32_t row : rows) {
+      auto it = index.find(data.rows[row].at(col));
+      if (it == index.end()) continue;
+      EraseSorted(&it->second, row);
+      if (it->second.empty()) index.erase(it);
+    }
+    for (const auto& [from, to] : moves) {
+      auto it = index.find(data.rows[from].at(col));
+      if (it != index.end()) MoveSorted(&it->second, from, to);
+    }
+  }
+
+  // Physically move the donors and truncate the dead tail.
+  for (const auto& [from, to] : moves) {
+    data.rows[to] = std::move(data.rows[from]);
+  }
+  data.rows.resize(data.rows.size() - removed);
+  return removed;
+}
+
+bool Instance::Erase(RelationId rel, const Tuple& tuple) {
+  std::optional<int32_t> row = FindRow(rel, tuple);
+  if (!row.has_value()) return false;
+  return EraseRows(rel, {*row}) == 1;
+}
+
+void Instance::ReplaceContents(Instance&& other) {
+  SPIDER_CHECK(schema_ == other.schema_ ||
+                   schema_->size() == other.schema_->size(),
+               "ReplaceContents requires instances over the same schema");
+  uint64_t next = std::max(version_, other.version_) + 1;
+  relations_ = std::move(other.relations_);
+  version_ = next;
 }
 
 std::string Instance::ToString() const {

@@ -20,14 +20,19 @@ struct InsertResult {
   bool inserted = false;   ///< True when the tuple was not already present.
 };
 
-/// A database instance over a Schema: one duplicate-free, append-only bag of
-/// tuples per relation, with lazily built per-column hash indexes.
+/// A database instance over a Schema: one duplicate-free bag of tuples per
+/// relation, with lazily built per-column hash indexes.
 ///
 /// Tuples are identified by (relation id, row index); rows are stable under
-/// insertion. The only mutating operation besides Insert is
-/// ApplySubstitution, used by the egd chase to unify labeled nulls; it
-/// invalidates indexes and may merge duplicate rows (callers are warned that
-/// row indexes change).
+/// insertion. Three operations mutate content beyond Insert:
+/// ApplySubstitution (the egd chase unifying labeled nulls), EraseRows (the
+/// incremental maintainer retracting tuples) and ReplaceContents (wholesale
+/// swap-in of a re-chased instance). All three make row indexes unstable
+/// (EraseRows keeps small-batch erases index-maintaining instead of
+/// index-invalidating); all content mutations bump version() — PlanCache
+/// and the incremental route cache key on it, so a missed bump would be
+/// silent stale-plan corruption (tests/storage/instance_test.cc audits every
+/// mutation path).
 class Instance {
  public:
   explicit Instance(const Schema* schema);
@@ -74,9 +79,11 @@ class Instance {
   /// length for a column that will be bound to a yet-unknown value.
   size_t NumDistinct(RelationId rel, int col) const;
 
-  /// Monotonic content version: bumped whenever a tuple is added or the egd
-  /// chase rewrites nulls. PlanCache entries record the version they were
-  /// planned against and re-plan when it moves.
+  /// Monotonic content version: bumped by every content mutation — Insert
+  /// (when a tuple is actually added), ApplySubstitution, EraseRows/Erase
+  /// (when rows are actually removed) and ReplaceContents. PlanCache entries
+  /// record the version they were planned against and re-plan when it moves;
+  /// the incremental route cache likewise discards entries from old versions.
   uint64_t version() const { return version_; }
 
   /// Builds every per-column index now. Probe's lazy build mutates shared
@@ -92,6 +99,27 @@ class Instance {
   /// relations, re-deduplicating rows and rebuilding indexes. Returns the
   /// number of cells rewritten. Row indexes are NOT stable across this call.
   size_t ApplySubstitution(NullId from, const Value& to);
+
+  /// Removes the given rows of `rel` (duplicates tolerated, out-of-range
+  /// rejected), filling each hole with a surviving row from the tail; the
+  /// ORDER of remaining rows is unspecified and row indexes are NOT stable
+  /// across this call. Small batches maintain the dedup table and built
+  /// indexes in place (cost scales with the batch, and every maintained
+  /// posting list matches what a fresh rebuild would produce); erasing a
+  /// large fraction of the relation rebuilds instead. Returns the number of
+  /// rows removed.
+  size_t EraseRows(RelationId rel, std::vector<int32_t> rows);
+
+  /// Removes the tuple from `rel` if present. Returns true when a row was
+  /// removed. Row indexes of the relation are NOT stable across this call.
+  bool Erase(RelationId rel, const Tuple& tuple);
+
+  /// Replaces this instance's content with `other`'s (same schema required).
+  /// The version is bumped STRICTLY ABOVE both instances' versions rather
+  /// than copied, so plan-cache entries keyed on (instance, version) can
+  /// never alias the pre-replacement content — the incremental maintainer
+  /// uses this to swap in a full re-chase without reseating any pointer.
+  void ReplaceContents(Instance&& other);
 
   /// Renders the full instance, one `Rel(v1, ...)` fact per line.
   std::string ToString() const;

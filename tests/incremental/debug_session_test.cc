@@ -1,0 +1,178 @@
+// Tests for the DebugSession facade: route caching across edits, cache
+// invalidation on edits that touch a route's support, replay of cached
+// routes, and egd-entangled fallback behavior.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "debugger/debug_session.h"
+#include "mapping/parser.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+DebugSession OpenClosureSession() {
+  return DebugSession(ParseScenario(testing::TransitiveClosureText()));
+}
+
+TEST(DebugSessionTest, OpensWithChasedTarget) {
+  DebugSession session = OpenClosureSession();
+  EXPECT_EQ(session.scenario().target->TotalTuples(), 3u);
+  EXPECT_FALSE(session.egd_entangled());
+}
+
+TEST(DebugSessionTest, RouteIsCachedAcrossProbes) {
+  DebugSession session = OpenClosureSession();
+  const Route& first = session.RouteFor("T(1, 3)");
+  EXPECT_EQ(session.cache_stats().route_misses, 1u);
+  const Route& second = session.RouteFor("T(1, 3)");
+  EXPECT_EQ(session.cache_stats().route_hits, 1u);
+  EXPECT_EQ(first.steps(), second.steps());
+}
+
+TEST(DebugSessionTest, UnrelatedEditServesRouteFromCache) {
+  DebugSession session = OpenClosureSession();
+  session.RouteFor("T(1, 3)");
+
+  // S(7,8) is disconnected from T(1,3)'s support.
+  SourceDelta delta;
+  delta.Insert("S", Tuple({Value::Int(7), Value::Int(8)}));
+  ApplyDeltaResult r = session.Apply(delta);
+  ASSERT_FALSE(r.full_rechase);
+
+  const Route& route = session.RouteFor("T(1, 3)");
+  EXPECT_EQ(session.cache_stats().route_hits, 1u);
+  std::string why;
+  EXPECT_TRUE(route.Validate(*session.scenario().mapping,
+                             *session.scenario().source,
+                             *session.scenario().target,
+                             {session.debugger().TargetFact("T(1, 3)")}, &why))
+      << why;
+}
+
+TEST(DebugSessionTest, EditTouchingSupportRecomputesRoute) {
+  DebugSession session = OpenClosureSession();
+  session.RouteFor("T(1, 3)");
+
+  // Deleting S(2,3) kills T(2,3) and T(1,3): the cached route is evicted
+  // and the fact itself is gone.
+  SourceDelta delta;
+  delta.Delete("S", Tuple({Value::Int(2), Value::Int(3)}));
+  session.Apply(delta);
+  EXPECT_GE(session.cache_stats().route_evictions, 1u);
+  EXPECT_THROW(session.RouteFor("T(1, 3)"), SpiderError);
+
+  // Re-adding the tuple restores the fact; the route must be recomputed
+  // (miss), not served from a stale entry.
+  SourceDelta undo;
+  undo.Insert("S", Tuple({Value::Int(2), Value::Int(3)}));
+  session.Apply(undo);
+  const Route& route = session.RouteFor("T(1, 3)");
+  EXPECT_EQ(session.cache_stats().route_hits, 0u);
+  std::string why;
+  EXPECT_TRUE(route.Validate(*session.scenario().mapping,
+                             *session.scenario().source,
+                             *session.scenario().target,
+                             {session.debugger().TargetFact("T(1, 3)")}, &why))
+      << why;
+}
+
+TEST(DebugSessionTest, CachedRouteReplaysWithPlayer) {
+  DebugSession session = OpenClosureSession();
+  session.RouteFor("T(1, 3)");
+  const Route& cached = session.RouteFor("T(1, 3)");
+  ASSERT_EQ(session.cache_stats().route_hits, 1u);
+
+  RoutePlayer player = session.Play(cached);
+  size_t steps = 0;
+  while (player.Step()) ++steps;
+  EXPECT_TRUE(player.done());
+  EXPECT_EQ(steps, cached.size());
+  EXPECT_FALSE(player.produced().empty());
+}
+
+TEST(DebugSessionTest, ForestCachingAndInvalidation) {
+  DebugSession session = OpenClosureSession();
+  session.ForestFor("T(1, 3)");
+  EXPECT_EQ(session.cache_stats().forest_misses, 1u);
+  session.ForestFor("T(1, 3)");
+  EXPECT_EQ(session.cache_stats().forest_hits, 1u);
+
+  // Any S-insert threatens T (sigma1 can fire into it): forest evicted.
+  SourceDelta delta;
+  delta.Insert("S", Tuple({Value::Int(7), Value::Int(8)}));
+  session.Apply(delta);
+  EXPECT_EQ(session.cache_stats().forest_evictions, 1u);
+  RouteForest& fresh = session.ForestFor("T(1, 3)");
+  EXPECT_GE(fresh.NumNodes(), 1u);
+  EXPECT_EQ(session.cache_stats().forest_misses, 2u);
+}
+
+TEST(DebugSessionTest, TargetInstanceMaintainedAcrossEdits) {
+  DebugSession session = OpenClosureSession();
+  const Instance* target_before = session.scenario().target.get();
+
+  SourceDelta delta;
+  delta.Insert("S", Tuple({Value::Int(3), Value::Int(4)}));
+  session.Apply(delta);
+
+  // Mutated strictly in place: the debugger's pointers stay valid.
+  EXPECT_EQ(session.scenario().target.get(), target_before);
+  ChaseResult scratch =
+      Chase(*session.scenario().mapping, *session.scenario().source);
+  ASSERT_EQ(scratch.outcome, ChaseOutcome::kSuccess);
+  EXPECT_TRUE(HomomorphicallyEquivalent(*session.scenario().target,
+                                        *scratch.target));
+}
+
+TEST(DebugSessionTest, NullIdsStaySyncedWithScenario) {
+  Scenario scenario = ParseScenario(R"(
+source schema { S(x); }
+target schema { T(x, y); }
+st: S(x) -> exists Z . T(x, Z);
+source instance { S("a"); }
+target instance { }
+)");
+  DebugSession session(std::move(scenario));
+  const int64_t after_open = session.scenario().max_null_id;
+  EXPECT_GE(after_open, 1);
+
+  SourceDelta delta;
+  delta.Insert("S", Tuple({Value::Str("b")}));
+  session.Apply(delta);
+  EXPECT_EQ(session.scenario().max_null_id, after_open + 1);
+}
+
+TEST(DebugSessionTest, FullRechaseClearsRouteCache) {
+  Scenario scenario = ParseScenario(R"(
+source schema { S(x); K(x, y); }
+target schema { T(x, y); }
+st2: S(x) -> exists Z . T(x, Z);
+st1: K(x,y) -> T(x,y);
+key: T(x,y) & T(x,z) -> y = z;
+source instance { S(2); K(2, "v"); }
+target instance { }
+)");
+  DebugSession session(std::move(scenario));
+  ASSERT_TRUE(session.egd_entangled());
+  session.RouteFor("T(2, \"v\")");
+  ASSERT_EQ(session.cache_stats().route_misses, 1u);
+
+  // Entangled + deletion: full re-chase, cache cleared wholesale.
+  SourceDelta delta;
+  delta.Delete("S", Tuple({Value::Int(2)}));
+  ApplyDeltaResult r = session.Apply(delta);
+  EXPECT_TRUE(r.full_rechase);
+  EXPECT_EQ(session.cache_stats().clears, 1u);
+
+  const Route& fresh = session.RouteFor("T(2, \"v\")");
+  EXPECT_EQ(session.cache_stats().route_hits, 0u);
+  EXPECT_EQ(fresh.size(), 1u);  // just the st1 copy step now
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,229 @@
+// Unit tests for the RouteCache: dependency extraction, hit/miss
+// accounting, and the invalidation rules (fine-grained for routes,
+// relation-level for forests, wholesale on full re-chase).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "incremental/route_cache.h"
+#include "mapping/parser.h"
+#include "routes/one_route.h"
+#include "routes/route_forest.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+FactKey TargetKeyOf(const Scenario& s, const std::string& rel,
+                    const Tuple& tuple) {
+  return FactKey{Side::kTarget, s.mapping->target().Require(rel), tuple};
+}
+
+FactKey SourceKeyOf(const Scenario& s, const std::string& rel,
+                    const Tuple& tuple) {
+  return FactKey{Side::kSource, s.mapping->source().Require(rel), tuple};
+}
+
+/// Chased transitive-closure scenario plus the route for T(1,3).
+struct ClosureFixture {
+  Scenario s;
+  FactRef t13;
+  Route route;
+
+  ClosureFixture() : s(ParseScenario(testing::TransitiveClosureText())) {
+    ChaseScenario(&s);
+    RelationId t = s.mapping->target().Require("T");
+    t13 = FactRef{Side::kTarget, t,
+                  *s.target->FindRow(t, Tuple({Value::Int(1), Value::Int(3)}))};
+    OneRouteResult result =
+        ComputeOneRoute(*s.mapping, *s.source, *s.target, {t13});
+    EXPECT_TRUE(result.found);
+    route = std::move(result.route);
+  }
+};
+
+TEST(RouteDependenciesTest, CoversLhsAndRhsFacts) {
+  ClosureFixture f;
+  std::vector<FactKey> deps = RouteDependencies(*f.s.mapping, f.route);
+  // Producing T(1,3) takes S(1,2), S(2,3) (sources of the two copy steps),
+  // T(1,2), T(2,3) (copies, also the closure step's LHS) and T(1,3) itself.
+  auto has = [&](const FactKey& key) {
+    return std::find(deps.begin(), deps.end(), key) != deps.end();
+  };
+  EXPECT_TRUE(has(SourceKeyOf(f.s, "S", Tuple({Value::Int(1), Value::Int(2)}))));
+  EXPECT_TRUE(has(SourceKeyOf(f.s, "S", Tuple({Value::Int(2), Value::Int(3)}))));
+  EXPECT_TRUE(has(TargetKeyOf(f.s, "T", Tuple({Value::Int(1), Value::Int(2)}))));
+  EXPECT_TRUE(has(TargetKeyOf(f.s, "T", Tuple({Value::Int(2), Value::Int(3)}))));
+  EXPECT_TRUE(has(TargetKeyOf(f.s, "T", Tuple({Value::Int(1), Value::Int(3)}))));
+  // Deduplicated: no key twice.
+  for (size_t i = 0; i < deps.size(); ++i) {
+    for (size_t j = i + 1; j < deps.size(); ++j) {
+      EXPECT_FALSE(deps[i] == deps[j]);
+    }
+  }
+}
+
+TEST(RouteCacheTest, FindCountsHitsAndMisses) {
+  ClosureFixture f;
+  RouteCache cache;
+  FactKey key = TargetKeyOf(f.s, "T", Tuple({Value::Int(1), Value::Int(3)}));
+
+  EXPECT_EQ(cache.FindRoute(key), nullptr);
+  EXPECT_EQ(cache.stats().route_misses, 1u);
+  cache.PutRoute(key, f.route, RouteDependencies(*f.s.mapping, f.route));
+  const Route* cached = cache.FindRoute(key);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->steps(), f.route.steps());
+  EXPECT_EQ(cache.stats().route_hits, 1u);
+  EXPECT_EQ(cache.NumRoutes(), 1u);
+}
+
+TEST(RouteCacheTest, RemovalOfDependencyEvictsRoute) {
+  ClosureFixture f;
+  RouteCache cache;
+  FactKey key = TargetKeyOf(f.s, "T", Tuple({Value::Int(1), Value::Int(3)}));
+  cache.PutRoute(key, f.route, RouteDependencies(*f.s.mapping, f.route));
+
+  ApplyDeltaResult delta;
+  delta.removed.push_back(
+      SourceKeyOf(f.s, "S", Tuple({Value::Int(2), Value::Int(3)})));
+  cache.Invalidate(*f.s.mapping, delta);
+
+  EXPECT_EQ(cache.NumRoutes(), 0u);
+  EXPECT_EQ(cache.stats().route_evictions, 1u);
+}
+
+TEST(RouteCacheTest, UnrelatedRemovalKeepsRoute) {
+  ClosureFixture f;
+  RouteCache cache;
+  FactKey key = TargetKeyOf(f.s, "T", Tuple({Value::Int(1), Value::Int(3)}));
+  cache.PutRoute(key, f.route, RouteDependencies(*f.s.mapping, f.route));
+
+  ApplyDeltaResult delta;
+  delta.removed.push_back(
+      SourceKeyOf(f.s, "S", Tuple({Value::Int(8), Value::Int(9)})));
+  cache.Invalidate(*f.s.mapping, delta);
+
+  EXPECT_EQ(cache.NumRoutes(), 1u);
+  EXPECT_EQ(cache.stats().route_evictions, 0u);
+}
+
+TEST(RouteCacheTest, AdditionsNeverEvictRoutes) {
+  ClosureFixture f;
+  RouteCache cache;
+  FactKey key = TargetKeyOf(f.s, "T", Tuple({Value::Int(1), Value::Int(3)}));
+  cache.PutRoute(key, f.route, RouteDependencies(*f.s.mapping, f.route));
+
+  ApplyDeltaResult delta;
+  delta.added.push_back(
+      SourceKeyOf(f.s, "S", Tuple({Value::Int(3), Value::Int(4)})));
+  delta.added.push_back(
+      TargetKeyOf(f.s, "T", Tuple({Value::Int(3), Value::Int(4)})));
+  cache.Invalidate(*f.s.mapping, delta);
+
+  EXPECT_EQ(cache.NumRoutes(), 1u);
+}
+
+TEST(RouteCacheTest, AnyRemovalEvictsAllForests) {
+  ClosureFixture f;
+  RouteCache cache;
+  FactKey key = TargetKeyOf(f.s, "T", Tuple({Value::Int(1), Value::Int(3)}));
+  cache.PutForest(
+      key, ComputeAllRoutes(*f.s.mapping, *f.s.source, *f.s.target, {f.t13}));
+  ASSERT_EQ(cache.NumForests(), 1u);
+
+  // The removed fact is unrelated to the forest's content, but forests hold
+  // row indexes, which any removal destabilizes.
+  ApplyDeltaResult delta;
+  delta.removed.push_back(
+      SourceKeyOf(f.s, "S", Tuple({Value::Int(8), Value::Int(9)})));
+  cache.Invalidate(*f.s.mapping, delta);
+
+  EXPECT_EQ(cache.NumForests(), 0u);
+  EXPECT_EQ(cache.stats().forest_evictions, 1u);
+}
+
+TEST(RouteCacheTest, ThreateningAdditionEvictsForest) {
+  ClosureFixture f;
+  RouteCache cache;
+  FactKey key = TargetKeyOf(f.s, "T", Tuple({Value::Int(1), Value::Int(3)}));
+  cache.PutForest(
+      key, ComputeAllRoutes(*f.s.mapping, *f.s.source, *f.s.target, {f.t13}));
+
+  // An added S-fact can fire sigma1 into T, and the forest owns T-nodes:
+  // its branch lists could grow, so it must go.
+  ApplyDeltaResult delta;
+  delta.added.push_back(
+      SourceKeyOf(f.s, "S", Tuple({Value::Int(1), Value::Int(9)})));
+  cache.Invalidate(*f.s.mapping, delta);
+
+  EXPECT_EQ(cache.NumForests(), 0u);
+  EXPECT_EQ(cache.stats().forest_evictions, 1u);
+}
+
+TEST(RouteCacheTest, NonThreateningAdditionKeepsForest) {
+  // Two disconnected tgds: U-facts can only reach V, never T, so a forest
+  // whose nodes all live in T survives a U/V addition.
+  Scenario s = ParseScenario(R"(
+source schema { S(x); U(x); }
+target schema { T(x); V(x); }
+st1: S(x) -> T(x);
+st2: U(x) -> V(x);
+source instance { S(1); U(2); }
+target instance { }
+)");
+  ChaseScenario(&s);
+  RelationId t = s.mapping->target().Require("T");
+  FactRef t1{Side::kTarget, t, *s.target->FindRow(t, Tuple({Value::Int(1)}))};
+  RouteCache cache;
+  FactKey key = TargetKeyOf(s, "T", Tuple({Value::Int(1)}));
+  cache.PutForest(key,
+                  ComputeAllRoutes(*s.mapping, *s.source, *s.target, {t1}));
+
+  ApplyDeltaResult delta;
+  delta.added.push_back(SourceKeyOf(s, "U", Tuple({Value::Int(3)})));
+  delta.added.push_back(TargetKeyOf(s, "V", Tuple({Value::Int(3)})));
+  cache.Invalidate(*s.mapping, delta);
+
+  EXPECT_EQ(cache.NumForests(), 1u);
+  EXPECT_EQ(cache.stats().forest_evictions, 0u);
+}
+
+TEST(RouteCacheTest, FullRechaseClearsEverything) {
+  ClosureFixture f;
+  RouteCache cache;
+  FactKey key = TargetKeyOf(f.s, "T", Tuple({Value::Int(1), Value::Int(3)}));
+  cache.PutRoute(key, f.route, RouteDependencies(*f.s.mapping, f.route));
+  cache.PutForest(
+      key, ComputeAllRoutes(*f.s.mapping, *f.s.source, *f.s.target, {f.t13}));
+
+  ApplyDeltaResult delta;
+  delta.full_rechase = true;
+  cache.Invalidate(*f.s.mapping, delta);
+
+  EXPECT_EQ(cache.NumRoutes(), 0u);
+  EXPECT_EQ(cache.NumForests(), 0u);
+  EXPECT_EQ(cache.stats().clears, 1u);
+}
+
+TEST(RouteCacheTest, PutReplacesExistingEntry) {
+  ClosureFixture f;
+  RouteCache cache;
+  FactKey key = TargetKeyOf(f.s, "T", Tuple({Value::Int(1), Value::Int(3)}));
+  cache.PutRoute(key, f.route, RouteDependencies(*f.s.mapping, f.route));
+  cache.PutRoute(key, f.route, {});  // same key, no deps
+  EXPECT_EQ(cache.NumRoutes(), 1u);
+
+  // With no deps recorded, removals cannot evict it.
+  ApplyDeltaResult delta;
+  delta.removed.push_back(
+      SourceKeyOf(f.s, "S", Tuple({Value::Int(2), Value::Int(3)})));
+  cache.Invalidate(*f.s.mapping, delta);
+  EXPECT_EQ(cache.NumRoutes(), 1u);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,94 @@
+// Unit tests for SourceDelta batches and the CSV delta loader.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/status.h"
+#include "catalog/schema.h"
+#include "incremental/source_delta.h"
+
+namespace spider {
+namespace {
+
+Schema TwoRelationSchema() {
+  Schema schema("source");
+  schema.AddRelation("R", {"a", "b"});
+  schema.AddRelation("Unary", {"x"});
+  return schema;
+}
+
+TEST(SourceDeltaTest, KeepsOperationsInOrder) {
+  SourceDelta delta;
+  EXPECT_TRUE(delta.empty());
+  delta.Insert("R", Tuple({Value::Int(1), Value::Int(2)}));
+  delta.Delete("R", Tuple({Value::Int(3), Value::Int(4)}));
+  delta.Insert("Unary", Tuple({Value::Str("x")}));
+
+  EXPECT_FALSE(delta.empty());
+  EXPECT_EQ(delta.size(), 3u);
+  ASSERT_EQ(delta.inserts().size(), 2u);
+  ASSERT_EQ(delta.deletes().size(), 1u);
+  EXPECT_EQ(delta.inserts()[0].relation, "R");
+  EXPECT_EQ(delta.inserts()[1].relation, "Unary");
+  EXPECT_EQ(delta.deletes()[0].tuple,
+            Tuple({Value::Int(3), Value::Int(4)}));
+}
+
+TEST(LoadDeltaCsvTest, LoadsInsertsAndDeletes) {
+  Schema schema = TwoRelationSchema();
+  SourceDelta delta;
+  std::istringstream ins("1,2\n3,hello\n");
+  EXPECT_EQ(LoadDeltaCsv(ins, "R", schema, DeltaKind::kInsert, &delta), 2u);
+  std::istringstream dels("5,6\n");
+  EXPECT_EQ(LoadDeltaCsv(dels, "R", schema, DeltaKind::kDelete, &delta), 1u);
+
+  ASSERT_EQ(delta.inserts().size(), 2u);
+  ASSERT_EQ(delta.deletes().size(), 1u);
+  // Unquoted fields are type-inferred: ints stay ints.
+  EXPECT_EQ(delta.inserts()[0].tuple, Tuple({Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(delta.inserts()[1].tuple,
+            Tuple({Value::Int(3), Value::Str("hello")}));
+  EXPECT_EQ(delta.deletes()[0].tuple, Tuple({Value::Int(5), Value::Int(6)}));
+}
+
+TEST(LoadDeltaCsvTest, QuotedFieldsSurviveCommasQuotesAndNewlines) {
+  Schema schema = TwoRelationSchema();
+  SourceDelta delta;
+  std::istringstream in(
+      "\"a,b\",\"say \"\"hi\"\"\"\n"
+      "\"line1\nline2\",7\n");
+  EXPECT_EQ(LoadDeltaCsv(in, "R", schema, DeltaKind::kInsert, &delta), 2u);
+  EXPECT_EQ(delta.inserts()[0].tuple,
+            Tuple({Value::Str("a,b"), Value::Str("say \"hi\"")}));
+  EXPECT_EQ(delta.inserts()[1].tuple,
+            Tuple({Value::Str("line1\nline2"), Value::Int(7)}));
+}
+
+TEST(LoadDeltaCsvTest, SkipsHeaderWhenAsked) {
+  Schema schema = TwoRelationSchema();
+  SourceDelta delta;
+  CsvOptions options;
+  options.skip_header = true;
+  std::istringstream in("a,b\n1,2\n");
+  EXPECT_EQ(
+      LoadDeltaCsv(in, "R", schema, DeltaKind::kInsert, &delta, options), 1u);
+  EXPECT_EQ(delta.inserts()[0].tuple, Tuple({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(LoadDeltaCsvTest, RejectsUnknownRelationAndArityMismatch) {
+  Schema schema = TwoRelationSchema();
+  SourceDelta delta;
+  std::istringstream in("1,2\n");
+  EXPECT_THROW(
+      LoadDeltaCsv(in, "Nope", schema, DeltaKind::kInsert, &delta),
+      SpiderError);
+
+  std::istringstream wide("1,2,3\n");
+  EXPECT_THROW(LoadDeltaCsv(wide, "R", schema, DeltaKind::kInsert, &delta),
+               SpiderError);
+  // A throwing load leaves the delta untouched.
+  EXPECT_TRUE(delta.empty());
+}
+
+}  // namespace
+}  // namespace spider

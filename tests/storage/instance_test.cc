@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "base/status.h"
 
 namespace spider {
@@ -135,6 +140,161 @@ TEST_F(InstanceTest, ToStringListsFacts) {
 
 TEST_F(InstanceTest, RequiresSchema) {
   EXPECT_THROW(Instance(nullptr), SpiderError);
+}
+
+TEST_F(InstanceTest, EraseRowsCompactsAndReindexes) {
+  Instance inst(&schema_);
+  inst.Insert(r_, Tuple({Value::Int(1), Value::Int(10)}));
+  inst.Insert(r_, Tuple({Value::Int(2), Value::Int(10)}));
+  inst.Insert(r_, Tuple({Value::Int(3), Value::Int(30)}));
+  EXPECT_EQ(inst.Probe(r_, 1, Value::Int(10)).size(), 2u);  // build index
+  EXPECT_EQ(inst.EraseRows(r_, {1, 1}), 1u);  // duplicates tolerated
+  EXPECT_EQ(inst.NumTuples(r_), 2u);
+  EXPECT_EQ(inst.tuple(r_, 0), Tuple({Value::Int(1), Value::Int(10)}));
+  EXPECT_EQ(inst.tuple(r_, 1), Tuple({Value::Int(3), Value::Int(30)}));
+  EXPECT_EQ(inst.Probe(r_, 1, Value::Int(10)).size(), 1u);
+  EXPECT_FALSE(inst.FindRow(r_, Tuple({Value::Int(2), Value::Int(10)}))
+                   .has_value());
+  EXPECT_THROW(inst.EraseRows(r_, {5}), SpiderError);
+}
+
+// Small-batch erases maintain dedup and built indexes in place. Whatever
+// the compaction did to row order, every probe must agree with a freshly
+// rebuilt index: sorted posting lists that exactly cover the matching rows.
+TEST_F(InstanceTest, SmallBatchEraseKeepsIndexesConsistent) {
+  Instance inst(&schema_);
+  for (int i = 0; i < 12; ++i) {
+    inst.Insert(r_, Tuple({Value::Int(i), Value::Int(i % 3)}));
+  }
+  // Build both column indexes before erasing so maintenance is exercised.
+  EXPECT_EQ(inst.Probe(r_, 0, Value::Int(5)).size(), 1u);
+  EXPECT_EQ(inst.Probe(r_, 1, Value::Int(2)).size(), 4u);
+
+  EXPECT_EQ(inst.EraseRows(r_, {2, 5, 11}), 3u);  // 3*4 < 12: in-place path
+  EXPECT_EQ(inst.NumTuples(r_), 9u);
+  for (int i = 0; i < 12; ++i) {
+    bool erased = i == 2 || i == 5 || i == 11;
+    EXPECT_EQ(inst.FindRow(r_, Tuple({Value::Int(i), Value::Int(i % 3)}))
+                  .has_value(),
+              !erased)
+        << "tuple " << i;
+  }
+  for (int v = 0; v < 3; ++v) {
+    const std::vector<int32_t>& hits = inst.Probe(r_, 1, Value::Int(v));
+    EXPECT_TRUE(std::is_sorted(hits.begin(), hits.end()));
+    std::vector<int32_t> scan;
+    for (int32_t row = 0; row < static_cast<int32_t>(inst.NumTuples(r_));
+         ++row) {
+      if (inst.tuple(r_, row).at(1) == Value::Int(v)) scan.push_back(row);
+    }
+    EXPECT_EQ(hits, scan) << "posting list for b=" << v;
+  }
+  EXPECT_EQ(inst.NumDistinct(r_, 1), 3u);
+  EXPECT_TRUE(inst.Probe(r_, 0, Value::Int(5)).empty());
+}
+
+// A fully-duplicated column makes in-place posting-list maintenance cost
+// more than the lazy rebuild; the index is dropped instead, and the next
+// probe must still answer correctly.
+TEST_F(InstanceTest, SmallBatchEraseDropsExpensiveIndex) {
+  Instance inst(&schema_);
+  for (int i = 0; i < 12; ++i) {
+    inst.Insert(r_, Tuple({Value::Int(i), Value::Int(7)}));
+  }
+  EXPECT_EQ(inst.Probe(r_, 1, Value::Int(7)).size(), 12u);
+  EXPECT_EQ(inst.EraseRows(r_, {0, 6}), 2u);
+  EXPECT_EQ(inst.Probe(r_, 1, Value::Int(7)).size(), 10u);
+  EXPECT_EQ(inst.NumDistinct(r_, 1), 1u);
+}
+
+TEST_F(InstanceTest, EraseByTuple) {
+  Instance inst(&schema_);
+  inst.Insert(q_, Tuple({Value::Int(7)}));
+  EXPECT_FALSE(inst.Erase(q_, Tuple({Value::Int(8)})));
+  EXPECT_TRUE(inst.Erase(q_, Tuple({Value::Int(7)})));
+  EXPECT_EQ(inst.NumTuples(q_), 0u);
+}
+
+TEST_F(InstanceTest, ReplaceContentsSwapsTuples) {
+  Instance a(&schema_);
+  a.Insert(q_, Tuple({Value::Int(1)}));
+  Instance b(&schema_);
+  b.Insert(q_, Tuple({Value::Int(2)}));
+  b.Insert(q_, Tuple({Value::Int(3)}));
+  a.ReplaceContents(std::move(b));
+  EXPECT_EQ(a.NumTuples(q_), 2u);
+  EXPECT_EQ(a.tuple(q_, 0), Tuple({Value::Int(2)}));
+}
+
+// --- version() audit: every content-mutation path must bump the version
+// (PlanCache and the incremental route cache key on it; a missed bump is
+// silent stale-plan corruption). The mutation paths are: Insert,
+// ApplySubstitution, EraseRows/Erase, ReplaceContents.
+
+TEST_F(InstanceTest, VersionBumpedByInsert) {
+  Instance inst(&schema_);
+  uint64_t v0 = inst.version();
+  inst.Insert(q_, Tuple({Value::Int(1)}));
+  EXPECT_GT(inst.version(), v0);
+}
+
+TEST_F(InstanceTest, VersionNotBumpedByDeduplicatedInsert) {
+  // A dedup hit leaves the content untouched, so cached plans stay valid;
+  // not bumping is intentional (it preserves cross-round plan reuse in the
+  // chase).
+  Instance inst(&schema_);
+  inst.Insert(q_, Tuple({Value::Int(1)}));
+  uint64_t v1 = inst.version();
+  inst.Insert(q_, Tuple({Value::Int(1)}));
+  EXPECT_EQ(inst.version(), v1);
+}
+
+TEST_F(InstanceTest, VersionBumpedByApplySubstitution) {
+  Instance inst(&schema_);
+  inst.Insert(q_, Tuple({Value::Null(1)}));
+  uint64_t v1 = inst.version();
+  inst.ApplySubstitution(NullId{1}, Value::Int(9));
+  EXPECT_GT(inst.version(), v1);
+}
+
+TEST_F(InstanceTest, VersionBumpedByEraseRows) {
+  Instance inst(&schema_);
+  inst.Insert(q_, Tuple({Value::Int(1)}));
+  uint64_t v1 = inst.version();
+  inst.EraseRows(q_, {0});
+  EXPECT_GT(inst.version(), v1);
+  // An empty erase is a no-op and must not bump.
+  uint64_t v2 = inst.version();
+  inst.EraseRows(q_, {});
+  EXPECT_EQ(inst.version(), v2);
+}
+
+TEST_F(InstanceTest, VersionBumpedByErase) {
+  Instance inst(&schema_);
+  inst.Insert(q_, Tuple({Value::Int(1)}));
+  uint64_t v1 = inst.version();
+  EXPECT_TRUE(inst.Erase(q_, Tuple({Value::Int(1)})));
+  EXPECT_GT(inst.version(), v1);
+  // Erasing an absent tuple is a no-op and must not bump.
+  uint64_t v2 = inst.version();
+  EXPECT_FALSE(inst.Erase(q_, Tuple({Value::Int(1)})));
+  EXPECT_EQ(inst.version(), v2);
+}
+
+TEST_F(InstanceTest, VersionStrictlyAboveBothAfterReplaceContents) {
+  // ReplaceContents must land strictly above BOTH versions: plan-cache
+  // entries key on (instance pointer, version), so reusing any version the
+  // old content ever had would alias plans across different contents.
+  Instance a(&schema_);
+  a.Insert(q_, Tuple({Value::Int(1)}));
+  a.Insert(q_, Tuple({Value::Int(2)}));
+  Instance b(&schema_);
+  b.Insert(q_, Tuple({Value::Int(3)}));
+  uint64_t va = a.version();
+  uint64_t vb = b.version();
+  a.ReplaceContents(std::move(b));
+  EXPECT_GT(a.version(), va);
+  EXPECT_GT(a.version(), vb);
 }
 
 }  // namespace
