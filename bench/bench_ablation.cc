@@ -71,4 +71,8 @@ BENCHMARK(BM_NoProvenPropagation)
 }  // namespace
 }  // namespace spider::bench
 
-BENCHMARK_MAIN();
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return spider::bench::RunBenchmarkMain(argc, argv);
+}

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "obs/obs_cli.h"
 #include "testing/fixtures.h"
 #include "workload/random_scenario.h"
 #include "workload/real_scenarios.h"
@@ -43,14 +44,14 @@ Row Measure(const std::string& name, const SchemaMapping& mapping) {
   return row;
 }
 
-int Run(const std::string& out_path) {
+int Run(const std::string& out_path, bool smoke) {
   std::vector<Row> rows;
 
   Scenario credit = spider::testing::CreditCardScenario();
   rows.push_back(Measure("credit_card", *credit.mapping));
 
   RealScenarioOptions real;
-  real.units = 20;
+  real.units = smoke ? 2 : 20;
   Scenario dblp = BuildDblpScenario(real);
   rows.push_back(Measure("dblp", *dblp.mapping));
   Scenario mondial = BuildMondialScenario(real);
@@ -85,5 +86,18 @@ int Run(const std::string& out_path) {
 }  // namespace spider::bench
 
 int main(int argc, char** argv) {
-  return spider::bench::Run(argc > 1 ? argv[1] : "BENCH_analyzer.json");
+  std::string out = "BENCH_analyzer.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (spider::obs::HandleObsFlag(arg)) continue;
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    out = arg;
+  }
+  int status = spider::bench::Run(out, smoke);
+  spider::obs::FlushObsOutputs();
+  return status;
 }

@@ -93,4 +93,8 @@ BENCHMARK(BM_Lazy_OneRoutePerProbe)
 }  // namespace
 }  // namespace spider::bench
 
-BENCHMARK_MAIN();
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return spider::bench::RunBenchmarkMain(argc, argv);
+}

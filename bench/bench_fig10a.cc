@@ -69,4 +69,8 @@ BENCHMARK(BM_Fig10a_OneRoute_Scans)
 }  // namespace
 }  // namespace spider::bench
 
-BENCHMARK_MAIN();
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return spider::bench::RunBenchmarkMain(argc, argv);
+}

@@ -35,4 +35,8 @@ BENCHMARK(BM_Fig10b_MtFactor)
 }  // namespace
 }  // namespace spider::bench
 
-BENCHMARK_MAIN();
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return spider::bench::RunBenchmarkMain(argc, argv);
+}

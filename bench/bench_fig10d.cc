@@ -75,4 +75,8 @@ BENCHMARK(BM_Fig10d_AllRoutesPlusPrint)
 }  // namespace
 }  // namespace spider::bench
 
-BENCHMARK_MAIN();
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return spider::bench::RunBenchmarkMain(argc, argv);
+}

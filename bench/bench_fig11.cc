@@ -53,4 +53,8 @@ BENCHMARK(BM_Fig11_Depth)
 }  // namespace
 }  // namespace spider::bench
 
-BENCHMARK_MAIN();
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return spider::bench::RunBenchmarkMain(argc, argv);
+}

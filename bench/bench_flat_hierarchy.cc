@@ -83,4 +83,8 @@ BENCHMARK(BM_Flat_Joins)
 }  // namespace
 }  // namespace spider::bench
 
-BENCHMARK_MAIN();
+#include "bench_main.h"
+
+int main(int argc, char** argv) {
+  return spider::bench::RunBenchmarkMain(argc, argv);
+}

@@ -25,6 +25,7 @@
 #include "chase/chase.h"
 #include "incremental/delta_chase.h"
 #include "incremental/source_delta.h"
+#include "obs/obs_cli.h"
 #include "workload/relational_scenario.h"
 #include "workload/rng.h"
 
@@ -126,11 +127,11 @@ DeltaRun RunOne(const Scenario& scenario, const std::string& label,
   return run;
 }
 
-int Run(const std::string& out_path) {
+int Run(const std::string& out_path, bool smoke) {
   RelationalScenarioOptions workload;
   workload.joins = 1;
   workload.groups = 6;
-  workload.sizes.units = 200;  // The S scale, ~28k source tuples.
+  workload.sizes.units = smoke ? 10 : 200;  // S scale, ~28k source tuples.
   Scenario scenario = BuildRelationalScenario(workload);
   std::cerr << "scenario: " << scenario.source->TotalTuples()
             << " source tuples\n";
@@ -181,5 +182,18 @@ int Run(const std::string& out_path) {
 }  // namespace spider::bench
 
 int main(int argc, char** argv) {
-  return spider::bench::Run(argc > 1 ? argv[1] : "BENCH_incremental.json");
+  std::string out = "BENCH_incremental.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (spider::obs::HandleObsFlag(arg)) continue;
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    out = arg;
+  }
+  int status = spider::bench::Run(out, smoke);
+  spider::obs::FlushObsOutputs();
+  return status;
 }

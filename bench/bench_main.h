@@ -1,0 +1,43 @@
+#ifndef SPIDER_BENCH_BENCH_MAIN_H_
+#define SPIDER_BENCH_BENCH_MAIN_H_
+
+// Shared main() for the google-benchmark binaries: strips the spider::obs
+// flags (--trace/--metrics/--no-metrics) out of argv before handing the
+// rest to benchmark::Initialize, and flushes the requested trace/metrics
+// files after the run. Every bench binary thereby exposes the same
+// observability surface as the CLIs.
+//
+// Usage (instead of BENCHMARK_MAIN()):
+//
+//   int main(int argc, char** argv) {
+//     return spider::bench::RunBenchmarkMain(argc, argv);
+//   }
+//
+// An optional hook runs between Initialize and RunSpecifiedBenchmarks for
+// binaries that print a preamble (bench_table1's schema statistics).
+
+#include <benchmark/benchmark.h>
+
+#include "obs/obs_cli.h"
+
+namespace spider::bench {
+
+inline int RunBenchmarkMain(int argc, char** argv,
+                            void (*before_run)() = nullptr) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (!spider::obs::HandleObsFlag(argv[i])) argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (before_run != nullptr) before_run();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  spider::obs::FlushObsOutputs();
+  return 0;
+}
+
+}  // namespace spider::bench
+
+#endif  // SPIDER_BENCH_BENCH_MAIN_H_

@@ -27,6 +27,7 @@
 
 #include "base/status.h"
 #include "chase/chase.h"
+#include "obs/obs_cli.h"
 #include "routes/route_forest.h"
 #include "routes/source_routes.h"
 #include "workload/relational_scenario.h"
@@ -35,7 +36,10 @@ namespace spider::bench {
 namespace {
 
 constexpr int kThreadCounts[] = {1, 2, 4, 8};
-constexpr int kRepetitions = 3;
+
+/// --smoke drops to one repetition over tiny scenarios: CI runs every bench
+/// binary in seconds just to validate wiring and the JSON schema.
+int g_repetitions = 3;
 
 struct Timing {
   int threads = 1;
@@ -57,7 +61,7 @@ Timing Measure(int threads, const std::string& baseline, const F& fn) {
   Timing timing;
   timing.threads = threads;
   timing.best_ms = 1e100;
-  for (int rep = 0; rep < kRepetitions; ++rep) {
+  for (int rep = 0; rep < g_repetitions; ++rep) {
     RunResult run = fn(threads);
     SPIDER_CHECK(run.fingerprint == baseline,
                  "parallel run diverged from the sequential baseline at " +
@@ -102,12 +106,13 @@ std::vector<Timing> Sweep(const std::string& name, const F& fn) {
   return timings;
 }
 
-int Run(const std::string& out_path) {
+int Run(const std::string& out_path, bool smoke) {
+  if (smoke) g_repetitions = 1;
   // --- Chase: L-scale source, s-t tgds only (the phase the pool covers).
   RelationalScenarioOptions chase_options;
   chase_options.joins = 1;
   chase_options.groups = 1;
-  chase_options.sizes.units = 2000;  // The L scale of bench_common.
+  chase_options.sizes.units = smoke ? 20 : 2000;  // The L scale of bench_common.
   Scenario chase_scenario = BuildRelationalScenario(chase_options);
   std::cerr << "chase scenario: " << chase_scenario.source->TotalTuples()
             << " source tuples\n";
@@ -134,13 +139,13 @@ int Run(const std::string& out_path) {
   RelationalScenarioOptions route_options;
   route_options.joins = 1;
   route_options.groups = 6;
-  route_options.sizes.units = 400;  // The M scale: J is ~6x the source.
+  route_options.sizes.units = smoke ? 10 : 400;  // M scale: J ~6x the source.
   Scenario route_scenario = BuildRelationalScenario(route_options);
   ChaseScenario(&route_scenario);
   std::cerr << "route scenario: " << route_scenario.target->TotalTuples()
             << " target tuples\n";
-  std::vector<FactRef> selected =
-      SelectGroupFacts(route_scenario, /*group=*/3, /*count=*/20, /*seed=*/7);
+  std::vector<FactRef> selected = SelectGroupFacts(
+      route_scenario, /*group=*/3, /*count=*/smoke ? 5 : 20, /*seed=*/7);
   auto run_all_routes = [&](int threads) {
     RouteOptions options;
     options.exec.num_threads = threads;
@@ -215,6 +220,18 @@ int Run(const std::string& out_path) {
 }  // namespace spider::bench
 
 int main(int argc, char** argv) {
-  std::string out = argc > 1 ? argv[1] : "BENCH_parallel_scaling.json";
-  return spider::bench::Run(out);
+  std::string out = "BENCH_parallel_scaling.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (spider::obs::HandleObsFlag(arg)) continue;
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    out = arg;
+  }
+  int status = spider::bench::Run(out, smoke);
+  spider::obs::FlushObsOutputs();
+  return status;
 }

@@ -19,6 +19,7 @@
 
 #include "base/status.h"
 #include "chase/chase.h"
+#include "obs/obs_cli.h"
 #include "query/eval_stats.h"
 #include "routes/one_route.h"
 #include "routes/route_forest.h"
@@ -67,18 +68,18 @@ void AppendSection(std::ostream& os, const std::string& name,
   os << ",\n    \"tuples_scanned_reduction\": " << reduction << "\n  }";
 }
 
-int Run(const std::string& out_path) {
+int Run(const std::string& out_path, bool smoke) {
   RelationalScenarioOptions workload;
   workload.joins = 1;
   workload.groups = 6;
-  workload.sizes.units = 400;  // The M scale: J is ~6x the source.
+  workload.sizes.units = smoke ? 10 : 400;  // M scale: J ~6x the source.
   Scenario scenario = BuildRelationalScenario(workload);
   ChaseScenario(&scenario);
   std::cerr << "scenario: " << scenario.source->TotalTuples()
             << " source tuples, " << scenario.target->TotalTuples()
             << " target tuples\n";
-  std::vector<FactRef> selected =
-      SelectGroupFacts(scenario, /*group=*/3, /*count=*/20, /*seed=*/7);
+  std::vector<FactRef> selected = SelectGroupFacts(
+      scenario, /*group=*/3, /*count=*/smoke ? 5 : 20, /*seed=*/7);
 
   auto route_options = [](PlannerMode planner) {
     RouteOptions options;
@@ -187,6 +188,18 @@ int Run(const std::string& out_path) {
 }  // namespace spider::bench
 
 int main(int argc, char** argv) {
-  std::string out = argc > 1 ? argv[1] : "BENCH_planner.json";
-  return spider::bench::Run(out);
+  std::string out = "BENCH_planner.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (spider::obs::HandleObsFlag(arg)) continue;
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    out = arg;
+  }
+  int status = spider::bench::Run(out, smoke);
+  spider::obs::FlushObsOutputs();
+  return status;
 }

@@ -102,10 +102,9 @@ BENCHMARK_CAPTURE(BM_Table1_AllRoutes, mondial, "mondial")
 }  // namespace
 }  // namespace spider::bench
 
+#include "bench_main.h"
+
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  spider::bench::PrintTable1();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return spider::bench::RunBenchmarkMain(argc, argv,
+                                         &spider::bench::PrintTable1);
 }

@@ -10,10 +10,12 @@
 //       hint: map 'loc' to a target attribute, ...
 //
 // Options:
-//   --json          emit a JSON array instead of text
-//   --fast          structural passes only (no frozen-LHS chases)
-//   --max-steps N   step budget per frozen-LHS chase (default 100000)
-//   -               read the scenario from stdin
+//   --json            emit a JSON array instead of text
+//   --fast            structural passes only (no frozen-LHS chases)
+//   --max-steps N     step budget per frozen-LHS chase (default 100000)
+//   --trace[=FILE]    record a Chrome trace of the run (Perfetto)
+//   --metrics[=FILE]  dump the metrics registry as JSON
+//   -                 read the scenario from stdin
 //
 // Exit status: 0 = no findings, 1 = findings, 2 = usage or parse error.
 #include <cstdlib>
@@ -25,12 +27,14 @@
 #include "analysis/analyzer.h"
 #include "base/status.h"
 #include "mapping/parser.h"
+#include "obs/obs_cli.h"
 
 namespace {
 
 int Usage() {
   std::cerr << "usage: spider_lint [--json] [--fast] [--max-steps N] "
-               "scenario.txt|-\n";
+               "scenario.txt|-\n"
+            << spider::obs::ObsFlagsHelp();
   return 2;
 }
 
@@ -42,7 +46,9 @@ int main(int argc, char** argv) {
   std::string path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--json") {
+    if (spider::obs::HandleObsFlag(arg)) {
+      continue;
+    } else if (arg == "--json") {
       json = true;
     } else if (arg == "--fast") {
       options.termination = true;
@@ -81,9 +87,11 @@ int main(int argc, char** argv) {
         spider::AnalyzeMapping(*scenario.mapping, options);
     std::cout << (json ? spider::DiagnosticsToJson(report.diagnostics)
                        : spider::RenderDiagnostics(report.diagnostics));
+    spider::obs::FlushObsOutputs();
     return report.diagnostics.empty() ? 0 : 1;
   } catch (const spider::SpiderError& e) {
     std::cerr << "spider_lint: " << e.what() << '\n';
+    spider::obs::FlushObsOutputs();
     return 2;
   }
 }

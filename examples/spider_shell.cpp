@@ -28,6 +28,7 @@
 #include "debugger/mapping_diff.h"
 #include "mapping/parser.h"
 #include "mapping/writer.h"
+#include "obs/obs_cli.h"
 #include "storage/csv.h"
 #include "provenance/annotated_chase.h"
 #include "provenance/exchange_player.h"
@@ -344,27 +345,42 @@ class Shell {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: spider_shell <scenario-file>\n";
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (spider::obs::HandleObsFlag(arg)) continue;
+    if (!path.empty()) {
+      std::cerr << "usage: spider_shell [obs flags] <scenario-file>\n"
+                << spider::obs::ObsFlagsHelp();
+      return 1;
+    }
+    path = arg;
+  }
+  if (path.empty()) {
+    std::cerr << "usage: spider_shell [obs flags] <scenario-file>\n"
+              << spider::obs::ObsFlagsHelp();
     return 1;
   }
-  std::ifstream file(argv[1]);
+  std::ifstream file(path);
   if (!file) {
-    std::cerr << "cannot open " << argv[1] << '\n';
+    std::cerr << "cannot open " << path << '\n';
     return 1;
   }
   std::stringstream text;
   text << file.rdbuf();
   try {
     Scenario scenario = ParseScenario(text.str());
-    std::cout << "loaded " << argv[1] << ": "
+    std::cout << "loaded " << path << ": "
               << scenario.mapping->NumTgds() << " tgds, "
               << scenario.mapping->NumEgds() << " egds, "
               << scenario.source->TotalTuples() << " source facts, "
               << scenario.target->TotalTuples() << " target facts\n";
-    return Shell(std::move(scenario)).Run();
+    int status = Shell(std::move(scenario)).Run();
+    spider::obs::FlushObsOutputs();
+    return status;
   } catch (const spider::SpiderError& e) {
     std::cerr << "error: " << e.what() << '\n';
+    spider::obs::FlushObsOutputs();
     return 1;
   }
 }

@@ -6,11 +6,26 @@
 #include "base/status.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/plan_cache.h"
 
 namespace spider {
 
 namespace {
+
+/// Publishes the chase's merged stats into the global registry on every
+/// exit path (the result object is constructed in the return slot, so the
+/// guard fires exactly once per Chase() call).
+struct ChasePublishGuard {
+  const ChaseStats* stats;
+  ~ChasePublishGuard() {
+    if (!obs::MetricsEnabled()) return;
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter("chase.runs")->Increment();
+    stats->PublishTo(&registry);
+  }
+};
 
 /// Fires one tgd trigger: extends the universal binding with fresh nulls for
 /// the existential variables and inserts the instantiated RHS into `target`.
@@ -86,6 +101,8 @@ EgdUnification ChooseEgdUnification(const Value& left, const Value& right) {
 ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
                   const ChaseOptions& options) {
   ChaseResult result;
+  ChasePublishGuard publish_guard{&result.stats};
+  obs::TraceSpan chase_span("chase", "chase");
   result.target = std::make_unique<Instance>(&mapping.target());
   Instance& target = *result.target;
   int64_t null_counter = options.first_null_id;
@@ -115,29 +132,38 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
     // Lazy index builds mutate shared state; warm them before the fan-out.
     source.WarmIndexes();
   }
-  ParallelFor(pool, 0, st_tgds.size(), /*grain=*/1, [&](size_t i) {
-    const Tgd& tgd = mapping.tgd(st_tgds[i]);
-    Binding b(tgd.num_vars());
-    MatchIterator it(
-        source, tgd.lhs(), &b, eval,
-        MakePlanKey(PlanKeyFamily::kChaseTrigger,
-                    static_cast<uint64_t>(st_tgds[i])));
-    while (it.Next()) {
-      triggers[i].push_back(b);
-      ++worker_stats[i].st_triggers;
-    }
-    worker_stats[i].eval += it.stats();
-  });
-  for (size_t i = 0; i < st_tgds.size() && !over_limit(); ++i) {
-    result.stats += worker_stats[i];
-    const Tgd& tgd = mapping.tgd(st_tgds[i]);
-    for (const Binding& b : triggers[i]) {
-      if (++steps, over_limit()) break;
-      if (!HasMatch(target, tgd.rhs(), b, eval, &result.stats.eval,
-                    MakePlanKey(PlanKeyFamily::kChaseRhsCheck,
-                                static_cast<uint64_t>(st_tgds[i])))) {
-        FireTgd(tgd, b, &target, &null_counter, &result.stats);
-        ++result.stats.st_steps;
+  {
+    obs::TraceSpan enumerate_span("chase", "st_enumerate");
+    enumerate_span.AddArg("dependencies", static_cast<int64_t>(st_tgds.size()));
+    ParallelFor(pool, 0, st_tgds.size(), /*grain=*/1, [&](size_t i) {
+      obs::TraceSpan dep_span("chase", "st_enumerate_dep");
+      dep_span.AddArg("tgd", st_tgds[i]);
+      const Tgd& tgd = mapping.tgd(st_tgds[i]);
+      Binding b(tgd.num_vars());
+      MatchIterator it(
+          source, tgd.lhs(), &b, eval,
+          MakePlanKey(PlanKeyFamily::kChaseTrigger,
+                      static_cast<uint64_t>(st_tgds[i])));
+      while (it.Next()) {
+        triggers[i].push_back(b);
+        ++worker_stats[i].st_triggers;
+      }
+      worker_stats[i].eval += it.stats();
+    });
+  }
+  {
+    obs::TraceSpan fire_span("chase", "st_fire");
+    for (size_t i = 0; i < st_tgds.size() && !over_limit(); ++i) {
+      result.stats += worker_stats[i];
+      const Tgd& tgd = mapping.tgd(st_tgds[i]);
+      for (const Binding& b : triggers[i]) {
+        if (++steps, over_limit()) break;
+        if (!HasMatch(target, tgd.rhs(), b, eval, &result.stats.eval,
+                      MakePlanKey(PlanKeyFamily::kChaseRhsCheck,
+                                  static_cast<uint64_t>(st_tgds[i])))) {
+          FireTgd(tgd, b, &target, &null_counter, &result.stats);
+          ++result.stats.st_steps;
+        }
       }
     }
   }
@@ -148,6 +174,8 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
   while (changed && !over_limit()) {
     changed = false;
     ++result.stats.rounds;
+    obs::TraceSpan round_span("chase", "target_round");
+    round_span.AddArg("round", static_cast<int64_t>(result.stats.rounds));
     for (TgdId id : mapping.target_tgds()) {
       const Tgd& tgd = mapping.tgd(id);
       const uint64_t rhs_key = MakePlanKey(PlanKeyFamily::kChaseRhsCheck,
@@ -180,6 +208,7 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
       if (over_limit()) break;
     }
     // Egds: unify until none applies.
+    obs::TraceSpan egd_span("chase", "egd_fixpoint");
     bool failed = false;
     while (!over_limit()) {
       ++steps;

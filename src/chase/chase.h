@@ -53,6 +53,18 @@ struct ChaseStats {
   /// the per-chase plan cache builds each (key, version) plan exactly once.
   EvalStats eval;
 
+  /// Adds the merged totals to the process-wide registry under "chase.*"
+  /// (done once per Chase() call when obs metrics are enabled).
+  void PublishTo(obs::Registry* registry) const {
+    registry->GetCounter("chase.st_steps")->Add(st_steps);
+    registry->GetCounter("chase.st_triggers")->Add(st_triggers);
+    registry->GetCounter("chase.target_steps")->Add(target_steps);
+    registry->GetCounter("chase.egd_steps")->Add(egd_steps);
+    registry->GetCounter("chase.nulls_created")->Add(nulls_created);
+    registry->GetCounter("chase.rounds")->Add(rounds);
+    eval.PublishTo(registry, "chase.eval.");
+  }
+
   /// Merges counters accumulated by another worker. Parallel regions give
   /// each task its own ChaseStats and sum them at the join in canonical
   /// task order, so totals are exact and deterministic.

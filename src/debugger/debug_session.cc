@@ -1,9 +1,12 @@
 #include "debugger/debug_session.h"
 
+#include <fstream>
 #include <utility>
 #include <vector>
 
 #include "base/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spider {
 
@@ -11,6 +14,8 @@ DebugSession::DebugSession(Scenario scenario, DebugSessionOptions options)
     : scenario_(std::move(scenario)), options_(std::move(options)) {
   SPIDER_CHECK(scenario_.mapping != nullptr && scenario_.source != nullptr,
                "DebugSession requires a populated scenario");
+  if (!options_.trace_path.empty()) obs::Tracer::Global().Start();
+  obs::TraceSpan open_span("session", "open");
   if (scenario_.target == nullptr) {
     scenario_.target = std::make_unique<Instance>(&scenario_.mapping->target());
   }
@@ -23,7 +28,20 @@ DebugSession::DebugSession(Scenario scenario, DebugSessionOptions options)
   debugger_ = std::make_unique<MappingDebugger>(&scenario_, options_.routes);
 }
 
+DebugSession::~DebugSession() {
+  if (!options_.trace_path.empty()) {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Stop();
+    tracer.WriteJson(options_.trace_path);
+  }
+  if (!options_.metrics_path.empty()) {
+    std::ofstream out(options_.metrics_path);
+    out << obs::Registry::Global().ToJson();
+  }
+}
+
 ApplyDeltaResult DebugSession::Apply(const SourceDelta& delta) {
+  obs::TraceSpan span("session", "apply");
   ApplyDeltaResult result = chaser_->Apply(delta);
   scenario_.max_null_id = chaser_->next_null_id() - 1;
   cache_.Invalidate(*scenario_.mapping, result);
@@ -37,6 +55,7 @@ FactKey DebugSession::TargetKey(const std::string& fact_text) const {
 }
 
 const Route& DebugSession::RouteFor(const std::string& fact_text) {
+  obs::TraceSpan span("session", "route_for");
   FactRef ref = debugger_->TargetFact(fact_text);
   FactKey key{Side::kTarget, ref.relation,
               scenario_.target->tuple(ref.relation, ref.row)};
@@ -49,6 +68,7 @@ const Route& DebugSession::RouteFor(const std::string& fact_text) {
 }
 
 RouteForest& DebugSession::ForestFor(const std::string& fact_text) {
+  obs::TraceSpan span("session", "forest_for");
   FactRef ref = debugger_->TargetFact(fact_text);
   FactKey key{Side::kTarget, ref.relation,
               scenario_.target->tuple(ref.relation, ref.row)};

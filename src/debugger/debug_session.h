@@ -18,6 +18,16 @@ struct DebugSessionOptions {
   /// session derives it from the scenario's max_null_id.
   IncrementalOptions incremental;
   RouteOptions routes;
+
+  /// When non-empty, tracing starts as the session opens and a Chrome
+  /// trace-event JSON file (Perfetto / about:tracing) is written here when
+  /// the session is destroyed. The initial chase, every Apply() phase and
+  /// every route/forest probe land on the trace.
+  std::string trace_path;
+
+  /// When non-empty, the global metrics registry is dumped here (fixed
+  /// key order JSON) when the session is destroyed.
+  std::string metrics_path;
 };
 
 /// The edit/re-debug loop in one object (§6 of the paper): open a scenario,
@@ -36,6 +46,9 @@ class DebugSession {
   /// a missing target instance is created). Throws SpiderError when the
   /// initial chase fails.
   explicit DebugSession(Scenario scenario, DebugSessionOptions options = {});
+
+  /// Flushes the trace/metrics files requested via the options.
+  ~DebugSession();
 
   /// Not movable: the wrapped debugger points at the owned scenario member.
   /// Factory functions still work — returning a prvalue constructs in place.

@@ -10,12 +10,41 @@ namespace spider {
 
 namespace {
 
+/// Escapes `text` for use inside a double-quoted DOT label. Besides quotes
+/// and backslashes, newlines become the DOT line-break escape \n and other
+/// control characters are hex-escaped — constants are user data and may
+/// contain anything; a raw newline or NUL inside label="..." produces a
+/// file Graphviz rejects (or silently truncates).
 std::string Escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
   for (char c : text) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\x";
+          out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
   }
   return out;
 }

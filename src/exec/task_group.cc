@@ -1,5 +1,10 @@
 #include "exec/task_group.h"
 
+#include <string>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+
 namespace spider {
 
 void TaskGroup::Wait() {
@@ -20,11 +25,29 @@ void TaskGroup::Wait() {
     }
   }
   std::exception_ptr error;
+  size_t dropped = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     error = std::exchange(first_error_, nullptr);
+    dropped = std::exchange(dropped_errors_, 0);
   }
-  if (error != nullptr) std::rethrow_exception(error);
+  if (error == nullptr) return;
+  if (dropped == 0) std::rethrow_exception(error);
+  if (obs::MetricsEnabled()) {
+    obs::Registry::Global()
+        .GetCounter("exec.task_exceptions_dropped")
+        ->Add(dropped);
+  }
+  std::string suffix = " (+" + std::to_string(dropped) +
+                       " more task failure" + (dropped == 1 ? "" : "s") +
+                       " suppressed)";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    throw SpiderError(e.what() + suffix);
+  } catch (...) {
+    throw SpiderError("task failed with a non-std exception" + suffix);
+  }
 }
 
 }  // namespace spider

@@ -20,7 +20,10 @@ namespace spider {
 /// With a null pool every Run() executes inline on the calling thread, in
 /// submission order — the sequential special case shares this code path.
 /// Exceptions thrown by tasks are captured; the first one (in join-time
-/// observation order) is rethrown from Wait().
+/// observation order) is rethrown from Wait(). When several tasks fail in
+/// the same join, the rethrown message says how many further failures were
+/// suppressed (and the count lands on the "exec.task_exceptions_dropped"
+/// counter), so multi-failure fan-outs are not mistaken for single faults.
 ///
 /// A thread calling Wait() from inside a pool worker *helps*: it executes
 /// pending pool tasks while the group drains, so nested fork/join cannot
@@ -83,7 +86,11 @@ class TaskGroup {
 
   void RecordError(std::exception_ptr error) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (first_error_ == nullptr) first_error_ = std::move(error);
+    if (first_error_ == nullptr) {
+      first_error_ = std::move(error);
+    } else {
+      ++dropped_errors_;
+    }
   }
 
   void OnTaskDone() {
@@ -100,6 +107,7 @@ class TaskGroup {
   std::mutex mu_;
   std::condition_variable done_cv_;
   std::exception_ptr first_error_;  // Guarded by mu_.
+  size_t dropped_errors_ = 0;       // Guarded by mu_.
 };
 
 }  // namespace spider

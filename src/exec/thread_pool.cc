@@ -1,8 +1,10 @@
 #include "exec/thread_pool.h"
 
 #include <map>
+#include <string>
 
 #include "base/status.h"
+#include "obs/trace.h"
 
 namespace spider {
 
@@ -124,6 +126,11 @@ int ThreadPool::WorkerIndexHere() const {
 void ThreadPool::WorkerLoop(int index) {
   tls_pool = this;
   tls_worker_index = index;
+  // Label this worker's track in trace output ("exec-worker-2/8"), so spans
+  // land on per-worker lanes in Perfetto.
+  obs::Tracer::Global().SetCurrentThreadName(
+      "exec-worker-" + std::to_string(index) + "/" +
+      std::to_string(workers_.size()));
   // A few spin rounds before parking: fork/join bursts resubmit quickly.
   constexpr int kSpinRounds = 64;
   int idle_rounds = 0;

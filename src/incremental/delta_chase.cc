@@ -8,6 +8,7 @@
 #include "base/status.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "provenance/annotated_chase.h"
 
 namespace spider {
@@ -64,6 +65,62 @@ class PhaseTimer {
 
 }  // namespace
 
+void IncrementalPhaseTimes::PublishTo(obs::Registry* registry,
+                                      const std::string& prefix) const {
+  auto record = [&](const char* name, double ms) {
+    if (ms > 0) registry->GetHistogram(prefix + name)->Record(ms);
+  };
+  record("delete_apply_ms", delete_apply_ms);
+  record("dred_ms", dred_ms);
+  record("commit_ms", commit_ms);
+  record("refire_ms", refire_ms);
+  record("insert_apply_ms", insert_apply_ms);
+  record("trigger_ms", trigger_ms);
+  record("fire_ms", fire_ms);
+  record("propagate_ms", propagate_ms);
+}
+
+void IncrementalStats::PublishDeltaTo(obs::Registry* registry,
+                                      const IncrementalStats& since) const {
+  auto add = [&](const char* name, size_t now, size_t before) {
+    if (now > before) {
+      registry->GetCounter(std::string("incremental.") + name)
+          ->Add(now - before);
+    }
+  };
+  add("batches", batches, since.batches);
+  add("source_inserted", source_inserted, since.source_inserted);
+  add("source_deleted", source_deleted, since.source_deleted);
+  add("st_steps", st_steps, since.st_steps);
+  add("target_steps", target_steps, since.target_steps);
+  add("egd_steps", egd_steps, since.egd_steps);
+  add("triggers_enumerated", triggers_enumerated, since.triggers_enumerated);
+  add("overdeleted", overdeleted, since.overdeleted);
+  add("rederived", rederived, since.rederived);
+  add("refired", refired, since.refired);
+  add("full_rechases", full_rechases, since.full_rechases);
+  EvalStats eval_delta;
+  eval_delta.tuples_scanned = eval.tuples_scanned - since.eval.tuples_scanned;
+  eval_delta.index_probes = eval.index_probes - since.eval.index_probes;
+  eval_delta.levels_entered = eval.levels_entered - since.eval.levels_entered;
+  eval_delta.plans_built = eval.plans_built - since.eval.plans_built;
+  eval_delta.plan_cache_hits =
+      eval.plan_cache_hits - since.eval.plan_cache_hits;
+  eval_delta.PublishTo(registry, "incremental.eval.");
+  IncrementalPhaseTimes phase_delta;
+  phase_delta.delete_apply_ms =
+      phases.delete_apply_ms - since.phases.delete_apply_ms;
+  phase_delta.dred_ms = phases.dred_ms - since.phases.dred_ms;
+  phase_delta.commit_ms = phases.commit_ms - since.phases.commit_ms;
+  phase_delta.refire_ms = phases.refire_ms - since.phases.refire_ms;
+  phase_delta.insert_apply_ms =
+      phases.insert_apply_ms - since.phases.insert_apply_ms;
+  phase_delta.trigger_ms = phases.trigger_ms - since.phases.trigger_ms;
+  phase_delta.fire_ms = phases.fire_ms - since.phases.fire_ms;
+  phase_delta.propagate_ms = phases.propagate_ms - since.phases.propagate_ms;
+  phase_delta.PublishTo(registry, "incremental.phase.");
+}
+
 IncrementalChaser::IncrementalChaser(const SchemaMapping* mapping,
                                      Instance* source, Instance* target,
                                      IncrementalOptions options)
@@ -80,6 +137,7 @@ IncrementalChaser::IncrementalChaser(const SchemaMapping* mapping,
 }
 
 void IncrementalChaser::FullRechase(ApplyDeltaResult* result) {
+  obs::TraceSpan span("incremental", "full_rechase");
   AnnotatedChaseOptions aco;
   aco.max_steps = options_.max_steps;
   aco.first_null_id = null_counter_;
@@ -191,6 +249,18 @@ void IncrementalChaser::BumpSteps() {
 }
 
 ApplyDeltaResult IncrementalChaser::Apply(const SourceDelta& delta) {
+  obs::TraceSpan span("incremental", "apply");
+  span.AddArg("inserts", static_cast<int64_t>(delta.inserts().size()));
+  span.AddArg("deletes", static_cast<int64_t>(delta.deletes().size()));
+  const IncrementalStats before = stats_;
+  ApplyDeltaResult result = ApplyImpl(delta);
+  if (obs::MetricsEnabled()) {
+    stats_.PublishDeltaTo(&obs::Registry::Global(), before);
+  }
+  return result;
+}
+
+ApplyDeltaResult IncrementalChaser::ApplyImpl(const SourceDelta& delta) {
   ApplyDeltaResult result;
   steps_ = 0;
 
@@ -250,6 +320,7 @@ void IncrementalChaser::InsertBatch(
   std::unordered_map<RelationId, std::vector<Tuple>> dirty;
   {
     PhaseTimer timer(&stats_.phases.insert_apply_ms);
+    obs::TraceSpan span("incremental", "insert_apply");
     for (const auto& [rel, tuple] : inserts) {
       source_->Insert(rel, Tuple(tuple));
       EnsureSourceFact(rel, tuple);
@@ -267,6 +338,7 @@ void IncrementalChaser::InsertBatch(
   std::vector<Candidate> cands;
   {
     PhaseTimer timer(&stats_.phases.trigger_ms);
+    obs::TraceSpan span("incremental", "trigger");
     std::vector<ScopedQuery> queries;
     queries.reserve(mapping_->st_tgds().size());
     for (TgdId id : mapping_->st_tgds()) {
@@ -279,6 +351,7 @@ void IncrementalChaser::InsertBatch(
   std::vector<FactId> frontier;
   {
     PhaseTimer timer(&stats_.phases.fire_ms);
+    obs::TraceSpan span("incremental", "fire");
     frontier = FireCandidates(cands, result);
   }
   PropagateFixpoint(std::move(frontier), result);
@@ -294,6 +367,7 @@ void IncrementalChaser::DeleteBatch(
   std::vector<FactId> dead_sources;
   {
     PhaseTimer timer(&stats_.phases.delete_apply_ms);
+    obs::TraceSpan span("incremental", "delete_apply");
     std::unordered_map<RelationId, std::vector<int32_t>> doomed_source_rows;
     for (const auto& [rel, tuple] : deletes) {
       std::optional<int32_t> row = source_->FindRow(rel, tuple);
@@ -314,6 +388,7 @@ void IncrementalChaser::DeleteBatch(
   std::unordered_set<FactId> condemned;
   {
     PhaseTimer timer(&stats_.phases.dred_ms);
+    obs::TraceSpan span("incremental", "dred");
 
     // DRed phase A — over-delete: condemn every fact reachable from a
     // deleted fact through recorded derivations, ignoring alternative
@@ -375,6 +450,7 @@ void IncrementalChaser::DeleteBatch(
   std::vector<FactKey> deleted_keys;
   {
     PhaseTimer timer(&stats_.phases.commit_ms);
+    obs::TraceSpan span("incremental", "commit");
     for (FactId f : dead_sources) KillFact(f);
     std::unordered_map<RelationId, std::vector<int32_t>> doomed_rows;
     for (FactId f : affected_sorted) {
@@ -402,6 +478,7 @@ void IncrementalChaser::DeleteBatch(
   std::vector<FactId> frontier;
   {
     PhaseTimer timer(&stats_.phases.refire_ms);
+    obs::TraceSpan span("incremental", "refire");
     std::sort(deleted_keys.begin(), deleted_keys.end());
     std::vector<Candidate> cands;
     EnumerateRefireCandidates(deleted_keys, &cands);
@@ -590,6 +667,7 @@ std::vector<IncrementalChaser::FactId> IncrementalChaser::FireTgdStep(
 void IncrementalChaser::PropagateFixpoint(std::vector<FactId> frontier,
                                           ApplyDeltaResult* result) {
   PhaseTimer timer(&stats_.phases.propagate_ms);
+  obs::TraceSpan span("incremental", "propagate");
   // The incoming frontier (st insertions, re-fired facts) has not been
   // egd-checked yet.
   EgdFixpoint(&frontier, result);

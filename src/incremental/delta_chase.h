@@ -11,6 +11,7 @@
 #include "incremental/fact_key.h"
 #include "incremental/source_delta.h"
 #include "mapping/schema_mapping.h"
+#include "obs/metrics.h"
 #include "query/evaluator.h"
 #include "query/plan_cache.h"
 #include "storage/instance.h"
@@ -54,6 +55,11 @@ struct IncrementalPhaseTimes {
   double trigger_ms = 0;       ///< Semi-naive s-t trigger enumeration.
   double fire_ms = 0;          ///< Candidate RHS checks + tgd firings.
   double propagate_ms = 0;     ///< Target-tgd/egd fixpoint rounds.
+
+  /// Records each non-zero field as one histogram sample under `prefix`
+  /// (e.g. "incremental.phase." + "dred_ms"). Called with per-batch deltas,
+  /// so the histograms see one sample per phase per Apply().
+  void PublishTo(obs::Registry* registry, const std::string& prefix) const;
 };
 
 struct IncrementalStats {
@@ -70,6 +76,13 @@ struct IncrementalStats {
   size_t full_rechases = 0;    ///< Batches that fell back to a full re-chase.
   EvalStats eval;              ///< All conjunctive-query work issued.
   IncrementalPhaseTimes phases;  ///< Where Apply() time went.
+
+  /// Publishes the difference between this snapshot and `since` into the
+  /// registry: count fields as "incremental.*" counter increments, phase
+  /// times as histogram samples. Apply() calls this once per batch with the
+  /// pre-batch snapshot, so registry totals always equal the struct totals.
+  void PublishDeltaTo(obs::Registry* registry,
+                      const IncrementalStats& since) const;
 };
 
 /// What one Apply() did, in terms a cache can act on: the content keys of
@@ -176,6 +189,9 @@ class IncrementalChaser {
     int32_t dep = -1;
     Binding b;
   };
+
+  /// Apply() minus the observability envelope (span + stats publication).
+  ApplyDeltaResult ApplyImpl(const SourceDelta& delta);
 
   void FullRechase(ApplyDeltaResult* result);
   void ImportLog(const class AnnotatedChaseLog& log);

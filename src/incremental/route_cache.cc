@@ -2,7 +2,27 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace spider {
+
+namespace {
+
+/// One cache event: a registry counter bump plus a trace instant, so both
+/// the metrics dump and the Perfetto track show the hit/miss/evict pattern
+/// of the edit/re-debug loop.
+void CacheEvent(const char* counter, const char* instant,
+                int64_t count = 1) {
+  if (obs::MetricsEnabled()) {
+    obs::Registry::Global().GetCounter(counter)->Add(
+        static_cast<uint64_t>(count));
+  }
+  obs::Tracer::Global().RecordInstant(
+      "cache", instant, {{"count", count}});
+}
+
+}  // namespace
 
 std::vector<FactKey> RouteDependencies(const SchemaMapping& mapping,
                                        const Route& route) {
@@ -25,9 +45,11 @@ const Route* RouteCache::FindRoute(const FactKey& fact) {
   auto it = routes_.find(fact);
   if (it == routes_.end()) {
     ++stats_.route_misses;
+    CacheEvent("cache.route_misses", "route_miss");
     return nullptr;
   }
   ++stats_.route_hits;
+  CacheEvent("cache.route_hits", "route_hit");
   return &it->second.route;
 }
 
@@ -42,9 +64,11 @@ RouteForest* RouteCache::FindForest(const FactKey& fact) {
   auto it = forests_.find(fact);
   if (it == forests_.end()) {
     ++stats_.forest_misses;
+    CacheEvent("cache.forest_misses", "forest_miss");
     return nullptr;
   }
   ++stats_.forest_hits;
+  CacheEvent("cache.forest_hits", "forest_hit");
   return &it->second.forest;
 }
 
@@ -67,6 +91,7 @@ void RouteCache::Invalidate(const SchemaMapping& mapping,
   if (!delta.removed.empty()) {
     std::unordered_set<FactKey, FactKeyHash> removed(delta.removed.begin(),
                                                      delta.removed.end());
+    int64_t evicted = 0;
     for (auto it = routes_.begin(); it != routes_.end();) {
       bool stale = false;
       for (const FactKey& dep : it->second.deps) {
@@ -78,13 +103,21 @@ void RouteCache::Invalidate(const SchemaMapping& mapping,
       if (stale) {
         it = routes_.erase(it);
         ++stats_.route_evictions;
+        ++evicted;
       } else {
         ++it;
       }
     }
+    if (evicted > 0) {
+      CacheEvent("cache.route_evictions", "route_evict", evicted);
+    }
     // Removals (including egd rewrites) renumber rows, and forests hold
     // row-indexed FactRefs — every forest goes.
     stats_.forest_evictions += forests_.size();
+    if (!forests_.empty()) {
+      CacheEvent("cache.forest_evictions", "forest_evict",
+                 static_cast<int64_t>(forests_.size()));
+    }
     forests_.clear();
   }
 
@@ -121,6 +154,7 @@ void RouteCache::Invalidate(const SchemaMapping& mapping,
     for (const Atom& atom : tgd.rhs()) threatened.insert(atom.relation);
   }
   if (threatened.empty()) return;
+  int64_t evicted = 0;
   for (auto it = forests_.begin(); it != forests_.end();) {
     bool stale = false;
     for (RelationId rel : it->second.node_relations) {
@@ -132,18 +166,31 @@ void RouteCache::Invalidate(const SchemaMapping& mapping,
     if (stale) {
       it = forests_.erase(it);
       ++stats_.forest_evictions;
+      ++evicted;
     } else {
       ++it;
     }
+  }
+  if (evicted > 0) {
+    CacheEvent("cache.forest_evictions", "forest_evict", evicted);
   }
 }
 
 void RouteCache::Clear() {
   stats_.route_evictions += routes_.size();
   stats_.forest_evictions += forests_.size();
+  if (!routes_.empty()) {
+    CacheEvent("cache.route_evictions", "route_evict",
+               static_cast<int64_t>(routes_.size()));
+  }
+  if (!forests_.empty()) {
+    CacheEvent("cache.forest_evictions", "forest_evict",
+               static_cast<int64_t>(forests_.size()));
+  }
   routes_.clear();
   forests_.clear();
   ++stats_.clears;
+  CacheEvent("cache.clears", "clear");
 }
 
 }  // namespace spider

@@ -154,7 +154,16 @@ struct RawTerm {
   enum class Kind { kIdent, kValue, kNullName } kind;
   std::string ident;  // variable name or null name
   Value value;
+  int line = 0;  // 1-based position of the term's first token ('#' for nulls)
+  int col = 0;
 };
+
+/// Errors about a specific token carry its full line:col position;
+/// Lexer::Fail keeps the line-only format that CLI consumers already pin.
+[[noreturn]] void FailAt(int line, int col, const std::string& message) {
+  throw SpiderError("parse error at line " + std::to_string(line) + ":" +
+                    std::to_string(col) + ": " + message);
+}
 
 struct RawAtom {
   std::string relation;
@@ -246,12 +255,13 @@ class Parser {
               break;
             }
           }
-          throw SpiderError("unknown labeled null '#" + term.ident + "'");
+          FailAt(term.line, term.col,
+                 "unknown labeled null '#" + term.ident + "'");
         }
         case RawTerm::Kind::kIdent:
-          throw SpiderError("bare identifier '" + term.ident +
-                            "' in a fact; use numbers, quoted strings or "
-                            "#nulls");
+          FailAt(term.line, term.col,
+                 "bare identifier '" + term.ident +
+                     "' in a fact; use numbers, quoted strings or #nulls");
       }
     }
     return Tuple(std::move(values));
@@ -334,11 +344,10 @@ class Parser {
           break;
         }
         case RawTerm::Kind::kIdent:
-          throw SpiderError(
-              "parse error at line " + std::to_string(atom.line) +
-              ": bare identifier '" + term.ident +
-              "' in a fact; constants must be numbers, quoted strings, or "
-              "#nulls");
+          FailAt(term.line, term.col,
+                 "bare identifier '" + term.ident +
+                     "' in a fact; constants must be numbers, quoted "
+                     "strings, or #nulls");
       }
     }
     instance->Insert(atom.relation, std::move(values));
@@ -453,29 +462,36 @@ class Parser {
 
   RawTerm ParseRawTerm() {
     const Token& t = lex_.peek();
+    const int line = t.line;
+    const int col = t.col;
     switch (t.kind) {
       case TokKind::kIdent: {
-        RawTerm term{RawTerm::Kind::kIdent, lex_.Take().text, Value()};
+        RawTerm term{RawTerm::Kind::kIdent, lex_.Take().text, Value(), line,
+                     col};
         return term;
       }
       case TokKind::kInt: {
-        RawTerm term{RawTerm::Kind::kValue, "", Value::Int(t.int_value)};
+        RawTerm term{RawTerm::Kind::kValue, "", Value::Int(t.int_value), line,
+                     col};
         lex_.Take();
         return term;
       }
       case TokKind::kDouble: {
-        RawTerm term{RawTerm::Kind::kValue, "", Value::Real(t.double_value)};
+        RawTerm term{RawTerm::Kind::kValue, "", Value::Real(t.double_value),
+                     line, col};
         lex_.Take();
         return term;
       }
       case TokKind::kString: {
-        RawTerm term{RawTerm::Kind::kValue, "", Value::Str(lex_.Take().text)};
+        RawTerm term{RawTerm::Kind::kValue, "", Value::Str(lex_.Take().text),
+                     line, col};
         return term;
       }
       case TokKind::kPunct:
         if (t.text == "#") {
           lex_.Take();
-          RawTerm term{RawTerm::Kind::kNullName, ExpectIdent().text, Value()};
+          RawTerm term{RawTerm::Kind::kNullName, ExpectIdent().text, Value(),
+                       line, col};
           return term;
         }
         break;
@@ -510,8 +526,8 @@ class Parser {
             atom.terms.push_back(Term::Const(rt.value));
             break;
           case RawTerm::Kind::kNullName:
-            throw SpiderError("parse error at line " + std::to_string(ra.line) +
-                              ": labeled nulls cannot appear in dependencies");
+            FailAt(rt.line, rt.col,
+                   "labeled nulls cannot appear in dependencies");
         }
       }
       atoms.push_back(std::move(atom));

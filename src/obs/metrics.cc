@@ -1,0 +1,214 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace spider::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Formats a double with enough precision to round-trip small timings
+/// without trailing-zero noise (matches the benches' JSON style).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendJsonString(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void Histogram::Record(double ms) {
+  // Bucket 0 holds everything up to 2^-6 ms; bucket i holds
+  // (2^(i-7), 2^(i-6)] ms; the last bucket is the overflow.
+  int bucket = 0;
+  if (ms > 0) {
+    int exp = static_cast<int>(std::ceil(std::log2(ms)));
+    bucket = exp + 6;
+    if (bucket < 0) bucket = 0;
+    if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0 || ms < min_ms_) min_ms_ = ms;
+  if (count_ == 0 || ms > max_ms_) max_ms_ = ms;
+  ++count_;
+  sum_ms_ += ms;
+  ++buckets_[bucket];
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_ms_;
+}
+
+double Histogram::min_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_ms_;
+}
+
+double Histogram::max_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_ms_;
+}
+
+std::vector<uint64_t> Histogram::buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<uint64_t>(buckets_, buckets_ + kNumBuckets);
+}
+
+double Histogram::BucketUpperMs(int i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, i - 6);
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ms_ = 0;
+  min_ms_ = 0;
+  max_ms_ = 0;
+  for (uint64_t& b : buckets_) b = 0;
+}
+
+Registry& Registry::Global() {
+  // Leaked: engines may publish from worker threads that outlive main's
+  // static destructors.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string Registry::ToJson(const MetricsJsonOptions& options) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(os, name);
+    os << ": " << counter->value();
+    first = false;
+  }
+  os << (first ? "}" : "\n  }");
+  os << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    AppendJsonString(os, name);
+    os << ": " << gauge->value();
+    first = false;
+  }
+  os << (first ? "}" : "\n  }");
+  if (options.include_histograms) {
+    os << ",\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, histogram] : histograms_) {
+      os << (first ? "\n" : ",\n") << "    ";
+      AppendJsonString(os, name);
+      os << ": {\"count\": " << histogram->count()
+         << ", \"sum_ms\": " << FormatDouble(histogram->sum_ms())
+         << ", \"min_ms\": " << FormatDouble(histogram->min_ms())
+         << ", \"max_ms\": " << FormatDouble(histogram->max_ms())
+         << ", \"buckets\": [";
+      std::vector<uint64_t> buckets = histogram->buckets();
+      bool first_bucket = true;
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        if (buckets[static_cast<size_t>(i)] == 0) continue;
+        if (!first_bucket) os << ", ";
+        double upper = Histogram::BucketUpperMs(i);
+        os << "{\"le_ms\": ";
+        if (std::isinf(upper)) {
+          os << "\"inf\"";
+        } else {
+          os << FormatDouble(upper);
+        }
+        os << ", \"count\": " << buckets[static_cast<size_t>(i)] << "}";
+        first_bucket = false;
+      }
+      os << "]}";
+      first = false;
+    }
+    os << (first ? "}" : "\n  }");
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string Registry::CountersJson() const {
+  return ToJson(MetricsJsonOptions{/*include_histograms=*/false});
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace spider::obs

@@ -1,0 +1,128 @@
+#ifndef SPIDER_OBS_METRICS_H_
+#define SPIDER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spider::obs {
+
+/// A monotonically increasing counter. Additions are atomic, so workers may
+/// bump the same counter concurrently; spider's engines instead accumulate
+/// into their per-task stats structs and publish the (deterministic) merged
+/// totals here, which keeps counter values byte-identical at every thread
+/// count.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-write-wins integer level (queue depths, cache sizes, thread
+/// counts). Deterministic whenever the published value is.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A wall-clock histogram over milliseconds with logarithmic buckets
+/// (powers of two from 2^-6 ms ≈ 16 µs up to 2^14 ms ≈ 16 s, plus an
+/// overflow bucket). Timing is inherently nondeterministic, so histograms
+/// are excluded from the registry's deterministic counters export.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 22;
+
+  void Record(double ms);
+
+  uint64_t count() const;
+  double sum_ms() const;
+  double min_ms() const;
+  double max_ms() const;
+  /// Copy of the bucket counts, index 0 = (-inf, 2^-6 ms].
+  std::vector<uint64_t> buckets() const;
+  /// Upper bound of bucket `i` in ms (+inf for the last).
+  static double BucketUpperMs(int i);
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t count_ = 0;
+  double sum_ms_ = 0;
+  double min_ms_ = 0;
+  double max_ms_ = 0;
+  uint64_t buckets_[kNumBuckets] = {};
+};
+
+/// Options for Registry JSON export.
+struct MetricsJsonOptions {
+  /// Include histograms (wall-clock data, nondeterministic). The
+  /// counters-only export is byte-identical across thread counts for
+  /// counters published from spider's deterministic stats structs.
+  bool include_histograms = true;
+};
+
+/// A process-wide registry of named metrics. Instruments are created on
+/// first use and live for the registry's lifetime, so call sites may cache
+/// the returned pointers. Lookup takes a mutex; Add/Set on the returned
+/// instruments are lock-free.
+///
+/// JSON export emits one flat object with keys in fixed (lexicographic)
+/// order, the same convention as the analyzer's DiagnosticsToJson, so
+/// successive PRs can diff metric dumps textually.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry used by the engines.
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Fixed-key-order JSON object:
+  ///   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// Histogram entries carry count/sum/min/max and the non-empty buckets.
+  std::string ToJson(const MetricsJsonOptions& options = {}) const;
+
+  /// Counters and gauges only — the deterministic subset.
+  std::string CountersJson() const;
+
+  /// Zeroes every instrument (names and pointers stay valid).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Global switch for metric publication by the engines (chase, routes,
+/// incremental, caches). Publication happens once per engine entry point —
+/// a handful of atomic adds — so it is enabled by default; the switch
+/// exists to measure that claim (bench_parallel_scaling --no-metrics).
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+}  // namespace spider::obs
+
+#endif  // SPIDER_OBS_METRICS_H_

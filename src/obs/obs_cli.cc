@@ -1,0 +1,68 @@
+#include "obs/obs_cli.h"
+
+#include <fstream>
+#include <iostream>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace spider::obs {
+
+namespace {
+
+std::string g_trace_path;    // NOLINT(runtime/string) — CLI process state.
+std::string g_metrics_path;  // NOLINT(runtime/string)
+
+}  // namespace
+
+bool HandleObsFlag(const std::string& arg) {
+  if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+    g_trace_path = arg == "--trace" ? "trace.json" : arg.substr(8);
+    Tracer::Global().SetCurrentThreadName("main");
+    Tracer::Global().Start();
+    return true;
+  }
+  if (arg == "--metrics" || arg.rfind("--metrics=", 0) == 0) {
+    g_metrics_path = arg == "--metrics" ? "metrics.json" : arg.substr(10);
+    SetMetricsEnabled(true);
+    return true;
+  }
+  if (arg == "--no-metrics") {
+    SetMetricsEnabled(false);
+    return true;
+  }
+  return false;
+}
+
+bool FlushObsOutputs() {
+  bool ok = true;
+  if (!g_trace_path.empty()) {
+    Tracer::Global().Stop();
+    if (Tracer::Global().WriteJson(g_trace_path)) {
+      std::cerr << "wrote trace to " << g_trace_path << "\n";
+    } else {
+      std::cerr << "error: cannot write trace to " << g_trace_path << "\n";
+      ok = false;
+    }
+    g_trace_path.clear();
+  }
+  if (!g_metrics_path.empty()) {
+    std::ofstream out(g_metrics_path);
+    if (out && (out << Registry::Global().ToJson())) {
+      std::cerr << "wrote metrics to " << g_metrics_path << "\n";
+    } else {
+      std::cerr << "error: cannot write metrics to " << g_metrics_path << "\n";
+      ok = false;
+    }
+    g_metrics_path.clear();
+  }
+  return ok;
+}
+
+const char* ObsFlagsHelp() {
+  return "  --trace[=FILE]    record a Chrome trace (Perfetto/about:tracing)\n"
+         "  --metrics[=FILE]  dump the metrics registry as JSON\n"
+         "  --no-metrics      disable metric publication\n";
+}
+
+}  // namespace spider::obs

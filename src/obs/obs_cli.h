@@ -1,0 +1,31 @@
+#ifndef SPIDER_OBS_OBS_CLI_H_
+#define SPIDER_OBS_OBS_CLI_H_
+
+#include <string>
+
+namespace spider::obs {
+
+/// Shared --trace/--metrics flag handling for the CLIs and benches, so
+/// every binary exposes the same observability surface:
+///
+///   --trace[=FILE]     record a Chrome trace (default trace.json) of the
+///                      run; view in Perfetto or about:tracing
+///   --metrics[=FILE]   dump the metrics registry (default metrics.json)
+///   --no-metrics       disable metric publication (overhead measurement)
+///
+/// Usage: call HandleObsFlag(arg) for each argv entry (returns true when
+/// the flag was consumed — tracing starts immediately on --trace), then
+/// FlushObsOutputs() once at exit to stop tracing and write the files.
+bool HandleObsFlag(const std::string& arg);
+
+/// Stops tracing and writes the requested files. Returns false (after
+/// printing to stderr) when a file could not be written. Safe to call when
+/// no obs flag was given — does nothing.
+bool FlushObsOutputs();
+
+/// One-line usage text describing the flags, for --help output.
+const char* ObsFlagsHelp();
+
+}  // namespace spider::obs
+
+#endif  // SPIDER_OBS_OBS_CLI_H_

@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace spider::obs {
+
+namespace {
+
+/// The per-thread buffer of the global tracer. Buffers are owned by the
+/// tracer and never freed, so a dangling pointer after thread exit is
+/// impossible; a new thread reusing the slot would simply allocate a fresh
+/// buffer.
+thread_local Tracer::ThreadBuffer* tls_buffer = nullptr;
+
+void AppendJsonString(std::ostream& os, const std::string& text) {
+  os << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+int64_t NowTicks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+uint64_t TicksToMicros(int64_t ticks) {
+  using Period = std::chrono::steady_clock::period;
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::duration<int64_t, Period>(ticks))
+                                   .count());
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  // Leaked for the same reason as the exec pools: worker threads may touch
+  // it during static destruction.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  if (tls_buffer != nullptr) return tls_buffer;
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  buffers_.back()->tid = static_cast<int>(buffers_.size()) - 1;
+  tls_buffer = buffers_.back().get();
+  return tls_buffer;
+}
+
+void Tracer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      buffer->events.clear();
+    }
+  }
+  epoch_ticks_.store(NowTicks(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_release); }
+
+uint64_t Tracer::NowMicros() const {
+  int64_t epoch = epoch_ticks_.load(std::memory_order_relaxed);
+  if (epoch == 0) return 0;
+  int64_t now = NowTicks();
+  return now <= epoch ? 0 : TicksToMicros(now - epoch);
+}
+
+void Tracer::RecordComplete(TraceEvent event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+void Tracer::RecordInstant(const char* category, std::string name,
+                           std::vector<std::pair<const char*, int64_t>> args) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.ph = 'i';
+  event.ts_us = NowMicros();
+  event.args = std::move(args);
+  RecordComplete(std::move(event));
+}
+
+void Tracer::SetCurrentThreadName(std::string name) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->thread_name = std::move(name);
+}
+
+std::string Tracer::ToJson() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  auto separator = [&]() -> std::ostream& {
+    os << (first ? "\n" : ",\n") << "  ";
+    first = false;
+    return os;
+  };
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    if (!buffer->thread_name.empty()) {
+      separator() << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+                     "\"tid\": "
+                  << buffer->tid << ", \"args\": {\"name\": ";
+      AppendJsonString(os, buffer->thread_name);
+      os << "}}";
+    }
+    for (const TraceEvent& event : buffer->events) {
+      separator() << "{\"name\": ";
+      AppendJsonString(os, event.name);
+      os << ", \"cat\": ";
+      AppendJsonString(os, event.category);
+      os << ", \"ph\": \"" << event.ph << "\", \"ts\": " << event.ts_us
+         << ", \"pid\": 1, \"tid\": " << buffer->tid;
+      if (event.ph == 'X') os << ", \"dur\": " << event.dur_us;
+      if (event.ph == 'i') os << ", \"s\": \"t\"";
+      if (!event.args.empty()) {
+        os << ", \"args\": {";
+        for (size_t i = 0; i < event.args.size(); ++i) {
+          if (i > 0) os << ", ";
+          AppendJsonString(os, event.args[i].first);
+          os << ": " << event.args[i].second;
+        }
+        os << "}";
+      }
+      os << "}";
+    }
+  }
+  os << (first ? "]" : "\n]") << "}\n";
+  return os.str();
+}
+
+bool Tracer::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson();
+  return static_cast<bool>(out);
+}
+
+size_t Tracer::NumEventsForTest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+void TraceSpan::Begin(const char* category, const char* name) {
+  active_ = true;
+  event_.name = name;
+  event_.category = category;
+  event_.ph = 'X';
+  event_.ts_us = Tracer::Global().NowMicros();
+}
+
+void TraceSpan::End() {
+  Tracer& tracer = Tracer::Global();
+  // Spans that outlive the recording window are still recorded: they began
+  // under tracing and their duration is what the trace is for.
+  uint64_t end_us = tracer.NowMicros();
+  event_.dur_us = end_us >= event_.ts_us ? end_us - event_.ts_us : 0;
+  tracer.RecordComplete(std::move(event_));
+}
+
+}  // namespace spider::obs

@@ -1,0 +1,128 @@
+#ifndef SPIDER_OBS_TRACE_H_
+#define SPIDER_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spider::obs {
+
+/// One recorded trace event in Chrome trace-event terms. `ph` is 'X'
+/// (complete, with duration), 'i' (instant), or 'M' (metadata — emitted at
+/// serialization time, not stored).
+struct TraceEvent {
+  std::string name;
+  const char* category = "";
+  char ph = 'X';
+  uint64_t ts_us = 0;   ///< Start, microseconds since tracing started.
+  uint64_t dur_us = 0;  ///< 'X' only.
+  /// Optional numeric args rendered into the event's "args" object.
+  std::vector<std::pair<const char*, int64_t>> args;
+};
+
+/// A span-based tracer that emits Chrome trace-event JSON (the format
+/// Perfetto and about:tracing load). Disabled tracing costs one relaxed
+/// atomic load per span; enabled recording appends to a per-thread buffer
+/// under that buffer's (uncontended) mutex, so worker threads never share a
+/// cache line for events and the whole structure is race-free under TSan.
+///
+/// Each OS thread gets its own track (tid). Threads may announce a display
+/// name — the exec runtime's workers register as "exec-worker-<i>/<n>" —
+/// which serializes as Chrome "thread_name" metadata, giving per-worker
+/// tracks in the viewer.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer all spans record into.
+  static Tracer& Global();
+
+  /// Clears previously recorded events and starts recording.
+  void Start();
+
+  /// Stops recording; buffered events stay available for serialization.
+  void Stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since Start() (0 when never started).
+  uint64_t NowMicros() const;
+
+  void RecordComplete(TraceEvent event);
+  void RecordInstant(const char* category, std::string name,
+                     std::vector<std::pair<const char*, int64_t>> args = {});
+
+  /// Registers a display name for the calling thread's track. Cheap and
+  /// idempotent; safe to call before Start().
+  void SetCurrentThreadName(std::string name);
+
+  /// Serializes everything recorded since the last Start() as a Chrome
+  /// trace-event JSON object ({"traceEvents": [...], ...}). Call after the
+  /// traced work has joined; concurrent recording is safe but events
+  /// landing mid-serialization may be split across snapshots.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; returns false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  size_t NumEventsForTest() const;
+
+  /// Public only so the implementation's thread_local cache can name it.
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    int tid = 0;
+    std::string thread_name;  // Guarded by mu.
+    std::vector<TraceEvent> events;  // Guarded by mu.
+  };
+
+ private:
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  /// steady_clock ticks at Start(), readable without the registry mutex.
+  std::atomic<int64_t> epoch_ticks_{0};
+
+  mutable std::mutex mu_;  // Guards buffers_ (the list, not the contents).
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records a complete ('X') event covering its scope on the
+/// calling thread's track. Captures nothing when tracing is disabled at
+/// construction.
+class TraceSpan {
+ public:
+  TraceSpan(const char* category, const char* name) {
+    if (Tracer::Global().enabled()) Begin(category, name);
+  }
+
+  /// Attaches a numeric argument (visible in the viewer's args pane).
+  /// No-op on inactive spans, so call sites need no enabled() checks.
+  void AddArg(const char* key, int64_t value) {
+    if (active_) event_.args.emplace_back(key, value);
+  }
+
+  ~TraceSpan() {
+    if (active_) End();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* category, const char* name);
+  void End();
+
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+}  // namespace spider::obs
+
+#endif  // SPIDER_OBS_TRACE_H_

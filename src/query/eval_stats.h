@@ -2,6 +2,9 @@
 #define SPIDER_QUERY_EVAL_STATS_H_
 
 #include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace spider {
 
@@ -29,6 +32,18 @@ struct EvalStats {
     plans_built += other.plans_built;
     plan_cache_hits += other.plan_cache_hits;
     return *this;
+  }
+
+  /// Adds these counters to the registry under `prefix` (e.g.
+  /// "chase.eval."). The struct stays the hot-path accumulator — the
+  /// registry is the uniform export surface engines publish merged,
+  /// deterministic totals into (see spider::obs).
+  void PublishTo(obs::Registry* registry, const std::string& prefix) const {
+    registry->GetCounter(prefix + "tuples_scanned")->Add(tuples_scanned);
+    registry->GetCounter(prefix + "index_probes")->Add(index_probes);
+    registry->GetCounter(prefix + "levels_entered")->Add(levels_entered);
+    registry->GetCounter(prefix + "plans_built")->Add(plans_built);
+    registry->GetCounter(prefix + "plan_cache_hits")->Add(plan_cache_hits);
   }
 
   friend bool operator==(const EvalStats&, const EvalStats&) = default;

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "base/status.h"
+#include "obs/trace.h"
 #include "query/plan_cache.h"
 
 namespace spider {
@@ -29,6 +30,8 @@ FindHomIterator::FindHomIterator(const SchemaMapping& mapping,
       binding_(tgd_.num_vars()) {
   ++stats_.findhom_calls;
   if (options_.eager_findhom) {
+    obs::TraceSpan materialize_span("findhom", "findhom_materialize");
+    materialize_span.AddArg("tgd", tgd);
     Binding h;
     while (NextLazy(&h)) eager_results_.push_back(h);
   }
@@ -42,6 +45,10 @@ RouteStats FindHomIterator::stats() const {
 }
 
 bool FindHomIterator::Next(Binding* h) {
+  // One span per pull — the lazy-vs-eager fetch cost §3.3 is about, on the
+  // worker track the pull actually ran on.
+  obs::TraceSpan pull_span("findhom", "findhom_pull");
+  pull_span.AddArg("tgd", tgd_id_);
   if (options_.eager_findhom) {
     if (eager_cursor_ >= eager_results_.size()) return false;
     *h = eager_results_[eager_cursor_++];

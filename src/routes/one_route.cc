@@ -3,6 +3,8 @@
 #include <unordered_set>
 
 #include "base/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/plan_cache.h"
 #include "routes/fact_util.h"
 #include "routes/find_hom.h"
@@ -184,7 +186,15 @@ OneRouteResult ComputeOneRoute(const SchemaMapping& mapping,
                                const Instance& source, const Instance& target,
                                const std::vector<FactRef>& js,
                                const RouteOptions& options) {
-  return OneRouteComputation(mapping, source, target, options).Run(js);
+  obs::TraceSpan span("routes", "one_route");
+  span.AddArg("selected", static_cast<int64_t>(js.size()));
+  OneRouteResult result = OneRouteComputation(mapping, source, target, options).Run(js);
+  if (obs::MetricsEnabled()) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter("routes.one_route_runs")->Increment();
+    result.stats.PublishTo(&registry);
+  }
+  return result;
 }
 
 }  // namespace spider

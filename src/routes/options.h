@@ -54,6 +54,17 @@ struct RouteStats {
   /// cache builds each plan exactly once under its lock.
   EvalStats eval;
 
+  /// Adds the merged totals to the registry under "routes.*" (done once
+  /// per route-algorithm entry point when obs metrics are enabled).
+  void PublishTo(obs::Registry* registry) const {
+    registry->GetCounter("routes.findhom_calls")->Add(findhom_calls);
+    registry->GetCounter("routes.findhom_successes")->Add(findhom_successes);
+    registry->GetCounter("routes.infer_fires")->Add(infer_fires);
+    registry->GetCounter("routes.nodes_expanded")->Add(nodes_expanded);
+    registry->GetCounter("routes.branches_added")->Add(branches_added);
+    eval.PublishTo(registry, "routes.eval.");
+  }
+
   RouteStats& operator+=(const RouteStats& other) {
     findhom_calls += other.findhom_calls;
     findhom_successes += other.findhom_successes;

@@ -8,6 +8,8 @@
 #include "base/status.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "routes/fact_util.h"
 #include "routes/find_hom.h"
 
@@ -85,6 +87,8 @@ const RouteForest::Node* RouteForest::Find(const FactRef& fact) const {
 }
 
 void RouteForest::ExpandAll() {
+  obs::TraceSpan expand_span("routes", "expand_all");
+  expand_span.AddArg("roots", static_cast<int64_t>(roots_.size()));
   ThreadPool* pool = ThreadPool::For(options_.exec);
   if (pool != nullptr && options_.eval.use_indexes) {
     // Lazy index builds mutate shared state; warm before the fan-out.
@@ -102,10 +106,15 @@ void RouteForest::ExpandAll() {
     if (scheduled.insert(fact).second) frontier.push_back(fact);
   };
   for (const FactRef& root : roots_) schedule(root);
+  int64_t wave_index = 0;
   while (!frontier.empty()) {
+    obs::TraceSpan wave_span("routes", "wave");
+    wave_span.AddArg("wave", wave_index++);
+    wave_span.AddArg("frontier", static_cast<int64_t>(frontier.size()));
     std::vector<std::vector<Branch>> branches(frontier.size());
     std::vector<RouteStats> worker_stats(frontier.size());
     ParallelFor(pool, 0, frontier.size(), options_.exec.grain, [&](size_t i) {
+      obs::TraceSpan node_span("routes", "expand_node");
       branches[i] = ComputeBranches(frontier[i], &worker_stats[i]);
     });
     std::vector<FactRef> wave = std::move(frontier);
@@ -188,6 +197,11 @@ RouteForest ComputeAllRoutes(const SchemaMapping& mapping,
                              const RouteOptions& options) {
   RouteForest forest(mapping, source, target, std::move(js), options);
   forest.ExpandAll();
+  if (obs::MetricsEnabled()) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter("routes.all_routes_runs")->Increment();
+    forest.stats().PublishTo(&registry);
+  }
   return forest;
 }
 

@@ -9,6 +9,8 @@
 #include "base/status.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/evaluator.h"
 #include "routes/fact_util.h"
 
@@ -97,6 +99,12 @@ ConsequenceForest ComputeSourceConsequences(
     const SchemaMapping& mapping, const Instance& source,
     const Instance& target, const std::vector<FactRef>& selected,
     const SourceRouteOptions& options) {
+  obs::TraceSpan span("routes", "source_consequences");
+  span.AddArg("selected", static_cast<int64_t>(selected.size()));
+  if (obs::MetricsEnabled()) {
+    obs::Registry::Global().GetCounter("routes.source_consequence_runs")
+        ->Increment();
+  }
   ConsequenceForest forest;
   forest.selected = selected;
   std::unordered_set<std::string> seen_steps;

@@ -54,6 +54,50 @@ TEST_F(DotExportTest, QuotesEscaped) {
   EXPECT_NE(dot.find("\\\"Smith\\\""), std::string::npos);
 }
 
+// Constants are user data: quotes, backslashes, newlines and raw control
+// bytes must all be escaped so the emitted DOT stays loadable. Regression
+// test — backslashes and control characters used to pass through verbatim,
+// corrupting the label syntax.
+TEST(DotExportEscapingTest, HostileConstantsAreEscaped) {
+  Scenario s = ParseScenario(
+      "source schema { R(a); }\n"
+      "target schema { T(a); }\n"
+      "m: R(x) -> T(x);\n");
+  s.source->Insert(
+      "R", {Value::Str("he said \"hi\" \\ back\nline2\ttab\x01" "end")});
+  ChaseResult chased = Chase(*s.mapping, *s.source);
+  ASSERT_EQ(chased.outcome, ChaseOutcome::kSuccess);
+  s.target = std::move(chased.target);
+
+  MappingDebugger debugger(&s);
+  RouteForest forest = debugger.AllRoutes(
+      {FactRef{Side::kTarget, static_cast<RelationId>(0), 0}});
+  std::string dot = RouteForestToDot(forest, debugger.render_context());
+
+  // Every hostile byte appears in escaped form...
+  EXPECT_NE(dot.find("\\\"hi\\\""), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\\\\ back"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\\nline2"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\\ttab"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\\x01end"), std::string::npos) << dot;
+  // ...and never raw: no control bytes anywhere, and every quoted string
+  // in the output closes on the line it opened (raw newlines and unescaped
+  // quotes inside a label would break both invariants).
+  EXPECT_EQ(dot.find('\x01'), std::string::npos);
+  EXPECT_EQ(dot.find('\t'), std::string::npos);
+  bool in_string = false;
+  for (size_t i = 0; i < dot.size(); ++i) {
+    char c = dot[i];
+    if (in_string && c == '\\') {
+      ++i;  // Escaped char, including \" — skip it.
+      continue;
+    }
+    if (c == '"') in_string = !in_string;
+    ASSERT_FALSE(in_string && c == '\n') << "raw newline inside a label";
+  }
+  EXPECT_FALSE(in_string) << "unbalanced quote in DOT output";
+}
+
 TEST_F(DotExportTest, RouteChain) {
   FactRef t2 = debugger_.TargetFact(R"(Accounts(#N1, "2K", 234))");
   OneRouteResult result = debugger_.OneRoute({t2});

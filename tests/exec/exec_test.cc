@@ -3,10 +3,13 @@
 #include <atomic>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "exec/parallel_for.h"
 #include "exec/task_group.h"
+#include "obs/metrics.h"
 #include "exec/thread_pool.h"
 #include "exec/work_stealing_queue.h"
 
@@ -120,6 +123,70 @@ TEST(TaskGroupTest, InlineExceptionDeferredToWait) {
   TaskGroup group(nullptr);
   group.Run([] { throw std::runtime_error("inline failure"); });
   EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+// A single failure rethrows the original exception untouched — no wrapper,
+// no suffix — so callers catching specific types keep working.
+TEST(TaskGroupTest, SingleFailureRethrownVerbatim) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Run([] { throw std::runtime_error("the only failure"); });
+  try {
+    group.Wait();
+    FAIL() << "expected the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "the only failure");
+  }
+}
+
+// Regression: Wait used to rethrow the first exception and silently drop
+// the rest. The dropped count must now surface in the rethrown message and
+// in the exec.task_exceptions_dropped counter.
+TEST(TaskGroupTest, DroppedFailuresSurfaceInMessageAndCounter) {
+  obs::SetMetricsEnabled(true);
+  obs::Counter* dropped_counter =
+      obs::Registry::Global().GetCounter("exec.task_exceptions_dropped");
+  uint64_t before = dropped_counter->value();
+
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Run([i] { throw std::runtime_error("task " + std::to_string(i)); });
+  }
+  try {
+    group.Wait();
+    FAIL() << "expected SpiderError";
+  } catch (const SpiderError& e) {
+    std::string message = e.what();
+    // Which task loses the race to be "first" is scheduling-dependent; the
+    // suppressed count is not.
+    EXPECT_NE(message.find("task "), std::string::npos) << message;
+    EXPECT_NE(message.find("(+7 more task failures suppressed)"),
+              std::string::npos)
+        << message;
+  }
+  EXPECT_EQ(dropped_counter->value(), before + 7);
+
+  // The drop state is consumed: a second Wait observes nothing.
+  group.Wait();
+  EXPECT_EQ(dropped_counter->value(), before + 7);
+}
+
+TEST(TaskGroupTest, TwoInlineFailuresReportOneSuppressed) {
+  TaskGroup group(nullptr);
+  group.Run([] { throw std::runtime_error("first"); });
+  group.Run([] { throw std::runtime_error("second"); });
+  try {
+    group.Wait();
+    FAIL() << "expected SpiderError";
+  } catch (const SpiderError& e) {
+    // Inline groups run eagerly, so "first" is deterministically first and
+    // the singular form is exercised.
+    EXPECT_NE(std::string(e.what()).find(
+                  "first (+1 more task failure suppressed)"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(TaskGroupTest, NestedForkJoin) {

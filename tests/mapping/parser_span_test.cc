@@ -106,6 +106,57 @@ TEST(ParserSpanTest, ErrorPositionsOnMalformedInputs) {
   }
 }
 
+// Bad terms inside facts and dependencies report the exact line:column of
+// the offending token, not just the line. Golden messages: downstream
+// tooling parses the "parse error at line L:C:" prefix.
+TEST(ParserSpanTest, BadTermErrorsCarryLineAndColumn) {
+  struct Case {
+    const char* text;
+    const char* message;
+  };
+  const Case cases[] = {
+      // Bare identifier in an instance block: 'abc' starts at column 21.
+      {"source schema { R(a); }\n"
+       "target schema { T(a); }\n"
+       "source instance { R(abc); }\n",
+       "parse error at line 3:21: bare identifier 'abc' in a fact; "
+       "constants must be numbers, quoted strings, or #nulls"},
+      // A labeled null in a dependency body: the '#' is at column 8.
+      {"source schema { R(a); }\n"
+       "target schema { T(a); }\n"
+       "m: R(x) -> T(#oops);\n",
+       "parse error at line 3:14: labeled nulls cannot appear in "
+       "dependencies"},
+  };
+  for (const Case& c : cases) {
+    try {
+      ParseScenario(c.text);
+      FAIL() << "expected SpiderError for: " << c.text;
+    } catch (const SpiderError& e) {
+      EXPECT_EQ(std::string(e.what()), c.message);
+    }
+  }
+}
+
+TEST(ParserSpanTest, FactTextErrorsCarryLineAndColumn) {
+  std::string relation;
+  try {
+    ParseFactText("T(#bogus)", &relation, {});
+    FAIL() << "expected SpiderError";
+  } catch (const SpiderError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "parse error at line 1:3: unknown labeled null '#bogus'");
+  }
+  try {
+    ParseFactText("T(1, foo)", &relation, {});
+    FAIL() << "expected SpiderError";
+  } catch (const SpiderError& e) {
+    EXPECT_EQ(std::string(e.what()),
+              "parse error at line 1:6: bare identifier 'foo' in a fact; "
+              "use numbers, quoted strings or #nulls");
+  }
+}
+
 TEST(ParserSpanTest, SpansSurviveMultilineStringLiterals) {
   // A string literal containing a newline shifts subsequent lines; spans must
   // account for it.

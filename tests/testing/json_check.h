@@ -1,0 +1,250 @@
+#ifndef SPIDER_TESTS_TESTING_JSON_CHECK_H_
+#define SPIDER_TESTS_TESTING_JSON_CHECK_H_
+
+// A minimal recursive-descent JSON reader for schema-checking the JSON the
+// library emits (metrics dumps, Chrome trace files, bench reports) without
+// pulling a JSON dependency into the build. It parses the full grammar the
+// emitters use — objects, arrays, strings with \-escapes, numbers, true/
+// false/null — into a small document tree. Not a general-purpose parser:
+// error reporting is a position in `error`, and numbers are kept as text.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spider::testing {
+
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  // Object members keep insertion order so key-order assertions are possible.
+  std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> members;
+  std::vector<std::unique_ptr<JsonValue>> items;
+  std::string string_value;  // kString: decoded; kNumber: raw text.
+  bool bool_value = false;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string text) : text_(std::move(text)) {}
+
+  /// Parses the whole input; returns nullptr (and sets error()) on any
+  /// syntax violation, including trailing garbage.
+  std::unique_ptr<JsonValue> Parse() {
+    pos_ = 0;
+    error_.clear();
+    std::unique_ptr<JsonValue> value = ParseValue();
+    if (value == nullptr) return nullptr;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters");
+      return nullptr;
+    }
+    return value;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  void Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return nullptr;
+    }
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    if (ParseKeyword("true")) return MakeBool(true);
+    if (ParseKeyword("false")) return MakeBool(false);
+    if (ParseKeyword("null")) return std::make_unique<JsonValue>();
+    Fail("unexpected character");
+    return nullptr;
+  }
+
+  bool ParseKeyword(const char* word) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  static std::unique_ptr<JsonValue> MakeBool(bool b) {
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kBool;
+    v->bool_value = b;
+    return v;
+  }
+
+  std::unique_ptr<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return v;
+    while (true) {
+      std::unique_ptr<JsonValue> key = ParseString();
+      if (key == nullptr) return nullptr;
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        return nullptr;
+      }
+      std::unique_ptr<JsonValue> value = ParseValue();
+      if (value == nullptr) return nullptr;
+      v->members.emplace_back(key->string_value, std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return v;
+      Fail("expected ',' or '}'");
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return v;
+    while (true) {
+      std::unique_ptr<JsonValue> item = ParseValue();
+      if (item == nullptr) return nullptr;
+      v->items.push_back(std::move(item));
+      if (Consume(',')) continue;
+      if (Consume(']')) return v;
+      Fail("expected ',' or ']'");
+      return nullptr;
+    }
+  }
+
+  std::unique_ptr<JsonValue> ParseString() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      Fail("expected string");
+      return nullptr;
+    }
+    ++pos_;
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\n' || c == '\r') {
+        Fail("raw newline in string");
+        return nullptr;
+      }
+      if (c != '\\') {
+        v->string_value.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': v->string_value.push_back('"'); break;
+        case '\\': v->string_value.push_back('\\'); break;
+        case '/': v->string_value.push_back('/'); break;
+        case 'b': v->string_value.push_back('\b'); break;
+        case 'f': v->string_value.push_back('\f'); break;
+        case 'n': v->string_value.push_back('\n'); break;
+        case 'r': v->string_value.push_back('\r'); break;
+        case 't': v->string_value.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return nullptr;
+          }
+          // Decoded as a code-point marker only; the emitters stay ASCII.
+          v->string_value.push_back('?');
+          pos_ += 4;
+          break;
+        }
+        default:
+          Fail("bad escape");
+          return nullptr;
+      }
+    }
+    Fail("unterminated string");
+    return nullptr;
+  }
+
+  std::unique_ptr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    if (digits() == 0) {
+      Fail("expected digits");
+      return nullptr;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) {
+        Fail("expected fraction digits");
+        return nullptr;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) {
+        Fail("expected exponent digits");
+        return nullptr;
+      }
+    }
+    auto v = std::make_unique<JsonValue>();
+    v->kind = JsonValue::Kind::kNumber;
+    v->string_value = text_.substr(start, pos_ - start);
+    return v;
+  }
+
+  const std::string text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace spider::testing
+
+#endif  // SPIDER_TESTS_TESTING_JSON_CHECK_H_
