@@ -83,13 +83,19 @@ RunResult TimedRun(const Work& work, const Fingerprint& fingerprint) {
 
 void AppendSection(std::ostream& os, const std::string& name,
                    const std::vector<Timing>& timings) {
+  // On a single-core host the thread knob measures scheduling overhead,
+  // not parallel speedup; emitting "speedup" there would invite reading
+  // noise as a scaling claim, so the field is suppressed (consumers treat
+  // a missing "speedup" as "not measurable on this host").
+  bool single_core = std::thread::hardware_concurrency() <= 1;
   os << "  \"" << name << "\": [";
   double base_ms = timings.empty() ? 0 : timings.front().best_ms;
   for (size_t i = 0; i < timings.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n");
     os << "    {\"threads\": " << timings[i].threads
-       << ", \"wall_ms\": " << timings[i].best_ms
-       << ", \"speedup\": " << base_ms / timings[i].best_ms << "}";
+       << ", \"wall_ms\": " << timings[i].best_ms;
+    if (!single_core) os << ", \"speedup\": " << base_ms / timings[i].best_ms;
+    os << "}";
   }
   os << "\n  ]";
 }
@@ -198,7 +204,9 @@ int Run(const std::string& out_path, bool smoke) {
   }
   out << "{\n";
   out << "  \"host\": {\"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << "},\n";
+      << std::thread::hardware_concurrency() << ", \"single_core_host\": "
+      << (std::thread::hardware_concurrency() <= 1 ? "true" : "false")
+      << "},\n";
   out << "  \"chase_workload\": {\"scenario\": \"relational\", \"joins\": 1, "
          "\"groups\": 1, \"units\": 2000, \"source_tuples\": "
       << chase_scenario.source->TotalTuples() << "},\n";

@@ -1,0 +1,337 @@
+// Loopback throughput/latency bench for spider::serve. Starts an
+// in-process Server, then replays a zipf-skewed mixed request stream
+// (route probes, all-routes probes, rare lints, periodic identical delta
+// batches) from several client threads over real TCP sockets. All
+// sessions open from the same workload spec and apply the same delta
+// schedule, so their state keys stay aligned and the shared route tier
+// sees cross-session reuse. Emits BENCH_serve.json: sustained
+// throughput, client-observed p50/p95/p99 from the spider::obs
+// histograms, and the shared-cache hit counters.
+//
+// Usage: bench_serve [--smoke] [out.json] [obs flags]
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "debugger/debug_session.h"
+#include "exec/exec_options.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/obs_cli.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "workload/random_scenario.h"
+
+namespace spider::bench {
+namespace {
+
+constexpr const char* kSpec = "random:7";
+constexpr double kZipfAlpha = 0.99;
+/// Every kApplyEvery-th request of a session applies the next delta of a
+/// schedule shared by all sessions (keeps state keys aligned).
+constexpr int kApplyEvery = 64;
+
+struct BenchConfig {
+  int sessions = 16;
+  int clients = 8;
+  int requests_per_client = 500;
+};
+
+/// Inverse-CDF sampler for zipf(alpha) over ranks 0..n-1.
+class ZipfPicker {
+ public:
+  ZipfPicker(size_t n, double alpha) : cdf_(n) {
+    double total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  size_t Pick(double u) const {
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct Workload {
+  std::vector<std::string> facts;   ///< Probe targets (zipf-ranked).
+  std::vector<std::string> deltas;  ///< Insert-fact schedule.
+};
+
+/// Derives probe facts and the delta schedule from a local replica of the
+/// served scenario. The spec grammar is deterministic (the manager builds
+/// `random:7` exactly this way), so the replica's rendered facts are the
+/// server's facts.
+Workload BuildWorkload(size_t max_facts, size_t max_deltas) {
+  RandomScenarioOptions options;
+  options.seed = 7;
+  options.egds = 0;  // Matches the manager's "random:<seed>" spec.
+  DebugSession replica(BuildRandomScenario(options));
+
+  Workload workload;
+  const Instance& target = *replica.scenario().target;
+  for (size_t r = 0;
+       r < target.NumRelations() && workload.facts.size() < max_facts; ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    int32_t rows = static_cast<int32_t>(target.NumTuples(rel));
+    for (int32_t row = 0;
+         row < rows && workload.facts.size() < max_facts; ++row) {
+      workload.facts.push_back(
+          replica.debugger().RenderFactRef(FactRef{Side::kTarget, rel, row}));
+    }
+  }
+  SPIDER_CHECK(!workload.facts.empty(), "replica produced no target facts");
+
+  const Instance& source = *replica.scenario().source;
+  const RelationDef& rel0 = source.schema().relation(0);
+  for (size_t k = 0; k < max_deltas; ++k) {
+    std::string fact = rel0.name() + "(";
+    for (size_t a = 0; a < rel0.arity(); ++a) {
+      if (a > 0) fact += ", ";
+      fact += std::to_string(1'000'000 + k);
+    }
+    fact += ")";
+    workload.deltas.push_back(std::move(fact));
+  }
+  return workload;
+}
+
+struct OpCounts {
+  uint64_t route = 0;
+  uint64_t all_routes = 0;
+  uint64_t lint = 0;
+  uint64_t apply = 0;
+};
+
+void ExpectReply(const serve::Response& response, const char* what) {
+  SPIDER_CHECK(response.type == serve::MsgType::kReply,
+               std::string(what) + " failed: " + response.text);
+}
+
+/// One client thread: owns `sessions`, replays `requests` calls
+/// round-robin across them, recording per-call latency.
+void RunClient(uint16_t port, int thread_index,
+               const std::vector<uint64_t>& sessions, int requests,
+               const Workload& workload, OpCounts* counts) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Histogram* lat_all = registry.GetHistogram("serve.latency.all");
+  obs::Histogram* lat_route = registry.GetHistogram("serve.latency.route");
+  obs::Histogram* lat_forest =
+      registry.GetHistogram("serve.latency.all_routes");
+  obs::Histogram* lat_apply = registry.GetHistogram("serve.latency.apply");
+
+  serve::Client client;
+  client.Connect("127.0.0.1", port);
+  for (uint64_t id : sessions) {
+    ExpectReply(client.LoadSession(id, kSpec), "load_session");
+  }
+
+  ZipfPicker zipf(workload.facts.size(), kZipfAlpha);
+  std::mt19937_64 rng(1000 + thread_index);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<int> per_session_count(sessions.size(), 0);
+
+  for (int i = 0; i < requests; ++i) {
+    size_t slot = static_cast<size_t>(i) % sessions.size();
+    uint64_t session = sessions[slot];
+    int n = per_session_count[slot]++;
+
+    serve::Response response;
+    auto start = std::chrono::steady_clock::now();
+    if (n % kApplyEvery == kApplyEvery - 1 &&
+        static_cast<size_t>(n / kApplyEvery) < workload.deltas.size()) {
+      serve::DeltaOp op;
+      op.kind = serve::DeltaOp::kInsert;
+      op.fact = workload.deltas[static_cast<size_t>(n / kApplyEvery)];
+      response = client.ApplyDelta(session, {op});
+      ExpectReply(response, "apply_delta");
+      ++counts->apply;
+      std::chrono::duration<double, std::milli> ms =
+          std::chrono::steady_clock::now() - start;
+      lat_apply->Record(ms.count());
+      lat_all->Record(ms.count());
+      continue;
+    }
+    double roll = uniform(rng);
+    const std::string& fact = workload.facts[zipf.Pick(uniform(rng))];
+    if (roll < 0.02) {
+      response = client.Lint(session);
+      ExpectReply(response, "lint");
+      ++counts->lint;
+      std::chrono::duration<double, std::milli> ms =
+          std::chrono::steady_clock::now() - start;
+      lat_all->Record(ms.count());
+    } else if (roll < 0.10) {
+      response = client.AllRoutes(session, fact);
+      ExpectReply(response, "all_routes");
+      ++counts->all_routes;
+      std::chrono::duration<double, std::milli> ms =
+          std::chrono::steady_clock::now() - start;
+      lat_forest->Record(ms.count());
+      lat_all->Record(ms.count());
+    } else {
+      response = client.Route(session, fact);
+      ExpectReply(response, "route");
+      ++counts->route;
+      std::chrono::duration<double, std::milli> ms =
+          std::chrono::steady_clock::now() - start;
+      lat_route->Record(ms.count());
+      lat_all->Record(ms.count());
+    }
+  }
+  client.Close();
+}
+
+int Run(const std::string& out_path, bool smoke) {
+  BenchConfig config;
+  if (smoke) {
+    config.sessions = 4;
+    config.clients = 2;
+    config.requests_per_client = 60;
+  }
+
+  Workload workload = BuildWorkload(/*max_facts=*/100, /*max_deltas=*/32);
+  std::cerr << "workload: " << workload.facts.size() << " probe facts, "
+            << workload.deltas.size() << " scheduled deltas\n";
+
+  ExecOptions exec;
+  exec.num_threads = 0;  // Hardware concurrency; nullptr pool on 1 core.
+  serve::ServerOptions options;
+  options.pool = ThreadPool::For(exec);
+  options.manager.max_sessions =
+      static_cast<size_t>(config.sessions) + 8;
+  serve::Server server(options);
+  server.Start();
+  std::cerr << "serving on 127.0.0.1:" << server.port() << " ("
+            << (options.pool ? options.pool->num_threads() : 1)
+            << " workers)\n";
+
+  // Partition session ids across client threads.
+  std::vector<std::vector<uint64_t>> partitions(config.clients);
+  for (int s = 0; s < config.sessions; ++s) {
+    partitions[s % config.clients].push_back(static_cast<uint64_t>(s + 1));
+  }
+
+  std::vector<OpCounts> counts(config.clients);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < config.clients; ++t) {
+    threads.emplace_back(RunClient, server.port(), t, partitions[t],
+                         config.requests_per_client, std::cref(workload),
+                         &counts[t]);
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  SharedRouteCacheStats cache = server.manager().shared_cache().stats();
+  size_t plan_bytes = server.manager().plan_cache().bytes();
+  uint64_t plan_evictions = server.manager().plan_cache().evictions();
+  server.Stop();
+
+  OpCounts total;
+  for (const OpCounts& c : counts) {
+    total.route += c.route;
+    total.all_routes += c.all_routes;
+    total.lint += c.lint;
+    total.apply += c.apply;
+  }
+  uint64_t requests =
+      total.route + total.all_routes + total.lint + total.apply;
+  double seconds = elapsed.count();
+  double throughput = seconds > 0 ? requests / seconds : 0;
+
+  obs::Registry& registry = obs::Registry::Global();
+  const obs::Histogram& lat = *registry.GetHistogram("serve.latency.all");
+  double p50 = obs::ApproxPercentileMs(lat, 0.50);
+  double p95 = obs::ApproxPercentileMs(lat, 0.95);
+  double p99 = obs::ApproxPercentileMs(lat, 0.99);
+
+  uint64_t route_lookups = cache.route_hits + cache.route_misses;
+  double hit_rate =
+      route_lookups == 0
+          ? 0
+          : static_cast<double>(cache.route_hits) / route_lookups;
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"host\": {\"hardware_concurrency\": " << hw
+      << ", \"single_core_host\": " << (hw <= 1 ? "true" : "false")
+      << "},\n";
+  out << "  \"workload\": {\"spec\": \"" << kSpec
+      << "\", \"sessions\": " << config.sessions
+      << ", \"clients\": " << config.clients
+      << ", \"requests\": " << requests
+      << ", \"zipf_alpha\": " << kZipfAlpha
+      << ", \"probe_facts\": " << workload.facts.size() << "},\n";
+  out << "  \"throughput_rps\": " << throughput << ",\n";
+  out << "  \"latency_ms\": {\"p50\": " << p50 << ", \"p95\": " << p95
+      << ", \"p99\": " << p99 << "},\n";
+  out << "  \"ops\": {\"route\": " << total.route
+      << ", \"all_routes\": " << total.all_routes
+      << ", \"lint\": " << total.lint << ", \"apply\": " << total.apply
+      << "},\n";
+  out << "  \"shared_cache\": {\"route_hits\": " << cache.route_hits
+      << ", \"route_misses\": " << cache.route_misses
+      << ", \"forest_hits\": " << cache.forest_hits
+      << ", \"forest_misses\": " << cache.forest_misses
+      << ", \"evictions\": " << cache.evictions
+      << ", \"hit_rate\": " << hit_rate << "},\n";
+  out << "  \"plan_cache\": {\"bytes\": " << plan_bytes
+      << ", \"evictions\": " << plan_evictions << "}\n";
+  out << "}\n";
+  std::cerr << "wrote " << out_path << " (throughput " << throughput
+            << " rps, route hit rate " << hit_rate << ")\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace spider::bench
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_serve.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (spider::obs::HandleObsFlag(arg)) continue;
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    out = arg;
+  }
+  int status = 1;
+  try {
+    status = spider::bench::Run(out, smoke);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_serve: " << e.what() << "\n";
+  }
+  spider::obs::FlushObsOutputs();
+  return status;
+}

@@ -1,0 +1,129 @@
+// spider_serve — the schema-mapping debug service. Serves DebugSession
+// instances over the length-prefixed binary protocol of src/serve/, with a
+// shared route/forest cache and a shared bounded plan cache across
+// sessions.
+//
+//   $ ./spider_serve --port 7070 --threads 4
+//   spider_serve listening on 127.0.0.1:7070 (4 worker threads)
+//
+// Flags:
+//   --port N              listen port (0 = ephemeral, printed at startup)
+//   --bind ADDR           bind address (default 127.0.0.1)
+//   --threads N           exec pool size; 0 = hardware_concurrency,
+//                         1 = handle requests on the loop thread
+//   --max-sessions N      admission-control session cap (default 128)
+//   --session-budget-mb N per-session memory budget (default 64)
+//   --total-budget-mb N   all-sessions memory budget (default 1024)
+//   --shared-cache-mb N   shared route/forest cache budget (default 64)
+//   --plan-cache-mb N     shared plan cache budget (default 8)
+//   --idle-timeout-s N    reap sessions idle this long; 0 = never
+//   plus the shared observability flags (--trace / --metrics).
+#include <time.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "exec/exec_options.h"
+#include "exec/thread_pool.h"
+#include "obs/obs_cli.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+bool ParseIntFlag(const std::string& arg, const std::string& name,
+                  long* out) {
+  std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = std::strtol(arg.c_str() + prefix.size(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spider::serve::ServerOptions options;
+  long threads = 1;
+  long idle_timeout_s = 300;
+  std::string prev_flag;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Accept both `--flag=V` and `--flag V`.
+    if (!prev_flag.empty()) {
+      arg = "--" + prev_flag + "=" + arg;
+      prev_flag.clear();
+    } else if (arg.rfind("--", 0) == 0 && arg.find('=') == std::string::npos &&
+               arg != "--help" && i + 1 < argc) {
+      prev_flag = arg.substr(2);
+      continue;
+    }
+    long value = 0;
+    if (spider::obs::HandleObsFlag(arg)) continue;
+    if (ParseIntFlag(arg, "port", &value)) {
+      options.port = static_cast<uint16_t>(value);
+    } else if (arg.rfind("--bind=", 0) == 0) {
+      options.bind_address = arg.substr(7);
+    } else if (ParseIntFlag(arg, "threads", &value)) {
+      threads = value;
+    } else if (ParseIntFlag(arg, "max-sessions", &value)) {
+      options.manager.max_sessions = static_cast<size_t>(value);
+    } else if (ParseIntFlag(arg, "session-budget-mb", &value)) {
+      options.manager.session_budget_bytes = static_cast<size_t>(value) << 20;
+    } else if (ParseIntFlag(arg, "total-budget-mb", &value)) {
+      options.manager.total_budget_bytes = static_cast<size_t>(value) << 20;
+    } else if (ParseIntFlag(arg, "shared-cache-mb", &value)) {
+      options.manager.shared_route_cache_bytes =
+          static_cast<size_t>(value) << 20;
+    } else if (ParseIntFlag(arg, "plan-cache-mb", &value)) {
+      options.manager.plan_cache_bytes = static_cast<size_t>(value) << 20;
+    } else if (ParseIntFlag(arg, "idle-timeout-s", &value)) {
+      idle_timeout_s = value;
+    } else {
+      std::cerr << "usage: spider_serve [--port N] [--bind ADDR] "
+                   "[--threads N]\n"
+                   "  [--max-sessions N] [--session-budget-mb N] "
+                   "[--total-budget-mb N]\n"
+                   "  [--shared-cache-mb N] [--plan-cache-mb N] "
+                   "[--idle-timeout-s N]\n  "
+                << spider::obs::ObsFlagsHelp() << "\n";
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  options.manager.idle_timeout_ms =
+      idle_timeout_s <= 0 ? 0 : static_cast<uint64_t>(idle_timeout_s) * 1000;
+
+  spider::ExecOptions exec;
+  exec.num_threads = static_cast<int>(threads);
+  spider::ThreadPool* pool = spider::ThreadPool::For(exec);
+  options.pool = pool;  // nullptr when threads resolve to 1: inline mode.
+
+  spider::serve::Server server(options);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::cerr << "spider_serve: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "spider_serve listening on " << options.bind_address << ":"
+            << server.port() << " ("
+            << (pool ? std::to_string(pool->num_threads()) + " worker threads"
+                     : std::string("inline handling"))
+            << ")\n"
+            << std::flush;
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::cout << "spider_serve: shutting down\n";
+  server.Stop();
+  spider::obs::FlushObsOutputs();
+  return 0;
+}

@@ -3,12 +3,26 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace spider {
 
 /// Mixes `h` into `seed` (boost::hash_combine-style). Order-dependent.
 inline size_t HashCombine(size_t seed, size_t h) {
   return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// FNV-1a over raw bytes. Stable across processes and platforms (unlike
+/// std::hash), which is what content fingerprints shared between a server
+/// and its clients — or recomputed by a differential test — require.
+inline uint64_t Fnv1a64(std::string_view bytes,
+                        uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 }  // namespace spider

@@ -4,11 +4,35 @@
 #include <utility>
 #include <vector>
 
+#include "base/hash.h"
 #include "base/status.h"
+#include "mapping/writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace spider {
+
+namespace {
+
+/// Chains the content of one delta batch onto a session state key: deletes
+/// then inserts, each as (op kind, relation, tuple). Uses the process-local
+/// Tuple::Hash, which is all the in-memory shared tier needs.
+uint64_t ChainStateKey(uint64_t key, const SourceDelta& delta) {
+  auto mix = [&key](uint64_t h) { key = HashCombine(key, h); };
+  for (const SourceDelta::Op& op : delta.deletes()) {
+    mix(1);
+    mix(Fnv1a64(op.relation));
+    mix(op.tuple.Hash());
+  }
+  for (const SourceDelta::Op& op : delta.inserts()) {
+    mix(2);
+    mix(Fnv1a64(op.relation));
+    mix(op.tuple.Hash());
+  }
+  return key;
+}
+
+}  // namespace
 
 DebugSession::DebugSession(Scenario scenario, DebugSessionOptions options)
     : scenario_(std::move(scenario)), options_(std::move(options)) {
@@ -18,6 +42,20 @@ DebugSession::DebugSession(Scenario scenario, DebugSessionOptions options)
   obs::TraceSpan open_span("session", "open");
   if (scenario_.target == nullptr) {
     scenario_.target = std::make_unique<Instance>(&scenario_.mapping->target());
+  }
+  if (options_.plan_cache != nullptr) {
+    if (options_.incremental.eval.plan_cache == nullptr) {
+      options_.incremental.eval.plan_cache = options_.plan_cache;
+    }
+    if (options_.routes.eval.plan_cache == nullptr) {
+      options_.routes.eval.plan_cache = options_.plan_cache;
+    }
+  }
+  state_key_ = options_.state_key;
+  if (state_key_ == 0 && options_.shared_route_cache != nullptr) {
+    // Fingerprint the pre-chase content; the chase is a deterministic
+    // function of it, so it identifies the post-chase state equally well.
+    state_key_ = Fnv1a64(WriteScenario(scenario_));
   }
   IncrementalOptions inc = options_.incremental;
   inc.first_null_id = scenario_.max_null_id + 1;
@@ -45,6 +83,7 @@ ApplyDeltaResult DebugSession::Apply(const SourceDelta& delta) {
   ApplyDeltaResult result = chaser_->Apply(delta);
   scenario_.max_null_id = chaser_->next_null_id() - 1;
   cache_.Invalidate(*scenario_.mapping, result);
+  state_key_ = ChainStateKey(state_key_, delta);
   return result;
 }
 
@@ -60,10 +99,20 @@ const Route& DebugSession::RouteFor(const std::string& fact_text) {
   FactKey key{Side::kTarget, ref.relation,
               scenario_.target->tuple(ref.relation, ref.row)};
   if (const Route* cached = cache_.FindRoute(key)) return *cached;
+  SharedRouteCache* shared = options_.shared_route_cache;
+  if (shared != nullptr) {
+    if (auto entry = shared->FindRoute(state_key_, key)) {
+      // Install into the local cache so the session behaves identically
+      // whether the shared tier was hot or cold (the local entry is what
+      // survives later unrelated edits).
+      return cache_.PutRoute(key, entry->route, entry->deps);
+    }
+  }
   OneRouteResult result = debugger_->OneRoute({ref});
   SPIDER_CHECK(result.found, "no route exists for " + fact_text);
   std::vector<FactKey> deps =
       RouteDependencies(*scenario_.mapping, result.route);
+  if (shared != nullptr) shared->PutRoute(state_key_, key, result.route, deps);
   return cache_.PutRoute(key, std::move(result.route), std::move(deps));
 }
 
@@ -73,7 +122,15 @@ RouteForest& DebugSession::ForestFor(const std::string& fact_text) {
   FactKey key{Side::kTarget, ref.relation,
               scenario_.target->tuple(ref.relation, ref.row)};
   if (RouteForest* cached = cache_.FindForest(key)) return *cached;
-  return cache_.PutForest(key, debugger_->AllRoutes({ref}));
+  SharedRouteCache* shared = options_.shared_route_cache;
+  if (shared != nullptr) {
+    if (auto forest = shared->FindForest(state_key_, key)) {
+      return cache_.PutForest(key, std::move(forest));
+    }
+  }
+  auto forest = std::make_shared<RouteForest>(debugger_->AllRoutes({ref}));
+  if (shared != nullptr) shared->PutForest(state_key_, key, forest);
+  return cache_.PutForest(key, std::move(forest));
 }
 
 }  // namespace spider

@@ -1,14 +1,17 @@
 #ifndef SPIDER_DEBUGGER_DEBUG_SESSION_H_
 #define SPIDER_DEBUGGER_DEBUG_SESSION_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "debugger/debugger.h"
 #include "incremental/delta_chase.h"
 #include "incremental/route_cache.h"
+#include "incremental/shared_route_cache.h"
 #include "incremental/source_delta.h"
 #include "mapping/scenario.h"
+#include "query/plan_cache.h"
 #include "routes/options.h"
 
 namespace spider {
@@ -18,6 +21,25 @@ struct DebugSessionOptions {
   /// session derives it from the scenario's max_null_id.
   IncrementalOptions incremental;
   RouteOptions routes;
+
+  /// Optional process-wide plan tier (spider::serve hands every session the
+  /// same bounded PlanCache). Installed into `incremental.eval.plan_cache`
+  /// and `routes.eval.plan_cache` unless those already carry a cache. The
+  /// owner must outlive the session and Forget() the session's instances
+  /// when it dies.
+  PlanCache* plan_cache = nullptr;
+
+  /// Optional cross-session route/forest tier, consulted between the local
+  /// RouteCache (hit: dependency-validated entry survives edits) and a
+  /// fresh computation. Keyed by state_key, so only sessions with an
+  /// identical open-plus-edit history ever share an entry.
+  SharedRouteCache* shared_route_cache = nullptr;
+
+  /// Fingerprint of the opening scenario content for the shared tiers.
+  /// 0 (the default) derives one from WriteScenario(), which is correct but
+  /// costs a serialization; servers pass the hash of the scenario text or
+  /// workload spec they were asked to open.
+  uint64_t state_key = 0;
 
   /// When non-empty, tracing starts as the session opens and a Chrome
   /// trace-event JSON file (Perfetto / about:tracing) is written here when
@@ -84,9 +106,16 @@ class DebugSession {
   const IncrementalStats& chase_stats() const { return chaser_->stats(); }
   const RouteCacheStats& cache_stats() const { return cache_.stats(); }
 
+  /// Fingerprint of this session's history: the opening state key chained
+  /// with a content hash of every applied delta, in order. Sessions with
+  /// equal state keys hold byte-identical scenarios (the engines are
+  /// deterministic), which is what makes the shared route tier sound.
+  uint64_t state_key() const { return state_key_; }
+
  private:
   Scenario scenario_;
   DebugSessionOptions options_;
+  uint64_t state_key_ = 0;
   std::unique_ptr<IncrementalChaser> chaser_;
   std::unique_ptr<MappingDebugger> debugger_;
   RouteCache cache_;

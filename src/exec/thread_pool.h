@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "exec/exec_options.h"
@@ -49,6 +50,23 @@ class ThreadPool {
   /// Schedules `task` (takes ownership). Called from a worker of this pool
   /// it lands on that worker's own deque; otherwise on the injector queue.
   void Submit(Task* task);
+
+  /// Fire-and-forget convenience for detached work that is not part of a
+  /// TaskGroup join (spider::serve request handlers): wraps the closure in
+  /// a heap Task and submits it. The closure must not throw — there is no
+  /// join to observe an exception, so escaping ones terminate.
+  template <typename F>
+  void SubmitClosure(F&& fn) {
+    class ClosureTask : public Task {
+     public:
+      explicit ClosureTask(F&& f) : fn_(std::forward<F>(f)) {}
+      void Execute() override { fn_(); }
+
+     private:
+      std::decay_t<F> fn_;
+    };
+    Submit(new ClosureTask(std::forward<F>(fn)));
+  }
 
   /// Cooperative helping: acquires one pending task (own deque if the
   /// caller is a worker, else steal/injector) and executes it. Returns

@@ -1,5 +1,6 @@
 #include "incremental/route_cache.h"
 
+#include <memory>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -69,16 +70,21 @@ RouteForest* RouteCache::FindForest(const FactKey& fact) {
   }
   ++stats_.forest_hits;
   CacheEvent("cache.forest_hits", "forest_hit");
-  return &it->second.forest;
+  return it->second.forest.get();
 }
 
 RouteForest& RouteCache::PutForest(const FactKey& fact, RouteForest forest) {
+  return PutForest(fact, std::make_shared<RouteForest>(std::move(forest)));
+}
+
+RouteForest& RouteCache::PutForest(const FactKey& fact,
+                                   std::shared_ptr<RouteForest> forest) {
   forests_.erase(fact);
   auto [it, inserted] = forests_.emplace(fact, ForestEntry(std::move(forest)));
-  for (const RouteForest::Node& node : it->second.forest.nodes()) {
+  for (const RouteForest::Node& node : it->second.forest->nodes()) {
     it->second.node_relations.insert(node.fact.relation);
   }
-  return it->second.forest;
+  return *it->second.forest;
 }
 
 void RouteCache::Invalidate(const SchemaMapping& mapping,

@@ -1,6 +1,7 @@
 #ifndef SPIDER_INCREMENTAL_ROUTE_CACHE_H_
 #define SPIDER_INCREMENTAL_ROUTE_CACHE_H_
 
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -55,10 +56,16 @@ class RouteCache {
                         std::vector<FactKey> deps);
 
   /// Returns the cached forest for the probed fact, or nullptr. The pointer
-  /// stays valid until the entry is evicted.
+  /// stays valid until the entry is evicted (entries hold shared ownership,
+  /// so a forest installed from the cross-session SharedRouteCache tier
+  /// outlives that tier's eviction).
   RouteForest* FindForest(const FactKey& fact);
   /// Stores (replacing any previous entry) and returns the cached copy.
   RouteForest& PutForest(const FactKey& fact, RouteForest forest);
+  /// Same, sharing ownership of an already-built (fully expanded) forest —
+  /// the install path for SharedRouteCache hits.
+  RouteForest& PutForest(const FactKey& fact,
+                         std::shared_ptr<RouteForest> forest);
 
   void Invalidate(const SchemaMapping& mapping, const ApplyDeltaResult& delta);
   void Clear();
@@ -73,9 +80,10 @@ class RouteCache {
     std::vector<FactKey> deps;
   };
   struct ForestEntry {
-    RouteForest forest;
+    std::shared_ptr<RouteForest> forest;
     std::unordered_set<RelationId> node_relations;
-    explicit ForestEntry(RouteForest f) : forest(std::move(f)) {}
+    explicit ForestEntry(std::shared_ptr<RouteForest> f)
+        : forest(std::move(f)) {}
   };
 
   std::unordered_map<FactKey, RouteEntry, FactKeyHash> routes_;

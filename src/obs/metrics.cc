@@ -203,6 +203,36 @@ void Registry::ResetAll() {
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
+double ApproxPercentileMs(const Histogram& histogram, double q) {
+  uint64_t count = histogram.count();
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  std::vector<uint64_t> buckets = histogram.buckets();
+  // Rank of the q-th sample, 1-based (q=0 -> first, q=1 -> last).
+  uint64_t rank = static_cast<uint64_t>(q * (count - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
+    }
+    double lower = i == 0 ? 0 : Histogram::BucketUpperMs(i - 1);
+    double upper = Histogram::BucketUpperMs(i);
+    // The overflow bucket has no finite upper bound; the recorded max is
+    // the only honest estimate there.
+    if (i == Histogram::kNumBuckets - 1) return histogram.max_ms();
+    double fraction =
+        static_cast<double>(rank - seen) / static_cast<double>(buckets[i]);
+    double value = lower + fraction * (upper - lower);
+    if (value < histogram.min_ms()) value = histogram.min_ms();
+    if (value > histogram.max_ms()) value = histogram.max_ms();
+    return value;
+  }
+  return histogram.max_ms();
+}
+
 bool MetricsEnabled() {
   return g_metrics_enabled.load(std::memory_order_relaxed);
 }

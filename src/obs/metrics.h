@@ -116,6 +116,13 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+/// Approximate q-quantile (q in [0, 1]) in milliseconds from a histogram's
+/// log buckets: finds the bucket holding the q-th sample and interpolates
+/// linearly inside it, clamped to the recorded min/max (which makes
+/// single-sample and tail readings exact). Returns 0 for an empty
+/// histogram. Used by bench_serve for its p50/p95/p99 report.
+double ApproxPercentileMs(const Histogram& histogram, double q);
+
 /// Global switch for metric publication by the engines (chase, routes,
 /// incremental, caches). Publication happens once per engine entry point —
 /// a handful of atomic adds — so it is enabled by default; the switch

@@ -1,28 +1,96 @@
 #include "query/plan_cache.h"
 
+#include <utility>
+
+#include "obs/metrics.h"
 #include "storage/instance.h"
 
 namespace spider {
+
+size_t PlanCache::EntryBytes(const Entry& entry) {
+  // Map node + key + Entry struct + the order vector's heap block.
+  return 96 + entry.order.size() * sizeof(size_t);
+}
 
 std::vector<size_t> PlanCache::Get(
     uint64_t key, const Instance& instance,
     const std::function<std::vector<size_t>()>& plan, EvalStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
-  Entry& entry = entries_[key];
-  if (entry.instance == &instance && entry.version == instance.version()) {
+  MapKey map_key{key, &instance};
+  auto it = entries_.find(map_key);
+  if (it != entries_.end() && it->second.version == instance.version()) {
     if (stats != nullptr) ++stats->plan_cache_hits;
-    return entry.order;
+    if (max_bytes_ > 0 && it->second.lru != lru_.begin()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+    }
+    return it->second.order;
   }
-  entry.instance = &instance;
-  entry.version = instance.version();
-  entry.order = plan();
+  if (it == entries_.end()) {
+    it = entries_.emplace(map_key, Entry{}).first;
+    if (max_bytes_ > 0) {
+      lru_.push_front(map_key);
+      it->second.lru = lru_.begin();
+    }
+  } else {
+    bytes_ -= EntryBytes(it->second);
+    if (max_bytes_ > 0 && it->second.lru != lru_.begin()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+    }
+  }
+  it->second.version = instance.version();
+  it->second.order = plan();
+  bytes_ += EntryBytes(it->second);
   if (stats != nullptr) ++stats->plans_built;
-  return entry.order;
+  if (max_bytes_ > 0) EvictLocked();
+  return it->second.order;
+}
+
+void PlanCache::EvictLocked() {
+  uint64_t evicted = 0;
+  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+    auto victim = entries_.find(lru_.back());
+    bytes_ -= EntryBytes(victim->second);
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++evicted;
+  }
+  if (evicted > 0) {
+    evictions_ += evicted;
+    if (obs::MetricsEnabled()) {
+      obs::Registry& registry = obs::Registry::Global();
+      registry.GetCounter("query.plan_cache.evictions")->Add(evicted);
+      registry.GetGauge("query.plan_cache.bytes")
+          ->Set(static_cast<int64_t>(bytes_));
+    }
+  }
+}
+
+void PlanCache::Forget(const Instance* instance) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.instance == instance) {
+      bytes_ -= EntryBytes(it->second);
+      if (max_bytes_ > 0) lru_.erase(it->second.lru);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+size_t PlanCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+uint64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 }  // namespace spider

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "base/hash.h"
 #include "query/eval_stats.h"
 
 namespace spider {
@@ -54,20 +56,38 @@ constexpr uint64_t MakePlanKey(PlanKeyFamily family, uint64_t dep,
 /// Keys are caller-chosen 64-bit ids that must encode everything the plan
 /// depends on besides the instance: the atom list and the bound-variable
 /// signature (for findHom: tgd id, side, and RHS atom index — the set of
-/// v1-bound variables is a function of those). Entries additionally record
-/// the instance pointer and its version, so a plan computed against a target
-/// that has since been chased further is transparently re-planned. Plans must
-/// be value-independent (the selectivity planner only consults per-column
+/// v1-bound variables is a function of those). Entries are additionally
+/// keyed by the instance pointer and record its version, so a plan computed
+/// against a target that has since been chased further is transparently
+/// re-planned — and several sessions debugging *different* scenarios can
+/// share one cache without thrashing each other's entries (spider::serve
+/// hands every DebugSession the same process-wide cache). Plans must be
+/// value-independent (the selectivity planner only consults per-column
 /// statistics and constants, never the values currently bound), so a cached
 /// order is correct — and deterministic — for every probe sharing the key.
+///
+/// Bounded mode: constructed with a nonzero byte budget the cache becomes an
+/// LRU tier — every Get() refreshes the entry's recency, and inserts evict
+/// the coldest entries until the (approximate, per-entry accounted) total
+/// fits the budget again. Eviction only costs a re-plan, never correctness;
+/// the "query.plan_cache.evictions" counter and ".bytes" gauge record the
+/// churn. The default (budget 0) is unbounded, preserving the exactly-once
+/// planning guarantee the engines' deterministic stats rely on.
+///
+/// Owners of bounded shared caches must call Forget(&instance) before an
+/// instance dies: entries are keyed by pointer, and a later instance
+/// allocated at the same address could otherwise inherit a stale plan.
 ///
 /// Thread-safe: route-forest waves share one cache across exec workers.
 /// Planning happens under the lock, so each (key, instance, version) is
 /// planned exactly once regardless of scheduling — keeping plans_built /
-/// plan_cache_hits totals byte-identical at every thread count.
+/// plan_cache_hits totals byte-identical at every thread count (in
+/// unbounded mode; eviction makes re-planning timing-dependent).
 class PlanCache {
  public:
   PlanCache() = default;
+  /// Bounded LRU mode; `max_bytes` = 0 is the unbounded default.
+  explicit PlanCache(size_t max_bytes) : max_bytes_(max_bytes) {}
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
@@ -78,17 +98,48 @@ class PlanCache {
                           const std::function<std::vector<size_t>()>& plan,
                           EvalStats* stats);
 
+  /// Drops every entry keyed by `instance`. Sessions sharing a bounded
+  /// cache call this as they destroy their instances.
+  void Forget(const Instance* instance);
+
   size_t size() const;
+  /// Approximate bytes held (entry overhead + atom orders); 0 when empty.
+  size_t bytes() const;
+  size_t max_bytes() const { return max_bytes_; }
+  /// Entries evicted by the byte budget (never counts Forget()).
+  uint64_t evictions() const;
 
  private:
-  struct Entry {
+  struct MapKey {
+    uint64_t key = 0;
     const Instance* instance = nullptr;
+    friend bool operator==(const MapKey&, const MapKey&) = default;
+  };
+  struct MapKeyHash {
+    size_t operator()(const MapKey& k) const {
+      return HashCombine(std::hash<uint64_t>{}(k.key),
+                         std::hash<const void*>{}(k.instance));
+    }
+  };
+  struct Entry {
     uint64_t version = 0;
     std::vector<size_t> order;
+    /// Position in lru_ (front = most recently used). Only maintained in
+    /// bounded mode.
+    std::list<MapKey>::iterator lru;
   };
 
+  static size_t EntryBytes(const Entry& entry);
+  /// Evicts coldest entries until bytes_ <= max_bytes_ (keeps at least the
+  /// most recent entry). Caller holds mu_.
+  void EvictLocked();
+
   mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Entry> entries_;
+  size_t max_bytes_ = 0;
+  size_t bytes_ = 0;
+  uint64_t evictions_ = 0;
+  std::list<MapKey> lru_;
+  std::unordered_map<MapKey, Entry, MapKeyHash> entries_;
 };
 
 }  // namespace spider

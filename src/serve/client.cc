@@ -1,0 +1,149 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/status.h"
+#include "serve/wire.h"
+
+namespace spider::serve {
+
+Client::~Client() { Close(); }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    in_ = std::move(other.in_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  SPIDER_CHECK(fd_ >= 0, "socket() failed");
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    throw SpiderError("Client: bad host address: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    Close();
+    throw SpiderError("Client: connect to " + host + ":" +
+                      std::to_string(port) + " failed");
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Client::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  in_.clear();
+}
+
+void Client::SendRaw(std::string_view bytes) {
+  SPIDER_CHECK(fd_ >= 0, "Client: not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw SpiderError("Client: connection lost while sending");
+    sent += static_cast<size_t>(n);
+  }
+}
+
+bool Client::ReadResponse(Response* response) {
+  SPIDER_CHECK(fd_ >= 0, "Client: not connected");
+  for (;;) {
+    std::string payload;
+    // Replies are small; a 16 MiB ceiling guards against desync garbage.
+    FrameStatus status = NextFrame(&in_, 16u << 20, &payload);
+    if (status == FrameStatus::kFrame) {
+      std::string error;
+      if (!DecodeResponse(payload, response, &error)) {
+        throw SpiderError("Client: " + error);
+      }
+      return true;
+    }
+    if (status != FrameStatus::kNeedMore) {
+      throw SpiderError("Client: malformed response frame");
+    }
+    char buf[64 * 1024];
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;  // Server closed the connection.
+    in_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Response Client::Call(Request request) {
+  if (request.request_id == 0) request.request_id = next_request_id_++;
+  std::string frame;
+  AppendFrame(EncodeRequest(request), &frame);
+  SendRaw(frame);
+  Response response;
+  if (!ReadResponse(&response)) {
+    throw SpiderError("Client: connection closed before reply");
+  }
+  if (response.request_id != request.request_id) {
+    throw SpiderError("Client: reply for wrong request id");
+  }
+  return response;
+}
+
+Response Client::CallType(MsgType type, uint64_t session_id, std::string text,
+                          std::vector<DeltaOp> ops) {
+  Request request;
+  request.type = type;
+  request.session_id = session_id;
+  request.text = std::move(text);
+  request.ops = std::move(ops);
+  return Call(std::move(request));
+}
+
+Response Client::CreateSession(uint64_t session_id,
+                               std::string scenario_text) {
+  return CallType(MsgType::kCreateSession, session_id,
+                  std::move(scenario_text));
+}
+
+Response Client::LoadSession(uint64_t session_id, std::string spec) {
+  return CallType(MsgType::kLoadSession, session_id, std::move(spec));
+}
+
+Response Client::CloseSession(uint64_t session_id) {
+  return CallType(MsgType::kCloseSession, session_id, "");
+}
+
+Response Client::ApplyDelta(uint64_t session_id, std::vector<DeltaOp> ops) {
+  return CallType(MsgType::kApplyDelta, session_id, "", std::move(ops));
+}
+
+Response Client::Route(uint64_t session_id, std::string fact) {
+  return CallType(MsgType::kRoute, session_id, std::move(fact));
+}
+
+Response Client::AllRoutes(uint64_t session_id, std::string fact) {
+  return CallType(MsgType::kAllRoutes, session_id, std::move(fact));
+}
+
+Response Client::Lint(uint64_t session_id) {
+  return CallType(MsgType::kLint, session_id, "");
+}
+
+Response Client::Ping() { return CallType(MsgType::kPing, 0, ""); }
+
+Response Client::Stats() { return CallType(MsgType::kStats, 0, ""); }
+
+}  // namespace spider::serve

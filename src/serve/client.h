@@ -1,0 +1,67 @@
+#ifndef SPIDER_SERVE_CLIENT_H_
+#define SPIDER_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace spider::serve {
+
+/// A blocking client for the spider::serve wire protocol: one TCP
+/// connection, one outstanding request at a time (Call sends a frame and
+/// blocks for its reply). Concurrency comes from running one Client per
+/// thread — which is exactly how the bench driver and the differential
+/// test use it. Not thread-safe.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to `host:port` (dotted-quad host). Throws SpiderError.
+  void Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends the request (request_id assigned when 0) and blocks for the
+  /// matching reply. Throws SpiderError on connection loss or a protocol
+  /// violation; server-side failures come back as kError responses.
+  Response Call(Request request);
+
+  // Convenience wrappers.
+  Response CreateSession(uint64_t session_id, std::string scenario_text);
+  Response LoadSession(uint64_t session_id, std::string spec);
+  Response CloseSession(uint64_t session_id);
+  Response ApplyDelta(uint64_t session_id, std::vector<DeltaOp> ops);
+  Response Route(uint64_t session_id, std::string fact);
+  Response AllRoutes(uint64_t session_id, std::string fact);
+  Response Lint(uint64_t session_id);
+  Response Ping();
+  Response Stats();
+
+  /// Writes raw bytes to the socket, bypassing framing — the fuzz test's
+  /// way of feeding the server truncated and garbage streams.
+  void SendRaw(std::string_view bytes);
+  /// Blocks for one response frame (used after SendRaw). Returns false
+  /// when the server closed the connection instead of replying.
+  bool ReadResponse(Response* response);
+
+ private:
+  Response CallType(MsgType type, uint64_t session_id, std::string text,
+                    std::vector<DeltaOp> ops = {});
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string in_;
+};
+
+}  // namespace spider::serve
+
+#endif  // SPIDER_SERVE_CLIENT_H_

@@ -1,0 +1,241 @@
+#include "serve/event_loop.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
+
+#include "base/status.h"
+
+namespace spider::serve {
+
+namespace {
+
+uint64_t MonotonicNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  SPIDER_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "fcntl(O_NONBLOCK) failed");
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  start_ns_ = MonotonicNs();
+  int pipe_fds[2];
+  SPIDER_CHECK(pipe(pipe_fds) == 0, "EventLoop: pipe() failed");
+  wakeup_read_fd_ = pipe_fds[0];
+  wakeup_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wakeup_read_fd_);
+  SetNonBlocking(wakeup_write_fd_);
+#if defined(__linux__)
+  epoll_fd_ = epoll_create1(0);
+  SPIDER_CHECK(epoll_fd_ >= 0, "EventLoop: epoll_create1 failed");
+  struct epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_read_fd_;
+  SPIDER_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_read_fd_, &ev) == 0,
+               "EventLoop: epoll_ctl(wakeup) failed");
+#endif
+}
+
+EventLoop::~EventLoop() {
+#if defined(__linux__)
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+#endif
+  close(wakeup_read_fd_);
+  close(wakeup_write_fd_);
+}
+
+uint64_t EventLoop::NowMs() const {
+  return (MonotonicNs() - start_ns_) / 1'000'000ull;
+}
+
+void EventLoop::WatchFd(int fd, bool want_read, bool want_write,
+                        FdCallback callback) {
+  SPIDER_CHECK(fds_.find(fd) == fds_.end(), "EventLoop: fd already watched");
+  uint32_t mask =
+      (want_read ? kEventRead : 0u) | (want_write ? kEventWrite : 0u);
+  fds_[fd] = FdEntry{mask, std::move(callback)};
+#if defined(__linux__)
+  struct epoll_event ev = {};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  SPIDER_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0,
+               "EventLoop: epoll_ctl(add) failed");
+#endif
+}
+
+void EventLoop::UpdateFd(int fd, bool want_read, bool want_write) {
+  auto it = fds_.find(fd);
+  SPIDER_CHECK(it != fds_.end(), "EventLoop: update of unwatched fd");
+  it->second.mask =
+      (want_read ? kEventRead : 0u) | (want_write ? kEventWrite : 0u);
+#if defined(__linux__)
+  struct epoll_event ev = {};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  SPIDER_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0,
+               "EventLoop: epoll_ctl(mod) failed");
+#endif
+}
+
+void EventLoop::ForgetFd(int fd) {
+  if (fds_.erase(fd) == 0) return;
+#if defined(__linux__)
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+}
+
+uint64_t EventLoop::AddTimer(uint64_t delay_ms, std::function<void()> callback) {
+  uint64_t id = next_timer_id_++;
+  timers_.push(Timer{NowMs() + delay_ms, id});
+  timer_callbacks_[id] = std::move(callback);
+  return id;
+}
+
+void EventLoop::CancelTimer(uint64_t timer_id) {
+  // The heap entry stays behind and is skipped when it surfaces.
+  timer_callbacks_.erase(timer_id);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Wakeup();
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    stop_ = true;
+  }
+  Wakeup();
+}
+
+void EventLoop::Wakeup() {
+  char byte = 1;
+  // EAGAIN means the pipe already holds a pending wakeup — good enough.
+  [[maybe_unused]] ssize_t n = write(wakeup_write_fd_, &byte, 1);
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::FireDueTimers() {
+  uint64_t now = NowMs();
+  while (!timers_.empty() && timers_.top().deadline_ms <= now) {
+    Timer timer = timers_.top();
+    timers_.pop();
+    auto it = timer_callbacks_.find(timer.id);
+    if (it == timer_callbacks_.end()) continue;  // Cancelled.
+    std::function<void()> callback = std::move(it->second);
+    timer_callbacks_.erase(it);
+    callback();
+  }
+}
+
+void EventLoop::Run() {
+  for (;;) {
+    DrainPosted();
+    {
+      std::lock_guard<std::mutex> lock(post_mu_);
+      if (stop_) {
+        stop_ = false;
+        return;
+      }
+    }
+    FireDueTimers();
+    int timeout_ms = -1;
+    if (!timers_.empty()) {
+      uint64_t now = NowMs();
+      uint64_t deadline = timers_.top().deadline_ms;
+      timeout_ms = deadline <= now ? 0 : static_cast<int>(deadline - now);
+    }
+    PollOnce(timeout_ms);
+  }
+}
+
+void EventLoop::PollOnce(int timeout_ms) {
+#if defined(__linux__)
+  struct epoll_event events[64];
+  int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (n < 0) {
+    SPIDER_CHECK(errno == EINTR, "EventLoop: epoll_wait failed");
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    int fd = events[i].data.fd;
+    if (fd == wakeup_read_fd_) {
+      char drain[64];
+      while (read(wakeup_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    uint32_t ready = 0;
+    if (events[i].events & EPOLLIN) ready |= kEventRead;
+    if (events[i].events & EPOLLOUT) ready |= kEventWrite;
+    if (events[i].events & (EPOLLERR | EPOLLHUP)) ready |= kEventError;
+    // The callback may close other fds; re-check liveness per event.
+    auto it = fds_.find(fd);
+    if (it == fds_.end() || it->second.callback == nullptr) continue;
+    FdCallback callback = it->second.callback;  // Copy: cb may ForgetFd(fd).
+    callback(ready);
+  }
+#else
+  std::vector<struct pollfd> pfds;
+  pfds.reserve(fds_.size() + 1);
+  pfds.push_back({wakeup_read_fd_, POLLIN, 0});
+  for (const auto& [fd, entry] : fds_) {
+    short events = 0;
+    if (entry.mask & kEventRead) events |= POLLIN;
+    if (entry.mask & kEventWrite) events |= POLLOUT;
+    pfds.push_back({fd, events, 0});
+  }
+  int n = poll(pfds.data(), pfds.size(), timeout_ms);
+  if (n < 0) {
+    SPIDER_CHECK(errno == EINTR, "EventLoop: poll failed");
+    return;
+  }
+  if (pfds[0].revents & POLLIN) {
+    char drain[64];
+    while (read(wakeup_read_fd_, drain, sizeof(drain)) > 0) {
+    }
+  }
+  for (size_t i = 1; i < pfds.size(); ++i) {
+    if (pfds[i].revents == 0) continue;
+    uint32_t ready = 0;
+    if (pfds[i].revents & POLLIN) ready |= kEventRead;
+    if (pfds[i].revents & POLLOUT) ready |= kEventWrite;
+    if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) ready |= kEventError;
+    auto it = fds_.find(pfds[i].fd);
+    if (it == fds_.end() || it->second.callback == nullptr) continue;
+    FdCallback callback = it->second.callback;
+    callback(ready);
+  }
+#endif
+}
+
+}  // namespace spider::serve

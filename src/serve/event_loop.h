@@ -1,0 +1,105 @@
+#ifndef SPIDER_SERVE_EVENT_LOOP_H_
+#define SPIDER_SERVE_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace spider::serve {
+
+/// Readiness bits delivered to fd callbacks.
+inline constexpr uint32_t kEventRead = 1;
+inline constexpr uint32_t kEventWrite = 2;
+inline constexpr uint32_t kEventError = 4;  ///< HUP/ERR — drop the fd.
+
+/// A single-threaded readiness event loop: level-triggered fd watching
+/// (epoll on Linux, poll(2) elsewhere), a monotonic one-shot timer queue,
+/// and a thread-safe Post() that hands closures to the loop thread through
+/// a self-pipe. Everything except Post() and Stop() must be called on the
+/// loop thread (or before Run()).
+///
+/// This is the IO half of spider::serve: sockets stay non-blocking and all
+/// connection state is confined to the loop thread; CPU-heavy work leaves
+/// the loop through the exec pool and re-enters via Post().
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Watches a non-blocking fd. `want_read`/`want_write` select the
+  /// readiness the callback is interested in; kEventError is always
+  /// delivered. The fd must not already be watched.
+  void WatchFd(int fd, bool want_read, bool want_write, FdCallback callback);
+  /// Adjusts interest for an already-watched fd (typically toggling write
+  /// interest as a connection's output buffer fills and drains).
+  void UpdateFd(int fd, bool want_read, bool want_write);
+  /// Stops watching; the caller still owns (and closes) the fd.
+  void ForgetFd(int fd);
+
+  /// Arms a one-shot timer `delay_ms` from now; returns its id.
+  uint64_t AddTimer(uint64_t delay_ms, std::function<void()> callback);
+  /// Cancels a pending timer (no-op when already fired or unknown).
+  void CancelTimer(uint64_t timer_id);
+
+  /// Enqueues a closure to run on the loop thread. Thread-safe; safe after
+  /// Stop() (the closure is then simply never run) — which is exactly what
+  /// late exec-pool completions need during shutdown.
+  void Post(std::function<void()> fn);
+
+  /// Runs until Stop(). Dispatches, in order per iteration: posted
+  /// closures, due timers, then ready fds.
+  void Run();
+  /// Thread-safe; wakes the loop and makes Run() return.
+  void Stop();
+
+  /// Milliseconds of CLOCK_MONOTONIC since the loop was constructed.
+  uint64_t NowMs() const;
+
+ private:
+  struct FdEntry {
+    uint32_t mask = 0;  ///< kEventRead | kEventWrite interest.
+    FdCallback callback;
+  };
+  struct Timer {
+    uint64_t deadline_ms = 0;
+    uint64_t id = 0;
+    bool operator>(const Timer& other) const {
+      return deadline_ms != other.deadline_ms ? deadline_ms > other.deadline_ms
+                                              : id > other.id;
+    }
+  };
+
+  void DrainPosted();
+  void FireDueTimers();
+  /// Blocks in epoll/poll for at most `timeout_ms` and dispatches ready
+  /// fds. -1 blocks until IO or a wakeup.
+  void PollOnce(int timeout_ms);
+  void Wakeup();
+
+  int wakeup_read_fd_ = -1;
+  int wakeup_write_fd_ = -1;
+#if defined(__linux__)
+  int epoll_fd_ = -1;
+#endif
+  uint64_t start_ns_ = 0;
+  std::unordered_map<int, FdEntry> fds_;
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::unordered_map<uint64_t, std::function<void()>> timer_callbacks_;
+  uint64_t next_timer_id_ = 1;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;  // Guarded by post_mu_.
+  bool stop_ = false;                          // Guarded by post_mu_.
+};
+
+}  // namespace spider::serve
+
+#endif  // SPIDER_SERVE_EVENT_LOOP_H_

@@ -1,0 +1,183 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+namespace spider::serve {
+
+namespace {
+
+bool KnownRequestType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MsgType::kCreateSession) &&
+         type <= static_cast<uint8_t>(MsgType::kStats);
+}
+
+bool HasSessionId(MsgType type) {
+  switch (type) {
+    case MsgType::kPing:
+    case MsgType::kStats:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool HasText(MsgType type) {
+  switch (type) {
+    case MsgType::kCreateSession:
+    case MsgType::kLoadSession:
+    case MsgType::kRoute:
+    case MsgType::kAllRoutes:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string EncodeRequest(const Request& request) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(request.type));
+  w.PutU64(request.request_id);
+  if (HasSessionId(request.type)) w.PutU64(request.session_id);
+  if (HasText(request.type)) w.PutString(request.text);
+  if (request.type == MsgType::kApplyDelta) {
+    w.PutU32(static_cast<uint32_t>(request.ops.size()));
+    for (const DeltaOp& op : request.ops) {
+      w.PutU8(op.kind);
+      w.PutString(op.fact);
+    }
+  }
+  return w.Take();
+}
+
+std::string EncodeResponse(const Response& response) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(response.type));
+  w.PutU64(response.request_id);
+  w.PutU8(static_cast<uint8_t>(response.code));
+  w.PutString(response.text);
+  return w.Take();
+}
+
+bool DecodeRequest(std::string_view payload, Request* request,
+                   std::string* error) {
+  WireReader r(payload);
+  uint8_t type = 0;
+  if (!r.ReadU8(&type) || !r.ReadU64(&request->request_id)) {
+    *error = "short frame";
+    return false;
+  }
+  if (!KnownRequestType(type)) {
+    *error = "unknown request type " + std::to_string(type);
+    return false;
+  }
+  request->type = static_cast<MsgType>(type);
+  if (HasSessionId(request->type) && !r.ReadU64(&request->session_id)) {
+    *error = "missing session id";
+    return false;
+  }
+  if (HasText(request->type) && !r.ReadString(&request->text)) {
+    *error = "missing text field";
+    return false;
+  }
+  if (request->type == MsgType::kApplyDelta) {
+    uint32_t n = 0;
+    if (!r.ReadU32(&n)) {
+      *error = "missing op count";
+      return false;
+    }
+    // Each op is at least 5 bytes (kind + empty string), so a count larger
+    // than the remaining payload is garbage — reject before reserving.
+    if (n > r.remaining()) {
+      *error = "op count exceeds payload";
+      return false;
+    }
+    request->ops.resize(n);
+    for (DeltaOp& op : request->ops) {
+      if (!r.ReadU8(&op.kind) || !r.ReadString(&op.fact)) {
+        *error = "truncated delta op";
+        return false;
+      }
+      if (op.kind > DeltaOp::kDelete) {
+        *error = "unknown delta op kind";
+        return false;
+      }
+    }
+  }
+  if (!r.AtEnd()) {
+    *error = "trailing bytes after request";
+    return false;
+  }
+  return true;
+}
+
+bool DecodeResponse(std::string_view payload, Response* response,
+                    std::string* error) {
+  WireReader r(payload);
+  uint8_t type = 0;
+  uint8_t code = 0;
+  if (!r.ReadU8(&type) || !r.ReadU64(&response->request_id) ||
+      !r.ReadU8(&code) || !r.ReadString(&response->text) || !r.AtEnd()) {
+    *error = "malformed response frame";
+    return false;
+  }
+  if (type != static_cast<uint8_t>(MsgType::kReply) &&
+      type != static_cast<uint8_t>(MsgType::kError)) {
+    *error = "unknown response type " + std::to_string(type);
+    return false;
+  }
+  response->type = static_cast<MsgType>(type);
+  response->code = static_cast<ErrorCode>(code);
+  return true;
+}
+
+Response OkResponse(uint64_t request_id, std::string text) {
+  Response response;
+  response.type = MsgType::kReply;
+  response.request_id = request_id;
+  response.text = std::move(text);
+  return response;
+}
+
+Response ErrorResponse(uint64_t request_id, ErrorCode code,
+                       std::string message) {
+  Response response;
+  response.type = MsgType::kError;
+  response.request_id = request_id;
+  response.code = code;
+  response.text = std::move(message);
+  return response;
+}
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kCreateSession: return "create_session";
+    case MsgType::kLoadSession: return "load_session";
+    case MsgType::kCloseSession: return "close_session";
+    case MsgType::kApplyDelta: return "apply_delta";
+    case MsgType::kRoute: return "route";
+    case MsgType::kAllRoutes: return "all_routes";
+    case MsgType::kLint: return "lint";
+    case MsgType::kPing: return "ping";
+    case MsgType::kStats: return "stats";
+    case MsgType::kReply: return "reply";
+    case MsgType::kError: return "error";
+  }
+  return "unknown";
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kNoSuchSession: return "no_such_session";
+    case ErrorCode::kSessionExists: return "session_exists";
+    case ErrorCode::kOverBudget: return "over_budget";
+    case ErrorCode::kEngineError: return "engine_error";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+}  // namespace spider::serve

@@ -1,0 +1,94 @@
+#ifndef SPIDER_SERVE_PROTOCOL_H_
+#define SPIDER_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace spider::serve {
+
+/// Message types of the spider::serve wire protocol. Requests are sent by
+/// clients; every request is answered by exactly one kReply or kError
+/// carrying the same request id (replies to different sessions may arrive
+/// out of order — the id is the correlation key).
+enum class MsgType : uint8_t {
+  // Requests.
+  kCreateSession = 1,  ///< text = scenario source (ParseScenario syntax).
+  kLoadSession = 2,    ///< text = workload spec, e.g. "random:7".
+  kCloseSession = 3,
+  kApplyDelta = 4,     ///< ops = source edits applied as one batch.
+  kRoute = 5,          ///< text = target fact, e.g. "T(1, 3)".
+  kAllRoutes = 6,      ///< text = target fact; reply renders the forest.
+  kLint = 7,
+  kPing = 8,
+  kStats = 9,
+  // Responses.
+  kReply = 64,
+  kError = 65,
+};
+
+/// Error codes carried by kError responses.
+enum class ErrorCode : uint8_t {
+  kNone = 0,
+  kBadRequest = 1,    ///< Undecodable payload or unknown message type.
+  kNoSuchSession = 2,
+  kSessionExists = 3,
+  kOverBudget = 4,    ///< Admission control rejected the session.
+  kEngineError = 5,   ///< SpiderError from the debugger/chase machinery.
+  kShuttingDown = 6,
+};
+
+/// One source-edit operation inside a kApplyDelta batch. The fact is
+/// written in the textual fact syntax (`Rel(v1, ...)`).
+struct DeltaOp {
+  enum : uint8_t { kInsert = 0, kDelete = 1 };
+  uint8_t kind = kInsert;
+  std::string fact;
+};
+
+/// A decoded request. `session_id` is CLIENT-chosen (any u64): the server
+/// never allocates ids, which keeps scripted replays byte-identical no
+/// matter how sessions interleave. Unused fields are empty.
+struct Request {
+  MsgType type = MsgType::kPing;
+  uint64_t request_id = 0;
+  uint64_t session_id = 0;
+  std::string text;
+  std::vector<DeltaOp> ops;
+};
+
+/// A decoded response. `text` carries the rendered result for kReply and
+/// the error message for kError.
+struct Response {
+  MsgType type = MsgType::kReply;
+  uint64_t request_id = 0;
+  ErrorCode code = ErrorCode::kNone;
+  std::string text;
+};
+
+/// Serializes a request/response into a frame payload (no length prefix —
+/// AppendFrame adds it).
+std::string EncodeRequest(const Request& request);
+std::string EncodeResponse(const Response& response);
+
+/// Decodes a frame payload. Returns false (and fills *error) on any
+/// malformed content: unknown type, short reads, trailing bytes, or an ops
+/// count that exceeds the payload.
+bool DecodeRequest(std::string_view payload, Request* request,
+                   std::string* error);
+bool DecodeResponse(std::string_view payload, Response* response,
+                    std::string* error);
+
+/// Convenience constructors.
+Response OkResponse(uint64_t request_id, std::string text);
+Response ErrorResponse(uint64_t request_id, ErrorCode code,
+                       std::string message);
+
+const char* MsgTypeName(MsgType type);
+const char* ErrorCodeName(ErrorCode code);
+
+}  // namespace spider::serve
+
+#endif  // SPIDER_SERVE_PROTOCOL_H_

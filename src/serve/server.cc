@@ -1,0 +1,316 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "base/status.h"
+#include "serve/wire.h"
+
+namespace spider::serve {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  SPIDER_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "fcntl(O_NONBLOCK) failed");
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), manager_(options_.manager) {}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  SPIDER_CHECK(!started_, "Server::Start called twice");
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  SPIDER_CHECK(listen_fd_ >= 0, "socket() failed");
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    throw SpiderError("bad bind address: " + options_.bind_address);
+  }
+  if (bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0 ||
+      listen(listen_fd_, 128) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    throw SpiderError("bind/listen failed on " + options_.bind_address + ":" +
+                      std::to_string(options_.port));
+  }
+  socklen_t len = sizeof(addr);
+  SPIDER_CHECK(getsockname(listen_fd_,
+                           reinterpret_cast<struct sockaddr*>(&addr),
+                           &len) == 0,
+               "getsockname failed");
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  // WatchFd before the loop thread exists is the one safe off-thread use.
+  loop_.WatchFd(listen_fd_, /*want_read=*/true, /*want_write=*/false,
+                [this](uint32_t) { AcceptReady(); });
+  ScheduleReap();
+  started_ = true;
+  shutting_down_.store(false, std::memory_order_relaxed);
+  loop_thread_ = std::thread([this] { loop_.Run(); });
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  shutting_down_.store(true, std::memory_order_relaxed);
+  {
+    // Pool tasks finish by Post()ing a completion; once inflight_ hits
+    // zero nothing will touch the loop again, so it is safe to stop.
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+  loop_.Stop();
+  loop_thread_.join();
+  {
+    // A completion that ran between the wait and Stop() may have started a
+    // parked request; with the loop dead no further ones can start, so one
+    // more drain bounds every pool task referencing this server.
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+  for (auto& [id, conn] : conns_) close(conn.fd);
+  conns_.clear();
+  conn_by_fd_.clear();
+  busy_sessions_.clear();
+  session_queues_.clear();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void Server::AcceptReady() {
+  for (;;) {
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    if (conns_.size() >= options_.max_connections) {
+      close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    uint64_t conn_id = next_conn_id_++;
+    conns_[conn_id] = Connection{fd, {}, {}};
+    conn_by_fd_[fd] = conn_id;
+    loop_.WatchFd(fd, /*want_read=*/true, /*want_write=*/false,
+                  [this, conn_id](uint32_t events) {
+                    ConnReady(conn_id, events);
+                  });
+  }
+}
+
+void Server::ConnReady(uint64_t conn_id, uint32_t events) {
+  if (events & kEventError) {
+    CloseConn(conn_id);
+    return;
+  }
+  if (events & kEventRead) ReadConn(conn_id);
+  // ReadConn may have closed the connection; re-check before writing.
+  if ((events & kEventWrite) && conns_.count(conn_id)) FlushConn(conn_id);
+}
+
+void Server::ReadConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  char buf[64 * 1024];
+  bool eof = false;
+  for (;;) {
+    ssize_t n = read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    // Peer closed (or hard error). Frames already buffered still execute —
+    // a request is not lost just because its sender hung up before the
+    // reply — but only after the drain below; replies go nowhere.
+    eof = true;
+    break;
+  }
+  for (;;) {
+    std::string payload;
+    FrameStatus status =
+        NextFrame(&conn.in, options_.max_payload_bytes, &payload);
+    if (status == FrameStatus::kNeedMore) {
+      // A trailing partial frame can never complete after EOF.
+      if (eof) CloseConn(conn_id);
+      return;
+    }
+    if (status != FrameStatus::kFrame) {
+      // The length prefix is garbage or oversized: the stream can no
+      // longer be re-synchronized. Tell the peer, then drop it.
+      SendResponse(conn_id,
+                   ErrorResponse(0, ErrorCode::kBadRequest,
+                                 status == FrameStatus::kOversized
+                                     ? "frame too large"
+                                     : "malformed frame"));
+      auto again = conns_.find(conn_id);
+      if (again != conns_.end()) {
+        FlushConn(conn_id);
+        CloseConn(conn_id);
+      }
+      return;
+    }
+    HandleFrame(conn_id, payload);
+    if (!conns_.count(conn_id)) return;
+    if (eof && conn.in.empty()) {
+      CloseConn(conn_id);
+      return;
+    }
+  }
+}
+
+void Server::HandleFrame(uint64_t conn_id, const std::string& payload) {
+  Request request;
+  std::string error;
+  if (!DecodeRequest(payload, &request, &error)) {
+    // Framing was intact, so the stream stays usable: reply and carry on.
+    SendResponse(conn_id, ErrorResponse(request.request_id,
+                                        ErrorCode::kBadRequest, error));
+    return;
+  }
+  if (shutting_down_.load(std::memory_order_relaxed)) {
+    SendResponse(conn_id,
+                 ErrorResponse(request.request_id, ErrorCode::kShuttingDown,
+                               "server shutting down"));
+    return;
+  }
+  Dispatch(conn_id, std::move(request));
+}
+
+void Server::Dispatch(uint64_t conn_id, Request request) {
+  // Ping/stats carry no session and are cheap: answer on the loop thread.
+  if (request.type == MsgType::kPing || request.type == MsgType::kStats) {
+    SendResponse(conn_id, manager_.Handle(request, loop_.NowMs()));
+    return;
+  }
+  uint64_t session_id = request.session_id;
+  if (busy_sessions_.count(session_id)) {
+    session_queues_[session_id].emplace_back(conn_id, std::move(request));
+    return;
+  }
+  busy_sessions_.insert(session_id);
+  Execute(conn_id, std::move(request));
+}
+
+void Server::Execute(uint64_t conn_id, Request request) {
+  uint64_t session_id = request.session_id;
+  if (options_.pool == nullptr) {
+    Response response = manager_.Handle(request, loop_.NowMs());
+    Complete(conn_id, session_id, /*serialized=*/true, std::move(response));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    ++inflight_;
+  }
+  uint64_t now_ms = loop_.NowMs();
+  options_.pool->SubmitClosure(
+      [this, conn_id, session_id, now_ms, request = std::move(request)] {
+        Response response = manager_.Handle(request, now_ms);
+        loop_.Post([this, conn_id, session_id,
+                    response = std::move(response)]() mutable {
+          Complete(conn_id, session_id, /*serialized=*/true,
+                   std::move(response));
+        });
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        --inflight_;
+        inflight_cv_.notify_all();
+      });
+}
+
+void Server::Complete(uint64_t conn_id, uint64_t session_id, bool serialized,
+                      Response response) {
+  SendResponse(conn_id, response);
+  if (!serialized) return;
+  auto queue_it = session_queues_.find(session_id);
+  if (queue_it == session_queues_.end() || queue_it->second.empty()) {
+    busy_sessions_.erase(session_id);
+    session_queues_.erase(session_id);
+    return;
+  }
+  auto [next_conn, next_request] = std::move(queue_it->second.front());
+  queue_it->second.pop_front();
+  // The session stays busy; run the parked request now.
+  Execute(next_conn, std::move(next_request));
+}
+
+void Server::SendResponse(uint64_t conn_id, const Response& response) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // Peer vanished mid-request: drop reply.
+  AppendFrame(EncodeResponse(response), &it->second.out);
+  FlushConn(conn_id);
+}
+
+void Server::FlushConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  while (!conn.out.empty()) {
+    ssize_t n = write(conn.fd, conn.out.data(), conn.out.size());
+    if (n > 0) {
+      conn.out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      loop_.UpdateFd(conn.fd, /*want_read=*/true, /*want_write=*/true);
+      return;
+    }
+    CloseConn(conn_id);
+    return;
+  }
+  loop_.UpdateFd(conn.fd, /*want_read=*/true, /*want_write=*/false);
+}
+
+void Server::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  int fd = it->second.fd;
+  loop_.ForgetFd(fd);
+  close(fd);
+  conn_by_fd_.erase(fd);
+  conns_.erase(it);
+  // Parked requests from this connection stay queued; their replies are
+  // dropped in SendResponse. Sessions they own are released normally.
+}
+
+void Server::ScheduleReap() {
+  if (options_.reap_interval_ms == 0) return;
+  loop_.AddTimer(options_.reap_interval_ms, [this] {
+    for (uint64_t id : manager_.IdleSessionIds(loop_.NowMs())) {
+      // Never reap under an in-flight or parked request.
+      if (busy_sessions_.count(id)) continue;
+      manager_.CloseSession(id);
+    }
+    ScheduleReap();
+  });
+}
+
+}  // namespace spider::serve

@@ -1,0 +1,122 @@
+#ifndef SPIDER_SERVE_SERVER_H_
+#define SPIDER_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "exec/thread_pool.h"
+#include "serve/event_loop.h"
+#include "serve/protocol.h"
+#include "serve/session_manager.h"
+
+namespace spider::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back via port() after Start().
+  uint16_t port = 0;
+
+  /// Frames whose payload exceeds this are answered with an error and the
+  /// connection is dropped (the length prefix can no longer be trusted).
+  size_t max_payload_bytes = 16u << 20;
+  size_t max_connections = 256;
+
+  /// Cadence of the idle-session reaper timer. 0 disables reaping.
+  uint64_t reap_interval_ms = 30'000;
+
+  SessionManagerOptions manager;
+
+  /// Pool for CPU-heavy request handling; replies are completed back on
+  /// the loop thread via Post(). nullptr runs requests inline on the loop
+  /// thread — correct, just serial (the single-core deployment). Must
+  /// outlive the server.
+  ThreadPool* pool = nullptr;
+};
+
+/// The spider::serve network front end: accepts connections on a
+/// single-threaded EventLoop, frames/decodes requests, serializes requests
+/// per session (different sessions proceed concurrently on the exec pool),
+/// and writes length-prefixed replies with write-buffer backpressure.
+///
+/// All connection and queue state is confined to the loop thread; the only
+/// cross-thread edges are SubmitClosure() out and Post() back in.
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the loop thread. Throws SpiderError when
+  /// the address cannot be bound.
+  void Start();
+  /// Drains in-flight pool work, stops the loop, joins, closes all
+  /// connections. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start(); resolves port 0).
+  uint16_t port() const { return port_; }
+  SessionManager& manager() { return manager_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::string in;
+    std::string out;
+  };
+
+  void AcceptReady();
+  void ConnReady(uint64_t conn_id, uint32_t events);
+  /// Reads until EAGAIN, then dispatches every complete frame.
+  void ReadConn(uint64_t conn_id);
+  /// Flushes the out buffer and toggles write interest.
+  void FlushConn(uint64_t conn_id);
+  void CloseConn(uint64_t conn_id);
+
+  void HandleFrame(uint64_t conn_id, const std::string& payload);
+  /// Runs the request now (pool or inline) or parks it behind the
+  /// session's in-flight request.
+  void Dispatch(uint64_t conn_id, Request request);
+  void Execute(uint64_t conn_id, Request request);
+  /// Loop thread: deliver the reply, release the session, start the next
+  /// queued request for it.
+  void Complete(uint64_t conn_id, uint64_t session_id, bool serialized,
+                Response response);
+  void SendResponse(uint64_t conn_id, const Response& response);
+
+  void ScheduleReap();
+
+  ServerOptions options_;
+  SessionManager manager_;
+  EventLoop loop_;
+  std::thread loop_thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> shutting_down_{false};
+
+  // Loop-thread state.
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, Connection> conns_;
+  std::unordered_map<int, uint64_t> conn_by_fd_;
+  std::unordered_set<uint64_t> busy_sessions_;
+  std::unordered_map<uint64_t, std::deque<std::pair<uint64_t, Request>>>
+      session_queues_;
+
+  // Pool work still running or about to Post() its completion.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_ = 0;
+};
+
+}  // namespace spider::serve
+
+#endif  // SPIDER_SERVE_SERVER_H_

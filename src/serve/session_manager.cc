@@ -1,0 +1,364 @@
+#include "serve/session_manager.h"
+
+#include <exception>
+#include <utility>
+
+#include "base/hash.h"
+#include "base/status.h"
+#include "debugger/linter.h"
+#include "incremental/source_delta.h"
+#include "mapping/parser.h"
+#include "workload/random_scenario.h"
+#include "workload/relational_scenario.h"
+
+namespace spider::serve {
+
+namespace {
+
+/// Parses the integer after `prefix` in `spec`; throws SpiderError on
+/// malformed specs so load errors surface as kBadRequest.
+int64_t ParseSpecInt(std::string_view token, const char* what) {
+  if (token.empty()) throw SpiderError(std::string("missing ") + what);
+  int64_t value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      throw SpiderError(std::string("malformed ") + what + ": " +
+                        std::string(token));
+    }
+    value = value * 10 + (c - '0');
+    if (value > (1ll << 40)) {
+      throw SpiderError(std::string("oversized ") + what);
+    }
+  }
+  return value;
+}
+
+std::vector<std::string_view> SplitCommas(std::string_view s) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+std::string RenderApplyResult(const ApplyDeltaResult& result) {
+  std::string out = "applied\n";
+  out += "source_inserted " + std::to_string(result.source_inserted) + "\n";
+  out += "source_deleted " + std::to_string(result.source_deleted) + "\n";
+  out += "target_added " + std::to_string(result.target_added) + "\n";
+  out += "target_removed " + std::to_string(result.target_removed) + "\n";
+  out += "target_rewritten " + std::to_string(result.target_rewritten) + "\n";
+  out += "full_rechase ";
+  out += result.full_rechase ? '1' : '0';
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+SessionManager::SessionManager(SessionManagerOptions options)
+    : options_(std::move(options)),
+      shared_cache_(options_.shared_route_cache_bytes),
+      plan_cache_(options_.plan_cache_bytes) {}
+
+SessionManager::~SessionManager() = default;
+
+Response SessionManager::Handle(const Request& request, uint64_t now_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  switch (request.type) {
+    case MsgType::kPing:
+      return OkResponse(request.request_id, "pong\n");
+    case MsgType::kStats:
+      return HandleStats(request);
+    case MsgType::kCreateSession:
+    case MsgType::kLoadSession:
+      return HandleCreate(request, now_ms);
+    case MsgType::kCloseSession:
+    case MsgType::kApplyDelta:
+    case MsgType::kRoute:
+    case MsgType::kAllRoutes:
+    case MsgType::kLint:
+      return HandleSession(request, now_ms);
+    default:
+      return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
+                           "unhandled message type");
+  }
+}
+
+Scenario SessionManager::BuildScenario(const Request& request) {
+  if (request.type == MsgType::kCreateSession) {
+    return ParseScenario(request.text);
+  }
+  // Workload specs: "random:<seed>" or "relational:<units>,<groups>,<joins>".
+  std::string_view spec = request.text;
+  size_t colon = spec.find(':');
+  std::string_view kind = spec.substr(0, colon);
+  std::string_view args =
+      colon == std::string_view::npos ? std::string_view() : spec.substr(colon + 1);
+  if (kind == "random") {
+    RandomScenarioOptions opts;
+    opts.seed = static_cast<uint64_t>(ParseSpecInt(args, "seed"));
+    // Egds can fail the chase on random data; served sessions need a
+    // solution, so the spec grammar leaves them out.
+    opts.egds = 0;
+    return BuildRandomScenario(opts);
+  }
+  if (kind == "relational") {
+    std::vector<std::string_view> parts = SplitCommas(args);
+    if (parts.size() != 3) {
+      throw SpiderError("relational spec wants <units>,<groups>,<joins>");
+    }
+    RelationalScenarioOptions opts;
+    opts.sizes.units = static_cast<int>(ParseSpecInt(parts[0], "units"));
+    opts.groups = static_cast<int>(ParseSpecInt(parts[1], "groups"));
+    opts.joins = static_cast<int>(ParseSpecInt(parts[2], "joins"));
+    if (opts.joins > 3) throw SpiderError("relational joins must be 0..3");
+    return BuildRelationalScenario(opts);
+  }
+  throw SpiderError("unknown workload spec: " + request.text);
+}
+
+Response SessionManager::HandleCreate(const Request& request, uint64_t now_ms) {
+  {
+    // Reserve the id under the lock; the expensive parse + chase runs
+    // unlocked and the placeholder blocks a duplicate create racing in.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sessions_.count(request.session_id)) {
+      return ErrorResponse(request.request_id, ErrorCode::kSessionExists,
+                           "session id already in use");
+    }
+    if (sessions_.size() >= options_.max_sessions ||
+        stats_.approx_bytes >= options_.total_budget_bytes) {
+      ++stats_.rejected_over_budget;
+      return ErrorResponse(request.request_id, ErrorCode::kOverBudget,
+                           "session limit reached");
+    }
+    sessions_[request.session_id] = std::make_shared<ServerSession>();
+  }
+
+  Scenario scenario;
+  try {
+    scenario = BuildScenario(request);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(request.session_id);
+    return ErrorResponse(request.request_id, ErrorCode::kBadRequest, e.what());
+  }
+
+  DebugSessionOptions opts = options_.session;
+  opts.plan_cache = &plan_cache_;
+  opts.shared_route_cache = &shared_cache_;
+  uint64_t domain = request.type == MsgType::kCreateSession
+                        ? Fnv1a64("create")
+                        : Fnv1a64("load");
+  opts.state_key = Fnv1a64(request.text, domain);
+
+  std::unique_ptr<DebugSession> session;
+  try {
+    session = std::make_unique<DebugSession>(std::move(scenario),
+                                             std::move(opts));
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.erase(request.session_id);
+    ++stats_.engine_errors;
+    return ErrorResponse(request.request_id, ErrorCode::kEngineError, e.what());
+  }
+
+  size_t bytes = EstimateBytes(*session);
+  std::string reply = "created\ntarget_tuples " +
+                      std::to_string(session->scenario().target->TotalTuples()) +
+                      "\negd_entangled ";
+  reply += session->egd_entangled() ? '1' : '0';
+  reply += '\n';
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes > options_.session_budget_bytes ||
+      stats_.approx_bytes + bytes > options_.total_budget_bytes) {
+    plan_cache_.Forget(session->scenario().source.get());
+    plan_cache_.Forget(session->scenario().target.get());
+    sessions_.erase(request.session_id);
+    ++stats_.rejected_over_budget;
+    return ErrorResponse(request.request_id, ErrorCode::kOverBudget,
+                         "session exceeds memory budget");
+  }
+  ServerSession& entry = *sessions_[request.session_id];
+  for (const auto& [id, name] : session->scenario().null_names) {
+    entry.null_ids[name] = id;
+  }
+  entry.session = std::move(session);
+  entry.last_active_ms = now_ms;
+  entry.approx_bytes = bytes;
+  stats_.approx_bytes += bytes;
+  ++stats_.sessions_created;
+  stats_.open_sessions = sessions_.size();
+  return OkResponse(request.request_id, std::move(reply));
+}
+
+std::shared_ptr<SessionManager::ServerSession> SessionManager::Find(
+    uint64_t session_id, uint64_t now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  // A placeholder (create still in flight) is not a usable session.
+  if (it == sessions_.end() || it->second->session == nullptr) return nullptr;
+  it->second->last_active_ms = now_ms;  // Under mu_: the reaper reads this.
+  return it->second;
+}
+
+Response SessionManager::HandleSession(const Request& request,
+                                       uint64_t now_ms) {
+  std::shared_ptr<ServerSession> entry = Find(request.session_id, now_ms);
+  if (entry == nullptr) {
+    return ErrorResponse(request.request_id, ErrorCode::kNoSuchSession,
+                         "no such session");
+  }
+
+  if (request.type == MsgType::kCloseSession) {
+    CloseSession(request.session_id);
+    return OkResponse(request.request_id, "closed\n");
+  }
+
+  DebugSession& session = *entry->session;
+  if (request.type == MsgType::kApplyDelta) {
+    SourceDelta delta;
+    try {
+      for (const DeltaOp& op : request.ops) {
+        std::string relation;
+        Tuple tuple = ParseFactText(op.fact, &relation, entry->null_ids);
+        if (op.kind == DeltaOp::kInsert) {
+          delta.Insert(std::move(relation), std::move(tuple));
+        } else {
+          delta.Delete(std::move(relation), std::move(tuple));
+        }
+      }
+    } catch (const std::exception& e) {
+      return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
+                           e.what());
+    }
+    try {
+      ApplyDeltaResult result = session.Apply(delta);
+      size_t bytes = EstimateBytes(session);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.approx_bytes += bytes - entry->approx_bytes;
+        entry->approx_bytes = bytes;
+      }
+      return OkResponse(request.request_id, RenderApplyResult(result));
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.engine_errors;
+      return ErrorResponse(request.request_id, ErrorCode::kEngineError,
+                           e.what());
+    }
+  }
+
+  try {
+    switch (request.type) {
+      case MsgType::kRoute:
+        return OkResponse(request.request_id,
+                          session.debugger().Render(
+                              session.RouteFor(request.text)));
+      case MsgType::kAllRoutes:
+        return OkResponse(request.request_id,
+                          session.debugger().Render(
+                              session.ForestFor(request.text)));
+      case MsgType::kLint:
+        return OkResponse(
+            request.request_id,
+            RenderLintFindings(
+                LintMapping(*session.scenario().mapping)));
+      default:
+        return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
+                             "unhandled session message type");
+    }
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.engine_errors;
+    return ErrorResponse(request.request_id, ErrorCode::kEngineError,
+                         e.what());
+  }
+}
+
+Response SessionManager::HandleStats(const Request& request) {
+  SessionManagerStats s = stats();
+  SharedRouteCacheStats c = shared_cache_.stats();
+  std::string out;
+  out += "sessions " + std::to_string(s.open_sessions) + "\n";
+  out += "requests " + std::to_string(s.requests) + "\n";
+  out += "created " + std::to_string(s.sessions_created) + "\n";
+  out += "closed " + std::to_string(s.sessions_closed) + "\n";
+  out += "rejected " + std::to_string(s.rejected_over_budget) + "\n";
+  out += "engine_errors " + std::to_string(s.engine_errors) + "\n";
+  out += "approx_bytes " + std::to_string(s.approx_bytes) + "\n";
+  out += "shared_route_hits " + std::to_string(c.route_hits) + "\n";
+  out += "shared_route_misses " + std::to_string(c.route_misses) + "\n";
+  out += "shared_forest_hits " + std::to_string(c.forest_hits) + "\n";
+  out += "shared_forest_misses " + std::to_string(c.forest_misses) + "\n";
+  out += "shared_bytes " + std::to_string(c.bytes) + "\n";
+  out += "shared_evictions " + std::to_string(c.evictions) + "\n";
+  out += "plan_cache_bytes " + std::to_string(plan_cache_.bytes()) + "\n";
+  out += "plan_cache_evictions " + std::to_string(plan_cache_.evictions()) +
+         "\n";
+  return OkResponse(request.request_id, std::move(out));
+}
+
+std::vector<uint64_t> SessionManager::IdleSessionIds(uint64_t now_ms) const {
+  std::vector<uint64_t> ids;
+  if (options_.idle_timeout_ms == 0) return ids;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, entry] : sessions_) {
+    if (entry->session == nullptr) continue;  // Create in flight.
+    if (entry->last_active_ms + options_.idle_timeout_ms <= now_ms) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+bool SessionManager::CloseSession(uint64_t session_id) {
+  std::shared_ptr<ServerSession> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end() || it->second->session == nullptr) return false;
+    entry = std::move(it->second);
+    sessions_.erase(it);
+    stats_.approx_bytes -= entry->approx_bytes;
+    ++stats_.sessions_closed;
+    stats_.open_sessions = sessions_.size();
+  }
+  // The plan tier must drop entries keyed by the dying instances before a
+  // later session can reuse their addresses.
+  plan_cache_.Forget(entry->session->scenario().source.get());
+  plan_cache_.Forget(entry->session->scenario().target.get());
+  return true;
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SessionManager::EstimateBytes(const DebugSession& session) {
+  size_t total = 1u << 16;  // Fixed overhead: mapping, caches, debugger.
+  for (const Instance* instance : {session.scenario().source.get(),
+                                   session.scenario().target.get()}) {
+    if (instance == nullptr) continue;
+    const Schema& schema = instance->schema();
+    for (size_t r = 0; r < instance->NumRelations(); ++r) {
+      auto rel = static_cast<RelationId>(r);
+      total += instance->NumTuples(rel) * (schema.relation(rel).arity() * 8 + 24);
+    }
+  }
+  return total;
+}
+
+}  // namespace spider::serve

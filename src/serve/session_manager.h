@@ -1,0 +1,122 @@
+#ifndef SPIDER_SERVE_SESSION_MANAGER_H_
+#define SPIDER_SERVE_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "debugger/debug_session.h"
+#include "incremental/shared_route_cache.h"
+#include "query/plan_cache.h"
+#include "serve/protocol.h"
+
+namespace spider::serve {
+
+struct SessionManagerOptions {
+  /// Admission control: a create/load is rejected with kOverBudget once
+  /// this many sessions are open or the byte estimate would cross the
+  /// total budget.
+  size_t max_sessions = 128;
+  size_t session_budget_bytes = 64u << 20;
+  size_t total_budget_bytes = 1u << 30;
+
+  /// Sessions idle longer than this are eligible for reaping (the server
+  /// drives the actual reap from its timer queue). 0 disables.
+  uint64_t idle_timeout_ms = 5 * 60 * 1000;
+
+  /// Budgets of the shared cache tiers every session is wired into.
+  size_t shared_route_cache_bytes = 64u << 20;
+  size_t plan_cache_bytes = 8u << 20;
+
+  /// Base options handed to each DebugSession (exec pool, eval knobs, ...).
+  /// plan_cache / shared_route_cache / state_key are overwritten per
+  /// session by the manager.
+  DebugSessionOptions session;
+};
+
+struct SessionManagerStats {
+  uint64_t requests = 0;
+  uint64_t sessions_created = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t rejected_over_budget = 0;
+  uint64_t engine_errors = 0;
+  size_t open_sessions = 0;
+  size_t approx_bytes = 0;  ///< Sum of per-session instance estimates.
+};
+
+/// Maps session ids to DebugSession instances and executes decoded requests
+/// against them: the protocol-to-engine bridge of spider::serve, usable
+/// without any server (the differential test drives it in-process).
+///
+/// Ids are client-chosen. The manager owns the shared cache tiers
+/// (SharedRouteCache + bounded PlanCache) and wires every session into
+/// them; when a session closes, its instances are Forget()ed from the plan
+/// tier so address reuse can never serve a stale plan.
+///
+/// Thread-safety: the session map and stats are mutex-guarded, so requests
+/// for DIFFERENT sessions may be handled concurrently (the engines
+/// themselves share only the internally-locked cache tiers). Requests for
+/// the SAME session must be serialized by the caller — the server's
+/// per-session queues guarantee that.
+class SessionManager {
+ public:
+  explicit SessionManager(SessionManagerOptions options = {});
+  ~SessionManager();
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Executes one request and returns its reply. Never throws: engine
+  /// errors come back as kError responses. `now_ms` stamps the session's
+  /// last-active time (pass EventLoop::NowMs() or 0).
+  Response Handle(const Request& request, uint64_t now_ms);
+
+  /// Ids of sessions idle since before `now_ms - idle_timeout_ms`. The
+  /// server filters out sessions with in-flight work, then closes the rest
+  /// via CloseSession().
+  std::vector<uint64_t> IdleSessionIds(uint64_t now_ms) const;
+
+  /// Closes a session (no-op on unknown ids). Returns true when a session
+  /// was actually closed.
+  bool CloseSession(uint64_t session_id);
+
+  SessionManagerStats stats() const;
+  SharedRouteCache& shared_cache() { return shared_cache_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+  const SessionManagerOptions& options() const { return options_; }
+
+ private:
+  struct ServerSession {
+    std::unique_ptr<DebugSession> session;
+    /// name -> id for the scenario's declared nulls (ParseFactText input;
+    /// chase-invented nulls resolve through their default N<id> names).
+    std::unordered_map<std::string, int64_t> null_ids;
+    uint64_t last_active_ms = 0;
+    size_t approx_bytes = 0;
+  };
+
+  Response HandleCreate(const Request& request, uint64_t now_ms);
+  Response HandleSession(const Request& request, uint64_t now_ms);
+  Response HandleStats(const Request& request);
+
+  /// Builds the opening scenario for kCreateSession (scenario text) or
+  /// kLoadSession (workload spec). Throws SpiderError on bad input.
+  static Scenario BuildScenario(const Request& request);
+
+  std::shared_ptr<ServerSession> Find(uint64_t session_id, uint64_t now_ms);
+  static size_t EstimateBytes(const DebugSession& session);
+
+  SessionManagerOptions options_;
+  SharedRouteCache shared_cache_;
+  PlanCache plan_cache_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<ServerSession>> sessions_;
+  SessionManagerStats stats_;
+};
+
+}  // namespace spider::serve
+
+#endif  // SPIDER_SERVE_SESSION_MANAGER_H_

@@ -1,0 +1,86 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+namespace spider::serve {
+
+void WireWriter::PutU32(uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(bytes, 4);
+}
+
+void WireWriter::PutU64(uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  buf_.append(bytes, 8);
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+bool WireReader::ReadU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool WireReader::ReadU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool WireReader::ReadU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool WireReader::ReadString(std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(&len)) return false;
+  if (remaining() < len) return false;
+  s->assign(data_.substr(pos_, len));
+  pos_ += len;
+  return true;
+}
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  out->append(bytes, 4);
+  out->append(payload.data(), payload.size());
+}
+
+FrameStatus NextFrame(std::string* buffer, size_t max_payload,
+                      std::string* payload) {
+  if (buffer->size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>((*buffer)[i])) << (8 * i);
+  }
+  if (len < kMinPayloadBytes) return FrameStatus::kMalformed;
+  if (len > max_payload) return FrameStatus::kOversized;
+  if (buffer->size() < kFrameHeaderBytes + len) return FrameStatus::kNeedMore;
+  payload->assign(*buffer, kFrameHeaderBytes, len);
+  buffer->erase(0, kFrameHeaderBytes + len);
+  return FrameStatus::kFrame;
+}
+
+}  // namespace spider::serve

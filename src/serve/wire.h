@@ -1,0 +1,71 @@
+#ifndef SPIDER_SERVE_WIRE_H_
+#define SPIDER_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace spider::serve {
+
+/// Little-endian byte-buffer writer for the spider::serve wire protocol.
+/// Strings are written as u32 length + raw bytes.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutString(std::string_view s);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a received payload. Every accessor returns
+/// false instead of reading past the end, so truncated or garbage frames
+/// decode into a clean protocol error — never out-of-bounds access. A
+/// per-string sanity cap rejects length fields pointing past the payload.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadString(std::string* s);
+
+  /// True when the whole payload was consumed — trailing junk is a
+  /// protocol error for fixed-layout messages.
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Frame layout: a u32 length prefix (bytes that follow it) and then the
+/// payload. The payload of every message starts with [type u8][request_id
+/// u64]; the rest is message-specific (see protocol.h).
+inline constexpr size_t kFrameHeaderBytes = 4;
+inline constexpr size_t kMinPayloadBytes = 9;  ///< type + request id.
+
+/// Appends a length-prefixed frame carrying `payload` to `out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Attempts to split one frame off the front of `buffer`. Returns:
+///   * kFrame     — *payload holds the frame payload, which was consumed
+///                  from the buffer;
+///   * kNeedMore  — the buffer holds only a partial frame, read more bytes;
+///   * kOversized — the length prefix exceeds `max_payload` (the connection
+///                  must be dropped: the stream cannot be resynchronized);
+///   * kMalformed — the length prefix is below the minimum payload size.
+enum class FrameStatus { kFrame, kNeedMore, kOversized, kMalformed };
+FrameStatus NextFrame(std::string* buffer, size_t max_payload,
+                      std::string* payload);
+
+}  // namespace spider::serve
+
+#endif  // SPIDER_SERVE_WIRE_H_

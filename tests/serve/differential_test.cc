@@ -1,0 +1,171 @@
+// Differential oracle: N client threads x M sessions replaying the same
+// script concurrently over loopback must produce responses byte-identical
+// to the same script run sequentially against an in-process
+// SessionManager. This is the end-to-end determinism claim of the shared
+// cache tiers: concurrency and cross-session cache hits must never change
+// a single reply byte.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/exec_options.h"
+#include "exec/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/session_manager.h"
+#include "testing/fixtures.h"
+
+namespace spider::serve {
+namespace {
+
+/// One scripted step; session_id is filled in per replayed session.
+struct Step {
+  MsgType type;
+  std::string text;
+  std::vector<DeltaOp> ops;
+};
+
+/// The probe script: creation, cached and uncached probes, an edit, probes
+/// whose answers change with the edit, a lint, and a deterministic engine
+/// error. Every reply participates in the comparison.
+std::vector<Step> Script() {
+  return {
+      {MsgType::kCreateSession, testing::TransitiveClosureText(), {}},
+      {MsgType::kRoute, "T(1, 3)", {}},
+      {MsgType::kAllRoutes, "T(1, 3)", {}},
+      {MsgType::kApplyDelta, "", {DeltaOp{DeltaOp::kInsert, "S(3, 4)"}}},
+      {MsgType::kRoute, "T(1, 4)", {}},
+      {MsgType::kAllRoutes, "T(2, 4)", {}},
+      {MsgType::kLint, "", {}},
+      {MsgType::kRoute, "T(9, 9)", {}},  // No such fact: engine error.
+      {MsgType::kRoute, "T(1, 3)", {}},
+  };
+}
+
+/// A reply's comparable identity.
+struct Reply {
+  MsgType type;
+  ErrorCode code;
+  std::string text;
+  friend bool operator==(const Reply&, const Reply&) = default;
+};
+
+Reply ToReply(const Response& response) {
+  return Reply{response.type, response.code, response.text};
+}
+
+/// The oracle: the script against a fresh in-process manager, no sockets,
+/// no concurrency.
+std::vector<Reply> SequentialOracle() {
+  SessionManager manager;
+  std::vector<Reply> replies;
+  uint64_t request_id = 1;
+  for (const Step& step : Script()) {
+    Request request;
+    request.type = step.type;
+    request.request_id = request_id++;
+    request.session_id = 1;
+    request.text = step.text;
+    request.ops = step.ops;
+    replies.push_back(ToReply(manager.Handle(request, 0)));
+  }
+  return replies;
+}
+
+TEST(DifferentialTest, ConcurrentLoopbackMatchesSequentialOracle) {
+  std::vector<Reply> oracle = SequentialOracle();
+  ASSERT_EQ(oracle.size(), Script().size());
+  ASSERT_EQ(oracle[0].type, MsgType::kReply) << oracle[0].text;
+
+  ServerOptions options;
+  options.manager.max_sessions = 80;
+  ExecOptions exec;
+  exec.num_threads = 2;
+  options.pool = ThreadPool::For(exec);
+  Server server(options);
+  server.Start();
+
+  constexpr int kThreads = 8;
+  constexpr int kSessionsPerThread = 8;  // 64 sessions total.
+  std::vector<std::vector<std::vector<Reply>>> replies(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      client.Connect("127.0.0.1", server.port());
+      replies[t].resize(kSessionsPerThread);
+      // Interleave sessions within the thread too: each session advances
+      // one script step per round, so cross-session cache interleavings
+      // happen at every step boundary.
+      std::vector<Step> script = Script();
+      for (size_t step = 0; step < script.size(); ++step) {
+        for (int s = 0; s < kSessionsPerThread; ++s) {
+          uint64_t session_id =
+              static_cast<uint64_t>(t) * kSessionsPerThread + s + 1;
+          Request request;
+          request.type = script[step].type;
+          request.session_id = session_id;
+          request.text = script[step].text;
+          request.ops = script[step].ops;
+          replies[t][s].push_back(ToReply(client.Call(request)));
+        }
+      }
+      client.Close();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int s = 0; s < kSessionsPerThread; ++s) {
+      ASSERT_EQ(replies[t][s].size(), oracle.size());
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ(replies[t][s][i], oracle[i])
+            << "thread " << t << " session " << s << " step " << i
+            << " diverged: got [" << replies[t][s][i].text << "] want ["
+            << oracle[i].text << "]";
+      }
+    }
+  }
+
+  // The point of the exercise: identical histories actually shared work.
+  SharedRouteCacheStats cache = server.manager().shared_cache().stats();
+  EXPECT_GT(cache.route_hits, 0u);
+  server.Stop();
+}
+
+TEST(DifferentialTest, InProcessConcurrentManagerMatchesOracle) {
+  // The same property one layer down: concurrent threads against ONE
+  // SessionManager (no sockets), as the server's pool would drive it.
+  std::vector<Reply> oracle = SequentialOracle();
+
+  SessionManager manager;
+  constexpr int kThreads = 8;
+  std::vector<std::vector<Reply>> replies(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t request_id = 1;
+      for (const Step& step : Script()) {
+        Request request;
+        request.type = step.type;
+        request.request_id = request_id++;
+        request.session_id = static_cast<uint64_t>(t) + 1;
+        request.text = step.text;
+        request.ops = step.ops;
+        replies[t].push_back(ToReply(manager.Handle(request, 0)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(replies[t].size(), oracle.size());
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      EXPECT_EQ(replies[t][i], oracle[i]) << "thread " << t << " step " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spider::serve

@@ -1,0 +1,199 @@
+// Server integration over real loopback sockets: lifecycle, pipelining,
+// per-session serialization, 64 concurrent sessions with shared-cache
+// reuse, and idle reaping off the timer queue.
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/exec_options.h"
+#include "exec/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "testing/fixtures.h"
+
+namespace spider::serve {
+namespace {
+
+ServerOptions PooledOptions() {
+  ServerOptions options;
+  ExecOptions exec;
+  exec.num_threads = 2;  // Exercise the pool handoff even on 1-core hosts.
+  options.pool = ThreadPool::For(exec);
+  return options;
+}
+
+TEST(ServerTest, StartStopAndEphemeralPort) {
+  Server server(PooledOptions());
+  server.Start();
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+  server.Stop();  // Idempotent.
+}
+
+TEST(ServerTest, PingAndStatsOverLoopback) {
+  Server server(PooledOptions());
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  Response pong = client.Ping();
+  ASSERT_EQ(pong.type, MsgType::kReply);
+  EXPECT_EQ(pong.text, "pong\n");
+  Response stats = client.Stats();
+  EXPECT_NE(stats.text.find("sessions 0\n"), std::string::npos);
+  client.Close();
+  server.Stop();
+}
+
+TEST(ServerTest, SessionLifecycleOverLoopback) {
+  Server server(PooledOptions());
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+
+  Response created =
+      client.CreateSession(7, testing::TransitiveClosureText());
+  ASSERT_EQ(created.type, MsgType::kReply) << created.text;
+
+  Response route = client.Route(7, "T(1, 3)");
+  ASSERT_EQ(route.type, MsgType::kReply) << route.text;
+
+  Response applied = client.ApplyDelta(
+      7, {DeltaOp{DeltaOp::kInsert, "S(3, 4)"}});
+  ASSERT_EQ(applied.type, MsgType::kReply) << applied.text;
+
+  Response after = client.Route(7, "T(1, 4)");
+  ASSERT_EQ(after.type, MsgType::kReply) << after.text;
+
+  Response missing = client.Route(99, "T(1, 3)");
+  EXPECT_EQ(missing.type, MsgType::kError);
+  EXPECT_EQ(missing.code, ErrorCode::kNoSuchSession);
+
+  Response closed = client.CloseSession(7);
+  EXPECT_EQ(closed.text, "closed\n");
+  client.Close();
+  server.Stop();
+}
+
+TEST(ServerTest, PipelinedRequestsReplyInOrder) {
+  Server server(PooledOptions());
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  Response created =
+      client.CreateSession(1, testing::TransitiveClosureText());
+  ASSERT_EQ(created.type, MsgType::kReply) << created.text;
+
+  // Fire several probes for ONE session without reading replies: the
+  // server must serialize them and reply in arrival order.
+  std::string burst;
+  for (uint64_t id = 10; id < 20; ++id) {
+    Request request;
+    request.type = MsgType::kRoute;
+    request.request_id = id;
+    request.session_id = 1;
+    request.text = "T(1, 3)";
+    AppendFrame(EncodeRequest(request), &burst);
+  }
+  client.SendRaw(burst);
+  std::string first_text;
+  for (uint64_t id = 10; id < 20; ++id) {
+    Response response;
+    ASSERT_TRUE(client.ReadResponse(&response));
+    EXPECT_EQ(response.request_id, id);
+    ASSERT_EQ(response.type, MsgType::kReply) << response.text;
+    if (first_text.empty()) {
+      first_text = response.text;
+    } else {
+      EXPECT_EQ(response.text, first_text);
+    }
+  }
+  client.Close();
+  server.Stop();
+}
+
+TEST(ServerTest, SixtyFourConcurrentSessions) {
+  ServerOptions options = PooledOptions();
+  options.manager.max_sessions = 80;
+  Server server(options);
+  server.Start();
+
+  constexpr int kThreads = 4;
+  constexpr int kSessionsPerThread = 16;  // 64 sessions total.
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      client.Connect("127.0.0.1", server.port());
+      for (int s = 0; s < kSessionsPerThread; ++s) {
+        uint64_t id = static_cast<uint64_t>(t) * kSessionsPerThread + s + 1;
+        if (client.CreateSession(id, testing::TransitiveClosureText()).type !=
+            MsgType::kReply) {
+          ++failures[t];
+        }
+      }
+      // All 64 sessions are now open simultaneously; probe each.
+      for (int s = 0; s < kSessionsPerThread; ++s) {
+        uint64_t id = static_cast<uint64_t>(t) * kSessionsPerThread + s + 1;
+        Response route = client.Route(id, "T(1, 3)");
+        if (route.type != MsgType::kReply) ++failures[t];
+        Response forest = client.AllRoutes(id, "T(1, 3)");
+        if (forest.type != MsgType::kReply) ++failures[t];
+      }
+      client.Close();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+
+  EXPECT_EQ(server.manager().stats().open_sessions, 64u);
+  // Identical histories: the shared tier must have produced cross-session
+  // hits (at most a few concurrent first-probes can miss).
+  SharedRouteCacheStats cache = server.manager().shared_cache().stats();
+  EXPECT_GT(cache.route_hits, 0u);
+  EXPECT_GT(cache.forest_hits, 0u);
+  server.Stop();
+}
+
+TEST(ServerTest, IdleSessionsAreReaped) {
+  ServerOptions options = PooledOptions();
+  options.reap_interval_ms = 20;
+  options.manager.idle_timeout_ms = 40;
+  Server server(options);
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.CreateSession(1, testing::TransitiveClosureText()).type,
+            MsgType::kReply);
+
+  // Wait out the idle timeout plus a couple of reap ticks.
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (server.manager().stats().open_sessions == 0) break;
+  }
+  EXPECT_EQ(server.manager().stats().open_sessions, 0u);
+  Response gone = client.Route(1, "T(1, 3)");
+  EXPECT_EQ(gone.code, ErrorCode::kNoSuchSession);
+  client.Close();
+  server.Stop();
+}
+
+TEST(ServerTest, InlineModeWithoutPool) {
+  ServerOptions options;  // pool == nullptr: loop-thread handling.
+  Server server(options);
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.CreateSession(1, testing::TransitiveClosureText()).type,
+            MsgType::kReply);
+  EXPECT_EQ(client.Route(1, "T(1, 3)").type, MsgType::kReply);
+  client.Close();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace spider::serve

@@ -1,0 +1,184 @@
+// Framing and payload encoding: writer/reader round trips, bounds
+// checking, and NextFrame's handling of partial, oversized, and garbage
+// length prefixes.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+#include "serve/wire.h"
+
+namespace spider::serve {
+namespace {
+
+TEST(WireTest, WriterReaderRoundTrip) {
+  WireWriter w;
+  w.PutU8(7);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutString("hello");
+  std::string bytes = w.Take();
+
+  WireReader r(bytes);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  std::string s;
+  ASSERT_TRUE(r.ReadU8(&u8));
+  ASSERT_TRUE(r.ReadU32(&u32));
+  ASSERT_TRUE(r.ReadU64(&u64));
+  ASSERT_TRUE(r.ReadString(&s));
+  EXPECT_EQ(u8, 7u);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, ReaderRejectsShortReads) {
+  std::string two_bytes = "\x01\x02";
+  WireReader r(two_bytes);
+  uint32_t u32 = 0;
+  EXPECT_FALSE(r.ReadU32(&u32));
+  uint64_t u64 = 0;
+  EXPECT_FALSE(r.ReadU64(&u64));
+  // A failed read leaves the position unchanged; the bytes remain.
+  uint8_t u8 = 0;
+  EXPECT_TRUE(r.ReadU8(&u8));
+  EXPECT_EQ(u8, 1u);
+}
+
+TEST(WireTest, ReaderRejectsStringLengthBeyondPayload) {
+  WireWriter w;
+  w.PutU32(1000);  // Claims 1000 bytes follow; none do.
+  std::string bytes = w.Take();
+  WireReader r(bytes);
+  std::string s;
+  EXPECT_FALSE(r.ReadString(&s));
+}
+
+TEST(WireTest, NextFrameNeedsHeaderThenBody) {
+  Request ping;
+  ping.type = MsgType::kPing;
+  ping.request_id = 42;
+  std::string frame;
+  AppendFrame(EncodeRequest(ping), &frame);
+
+  std::string buffer;
+  std::string payload;
+  // Feed one byte at a time: kNeedMore until the last byte lands.
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    buffer.push_back(frame[i]);
+    EXPECT_EQ(NextFrame(&buffer, 1 << 20, &payload), FrameStatus::kNeedMore);
+  }
+  buffer.push_back(frame.back());
+  ASSERT_EQ(NextFrame(&buffer, 1 << 20, &payload), FrameStatus::kFrame);
+  EXPECT_TRUE(buffer.empty());
+
+  Request decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRequest(payload, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.type, MsgType::kPing);
+  EXPECT_EQ(decoded.request_id, 42u);
+}
+
+TEST(WireTest, NextFrameFlagsOversizedAndRunt) {
+  std::string buffer;
+  AppendFrame(std::string(100, 'x'), &buffer);
+  std::string payload;
+  EXPECT_EQ(NextFrame(&buffer, /*max_payload=*/50, &payload),
+            FrameStatus::kOversized);
+
+  // A length below the minimum payload (type + request id) is garbage.
+  std::string runt;
+  AppendFrame("abc", &runt);
+  EXPECT_EQ(NextFrame(&runt, 1 << 20, &payload), FrameStatus::kMalformed);
+}
+
+TEST(WireTest, BackToBackFramesDrainInOrder) {
+  std::string buffer;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    Request ping;
+    ping.type = MsgType::kPing;
+    ping.request_id = id;
+    AppendFrame(EncodeRequest(ping), &buffer);
+  }
+  for (uint64_t id = 1; id <= 3; ++id) {
+    std::string payload;
+    ASSERT_EQ(NextFrame(&buffer, 1 << 20, &payload), FrameStatus::kFrame);
+    Request decoded;
+    std::string error;
+    ASSERT_TRUE(DecodeRequest(payload, &decoded, &error)) << error;
+    EXPECT_EQ(decoded.request_id, id);
+  }
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(ProtocolTest, RequestRoundTripAllFields) {
+  Request request;
+  request.type = MsgType::kApplyDelta;
+  request.request_id = 99;
+  request.session_id = 123456789;
+  request.ops.push_back(DeltaOp{DeltaOp::kInsert, "S(1, 2)"});
+  request.ops.push_back(DeltaOp{DeltaOp::kDelete, "S(2, 3)"});
+
+  Request decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(request), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.type, MsgType::kApplyDelta);
+  EXPECT_EQ(decoded.request_id, 99u);
+  EXPECT_EQ(decoded.session_id, 123456789u);
+  ASSERT_EQ(decoded.ops.size(), 2u);
+  EXPECT_EQ(decoded.ops[0].kind, DeltaOp::kInsert);
+  EXPECT_EQ(decoded.ops[0].fact, "S(1, 2)");
+  EXPECT_EQ(decoded.ops[1].kind, DeltaOp::kDelete);
+  EXPECT_EQ(decoded.ops[1].fact, "S(2, 3)");
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  Response response = ErrorResponse(7, ErrorCode::kNoSuchSession, "gone");
+  Response decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeResponse(EncodeResponse(response), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.type, MsgType::kError);
+  EXPECT_EQ(decoded.request_id, 7u);
+  EXPECT_EQ(decoded.code, ErrorCode::kNoSuchSession);
+  EXPECT_EQ(decoded.text, "gone");
+}
+
+TEST(ProtocolTest, DecodeRejectsGarbage) {
+  Request request;
+  std::string error;
+  EXPECT_FALSE(DecodeRequest("", &request, &error));
+  EXPECT_FALSE(DecodeRequest("\xff\x00\x01", &request, &error));
+
+  // Unknown message type.
+  WireWriter w;
+  w.PutU8(200);
+  w.PutU64(1);
+  EXPECT_FALSE(DecodeRequest(w.Take(), &request, &error));
+
+  // Trailing bytes after a valid ping.
+  Request ping;
+  ping.type = MsgType::kPing;
+  ping.request_id = 1;
+  std::string payload = EncodeRequest(ping) + "extra";
+  EXPECT_FALSE(DecodeRequest(payload, &request, &error));
+}
+
+TEST(ProtocolTest, DecodeRejectsAbsurdOpCount) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kApplyDelta));
+  w.PutU64(1);   // request id
+  w.PutU64(2);   // session id
+  w.PutU32(0xffffffff);  // op count far beyond the payload
+  Request request;
+  std::string error;
+  EXPECT_FALSE(DecodeRequest(w.Take(), &request, &error));
+  EXPECT_EQ(error, "op count exceeds payload");
+}
+
+}  // namespace
+}  // namespace spider::serve
