@@ -8,6 +8,15 @@
 // throughput, client-observed p50/p95/p99 from the spider::obs
 // histograms, and the shared-cache hit counters.
 //
+// A second, deliberately hostile phase then runs against a fresh server
+// with tight limits: more session opens than admission control permits,
+// every session shared across every client (requests park behind each
+// other), a slice of 1ms deadlines, explicit cancels of parked requests,
+// and a slow reader pipelining multi-megabyte forest replies it refuses
+// to drain. The "overload" JSON section records that shedding worked:
+// nonzero rejections, bounded per-connection backlog (peak under the
+// hard cap), and the p99 of *accepted* requests still close to baseline.
+//
 // Usage: bench_serve [--smoke] [out.json] [obs flags]
 
 #include <chrono>
@@ -203,6 +212,322 @@ void RunClient(uint16_t port, int thread_index,
   client.Close();
 }
 
+// ---------------------------------------------------------------------------
+// Overload phase.
+
+/// Session opens attempted beyond the manager's max_sessions budget; all
+/// must be rejected kOverBudget.
+constexpr uint64_t kOverloadExtraSessions = 4;
+/// Write-backpressure caps for the overload server: small enough that a
+/// slow reader's pipelined forest replies suspend its reads, large enough
+/// that no well-behaved client ever notices.
+constexpr size_t kOverloadSoftCapBytes = 256u << 10;
+constexpr size_t kOverloadHardCapBytes = 64u << 20;
+/// Transitive-closure chain size for the slow-reader session: its
+/// all-routes reply renders to ~2 MB, far past loopback socket buffering.
+constexpr int kSlowReaderChain = 40;
+/// Short-deadline routes pipelined behind a busy all-routes head.
+constexpr int kDeadlineBurstSize = 16;
+
+/// Transitive-closure chain S(1,2)..S(n-1,n) with the full closure as the
+/// target solution (same scenario the cancellation tests use): all-routes
+/// on T(1,n) is slow to compute and huge to render.
+std::string ChainScenario(int n) {
+  std::string text =
+      "source schema { S(x, y); }\n"
+      "target schema { T(x, y); }\n"
+      "sigma1: S(x,y) -> T(x,y);\n"
+      "sigma2: T(x,y) & T(y,z) -> T(x,z);\n"
+      "source instance { ";
+  for (int i = 1; i < n; ++i) {
+    text += "S(" + std::to_string(i) + "," + std::to_string(i + 1) + "); ";
+  }
+  text += "}\ntarget instance {\n";
+  for (int i = 1; i <= n; ++i) {
+    for (int j = i + 1; j <= n; ++j) {
+      text += "T(" + std::to_string(i) + "," + std::to_string(j) + ");\n";
+    }
+  }
+  text += "}\n";
+  return text;
+}
+
+std::string ChainHead(int n) { return "T(1, " + std::to_string(n) + ")"; }
+
+struct OverloadConfig {
+  int sessions = 8;  ///< manager.max_sessions; ids 1..S-1 mixed, S = chain.
+  int clients = 4;
+  int requests_per_client = 250;
+  int slow_reader_bursts = 4;
+  int deadline_rounds = 2;
+};
+
+struct OverloadCounts {
+  uint64_t accepted = 0;
+  uint64_t deadline_rejections = 0;
+  uint64_t cancelled = 0;
+  uint64_t errors = 0;
+};
+
+void Classify(const serve::Response& response, OverloadCounts* counts) {
+  if (response.type == serve::MsgType::kReply) {
+    ++counts->accepted;
+  } else if (response.code == serve::ErrorCode::kDeadlineExceeded) {
+    ++counts->deadline_rejections;
+  } else if (response.code == serve::ErrorCode::kCancelled) {
+    ++counts->cancelled;
+  } else {
+    ++counts->errors;
+  }
+}
+
+/// Mixed overload client: the baseline zipf mix, but every session is
+/// shared by every client, so requests park behind each other. In the
+/// storm window every 4th request carries a 1ms deadline — the shed
+/// traffic — and accepted-request latencies go to their own histogram so
+/// rejected requests cannot pollute the percentile. The calm window runs
+/// the identical mix without deadlines first, giving an in-phase latency
+/// baseline on the same sessions and cache state.
+void RunOverloadClient(uint16_t port, int thread_index,
+                       const std::vector<uint64_t>& sessions, int requests,
+                       const Workload& workload, bool storm,
+                       OverloadCounts* counts) {
+  obs::Histogram* latency = obs::Registry::Global().GetHistogram(
+      storm ? "serve.latency.overload_accepted"
+            : "serve.latency.overload_calm");
+
+  serve::Client client;
+  client.Connect("127.0.0.1", port);
+  ZipfPicker zipf(workload.facts.size(), kZipfAlpha);
+  std::mt19937_64 rng((storm ? 9000 : 8000) + thread_index);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  for (int i = 0; i < requests; ++i) {
+    uint64_t session = sessions[static_cast<size_t>(i) % sessions.size()];
+    bool short_deadline = storm && i % 4 == 3;
+    client.set_default_deadline_ms(short_deadline ? 1 : 0);
+    const std::string& fact = workload.facts[zipf.Pick(uniform(rng))];
+    auto start = std::chrono::steady_clock::now();
+    serve::Response response = uniform(rng) < 0.10
+                                   ? client.AllRoutes(session, fact)
+                                   : client.Route(session, fact);
+    Classify(response, counts);
+    if (response.type == serve::MsgType::kReply && !short_deadline) {
+      std::chrono::duration<double, std::milli> ms =
+          std::chrono::steady_clock::now() - start;
+      latency->Record(ms.count());
+    }
+  }
+  client.Close();
+}
+
+/// Slow reader: pipelines a pile of ~2 MB all-routes replies and refuses
+/// to drain them until the server has visibly suspended its reads. The
+/// kernel's loopback buffers absorb the first few megabytes, so the
+/// backlog that matters is what remains after the socket fills — the
+/// bench's evidence that backpressure, not unbounded buffering, absorbs
+/// a peer that stops consuming. (Polling netstats is fair game: the bench
+/// and the server share a process.)
+void RunSlowReader(const serve::Server* server, uint64_t session, int bursts,
+                   OverloadCounts* counts) {
+  serve::Client client;
+  client.Connect("127.0.0.1", server->port());
+  constexpr int kPipelined = 8;
+  for (int b = 0; b < bursts; ++b) {
+    uint64_t suspends_before = server->netstats().read_suspends;
+    for (int k = 0; k < kPipelined; ++k) {
+      serve::Request request;
+      request.type = serve::MsgType::kAllRoutes;
+      request.session_id = session;
+      request.text = ChainHead(kSlowReaderChain);
+      client.Send(std::move(request));
+    }
+    // Hold off reading until the backlog forced a suspension (or 2s, so a
+    // mistuned host cannot hang the bench).
+    for (int i = 0;
+         i < 400 && server->netstats().read_suspends == suspends_before;
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (int k = 0; k < kPipelined; ++k) {
+      serve::Response response;
+      if (!client.ReadResponse(&response)) {
+        ++counts->errors;
+        return;
+      }
+      Classify(response, counts);
+    }
+  }
+  client.Close();
+}
+
+/// Deadline/cancel burst: parks short-deadline routes behind a busy
+/// multi-second-scale all-routes head on the chain session, so their 1ms
+/// timers fire while parked (O(1) kill, work never starts), plus one
+/// explicit kCancel of a parked request.
+void RunDeadlineBurst(uint16_t port, uint64_t session, int rounds,
+                      OverloadCounts* counts) {
+  serve::Client client;
+  client.Connect("127.0.0.1", port);
+  for (int round = 0; round < rounds; ++round) {
+    int sent = 0;
+    serve::Request head;
+    head.type = serve::MsgType::kAllRoutes;
+    head.session_id = session;
+    head.text = ChainHead(kSlowReaderChain);
+    client.Send(std::move(head));
+    ++sent;
+    for (int k = 0; k < kDeadlineBurstSize; ++k) {
+      serve::Request request;
+      request.type = serve::MsgType::kRoute;
+      request.session_id = session;
+      request.text = "T(1, 2)";
+      request.deadline_ms = 1;
+      client.Send(std::move(request));
+      ++sent;
+    }
+    serve::Request parked;
+    parked.type = serve::MsgType::kRoute;
+    parked.session_id = session;
+    parked.text = "T(1, 2)";
+    uint64_t target = client.Send(std::move(parked));
+    ++sent;
+    client.SendCancel(target);
+    ++sent;  // The cancel ack is itself a reply.
+    for (int k = 0; k < sent; ++k) {
+      serve::Response response;
+      if (!client.ReadResponse(&response)) {
+        ++counts->errors;
+        return;
+      }
+      Classify(response, counts);
+    }
+  }
+  client.Close();
+}
+
+struct OverloadResult {
+  OverloadConfig config;
+  OverloadCounts counts;
+  uint64_t rejected_sessions = 0;
+  serve::ServerNetStats net;
+  double calm_p99_ms = 0;      ///< In-phase baseline (no shedding).
+  double p99_accepted_ms = 0;  ///< Accepted requests in the storm window.
+  double seconds = 0;
+};
+
+OverloadResult RunOverloadPhase(const Workload& workload, bool smoke) {
+  OverloadResult result;
+  if (smoke) {
+    result.config.sessions = 4;
+    result.config.clients = 2;
+    result.config.requests_per_client = 40;
+    result.config.slow_reader_bursts = 2;
+    result.config.deadline_rounds = 1;
+  }
+  const OverloadConfig& config = result.config;
+
+  ExecOptions exec;
+  // A real pool even on 1-core hosts: the overload phase is about the
+  // loop thread staying responsive (deadline timers, parked-request
+  // kills, cancels) while the pool does the work — with a null pool every
+  // request would execute inline on the loop thread and block it.
+  exec.num_threads = 2;
+  serve::ServerOptions options;
+  options.pool = ThreadPool::For(exec);
+  options.manager.max_sessions = static_cast<size_t>(config.sessions);
+  options.max_conn_out_bytes = kOverloadSoftCapBytes;
+  options.conn_out_hard_limit_bytes = kOverloadHardCapBytes;
+  serve::Server server(options);
+  server.Start();
+
+  // Admission: fill the budget exactly, then verify the next opens shed.
+  // Sessions 1..S-1 serve the mixed zipf traffic (shared by all clients);
+  // session S is the chain scenario the slow reader and deadline bursts
+  // hammer.
+  std::vector<uint64_t> shared;
+  uint64_t chain_session = static_cast<uint64_t>(config.sessions);
+  {
+    serve::Client admin;
+    admin.Connect("127.0.0.1", server.port());
+    for (uint64_t s = 1; s < chain_session; ++s) {
+      ExpectReply(admin.LoadSession(s, kSpec), "overload load_session");
+      shared.push_back(s);
+    }
+    ExpectReply(
+        admin.CreateSession(chain_session, ChainScenario(kSlowReaderChain)),
+        "overload chain session");
+    for (uint64_t k = 0; k < kOverloadExtraSessions; ++k) {
+      serve::Response response = admin.LoadSession(1000 + k, kSpec);
+      SPIDER_CHECK(response.code == serve::ErrorCode::kOverBudget,
+                   "over-budget open was not rejected: " + response.text);
+      ++result.rejected_sessions;
+    }
+    admin.Close();
+  }
+
+  // Three windows against the same server. Calm: the mixed zipf mix with
+  // no deadlines, giving the in-phase p99 baseline. Storm: the identical
+  // closed-loop mix with a 1-in-4 slice of 1ms deadlines — accepted
+  // requests must stay close to the calm p99 while the deadlined slice
+  // sheds. Pressure: the slow reader and the deadline/cancel bursts
+  // hammer the chain session (multi-megabyte replies, parked kills);
+  // their CPU-heavy renders run outside the latency windows so the p99
+  // comparison measures shedding, not timeslicing against a 2 MB render.
+  std::vector<OverloadCounts> counts(
+      static_cast<size_t>(config.clients) * 2 + 2);
+  auto start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < config.clients; ++t) {
+      threads.emplace_back(RunOverloadClient, server.port(), t,
+                           std::cref(shared), config.requests_per_client,
+                           std::cref(workload), /*storm=*/false,
+                           &counts[static_cast<size_t>(t)]);
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < config.clients; ++t) {
+      threads.emplace_back(
+          RunOverloadClient, server.port(), t, std::cref(shared),
+          config.requests_per_client, std::cref(workload), /*storm=*/true,
+          &counts[static_cast<size_t>(config.clients) + t]);
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  {
+    std::vector<std::thread> threads;
+    threads.emplace_back(RunSlowReader, &server, chain_session,
+                         config.slow_reader_bursts,
+                         &counts[static_cast<size_t>(config.clients) * 2]);
+    threads.emplace_back(RunDeadlineBurst, server.port(), chain_session,
+                         config.deadline_rounds,
+                         &counts[static_cast<size_t>(config.clients) * 2 + 1]);
+    for (std::thread& thread : threads) thread.join();
+  }
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  result.net = server.netstats();
+  server.Stop();
+
+  for (const OverloadCounts& c : counts) {
+    result.counts.accepted += c.accepted;
+    result.counts.deadline_rejections += c.deadline_rejections;
+    result.counts.cancelled += c.cancelled;
+    result.counts.errors += c.errors;
+  }
+  obs::Registry& registry = obs::Registry::Global();
+  result.calm_p99_ms = obs::ApproxPercentileMs(
+      *registry.GetHistogram("serve.latency.overload_calm"), 0.99);
+  result.p99_accepted_ms = obs::ApproxPercentileMs(
+      *registry.GetHistogram("serve.latency.overload_accepted"), 0.99);
+  return result;
+}
+
 int Run(const std::string& out_path, bool smoke) {
   BenchConfig config;
   if (smoke) {
@@ -274,6 +599,12 @@ int Run(const std::string& out_path, bool smoke) {
           ? 0
           : static_cast<double>(cache.route_hits) / route_lookups;
 
+  std::cerr << "overload phase...\n";
+  OverloadResult overload = RunOverloadPhase(workload, smoke);
+  double p99_ratio = overload.calm_p99_ms > 0
+                         ? overload.p99_accepted_ms / overload.calm_p99_ms
+                         : 0;
+
   unsigned hw = std::thread::hardware_concurrency();
   std::ofstream out(out_path);
   if (!out) {
@@ -304,10 +635,35 @@ int Run(const std::string& out_path, bool smoke) {
       << ", \"evictions\": " << cache.evictions
       << ", \"hit_rate\": " << hit_rate << "},\n";
   out << "  \"plan_cache\": {\"bytes\": " << plan_bytes
-      << ", \"evictions\": " << plan_evictions << "}\n";
+      << ", \"evictions\": " << plan_evictions << "},\n";
+  uint64_t overload_requests =
+      overload.counts.accepted + overload.counts.deadline_rejections +
+      overload.counts.cancelled + overload.counts.errors;
+  out << "  \"overload\": {\"sessions\": " << overload.config.sessions
+      << ", \"clients\": " << overload.config.clients + 2
+      << ", \"requests\": " << overload_requests
+      << ", \"accepted\": " << overload.counts.accepted
+      << ", \"rejected_sessions\": " << overload.rejected_sessions
+      << ", \"deadline_rejections\": " << overload.counts.deadline_rejections
+      << ", \"cancelled\": " << overload.counts.cancelled
+      << ", \"errors\": " << overload.counts.errors
+      << ",\n                \"read_suspends\": " << overload.net.read_suspends
+      << ", \"conns_dropped\": " << overload.net.conns_dropped
+      << ", \"cancels_received\": " << overload.net.cancels_received
+      << ", \"peak_conn_out_bytes\": " << overload.net.peak_conn_out_bytes
+      << ", \"conn_out_soft_cap_bytes\": " << kOverloadSoftCapBytes
+      << ", \"conn_out_hard_cap_bytes\": " << kOverloadHardCapBytes
+      << ",\n                \"seconds\": " << overload.seconds
+      << ", \"calm_p99_ms\": " << overload.calm_p99_ms
+      << ", \"p99_accepted_ms\": " << overload.p99_accepted_ms
+      << ", \"p99_ratio_vs_calm\": " << p99_ratio
+      << ", \"baseline_phase_p99_ms\": " << p99 << "}\n";
   out << "}\n";
   std::cerr << "wrote " << out_path << " (throughput " << throughput
-            << " rps, route hit rate " << hit_rate << ")\n";
+            << " rps, route hit rate " << hit_rate << ", overload p99 ratio "
+            << p99_ratio << ", " << overload.counts.deadline_rejections
+            << " deadline rejections, " << overload.net.read_suspends
+            << " read suspends)\n";
   return 0;
 }
 

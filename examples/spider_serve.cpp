@@ -17,6 +17,14 @@
 //   --shared-cache-mb N   shared route/forest cache budget (default 64)
 //   --plan-cache-mb N     shared plan cache budget (default 8)
 //   --idle-timeout-s N    reap sessions idle this long; 0 = never
+//   --default-deadline-ms N  deadline stamped on requests that carry
+//                         none; 0 = requests without a deadline never
+//                         expire (default 0)
+//   --max-conn-out-bytes N   per-connection write-backlog soft cap: a
+//                         connection whose unflushed output crosses it
+//                         stops being read until it drains; 4x this is
+//                         the hard cap where the connection is dropped
+//                         (default 4 MiB)
 //   plus the shared observability flags (--trace / --metrics).
 #include <time.h>
 
@@ -83,13 +91,18 @@ int main(int argc, char** argv) {
       options.manager.plan_cache_bytes = static_cast<size_t>(value) << 20;
     } else if (ParseIntFlag(arg, "idle-timeout-s", &value)) {
       idle_timeout_s = value;
+    } else if (ParseIntFlag(arg, "default-deadline-ms", &value)) {
+      options.default_deadline_ms = static_cast<uint64_t>(value);
+    } else if (ParseIntFlag(arg, "max-conn-out-bytes", &value)) {
+      options.max_conn_out_bytes = static_cast<size_t>(value);
     } else {
       std::cerr << "usage: spider_serve [--port N] [--bind ADDR] "
                    "[--threads N]\n"
                    "  [--max-sessions N] [--session-budget-mb N] "
                    "[--total-budget-mb N]\n"
                    "  [--shared-cache-mb N] [--plan-cache-mb N] "
-                   "[--idle-timeout-s N]\n  "
+                   "[--idle-timeout-s N]\n"
+                   "  [--default-deadline-ms N] [--max-conn-out-bytes N]\n  "
                 << spider::obs::ObsFlagsHelp() << "\n";
       return arg == "--help" ? 0 : 2;
     }

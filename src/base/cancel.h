@@ -1,0 +1,80 @@
+#ifndef SPIDER_BASE_CANCEL_H_
+#define SPIDER_BASE_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "base/status.h"
+
+namespace spider {
+
+/// Cooperative cancellation flag shared between a requester (which flips it)
+/// and engine hot loops (which poll it). The fast path is one relaxed atomic
+/// load — cheap enough for per-pull / per-trigger checks — and there are no
+/// clock reads anywhere: deadlines are enforced by whoever owns a timer
+/// (spider::serve arms an EventLoop timer that calls Cancel(kDeadline)).
+///
+/// The first Cancel() wins: a request that is both cancelled and past its
+/// deadline reports whichever reason arrived first, so the reply code is
+/// deterministic per interleaving.
+class CancelToken {
+ public:
+  enum class Reason : uint8_t {
+    kNone = 0,
+    kCancelled = 1,  ///< Explicit client cancel.
+    kDeadline = 2,   ///< Deadline timer fired.
+  };
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; the first reason sticks.
+  void Cancel(Reason reason = Reason::kCancelled) {
+    uint8_t expected = 0;
+    reason_.compare_exchange_strong(expected, static_cast<uint8_t>(reason),
+                                    std::memory_order_relaxed,
+                                    std::memory_order_relaxed);
+  }
+
+  bool cancelled() const {
+    return reason_.load(std::memory_order_relaxed) != 0;
+  }
+
+  Reason reason() const {
+    return static_cast<Reason>(reason_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<uint8_t> reason_{0};
+};
+
+/// Thrown by engine code when it observes a cancelled token at a safe phase
+/// boundary. Carries the reason so the service layer can map it to the
+/// right wire error (kDeadlineExceeded vs kCancelled).
+class CancelledError : public SpiderError {
+ public:
+  explicit CancelledError(CancelToken::Reason reason)
+      : SpiderError(reason == CancelToken::Reason::kDeadline
+                        ? "deadline exceeded"
+                        : "cancelled"),
+        reason_(reason) {}
+  CancelToken::Reason reason() const { return reason_; }
+
+ private:
+  CancelToken::Reason reason_;
+};
+
+/// Null-safe poll: all engine options default to a null token, which keeps
+/// the check a single pointer test on the unconfigured path.
+inline bool Cancelled(const CancelToken* token) {
+  return token != nullptr && token->cancelled();
+}
+
+inline void ThrowIfCancelled(const CancelToken* token) {
+  if (Cancelled(token)) throw CancelledError(token->reason());
+}
+
+}  // namespace spider
+
+#endif  // SPIDER_BASE_CANCEL_H_

@@ -144,12 +144,15 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
           source, tgd.lhs(), &b, eval,
           MakePlanKey(PlanKeyFamily::kChaseTrigger,
                       static_cast<uint64_t>(st_tgds[i])));
-      while (it.Next()) {
+      while (!Cancelled(options.cancel) && it.Next()) {
         triggers[i].push_back(b);
         ++worker_stats[i].st_triggers;
       }
       worker_stats[i].eval += it.stats();
-    });
+    }, options.cancel);
+    // The per-dependency buffers are abandoned wholesale on cancellation —
+    // nothing was fired yet, so no partial state escapes.
+    ThrowIfCancelled(options.cancel);
   }
   {
     obs::TraceSpan fire_span("chase", "st_fire");
@@ -157,6 +160,7 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
       result.stats += worker_stats[i];
       const Tgd& tgd = mapping.tgd(st_tgds[i]);
       for (const Binding& b : triggers[i]) {
+        ThrowIfCancelled(options.cancel);
         if (++steps, over_limit()) break;
         if (!HasMatch(target, tgd.rhs(), b, eval, &result.stats.eval,
                       MakePlanKey(PlanKeyFamily::kChaseRhsCheck,
@@ -187,6 +191,7 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
                          MakePlanKey(PlanKeyFamily::kChaseTrigger,
                                      static_cast<uint64_t>(id)));
         while (it.Next()) {
+          ThrowIfCancelled(options.cancel);
           if (++steps, over_limit()) break;
           if (!HasMatch(target, tgd.rhs(), b, eval, &result.stats.eval,
                         rhs_key)) {
@@ -196,6 +201,7 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
         result.stats.eval += it.stats();
       }
       for (const Binding& b : pending) {
+        ThrowIfCancelled(options.cancel);
         if (++steps, over_limit()) break;
         // An earlier firing in this batch may have satisfied this trigger.
         if (HasMatch(target, tgd.rhs(), b, eval, &result.stats.eval, rhs_key)) {
@@ -211,6 +217,7 @@ ChaseResult Chase(const SchemaMapping& mapping, const Instance& source,
     obs::TraceSpan egd_span("chase", "egd_fixpoint");
     bool failed = false;
     while (!over_limit()) {
+      ThrowIfCancelled(options.cancel);
       ++steps;
       bool fired = ApplyOneEgdStep(mapping, &target, eval, &result.stats,
                                    &failed, &result.failure_message);

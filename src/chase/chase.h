@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "base/cancel.h"
 #include "exec/exec_options.h"
 #include "mapping/scenario.h"
 #include "mapping/schema_mapping.h"
@@ -31,6 +32,13 @@ struct ChaseOptions {
   /// sequential in canonical dependency order, so the produced instance,
   /// null ids, and stats are byte-identical to num_threads = 1.
   ExecOptions exec;
+
+  /// Optional cooperative-cancellation token, polled (relaxed atomic load)
+  /// at every trigger enumerated, every firing step, and every egd step.
+  /// When it flips, Chase() throws CancelledError; the partially built
+  /// target is local to the call, so abandoning it is always safe. Must
+  /// outlive the call. nullptr (the default) disables the checks.
+  const CancelToken* cancel = nullptr;
 };
 
 enum class ChaseOutcome {

@@ -59,6 +59,7 @@ DebugSession::DebugSession(Scenario scenario, DebugSessionOptions options)
   }
   IncrementalOptions inc = options_.incremental;
   inc.first_null_id = scenario_.max_null_id + 1;
+  inc.cancel = options_.cancel;  // Opening chase only; cleared by the chaser.
   chaser_ = std::make_unique<IncrementalChaser>(
       scenario_.mapping.get(), scenario_.source.get(), scenario_.target.get(),
       std::move(inc));
@@ -78,8 +79,17 @@ DebugSession::~DebugSession() {
   }
 }
 
+void DebugSession::SetCancel(const CancelToken* token) {
+  cancel_ = token;
+  debugger_->set_cancel(token);
+}
+
 ApplyDeltaResult DebugSession::Apply(const SourceDelta& delta) {
   obs::TraceSpan span("session", "apply");
+  // Entry-only check: Apply mutates the instances in place and is not
+  // abortable mid-flight. A token that flips later is ignored until the
+  // batch lands (the reply then races the cancel — exactly one wins).
+  ThrowIfCancelled(cancel_);
   ApplyDeltaResult result = chaser_->Apply(delta);
   scenario_.max_null_id = chaser_->next_null_id() - 1;
   cache_.Invalidate(*scenario_.mapping, result);
@@ -129,6 +139,9 @@ RouteForest& DebugSession::ForestFor(const std::string& fact_text) {
     }
   }
   auto forest = std::make_shared<RouteForest>(debugger_->AllRoutes({ref}));
+  // The cached forest outlives this request; it must not keep polling the
+  // request's (soon-dead) cancel token.
+  forest->set_cancel(nullptr);
   if (shared != nullptr) shared->PutForest(state_key_, key, forest);
   return cache_.PutForest(key, std::move(forest));
 }

@@ -41,6 +41,12 @@ struct DebugSessionOptions {
   /// workload spec they were asked to open.
   uint64_t state_key = 0;
 
+  /// Optional cooperative-cancellation token for the OPENING chase only: a
+  /// create that observes a flipped token throws CancelledError from the
+  /// constructor and the half-built session is discarded. Per-request
+  /// cancellation after open goes through SetCancel() instead.
+  const CancelToken* cancel = nullptr;
+
   /// When non-empty, tracing starts as the session opens and a Chrome
   /// trace-event JSON file (Perfetto / about:tracing) is written here when
   /// the session is destroyed. The initial chase, every Apply() phase and
@@ -81,9 +87,18 @@ class DebugSession {
   MappingDebugger& debugger() { return *debugger_; }
   const MappingDebugger& debugger() const { return *debugger_; }
 
+  /// Installs (or clears, with nullptr) the cancellation token polled by
+  /// subsequent RouteFor/ForestFor probes and checked at Apply() entry.
+  /// Must be serialized with those calls (per-session request serialization
+  /// in spider::serve guarantees that); the token must stay alive until
+  /// cleared or the session dies.
+  void SetCancel(const CancelToken* token);
+
   /// Applies one source edit batch, bringing the target back to a universal
   /// solution and evicting exactly the cached routes/forests the edit could
-  /// have affected.
+  /// have affected. Checks the SetCancel() token at ENTRY only: once the
+  /// in-place maintenance starts it always runs to completion, so a
+  /// cancelled apply leaves the session byte-identical to never asking.
   ApplyDeltaResult Apply(const SourceDelta& delta);
 
   /// Content key of a target fact written as `Rel(v1, ...)` (the route
@@ -116,6 +131,7 @@ class DebugSession {
   Scenario scenario_;
   DebugSessionOptions options_;
   uint64_t state_key_ = 0;
+  const CancelToken* cancel_ = nullptr;  ///< Per-request; see SetCancel().
   std::unique_ptr<IncrementalChaser> chaser_;
   std::unique_ptr<MappingDebugger> debugger_;
   RouteCache cache_;

@@ -20,6 +20,7 @@ RenderContext MappingDebugger::render_context() const {
   ctx.source = scenario_->source.get();
   ctx.target = scenario_->target.get();
   ctx.null_names = &scenario_->null_names;
+  ctx.cancel = options_.cancel;
   return ctx;
 }
 
@@ -94,6 +95,13 @@ std::string MappingDebugger::Render(const Route& route) const {
 
 std::string MappingDebugger::Render(const RouteForest& forest) const {
   return RenderForest(forest, render_context());
+}
+
+std::string MappingDebugger::Render(const RouteForest& forest,
+                                    size_t max_bytes) const {
+  RenderContext ctx = render_context();
+  ctx.max_render_bytes = max_bytes;
+  return RenderForest(forest, ctx);
 }
 
 std::string MappingDebugger::Render(const ConsequenceForest& forest) const {

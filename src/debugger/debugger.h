@@ -56,6 +56,12 @@ class MappingDebugger {
   ConsequenceForest SourceConsequences(
       const std::vector<FactRef>& selected) const;
 
+  /// Installs (or clears, with nullptr) the cooperative-cancellation token
+  /// polled by every route computation this debugger starts. Callers must
+  /// serialize this with the probe calls — spider::serve's per-session
+  /// queues do — and keep the token alive while any probe runs.
+  void set_cancel(const CancelToken* token) { options_.cancel = token; }
+
   /// Breakpoints on tgds (by name). Throws on unknown names.
   void SetBreakpoint(const std::string& tgd_name);
   void ClearBreakpoint(const std::string& tgd_name);
@@ -68,6 +74,10 @@ class MappingDebugger {
   /// Rendering conveniences (labeled nulls print with their display names).
   std::string Render(const Route& route) const;
   std::string Render(const RouteForest& forest) const;
+  /// Forest render with an output budget: throws RenderLimitError once the
+  /// output crosses `max_bytes` (0 = unbounded), bounding peak memory on
+  /// pathological forests. spider::serve uses this for its reply cap.
+  std::string Render(const RouteForest& forest, size_t max_bytes) const;
   std::string Render(const ConsequenceForest& forest) const;
   std::string RenderFactRef(const FactRef& fact) const;
 

@@ -81,6 +81,11 @@ void RenderForestNode(const RouteForest& forest, const FactRef& fact,
                       int indent, const RenderContext& ctx,
                       std::unordered_set<FactRef, FactRefHash>* printed,
                       std::ostream& os) {
+  ThrowIfCancelled(ctx.cancel);
+  if (ctx.max_render_bytes != 0 &&
+      static_cast<size_t>(os.tellp()) > ctx.max_render_bytes) {
+    throw RenderLimitError(ctx.max_render_bytes);
+  }
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   const RouteForest::Node* node = forest.Find(fact);
   os << pad << RenderFact(fact, ctx);

@@ -5,6 +5,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "base/cancel.h"
+#include "base/status.h"
 #include "mapping/schema_mapping.h"
 #include "routes/route.h"
 #include "routes/route_forest.h"
@@ -22,6 +24,31 @@ struct RenderContext {
   const Instance* source = nullptr;
   const Instance* target = nullptr;
   const std::unordered_map<int64_t, std::string>* null_names = nullptr;
+
+  /// Output-size budget in bytes; 0 disables the bound. The recursive
+  /// renderers (forests, consequence trees) check it as they descend and
+  /// throw RenderLimitError when crossed, so a pathological forest aborts
+  /// after ~max_render_bytes of buffering instead of materializing an
+  /// arbitrarily large string.
+  size_t max_render_bytes = 0;
+
+  /// Cooperative-cancellation token polled per rendered node, so a render
+  /// of a large forest aborts as promptly as the expansion that built it.
+  const CancelToken* cancel = nullptr;
+};
+
+/// Thrown when a renderer crosses RenderContext::max_render_bytes. Carries
+/// the budget so callers can produce a structured truncation error.
+class RenderLimitError : public SpiderError {
+ public:
+  explicit RenderLimitError(size_t max_bytes)
+      : SpiderError("render output exceeds " + std::to_string(max_bytes) +
+                    " bytes"),
+        max_bytes_(max_bytes) {}
+  size_t max_bytes() const { return max_bytes_; }
+
+ private:
+  size_t max_bytes_;
 };
 
 std::string RenderValue(const Value& value, const RenderContext& ctx);

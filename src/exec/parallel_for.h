@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "base/cancel.h"
 #include "exec/exec_options.h"
 #include "exec/task_group.h"
 #include "exec/thread_pool.h"
@@ -20,13 +21,23 @@ namespace spider {
 /// runs inline in index order — the sequential path. In all cases every
 /// index is applied exactly once; the caller must make body(i) independent
 /// of body(j) (write to per-index slots, merge after).
+///
+/// `cancel` (optional) makes task bodies cooperative: once the token flips,
+/// leaves that have not started yet are skipped (each leaf re-checks before
+/// its index loop), so a cancelled fan-out drains in O(running leaves)
+/// instead of finishing the whole range. The caller must then treat the
+/// per-index results as abandoned — ThrowIfCancelled after the join is the
+/// usual pattern.
 template <typename F>
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
-                 const F& body) {
+                 const F& body, const CancelToken* cancel = nullptr) {
   if (begin >= end) return;
   if (grain == 0) grain = 1;
   if (pool == nullptr || end - begin <= grain) {
-    for (size_t i = begin; i < end; ++i) body(i);
+    for (size_t i = begin; i < end; ++i) {
+      if (Cancelled(cancel)) return;
+      body(i);
+    }
     return;
   }
   // Declared before the group so it outlives the join in ~TaskGroup.
@@ -38,6 +49,7 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
       group.Run([&run, mid, hi] { run(mid, hi); });
       hi = mid;
     }
+    if (Cancelled(cancel)) return;
     for (size_t i = lo; i < hi; ++i) body(i);
   };
   run(begin, end);

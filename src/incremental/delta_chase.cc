@@ -134,6 +134,9 @@ IncrementalChaser::IncrementalChaser(const SchemaMapping* mapping,
                "IncrementalChaser requires a mapping and both instances");
   if (eval_.plan_cache == nullptr) eval_.plan_cache = &owned_cache_;
   FullRechase(nullptr);  // The initial build IS a "re"-chase from nothing.
+  // The token only covers the opening chase: Apply() mutates in place and
+  // must not abort halfway, so later FullRechase calls run token-free.
+  options_.cancel = nullptr;
 }
 
 void IncrementalChaser::FullRechase(ApplyDeltaResult* result) {
@@ -142,6 +145,7 @@ void IncrementalChaser::FullRechase(ApplyDeltaResult* result) {
   aco.max_steps = options_.max_steps;
   aco.first_null_id = null_counter_;
   aco.eval = eval_;
+  aco.cancel = options_.cancel;
   AnnotatedChaseResult chased = AnnotatedChase(*mapping_, *source_, aco);
   SPIDER_CHECK(chased.outcome == AnnotatedChaseOutcome::kSuccess,
                "incremental full re-chase failed: " + chased.failure_message);

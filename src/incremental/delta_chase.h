@@ -40,6 +40,14 @@ struct IncrementalOptions {
   /// (still through this class, so callers keep the same interface and
   /// dirty-fact reporting). Used to cross-check the incremental paths.
   bool force_full_rechase = false;
+
+  /// Optional cooperative-cancellation token, observed ONLY during the
+  /// opening chase in the constructor (where aborting just discards the
+  /// half-built chaser). Apply() batches mutate the instances in place and
+  /// must run to completion once started, so the chaser drops the token
+  /// after construction — callers wanting cancellable edits must check
+  /// before calling Apply(), never during.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Wall-clock milliseconds per Apply() phase, accumulated across batches.

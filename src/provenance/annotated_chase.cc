@@ -116,6 +116,7 @@ class AnnotatedChaser {
       Binding b(tgd.num_vars());
       MatchIterator it(source_, tgd.lhs(), &b, options_.eval);
       while (it.Next()) {
+        ThrowIfCancelled(options_.cancel);
         if (++steps_ > options_.max_steps) return LimitReached();
         if (!HasMatch(*target_, tgd.rhs(), b, options_.eval)) {
           FireTgd(id, b);
@@ -136,6 +137,7 @@ class AnnotatedChaser {
           Binding b(tgd.num_vars());
           MatchIterator it(*target_, tgd.lhs(), &b, options_.eval);
           while (it.Next()) {
+            ThrowIfCancelled(options_.cancel);
             if (++steps_ > options_.max_steps) return LimitReached();
             if (!HasMatch(*target_, tgd.rhs(), b, options_.eval)) {
               pending.push_back(b);
@@ -143,6 +145,7 @@ class AnnotatedChaser {
           }
         }
         for (const Binding& b : pending) {
+          ThrowIfCancelled(options_.cancel);
           if (++steps_ > options_.max_steps) return LimitReached();
           if (HasMatch(*target_, tgd.rhs(), b, options_.eval)) continue;
           FireTgd(id, b);
@@ -150,6 +153,7 @@ class AnnotatedChaser {
         }
       }
       while (true) {
+        ThrowIfCancelled(options_.cancel);
         if (++steps_ > options_.max_steps) return LimitReached();
         int fired = ApplyOneEgd();
         if (fired < 0) return false;  // hard failure

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/cancel.h"
 #include "mapping/schema_mapping.h"
 #include "query/evaluator.h"
 #include "storage/instance.h"
@@ -143,6 +144,11 @@ struct AnnotatedChaseOptions {
   size_t max_steps = 10'000'000;
   int64_t first_null_id = 1;
   EvalOptions eval;
+
+  /// Optional cooperative-cancellation token, polled at every chase step.
+  /// When it flips, AnnotatedChase() throws CancelledError; the produced
+  /// target and log are local to the call, so nothing escapes half-built.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Runs the standard chase while recording full provenance. The produced

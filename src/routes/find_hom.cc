@@ -49,6 +49,7 @@ bool FindHomIterator::Next(Binding* h) {
   // worker track the pull actually ran on.
   obs::TraceSpan pull_span("findhom", "findhom_pull");
   pull_span.AddArg("tgd", tgd_id_);
+  ThrowIfCancelled(options_.cancel);
   if (options_.eager_findhom) {
     if (eager_cursor_ >= eager_results_.size()) return false;
     *h = eager_results_[eager_cursor_++];
@@ -97,6 +98,9 @@ bool FindHomIterator::NextLazy(Binding* h) {
   const Instance& lhs_instance =
       tgd_.source_to_target() ? source_ : target_;
   while (true) {
+    // Covers both the eager materialization loop in the constructor and
+    // long stretches of unproductive v2/v3 candidates within one pull.
+    ThrowIfCancelled(options_.cancel);
     if (rhs_iter_ != nullptr) {
       if (rhs_iter_->Next()) {
         if (dedup) {

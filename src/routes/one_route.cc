@@ -118,6 +118,9 @@ class OneRouteComputation {
   /// FindRoute (Fig. 7).
   void FindRoute(const std::vector<FactRef>& facts) {
     for (const FactRef& fact : facts) {
+      // The findHom pulls below poll the token too; this covers facts whose
+      // branches resolve without ever pulling (all cache/Infer hits).
+      ThrowIfCancelled(options_.cancel);
       if (active_.count(fact) > 0) continue;
       active_.insert(fact);
       if (proven_.count(fact) > 0) continue;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "base/cancel.h"
 #include "exec/exec_options.h"
 #include "query/eval_stats.h"
 #include "query/evaluator.h"
@@ -34,6 +35,13 @@ struct RouteOptions {
   /// ComputeOneRoute's depth-first search is inherently order-dependent
   /// and always runs sequentially.
   ExecOptions exec;
+
+  /// Optional cooperative-cancellation token, polled (relaxed atomic load)
+  /// on every FindHomIterator pull, every forest node expansion, and every
+  /// one-route DFS step. When it flips, the route algorithms throw
+  /// CancelledError — they are pure reads over the instances, so the
+  /// abandoned partial result never escapes. Must outlive the computation.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Statistics accumulated by the route algorithms. Parallel regions give

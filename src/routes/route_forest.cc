@@ -74,6 +74,7 @@ void RouteForest::InstallBranches(Node* node, std::vector<Branch> branches) {
 }
 
 const RouteForest::Node& RouteForest::Expand(const FactRef& fact) {
+  ThrowIfCancelled(options_.cancel);
   Node& node = GetOrCreate(fact);
   if (node.expanded) return node;
   std::vector<Branch> branches = ComputeBranches(fact, &stats_);
@@ -115,8 +116,19 @@ void RouteForest::ExpandAll() {
     std::vector<RouteStats> worker_stats(frontier.size());
     ParallelFor(pool, 0, frontier.size(), options_.exec.grain, [&](size_t i) {
       obs::TraceSpan node_span("routes", "expand_node");
-      branches[i] = ComputeBranches(frontier[i], &worker_stats[i]);
-    });
+      try {
+        branches[i] = ComputeBranches(frontier[i], &worker_stats[i]);
+      } catch (const CancelledError&) {
+        // Swallowed here so concurrent leaves don't race to fail the task
+        // group (which would wrap the typed error); the join below rethrows
+        // exactly one CancelledError off the still-flipped token.
+        branches[i].clear();
+      }
+    }, options_.cancel);
+    // Abandon the whole wave before installing anything: a cancelled forest
+    // must never hold a half-expanded frontier (the serve layer would cache
+    // it as if complete).
+    ThrowIfCancelled(options_.cancel);
     std::vector<FactRef> wave = std::move(frontier);
     frontier.clear();
     for (size_t i = 0; i < wave.size(); ++i) {

@@ -92,6 +92,12 @@ class RouteForest {
   size_t NumExpandedNodes() const;
   const RouteStats& stats() const { return stats_; }
 
+  /// Replaces the cancellation token the forest polls during expansion.
+  /// A forest that outlives the request that built it (route caches do)
+  /// MUST have its token cleared (nullptr) before being handed over —
+  /// otherwise a later Expand() would poll freed memory.
+  void set_cancel(const CancelToken* token) { options_.cancel = token; }
+
   /// Renders the forest as an indented tree (one tree per root); facts that
   /// were already printed are cross-referenced instead of re-expanded,
   /// mirroring Fig. 5's shared subtrees.

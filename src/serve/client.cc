@@ -19,6 +19,7 @@ Client& Client::operator=(Client&& other) noexcept {
     Close();
     fd_ = other.fd_;
     next_request_id_ = other.next_request_id_;
+    default_deadline_ms_ = other.default_deadline_ms_;
     in_ = std::move(other.in_);
     other.fd_ = -1;
   }
@@ -87,16 +88,29 @@ bool Client::ReadResponse(Response* response) {
   }
 }
 
-Response Client::Call(Request request) {
+uint64_t Client::Send(Request request) {
   if (request.request_id == 0) request.request_id = next_request_id_++;
+  if (request.deadline_ms == 0) request.deadline_ms = default_deadline_ms_;
   std::string frame;
   AppendFrame(EncodeRequest(request), &frame);
   SendRaw(frame);
+  return request.request_id;
+}
+
+uint64_t Client::SendCancel(uint64_t target_request_id) {
+  Request request;
+  request.type = MsgType::kCancel;
+  request.target_request_id = target_request_id;
+  return Send(std::move(request));
+}
+
+Response Client::Call(Request request) {
+  uint64_t request_id = Send(std::move(request));
   Response response;
   if (!ReadResponse(&response)) {
     throw SpiderError("Client: connection closed before reply");
   }
-  if (response.request_id != request.request_id) {
+  if (response.request_id != request_id) {
     throw SpiderError("Client: reply for wrong request id");
   }
   return response;

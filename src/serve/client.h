@@ -33,7 +33,26 @@ class Client {
   /// Sends the request (request_id assigned when 0) and blocks for the
   /// matching reply. Throws SpiderError on connection loss or a protocol
   /// violation; server-side failures come back as kError responses.
+  /// Requests whose deadline_ms is 0 inherit default_deadline_ms.
   Response Call(Request request);
+
+  /// Sends the request without waiting for the reply and returns the
+  /// request id it went out under. Replies arrive in completion order via
+  /// ReadResponse — this is how the cancellation tests pipeline a slow
+  /// probe, a parked probe, and the kCancel that kills it.
+  uint64_t Send(Request request);
+
+  /// Deadline stamped onto outgoing requests that do not set their own.
+  /// 0 (default) sends no deadline (the server may still apply its own).
+  void set_default_deadline_ms(uint32_t ms) { default_deadline_ms_ = ms; }
+
+  /// Best-effort cancel of an earlier request from THIS connection. The
+  /// ack text is "cancelled" (parked target killed; its kCancelled reply
+  /// precedes the ack on the wire), "cancel_pending" (in flight; reply
+  /// arrives when the engine aborts) or "not_found" (already completed).
+  /// Only safe with Send()-style pipelining or from the Call of another
+  /// request id — there is one socket.
+  uint64_t SendCancel(uint64_t target_request_id);
 
   // Convenience wrappers.
   Response CreateSession(uint64_t session_id, std::string scenario_text);
@@ -59,6 +78,7 @@ class Client {
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint32_t default_deadline_ms_ = 0;
   std::string in_;
 };
 

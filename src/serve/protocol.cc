@@ -8,13 +8,15 @@ namespace {
 
 bool KnownRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(MsgType::kCreateSession) &&
-         type <= static_cast<uint8_t>(MsgType::kStats);
+         type <= static_cast<uint8_t>(MsgType::kCancel);
 }
 
 bool HasSessionId(MsgType type) {
   switch (type) {
     case MsgType::kPing:
     case MsgType::kStats:
+    case MsgType::kCancel:  // Targets a request on this connection, not a
+                            // session.
       return false;
     default:
       return true;
@@ -39,8 +41,10 @@ std::string EncodeRequest(const Request& request) {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(request.type));
   w.PutU64(request.request_id);
+  w.PutU32(request.deadline_ms);
   if (HasSessionId(request.type)) w.PutU64(request.session_id);
   if (HasText(request.type)) w.PutString(request.text);
+  if (request.type == MsgType::kCancel) w.PutU64(request.target_request_id);
   if (request.type == MsgType::kApplyDelta) {
     w.PutU32(static_cast<uint32_t>(request.ops.size()));
     for (const DeltaOp& op : request.ops) {
@@ -73,12 +77,21 @@ bool DecodeRequest(std::string_view payload, Request* request,
     return false;
   }
   request->type = static_cast<MsgType>(type);
+  if (!r.ReadU32(&request->deadline_ms)) {
+    *error = "missing deadline field";
+    return false;
+  }
   if (HasSessionId(request->type) && !r.ReadU64(&request->session_id)) {
     *error = "missing session id";
     return false;
   }
   if (HasText(request->type) && !r.ReadString(&request->text)) {
     *error = "missing text field";
+    return false;
+  }
+  if (request->type == MsgType::kCancel &&
+      !r.ReadU64(&request->target_request_id)) {
+    *error = "missing cancel target";
     return false;
   }
   if (request->type == MsgType::kApplyDelta) {
@@ -161,6 +174,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kLint: return "lint";
     case MsgType::kPing: return "ping";
     case MsgType::kStats: return "stats";
+    case MsgType::kCancel: return "cancel";
     case MsgType::kReply: return "reply";
     case MsgType::kError: return "error";
   }
@@ -176,6 +190,9 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kOverBudget: return "over_budget";
     case ErrorCode::kEngineError: return "engine_error";
     case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kReplyTooLarge: return "reply_too_large";
   }
   return "unknown";
 }

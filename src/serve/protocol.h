@@ -24,6 +24,12 @@ enum class MsgType : uint8_t {
   kLint = 7,
   kPing = 8,
   kStats = 9,
+  /// Cancels the same-connection request whose id is `target_request_id`:
+  /// a parked request is killed in O(1) and answered kCancelled without
+  /// ever starting; an executing one gets its token flipped (best effort —
+  /// completion may still win the race). The kCancel frame itself gets an
+  /// ack reply ("cancelled" / "cancel_pending" / "not_found").
+  kCancel = 10,
   // Responses.
   kReply = 64,
   kError = 65,
@@ -38,6 +44,9 @@ enum class ErrorCode : uint8_t {
   kOverBudget = 4,    ///< Admission control rejected the session.
   kEngineError = 5,   ///< SpiderError from the debugger/chase machinery.
   kShuttingDown = 6,
+  kDeadlineExceeded = 7,  ///< The request's deadline_ms elapsed.
+  kCancelled = 8,         ///< A kCancel killed the request.
+  kReplyTooLarge = 9,     ///< Reply exceeded the manager's max_reply_bytes.
 };
 
 /// One source-edit operation inside a kApplyDelta batch. The fact is
@@ -54,8 +63,16 @@ struct DeltaOp {
 struct Request {
   MsgType type = MsgType::kPing;
   uint64_t request_id = 0;
+  /// Per-request deadline in milliseconds from arrival; 0 means "no
+  /// deadline" (the server may still impose ServerOptions::
+  /// default_deadline_ms). Expiry answers the request kDeadlineExceeded —
+  /// immediately while parked, at the next engine cancellation point while
+  /// executing.
+  uint32_t deadline_ms = 0;
   uint64_t session_id = 0;
   std::string text;
+  /// kCancel: the same-connection request id to kill.
+  uint64_t target_request_id = 0;
   std::vector<DeltaOp> ops;
 };
 

@@ -30,6 +30,26 @@ Server::Server(ServerOptions options)
 
 Server::~Server() { Stop(); }
 
+SocketOps* Server::sockets() const {
+  return options_.socket_ops != nullptr ? options_.socket_ops
+                                        : RealSocketOps();
+}
+
+size_t Server::hard_out_limit() const {
+  return options_.conn_out_hard_limit_bytes != 0
+             ? options_.conn_out_hard_limit_bytes
+             : options_.max_conn_out_bytes * 4;
+}
+
+ServerNetStats Server::netstats() const {
+  ServerNetStats s;
+  s.read_suspends = read_suspends_.load(std::memory_order_relaxed);
+  s.conns_dropped = conns_dropped_.load(std::memory_order_relaxed);
+  s.cancels_received = cancels_received_.load(std::memory_order_relaxed);
+  s.peak_conn_out_bytes = peak_conn_out_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void Server::Start() {
   SPIDER_CHECK(!started_, "Server::Start called twice");
   listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
@@ -93,6 +113,8 @@ void Server::Stop() {
   conn_by_fd_.clear();
   busy_sessions_.clear();
   session_queues_.clear();
+  pending_.clear();
+  cancel_index_.clear();
   close(listen_fd_);
   listen_fd_ = -1;
   started_ = false;
@@ -114,7 +136,7 @@ void Server::AcceptReady() {
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     uint64_t conn_id = next_conn_id_++;
-    conns_[conn_id] = Connection{fd, {}, {}};
+    conns_[conn_id] = Connection{fd, {}, {}, 0, false};
     conn_by_fd_[fd] = conn_id;
     loop_.WatchFd(fd, /*want_read=*/true, /*want_write=*/false,
                   [this, conn_id](uint32_t events) {
@@ -137,10 +159,13 @@ void Server::ReadConn(uint64_t conn_id) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;
   Connection& conn = it->second;
+  // Backpressured: the peer is slow consuming replies, so it does not get
+  // to feed us more work either. FlushConn re-posts a read when it drains.
+  if (conn.read_suspended) return;
   char buf[64 * 1024];
   bool eof = false;
   for (;;) {
-    ssize_t n = read(conn.fd, buf, sizeof(buf));
+    ssize_t n = sockets()->Read(conn.fd, buf, sizeof(buf));
     if (n > 0) {
       conn.in.append(buf, static_cast<size_t>(n));
       continue;
@@ -178,8 +203,12 @@ void Server::ReadConn(uint64_t conn_id) {
       return;
     }
     HandleFrame(conn_id, payload);
-    if (!conns_.count(conn_id)) return;
-    if (eof && conn.in.empty()) {
+    auto again = conns_.find(conn_id);
+    if (again == conns_.end()) return;
+    // The reply backlog crossed the soft cap mid-drain: stop parsing;
+    // buffered frames wait in conn.in until the backlog clears.
+    if (again->second.read_suspended) return;
+    if (eof && again->second.in.empty()) {
       CloseConn(conn_id);
       return;
     }
@@ -204,26 +233,78 @@ void Server::HandleFrame(uint64_t conn_id, const std::string& payload) {
   Dispatch(conn_id, std::move(request));
 }
 
+void Server::HandleCancel(uint64_t conn_id, const Request& request) {
+  cancels_received_.fetch_add(1, std::memory_order_relaxed);
+  auto idx = cancel_index_.find({conn_id, request.target_request_id});
+  uint64_t ticket = idx != cancel_index_.end() ? idx->second : 0;
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) {
+    // Unknown, already completed, or already dead: nothing to kill.
+    SendResponse(conn_id, OkResponse(request.request_id, "not_found\n"));
+    return;
+  }
+  it->second.cancel->Cancel(CancelToken::Reason::kCancelled);
+  if (it->second.executing) {
+    // In flight: the engine observes the flipped token at its next safe
+    // boundary; the target's kCancelled reply arrives via Complete.
+    SendResponse(conn_id, OkResponse(request.request_id, "cancel_pending\n"));
+    return;
+  }
+  // Parked: the request never starts. Reply for the target first, then
+  // ack the cancel — the client sees them in cause-then-effect order.
+  uint64_t target_conn = it->second.conn_id;
+  uint64_t target_request = it->second.request_id;
+  ErasePending(ticket);
+  SendResponse(target_conn, ErrorResponse(target_request,
+                                          ErrorCode::kCancelled, "cancelled"));
+  SendResponse(conn_id, OkResponse(request.request_id, "cancelled\n"));
+}
+
 void Server::Dispatch(uint64_t conn_id, Request request) {
   // Ping/stats carry no session and are cheap: answer on the loop thread.
   if (request.type == MsgType::kPing || request.type == MsgType::kStats) {
     SendResponse(conn_id, manager_.Handle(request, loop_.NowMs()));
     return;
   }
+  if (request.type == MsgType::kCancel) {
+    HandleCancel(conn_id, request);
+    return;
+  }
+  uint64_t ticket = next_ticket_++;
+  PendingRequest& pend = pending_[ticket];
+  pend.conn_id = conn_id;
+  pend.request_id = request.request_id;
+  pend.session_id = request.session_id;
+  pend.cancel = std::make_shared<CancelToken>();
+  uint64_t deadline_ms = request.deadline_ms != 0
+                             ? request.deadline_ms
+                             : options_.default_deadline_ms;
+  if (deadline_ms != 0) {
+    // The deadline is a loop timer flipping the token — the engine's hot
+    // loops poll a relaxed atomic and never read the clock.
+    pend.deadline_timer_id =
+        loop_.AddTimer(deadline_ms, [this, ticket] { OnDeadline(ticket); });
+  }
+  cancel_index_[{conn_id, request.request_id}] = ticket;
   uint64_t session_id = request.session_id;
   if (busy_sessions_.count(session_id)) {
-    session_queues_[session_id].emplace_back(conn_id, std::move(request));
+    session_queues_[session_id].emplace_back(ticket, std::move(request));
     return;
   }
   busy_sessions_.insert(session_id);
-  Execute(conn_id, std::move(request));
+  Execute(ticket, std::move(request));
 }
 
-void Server::Execute(uint64_t conn_id, Request request) {
-  uint64_t session_id = request.session_id;
+void Server::Execute(uint64_t ticket, Request request) {
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) return;  // Died while parked (defensive).
+  it->second.executing = true;
+  // The shared_ptr rides into the pool closure so the token outlives the
+  // pending entry even if the request is cancelled mid-execution.
+  std::shared_ptr<CancelToken> token = it->second.cancel;
   if (options_.pool == nullptr) {
-    Response response = manager_.Handle(request, loop_.NowMs());
-    Complete(conn_id, session_id, /*serialized=*/true, std::move(response));
+    Response response = manager_.Handle(request, loop_.NowMs(), token.get());
+    Complete(ticket, std::move(response));
     return;
   }
   {
@@ -232,12 +313,10 @@ void Server::Execute(uint64_t conn_id, Request request) {
   }
   uint64_t now_ms = loop_.NowMs();
   options_.pool->SubmitClosure(
-      [this, conn_id, session_id, now_ms, request = std::move(request)] {
-        Response response = manager_.Handle(request, now_ms);
-        loop_.Post([this, conn_id, session_id,
-                    response = std::move(response)]() mutable {
-          Complete(conn_id, session_id, /*serialized=*/true,
-                   std::move(response));
+      [this, ticket, now_ms, token, request = std::move(request)] {
+        Response response = manager_.Handle(request, now_ms, token.get());
+        loop_.Post([this, ticket, response = std::move(response)]() mutable {
+          Complete(ticket, std::move(response));
         });
         std::lock_guard<std::mutex> lock(inflight_mu_);
         --inflight_;
@@ -245,26 +324,74 @@ void Server::Execute(uint64_t conn_id, Request request) {
       });
 }
 
-void Server::Complete(uint64_t conn_id, uint64_t session_id, bool serialized,
-                      Response response) {
+void Server::OnDeadline(uint64_t ticket) {
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) return;  // Completed just before firing.
+  it->second.deadline_timer_id = 0;  // One-shot; it just fired.
+  it->second.cancel->Cancel(CancelToken::Reason::kDeadline);
+  // Executing: the engine aborts at its next poll and Complete delivers
+  // the kDeadlineExceeded reply (or the result, if completion won the
+  // race — either way exactly one reply).
+  if (it->second.executing) return;
+  // Parked: the request dies without ever starting. Reply here; the
+  // queued ticket is skipped at dequeue.
+  uint64_t conn_id = it->second.conn_id;
+  uint64_t request_id = it->second.request_id;
+  ErasePending(ticket);
+  SendResponse(conn_id, ErrorResponse(request_id, ErrorCode::kDeadlineExceeded,
+                                      "deadline exceeded"));
+}
+
+void Server::ErasePending(uint64_t ticket) {
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) return;
+  if (it->second.deadline_timer_id != 0) {
+    loop_.CancelTimer(it->second.deadline_timer_id);
+  }
+  auto idx = cancel_index_.find({it->second.conn_id, it->second.request_id});
+  // Guard against a reused request id having overwritten the mapping.
+  if (idx != cancel_index_.end() && idx->second == ticket) {
+    cancel_index_.erase(idx);
+  }
+  pending_.erase(it);
+}
+
+void Server::Complete(uint64_t ticket, Response response) {
+  auto it = pending_.find(ticket);
+  if (it == pending_.end()) return;
+  uint64_t conn_id = it->second.conn_id;
+  uint64_t session_id = it->second.session_id;
+  ErasePending(ticket);
   SendResponse(conn_id, response);
-  if (!serialized) return;
+  // Release the session or keep it busy with the next parked request,
+  // skipping tickets that died (cancel/deadline) while parked.
   auto queue_it = session_queues_.find(session_id);
-  if (queue_it == session_queues_.end() || queue_it->second.empty()) {
-    busy_sessions_.erase(session_id);
-    session_queues_.erase(session_id);
+  while (queue_it != session_queues_.end() && !queue_it->second.empty()) {
+    auto [next_ticket, next_request] = std::move(queue_it->second.front());
+    queue_it->second.pop_front();
+    if (pending_.count(next_ticket) == 0) continue;  // Already answered.
+    Execute(next_ticket, std::move(next_request));
     return;
   }
-  auto [next_conn, next_request] = std::move(queue_it->second.front());
-  queue_it->second.pop_front();
-  // The session stays busy; run the parked request now.
-  Execute(next_conn, std::move(next_request));
+  busy_sessions_.erase(session_id);
+  session_queues_.erase(session_id);
 }
 
 void Server::SendResponse(uint64_t conn_id, const Response& response) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;  // Peer vanished mid-request: drop reply.
-  AppendFrame(EncodeResponse(response), &it->second.out);
+  Connection& conn = it->second;
+  AppendFrame(EncodeResponse(response), &conn.out);
+  if (conn.backlog() > hard_out_limit()) {
+    // The peer is not consuming and the backlog outgrew the hard cap:
+    // drop the connection rather than let one slow reader eat the heap.
+    conns_dropped_.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(conn_id);
+    return;
+  }
+  if (conn.backlog() > peak_conn_out_bytes_.load(std::memory_order_relaxed)) {
+    peak_conn_out_bytes_.store(conn.backlog(), std::memory_order_relaxed);
+  }
   FlushConn(conn_id);
 }
 
@@ -272,21 +399,46 @@ void Server::FlushConn(uint64_t conn_id) {
   auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;
   Connection& conn = it->second;
-  while (!conn.out.empty()) {
-    ssize_t n = write(conn.fd, conn.out.data(), conn.out.size());
+  while (conn.backlog() > 0) {
+    ssize_t n = sockets()->Write(conn.fd, conn.out.data() + conn.out_offset,
+                                 conn.backlog());
     if (n > 0) {
-      conn.out.erase(0, static_cast<size_t>(n));
+      conn.out_offset += static_cast<size_t>(n);
+      // Compact once the flushed prefix dominates, keeping the total cost
+      // of flushing linear in bytes written.
+      if (conn.out_offset > (64u << 10) &&
+          conn.out_offset > conn.out.size() / 2) {
+        conn.out.erase(0, conn.out_offset);
+        conn.out_offset = 0;
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      loop_.UpdateFd(conn.fd, /*want_read=*/true, /*want_write=*/true);
+      // Peer is slow. Past the soft cap it also stops being read — the
+      // cheap, correct form of backpressure for a request/reply stream.
+      if (!conn.read_suspended &&
+          conn.backlog() >= options_.max_conn_out_bytes) {
+        conn.read_suspended = true;
+        read_suspends_.fetch_add(1, std::memory_order_relaxed);
+      }
+      loop_.UpdateFd(conn.fd, /*want_read=*/!conn.read_suspended,
+                     /*want_write=*/true);
       return;
     }
     CloseConn(conn_id);
     return;
   }
+  conn.out.clear();
+  conn.out_offset = 0;
+  bool resume = conn.read_suspended;
+  conn.read_suspended = false;
   loop_.UpdateFd(conn.fd, /*want_read=*/true, /*want_write=*/false);
+  if (resume) {
+    // Frames buffered while suspended parsed no further; drain them from
+    // a fresh stack frame (FlushConn can be reached from inside ReadConn).
+    loop_.Post([this, conn_id] { ReadConn(conn_id); });
+  }
 }
 
 void Server::CloseConn(uint64_t conn_id) {
@@ -298,7 +450,8 @@ void Server::CloseConn(uint64_t conn_id) {
   conn_by_fd_.erase(fd);
   conns_.erase(it);
   // Parked requests from this connection stay queued; their replies are
-  // dropped in SendResponse. Sessions they own are released normally.
+  // dropped in SendResponse. Sessions they own are released normally, and
+  // their pending entries unlink when they complete.
 }
 
 void Server::ScheduleReap() {

@@ -5,6 +5,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -12,10 +14,12 @@
 #include <unordered_set>
 #include <utility>
 
+#include "base/cancel.h"
 #include "exec/thread_pool.h"
 #include "serve/event_loop.h"
 #include "serve/protocol.h"
 #include "serve/session_manager.h"
+#include "serve/socket_ops.h"
 
 namespace spider::serve {
 
@@ -32,6 +36,25 @@ struct ServerOptions {
   /// Cadence of the idle-session reaper timer. 0 disables reaping.
   uint64_t reap_interval_ms = 30'000;
 
+  /// Deadline applied to requests that carry deadline_ms == 0 on the wire.
+  /// 0 leaves them without a deadline. Expired requests are answered with
+  /// kDeadlineExceeded; in-flight engine work observes the flipped token at
+  /// its next safe boundary and aborts without mutating the session.
+  uint64_t default_deadline_ms = 0;
+
+  /// Soft cap on a connection's unflushed output. While the backlog sits
+  /// above it the server stops reading that connection (real backpressure:
+  /// a slow consumer pends its own requests instead of growing our heap).
+  size_t max_conn_out_bytes = 4u << 20;
+  /// Hard cap: a connection whose backlog would exceed this is dropped.
+  /// 0 derives 4 * max_conn_out_bytes.
+  size_t conn_out_hard_limit_bytes = 0;
+
+  /// Socket syscall seam; nullptr uses the real read(2)/write(2). Tests
+  /// inject deterministic faults (short writes, EAGAIN storms, mid-write
+  /// disconnects) through this. Must outlive the server.
+  SocketOps* socket_ops = nullptr;
+
   SessionManagerOptions manager;
 
   /// Pool for CPU-heavy request handling; replies are completed back on
@@ -41,10 +64,25 @@ struct ServerOptions {
   ThreadPool* pool = nullptr;
 };
 
+/// Loop-thread-written, any-thread-read counters for the network edge.
+struct ServerNetStats {
+  uint64_t read_suspends = 0;   ///< Soft-cap crossings that paused reads.
+  uint64_t conns_dropped = 0;   ///< Connections dropped at the hard cap.
+  uint64_t cancels_received = 0;
+  size_t peak_conn_out_bytes = 0;  ///< High-water unflushed output backlog.
+};
+
 /// The spider::serve network front end: accepts connections on a
 /// single-threaded EventLoop, frames/decodes requests, serializes requests
 /// per session (different sessions proceed concurrently on the exec pool),
-/// and writes length-prefixed replies with write-buffer backpressure.
+/// and writes length-prefixed replies through a byte-bounded write buffer —
+/// a connection whose backlog crosses the soft cap stops being read until
+/// it drains, and one that crosses the hard cap is dropped.
+///
+/// Every session-bound request gets a CancelToken: deadlines are armed as
+/// loop timers that flip the token (engine hot loops poll it — no clock
+/// reads down there), and the kCancel opcode kills parked requests in O(1)
+/// or flips the token on in-flight ones.
 ///
 /// All connection and queue state is confined to the loop thread; the only
 /// cross-thread edges are SubmitClosure() out and Post() back in.
@@ -65,34 +103,66 @@ class Server {
   /// The bound port (valid after Start(); resolves port 0).
   uint16_t port() const { return port_; }
   SessionManager& manager() { return manager_; }
+  ServerNetStats netstats() const;
 
  private:
   struct Connection {
     int fd = -1;
     std::string in;
+    /// Output backlog: bytes [out_offset, out.size()) are still unflushed.
+    /// The flushed prefix is compacted away once it outgrows the backlog,
+    /// so flushing is O(bytes) overall, not O(bytes^2).
     std::string out;
+    size_t out_offset = 0;
+    /// Reads paused because the backlog crossed the soft cap.
+    bool read_suspended = false;
+
+    size_t backlog() const { return out.size() - out_offset; }
+  };
+
+  /// One session-bound request from arrival to reply, keyed by ticket.
+  /// Parked entries die in O(1) on cancel/deadline: the entry is erased
+  /// (after replying) and the queued ticket is skipped at dequeue.
+  struct PendingRequest {
+    uint64_t conn_id = 0;
+    uint64_t request_id = 0;
+    uint64_t session_id = 0;
+    std::shared_ptr<CancelToken> cancel;
+    uint64_t deadline_timer_id = 0;  ///< 0 = no armed deadline.
+    bool executing = false;
   };
 
   void AcceptReady();
   void ConnReady(uint64_t conn_id, uint32_t events);
   /// Reads until EAGAIN, then dispatches every complete frame.
   void ReadConn(uint64_t conn_id);
-  /// Flushes the out buffer and toggles write interest.
+  /// Flushes the out buffer, toggles write interest, and resumes/suspends
+  /// reads around the soft cap.
   void FlushConn(uint64_t conn_id);
   void CloseConn(uint64_t conn_id);
 
   void HandleFrame(uint64_t conn_id, const std::string& payload);
-  /// Runs the request now (pool or inline) or parks it behind the
-  /// session's in-flight request.
+  /// Loop thread: kCancel fast path. Parked targets are answered
+  /// kCancelled and unlinked without ever starting; executing targets get
+  /// their token flipped (their reply arrives via Complete).
+  void HandleCancel(uint64_t conn_id, const Request& request);
+  /// Registers the pending entry + deadline timer, then runs the request
+  /// (pool or inline) or parks it behind the session's in-flight request.
   void Dispatch(uint64_t conn_id, Request request);
-  void Execute(uint64_t conn_id, Request request);
-  /// Loop thread: deliver the reply, release the session, start the next
-  /// queued request for it.
-  void Complete(uint64_t conn_id, uint64_t session_id, bool serialized,
-                Response response);
+  void Execute(uint64_t ticket, Request request);
+  /// Timer: expire `ticket` — parked replies kDeadlineExceeded now,
+  /// executing flips the token and lets Complete deliver.
+  void OnDeadline(uint64_t ticket);
+  /// Loop thread: deliver the reply, unlink the ticket, release the
+  /// session, start the next queued request for it (skipping dead ones).
+  void Complete(uint64_t ticket, Response response);
   void SendResponse(uint64_t conn_id, const Response& response);
+  /// Unlinks a pending entry (cancel index + deadline timer + map).
+  void ErasePending(uint64_t ticket);
 
   void ScheduleReap();
+  SocketOps* sockets() const;
+  size_t hard_out_limit() const;
 
   ServerOptions options_;
   SessionManager manager_;
@@ -108,8 +178,19 @@ class Server {
   std::unordered_map<uint64_t, Connection> conns_;
   std::unordered_map<int, uint64_t> conn_by_fd_;
   std::unordered_set<uint64_t> busy_sessions_;
+  /// Per-session FIFO of parked tickets (+ their requests).
   std::unordered_map<uint64_t, std::deque<std::pair<uint64_t, Request>>>
       session_queues_;
+  uint64_t next_ticket_ = 1;
+  std::unordered_map<uint64_t, PendingRequest> pending_;
+  /// (conn_id, request_id) -> ticket, so kCancel finds its target in O(log n).
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> cancel_index_;
+
+  // Loop-thread written; read from any thread (tests, bench).
+  std::atomic<uint64_t> read_suspends_{0};
+  std::atomic<uint64_t> conns_dropped_{0};
+  std::atomic<uint64_t> cancels_received_{0};
+  std::atomic<size_t> peak_conn_out_bytes_{0};
 
   // Pool work still running or about to Post() its completion.
   std::mutex inflight_mu_;

@@ -69,25 +69,65 @@ SessionManager::SessionManager(SessionManagerOptions options)
 
 SessionManager::~SessionManager() = default;
 
-Response SessionManager::Handle(const Request& request, uint64_t now_ms) {
+Response SessionManager::CancelledResponse(uint64_t request_id,
+                                           const CancelToken* cancel) {
+  bool deadline =
+      cancel != nullptr && cancel->reason() == CancelToken::Reason::kDeadline;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (deadline) {
+      ++stats_.deadline_exceeded;
+    } else {
+      ++stats_.cancelled;
+    }
+  }
+  return deadline ? ErrorResponse(request_id, ErrorCode::kDeadlineExceeded,
+                                  "deadline exceeded")
+                  : ErrorResponse(request_id, ErrorCode::kCancelled,
+                                  "cancelled");
+}
+
+Response SessionManager::CapReply(Response response) {
+  if (options_.max_reply_bytes == 0 || response.type != MsgType::kReply ||
+      response.text.size() <= options_.max_reply_bytes) {
+    return response;
+  }
+  size_t reply_bytes = response.text.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.replies_truncated;
+  }
+  return ErrorResponse(response.request_id, ErrorCode::kReplyTooLarge,
+                       "reply too large\nreply_bytes " +
+                           std::to_string(reply_bytes) + "\nmax_reply_bytes " +
+                           std::to_string(options_.max_reply_bytes) + "\n");
+}
+
+Response SessionManager::Handle(const Request& request, uint64_t now_ms,
+                                const CancelToken* cancel) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
+  }
+  // A request cancelled (or expired) while queued behind its session's
+  // in-flight work must never start: the cheapest safe boundary is here.
+  if (Cancelled(cancel)) {
+    return CancelledResponse(request.request_id, cancel);
   }
   switch (request.type) {
     case MsgType::kPing:
       return OkResponse(request.request_id, "pong\n");
     case MsgType::kStats:
-      return HandleStats(request);
+      return CapReply(HandleStats(request));
     case MsgType::kCreateSession:
     case MsgType::kLoadSession:
-      return HandleCreate(request, now_ms);
+      return HandleCreate(request, now_ms, cancel);
     case MsgType::kCloseSession:
     case MsgType::kApplyDelta:
     case MsgType::kRoute:
     case MsgType::kAllRoutes:
     case MsgType::kLint:
-      return HandleSession(request, now_ms);
+      return CapReply(HandleSession(request, now_ms, cancel));
     default:
       return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
                            "unhandled message type");
@@ -127,7 +167,8 @@ Scenario SessionManager::BuildScenario(const Request& request) {
   throw SpiderError("unknown workload spec: " + request.text);
 }
 
-Response SessionManager::HandleCreate(const Request& request, uint64_t now_ms) {
+Response SessionManager::HandleCreate(const Request& request, uint64_t now_ms,
+                                      const CancelToken* cancel) {
   {
     // Reserve the id under the lock; the expensive parse + chase runs
     // unlocked and the placeholder blocks a duplicate create racing in.
@@ -157,6 +198,7 @@ Response SessionManager::HandleCreate(const Request& request, uint64_t now_ms) {
   DebugSessionOptions opts = options_.session;
   opts.plan_cache = &plan_cache_;
   opts.shared_route_cache = &shared_cache_;
+  opts.cancel = cancel;  // Opening chase only; cleared inside the session.
   uint64_t domain = request.type == MsgType::kCreateSession
                         ? Fnv1a64("create")
                         : Fnv1a64("load");
@@ -166,10 +208,25 @@ Response SessionManager::HandleCreate(const Request& request, uint64_t now_ms) {
   try {
     session = std::make_unique<DebugSession>(std::move(scenario),
                                              std::move(opts));
+  } catch (const CancelledError&) {
+    // Aborted mid-build: the half-built session is discarded wholesale, so
+    // the outcome is indistinguishable from never having asked.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.erase(request.session_id);
+    }
+    return CancelledResponse(request.request_id, cancel);
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lock(mu_);
-    sessions_.erase(request.session_id);
-    ++stats_.engine_errors;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      sessions_.erase(request.session_id);
+      if (!Cancelled(cancel)) ++stats_.engine_errors;
+    }
+    if (Cancelled(cancel)) {
+      // Concurrent leaf failures can reach us wrapped in a plain
+      // SpiderError; the flipped token is the ground truth.
+      return CancelledResponse(request.request_id, cancel);
+    }
     return ErrorResponse(request.request_id, ErrorCode::kEngineError, e.what());
   }
 
@@ -213,8 +270,27 @@ std::shared_ptr<SessionManager::ServerSession> SessionManager::Find(
   return it->second;
 }
 
+namespace {
+
+/// Clears the session's cancel token on every exit path: tokens are
+/// per-request, and a stale pointer into a dead request's token would be
+/// polled by the next probe.
+struct CancelScope {
+  explicit CancelScope(DebugSession* session, const CancelToken* token)
+      : session_(session) {
+    session_->SetCancel(token);
+  }
+  ~CancelScope() { session_->SetCancel(nullptr); }
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+  DebugSession* session_;
+};
+
+}  // namespace
+
 Response SessionManager::HandleSession(const Request& request,
-                                       uint64_t now_ms) {
+                                       uint64_t now_ms,
+                                       const CancelToken* cancel) {
   std::shared_ptr<ServerSession> entry = Find(request.session_id, now_ms);
   if (entry == nullptr) {
     return ErrorResponse(request.request_id, ErrorCode::kNoSuchSession,
@@ -227,6 +303,7 @@ Response SessionManager::HandleSession(const Request& request,
   }
 
   DebugSession& session = *entry->session;
+  CancelScope cancel_scope(&session, cancel);
   if (request.type == MsgType::kApplyDelta) {
     SourceDelta delta;
     try {
@@ -252,9 +329,15 @@ Response SessionManager::HandleSession(const Request& request,
         entry->approx_bytes = bytes;
       }
       return OkResponse(request.request_id, RenderApplyResult(result));
+    } catch (const CancelledError&) {
+      // Apply honors the token only before mutating anything, so the
+      // session is exactly as the previous reply left it.
+      return CancelledResponse(request.request_id, cancel);
     } catch (const std::exception& e) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.engine_errors;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.engine_errors;
+      }
       return ErrorResponse(request.request_id, ErrorCode::kEngineError,
                            e.what());
     }
@@ -269,7 +352,8 @@ Response SessionManager::HandleSession(const Request& request,
       case MsgType::kAllRoutes:
         return OkResponse(request.request_id,
                           session.debugger().Render(
-                              session.ForestFor(request.text)));
+                              session.ForestFor(request.text),
+                              options_.max_reply_bytes));
       case MsgType::kLint:
         return OkResponse(
             request.request_id,
@@ -279,9 +363,28 @@ Response SessionManager::HandleSession(const Request& request,
         return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
                              "unhandled session message type");
     }
+  } catch (const CancelledError&) {
+    // Route probes are pure reads that abandon their partial result before
+    // any cache install; the session is untouched.
+    return CancelledResponse(request.request_id, cancel);
+  } catch (const RenderLimitError& e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.replies_truncated;
+    }
+    return ErrorResponse(request.request_id, ErrorCode::kReplyTooLarge,
+                         "reply too large\nmax_reply_bytes " +
+                             std::to_string(e.max_bytes()) + "\n");
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.engine_errors;
+    if (Cancelled(cancel)) {
+      // TaskGroup can wrap concurrent CancelledErrors in a plain
+      // SpiderError; the flipped token is the ground truth.
+      return CancelledResponse(request.request_id, cancel);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.engine_errors;
+    }
     return ErrorResponse(request.request_id, ErrorCode::kEngineError,
                          e.what());
   }
@@ -297,6 +400,9 @@ Response SessionManager::HandleStats(const Request& request) {
   out += "closed " + std::to_string(s.sessions_closed) + "\n";
   out += "rejected " + std::to_string(s.rejected_over_budget) + "\n";
   out += "engine_errors " + std::to_string(s.engine_errors) + "\n";
+  out += "cancelled " + std::to_string(s.cancelled) + "\n";
+  out += "deadline_exceeded " + std::to_string(s.deadline_exceeded) + "\n";
+  out += "replies_truncated " + std::to_string(s.replies_truncated) + "\n";
   out += "approx_bytes " + std::to_string(s.approx_bytes) + "\n";
   out += "shared_route_hits " + std::to_string(c.route_hits) + "\n";
   out += "shared_route_misses " + std::to_string(c.route_misses) + "\n";

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/cancel.h"
 #include "debugger/debug_session.h"
 #include "incremental/shared_route_cache.h"
 #include "query/plan_cache.h"
@@ -31,6 +32,13 @@ struct SessionManagerOptions {
   size_t shared_route_cache_bytes = 64u << 20;
   size_t plan_cache_bytes = 8u << 20;
 
+  /// Hard cap on a single reply's text. Replies that would exceed it
+  /// (adversarial all-routes forests, mostly) are answered with a
+  /// structured kReplyTooLarge error instead — the forest render aborts
+  /// once it crosses the budget, so peak memory stays bounded too.
+  /// 0 disables the cap.
+  size_t max_reply_bytes = 8u << 20;
+
   /// Base options handed to each DebugSession (exec pool, eval knobs, ...).
   /// plan_cache / shared_route_cache / state_key are overwritten per
   /// session by the manager.
@@ -43,6 +51,9 @@ struct SessionManagerStats {
   uint64_t sessions_closed = 0;
   uint64_t rejected_over_budget = 0;
   uint64_t engine_errors = 0;
+  uint64_t cancelled = 0;           ///< Requests answered kCancelled.
+  uint64_t deadline_exceeded = 0;   ///< Requests answered kDeadlineExceeded.
+  uint64_t replies_truncated = 0;   ///< Replies answered kReplyTooLarge.
   size_t open_sessions = 0;
   size_t approx_bytes = 0;  ///< Sum of per-session instance estimates.
 };
@@ -71,7 +82,20 @@ class SessionManager {
   /// Executes one request and returns its reply. Never throws: engine
   /// errors come back as kError responses. `now_ms` stamps the session's
   /// last-active time (pass EventLoop::NowMs() or 0).
-  Response Handle(const Request& request, uint64_t now_ms);
+  ///
+  /// `cancel` (optional) is the request's cooperative-cancellation token:
+  /// it is checked at entry (a request cancelled while queued never starts)
+  /// and threaded into the engines, which poll it in their hot loops. When
+  /// the token aborts the work, the reply is kDeadlineExceeded or
+  /// kCancelled by the token's reason, and the session is left exactly as
+  /// if the request had never been asked (pure-read probes abandon their
+  /// partial result before any cache install; creates discard the
+  /// half-built session; Apply only honors the token before mutating).
+  Response Handle(const Request& request, uint64_t now_ms,
+                  const CancelToken* cancel);
+  Response Handle(const Request& request, uint64_t now_ms) {
+    return Handle(request, now_ms, nullptr);
+  }
 
   /// Ids of sessions idle since before `now_ms - idle_timeout_ms`. The
   /// server filters out sessions with in-flight work, then closes the rest
@@ -97,9 +121,16 @@ class SessionManager {
     size_t approx_bytes = 0;
   };
 
-  Response HandleCreate(const Request& request, uint64_t now_ms);
-  Response HandleSession(const Request& request, uint64_t now_ms);
+  Response HandleCreate(const Request& request, uint64_t now_ms,
+                        const CancelToken* cancel);
+  Response HandleSession(const Request& request, uint64_t now_ms,
+                         const CancelToken* cancel);
   Response HandleStats(const Request& request);
+
+  /// Maps a flipped token to its wire error (and bumps the stat counter).
+  Response CancelledResponse(uint64_t request_id, const CancelToken* cancel);
+  /// Backstop reply-size cap: oversized kReply texts become kReplyTooLarge.
+  Response CapReply(Response response);
 
   /// Builds the opening scenario for kCreateSession (scenario text) or
   /// kLoadSession (workload spec). Throws SpiderError on bad input.

@@ -1,0 +1,26 @@
+#include "serve/socket_ops.h"
+
+#include <unistd.h>
+
+namespace spider::serve {
+
+namespace {
+
+class PassthroughSocketOps : public SocketOps {
+ public:
+  ssize_t Read(int fd, void* buf, size_t len) override {
+    return read(fd, buf, len);
+  }
+  ssize_t Write(int fd, const void* buf, size_t len) override {
+    return write(fd, buf, len);
+  }
+};
+
+}  // namespace
+
+SocketOps* RealSocketOps() {
+  static PassthroughSocketOps ops;
+  return &ops;
+}
+
+}  // namespace spider::serve

@@ -1,0 +1,32 @@
+#ifndef SPIDER_SERVE_SOCKET_OPS_H_
+#define SPIDER_SERVE_SOCKET_OPS_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace spider::serve {
+
+/// The server's only byte-moving seam: every read(2)/write(2) the server
+/// issues on a connection socket goes through this interface. Production
+/// uses RealSocketOps() (thin syscall wrappers); tests substitute a
+/// deterministic shim that scripts short writes, EAGAIN storms, mid-write
+/// disconnects and delayed reads without touching kernel socket buffers —
+/// which also keeps the fault-injection tests sanitizer-friendly.
+///
+/// Implementations must preserve syscall semantics: return the byte count
+/// on success, 0 for EOF (reads), and -1 with errno set otherwise. Calls
+/// happen on the server's loop thread only.
+class SocketOps {
+ public:
+  virtual ~SocketOps() = default;
+  virtual ssize_t Read(int fd, void* buf, size_t len) = 0;
+  virtual ssize_t Write(int fd, const void* buf, size_t len) = 0;
+};
+
+/// The passthrough implementation (process-lifetime singleton).
+SocketOps* RealSocketOps();
+
+}  // namespace spider::serve
+
+#endif  // SPIDER_SERVE_SOCKET_OPS_H_

@@ -1,0 +1,377 @@
+// Deadline + cooperative-cancellation coverage across every request
+// lifecycle stage: queued behind a busy session, parked, mid-pool
+// execution, and completion racing cancellation. Also pins the invariant
+// that a cancelled request leaves its session byte-identical to never
+// having asked (differential against a fresh session) and the structured
+// reply-size cap on pathological route forests.
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/cancel.h"
+#include "exec/exec_options.h"
+#include "exec/thread_pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/session_manager.h"
+#include "serve/wire.h"
+#include "testing/fixtures.h"
+
+namespace spider::serve {
+namespace {
+
+// Sanitizers slow the engine by 5-20x; timing assertions scale with them.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr uint64_t kPromptBoundMs = 2000;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr uint64_t kPromptBoundMs = 2000;
+#else
+constexpr uint64_t kPromptBoundMs = 200;
+#endif
+#else
+constexpr uint64_t kPromptBoundMs = 200;
+#endif
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Transitive-closure chain S(1,2)..S(n-1,n) with the full closure as the
+/// target solution. AllRoutes on T(1,n) explores O(n^2) facts with O(n)
+/// witnesses each — seconds of engine work for n around 100, which is the
+/// "slow request" every test here runs a deadline or cancel against.
+std::string ChainText(int n) {
+  std::string text =
+      "source schema { S(x, y); }\n"
+      "target schema { T(x, y); }\n"
+      "sigma1: S(x,y) -> T(x,y);\n"
+      "sigma2: T(x,y) & T(y,z) -> T(x,z);\n"
+      "source instance { ";
+  for (int i = 1; i < n; ++i) {
+    text += "S(" + std::to_string(i) + "," + std::to_string(i + 1) + "); ";
+  }
+  text += "}\ntarget instance {\n";
+  for (int i = 1; i <= n; ++i) {
+    for (int j = i + 1; j <= n; ++j) {
+      text += "T(" + std::to_string(i) + "," + std::to_string(j) + ");\n";
+    }
+  }
+  text += "}\n";
+  return text;
+}
+
+std::string ChainHead(int n) { return "T(1, " + std::to_string(n) + ")"; }
+
+constexpr int kSlowChain = 100;
+
+ServerOptions PooledOptions() {
+  ServerOptions options;
+  ExecOptions exec;
+  exec.num_threads = 2;
+  options.pool = ThreadPool::For(exec);
+  return options;
+}
+
+Request MakeRequest(MsgType type, uint64_t session_id, std::string text,
+                    uint32_t deadline_ms = 0) {
+  Request request;
+  request.type = type;
+  request.session_id = session_id;
+  request.text = std::move(text);
+  request.deadline_ms = deadline_ms;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines.
+
+TEST(CancelTest, DeadlineExceededPromptlyAndSessionReusable) {
+  Server server(PooledOptions());
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.CreateSession(1, ChainText(kSlowChain)).type,
+            MsgType::kReply);
+
+  // A 50ms deadline against a multi-second all-routes: the reply must be
+  // kDeadlineExceeded and arrive well before the work could have finished.
+  uint64_t t0 = NowMs();
+  Response slow = client.Call(
+      MakeRequest(MsgType::kAllRoutes, 1, ChainHead(kSlowChain), 50));
+  uint64_t elapsed = NowMs() - t0;
+  EXPECT_EQ(slow.type, MsgType::kError);
+  EXPECT_EQ(slow.code, ErrorCode::kDeadlineExceeded) << slow.text;
+  EXPECT_LT(elapsed, kPromptBoundMs);
+
+  // The session survives the abort and still answers.
+  Response after = client.Route(1, "T(1, 2)");
+  EXPECT_EQ(after.type, MsgType::kReply) << after.text;
+  EXPECT_GE(server.manager().stats().deadline_exceeded, 1u);
+  client.Close();
+  server.Stop();
+}
+
+TEST(CancelTest, DefaultDeadlineAppliesToBareRequests) {
+  ServerOptions options = PooledOptions();
+  options.default_deadline_ms = 50;
+  Server server(options);
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  // The create is also under the default deadline; use a cheap scenario.
+  ASSERT_EQ(client.CreateSession(1, testing::TransitiveClosureText()).type,
+            MsgType::kReply);
+  // Cheap probes fit in 50ms; this one does not and carries no deadline of
+  // its own.
+  Response fast = client.Route(1, "T(1, 3)");
+  EXPECT_EQ(fast.type, MsgType::kReply) << fast.text;
+  client.Close();
+  server.Stop();
+}
+
+TEST(CancelTest, QueuedRequestDeadlineFiresWhileSessionBusy) {
+  Server server(PooledOptions());
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.CreateSession(1, ChainText(kSlowChain)).type,
+            MsgType::kReply);
+
+  // A: slow, no deadline. B: parked behind A with a 50ms deadline. B must
+  // be answered kDeadlineExceeded from the queue, before A completes.
+  uint64_t a = client.Send(
+      MakeRequest(MsgType::kAllRoutes, 1, ChainHead(kSlowChain)));
+  uint64_t b = client.Send(MakeRequest(MsgType::kRoute, 1, "T(1, 2)", 50));
+
+  Response first;
+  ASSERT_TRUE(client.ReadResponse(&first));
+  EXPECT_EQ(first.request_id, b);
+  EXPECT_EQ(first.code, ErrorCode::kDeadlineExceeded) << first.text;
+
+  Response second;
+  ASSERT_TRUE(client.ReadResponse(&second));
+  EXPECT_EQ(second.request_id, a);  // Whatever A produced, B came first.
+  client.Close();
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Explicit cancel (kCancel opcode).
+
+TEST(CancelTest, CancelParkedRequestNeverStarts) {
+  Server server(PooledOptions());
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.CreateSession(1, ChainText(kSlowChain)).type,
+            MsgType::kReply);
+  uint64_t requests_before = server.manager().stats().requests;
+
+  uint64_t a = client.Send(
+      MakeRequest(MsgType::kAllRoutes, 1, ChainHead(kSlowChain)));
+  uint64_t b = client.Send(MakeRequest(MsgType::kRoute, 1, "T(1, 2)"));
+  uint64_t c = client.SendCancel(b);
+
+  // Reply order pins the O(1) parked kill: B's kCancelled first (the
+  // target dies immediately, A is still executing), then the cancel ack,
+  // then eventually A.
+  Response first;
+  ASSERT_TRUE(client.ReadResponse(&first));
+  EXPECT_EQ(first.request_id, b);
+  EXPECT_EQ(first.code, ErrorCode::kCancelled) << first.text;
+
+  Response ack;
+  ASSERT_TRUE(client.ReadResponse(&ack));
+  EXPECT_EQ(ack.request_id, c);
+  EXPECT_EQ(ack.text, "cancelled\n");
+
+  Response last;
+  ASSERT_TRUE(client.ReadResponse(&last));
+  EXPECT_EQ(last.request_id, a);
+
+  // B never reached the manager: only A (and no one else) was handled.
+  EXPECT_EQ(server.manager().stats().requests, requests_before + 1);
+  client.Close();
+  server.Stop();
+}
+
+TEST(CancelTest, CancelInFlightRequestAborts) {
+  Server server(PooledOptions());
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.CreateSession(1, ChainText(kSlowChain)).type,
+            MsgType::kReply);
+
+  uint64_t a = client.Send(
+      MakeRequest(MsgType::kAllRoutes, 1, ChainHead(kSlowChain)));
+  // Give the request time to reach the pool, then cancel it mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  uint64_t t0 = NowMs();
+  uint64_t c = client.SendCancel(a);
+
+  Response ack;
+  ASSERT_TRUE(client.ReadResponse(&ack));
+  EXPECT_EQ(ack.request_id, c);
+  EXPECT_EQ(ack.text, "cancel_pending\n");
+
+  Response aborted;
+  ASSERT_TRUE(client.ReadResponse(&aborted));
+  EXPECT_EQ(aborted.request_id, a);
+  EXPECT_EQ(aborted.code, ErrorCode::kCancelled) << aborted.text;
+  EXPECT_LT(NowMs() - t0, kPromptBoundMs);
+
+  // Session still usable after the abort.
+  EXPECT_EQ(client.Route(1, "T(1, 2)").type, MsgType::kReply);
+  EXPECT_GE(server.netstats().cancels_received, 1u);
+  client.Close();
+  server.Stop();
+}
+
+TEST(CancelTest, CancelUnknownRequestIsNotFound) {
+  Server server(PooledOptions());
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  uint64_t c = client.SendCancel(424242);
+  Response ack;
+  ASSERT_TRUE(client.ReadResponse(&ack));
+  EXPECT_EQ(ack.request_id, c);
+  EXPECT_EQ(ack.text, "not_found\n");
+  client.Close();
+  server.Stop();
+}
+
+TEST(CancelTest, CompletionRacingCancellationYieldsOneCleanReplyEach) {
+  Server server(PooledOptions());
+  server.Start();
+  Client client;
+  client.Connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.CreateSession(1, testing::TransitiveClosureText()).type,
+            MsgType::kReply);
+
+  // A fast probe cancelled immediately: the cancel either catches it
+  // (cancelled / cancel_pending) or loses the race (not_found). In every
+  // interleaving the target gets EXACTLY one reply and the ack follows.
+  for (int round = 0; round < 20; ++round) {
+    uint64_t a = client.Send(MakeRequest(MsgType::kRoute, 1, "T(1, 3)"));
+    uint64_t c = client.SendCancel(a);
+    Response r1;
+    Response r2;
+    ASSERT_TRUE(client.ReadResponse(&r1));
+    ASSERT_TRUE(client.ReadResponse(&r2));
+    // Both replies, each exactly once, in either order.
+    ASSERT_TRUE((r1.request_id == a && r2.request_id == c) ||
+                (r1.request_id == c && r2.request_id == a));
+    const Response& target = r1.request_id == a ? r1 : r2;
+    const Response& ack = r1.request_id == c ? r1 : r2;
+    EXPECT_TRUE(target.type == MsgType::kReply ||
+                target.code == ErrorCode::kCancelled)
+        << target.text;
+    EXPECT_TRUE(ack.text == "cancelled\n" || ack.text == "cancel_pending\n" ||
+                ack.text == "not_found\n")
+        << ack.text;
+  }
+  client.Close();
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// A cancelled request leaves the session byte-identical to never asking.
+
+TEST(CancelTest, CancelledWorkLeavesSessionByteIdentical) {
+  SessionManagerOptions options;
+  SessionManager touched(options);
+  SessionManager fresh(options);
+
+  Request create = MakeRequest(MsgType::kCreateSession, 1, ChainText(30));
+  ASSERT_EQ(touched.Handle(create, 0).type, MsgType::kReply);
+  ASSERT_EQ(fresh.Handle(create, 0).type, MsgType::kReply);
+
+  // Abort an all-routes on `touched` mid-flight (a background flip of the
+  // token), and an apply-delta plus another probe with pre-flipped tokens.
+  {
+    CancelToken token;
+    std::thread flipper([&token] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      token.Cancel(CancelToken::Reason::kCancelled);
+    });
+    Response aborted = touched.Handle(
+        MakeRequest(MsgType::kAllRoutes, 1, ChainHead(30)), 0, &token);
+    flipper.join();
+    // Either the engine observed the flip or the probe won the race; both
+    // are legal — the differential below is the real assertion.
+    EXPECT_TRUE(aborted.code == ErrorCode::kCancelled ||
+                aborted.type == MsgType::kReply)
+        << aborted.text;
+  }
+  {
+    CancelToken token;
+    token.Cancel(CancelToken::Reason::kDeadline);
+    Request apply = MakeRequest(MsgType::kApplyDelta, 1, "");
+    apply.ops = {DeltaOp{DeltaOp::kInsert, "S(30, 31)"}};
+    Response dead = touched.Handle(apply, 0, &token);
+    EXPECT_EQ(dead.code, ErrorCode::kDeadlineExceeded) << dead.text;
+    Response probe =
+        touched.Handle(MakeRequest(MsgType::kRoute, 1, "T(1, 5)"), 0, &token);
+    EXPECT_EQ(probe.code, ErrorCode::kDeadlineExceeded) << probe.text;
+  }
+
+  // Replay an identical probe script on both managers: every reply must
+  // match byte for byte, i.e. the cancelled work left no trace.
+  std::vector<Request> script;
+  script.push_back(MakeRequest(MsgType::kRoute, 1, "T(1, 5)"));
+  script.push_back(MakeRequest(MsgType::kAllRoutes, 1, "T(1, 4)"));
+  Request apply = MakeRequest(MsgType::kApplyDelta, 1, "");
+  apply.ops = {DeltaOp{DeltaOp::kInsert, "S(30, 31)"}};
+  script.push_back(apply);
+  script.push_back(MakeRequest(MsgType::kRoute, 1, "T(29, 31)"));
+  script.push_back(MakeRequest(MsgType::kAllRoutes, 1, "T(28, 31)"));
+  for (const Request& request : script) {
+    Response a = touched.Handle(request, 0);
+    Response b = fresh.Handle(request, 0);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.code, b.code);
+    EXPECT_EQ(a.text, b.text);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reply-size cap.
+
+TEST(CancelTest, PathologicalForestReplyIsCappedStructurally) {
+  SessionManagerOptions options;
+  options.max_reply_bytes = 64u << 10;  // The n=40 render is ~2 MB.
+  SessionManager manager(options);
+  ASSERT_EQ(
+      manager.Handle(MakeRequest(MsgType::kCreateSession, 1, ChainText(40)), 0)
+          .type,
+      MsgType::kReply);
+
+  Response capped =
+      manager.Handle(MakeRequest(MsgType::kAllRoutes, 1, ChainHead(40)), 0);
+  EXPECT_EQ(capped.type, MsgType::kError);
+  EXPECT_EQ(capped.code, ErrorCode::kReplyTooLarge) << capped.text;
+  EXPECT_NE(capped.text.find("max_reply_bytes 65536"), std::string::npos)
+      << capped.text;
+  EXPECT_EQ(manager.stats().replies_truncated, 1u);
+
+  // Small probes still fit; the session is unharmed.
+  EXPECT_EQ(manager.Handle(MakeRequest(MsgType::kRoute, 1, "T(1, 2)"), 0).type,
+            MsgType::kReply);
+  // The stats reply carries the new counters.
+  Response stats = manager.Handle(MakeRequest(MsgType::kStats, 0, ""), 0);
+  EXPECT_NE(stats.text.find("replies_truncated 1\n"), std::string::npos)
+      << stats.text;
+}
+
+}  // namespace
+}  // namespace spider::serve

@@ -118,6 +118,7 @@ TEST(ProtocolTest, RequestRoundTripAllFields) {
   Request request;
   request.type = MsgType::kApplyDelta;
   request.request_id = 99;
+  request.deadline_ms = 1500;
   request.session_id = 123456789;
   request.ops.push_back(DeltaOp{DeltaOp::kInsert, "S(1, 2)"});
   request.ops.push_back(DeltaOp{DeltaOp::kDelete, "S(2, 3)"});
@@ -128,12 +129,36 @@ TEST(ProtocolTest, RequestRoundTripAllFields) {
       << error;
   EXPECT_EQ(decoded.type, MsgType::kApplyDelta);
   EXPECT_EQ(decoded.request_id, 99u);
+  EXPECT_EQ(decoded.deadline_ms, 1500u);
   EXPECT_EQ(decoded.session_id, 123456789u);
   ASSERT_EQ(decoded.ops.size(), 2u);
   EXPECT_EQ(decoded.ops[0].kind, DeltaOp::kInsert);
   EXPECT_EQ(decoded.ops[0].fact, "S(1, 2)");
   EXPECT_EQ(decoded.ops[1].kind, DeltaOp::kDelete);
   EXPECT_EQ(decoded.ops[1].fact, "S(2, 3)");
+}
+
+TEST(ProtocolTest, CancelRoundTrip) {
+  Request request;
+  request.type = MsgType::kCancel;
+  request.request_id = 7;
+  request.target_request_id = 42;
+
+  Request decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(request), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.type, MsgType::kCancel);
+  EXPECT_EQ(decoded.request_id, 7u);
+  EXPECT_EQ(decoded.target_request_id, 42u);
+
+  // A cancel frame without its target field is rejected, not misread.
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(MsgType::kCancel));
+  w.PutU64(7);  // request id
+  w.PutU32(0);  // deadline_ms
+  EXPECT_FALSE(DecodeRequest(w.Take(), &decoded, &error));
+  EXPECT_EQ(error, "missing cancel target");
 }
 
 TEST(ProtocolTest, ResponseRoundTrip) {
@@ -172,6 +197,7 @@ TEST(ProtocolTest, DecodeRejectsAbsurdOpCount) {
   WireWriter w;
   w.PutU8(static_cast<uint8_t>(MsgType::kApplyDelta));
   w.PutU64(1);   // request id
+  w.PutU32(0);   // deadline_ms
   w.PutU64(2);   // session id
   w.PutU32(0xffffffff);  // op count far beyond the payload
   Request request;
