@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/containment.h"
 #include "obs/obs_cli.h"
 #include "testing/fixtures.h"
 #include "workload/random_scenario.h"
@@ -44,26 +45,74 @@ Row Measure(const std::string& name, const SchemaMapping& mapping) {
   return row;
 }
 
-int Run(const std::string& out_path, bool smoke) {
-  std::vector<Row> rows;
+/// Timings for the whole-mapping passes: per scenario, one self-containment
+/// check (every dependency chased in both directions), one min-cover run,
+/// and one reachability fixpoint.
+struct PassRow {
+  std::string name;
+  std::string containment_verdict;
+  size_t containment_chases = 0;
+  double containment_ms = 0;
+  size_t min_cover_removed = 0;
+  size_t min_cover_inconclusive = 0;
+  double min_cover_ms = 0;
+  size_t unreachable_relations = 0;
+  double reachability_ms = 0;
+};
 
-  Scenario credit = spider::testing::CreditCardScenario();
-  rows.push_back(Measure("credit_card", *credit.mapping));
+PassRow MeasurePasses(const std::string& name, const SchemaMapping& mapping) {
+  PassRow row;
+  row.name = name;
+
+  auto start = std::chrono::steady_clock::now();
+  ContainmentReport containment = CheckContainment(mapping, mapping);
+  row.containment_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  row.containment_verdict = ContainmentVerdictName(containment.verdict);
+  row.containment_chases = containment.chases_run;
+
+  start = std::chrono::steady_clock::now();
+  MinCoverResult cover = ComputeMinCover(mapping);
+  row.min_cover_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  row.min_cover_removed = cover.NumRemoved();
+  row.min_cover_inconclusive = cover.inconclusive;
+
+  start = std::chrono::steady_clock::now();
+  ReachabilityReport reachability = ComputeReachability(mapping);
+  row.reachability_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  for (bool reachable : reachability.relation_reachable) {
+    if (!reachable) ++row.unreachable_relations;
+  }
+  return row;
+}
+
+int Run(const std::string& out_path, bool smoke) {
+  std::vector<std::pair<std::string, Scenario>> scenarios;
+  scenarios.emplace_back("credit_card", spider::testing::CreditCardScenario());
 
   RealScenarioOptions real;
   real.units = smoke ? 2 : 20;
-  Scenario dblp = BuildDblpScenario(real);
-  rows.push_back(Measure("dblp", *dblp.mapping));
-  Scenario mondial = BuildMondialScenario(real);
-  rows.push_back(Measure("mondial", *mondial.mapping));
+  scenarios.emplace_back("dblp", BuildDblpScenario(real));
+  scenarios.emplace_back("mondial", BuildMondialScenario(real));
 
   RandomScenarioOptions random;
   random.seed = 7;
   random.st_tgds = 6;
   random.target_tgds = 3;
   random.egds = 2;
-  Scenario rnd = BuildRandomScenario(random);
-  rows.push_back(Measure("random_seed7", *rnd.mapping));
+  scenarios.emplace_back("random_seed7", BuildRandomScenario(random));
+
+  std::vector<Row> rows;
+  std::vector<PassRow> passes;
+  for (const auto& [name, scenario] : scenarios) {
+    rows.push_back(Measure(name, *scenario.mapping));
+    passes.push_back(MeasurePasses(name, *scenario.mapping));
+  }
 
   std::ofstream out(out_path);
   out << "{\n  \"scenarios\": [\n";
@@ -76,6 +125,32 @@ int Run(const std::string& out_path, bool smoke) {
         << (i + 1 < rows.size() ? "," : "") << "\n";
     std::cerr << r.name << ": " << r.diagnostics << " diagnostics, "
               << r.chases_run << " chases, " << r.wall_ms << " ms\n";
+  }
+  out << "  ],\n  \"containment\": [\n";
+  for (size_t i = 0; i < passes.size(); ++i) {
+    const PassRow& p = passes[i];
+    out << "    {\"name\": \"" << p.name << "\", \"verdict\": \""
+        << p.containment_verdict
+        << "\", \"chases_run\": " << p.containment_chases
+        << ", \"wall_ms\": " << p.containment_ms << "}"
+        << (i + 1 < passes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"min_cover\": [\n";
+  for (size_t i = 0; i < passes.size(); ++i) {
+    const PassRow& p = passes[i];
+    out << "    {\"name\": \"" << p.name
+        << "\", \"removed\": " << p.min_cover_removed
+        << ", \"inconclusive\": " << p.min_cover_inconclusive
+        << ", \"wall_ms\": " << p.min_cover_ms << "}"
+        << (i + 1 < passes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"reachability\": [\n";
+  for (size_t i = 0; i < passes.size(); ++i) {
+    const PassRow& p = passes[i];
+    out << "    {\"name\": \"" << p.name
+        << "\", \"unreachable_relations\": " << p.unreachable_relations
+        << ", \"wall_ms\": " << p.reachability_ms << "}"
+        << (i + 1 < passes.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cerr << "wrote " << out_path << "\n";

@@ -12,12 +12,17 @@
 // Options:
 //   --json            emit a JSON array instead of text
 //   --fast            structural passes only (no frozen-LHS chases)
+//   --min-cover       redundancy minimization with certificate routes
+//   --reachability    static route-reachability prediction per position
+//   --against OLD     diff-lint: only findings changed vs OLD's mapping,
+//                     plus the containment verdict between the versions
 //   --max-steps N     step budget per frozen-LHS chase (default 100000)
 //   --trace[=FILE]    record a Chrome trace of the run (Perfetto)
 //   --metrics[=FILE]  dump the metrics registry as JSON
 //   -                 read the scenario from stdin
 //
 // Exit status: 0 = no findings, 1 = findings, 2 = usage or parse error.
+// With --against: 0 = no delta, 1 = delta.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -25,6 +30,7 @@
 #include <string>
 
 #include "analysis/analyzer.h"
+#include "analysis/diff_lint.h"
 #include "base/status.h"
 #include "mapping/parser.h"
 #include "obs/obs_cli.h"
@@ -32,10 +38,28 @@
 namespace {
 
 int Usage() {
-  std::cerr << "usage: spider_lint [--json] [--fast] [--max-steps N] "
+  std::cerr << "usage: spider_lint [--json] [--fast] [--min-cover] "
+               "[--reachability] [--against OLD] [--max-steps N] "
                "scenario.txt|-\n"
             << spider::obs::ObsFlagsHelp();
   return 2;
+}
+
+std::string ReadInput(const std::string& path, bool* ok) {
+  *ok = true;
+  std::ostringstream buffer;
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "spider_lint: cannot open " << path << '\n';
+      *ok = false;
+      return "";
+    }
+    buffer << in.rdbuf();
+  }
+  return buffer.str();
 }
 
 }  // namespace
@@ -44,6 +68,7 @@ int main(int argc, char** argv) {
   bool json = false;
   spider::AnalysisOptions options;
   std::string path;
+  std::string against_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (spider::obs::HandleObsFlag(arg)) {
@@ -54,6 +79,13 @@ int main(int argc, char** argv) {
       options.termination = true;
       options.subsumption = false;
       options.egd_interaction = false;
+    } else if (arg == "--min-cover") {
+      options.min_cover = true;
+    } else if (arg == "--reachability") {
+      options.reachability = true;
+    } else if (arg == "--against") {
+      if (++i == argc) return Usage();
+      against_path = argv[i];
     } else if (arg == "--max-steps") {
       if (++i == argc) return Usage();
       options.chase_max_steps = std::strtoull(argv[i], nullptr, 10);
@@ -65,28 +97,39 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return Usage();
 
-  std::string text;
-  if (path == "-") {
-    std::ostringstream buffer;
-    buffer << std::cin.rdbuf();
-    text = buffer.str();
-  } else {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "spider_lint: cannot open " << path << '\n';
-      return 2;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    text = buffer.str();
-  }
+  bool ok = false;
+  std::string text = ReadInput(path, &ok);
+  if (!ok) return 2;
 
   try {
     spider::Scenario scenario = spider::ParseScenario(text);
+
+    if (!against_path.empty()) {
+      std::string old_text = ReadInput(against_path, &ok);
+      if (!ok) return 2;
+      spider::Scenario old_scenario = spider::ParseScenario(old_text);
+      spider::DiffLintOptions diff_options;
+      diff_options.analysis = options;
+      spider::DiffLintReport diff = spider::DiffLint(
+          *old_scenario.mapping, *scenario.mapping, diff_options);
+      std::cout << diff.Summary();
+      spider::obs::FlushObsOutputs();
+      return diff.Clean() ? 0 : 1;
+    }
+
     spider::AnalysisReport report =
         spider::AnalyzeMapping(*scenario.mapping, options);
     std::cout << (json ? spider::DiagnosticsToJson(report.diagnostics)
                        : spider::RenderDiagnostics(report.diagnostics));
+    if (!json) {
+      if (report.reachability != nullptr) {
+        std::cout << "reachability:\n"
+                  << report.reachability->Summary(scenario.mapping->target());
+      }
+      if (report.min_cover != nullptr) {
+        std::cout << report.min_cover->Summary(*scenario.mapping);
+      }
+    }
     spider::obs::FlushObsOutputs();
     return report.diagnostics.empty() ? 0 : 1;
   } catch (const spider::SpiderError& e) {

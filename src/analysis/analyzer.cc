@@ -182,7 +182,7 @@ void ShapePass(const SchemaMapping& mapping, const PositionFlow& flow,
 
 /// First (tgd, atom span) writing target position (rel, col), by TgdId.
 std::pair<TgdId, SourceSpan> FirstWriter(const SchemaMapping& mapping,
-                                         RelationId rel, int col) {
+                                         RelationId rel, int /*col*/) {
   for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
     const Tgd& tgd = mapping.tgd(id);
     for (size_t a = 0; a < tgd.rhs().size(); ++a) {
@@ -289,10 +289,13 @@ void TerminationPass(const SchemaMapping& mapping,
 void SubsumptionPass(const SchemaMapping& mapping,
                      const AnalysisOptions& options, AnalysisReport* report) {
   if (mapping.NumTgds() < 2) return;
+  SubsumptionTestOptions test_options;
+  test_options.max_steps = options.chase_max_steps;
+  test_options.cancel = options.cancel;
   for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+    ThrowIfCancelled(options.cancel);
     ++report->chases_run;
-    SubsumptionVerdict verdict =
-        TestTgdSubsumption(mapping, id, options.chase_max_steps);
+    SubsumptionVerdict verdict = TestTgdSubsumption(mapping, id, test_options);
     if (verdict == SubsumptionVerdict::kInconclusive) {
       ++report->inconclusive_subsumptions;
       continue;
@@ -373,7 +376,9 @@ void EgdPass(const SchemaMapping& mapping, const PositionFlow& flow,
   frozen_options.include_sigma = true;
   frozen_options.include_egds = false;
   frozen_options.max_steps = options.chase_max_steps;
+  frozen_options.cancel = options.cancel;
   for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+    ThrowIfCancelled(options.cancel);
     ++report->chases_run;
     FrozenChaseResult frozen = ChaseFrozenLhs(mapping, id, frozen_options);
     if (!frozen.ok) continue;
@@ -420,6 +425,74 @@ void EgdPass(const SchemaMapping& mapping, const PositionFlow& flow,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Reachability pass — static route-reachability prediction.
+// ---------------------------------------------------------------------------
+
+void ReachabilityPass(const SchemaMapping& mapping,
+                      const AnalysisOptions& options, AnalysisReport* report) {
+  auto reachability = std::make_shared<ReachabilityReport>(
+      ComputeReachability(mapping, options.cancel));
+  for (RelationId r = 0; r < static_cast<RelationId>(mapping.target().size());
+       ++r) {
+    if (reachability->Reachable(r)) continue;
+    // Only report relations some tgd writes: plainly-unwritten ones are
+    // already shape/unpopulated-target-relation findings.
+    bool written = false;
+    for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()) && !written;
+         ++id) {
+      for (const Atom& atom : mapping.tgd(id).rhs()) {
+        if (atom.relation == r) {
+          written = true;
+          break;
+        }
+      }
+    }
+    if (!written) continue;
+    const RelationDef& def = mapping.target().relation(r);
+    Diagnostic d = Make(Severity::kWarning, "reachability",
+                        "unreachable-target-relation",
+                        "no route will ever exist to facts of " + def.name() +
+                            ": every tgd writing it reads a relation no "
+                            "chase can populate");
+    auto [tgd, span] = FirstWriter(mapping, r, 0);
+    d.tgd = tgd;
+    d.span = span;
+    d.hint = "add a dependency populating the relations its writers read, "
+             "or delete the dead tgds";
+    report->diagnostics.push_back(std::move(d));
+  }
+  report->reachability = std::move(reachability);
+}
+
+// ---------------------------------------------------------------------------
+// Min-cover pass — whole-mapping redundancy with certificate routes.
+// ---------------------------------------------------------------------------
+
+void MinCoverPass(const SchemaMapping& mapping, const AnalysisOptions& options,
+                  AnalysisReport* report) {
+  MinCoverOptions cover_options;
+  cover_options.chase_max_steps = options.chase_max_steps;
+  cover_options.cancel = options.cancel;
+  auto cover = std::make_shared<MinCoverResult>(
+      ComputeMinCover(mapping, cover_options));
+  report->chases_run += cover->tested;
+  for (const RemovalCertificate& certificate : cover->removed) {
+    Diagnostic d = Make(Severity::kWarning, "min-cover", "removable-tgd",
+                        "tgd '" + certificate.name +
+                            "' is redundant given the kept dependencies; "
+                            "certificate route: " +
+                            certificate.route.TgdNames(
+                                *certificate.scenario.mapping));
+    d.tgd = certificate.tgd;
+    d.span = mapping.tgd(certificate.tgd).span();
+    d.hint = "delete it; replay the certificate in the debugger to see "
+             "every fact it derives derived without it";
+    report->diagnostics.push_back(std::move(d));
+  }
+  report->min_cover = std::move(cover);
+}
+
 }  // namespace
 
 AnalysisReport AnalyzeMapping(const SchemaMapping& mapping,
@@ -429,8 +502,11 @@ AnalysisReport AnalyzeMapping(const SchemaMapping& mapping,
   if (options.shape) ShapePass(mapping, flow, &report.diagnostics);
   if (options.coverage) CoveragePass(mapping, flow, &report.diagnostics);
   if (options.termination) TerminationPass(mapping, &report.diagnostics);
+  if (options.reachability) ReachabilityPass(mapping, options, &report);
   if (options.subsumption) SubsumptionPass(mapping, options, &report);
   if (options.egd_interaction) EgdPass(mapping, flow, options, &report);
+  if (options.min_cover) MinCoverPass(mapping, options, &report);
+  ThrowIfCancelled(options.cancel);
   return report;
 }
 

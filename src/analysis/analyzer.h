@@ -2,16 +2,21 @@
 #define SPIDER_ANALYSIS_ANALYZER_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "analysis/min_cover.h"
+#include "analysis/reachability.h"
+#include "base/cancel.h"
 #include "mapping/schema_mapping.h"
 
 namespace spider {
 
 /// Which passes AnalyzeMapping runs. The shape and coverage passes are pure
 /// structural analysis (fast, no chase); termination builds the position
-/// dependency graph; subsumption and egd interaction run frozen-LHS chases
+/// dependency graph; reachability runs the position-lattice fixpoint (no
+/// chase); subsumption, egd interaction and min-cover run frozen-LHS chases
 /// (one or two per dependency) and dominate the runtime.
 struct AnalysisOptions {
   bool shape = true;
@@ -19,19 +24,32 @@ struct AnalysisOptions {
   bool termination = true;
   bool subsumption = true;
   bool egd_interaction = true;
+  /// Whole-mapping passes, off by default (spider_lint enables them with
+  /// --reachability / --min-cover; kAnalyze with the matching spec tokens).
+  bool reachability = false;
+  bool min_cover = false;
   /// Step budget for each frozen-LHS chase. The frozen instance has one
   /// tuple per LHS atom, so a well-behaved mapping finishes in a handful of
   /// steps; hitting the budget marks the check inconclusive, never throws.
   size_t chase_max_steps = 100'000;
+  /// Cooperative cancellation, polled between dependencies and inside every
+  /// chase. Cancellation throws CancelledError out of AnalyzeMapping.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Result of AnalyzeMapping: the findings plus counters for benchmarks.
 struct AnalysisReport {
   std::vector<Diagnostic> diagnostics;
-  /// Frozen-LHS chases executed (subsumption + egd interaction).
+  /// Frozen-LHS chases executed (subsumption + egd interaction + min-cover).
   size_t chases_run = 0;
   /// Subsumption tests that hit the step limit or an egd failure.
   size_t inconclusive_subsumptions = 0;
+
+  /// Present when AnalysisOptions::min_cover ran. Shared so reports stay
+  /// copyable while certificates (which own scenarios) are not.
+  std::shared_ptr<const MinCoverResult> min_cover;
+  /// Present when AnalysisOptions::reachability ran.
+  std::shared_ptr<const ReachabilityReport> reachability;
 
   /// Diagnostics matching pass/code (empty strings match everything).
   std::vector<Diagnostic> Matching(const std::string& pass,
@@ -59,7 +77,12 @@ struct AnalysisReport {
 ///    constant at a null-only position), latent-key-violation (an egd is
 ///    guaranteed to equate two distinct generic values every time some tgd
 ///    fires), egd-always-fires (note: every firing of some tgd triggers a
-///    null unification).
+///    null unification);
+///  * reachability — unreachable-target-relation: tgds write the relation
+///    but none of them can ever fire, so no route to any of its facts will
+///    ever exist (strictly stronger than shape's unpopulated check);
+///  * min-cover — removable-tgd: the tgd is redundant given the kept rest,
+///    with a certificate route in the report's min_cover result.
 AnalysisReport AnalyzeMapping(const SchemaMapping& mapping,
                               const AnalysisOptions& options = {});
 

@@ -1,0 +1,369 @@
+#include "analysis/containment.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "analysis/subsumption.h"
+#include "base/status.h"
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "mapping/writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/evaluator.h"
+
+namespace spider {
+
+const char* ImplicationVerdictName(ImplicationVerdict verdict) {
+  switch (verdict) {
+    case ImplicationVerdict::kImplied: return "implied";
+    case ImplicationVerdict::kNotImplied: return "not-implied";
+    case ImplicationVerdict::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+const char* ContainmentVerdictName(ContainmentVerdict verdict) {
+  switch (verdict) {
+    case ContainmentVerdict::kEquivalent: return "equivalent";
+    case ContainmentVerdict::kContained: return "m1-contained-in-m2";
+    case ContainmentVerdict::kContains: return "m2-contained-in-m1";
+    case ContainmentVerdict::kIncomparable: return "incomparable";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool SchemaCoveredBy(const Schema& a, const Schema& b, const char* side,
+                     const char* missing_from, std::string* reason) {
+  for (RelationId r = 0; r < static_cast<RelationId>(a.size()); ++r) {
+    const RelationDef& def = a.relation(r);
+    RelationId other = b.Find(def.name());
+    if (other == kInvalidRelation) {
+      *reason = std::string(side) + " relation '" + def.name() +
+                "' is missing from " + missing_from;
+      return false;
+    }
+    if (b.relation(other).arity() != def.arity()) {
+      *reason = std::string(side) + " relation '" + def.name() +
+                "' has arity " + std::to_string(def.arity()) + " in one "
+                "mapping and " + std::to_string(b.relation(other).arity()) +
+                " in the other";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Containment is only defined over the same schemas; relation ids may
+/// differ between independently parsed mappings, so compatibility (and all
+/// atom translation below) goes by relation name + arity.
+bool CompatibleSchemas(const SchemaMapping& m1, const SchemaMapping& m2,
+                       std::string* reason) {
+  return SchemaCoveredBy(m1.source(), m2.source(), "source", "M2", reason) &&
+         SchemaCoveredBy(m2.source(), m1.source(), "source", "M1", reason) &&
+         SchemaCoveredBy(m1.target(), m2.target(), "target", "M2", reason) &&
+         SchemaCoveredBy(m2.target(), m1.target(), "target", "M1", reason);
+}
+
+std::vector<Atom> TranslateAtoms(const std::vector<Atom>& atoms,
+                                 const Schema& from, const Schema& to) {
+  std::vector<Atom> out;
+  out.reserve(atoms.size());
+  for (const Atom& atom : atoms) {
+    Atom translated = atom;
+    translated.relation = to.Require(from.relation(atom.relation).name());
+    out.push_back(std::move(translated));
+  }
+  return out;
+}
+
+/// Copy-mapping over `by`'s target schema, mirroring the construction in
+/// subsumption.cc: the chase starts from a source instance, so a target-side
+/// canonical database is bridged in verbatim through identity `__copy_<rel>`
+/// tgds and then chased by ALL of `by`'s target dependencies.
+std::unique_ptr<SchemaMapping> BuildTargetCopyMapping(const SchemaMapping& by) {
+  Schema copy_source = by.target();
+  auto derived = std::make_unique<SchemaMapping>(std::move(copy_source),
+                                                 by.target());
+  const Schema& target = by.target();
+  for (RelationId rel = 0; rel < static_cast<RelationId>(target.size());
+       ++rel) {
+    const RelationDef& def = target.relation(rel);
+    std::vector<std::string> vars;
+    std::vector<Term> terms;
+    for (size_t i = 0; i < def.arity(); ++i) {
+      vars.push_back("v" + std::to_string(i));
+      terms.push_back(Term::Var(static_cast<VarId>(i)));
+    }
+    Atom atom{rel, terms};
+    derived->AddTgd(Tgd("__copy_" + def.name(), std::move(vars), {atom},
+                        {atom}, /*source_to_target=*/true));
+  }
+  for (TgdId id : by.target_tgds()) derived->AddTgd(by.tgd(id));
+  for (EgdId id = 0; id < static_cast<EgdId>(by.NumEgds()); ++id) {
+    derived->AddEgd(by.egd(id));
+  }
+  return derived;
+}
+
+/// Σ_by ⊨ σ for a tgd σ of the other mapping: freeze σ's universal
+/// variables to constants, chase the canonical database of its LHS with
+/// `by`, and check that σ's conclusion (existentials as fresh nulls) maps
+/// homomorphically into the result.
+ImplicationVerdict TestTgdImplication(const Tgd& sigma,
+                                      const Schema& of_source,
+                                      const Schema& of_target,
+                                      const SchemaMapping& by,
+                                      const ContainmentOptions& options) {
+  std::vector<Value> assignment(sigma.num_vars());
+  for (VarId v = 0; v < static_cast<VarId>(sigma.num_vars()); ++v) {
+    if (sigma.IsUniversal(v)) {
+      assignment[v] = FrozenConstant(sigma.var_names()[v]);
+    }
+  }
+
+  const SchemaMapping* chasing = &by;
+  std::unique_ptr<SchemaMapping> copy;
+  const Schema* lhs_from = &of_source;
+  if (!sigma.source_to_target()) {
+    copy = BuildTargetCopyMapping(by);
+    chasing = copy.get();
+    lhs_from = &of_target;
+  }
+  Instance canonical(&chasing->source());
+  FreezeAtoms(TranslateAtoms(sigma.lhs(), *lhs_from, chasing->source()),
+              assignment, &canonical);
+
+  ChaseOptions chase_options;
+  chase_options.max_steps = options.chase_max_steps;
+  chase_options.cancel = options.cancel;
+  ChaseResult chase = Chase(*chasing, canonical, chase_options);
+  if (chase.outcome != ChaseOutcome::kSuccess) {
+    // Step limit, or an egd equated two distinct constants. The failure is
+    // not generic in the frozen constants (a match collapsing two of them
+    // might chase fine), so stay conservative.
+    return ImplicationVerdict::kInconclusive;
+  }
+
+  int64_t next_null = chase.next_null_id;
+  for (VarId v = 0; v < static_cast<VarId>(sigma.num_vars()); ++v) {
+    if (!sigma.IsUniversal(v)) assignment[v] = Value::Null(next_null++);
+  }
+  Instance rhs(&chase.target->schema());
+  FreezeAtoms(TranslateAtoms(sigma.rhs(), of_target, chase.target->schema()),
+              assignment, &rhs);
+  return FindHomomorphism(rhs, *chase.target).has_value()
+             ? ImplicationVerdict::kImplied
+             : ImplicationVerdict::kNotImplied;
+}
+
+/// Σ_by ⊨ ε for an egd ε of the other mapping. Unlike tgds, ε's variables
+/// are frozen to fresh labeled NULLS: constants can never be unified, but
+/// the egd's premise must stay generic under unification for the test to be
+/// exact. After chasing, the equality must hold on EVERY match of the
+/// premise — the chase result is itself a model of Σ_by, so one violating
+/// match is a genuine countermodel, and conversely a violating match in any
+/// model pulls back through the universal-solution homomorphism.
+ImplicationVerdict TestEgdImplication(const Egd& egd, const Schema& of_target,
+                                      const SchemaMapping& by,
+                                      const ContainmentOptions& options) {
+  std::unique_ptr<SchemaMapping> copy = BuildTargetCopyMapping(by);
+  std::vector<Value> assignment(egd.num_vars());
+  for (VarId v = 0; v < static_cast<VarId>(egd.num_vars()); ++v) {
+    assignment[v] = Value::Null(v + 1);
+  }
+  Instance canonical(&copy->source());
+  std::vector<Atom> lhs = TranslateAtoms(egd.lhs(), of_target, copy->source());
+  FreezeAtoms(lhs, assignment, &canonical);
+
+  ChaseOptions chase_options;
+  chase_options.max_steps = options.chase_max_steps;
+  chase_options.first_null_id = static_cast<int64_t>(egd.num_vars()) + 1;
+  chase_options.cancel = options.cancel;
+  ChaseResult chase = Chase(*copy, canonical, chase_options);
+  if (chase.outcome == ChaseOutcome::kEgdFailure) {
+    // The all-null canonical premise is fully generic: a failing chase
+    // derivation transfers along any match of the premise into any model of
+    // Σ_by, so no model contains a match at all and ε holds vacuously.
+    return ImplicationVerdict::kImplied;
+  }
+  if (chase.outcome != ChaseOutcome::kSuccess) {
+    return ImplicationVerdict::kInconclusive;
+  }
+
+  Binding binding(egd.num_vars());
+  MatchIterator it(*chase.target, lhs, &binding);
+  while (it.Next()) {
+    if (!(binding.Get(egd.left()) == binding.Get(egd.right()))) {
+      return ImplicationVerdict::kNotImplied;
+    }
+  }
+  return ImplicationVerdict::kImplied;
+}
+
+/// De-freezes the failing tgd's canonical database into a counterexample a
+/// person can chase by hand: fresh readable constants (`frz_<var>`,
+/// uniquified against every constant either mapping mentions) stand in for
+/// the frozen universal variables.
+void BuildCounterexample(const Tgd& sigma, const SchemaMapping& of,
+                         const SchemaMapping& other,
+                         ContainmentDirection* direction) {
+  std::unordered_set<std::string> taken;
+  auto collect = [&taken](const SchemaMapping& mapping) {
+    auto scan = [&taken](const std::vector<Atom>& atoms) {
+      for (const Atom& atom : atoms) {
+        for (const Term& term : atom.terms) {
+          if (!term.is_var() && term.value().kind() == Value::Kind::kString) {
+            taken.insert(term.value().AsString());
+          }
+        }
+      }
+    };
+    for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+      scan(mapping.tgd(id).lhs());
+      scan(mapping.tgd(id).rhs());
+    }
+    for (EgdId id = 0; id < static_cast<EgdId>(mapping.NumEgds()); ++id) {
+      scan(mapping.egd(id).lhs());
+    }
+  };
+  collect(of);
+  collect(other);
+
+  std::vector<Value> assignment(sigma.num_vars());
+  for (VarId v = 0; v < static_cast<VarId>(sigma.num_vars()); ++v) {
+    if (!sigma.IsUniversal(v)) continue;
+    std::string name = "frz_" + sigma.var_names()[v];
+    while (!taken.insert(name).second) name += "_";
+    assignment[v] = Value::Str(std::move(name));
+  }
+  auto instance = std::make_unique<Instance>(&of.source());
+  FreezeAtoms(sigma.lhs(), assignment, instance.get());
+  direction->counterexample_facts = WriteFacts(*instance, {});
+  direction->counterexample = std::move(instance);
+}
+
+/// Tests every dependency of `of` for implication by `by` (tgds in TgdId
+/// order, then egds). This is the direction "chase_of(I) ↪ chase_by(I)".
+ContainmentDirection CheckDirection(const SchemaMapping& of,
+                                    const SchemaMapping& by,
+                                    const ContainmentOptions& options,
+                                    size_t* chases_run) {
+  ContainmentDirection direction;
+  for (TgdId id = 0; id < static_cast<TgdId>(of.NumTgds()); ++id) {
+    ThrowIfCancelled(options.cancel);
+    const Tgd& tgd = of.tgd(id);
+    ++*chases_run;
+    ImplicationVerdict verdict =
+        TestTgdImplication(tgd, of.source(), of.target(), by, options);
+    direction.dependencies.push_back({false, id, tgd.name(), verdict});
+    switch (verdict) {
+      case ImplicationVerdict::kImplied: ++direction.implied; break;
+      case ImplicationVerdict::kNotImplied: ++direction.not_implied; break;
+      case ImplicationVerdict::kInconclusive:
+        ++direction.inconclusive;
+        break;
+    }
+    if (verdict == ImplicationVerdict::kNotImplied &&
+        direction.witness.empty()) {
+      direction.witness = tgd.ToString(of.source(), of.target());
+      if (tgd.source_to_target()) BuildCounterexample(tgd, of, by, &direction);
+    }
+  }
+  for (EgdId id = 0; id < static_cast<EgdId>(of.NumEgds()); ++id) {
+    ThrowIfCancelled(options.cancel);
+    const Egd& egd = of.egd(id);
+    ++*chases_run;
+    ImplicationVerdict verdict =
+        TestEgdImplication(egd, of.target(), by, options);
+    direction.dependencies.push_back({true, id, egd.name(), verdict});
+    switch (verdict) {
+      case ImplicationVerdict::kImplied: ++direction.implied; break;
+      case ImplicationVerdict::kNotImplied: ++direction.not_implied; break;
+      case ImplicationVerdict::kInconclusive:
+        ++direction.inconclusive;
+        break;
+    }
+    if (verdict == ImplicationVerdict::kNotImplied &&
+        direction.witness.empty()) {
+      direction.witness = egd.ToString(of.target());
+    }
+  }
+  direction.holds =
+      direction.not_implied == 0 && direction.inconclusive == 0;
+  return direction;
+}
+
+void RenderDirection(const char* label, const ContainmentDirection& direction,
+                     std::string* out) {
+  *out += label;
+  if (direction.holds) {
+    *out += ": holds (" + std::to_string(direction.implied) +
+            " dependencies implied)\n";
+    return;
+  }
+  *out += ": fails (" + std::to_string(direction.implied) + " implied, " +
+          std::to_string(direction.not_implied) + " not implied, " +
+          std::to_string(direction.inconclusive) + " inconclusive)\n";
+  if (!direction.witness.empty()) {
+    *out += "  first unimplied: " + direction.witness + "\n";
+  }
+}
+
+}  // namespace
+
+std::string ContainmentReport::Summary() const {
+  std::string out =
+      "containment: " + std::string(ContainmentVerdictName(verdict)) + "\n";
+  if (!comparable) {
+    out += "schemas incomparable: " + incomparable_reason + "\n";
+    return out;
+  }
+  RenderDirection("m1 in m2", m1_in_m2, &out);
+  RenderDirection("m2 in m1", m2_in_m1, &out);
+  if (!m1_in_m2.counterexample_facts.empty()) {
+    out += "counterexample source instance (chasing it under m1 derives "
+           "facts m2 never does):\n";
+    out += m1_in_m2.counterexample_facts;
+  }
+  if (!m2_in_m1.counterexample_facts.empty()) {
+    out += "counterexample source instance (chasing it under m2 derives "
+           "facts m1 never does):\n";
+    out += m2_in_m1.counterexample_facts;
+  }
+  return out;
+}
+
+ContainmentReport CheckContainment(const SchemaMapping& m1,
+                                   const SchemaMapping& m2,
+                                   const ContainmentOptions& options) {
+  obs::TraceSpan span("analysis", "containment");
+  ContainmentReport report;
+  report.comparable =
+      CompatibleSchemas(m1, m2, &report.incomparable_reason);
+  if (report.comparable) {
+    report.m1_in_m2 = CheckDirection(m1, m2, options, &report.chases_run);
+    report.m2_in_m1 = CheckDirection(m2, m1, options, &report.chases_run);
+    if (report.m1_in_m2.holds && report.m2_in_m1.holds) {
+      report.verdict = ContainmentVerdict::kEquivalent;
+    } else if (report.m1_in_m2.holds) {
+      report.verdict = ContainmentVerdict::kContained;
+    } else if (report.m2_in_m1.holds) {
+      report.verdict = ContainmentVerdict::kContains;
+    } else {
+      report.verdict = ContainmentVerdict::kIncomparable;
+    }
+  }
+  if (obs::MetricsEnabled()) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter("analysis.containment_checks")->Increment();
+    registry.GetCounter("analysis.containment_chases")
+        ->Add(report.chases_run);
+  }
+  return report;
+}
+
+}  // namespace spider

@@ -1,0 +1,109 @@
+#ifndef SPIDER_ANALYSIS_CONTAINMENT_H_
+#define SPIDER_ANALYSIS_CONTAINMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/cancel.h"
+#include "mapping/schema_mapping.h"
+#include "storage/instance.h"
+
+namespace spider {
+
+/// Verdict of one dependency-implication test (is σ a logical consequence
+/// of the other mapping's dependency set?).
+enum class ImplicationVerdict {
+  kImplied,
+  kNotImplied,
+  kInconclusive,  ///< Step limit, or a chase failure the test cannot read.
+};
+
+const char* ImplicationVerdictName(ImplicationVerdict verdict);
+
+/// Containment of schema mappings in the Calì–Torlone sense: M1 ⊑ M2 iff
+/// for every source instance I the canonical solution chase_M1(I) maps
+/// homomorphically into chase_M2(I) — equivalently, iff Σ2 ⊨ Σ1.
+enum class ContainmentVerdict {
+  kEquivalent,    ///< Both directions hold: the mappings are interchangeable.
+  kContained,     ///< M1 ⊑ M2 only: M2 derives everything M1 does (and more).
+  kContains,      ///< M2 ⊑ M1 only.
+  kIncomparable,  ///< Neither direction holds, or the schemas differ.
+};
+
+const char* ContainmentVerdictName(ContainmentVerdict verdict);
+
+/// Implication result for one dependency of the checked mapping.
+struct DependencyImplication {
+  bool is_egd = false;
+  /// TgdId or EgdId within the checked mapping.
+  int32_t id = -1;
+  std::string name;
+  ImplicationVerdict verdict = ImplicationVerdict::kInconclusive;
+};
+
+/// One direction of the containment check: every dependency of the CHECKED
+/// mapping tested for implication by the OTHER mapping's dependency set.
+struct ContainmentDirection {
+  /// All dependencies implied (no kNotImplied and no kInconclusive).
+  bool holds = false;
+  size_t implied = 0;
+  size_t not_implied = 0;
+  size_t inconclusive = 0;
+  /// Per-dependency verdicts, tgds (in TgdId order) then egds.
+  std::vector<DependencyImplication> dependencies;
+  /// Rendered text of the first not-implied dependency, empty when none.
+  std::string witness;
+  /// Counterexample source instance for the first not-implied s-t tgd (over
+  /// the CHECKED mapping's source schema, which must outlive this report):
+  /// chasing it under the checked mapping derives facts the other mapping's
+  /// chase never produces. Null when the failure involves only target
+  /// dependencies (the witness text still names the culprit).
+  std::unique_ptr<Instance> counterexample;
+  /// The counterexample's facts rendered as `Rel(v, ...);` lines.
+  std::string counterexample_facts;
+};
+
+struct ContainmentOptions {
+  /// Step budget per frozen-LHS chase.
+  size_t chase_max_steps = 100'000;
+  const CancelToken* cancel = nullptr;
+};
+
+/// The whole-mapping containment report. Move-only (it may own a
+/// counterexample instance).
+struct ContainmentReport {
+  /// Schemas match by relation name and arity in both directions; every
+  /// verdict other than on-the-face incomparability requires this.
+  bool comparable = false;
+  std::string incomparable_reason;
+
+  ContainmentVerdict verdict = ContainmentVerdict::kIncomparable;
+  /// chase_M1(I) ↪ chase_M2(I): M1's dependencies implied by M2 (Σ2 ⊨ Σ1).
+  ContainmentDirection m1_in_m2;
+  /// The opposite direction.
+  ContainmentDirection m2_in_m1;
+
+  size_t chases_run = 0;
+
+  /// Deterministic multi-line human rendering of the whole report.
+  std::string Summary() const;
+};
+
+/// Decides containment/equivalence of two mappings over matching schemas by
+/// the chase criterion: each dependency σ of one mapping is implied by the
+/// other mapping Σ iff chasing σ's frozen canonical database with Σ yields
+/// an instance σ's conclusion maps into (frozen constants fixed pointwise).
+/// Egds are frozen to fresh labeled nulls instead of constants — nulls stay
+/// generic under unification, which makes the egd test exact: the implied
+/// equality must hold on every match of the egd's premise in the chase
+/// result. Sound and complete whenever the chases terminate; step-limit or
+/// unreadable chase failures surface as kInconclusive (and block `holds`).
+ContainmentReport CheckContainment(const SchemaMapping& m1,
+                                   const SchemaMapping& m2,
+                                   const ContainmentOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ANALYSIS_CONTAINMENT_H_

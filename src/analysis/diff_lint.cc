@@ -1,0 +1,121 @@
+#include "analysis/diff_lint.h"
+
+#include <map>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace spider {
+namespace {
+
+/// Span-free content key: two findings are "the same" when everything but
+/// their anchor matches, so edits that only move dependencies down the file
+/// do not show up as churn.
+std::string DiagnosticKey(const Diagnostic& diagnostic) {
+  return std::string(SeverityName(diagnostic.severity)) + "|" +
+         diagnostic.pass + "|" + diagnostic.code + "|" + diagnostic.message +
+         "|" + diagnostic.hint;
+}
+
+std::vector<std::string> RenderedDependencies(const SchemaMapping& mapping) {
+  std::vector<std::string> out;
+  for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+    out.push_back(mapping.tgd(id).ToString(mapping.source(), mapping.target()));
+  }
+  for (EgdId id = 0; id < static_cast<EgdId>(mapping.NumEgds()); ++id) {
+    out.push_back(mapping.egd(id).ToString(mapping.target()));
+  }
+  return out;
+}
+
+/// Elements of `a` not matched by an element of `b` (multiset semantics),
+/// in `a`'s order.
+std::vector<std::string> MultisetDiff(const std::vector<std::string>& a,
+                                      const std::vector<std::string>& b) {
+  std::map<std::string, int> counts;
+  for (const std::string& s : b) ++counts[s];
+  std::vector<std::string> out;
+  for (const std::string& s : a) {
+    auto it = counts.find(s);
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> DiagnosticDiff(const std::vector<Diagnostic>& a,
+                                       const std::vector<Diagnostic>& b) {
+  std::map<std::string, int> counts;
+  for (const Diagnostic& d : b) ++counts[DiagnosticKey(d)];
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : a) {
+    auto it = counts.find(DiagnosticKey(d));
+    if (it != counts.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DiffLintReport::Summary() const {
+  std::string out =
+      "diff-lint: " + std::to_string(added_dependencies.size()) +
+      " dependencies added, " + std::to_string(removed_dependencies.size()) +
+      " removed; " + std::to_string(introduced.size()) +
+      " findings introduced, " + std::to_string(resolved.size()) +
+      " resolved\n";
+  for (const std::string& dep : added_dependencies) out += "+ " + dep + "\n";
+  for (const std::string& dep : removed_dependencies) out += "- " + dep + "\n";
+  if (!introduced.empty()) {
+    out += "introduced findings:\n" + RenderDiagnostics(introduced);
+  }
+  if (!resolved.empty()) {
+    out += "resolved findings:\n" + RenderDiagnostics(resolved);
+  }
+  if (containment_checked) {
+    out += "version containment (m1 = old, m2 = new): " +
+           std::string(ContainmentVerdictName(containment)) + "\n";
+  }
+  return out;
+}
+
+DiffLintReport DiffLint(const SchemaMapping& old_mapping,
+                        const SchemaMapping& new_mapping,
+                        const DiffLintOptions& options) {
+  obs::TraceSpan span("analysis", "diff_lint");
+  DiffLintReport report;
+
+  AnalysisReport old_report = AnalyzeMapping(old_mapping, options.analysis);
+  AnalysisReport new_report = AnalyzeMapping(new_mapping, options.analysis);
+
+  std::vector<std::string> old_deps = RenderedDependencies(old_mapping);
+  std::vector<std::string> new_deps = RenderedDependencies(new_mapping);
+  report.added_dependencies = MultisetDiff(new_deps, old_deps);
+  report.removed_dependencies = MultisetDiff(old_deps, new_deps);
+
+  report.introduced =
+      DiagnosticDiff(new_report.diagnostics, old_report.diagnostics);
+  report.resolved =
+      DiagnosticDiff(old_report.diagnostics, new_report.diagnostics);
+
+  if (options.check_containment) {
+    ContainmentOptions containment_options;
+    containment_options.chase_max_steps = options.analysis.chase_max_steps;
+    containment_options.cancel = options.analysis.cancel;
+    ContainmentReport containment =
+        CheckContainment(old_mapping, new_mapping, containment_options);
+    report.containment_checked = true;
+    report.containment = containment.verdict;
+    report.containment_summary = containment.Summary();
+  }
+  return report;
+}
+
+}  // namespace spider

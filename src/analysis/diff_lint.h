@@ -1,0 +1,63 @@
+#ifndef SPIDER_ANALYSIS_DIFF_LINT_H_
+#define SPIDER_ANALYSIS_DIFF_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/containment.h"
+#include "mapping/schema_mapping.h"
+
+namespace spider {
+
+struct DiffLintOptions {
+  /// Pass selection and budgets for the analysis run on each version.
+  AnalysisOptions analysis;
+  /// Also decide containment between the versions (one extra chase per
+  /// dependency per direction).
+  bool check_containment = true;
+};
+
+/// What changed between two versions of a mapping, diagnostics-wise: the
+/// dependency edits plus only the diagnostics the edit introduced or
+/// resolved. Unchanged findings are suppressed — the reviewer of a mapping
+/// edit wants the delta, not the backlog.
+struct DiffLintReport {
+  /// Dependencies present in exactly one version, rendered (multiset diff
+  /// on rendered text, so renames show as one removal plus one addition).
+  std::vector<std::string> added_dependencies;
+  std::vector<std::string> removed_dependencies;
+
+  /// Diagnostics in the new version with no counterpart in the old one.
+  /// Alignment is by content (severity, pass, code, message, hint) and
+  /// deliberately ignores spans, so dependencies that merely moved lines
+  /// produce no noise.
+  std::vector<Diagnostic> introduced;
+  /// Old diagnostics with no counterpart in the new version.
+  std::vector<Diagnostic> resolved;
+
+  /// Containment verdict old-vs-new (old as M1), when requested and the
+  /// schemas are comparable.
+  bool containment_checked = false;
+  ContainmentVerdict containment = ContainmentVerdict::kIncomparable;
+  std::string containment_summary;
+
+  bool Clean() const {
+    return added_dependencies.empty() && removed_dependencies.empty() &&
+           introduced.empty() && resolved.empty();
+  }
+
+  /// Deterministic human rendering of the whole delta.
+  std::string Summary() const;
+};
+
+/// Analyzes both versions and reports only the changed diagnostics plus the
+/// dependency edits and (optionally) the containment verdict between the
+/// versions. Deterministic: equal inputs yield byte-identical summaries.
+DiffLintReport DiffLint(const SchemaMapping& old_mapping,
+                        const SchemaMapping& new_mapping,
+                        const DiffLintOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ANALYSIS_DIFF_LINT_H_

@@ -1,0 +1,169 @@
+#include "analysis/min_cover.h"
+
+#include <utility>
+
+#include "analysis/subsumption.h"
+#include "base/status.h"
+#include "chase/homomorphism.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "routes/one_route.h"
+
+namespace spider {
+namespace {
+
+/// Applies an instance homomorphism to one frozen tuple (nulls through the
+/// map — identity when unconstrained — constants pointwise).
+Tuple ApplyHom(const InstanceHom& hom, const Tuple& tuple) {
+  std::vector<Value> out;
+  out.reserve(tuple.arity());
+  for (size_t i = 0; i < tuple.arity(); ++i) {
+    const Value& value = tuple.at(i);
+    if (value.is_null()) {
+      auto it = hom.find(value.AsNull().id);
+      out.push_back(it == hom.end() ? value : it->second);
+    } else {
+      out.push_back(value);
+    }
+  }
+  return Tuple(std::move(out));
+}
+
+}  // namespace
+
+std::string MinCoverResult::Summary(const SchemaMapping& mapping) const {
+  std::string out = "min-cover: " + std::to_string(NumRemoved()) +
+                    " of " + std::to_string(tested) + " tgds redundant";
+  if (inconclusive > 0) {
+    out += " (" + std::to_string(inconclusive) + " inconclusive, kept)";
+  }
+  out += "\n";
+  for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+    out += (kept[id] ? "  keep   " : "  remove ") + mapping.tgd(id).name() +
+           "\n";
+  }
+  for (const RemovalCertificate& certificate : removed) {
+    out += "certificate for " + certificate.name + ": route " +
+           certificate.route.TgdNames(*certificate.scenario.mapping) +
+           " derives " + std::to_string(certificate.facts.size()) +
+           " fact(s)\n";
+  }
+  return out;
+}
+
+std::unique_ptr<SchemaMapping> MinCoverResult::BuildReduced(
+    const SchemaMapping& mapping) const {
+  SPIDER_CHECK(kept.size() == mapping.NumTgds(),
+               "MinCoverResult::BuildReduced: kept mask size mismatch");
+  auto reduced = std::make_unique<SchemaMapping>(mapping.source(),
+                                                 mapping.target());
+  for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+    if (kept[id]) reduced->AddTgd(mapping.tgd(id));
+  }
+  for (EgdId id = 0; id < static_cast<EgdId>(mapping.NumEgds()); ++id) {
+    reduced->AddEgd(mapping.egd(id));
+  }
+  return reduced;
+}
+
+MinCoverResult ComputeMinCover(const SchemaMapping& mapping,
+                               const MinCoverOptions& options) {
+  obs::TraceSpan span("analysis", "min_cover");
+  MinCoverResult result;
+  result.kept.assign(mapping.NumTgds(), true);
+
+  for (TgdId sigma = 0; sigma < static_cast<TgdId>(mapping.NumTgds());
+       ++sigma) {
+    ThrowIfCancelled(options.cancel);
+    ++result.tested;
+    const Tgd& tgd = mapping.tgd(sigma);
+
+    FrozenChaseOptions frozen_options;
+    frozen_options.include_sigma = false;
+    frozen_options.include_egds = true;
+    frozen_options.max_steps = options.chase_max_steps;
+    frozen_options.active_tgds = &result.kept;
+    frozen_options.cancel = options.cancel;
+    FrozenChaseResult frozen = ChaseFrozenLhs(mapping, sigma, frozen_options);
+    if (!frozen.ok) {
+      ++result.inconclusive;
+      continue;
+    }
+
+    // σ is implied by the kept rest iff its frozen RHS (existentials free)
+    // maps into the chase result.
+    std::vector<Value> assignment = frozen.frozen;
+    int64_t next_null = frozen.chase.next_null_id;
+    for (VarId v = 0; v < static_cast<VarId>(tgd.num_vars()); ++v) {
+      if (!tgd.IsUniversal(v)) assignment[v] = Value::Null(next_null++);
+    }
+    Instance rhs(&frozen.derived->target());
+    FreezeAtoms(tgd.rhs(), assignment, &rhs);
+    std::optional<InstanceHom> hom =
+        FindHomomorphism(rhs, *frozen.chase.target);
+    if (!hom.has_value()) continue;  // necessary: keep
+
+    // Certificate: locate σ's RHS image in the chase target and find a
+    // route to it using only kept dependencies. Note rhs atoms use the
+    // ORIGINAL mapping's target relation ids — identical to the derived
+    // mapping's target ids for both the s-t case (same schemas) and the
+    // copy-mapping case (the copy preserves relation order).
+    std::vector<FactRef> facts;
+    bool located = true;
+    for (const Atom& atom : tgd.rhs()) {
+      std::vector<Value> frozen_tuple;
+      frozen_tuple.reserve(atom.terms.size());
+      for (const Term& term : atom.terms) {
+        frozen_tuple.push_back(term.is_var() ? assignment[term.var()]
+                                             : term.value());
+      }
+      Tuple image = ApplyHom(*hom, Tuple(std::move(frozen_tuple)));
+      std::optional<int32_t> row =
+          frozen.chase.target->FindRow(atom.relation, image);
+      if (!row.has_value()) {
+        located = false;
+        break;
+      }
+      FactRef ref;
+      ref.side = Side::kTarget;
+      ref.relation = atom.relation;
+      ref.row = *row;
+      facts.push_back(ref);
+    }
+    if (!located) {
+      ++result.inconclusive;
+      continue;
+    }
+
+    OneRouteResult route = ComputeOneRoute(*frozen.derived,
+                                           *frozen.frozen_source,
+                                           *frozen.chase.target, facts);
+    if (!route.found) {
+      ++result.inconclusive;
+      continue;
+    }
+
+    RemovalCertificate certificate;
+    certificate.tgd = sigma;
+    certificate.name = tgd.name();
+    certificate.text = tgd.ToString(mapping.source(), mapping.target());
+    certificate.scenario.mapping = std::move(frozen.derived);
+    certificate.scenario.source = std::move(frozen.frozen_source);
+    certificate.scenario.target = std::move(frozen.chase.target);
+    certificate.scenario.max_null_id = next_null - 1;
+    certificate.facts = std::move(facts);
+    certificate.route = std::move(route.route);
+    result.kept[sigma] = false;
+    result.removed.push_back(std::move(certificate));
+  }
+
+  if (obs::MetricsEnabled()) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter("analysis.min_cover_runs")->Increment();
+    registry.GetCounter("analysis.min_cover_removed")
+        ->Add(result.NumRemoved());
+  }
+  return result;
+}
+
+}  // namespace spider

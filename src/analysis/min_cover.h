@@ -1,0 +1,81 @@
+#ifndef SPIDER_ANALYSIS_MIN_COVER_H_
+#define SPIDER_ANALYSIS_MIN_COVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/cancel.h"
+#include "mapping/scenario.h"
+#include "mapping/schema_mapping.h"
+#include "routes/route.h"
+
+namespace spider {
+
+/// Proof that one tgd was safely removed: a self-contained scenario (the
+/// removed tgd's frozen canonical source chased under the KEPT dependencies
+/// only) in which every fact the removed tgd would derive is already present,
+/// plus a route deriving exactly those facts with kept dependencies. The
+/// scenario is replayable in the debugger: load it, ask for a route to
+/// `facts`, and watch the removed tgd never fire.
+struct RemovalCertificate {
+  TgdId tgd = -1;
+  std::string name;
+  /// The removed tgd rendered over the original mapping's schemas.
+  std::string text;
+  /// mapping := kept dependencies (for a removed target tgd this is the
+  /// `__copy_<rel>`-bridged copy mapping, as in the subsumption pass);
+  /// source := the frozen canonical LHS; target := its chase.
+  Scenario scenario;
+  /// The removed tgd's RHS image inside scenario.target (via the
+  /// implication homomorphism).
+  std::vector<FactRef> facts;
+  /// Route to `facts` using only kept dependencies; validates against the
+  /// scenario by construction.
+  Route route;
+};
+
+/// A minimal cover of the mapping's tgd set.
+struct MinCoverResult {
+  /// Per TgdId: true when the tgd is part of the cover. Egds are never
+  /// candidates for removal (they prune models rather than derive facts).
+  std::vector<bool> kept;
+  /// One certificate per removed tgd, in TgdId order.
+  std::vector<RemovalCertificate> removed;
+  /// Tgds whose implication test was inconclusive (step limit, egd failure,
+  /// or no certificate route); kept conservatively.
+  size_t inconclusive = 0;
+  size_t tested = 0;
+
+  size_t NumRemoved() const { return removed.size(); }
+
+  /// Deterministic one-line-per-tgd rendering.
+  std::string Summary(const SchemaMapping& mapping) const;
+
+  /// The reduced mapping: kept tgds (ids compacted, order preserved) plus
+  /// all egds. Equivalent to the original whenever every removal was
+  /// certified.
+  std::unique_ptr<SchemaMapping> BuildReduced(
+      const SchemaMapping& mapping) const;
+};
+
+struct MinCoverOptions {
+  /// Step budget per frozen-LHS chase.
+  size_t chase_max_steps = 100'000;
+  const CancelToken* cancel = nullptr;
+};
+
+/// Computes a minimal cover by one pass in TgdId order: each tgd is tested
+/// for implication by the currently-kept rest (the PR 3 subsumption chase
+/// with an active-subset mask), and removed only when a certificate route
+/// exists. Implication is monotone in the chasing set, so no removed tgd
+/// ever becomes necessary again and the surviving set is a minimal cover
+/// with respect to the conclusive tests: removing any further kept tgd whose
+/// test was conclusive would change the mapping's semantics.
+MinCoverResult ComputeMinCover(const SchemaMapping& mapping,
+                               const MinCoverOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ANALYSIS_MIN_COVER_H_

@@ -1,0 +1,119 @@
+#include "analysis/reachability.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace spider {
+
+const char* ReachabilityName(Reachability reachability) {
+  switch (reachability) {
+    case Reachability::kUnreachable: return "unreachable";
+    case Reachability::kConstantOnly: return "constant-only";
+    case Reachability::kVarReachable: return "var-reachable";
+  }
+  return "unknown";
+}
+
+ReachabilityReport::ReachabilityReport(const Schema& target)
+    : positions(target),
+      position(positions.size(), Reachability::kUnreachable),
+      relation_reachable(target.size(), false) {}
+
+std::string ReachabilityReport::Summary(const Schema& target) const {
+  std::string out;
+  for (RelationId rel = 0; rel < static_cast<RelationId>(target.size());
+       ++rel) {
+    const RelationDef& def = target.relation(rel);
+    if (!relation_reachable[rel]) {
+      out += def.name() + ": unreachable\n";
+      continue;
+    }
+    out += def.name() + "(";
+    for (size_t i = 0; i < def.arity(); ++i) {
+      if (i > 0) out += ", ";
+      out += def.attribute(i) + "=" +
+             ReachabilityName(At(rel, static_cast<int>(i)));
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+ReachabilityReport ComputeReachability(const SchemaMapping& mapping,
+                                       const CancelToken* cancel) {
+  obs::TraceSpan span("analysis", "reachability");
+  ReachabilityReport report(mapping.target());
+  report.tgd_fireable.assign(mapping.NumTgds(), false);
+
+  // Monotone fixpoint: fireability and position levels only ever rise, so
+  // the sweep count is bounded by the number of positions plus tgds.
+  bool changed = true;
+  while (changed) {
+    ThrowIfCancelled(cancel);
+    changed = false;
+    for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+      const Tgd& tgd = mapping.tgd(id);
+      bool fireable = true;
+      if (!tgd.source_to_target()) {
+        for (const Atom& atom : tgd.lhs()) {
+          if (!report.relation_reachable[atom.relation]) {
+            fireable = false;
+            break;
+          }
+        }
+      }
+      if (!fireable) continue;
+      if (!report.tgd_fireable[id]) {
+        report.tgd_fireable[id] = true;
+        changed = true;
+      }
+
+      // The class of values a universal variable can carry. For an s-t tgd
+      // the source is assumed arbitrary, so every universal is
+      // var-reachable. For a target tgd a binding needs one value present
+      // at EVERY position the variable reads, so its class is capped by the
+      // poorest of those positions.
+      std::vector<Reachability> var_level(tgd.num_vars(),
+                                          Reachability::kVarReachable);
+      if (!tgd.source_to_target()) {
+        for (const Atom& atom : tgd.lhs()) {
+          for (size_t i = 0; i < atom.terms.size(); ++i) {
+            const Term& term = atom.terms[i];
+            if (!term.is_var()) continue;
+            Reachability at = report.At(atom.relation, static_cast<int>(i));
+            if (at < var_level[term.var()]) var_level[term.var()] = at;
+          }
+        }
+      }
+
+      for (const Atom& atom : tgd.rhs()) {
+        if (!report.relation_reachable[atom.relation]) {
+          report.relation_reachable[atom.relation] = true;
+          changed = true;
+        }
+        for (size_t i = 0; i < atom.terms.size(); ++i) {
+          const Term& term = atom.terms[i];
+          Reachability contribution =
+              term.is_const() ? Reachability::kConstantOnly
+              : tgd.IsUniversal(term.var())
+                  ? var_level[term.var()]
+                  : Reachability::kConstantOnly;  // existential: labeled null
+          int pid = report.positions.Id(atom.relation, static_cast<int>(i));
+          if (report.position[pid] < contribution) {
+            report.position[pid] = contribution;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  if (obs::MetricsEnabled()) {
+    obs::Registry::Global()
+        .GetCounter("analysis.reachability_runs")
+        ->Increment();
+  }
+  return report;
+}
+
+}  // namespace spider

@@ -1,0 +1,69 @@
+#ifndef SPIDER_ANALYSIS_REACHABILITY_H_
+#define SPIDER_ANALYSIS_REACHABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/position_flow.h"
+#include "base/cancel.h"
+#include "mapping/schema_mapping.h"
+
+namespace spider {
+
+/// What class of values a chase can ever place at a target position,
+/// independent of the data. Ordered: each level includes the ones below it.
+enum class Reachability : uint8_t {
+  /// No chase sequence writes the position's relation at all — no route to
+  /// any fact of it can exist, over any source instance.
+  kUnreachable = 0,
+  /// Facts can appear, but the position only ever holds constants written
+  /// verbatim in some dependency or invented labeled nulls — never a value
+  /// drawn from the source instance.
+  kConstantOnly = 1,
+  /// Source data can flow into the position.
+  kVarReachable = 2,
+};
+
+const char* ReachabilityName(Reachability reachability);
+
+/// Static route-reachability prediction over one mapping's target schema: a
+/// fixpoint on the position-flow lattice classifying every target relation
+/// and position before any chase runs. `spider_lint` warns on unreachable
+/// relations ("no route will ever exist to facts of T.R"), and the debugger
+/// short-circuits route queries whose goal facts all live in unreachable
+/// relations.
+struct ReachabilityReport {
+  explicit ReachabilityReport(const Schema& target);
+
+  /// Dense position ids over the target schema.
+  PositionIndex positions;
+  /// Per dense position id: the best (largest) value class reachable there.
+  std::vector<Reachability> position;
+  /// Per target RelationId: some chase sequence can create a fact of it.
+  std::vector<bool> relation_reachable;
+  /// Per TgdId of the analyzed mapping: the tgd can ever fire. S-t tgds are
+  /// always fireable (the source is assumed populated); a target tgd is
+  /// fireable iff every relation its LHS reads is reachable.
+  std::vector<bool> tgd_fireable;
+
+  bool Reachable(RelationId rel) const { return relation_reachable[rel]; }
+  Reachability At(RelationId rel, int col) const {
+    return position[positions.Id(rel, col)];
+  }
+
+  /// Deterministic rendering, one line per target relation in RelationId
+  /// order: `Rel: unreachable` or `Rel(attr=level, ...)`.
+  std::string Summary(const Schema& target) const;
+};
+
+/// Runs the reachability fixpoint. Conservative in the sound direction for
+/// the debugger's short-circuit: kUnreachable is exact (no chase writes the
+/// relation), while kConstantOnly/kVarReachable may overestimate what real
+/// data achieves (joins can be empty at runtime).
+ReachabilityReport ComputeReachability(const SchemaMapping& mapping,
+                                       const CancelToken* cancel = nullptr);
+
+}  // namespace spider
+
+#endif  // SPIDER_ANALYSIS_REACHABILITY_H_

@@ -8,30 +8,23 @@
 
 namespace spider {
 
-namespace {
-
-/// Frozen constant standing for universal variable `name`. The \x01 prefix
-/// cannot be produced by the parser or any workload generator, so frozen
-/// constants never collide with real data values.
+// The \x01 prefix cannot be produced by the parser or any workload
+// generator, so frozen constants never collide with real data values.
 Value FrozenConstant(const std::string& name) {
   return Value::Str(std::string("\x01frz:") + name);
 }
 
-/// Inserts the canonical instance of `atoms` (one tuple per atom, universal
-/// variables frozen) into `into`.
 void FreezeAtoms(const std::vector<Atom>& atoms,
-                 const std::vector<Value>& frozen, Instance* into) {
+                 const std::vector<Value>& assignment, Instance* into) {
   for (const Atom& atom : atoms) {
     std::vector<Value> tuple;
     tuple.reserve(atom.terms.size());
     for (const Term& term : atom.terms) {
-      tuple.push_back(term.is_var() ? frozen[term.var()] : term.value());
+      tuple.push_back(term.is_var() ? assignment[term.var()] : term.value());
     }
     into->Insert(atom.relation, Tuple(std::move(tuple)));
   }
 }
-
-}  // namespace
 
 FrozenChaseResult ChaseFrozenLhs(const SchemaMapping& mapping, TgdId sigma,
                                  const FrozenChaseOptions& options) {
@@ -47,6 +40,9 @@ FrozenChaseResult ChaseFrozenLhs(const SchemaMapping& mapping, TgdId sigma,
     }
   }
 
+  const std::vector<bool>* active = options.active_tgds;
+  SPIDER_CHECK(active == nullptr || active->size() == mapping.NumTgds(),
+               "ChaseFrozenLhs: active_tgds mask size mismatch");
   if (frozen_tgd.source_to_target()) {
     // Chase the frozen source instance with the original mapping (minus
     // sigma unless included).
@@ -54,6 +50,7 @@ FrozenChaseResult ChaseFrozenLhs(const SchemaMapping& mapping, TgdId sigma,
                                                    mapping.target());
     for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
       if (id == sigma && !options.include_sigma) continue;
+      if (id != sigma && active != nullptr && !(*active)[id]) continue;
       derived->AddTgd(mapping.tgd(id));
     }
     if (options.include_egds) {
@@ -88,6 +85,7 @@ FrozenChaseResult ChaseFrozenLhs(const SchemaMapping& mapping, TgdId sigma,
     }
     for (TgdId id : mapping.target_tgds()) {
       if (id == sigma && !options.include_sigma) continue;
+      if (id != sigma && active != nullptr && !(*active)[id]) continue;
       derived->AddTgd(mapping.tgd(id));
     }
     if (options.include_egds) {
@@ -104,6 +102,7 @@ FrozenChaseResult ChaseFrozenLhs(const SchemaMapping& mapping, TgdId sigma,
 
   ChaseOptions chase_options;
   chase_options.max_steps = options.max_steps;
+  chase_options.cancel = options.cancel;
   result.chase =
       Chase(*result.derived, *result.frozen_source, chase_options);
   result.ok = result.chase.outcome == ChaseOutcome::kSuccess;
@@ -112,11 +111,21 @@ FrozenChaseResult ChaseFrozenLhs(const SchemaMapping& mapping, TgdId sigma,
 
 SubsumptionVerdict TestTgdSubsumption(const SchemaMapping& mapping,
                                       TgdId sigma, size_t max_steps) {
+  SubsumptionTestOptions options;
+  options.max_steps = max_steps;
+  return TestTgdSubsumption(mapping, sigma, options);
+}
+
+SubsumptionVerdict TestTgdSubsumption(const SchemaMapping& mapping,
+                                      TgdId sigma,
+                                      const SubsumptionTestOptions& test) {
   const Tgd& tgd = mapping.tgd(sigma);
   FrozenChaseOptions options;
   options.include_sigma = false;
   options.include_egds = true;
-  options.max_steps = max_steps;
+  options.max_steps = test.max_steps;
+  options.active_tgds = test.active_tgds;
+  options.cancel = test.cancel;
   FrozenChaseResult frozen = ChaseFrozenLhs(mapping, sigma, options);
   if (!frozen.ok) return SubsumptionVerdict::kInconclusive;
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/cancel.h"
 #include "chase/chase.h"
 #include "mapping/schema_mapping.h"
 #include "storage/instance.h"
@@ -22,6 +23,13 @@ struct FrozenChaseOptions {
   /// Step budget; the frozen instance is tiny, so hitting this means the
   /// target tgds likely do not terminate.
   size_t max_steps = 100'000;
+  /// Whole-mapping variant: when non-null (size NumTgds()), only tgds whose
+  /// entry is true participate in the chase. `sigma` itself is still
+  /// governed by include_sigma. The min-cover pass chases against the
+  /// currently-kept subset through this mask.
+  const std::vector<bool>* active_tgds = nullptr;
+  /// Cooperative cancellation, polled by the underlying chase.
+  const CancelToken* cancel = nullptr;
 };
 
 /// A frozen-LHS chase: the canonical instance of one tgd's LHS (universal
@@ -56,6 +64,15 @@ enum class SubsumptionVerdict {
   kInconclusive,  ///< Chase hit the step limit or an egd failed.
 };
 
+/// Options for TestTgdSubsumption beyond the plain step budget.
+struct SubsumptionTestOptions {
+  size_t max_steps = 100'000;
+  /// Only test against this subset of the mapping's tgds (see
+  /// FrozenChaseOptions::active_tgds).
+  const std::vector<bool>* active_tgds = nullptr;
+  const CancelToken* cancel = nullptr;
+};
+
 /// Tests whether `sigma` is implied by the remaining dependencies, by the
 /// classical chase argument: chase σ's frozen LHS with Σ \ {σ}; σ is implied
 /// iff the frozen RHS maps homomorphically into the result (frozen constants
@@ -64,6 +81,21 @@ enum class SubsumptionVerdict {
 SubsumptionVerdict TestTgdSubsumption(const SchemaMapping& mapping,
                                       TgdId sigma,
                                       size_t max_steps = 100'000);
+SubsumptionVerdict TestTgdSubsumption(const SchemaMapping& mapping,
+                                      TgdId sigma,
+                                      const SubsumptionTestOptions& options);
+
+/// The frozen constant standing for universal variable `name` (a \x01-
+/// prefixed string no parser or generator can produce, so it never collides
+/// with data values). Exposed for the containment and min-cover passes,
+/// which freeze dependencies across mappings.
+Value FrozenConstant(const std::string& name);
+
+/// Inserts the canonical instance of `atoms` into `into`: one tuple per
+/// atom, variables replaced through `assignment` (indexed by VarId),
+/// constants kept.
+void FreezeAtoms(const std::vector<Atom>& atoms,
+                 const std::vector<Value>& assignment, Instance* into);
 
 }  // namespace spider
 

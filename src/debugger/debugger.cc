@@ -8,11 +8,15 @@ namespace spider {
 
 MappingDebugger::MappingDebugger(const Scenario* scenario,
                                  RouteOptions options)
-    : scenario_(scenario), options_(options) {
-  SPIDER_CHECK(scenario != nullptr && scenario->mapping != nullptr &&
-                   scenario->source != nullptr && scenario->target != nullptr,
-               "the debugger requires a scenario with mapping and instances");
-}
+    : scenario_([&] {
+        SPIDER_CHECK(
+            scenario != nullptr && scenario->mapping != nullptr &&
+                scenario->source != nullptr && scenario->target != nullptr,
+            "the debugger requires a scenario with mapping and instances");
+        return scenario;
+      }()),
+      options_(options),
+      reachability_(ComputeReachability(*scenario->mapping)) {}
 
 RenderContext MappingDebugger::render_context() const {
   RenderContext ctx;
@@ -49,6 +53,27 @@ FactRef MappingDebugger::SourceFact(const std::string& fact_text) const {
 
 OneRouteResult MappingDebugger::OneRoute(
     const std::vector<FactRef>& js) const {
+  // Static short-circuit: a target fact in a relation no chase sequence
+  // can write has no route over ANY source instance, so when the whole
+  // selection is unreachable the search outcome is known without running.
+  // Mixed selections still search — the reachable facts deserve their
+  // partial route, and the search marks the dead ones unproven itself.
+  if (!js.empty()) {
+    bool all_unreachable = true;
+    for (const FactRef& fact : js) {
+      if (fact.side != Side::kTarget ||
+          reachability_.Reachable(fact.relation)) {
+        all_unreachable = false;
+        break;
+      }
+    }
+    if (all_unreachable) {
+      OneRouteResult result;
+      result.found = false;
+      result.unproven = js;
+      return result;
+    }
+  }
   return ComputeOneRoute(*scenario_->mapping, *scenario_->source,
                          *scenario_->target, js, options_);
 }

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/reachability.h"
 #include "debugger/render.h"
 #include "debugger/route_player.h"
 #include "mapping/scenario.h"
@@ -42,8 +43,16 @@ class MappingDebugger {
   /// Same, in the source instance.
   FactRef SourceFact(const std::string& fact_text) const;
 
-  /// Computes one route fast for the selected target facts (§3.2).
+  /// Computes one route fast for the selected target facts (§3.2). When
+  /// EVERY selected target fact lives in a statically unreachable relation
+  /// (see ComputeReachability), the search is short-circuited: no route can
+  /// exist over any source instance, so the result is `found = false` with
+  /// all of `js` unproven, without touching the instances.
   OneRouteResult OneRoute(const std::vector<FactRef>& js) const;
+
+  /// The static reachability classification of the mapping's target schema,
+  /// computed once at construction.
+  const ReachabilityReport& reachability() const { return reachability_; }
 
   /// Computes the route forest representing all routes (§3.1).
   RouteForest AllRoutes(const std::vector<FactRef>& js) const;
@@ -84,6 +93,7 @@ class MappingDebugger {
  private:
   const Scenario* scenario_;
   RouteOptions options_;
+  ReachabilityReport reachability_;
   std::unordered_set<TgdId> breakpoints_;
 };
 

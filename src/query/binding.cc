@@ -51,7 +51,8 @@ std::string Binding::ToString(
   os << '{';
   bool first = true;
   for (size_t v = 0; v < slots_.size(); ++v) {
-    if (!slots_[v].has_value()) continue;
+    const std::optional<Value>& slot = slots_[v];
+    if (!slot.has_value()) continue;
     if (!first) os << ", ";
     first = false;
     if (v < var_names.size()) {
@@ -59,7 +60,7 @@ std::string Binding::ToString(
     } else {
       os << "?v" << v;
     }
-    os << " -> " << *slots_[v];
+    os << " -> " << *slot;
   }
   os << '}';
   return os.str();

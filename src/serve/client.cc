@@ -156,6 +156,10 @@ Response Client::Lint(uint64_t session_id) {
   return CallType(MsgType::kLint, session_id, "");
 }
 
+Response Client::Analyze(uint64_t session_id, std::string spec) {
+  return CallType(MsgType::kAnalyze, session_id, std::move(spec));
+}
+
 Response Client::Ping() { return CallType(MsgType::kPing, 0, ""); }
 
 Response Client::Stats() { return CallType(MsgType::kStats, 0, ""); }

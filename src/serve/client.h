@@ -62,6 +62,9 @@ class Client {
   Response Route(uint64_t session_id, std::string fact);
   Response AllRoutes(uint64_t session_id, std::string fact);
   Response Lint(uint64_t session_id);
+  /// Whole-mapping static analysis; `spec` is the kAnalyze token grammar
+  /// ("", "fast", "min-cover", "reachability", space-separated).
+  Response Analyze(uint64_t session_id, std::string spec);
   Response Ping();
   Response Stats();
 

@@ -8,7 +8,7 @@ namespace {
 
 bool KnownRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(MsgType::kCreateSession) &&
-         type <= static_cast<uint8_t>(MsgType::kCancel);
+         type <= static_cast<uint8_t>(MsgType::kAnalyze);
 }
 
 bool HasSessionId(MsgType type) {
@@ -29,6 +29,7 @@ bool HasText(MsgType type) {
     case MsgType::kLoadSession:
     case MsgType::kRoute:
     case MsgType::kAllRoutes:
+    case MsgType::kAnalyze:
       return true;
     default:
       return false;
@@ -175,6 +176,7 @@ const char* MsgTypeName(MsgType type) {
     case MsgType::kPing: return "ping";
     case MsgType::kStats: return "stats";
     case MsgType::kCancel: return "cancel";
+    case MsgType::kAnalyze: return "analyze";
     case MsgType::kReply: return "reply";
     case MsgType::kError: return "error";
   }

@@ -30,6 +30,11 @@ enum class MsgType : uint8_t {
   /// completion may still win the race). The kCancel frame itself gets an
   /// ack reply ("cancelled" / "cancel_pending" / "not_found").
   kCancel = 10,
+  /// Whole-mapping static analysis of the session's loaded mapping. text =
+  /// space-separated spec tokens: "" or "fast" (structural passes only),
+  /// "full" (adds the chase-based passes), "min-cover", "reachability"
+  /// (addable to either). Results are cached by mapping content hash.
+  kAnalyze = 11,
   // Responses.
   kReply = 64,
   kError = 65,

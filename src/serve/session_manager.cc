@@ -3,6 +3,7 @@
 #include <exception>
 #include <utility>
 
+#include "analysis/analyzer.h"
 #include "base/hash.h"
 #include "base/status.h"
 #include "debugger/linter.h"
@@ -127,6 +128,7 @@ Response SessionManager::Handle(const Request& request, uint64_t now_ms,
     case MsgType::kRoute:
     case MsgType::kAllRoutes:
     case MsgType::kLint:
+    case MsgType::kAnalyze:
       return CapReply(HandleSession(request, now_ms, cancel));
     default:
       return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
@@ -359,6 +361,8 @@ Response SessionManager::HandleSession(const Request& request,
             request.request_id,
             RenderLintFindings(
                 LintMapping(*session.scenario().mapping)));
+      case MsgType::kAnalyze:
+        return HandleAnalyze(request, session, cancel);
       default:
         return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
                              "unhandled session message type");
@@ -390,6 +394,76 @@ Response SessionManager::HandleSession(const Request& request,
   }
 }
 
+Response SessionManager::HandleAnalyze(const Request& request,
+                                       DebugSession& session,
+                                       const CancelToken* cancel) {
+  AnalysisOptions analysis;
+  analysis.cancel = cancel;
+  // Spec grammar: whitespace-separated tokens. "fast" turns the chase-based
+  // per-dependency passes off; "full" is the default; "min-cover" and
+  // "reachability" add the whole-mapping passes.
+  std::string_view spec = request.text;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    while (pos < spec.size() && spec[pos] == ' ') ++pos;
+    size_t end = spec.find(' ', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view token = spec.substr(pos, end - pos);
+    pos = end;
+    if (token.empty() || token == "full") {
+      continue;
+    } else if (token == "fast") {
+      analysis.subsumption = false;
+      analysis.egd_interaction = false;
+    } else if (token == "min-cover") {
+      analysis.min_cover = true;
+    } else if (token == "reachability") {
+      analysis.reachability = true;
+    } else {
+      return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
+                           "unknown analyze spec token: " +
+                               std::string(token));
+    }
+  }
+
+  const SchemaMapping& mapping = *session.scenario().mapping;
+  // Analysis is deterministic and depends only on the mapping and the spec,
+  // so the rendered reply is cacheable by content hash — equal mappings in
+  // different sessions share entries.
+  uint64_t key =
+      Fnv1a64(mapping.ToString(), Fnv1a64(request.text, Fnv1a64("analyze")));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = analysis_cache_.find(key);
+    if (it != analysis_cache_.end()) {
+      ++stats_.analyze_cache_hits;
+      return OkResponse(request.request_id, it->second);
+    }
+    ++stats_.analyze_cache_misses;
+  }
+
+  AnalysisReport report = AnalyzeMapping(mapping, analysis);
+  std::string text = RenderDiagnostics(report.diagnostics);
+  if (report.reachability != nullptr) {
+    text += "reachability:\n" + report.reachability->Summary(mapping.target());
+  }
+  if (report.min_cover != nullptr) {
+    text += report.min_cover->Summary(mapping);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (analysis_cache_.emplace(key, text).second) {
+      analysis_cache_order_.push_back(key);
+      while (analysis_cache_order_.size() > kAnalysisCacheEntries) {
+        analysis_cache_.erase(analysis_cache_order_.front());
+        analysis_cache_order_.pop_front();
+      }
+    }
+  }
+  return OkResponse(request.request_id, std::move(text));
+}
+
 Response SessionManager::HandleStats(const Request& request) {
   SessionManagerStats s = stats();
   SharedRouteCacheStats c = shared_cache_.stats();
@@ -412,6 +486,9 @@ Response SessionManager::HandleStats(const Request& request) {
   out += "shared_evictions " + std::to_string(c.evictions) + "\n";
   out += "plan_cache_bytes " + std::to_string(plan_cache_.bytes()) + "\n";
   out += "plan_cache_evictions " + std::to_string(plan_cache_.evictions()) +
+         "\n";
+  out += "analyze_cache_hits " + std::to_string(s.analyze_cache_hits) + "\n";
+  out += "analyze_cache_misses " + std::to_string(s.analyze_cache_misses) +
          "\n";
   return OkResponse(request.request_id, std::move(out));
 }

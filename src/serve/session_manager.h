@@ -2,6 +2,7 @@
 #define SPIDER_SERVE_SESSION_MANAGER_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -54,6 +55,8 @@ struct SessionManagerStats {
   uint64_t cancelled = 0;           ///< Requests answered kCancelled.
   uint64_t deadline_exceeded = 0;   ///< Requests answered kDeadlineExceeded.
   uint64_t replies_truncated = 0;   ///< Replies answered kReplyTooLarge.
+  uint64_t analyze_cache_hits = 0;    ///< kAnalyze served from the cache.
+  uint64_t analyze_cache_misses = 0;  ///< kAnalyze that ran the analyzer.
   size_t open_sessions = 0;
   size_t approx_bytes = 0;  ///< Sum of per-session instance estimates.
 };
@@ -126,6 +129,11 @@ class SessionManager {
   Response HandleSession(const Request& request, uint64_t now_ms,
                          const CancelToken* cancel);
   Response HandleStats(const Request& request);
+  /// kAnalyze: whole-mapping static analysis of the session's loaded
+  /// mapping, cached across sessions by (mapping content, spec) hash —
+  /// analysis is deterministic, so a hit is byte-identical to a recompute.
+  Response HandleAnalyze(const Request& request, DebugSession& session,
+                         const CancelToken* cancel);
 
   /// Maps a flipped token to its wire error (and bumps the stat counter).
   Response CancelledResponse(uint64_t request_id, const CancelToken* cancel);
@@ -146,6 +154,12 @@ class SessionManager {
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<ServerSession>> sessions_;
   SessionManagerStats stats_;
+
+  /// Rendered kAnalyze replies keyed by (mapping content, spec) hash,
+  /// FIFO-bounded; shared across sessions (guarded by mu_).
+  static constexpr size_t kAnalysisCacheEntries = 128;
+  std::unordered_map<uint64_t, std::string> analysis_cache_;
+  std::deque<uint64_t> analysis_cache_order_;
 };
 
 }  // namespace spider::serve

@@ -1,0 +1,346 @@
+#include "analysis/containment.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "chase/chase.h"
+#include "chase/homomorphism.h"
+#include "mapping/parser.h"
+#include "workload/random_scenario.h"
+
+namespace spider {
+namespace {
+
+Scenario Parse(const std::string& text) { return ParseScenario(text); }
+
+TEST(ContainmentTest, IdenticalMappingsAreEquivalent) {
+  Scenario a = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); U(a); }
+    p: S(x, y) -> T(x, y);
+    q: T(x, y) -> U(x);
+    e: T(a, b) & T(a, c) -> b = c;
+  )");
+  Scenario b = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); U(a); }
+    p: S(x, y) -> T(x, y);
+    q: T(x, y) -> U(x);
+    e: T(a, b) & T(a, c) -> b = c;
+  )");
+  ContainmentReport report = CheckContainment(*a.mapping, *b.mapping);
+  EXPECT_TRUE(report.comparable);
+  EXPECT_EQ(report.verdict, ContainmentVerdict::kEquivalent);
+  EXPECT_TRUE(report.m1_in_m2.holds);
+  EXPECT_TRUE(report.m2_in_m1.holds);
+  EXPECT_EQ(report.m1_in_m2.not_implied, 0u);
+  EXPECT_EQ(report.m1_in_m2.inconclusive, 0u);
+  EXPECT_GT(report.chases_run, 0u);
+}
+
+TEST(ContainmentTest, VariableRenamingIsEquivalent) {
+  Scenario a = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> exists Z . T(x, Z);
+  )");
+  Scenario b = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    renamed: S(u, v) -> exists W . T(u, W);
+  )");
+  ContainmentReport report = CheckContainment(*a.mapping, *b.mapping);
+  EXPECT_EQ(report.verdict, ContainmentVerdict::kEquivalent);
+}
+
+TEST(ContainmentTest, MissingTgdMakesStrictContainment) {
+  Scenario small = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); U(a); }
+    p: S(x, y) -> T(x, y);
+  )");
+  Scenario big = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); U(a); }
+    p: S(x, y) -> T(x, y);
+    q: S(x, y) -> U(x);
+  )");
+  ContainmentReport report = CheckContainment(*small.mapping, *big.mapping);
+  EXPECT_EQ(report.verdict, ContainmentVerdict::kContained);
+  EXPECT_TRUE(report.m1_in_m2.holds);
+  EXPECT_FALSE(report.m2_in_m1.holds);
+  EXPECT_EQ(report.m2_in_m1.not_implied, 1u);
+  EXPECT_EQ(report.m2_in_m1.witness, "q: S(x, y) -> U(x)");
+  // The counterexample is a source instance over the failing (checked)
+  // mapping's source schema; chasing it under `big` derives a U-fact that
+  // `small`'s chase never produces, so no homomorphism can exist.
+  ASSERT_NE(report.m2_in_m1.counterexample, nullptr);
+  EXPECT_FALSE(report.m2_in_m1.counterexample_facts.empty());
+  const Instance& witness = *report.m2_in_m1.counterexample;
+  ChaseResult big_chase = Chase(*big.mapping, witness);
+  ChaseResult small_chase = Chase(*small.mapping, witness);
+  ASSERT_EQ(big_chase.outcome, ChaseOutcome::kSuccess);
+  ASSERT_EQ(small_chase.outcome, ChaseOutcome::kSuccess);
+  EXPECT_FALSE(
+      FindHomomorphism(*big_chase.target, *small_chase.target).has_value());
+
+  // Flipping the arguments flips the verdict.
+  ContainmentReport flipped = CheckContainment(*big.mapping, *small.mapping);
+  EXPECT_EQ(flipped.verdict, ContainmentVerdict::kContains);
+}
+
+TEST(ContainmentTest, ExistentialWeakerThanConcrete) {
+  // exists-Z version asks for less: it is implied by the concrete copy,
+  // but not vice versa (the chase of the existential version only ever
+  // produces a null in the second column).
+  Scenario weak = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> exists Z . T(x, Z);
+  )");
+  Scenario strong = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> T(x, y);
+  )");
+  ContainmentReport report = CheckContainment(*weak.mapping, *strong.mapping);
+  EXPECT_EQ(report.verdict, ContainmentVerdict::kContained);
+}
+
+TEST(ContainmentTest, TargetTgdCompositionIsImplied) {
+  // a->c is the composition of a->b and b->c, so the two-step mapping
+  // implies the shortcut mapping — but not the other way around (the
+  // shortcut never populates B).
+  Scenario shortcut = Parse(R"(
+    source schema { S(a); }
+    target schema { A(a); B(a); C(a); }
+    m: S(x) -> A(x);
+    ac: A(x) -> C(x);
+  )");
+  Scenario steps = Parse(R"(
+    source schema { S(a); }
+    target schema { A(a); B(a); C(a); }
+    m: S(x) -> A(x);
+    ab: A(x) -> B(x);
+    bc: B(x) -> C(x);
+  )");
+  ContainmentReport report =
+      CheckContainment(*shortcut.mapping, *steps.mapping);
+  EXPECT_EQ(report.verdict, ContainmentVerdict::kContained);
+  EXPECT_TRUE(report.m1_in_m2.holds);
+  EXPECT_FALSE(report.m2_in_m1.holds);
+  // The failing dependency is a target tgd: witness text names it, but no
+  // source counterexample is synthesized.
+  EXPECT_FALSE(report.m2_in_m1.witness.empty());
+  EXPECT_EQ(report.m2_in_m1.counterexample, nullptr);
+}
+
+TEST(ContainmentTest, EgdSwappedSidesAreEquivalent) {
+  Scenario a = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> T(x, y);
+    key: T(a, b) & T(a, c) -> b = c;
+  )");
+  Scenario b = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> T(x, y);
+    key: T(a, b) & T(a, c) -> c = b;
+  )");
+  ContainmentReport report = CheckContainment(*a.mapping, *b.mapping);
+  EXPECT_EQ(report.verdict, ContainmentVerdict::kEquivalent);
+}
+
+TEST(ContainmentTest, EgdNotImpliedByEgdFreeMapping) {
+  Scenario with_key = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> T(x, y);
+    key: T(a, b) & T(a, c) -> b = c;
+  )");
+  Scenario no_key = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> T(x, y);
+  )");
+  ContainmentReport report =
+      CheckContainment(*with_key.mapping, *no_key.mapping);
+  // no_key implies with_key's tgd but not its egd, and with_key implies
+  // everything of no_key: strict containment the other way.
+  EXPECT_EQ(report.verdict, ContainmentVerdict::kContains);
+  EXPECT_FALSE(report.m1_in_m2.holds);
+  ASSERT_EQ(report.m1_in_m2.dependencies.size(), 2u);
+  EXPECT_TRUE(report.m1_in_m2.dependencies[1].is_egd);
+  EXPECT_EQ(report.m1_in_m2.dependencies[1].verdict,
+            ImplicationVerdict::kNotImplied);
+}
+
+TEST(ContainmentTest, TransitiveEgdImplication) {
+  // A key on the first column forces the equality b = c in a's wider egd
+  // after unification, so the singleton-key mapping implies it.
+  Scenario wide = Parse(R"(
+    source schema { S(a, b, c); }
+    target schema { T(a, b, c); }
+    p: S(x, y, z) -> T(x, y, z);
+    e: T(a, b, x) & T(a, c, y) -> x = y;
+  )");
+  Scenario key = Parse(R"(
+    source schema { S(a, b, c); }
+    target schema { T(a, b, c); }
+    p: S(x, y, z) -> T(x, y, z);
+    k1: T(a, b, x) & T(a, c, y) -> b = c;
+    k2: T(a, b, x) & T(a, c, y) -> x = y;
+  )");
+  ContainmentReport report = CheckContainment(*wide.mapping, *key.mapping);
+  EXPECT_TRUE(report.m1_in_m2.holds);
+  EXPECT_EQ(report.verdict, ContainmentVerdict::kContained);
+}
+
+TEST(ContainmentTest, SchemaMismatchIsIncomparable) {
+  Scenario a = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> T(x, y);
+  )");
+  Scenario b = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b, c); }
+    p: S(x, y) -> exists Z . T(x, y, Z);
+  )");
+  ContainmentReport report = CheckContainment(*a.mapping, *b.mapping);
+  EXPECT_FALSE(report.comparable);
+  EXPECT_EQ(report.verdict, ContainmentVerdict::kIncomparable);
+  EXPECT_FALSE(report.incomparable_reason.empty());
+  EXPECT_NE(report.incomparable_reason.find("T"), std::string::npos);
+}
+
+TEST(ContainmentTest, SummaryIsDeterministic) {
+  Scenario a = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); U(a); }
+    p: S(x, y) -> T(x, y);
+  )");
+  Scenario b = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); U(a); }
+    p: S(x, y) -> T(x, y);
+    q: S(x, y) -> U(x);
+  )");
+  ContainmentReport r1 = CheckContainment(*a.mapping, *b.mapping);
+  ContainmentReport r2 = CheckContainment(*a.mapping, *b.mapping);
+  EXPECT_EQ(r1.Summary(), r2.Summary());
+  EXPECT_NE(r1.Summary().find("contained"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Differential oracle: CheckContainment's verdicts against the semantic
+// definition. M1 ⊑ M2 means chase_M1(I) maps homomorphically into
+// chase_M2(I) for EVERY source instance I, so:
+//  * a `holds` verdict must be confirmed by the homomorphism on the
+//    concrete random instance the scenario ships with, and
+//  * a counterexample must refute the homomorphism when chased itself.
+// A tgd-subset mapping is always contained in its superset, which pins the
+// expected verdict of two of the three pairs per seed exactly.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SchemaMapping> TgdSubset(const SchemaMapping& mapping,
+                                         int parity) {
+  auto sub = std::make_unique<SchemaMapping>(mapping.source(),
+                                             mapping.target());
+  for (TgdId id = 0; id < static_cast<TgdId>(mapping.NumTgds()); ++id) {
+    if (id % 2 == parity) sub->AddTgd(mapping.tgd(id));
+  }
+  for (EgdId id = 0; id < static_cast<EgdId>(mapping.NumEgds()); ++id) {
+    sub->AddEgd(mapping.egd(id));
+  }
+  return sub;
+}
+
+std::unique_ptr<Instance> ChaseOf(const SchemaMapping& mapping,
+                                  const Instance& source) {
+  ChaseOptions options;
+  options.max_steps = 1'000'000;
+  ChaseResult result = Chase(mapping, source, options);
+  EXPECT_EQ(result.outcome, ChaseOutcome::kSuccess);
+  return std::move(result.target);
+}
+
+/// Checks one direction of a report against the chase/homomorphism oracle
+/// on the concrete instance. Returns the number of disagreements.
+int OracleCheckDirection(const ContainmentDirection& direction,
+                         const SchemaMapping& checked,
+                         const SchemaMapping& other,
+                         const Instance& source) {
+  int disagreements = 0;
+  // The step budget is generous and the generated target tgds are
+  // stratified, so nothing should come back inconclusive.
+  if (direction.inconclusive != 0) ++disagreements;
+  if (direction.holds) {
+    // checked ⊑ other: the checked chase must map into the other chase.
+    std::unique_ptr<Instance> j_checked = ChaseOf(checked, source);
+    std::unique_ptr<Instance> j_other = ChaseOf(other, source);
+    if (!FindHomomorphism(*j_checked, *j_other).has_value()) ++disagreements;
+  } else if (direction.counterexample != nullptr) {
+    // Chasing the counterexample under `checked` derives facts `other`
+    // cannot reach: the homomorphism must fail on it.
+    std::unique_ptr<Instance> j_checked =
+        ChaseOf(checked, *direction.counterexample);
+    std::unique_ptr<Instance> j_other =
+        ChaseOf(other, *direction.counterexample);
+    if (FindHomomorphism(*j_checked, *j_other).has_value()) ++disagreements;
+  }
+  return disagreements;
+}
+
+TEST(ContainmentOracleTest, RandomPairsAgreeWithChaseOracle) {
+  constexpr int kSeeds = 70;
+  int pairs_checked = 0;
+  int disagreements = 0;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    RandomScenarioOptions options;
+    options.seed = static_cast<uint64_t>(seed);
+    options.egds = 0;  // Egds can fail the chase on random data.
+    options.rows_per_relation = 4;
+    options.fanout = 3;
+    Scenario scenario = BuildRandomScenario(options);
+    const SchemaMapping& full = *scenario.mapping;
+    std::unique_ptr<SchemaMapping> sub = TgdSubset(full, 0);
+
+    // Pair 1: subset vs full. Syntactic subset ⟹ contained, exactly.
+    {
+      ContainmentReport report = CheckContainment(*sub, full);
+      ++pairs_checked;
+      if (!report.m1_in_m2.holds) ++disagreements;
+      disagreements +=
+          OracleCheckDirection(report.m1_in_m2, *sub, full, *scenario.source);
+      disagreements +=
+          OracleCheckDirection(report.m2_in_m1, full, *sub, *scenario.source);
+    }
+    // Pair 2: full vs subset — the mirror image.
+    {
+      ContainmentReport report = CheckContainment(full, *sub);
+      ++pairs_checked;
+      if (!report.m2_in_m1.holds) ++disagreements;
+      disagreements +=
+          OracleCheckDirection(report.m1_in_m2, full, *sub, *scenario.source);
+      disagreements +=
+          OracleCheckDirection(report.m2_in_m1, *sub, full, *scenario.source);
+    }
+    // Pair 3: full vs itself must be equivalent.
+    {
+      ContainmentReport report = CheckContainment(full, full);
+      ++pairs_checked;
+      if (report.verdict != ContainmentVerdict::kEquivalent) ++disagreements;
+      disagreements +=
+          OracleCheckDirection(report.m1_in_m2, full, full, *scenario.source);
+    }
+  }
+  EXPECT_GE(pairs_checked, 200);
+  EXPECT_EQ(disagreements, 0);
+}
+
+}  // namespace
+}  // namespace spider

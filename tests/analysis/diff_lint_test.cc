@@ -1,0 +1,165 @@
+#include "analysis/diff_lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mapping/parser.h"
+#include "workload/random_scenario.h"
+
+namespace spider {
+namespace {
+
+TEST(DiffLintTest, IdenticalVersionsAreClean) {
+  Scenario old_version = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> T(x, y);
+  )");
+  Scenario new_version = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> T(x, y);
+  )");
+  DiffLintReport report =
+      DiffLint(*old_version.mapping, *new_version.mapping);
+  EXPECT_TRUE(report.Clean());
+  EXPECT_TRUE(report.added_dependencies.empty());
+  EXPECT_TRUE(report.removed_dependencies.empty());
+  EXPECT_TRUE(report.introduced.empty());
+  EXPECT_TRUE(report.resolved.empty());
+  EXPECT_TRUE(report.containment_checked);
+  EXPECT_EQ(report.containment, ContainmentVerdict::kEquivalent);
+}
+
+TEST(DiffLintTest, AddedTgdIntroducesItsFindingsOnly) {
+  // The old version already drops `y` in p — that finding must NOT resurface
+  // in the diff. The new q drops `y` too AND leaves U unpopulated by route:
+  // only q's findings are introduced.
+  Scenario old_version = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); U(a); }
+    p: S(x, y) -> T(x, x);
+  )");
+  Scenario new_version = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); U(a); }
+    p: S(x, y) -> T(x, x);
+    q: S(x, y) -> U(x);
+  )");
+  DiffLintReport report =
+      DiffLint(*old_version.mapping, *new_version.mapping);
+  EXPECT_FALSE(report.Clean());
+  ASSERT_EQ(report.added_dependencies.size(), 1u);
+  EXPECT_NE(report.added_dependencies[0].find("q:"), std::string::npos);
+  EXPECT_TRUE(report.removed_dependencies.empty());
+  // p's dropped-variable warning is unchanged between versions: suppressed.
+  for (const Diagnostic& diagnostic : report.introduced) {
+    EXPECT_EQ(diagnostic.message.find("'p'"), std::string::npos)
+        << diagnostic.message;
+  }
+  // The edit DOES genuinely resolve one old finding — U used to be an
+  // unpopulated target relation — but nothing about p is resolved.
+  for (const Diagnostic& diagnostic : report.resolved) {
+    EXPECT_EQ(diagnostic.message.find("'p'"), std::string::npos)
+        << diagnostic.message;
+  }
+  // Growing the tgd set grows what the mapping derives.
+  EXPECT_TRUE(report.containment_checked);
+  EXPECT_EQ(report.containment, ContainmentVerdict::kContained);
+}
+
+TEST(DiffLintTest, FixingADroppedVariableShowsAsResolved) {
+  Scenario old_version = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> T(x, x);
+  )");
+  Scenario new_version = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    p: S(x, y) -> T(x, y);
+  )");
+  DiffLintReport report =
+      DiffLint(*old_version.mapping, *new_version.mapping);
+  EXPECT_FALSE(report.Clean());
+  EXPECT_EQ(report.added_dependencies.size(), 1u);
+  EXPECT_EQ(report.removed_dependencies.size(), 1u);
+  EXPECT_TRUE(report.introduced.empty());
+  EXPECT_FALSE(report.resolved.empty());
+  bool saw_dropped = false;
+  for (const Diagnostic& diagnostic : report.resolved) {
+    if (diagnostic.code == "dropped-variable") saw_dropped = true;
+  }
+  EXPECT_TRUE(saw_dropped);
+}
+
+TEST(DiffLintTest, ContainmentCanBeDisabled) {
+  Scenario a = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a); }
+    p: S(x) -> T(x);
+  )");
+  DiffLintOptions options;
+  options.check_containment = false;
+  DiffLintReport report = DiffLint(*a.mapping, *a.mapping, options);
+  EXPECT_FALSE(report.containment_checked);
+  EXPECT_TRUE(report.Clean());
+}
+
+TEST(DiffLintTest, SchemaMismatchSkipsContainmentButDiffsDependencies) {
+  Scenario a = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a); }
+    p: S(x) -> T(x);
+  )");
+  Scenario b = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    p: S(x) -> exists Z . T(x, Z);
+  )");
+  DiffLintReport report = DiffLint(*a.mapping, *b.mapping);
+  EXPECT_EQ(report.containment, ContainmentVerdict::kIncomparable);
+  EXPECT_EQ(report.added_dependencies.size(), 1u);
+  EXPECT_EQ(report.removed_dependencies.size(), 1u);
+}
+
+TEST(DiffLintFuzzTest, SelfDiffIsCleanAndByteIdenticalOnRandomMappings) {
+  for (int seed = 1; seed <= 25; ++seed) {
+    RandomScenarioOptions options;
+    options.seed = static_cast<uint64_t>(seed);
+    options.egds = 0;
+    options.rows_per_relation = 2;
+    Scenario scenario = BuildRandomScenario(options);
+    DiffLintReport first = DiffLint(*scenario.mapping, *scenario.mapping);
+    DiffLintReport second = DiffLint(*scenario.mapping, *scenario.mapping);
+    EXPECT_TRUE(first.Clean()) << "seed " << seed;
+    EXPECT_EQ(first.containment, ContainmentVerdict::kEquivalent)
+        << "seed " << seed;
+    EXPECT_EQ(first.Summary(), second.Summary()) << "seed " << seed;
+  }
+}
+
+TEST(DiffLintFuzzTest, CrossSeedDiffIsDeterministic) {
+  for (int seed = 1; seed <= 10; ++seed) {
+    RandomScenarioOptions options;
+    options.seed = static_cast<uint64_t>(seed);
+    options.egds = 0;
+    options.rows_per_relation = 2;
+    Scenario old_version = BuildRandomScenario(options);
+    options.st_tgds += 1;  // A different mapping over (likely) same shapes.
+    Scenario new_version = BuildRandomScenario(options);
+    if (old_version.mapping->source().size() !=
+        new_version.mapping->source().size()) {
+      continue;  // Schemas drifted; determinism is what we test, not shape.
+    }
+    DiffLintReport first =
+        DiffLint(*old_version.mapping, *new_version.mapping);
+    DiffLintReport second =
+        DiffLint(*old_version.mapping, *new_version.mapping);
+    EXPECT_EQ(first.Summary(), second.Summary()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace spider

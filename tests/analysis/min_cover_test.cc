@@ -1,0 +1,161 @@
+#include "analysis/min_cover.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "analysis/containment.h"
+#include "debugger/debugger.h"
+#include "mapping/parser.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+/// Every certificate must stand on its own: the route validates against the
+/// certificate scenario, replays step by step in the debugger, and produces
+/// every fact of the removed tgd's image.
+void CheckCertificate(const RemovalCertificate& certificate) {
+  std::string why;
+  EXPECT_TRUE(certificate.route.Validate(
+      *certificate.scenario.mapping, *certificate.scenario.source,
+      *certificate.scenario.target, certificate.facts, &why))
+      << certificate.name << ": " << why;
+  EXPECT_FALSE(certificate.facts.empty()) << certificate.name;
+
+  MappingDebugger debugger(&certificate.scenario);
+  RoutePlayer player = debugger.Play(certificate.route);
+  while (player.Step()) {
+  }
+  EXPECT_TRUE(player.done());
+  for (const FactRef& fact : certificate.facts) {
+    bool produced = false;
+    for (const FactRef& got : player.produced()) {
+      if (got == fact) {
+        produced = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(produced) << certificate.name
+                          << ": certificate fact not derived by the route";
+  }
+}
+
+TEST(MinCoverTest, WeakerStTgdRemoved) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    strong: S(x, y) -> T(x, y);
+    weak: S(x, y) -> exists Z . T(x, Z);
+  )");
+  MinCoverResult result = ComputeMinCover(*s.mapping);
+  ASSERT_EQ(result.kept.size(), 2u);
+  EXPECT_TRUE(result.kept[s.mapping->FindTgd("strong")]);
+  EXPECT_FALSE(result.kept[s.mapping->FindTgd("weak")]);
+  EXPECT_EQ(result.NumRemoved(), 1u);
+  EXPECT_EQ(result.inconclusive, 0u);
+  EXPECT_EQ(result.tested, 2u);
+
+  ASSERT_EQ(result.removed.size(), 1u);
+  const RemovalCertificate& certificate = result.removed[0];
+  EXPECT_EQ(certificate.name, "weak");
+  EXPECT_FALSE(certificate.text.empty());
+  // The certificate mapping holds only kept dependencies, so the route
+  // cannot cheat by firing the removed tgd itself.
+  EXPECT_EQ(certificate.scenario.mapping->FindTgd("weak"), -1);
+  EXPECT_NE(certificate.route.TgdNames(*certificate.scenario.mapping)
+                .find("strong"),
+            std::string::npos);
+  CheckCertificate(certificate);
+
+  // Dropping the redundant tgd preserves the mapping's meaning exactly.
+  std::unique_ptr<SchemaMapping> reduced = result.BuildReduced(*s.mapping);
+  EXPECT_EQ(reduced->NumTgds(), 1u);
+  EXPECT_EQ(CheckContainment(*s.mapping, *reduced).verdict,
+            ContainmentVerdict::kEquivalent);
+}
+
+TEST(MinCoverTest, DuplicateTgdRemovedOnce) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a); }
+    dup1: S(x) -> T(x);
+    dup2: S(x) -> T(x);
+  )");
+  MinCoverResult result = ComputeMinCover(*s.mapping);
+  // The pass walks TgdId order: dup1 is implied by the still-kept dup2 and
+  // goes; dup2 is then necessary against the remaining (empty) rest.
+  EXPECT_FALSE(result.kept[0]);
+  EXPECT_TRUE(result.kept[1]);
+  EXPECT_EQ(result.NumRemoved(), 1u);
+  CheckCertificate(result.removed[0]);
+  EXPECT_EQ(CheckContainment(*s.mapping, *result.BuildReduced(*s.mapping))
+                .verdict,
+            ContainmentVerdict::kEquivalent);
+}
+
+TEST(MinCoverTest, TransitiveShortcutRemovedWithCopyMappingCertificate) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { A(a); B(a); C(a); }
+    m: S(x) -> A(x);
+    ab: A(x) -> B(x);
+    bc: B(x) -> C(x);
+    ac: A(x) -> C(x);
+  )");
+  MinCoverResult result = ComputeMinCover(*s.mapping);
+  EXPECT_TRUE(result.kept[s.mapping->FindTgd("m")]);
+  EXPECT_TRUE(result.kept[s.mapping->FindTgd("ab")]);
+  EXPECT_TRUE(result.kept[s.mapping->FindTgd("bc")]);
+  EXPECT_FALSE(result.kept[s.mapping->FindTgd("ac")]);
+  ASSERT_EQ(result.removed.size(), 1u);
+
+  // A removed TARGET tgd certifies through the __copy_<rel>-bridged copy
+  // mapping; the route composes ab and bc from the frozen A-fact.
+  const RemovalCertificate& certificate = result.removed[0];
+  EXPECT_EQ(certificate.name, "ac");
+  EXPECT_NE(certificate.scenario.mapping->FindTgd("__copy_A"), -1);
+  std::string names =
+      certificate.route.TgdNames(*certificate.scenario.mapping);
+  EXPECT_NE(names.find("ab"), std::string::npos);
+  EXPECT_NE(names.find("bc"), std::string::npos);
+  CheckCertificate(certificate);
+
+  EXPECT_EQ(CheckContainment(*s.mapping, *result.BuildReduced(*s.mapping))
+                .verdict,
+            ContainmentVerdict::kEquivalent);
+}
+
+TEST(MinCoverTest, CreditCardMappingIsAlreadyMinimal) {
+  Scenario s = testing::CreditCardScenario();
+  MinCoverResult result = ComputeMinCover(*s.mapping);
+  EXPECT_EQ(result.tested, 5u);
+  EXPECT_EQ(result.NumRemoved(), 0u);
+  EXPECT_EQ(result.inconclusive, 0u);
+  for (bool keep : result.kept) EXPECT_TRUE(keep);
+  // The reduced mapping is the mapping itself, egds included.
+  std::unique_ptr<SchemaMapping> reduced = result.BuildReduced(*s.mapping);
+  EXPECT_EQ(reduced->NumTgds(), s.mapping->NumTgds());
+  EXPECT_EQ(reduced->NumEgds(), s.mapping->NumEgds());
+  EXPECT_EQ(reduced->ToString(), s.mapping->ToString());
+}
+
+TEST(MinCoverTest, SummaryIsDeterministic) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    strong: S(x, y) -> T(x, y);
+    weak: S(x, y) -> exists Z . T(x, Z);
+  )");
+  MinCoverResult first = ComputeMinCover(*s.mapping);
+  MinCoverResult second = ComputeMinCover(*s.mapping);
+  EXPECT_EQ(first.Summary(*s.mapping), second.Summary(*s.mapping));
+  std::string summary = first.Summary(*s.mapping);
+  EXPECT_NE(summary.find("remove weak"), std::string::npos);
+  EXPECT_NE(summary.find("keep   strong"), std::string::npos);
+  EXPECT_NE(summary.find("certificate for weak"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,121 @@
+#include "analysis/reachability.h"
+
+#include <gtest/gtest.h>
+
+#include "mapping/parser.h"
+#include "testing/fixtures.h"
+
+namespace spider {
+namespace {
+
+TEST(ReachabilityTest, UnwrittenRelationIsUnreachable) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a); U(a); }
+    m: S(x) -> T(x);
+  )");
+  ReachabilityReport report = ComputeReachability(*s.mapping);
+  EXPECT_TRUE(report.Reachable(s.mapping->target().Require("T")));
+  EXPECT_FALSE(report.Reachable(s.mapping->target().Require("U")));
+  EXPECT_EQ(report.At(s.mapping->target().Require("T"), 0),
+            Reachability::kVarReachable);
+}
+
+TEST(ReachabilityTest, DeadPremisePropagatesThroughTargetTgds) {
+  // Nothing writes C, so the C->D tgd can never fire and D is unreachable —
+  // even though D has a writer on paper. E joins A with the dead C, so F is
+  // dead too.
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { A(a); C(a); D(a); F(a); }
+    m: S(x) -> A(x);
+    cd: C(x) -> D(x);
+    cf: A(x) & C(x) -> F(x);
+  )");
+  ReachabilityReport report = ComputeReachability(*s.mapping);
+  const Schema& target = s.mapping->target();
+  EXPECT_TRUE(report.Reachable(target.Require("A")));
+  EXPECT_FALSE(report.Reachable(target.Require("C")));
+  EXPECT_FALSE(report.Reachable(target.Require("D")));
+  EXPECT_FALSE(report.Reachable(target.Require("F")));
+  EXPECT_TRUE(report.tgd_fireable[s.mapping->FindTgd("m")]);
+  EXPECT_FALSE(report.tgd_fireable[s.mapping->FindTgd("cd")]);
+  EXPECT_FALSE(report.tgd_fireable[s.mapping->FindTgd("cf")]);
+}
+
+TEST(ReachabilityTest, ChainOfTargetTgdsReaches) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { A(a); B(a); C(a); }
+    m: S(x) -> A(x);
+    ab: A(x) -> B(x);
+    bc: B(x) -> C(x);
+  )");
+  ReachabilityReport report = ComputeReachability(*s.mapping);
+  const Schema& target = s.mapping->target();
+  EXPECT_TRUE(report.Reachable(target.Require("A")));
+  EXPECT_TRUE(report.Reachable(target.Require("B")));
+  EXPECT_TRUE(report.Reachable(target.Require("C")));
+  // Source data flows all the way down the chain.
+  EXPECT_EQ(report.At(target.Require("C"), 0), Reachability::kVarReachable);
+}
+
+TEST(ReachabilityTest, ExistentialAndConstantPositionsAreConstantOnly) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); U(a); }
+    m: S(x) -> exists Z . T(x, Z);
+    k: S(x) -> U("tag");
+  )");
+  ReachabilityReport report = ComputeReachability(*s.mapping);
+  const Schema& target = s.mapping->target();
+  EXPECT_EQ(report.At(target.Require("T"), 0), Reachability::kVarReachable);
+  // Z is invented by the chase: never a source value.
+  EXPECT_EQ(report.At(target.Require("T"), 1), Reachability::kConstantOnly);
+  // "tag" is written verbatim.
+  EXPECT_EQ(report.At(target.Require("U"), 0), Reachability::kConstantOnly);
+  EXPECT_TRUE(report.Reachable(target.Require("U")));
+}
+
+TEST(ReachabilityTest, ConstantOnlyDoesNotUpgradeThroughJoins) {
+  // V copies T's existential column: still constant-only downstream.
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); V(a); }
+    m: S(x) -> exists Z . T(x, Z);
+    tv: T(x, y) -> V(y);
+  )");
+  ReachabilityReport report = ComputeReachability(*s.mapping);
+  const Schema& target = s.mapping->target();
+  EXPECT_TRUE(report.Reachable(target.Require("V")));
+  EXPECT_EQ(report.At(target.Require("V"), 0), Reachability::kConstantOnly);
+}
+
+TEST(ReachabilityTest, CreditCardTargetIsFullyReachable) {
+  Scenario s = testing::CreditCardScenario();
+  ReachabilityReport report = ComputeReachability(*s.mapping);
+  const Schema& target = s.mapping->target();
+  for (RelationId rel = 0; rel < static_cast<RelationId>(target.size());
+       ++rel) {
+    EXPECT_TRUE(report.Reachable(rel)) << target.relation(rel).name();
+  }
+  for (bool fireable : report.tgd_fireable) EXPECT_TRUE(fireable);
+}
+
+TEST(ReachabilityTest, SummaryRendersLevelsDeterministically) {
+  Scenario s = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a, b); U(a); }
+    m: S(x) -> exists Z . T(x, Z);
+  )");
+  ReachabilityReport report = ComputeReachability(*s.mapping);
+  std::string summary = report.Summary(s.mapping->target());
+  EXPECT_EQ(summary, ComputeReachability(*s.mapping)
+                         .Summary(s.mapping->target()));
+  EXPECT_NE(summary.find("U: unreachable"), std::string::npos);
+  EXPECT_NE(summary.find("a=var-reachable"), std::string::npos);
+  EXPECT_NE(summary.find("b=constant-only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spider

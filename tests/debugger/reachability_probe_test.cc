@@ -1,0 +1,79 @@
+// The debugger's static short-circuit: route probes whose goal facts all
+// live in statically unreachable target relations skip the search — with
+// the exact result the search would have produced.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "debugger/debugger.h"
+#include "mapping/parser.h"
+#include "routes/one_route.h"
+
+namespace spider {
+namespace {
+
+Scenario UnreachableScenario() {
+  // U has no writing dependency: no chase, over any source instance, ever
+  // creates a U-fact, so the stray U(7) in the target has no route.
+  return ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a); U(a); }
+    m: S(x) -> T(x);
+    source instance { S(1); }
+    target instance { T(1); U(7); }
+  )");
+}
+
+TEST(ReachabilityProbeTest, DebuggerExposesTheStaticReport) {
+  Scenario s = UnreachableScenario();
+  MappingDebugger debugger(&s);
+  EXPECT_TRUE(
+      debugger.reachability().Reachable(s.mapping->target().Require("T")));
+  EXPECT_FALSE(
+      debugger.reachability().Reachable(s.mapping->target().Require("U")));
+}
+
+TEST(ReachabilityProbeTest, AllUnreachableSelectionShortCircuits) {
+  Scenario s = UnreachableScenario();
+  MappingDebugger debugger(&s);
+  std::vector<FactRef> js = {debugger.TargetFact("U(7)")};
+
+  OneRouteResult fast = debugger.OneRoute(js);
+  EXPECT_FALSE(fast.found);
+  ASSERT_EQ(fast.unproven.size(), 1u);
+  EXPECT_EQ(fast.unproven[0], js[0]);
+  // The short-circuit ran no search at all.
+  EXPECT_EQ(fast.stats.findhom_calls, 0u);
+
+  // Same observable outcome as the real search.
+  OneRouteResult slow =
+      ComputeOneRoute(*s.mapping, *s.source, *s.target, js);
+  EXPECT_EQ(fast.found, slow.found);
+  EXPECT_EQ(fast.unproven, slow.unproven);
+  EXPECT_EQ(fast.route, slow.route);
+}
+
+TEST(ReachabilityProbeTest, MixedSelectionStillSearches) {
+  Scenario s = UnreachableScenario();
+  MappingDebugger debugger(&s);
+  std::vector<FactRef> js = {debugger.TargetFact("T(1)"),
+                             debugger.TargetFact("U(7)")};
+  OneRouteResult probed = debugger.OneRoute(js);
+  OneRouteResult direct =
+      ComputeOneRoute(*s.mapping, *s.source, *s.target, js);
+  EXPECT_EQ(probed.found, direct.found);
+  EXPECT_EQ(probed.unproven, direct.unproven);
+  EXPECT_EQ(probed.route, direct.route);
+}
+
+TEST(ReachabilityProbeTest, ReachableSelectionIsUnaffected) {
+  Scenario s = UnreachableScenario();
+  MappingDebugger debugger(&s);
+  std::vector<FactRef> js = {debugger.TargetFact("T(1)")};
+  OneRouteResult result = debugger.OneRoute(js);
+  EXPECT_TRUE(result.found);
+  EXPECT_TRUE(result.unproven.empty());
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,160 @@
+// kAnalyze: whole-mapping static analysis over a session's loaded mapping,
+// with replies cached by mapping content hash across sessions.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+#include "serve/session_manager.h"
+#include "testing/fixtures.h"
+
+namespace spider::serve {
+namespace {
+
+Request Make(MsgType type, uint64_t session_id, std::string text = "") {
+  Request request;
+  request.type = type;
+  request.request_id = 1;
+  request.session_id = session_id;
+  request.text = std::move(text);
+  return request;
+}
+
+// A mapping with something for every pass to find: q never fires (nothing
+// writes C), U is populated only with an invented null.
+std::string AnalyzableScenarioText() {
+  return R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); U(a); C(a); D(a); }
+    strong: S(x, y) -> T(x, y);
+    weak: S(x, y) -> exists Z . T(x, Z);
+    u: S(x, y) -> exists N . U(N);
+    q: C(x) -> D(x);
+    source instance { S(1, 2); }
+    target instance { T(1, 2); U(#N1); }
+  )";
+}
+
+TEST(AnalyzeTest, FullAnalysisOverSessionMapping) {
+  SessionManager manager;
+  ASSERT_EQ(manager
+                .Handle(Make(MsgType::kCreateSession, 1,
+                             AnalyzableScenarioText()),
+                        0)
+                .type,
+            MsgType::kReply);
+  Response reply = manager.Handle(Make(MsgType::kAnalyze, 1), 0);
+  ASSERT_EQ(reply.type, MsgType::kReply) << reply.text;
+  EXPECT_FALSE(reply.text.empty());
+}
+
+TEST(AnalyzeTest, SpecTokensSelectPasses) {
+  SessionManager manager;
+  manager.Handle(Make(MsgType::kCreateSession, 1, AnalyzableScenarioText()),
+                 0);
+
+  Response reach =
+      manager.Handle(Make(MsgType::kAnalyze, 1, "reachability"), 0);
+  ASSERT_EQ(reach.type, MsgType::kReply) << reach.text;
+  EXPECT_NE(reach.text.find("reachability:"), std::string::npos);
+  EXPECT_NE(reach.text.find("C: unreachable"), std::string::npos);
+  EXPECT_NE(reach.text.find("D: unreachable"), std::string::npos);
+
+  Response cover = manager.Handle(Make(MsgType::kAnalyze, 1, "min-cover"), 0);
+  ASSERT_EQ(cover.type, MsgType::kReply) << cover.text;
+  EXPECT_NE(cover.text.find("min-cover:"), std::string::npos);
+  EXPECT_NE(cover.text.find("remove weak"), std::string::npos);
+
+  Response both = manager.Handle(
+      Make(MsgType::kAnalyze, 1, "fast min-cover reachability"), 0);
+  ASSERT_EQ(both.type, MsgType::kReply) << both.text;
+  EXPECT_NE(both.text.find("reachability:"), std::string::npos);
+  EXPECT_NE(both.text.find("min-cover:"), std::string::npos);
+
+  Response bad = manager.Handle(Make(MsgType::kAnalyze, 1, "everything"), 0);
+  EXPECT_EQ(bad.type, MsgType::kError);
+  EXPECT_EQ(bad.code, ErrorCode::kBadRequest);
+  EXPECT_NE(bad.text.find("everything"), std::string::npos);
+}
+
+TEST(AnalyzeTest, RepliesAreCachedByMappingContent) {
+  SessionManager manager;
+  manager.Handle(Make(MsgType::kCreateSession, 1, AnalyzableScenarioText()),
+                 0);
+  Response first = manager.Handle(Make(MsgType::kAnalyze, 1, "min-cover"), 0);
+  ASSERT_EQ(first.type, MsgType::kReply);
+  EXPECT_EQ(manager.stats().analyze_cache_misses, 1u);
+  EXPECT_EQ(manager.stats().analyze_cache_hits, 0u);
+
+  Response second =
+      manager.Handle(Make(MsgType::kAnalyze, 1, "min-cover"), 0);
+  ASSERT_EQ(second.type, MsgType::kReply);
+  EXPECT_EQ(second.text, first.text);  // Byte-identical from the cache.
+  EXPECT_EQ(manager.stats().analyze_cache_hits, 1u);
+
+  // Another session over the SAME scenario text shares the entry: the key
+  // is the mapping's content hash, not the session id.
+  manager.Handle(Make(MsgType::kCreateSession, 2, AnalyzableScenarioText()),
+                 0);
+  Response shared =
+      manager.Handle(Make(MsgType::kAnalyze, 2, "min-cover"), 0);
+  ASSERT_EQ(shared.type, MsgType::kReply);
+  EXPECT_EQ(shared.text, first.text);
+  EXPECT_EQ(manager.stats().analyze_cache_hits, 2u);
+  EXPECT_EQ(manager.stats().analyze_cache_misses, 1u);
+
+  // A different spec is a different entry.
+  Response other = manager.Handle(Make(MsgType::kAnalyze, 1, "fast"), 0);
+  ASSERT_EQ(other.type, MsgType::kReply);
+  EXPECT_EQ(manager.stats().analyze_cache_misses, 2u);
+}
+
+TEST(AnalyzeTest, StatsReportCacheCounters) {
+  SessionManager manager;
+  manager.Handle(Make(MsgType::kCreateSession, 1, AnalyzableScenarioText()),
+                 0);
+  manager.Handle(Make(MsgType::kAnalyze, 1), 0);
+  manager.Handle(Make(MsgType::kAnalyze, 1), 0);
+  Response stats = manager.Handle(Make(MsgType::kStats, 0), 0);
+  ASSERT_EQ(stats.type, MsgType::kReply);
+  EXPECT_NE(stats.text.find("analyze_cache_hits 1\n"), std::string::npos);
+  EXPECT_NE(stats.text.find("analyze_cache_misses 1\n"), std::string::npos);
+}
+
+TEST(AnalyzeTest, UnknownSessionIsAnError) {
+  SessionManager manager;
+  Response reply = manager.Handle(Make(MsgType::kAnalyze, 99), 0);
+  EXPECT_EQ(reply.type, MsgType::kError);
+  EXPECT_EQ(reply.code, ErrorCode::kNoSuchSession);
+}
+
+TEST(AnalyzeTest, AnalyzeWorksOnWorkloadLoadedSessions) {
+  SessionManager manager;
+  ASSERT_EQ(manager.Handle(Make(MsgType::kLoadSession, 1, "random:7"), 0)
+                .type,
+            MsgType::kReply);
+  Response reply =
+      manager.Handle(Make(MsgType::kAnalyze, 1, "reachability"), 0);
+  ASSERT_EQ(reply.type, MsgType::kReply) << reply.text;
+  EXPECT_NE(reply.text.find("reachability:"), std::string::npos);
+}
+
+TEST(AnalyzeTest, MsgTypeRoundTripsThroughProtocol) {
+  EXPECT_STREQ(MsgTypeName(MsgType::kAnalyze), "analyze");
+  // The decoder accepts the new type (a wire round-trip would reject an
+  // unknown request type before dispatch).
+  Request request;
+  request.type = MsgType::kAnalyze;
+  request.request_id = 7;
+  request.session_id = 1;
+  request.text = "reachability";
+  std::string error;
+  Request decoded;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(request), &decoded, &error))
+      << error;
+  EXPECT_EQ(decoded.type, MsgType::kAnalyze);
+  EXPECT_EQ(decoded.text, "reachability");
+}
+
+}  // namespace
+}  // namespace spider::serve
