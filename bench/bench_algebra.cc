@@ -1,0 +1,215 @@
+// spider::algebra runtime over random three-schema pipelines. Plain main()
+// (no google-benchmark harness): emits BENCH_algebra.json (or argv[1]) with
+// per-seed wall times for mapping composition, inversion classification,
+// core minimization of the chased solution, and end-to-end route stitching
+// — the "algebra" table of EXPERIMENTS.md. Statuses, fact and step counts
+// are deterministic; wall times are machine-dependent.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algebra/compose.h"
+#include "algebra/core_min.h"
+#include "algebra/invert.h"
+#include "algebra/pipeline.h"
+#include "chase/chase.h"
+#include "obs/obs_cli.h"
+#include "workload/random_scenario.h"
+
+namespace spider::bench {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct ComposeRow {
+  std::string name;
+  std::string status;
+  size_t tgds_out = 0;
+  size_t covers = 0;
+  double wall_ms = 0;
+};
+
+struct InvertRow {
+  std::string name;
+  std::string verdict;
+  size_t chases_run = 0;
+  double wall_ms = 0;
+};
+
+struct CoreRow {
+  std::string name;
+  size_t facts_before = 0;
+  size_t facts_removed = 0;
+  size_t nulls_collapsed = 0;
+  double wall_ms = 0;
+};
+
+struct TraceRow {
+  std::string name;
+  size_t u_facts = 0;
+  size_t t_facts = 0;
+  size_t steps = 0;
+  double wall_ms = 0;
+};
+
+size_t CountFacts(const Instance& instance) {
+  size_t n = 0;
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    n += instance.tuples(static_cast<RelationId>(r)).size();
+  }
+  return n;
+}
+
+std::vector<FactRef> TargetFacts(const Instance& target, size_t limit) {
+  std::vector<FactRef> facts;
+  for (size_t r = 0; r < target.NumRelations() && facts.size() < limit; ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    for (size_t row = 0;
+         row < target.tuples(rel).size() && facts.size() < limit; ++row) {
+      facts.push_back({Side::kTarget, rel, static_cast<int32_t>(row)});
+    }
+  }
+  return facts;
+}
+
+int Run(const std::string& out_path, bool smoke) {
+  const uint64_t seeds = smoke ? 5 : 30;
+  const int rows_per_relation = smoke ? 4 : 12;
+
+  std::vector<ComposeRow> compose_rows;
+  std::vector<TraceRow> trace_rows;
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    RandomPipelineOptions options;
+    options.seed = seed;
+    options.rows_per_relation = rows_per_relation;
+
+    PipelineScenario pipeline = BuildRandomPipeline(options);
+    ComposeRow row;
+    row.name = "pipeline_seed" + std::to_string(seed);
+    auto start = std::chrono::steady_clock::now();
+    ComposeResult composed =
+        ComposeMappings(*pipeline.st.mapping, *pipeline.tu.mapping);
+    row.wall_ms = MsSince(start);
+    row.status = ComposeStatusName(composed.status);
+    row.covers = composed.covers_enumerated;
+    if (composed.mapping != nullptr) {
+      row.tgds_out = composed.mapping->NumTgds();
+    }
+    compose_rows.push_back(row);
+
+    ChasePipeline(&pipeline);
+    std::vector<FactRef> u_facts = TargetFacts(*pipeline.tu.target, 4);
+    if (u_facts.empty()) continue;
+    TraceRow trace;
+    trace.name = row.name;
+    trace.u_facts = u_facts.size();
+    start = std::chrono::steady_clock::now();
+    StitchedRoute stitched = TraceThroughComposition(pipeline, u_facts);
+    trace.wall_ms = MsSince(start);
+    trace.t_facts = stitched.t_facts_st.size();
+    trace.steps = stitched.st_route.size() + stitched.tu_route.size();
+    trace_rows.push_back(trace);
+  }
+
+  std::vector<InvertRow> invert_rows;
+  std::vector<CoreRow> core_rows;
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    RandomScenarioOptions options;
+    options.seed = seed;
+    options.rows_per_relation = rows_per_relation;
+    options.target_tgds = 0;
+    options.egds = 0;
+    Scenario scenario = BuildRandomScenario(options);
+
+    InvertRow inv;
+    inv.name = "scenario_seed" + std::to_string(seed);
+    auto start = std::chrono::steady_clock::now();
+    InversionReport report = InvertMapping(*scenario.mapping);
+    inv.wall_ms = MsSince(start);
+    inv.verdict = InverseVerdictName(report.verdict);
+    inv.chases_run = report.containment.chases_run;
+    invert_rows.push_back(inv);
+
+    ChaseScenario(&scenario);
+    CoreRow core;
+    core.name = inv.name;
+    core.facts_before = CountFacts(*scenario.target);
+    start = std::chrono::steady_clock::now();
+    CoreMinimizationResult minimized = MinimizeTargetToCore(&scenario);
+    core.wall_ms = MsSince(start);
+    core.facts_removed = minimized.facts_removed;
+    core.nulls_collapsed = minimized.nulls_collapsed;
+    core_rows.push_back(core);
+  }
+
+  std::ofstream out(out_path);
+  out << "{\n  \"workload\": {\"seeds\": " << seeds
+      << ", \"rows_per_relation\": " << rows_per_relation << "},\n";
+  out << "  \"compose\": [\n";
+  for (size_t i = 0; i < compose_rows.size(); ++i) {
+    const ComposeRow& r = compose_rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"status\": \"" << r.status
+        << "\", \"tgds_out\": " << r.tgds_out << ", \"covers\": " << r.covers
+        << ", \"wall_ms\": " << r.wall_ms << "}"
+        << (i + 1 < compose_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"invert\": [\n";
+  for (size_t i = 0; i < invert_rows.size(); ++i) {
+    const InvertRow& r = invert_rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"verdict\": \"" << r.verdict
+        << "\", \"chases_run\": " << r.chases_run
+        << ", \"wall_ms\": " << r.wall_ms << "}"
+        << (i + 1 < invert_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"core\": [\n";
+  for (size_t i = 0; i < core_rows.size(); ++i) {
+    const CoreRow& r = core_rows[i];
+    out << "    {\"name\": \"" << r.name
+        << "\", \"facts_before\": " << r.facts_before
+        << ", \"facts_removed\": " << r.facts_removed
+        << ", \"nulls_collapsed\": " << r.nulls_collapsed
+        << ", \"wall_ms\": " << r.wall_ms << "}"
+        << (i + 1 < core_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"trace\": [\n";
+  for (size_t i = 0; i < trace_rows.size(); ++i) {
+    const TraceRow& r = trace_rows[i];
+    out << "    {\"name\": \"" << r.name << "\", \"u_facts\": " << r.u_facts
+        << ", \"t_facts\": " << r.t_facts << ", \"steps\": " << r.steps
+        << ", \"wall_ms\": " << r.wall_ms << "}"
+        << (i + 1 < trace_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cerr << "wrote " << out_path << " (" << compose_rows.size()
+            << " compose, " << invert_rows.size() << " invert, "
+            << core_rows.size() << " core, " << trace_rows.size()
+            << " trace rows)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace spider::bench
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_algebra.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (spider::obs::HandleObsFlag(arg)) continue;
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    out = arg;
+  }
+  int status = spider::bench::Run(out, smoke);
+  spider::obs::FlushObsOutputs();
+  return status;
+}

@@ -16,22 +16,34 @@
 //   --reachability    static route-reachability prediction per position
 //   --against OLD     diff-lint: only findings changed vs OLD's mapping,
 //                     plus the containment verdict between the versions
+//   --compose NEXT    compose the scenario's mapping (S->T) with NEXT's
+//                     mapping (T->U) and print the S->U result or why the
+//                     composition is inexpressible
+//   --invert          build the reverse candidate, chase the round trip and
+//                     classify the recovery (exact/complete/sound/none)
+//   --core            chase the scenario and minimize the solution to its
+//                     homomorphic core
 //   --max-steps N     step budget per frozen-LHS chase (default 100000)
 //   --trace[=FILE]    record a Chrome trace of the run (Perfetto)
 //   --metrics[=FILE]  dump the metrics registry as JSON
 //   -                 read the scenario from stdin
 //
 // Exit status: 0 = no findings, 1 = findings, 2 = usage or parse error.
-// With --against: 0 = no delta, 1 = delta.
+// With --against: 0 = no delta, 1 = delta. With --compose: 0 = composed,
+// 1 = not expressible. With --invert: 0 = some recovery, 1 = none.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "algebra/compose.h"
+#include "algebra/core_min.h"
+#include "algebra/invert.h"
 #include "analysis/analyzer.h"
 #include "analysis/diff_lint.h"
 #include "base/status.h"
+#include "chase/chase.h"
 #include "mapping/parser.h"
 #include "obs/obs_cli.h"
 
@@ -39,8 +51,8 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: spider_lint [--json] [--fast] [--min-cover] "
-               "[--reachability] [--against OLD] [--max-steps N] "
-               "scenario.txt|-\n"
+               "[--reachability] [--against OLD] [--compose NEXT] "
+               "[--invert] [--core] [--max-steps N] scenario.txt|-\n"
             << spider::obs::ObsFlagsHelp();
   return 2;
 }
@@ -62,13 +74,39 @@ std::string ReadInput(const std::string& path, bool* ok) {
   return buffer.str();
 }
 
+/// The one loading path for every scenario file spider_lint reads (the main
+/// argument, --against OLD, --compose NEXT): reads the file and parses it,
+/// rethrowing parse errors with the file name prefixed so multi-file
+/// invocations say which input is bad ("<path>: parse error at line L:C").
+spider::Scenario LoadScenarioFile(const std::string& path, bool* ok) {
+  std::string text = ReadInput(path, ok);
+  if (!*ok) return {};
+  try {
+    return spider::ParseScenario(text);
+  } catch (const spider::SpiderError& e) {
+    throw spider::SpiderError((path == "-" ? "<stdin>" : path) + ": " +
+                              e.what());
+  }
+}
+
+size_t CountFacts(const spider::Instance& instance) {
+  size_t n = 0;
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    n += instance.tuples(static_cast<spider::RelationId>(r)).size();
+  }
+  return n;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool invert = false;
+  bool core = false;
   spider::AnalysisOptions options;
   std::string path;
   std::string against_path;
+  std::string compose_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (spider::obs::HandleObsFlag(arg)) {
@@ -86,6 +124,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--against") {
       if (++i == argc) return Usage();
       against_path = argv[i];
+    } else if (arg == "--compose") {
+      if (++i == argc) return Usage();
+      compose_path = argv[i];
+    } else if (arg == "--invert") {
+      invert = true;
+    } else if (arg == "--core") {
+      core = true;
     } else if (arg == "--max-steps") {
       if (++i == argc) return Usage();
       options.chase_max_steps = std::strtoull(argv[i], nullptr, 10);
@@ -97,17 +142,50 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return Usage();
 
-  bool ok = false;
-  std::string text = ReadInput(path, &ok);
-  if (!ok) return 2;
-
   try {
-    spider::Scenario scenario = spider::ParseScenario(text);
+    bool ok = false;
+    spider::Scenario scenario = LoadScenarioFile(path, &ok);
+    if (!ok) return 2;
+
+    if (!compose_path.empty()) {
+      spider::Scenario next = LoadScenarioFile(compose_path, &ok);
+      if (!ok) return 2;
+      spider::ComposeResult composed =
+          spider::ComposeMappings(*scenario.mapping, *next.mapping);
+      std::cout << composed.Summary();
+      spider::obs::FlushObsOutputs();
+      return composed.status == spider::ComposeStatus::kComposed ? 0 : 1;
+    }
+
+    if (invert) {
+      spider::InversionReport report =
+          spider::InvertMapping(*scenario.mapping);
+      std::cout << report.Summary();
+      spider::obs::FlushObsOutputs();
+      bool recovered =
+          report.verdict == spider::InverseVerdict::kExactRecovery ||
+          report.verdict == spider::InverseVerdict::kCompleteRecovery ||
+          report.verdict == spider::InverseVerdict::kSoundRecovery;
+      return recovered ? 0 : 1;
+    }
+
+    if (core) {
+      spider::ChaseScenario(&scenario);
+      size_t before = CountFacts(*scenario.target);
+      spider::CoreMinimizationResult minimized =
+          spider::MinimizeTargetToCore(&scenario);
+      std::cout << "core: " << before << " -> " << CountFacts(*scenario.target)
+                << " facts (" << minimized.facts_removed << " folded, "
+                << minimized.nulls_collapsed << " nulls collapsed"
+                << (minimized.complete ? "" : ", budget exhausted") << ")\n"
+                << scenario.target->ToString();
+      spider::obs::FlushObsOutputs();
+      return 0;
+    }
 
     if (!against_path.empty()) {
-      std::string old_text = ReadInput(against_path, &ok);
+      spider::Scenario old_scenario = LoadScenarioFile(against_path, &ok);
       if (!ok) return 2;
-      spider::Scenario old_scenario = spider::ParseScenario(old_text);
       spider::DiffLintOptions diff_options;
       diff_options.analysis = options;
       spider::DiffLintReport diff = spider::DiffLint(

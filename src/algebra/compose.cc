@@ -1,0 +1,589 @@
+#include "algebra/compose.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace spider {
+
+const char* ComposeStatusName(ComposeStatus status) {
+  switch (status) {
+    case ComposeStatus::kComposed: return "composed";
+    case ComposeStatus::kInexpressible: return "inexpressible";
+    case ComposeStatus::kSchemaMismatch: return "schema-mismatch";
+    case ComposeStatus::kCoverLimit: return "cover-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// An M_st RHS atom that can stand for one T-atom of an M_tu premise.
+struct Candidate {
+  TgdId sigma = -1;
+  size_t rhs_idx = 0;
+};
+
+/// Disjoint sets over the cover's variable universe (τ's variables first,
+/// then each copy's block), with the constant each class is pinned to.
+/// Union/Assign return false when two distinct constants meet — the cover
+/// is then statically dead: no match can ever instantiate it.
+class Unifier {
+ public:
+  explicit Unifier(size_t n) : parent_(n), constant_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+
+  int Find(int v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return true;
+    if (constant_[a].has_value() && constant_[b].has_value() &&
+        !(*constant_[a] == *constant_[b])) {
+      return false;
+    }
+    if (!constant_[a].has_value()) std::swap(a, b);
+    parent_[b] = a;
+    return true;
+  }
+
+  bool Assign(int v, const Value& c) {
+    v = Find(v);
+    if (constant_[v].has_value()) return *constant_[v] == c;
+    constant_[v] = c;
+    return true;
+  }
+
+  const std::optional<Value>& ConstantOf(int v) {
+    return constant_[Find(v)];
+  }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<std::optional<Value>> constant_;
+};
+
+/// One composed tgd waiting for the global export-safety verdict.
+struct PendingTgd {
+  std::string name;
+  std::vector<std::string> var_names;
+  std::vector<Atom> lhs;
+  std::vector<Atom> rhs;
+  ComposedTgdOrigin origin;
+  std::string canonical_key;
+  /// (M_st tgd, existential VarId, canonical position) of every exported
+  /// existential.
+  std::vector<std::pair<std::pair<TgdId, VarId>, int>> exports;
+};
+
+/// Identity-preserving canonical form: atoms with variables renumbered by
+/// first occurrence, so structurally equal covers dedup regardless of how
+/// the unifier numbered their classes.
+std::string CanonicalKey(const std::vector<Atom>& lhs,
+                         const std::vector<Atom>& rhs,
+                         std::unordered_map<VarId, int>* renumber) {
+  std::string key;
+  auto emit = [&](const std::vector<Atom>& atoms) {
+    for (const Atom& atom : atoms) {
+      key += 'R';
+      key += std::to_string(atom.relation);
+      key += '(';
+      for (const Term& term : atom.terms) {
+        if (term.is_var()) {
+          auto it = renumber
+                        ->emplace(term.var(),
+                                  static_cast<int>(renumber->size()))
+                        .first;
+          key += 'v';
+          key += std::to_string(it->second);
+        } else {
+          key += 'c';
+          key += term.value().ToString();
+        }
+        key += ',';
+      }
+      key += ')';
+    }
+  };
+  emit(lhs);
+  key += "->";
+  emit(rhs);
+  return key;
+}
+
+/// Builds the composed tgds for one M_tu s-t tgd by enumerating unfolding
+/// covers: each premise atom picks an (M_st tgd copy, RHS atom); copies may
+/// be shared between atoms, so matches where several premise atoms read the
+/// same M_st firing are represented too.
+class TgdComposer {
+ public:
+  TgdComposer(const SchemaMapping& m_st, const SchemaMapping& m_tu,
+              TgdId tau_id, const std::vector<std::vector<Candidate>>& cands,
+              const ComposeOptions& options, ComposeResult* result,
+              std::vector<PendingTgd>* pending)
+      : m_st_(m_st),
+        m_tu_(m_tu),
+        tau_id_(tau_id),
+        tau_(m_tu.tgd(tau_id)),
+        cands_(cands),
+        options_(options),
+        result_(result),
+        pending_(pending) {
+    rhs_vars_.resize(tau_.num_vars(), false);
+    for (const Atom& atom : tau_.rhs()) {
+      for (const Term& term : atom.terms) {
+        if (term.is_var()) rhs_vars_[term.var()] = true;
+      }
+    }
+  }
+
+  /// Returns false when composition must stop (limit hit or inexpressible
+  /// under require_membership_exact); the failure is recorded in *result_.
+  bool Run() { return Enumerate(0); }
+
+ private:
+  bool Enumerate(size_t atom_idx) {
+    if (atom_idx == tau_.lhs().size()) return ProcessCover();
+    RelationId st_rel = StRelation(tau_.lhs()[atom_idx].relation);
+    if (st_rel == kInvalidRelation) return true;  // Unwritable: vacuous.
+    // Reuse an already-open copy (same-firing match) ...
+    for (size_t ci = 0; ci < copies_.size(); ++ci) {
+      const Tgd& sigma = m_st_.tgd(copies_[ci]);
+      for (size_t r = 0; r < sigma.rhs().size(); ++r) {
+        if (sigma.rhs()[r].relation != st_rel) continue;
+        assignment_.push_back({ci, r});
+        if (!Enumerate(atom_idx + 1)) return false;
+        assignment_.pop_back();
+      }
+    }
+    // ... or open a fresh copy for any candidate.
+    for (const Candidate& cand : cands_[st_rel]) {
+      copies_.push_back(cand.sigma);
+      assignment_.push_back({copies_.size() - 1, cand.rhs_idx});
+      if (!Enumerate(atom_idx + 1)) return false;
+      assignment_.pop_back();
+      copies_.pop_back();
+    }
+    return true;
+  }
+
+  /// T-relation of the τ premise atom translated into M_st's target schema.
+  RelationId StRelation(RelationId tu_source_rel) const {
+    const RelationDef& def = m_tu_.source().relation(tu_source_rel);
+    return m_st_.target().Find(def.name());
+  }
+
+  bool ProcessCover() {
+    ThrowIfCancelled(options_.cancel);
+    if (++result_->covers_enumerated > options_.max_covers_per_tgd) {
+      result_->status = ComposeStatus::kCoverLimit;
+      result_->offending = tau_.name();
+      result_->reason = "cover enumeration for tgd '" + tau_.name() +
+                        "' exceeded max_covers_per_tgd (" +
+                        std::to_string(options_.max_covers_per_tgd) + ")";
+      return false;
+    }
+
+    // Variable universe: τ's block, then one block per copy.
+    std::vector<size_t> offset(copies_.size());
+    size_t total = tau_.num_vars();
+    for (size_t ci = 0; ci < copies_.size(); ++ci) {
+      offset[ci] = total;
+      total += m_st_.tgd(copies_[ci]).num_vars();
+    }
+    Unifier uf(total);
+    for (size_t j = 0; j < tau_.lhs().size(); ++j) {
+      const Atom& premise = tau_.lhs()[j];
+      auto [ci, r] = assignment_[j];
+      const Atom& conclusion = m_st_.tgd(copies_[ci]).rhs()[r];
+      for (size_t p = 0; p < premise.terms.size(); ++p) {
+        const Term& tt = premise.terms[p];
+        const Term& ts = conclusion.terms[p];
+        bool ok;
+        if (tt.is_var() && ts.is_var()) {
+          ok = uf.Union(tt.var(),
+                        static_cast<int>(offset[ci]) + ts.var());
+        } else if (tt.is_var()) {
+          ok = uf.Assign(tt.var(), ts.value());
+        } else if (ts.is_var()) {
+          ok = uf.Assign(static_cast<int>(offset[ci]) + ts.var(),
+                         tt.value());
+        } else {
+          ok = tt.value() == ts.value();
+        }
+        if (!ok) {
+          ++result_->covers_skipped_dead;
+          return true;
+        }
+      }
+    }
+
+    // Class analysis: find each class's members and vet the existentials.
+    struct ClassInfo {
+      std::vector<VarId> tau_vars;
+      std::vector<std::pair<size_t, VarId>> copy_universals;
+      std::vector<std::pair<size_t, VarId>> copy_existentials;
+    };
+    std::map<int, ClassInfo> classes;
+    for (VarId v = 0; v < static_cast<VarId>(tau_.num_vars()); ++v) {
+      classes[uf.Find(v)].tau_vars.push_back(v);
+    }
+    for (size_t ci = 0; ci < copies_.size(); ++ci) {
+      const Tgd& sigma = m_st_.tgd(copies_[ci]);
+      for (VarId v = 0; v < static_cast<VarId>(sigma.num_vars()); ++v) {
+        int root = uf.Find(static_cast<int>(offset[ci]) + v);
+        if (sigma.IsUniversal(v)) {
+          classes[root].copy_universals.push_back({ci, v});
+        } else {
+          classes[root].copy_existentials.push_back({ci, v});
+        }
+      }
+    }
+
+    // (class root -> export source) for classes that re-quantify an M_st
+    // existential in the composed conclusion.
+    std::map<int, std::pair<size_t, VarId>> export_of;
+    for (const auto& [root, info] : classes) {
+      if (info.copy_existentials.empty()) continue;
+      bool exported = false;
+      for (VarId v : info.tau_vars) {
+        if (rhs_vars_[v]) exported = true;
+      }
+      bool collapse = uf.ConstantOf(root).has_value() ||
+                      !info.copy_universals.empty() ||
+                      info.copy_existentials.size() > 1;
+      if (collapse) {
+        ++result_->covers_skipped_collapse;
+        result_->membership_exact = false;
+        if (options_.require_membership_exact) {
+          result_->status = ComposeStatus::kInexpressible;
+          result_->offending = tau_.name();
+          result_->reason =
+              "unfolding tgd '" + tau_.name() + "' through '" +
+              m_st_.tgd(copies_[info.copy_existentials[0].first]).name() +
+              "' constrains an invented value; expressing that requires "
+              "second-order (Skolem) tgds";
+          return false;
+        }
+        return true;  // Skip: never realized on canonical solutions.
+      }
+      if (exported) {
+        export_of[root] = info.copy_existentials[0];
+      }
+    }
+
+    return EmitTgd(uf, offset, export_of);
+  }
+
+  bool EmitTgd(Unifier& uf, const std::vector<size_t>& offset,
+               const std::map<int, std::pair<size_t, VarId>>& export_of) {
+    PendingTgd out;
+    out.origin.tu_tgd = tau_id_;
+    for (TgdId sigma : copies_) out.origin.st_tgds.push_back(sigma);
+
+    std::map<int, VarId> class_var;
+    std::unordered_set<std::string> used_names;
+    auto var_of = [&](int universe_var, const std::string& preferred) {
+      int root = uf.Find(universe_var);
+      auto it = class_var.find(root);
+      if (it != class_var.end()) return it->second;
+      VarId v = static_cast<VarId>(out.var_names.size());
+      std::string name = preferred;
+      int suffix = 2;
+      while (!used_names.insert(name).second) {
+        name = preferred + "_" + std::to_string(suffix++);
+      }
+      out.var_names.push_back(std::move(name));
+      class_var.emplace(root, v);
+      return v;
+    };
+    auto term_of = [&](int universe_var, const std::string& preferred) {
+      const std::optional<Value>& c = uf.ConstantOf(universe_var);
+      if (c.has_value()) return Term::Const(*c);
+      return Term::Var(var_of(universe_var, preferred));
+    };
+
+    // Premise: the union of every copy's premise over S.
+    for (size_t ci = 0; ci < copies_.size(); ++ci) {
+      const Tgd& sigma = m_st_.tgd(copies_[ci]);
+      for (const Atom& atom : sigma.lhs()) {
+        Atom composed;
+        composed.relation = atom.relation;
+        for (const Term& term : atom.terms) {
+          if (term.is_var()) {
+            composed.terms.push_back(
+                term_of(static_cast<int>(offset[ci]) + term.var(),
+                        sigma.var_names()[term.var()]));
+          } else {
+            composed.terms.push_back(term);
+          }
+        }
+        out.lhs.push_back(std::move(composed));
+      }
+    }
+    // Conclusion: τ's conclusion over U, with classes substituted.
+    for (const Atom& atom : tau_.rhs()) {
+      Atom composed;
+      composed.relation = atom.relation;
+      for (const Term& term : atom.terms) {
+        if (term.is_var()) {
+          composed.terms.push_back(
+              term_of(term.var(), tau_.var_names()[term.var()]));
+        } else {
+          composed.terms.push_back(term);
+        }
+      }
+      out.rhs.push_back(std::move(composed));
+    }
+
+    // Trigger determinism: an exported existential is re-quantifiable only
+    // when the exporting copy's trigger determines the whole firing — every
+    // universal class of the composed tgd must share a variable with that
+    // copy. Otherwise two firings over one M_st trigger would need to
+    // produce the same invented value: a Skolem function of the copy's
+    // universals, not expressible as an s-t tgd.
+    if (!export_of.empty()) {
+      std::set<int> universal_roots;
+      for (size_t ci = 0; ci < copies_.size(); ++ci) {
+        const Tgd& sigma = m_st_.tgd(copies_[ci]);
+        for (const Atom& atom : sigma.lhs()) {
+          for (const Term& term : atom.terms) {
+            if (!term.is_var()) continue;
+            int root = uf.Find(static_cast<int>(offset[ci]) + term.var());
+            if (!uf.ConstantOf(root).has_value()) {
+              universal_roots.insert(root);
+            }
+          }
+        }
+      }
+      for (const auto& [root, source] : export_of) {
+        size_t export_ci = source.first;
+        const Tgd& sigma = m_st_.tgd(copies_[export_ci]);
+        for (int uroot : universal_roots) {
+          bool covered = false;
+          for (VarId v = 0; v < static_cast<VarId>(sigma.num_vars()); ++v) {
+            if (!sigma.IsUniversal(v)) continue;
+            if (uf.Find(static_cast<int>(offset[export_ci]) + v) == uroot) {
+              covered = true;
+              break;
+            }
+          }
+          if (!covered) {
+            result_->status = ComposeStatus::kInexpressible;
+            result_->offending = sigma.name();
+            result_->reason =
+                "existential '" +
+                sigma.var_names()[source.second] + "' of tgd '" +
+                sigma.name() + "' is exported by the unfolding of '" +
+                tau_.name() +
+                "' but the firing is not determined by that tgd's trigger; "
+                "sharing the invented value across firings requires a "
+                "second-order (Skolem) tgd";
+            return false;
+          }
+        }
+      }
+    }
+
+    std::unordered_map<VarId, int> renumber;
+    out.canonical_key = CanonicalKey(out.lhs, out.rhs, &renumber);
+    for (const auto& [root, source] : export_of) {
+      VarId v = class_var.at(root);
+      auto it = renumber.find(v);
+      int pos = it == renumber.end() ? -1 : it->second;
+      out.exports.push_back(
+          {{copies_[source.first], source.second}, pos});
+    }
+
+    std::string name = tau_.name();
+    for (TgdId sigma : copies_) name += "*" + m_st_.tgd(sigma).name();
+    out.name = std::move(name);
+    pending_->push_back(std::move(out));
+    return true;
+  }
+
+  const SchemaMapping& m_st_;
+  const SchemaMapping& m_tu_;
+  TgdId tau_id_;
+  const Tgd& tau_;
+  const std::vector<std::vector<Candidate>>& cands_;
+  const ComposeOptions& options_;
+  ComposeResult* result_;
+  std::vector<PendingTgd>* pending_;
+
+  std::vector<bool> rhs_vars_;  ///< τ variables used in τ's conclusion.
+  std::vector<TgdId> copies_;
+  std::vector<std::pair<size_t, size_t>> assignment_;  ///< (copy, rhs atom).
+};
+
+}  // namespace
+
+std::string ComposeResult::Summary() const {
+  std::string out;
+  out += "compose: ";
+  out += ComposeStatusName(status);
+  out += "\n";
+  if (!reason.empty()) out += "  reason: " + reason + "\n";
+  if (!offending.empty()) out += "  offending: " + offending + "\n";
+  out += "  covers: " + std::to_string(covers_enumerated) + " enumerated, " +
+         std::to_string(covers_skipped_dead) + " dead, " +
+         std::to_string(covers_skipped_collapse) + " collapsed, " +
+         std::to_string(duplicates_merged) + " duplicates\n";
+  out += std::string("  membership_exact: ") +
+         (membership_exact ? "true" : "false") + "\n";
+  if (mapping != nullptr) {
+    out += "  composed dependencies (" +
+           std::to_string(mapping->NumTgds()) + " tgds, " +
+           std::to_string(mapping->NumEgds()) + " egds):\n";
+    std::string deps = mapping->ToString();
+    size_t start = 0;
+    while (start < deps.size()) {
+      size_t end = deps.find('\n', start);
+      if (end == std::string::npos) end = deps.size();
+      out += "    " + deps.substr(start, end - start) + "\n";
+      start = end + 1;
+    }
+  }
+  return out;
+}
+
+ComposeResult ComposeMappings(const SchemaMapping& m_st,
+                              const SchemaMapping& m_tu,
+                              const ComposeOptions& options) {
+  obs::TraceSpan span("algebra", "compose");
+  ComposeResult result;
+
+  // Unfolding replaces every T-atom by M_st premises, which is only sound
+  // when M_st itself adds nothing on top of its s-t tgds.
+  if (!m_tu.st_tgds().empty() &&
+      (!m_st.target_tgds().empty() || m_st.NumEgds() > 0)) {
+    result.status = ComposeStatus::kInexpressible;
+    result.offending = !m_st.target_tgds().empty()
+                           ? m_st.tgd(m_st.target_tgds().front()).name()
+                           : m_st.egd(0).name();
+    result.reason =
+        "M_st has target dependencies; unfolding T-atoms through its s-t "
+        "tgds would miss facts they derive";
+    return result;
+  }
+  // The intermediate schemas must agree where they overlap; a same-named
+  // relation with a different arity can never be matched.
+  for (const RelationDef& def : m_tu.source().relations()) {
+    RelationId st_rel = m_st.target().Find(def.name());
+    if (st_rel == kInvalidRelation) continue;  // Unwritable: τ is vacuous.
+    if (m_st.target().relation(st_rel).arity() != def.arity()) {
+      result.status = ComposeStatus::kSchemaMismatch;
+      result.reason = "relation '" + def.name() +
+                      "' has arity " + std::to_string(def.arity()) +
+                      " in M_tu's source but arity " +
+                      std::to_string(m_st.target().relation(st_rel).arity()) +
+                      " in M_st's target";
+      return result;
+    }
+  }
+
+  // Candidate (σ, RHS atom) pairs per M_st target relation.
+  std::vector<std::vector<Candidate>> cands(m_st.target().size());
+  for (TgdId sigma : m_st.st_tgds()) {
+    const Tgd& tgd = m_st.tgd(sigma);
+    for (size_t r = 0; r < tgd.rhs().size(); ++r) {
+      cands[tgd.rhs()[r].relation].push_back({sigma, r});
+    }
+  }
+
+  result.status = ComposeStatus::kComposed;
+  std::vector<PendingTgd> pending;
+  for (TgdId tau : m_tu.st_tgds()) {
+    TgdComposer composer(m_st, m_tu, tau, cands, options, &result, &pending);
+    if (!composer.Run()) {
+      if (obs::MetricsEnabled()) {
+        obs::Registry::Global()
+            .GetCounter("algebra.compose_failed")
+            ->Increment();
+      }
+      return result;
+    }
+  }
+
+  // Global export safety: one M_st existential may be re-quantified in at
+  // most one composed context, else two composed tgds would both have to
+  // invent the same null for one M_st firing.
+  std::map<std::pair<TgdId, VarId>, std::set<std::pair<std::string, int>>>
+      export_contexts;
+  for (const PendingTgd& tgd : pending) {
+    for (const auto& [source, pos] : tgd.exports) {
+      export_contexts[source].insert({tgd.canonical_key, pos});
+    }
+  }
+  for (const auto& [source, contexts] : export_contexts) {
+    if (contexts.size() <= 1) continue;
+    const Tgd& sigma = m_st.tgd(source.first);
+    result.status = ComposeStatus::kInexpressible;
+    result.offending = sigma.name();
+    result.reason =
+        "existential '" + sigma.var_names()[source.second] + "' of tgd '" +
+        sigma.name() + "' is exported by " +
+        std::to_string(contexts.size()) +
+        " distinct composed tgds, which would have to share one invented "
+        "value per firing; that is a Skolem function, not an s-t tgd";
+    result.mapping = nullptr;
+    return result;
+  }
+
+  // Materialize: dedup structurally equal unfoldings, keep origins aligned.
+  auto mapping = std::make_unique<SchemaMapping>(Schema(m_st.source()),
+                                                 Schema(m_tu.target()));
+  std::set<std::string> seen;
+  for (PendingTgd& tgd : pending) {
+    if (!seen.insert(tgd.canonical_key).second) {
+      ++result.duplicates_merged;
+      continue;
+    }
+    mapping->AddTgd(Tgd(tgd.name, std::move(tgd.var_names),
+                        std::move(tgd.lhs), std::move(tgd.rhs),
+                        /*source_to_target=*/true));
+    result.origins.push_back(std::move(tgd.origin));
+  }
+  // M_tu's target dependencies constrain U only; they carry over verbatim
+  // (the composed target schema is a copy of M_tu's, ids included).
+  for (TgdId id : m_tu.target_tgds()) {
+    const Tgd& tgd = m_tu.tgd(id);
+    mapping->AddTgd(Tgd(tgd.name(), tgd.var_names(), tgd.lhs(), tgd.rhs(),
+                        /*source_to_target=*/false));
+  }
+  for (EgdId id = 0; id < static_cast<EgdId>(m_tu.NumEgds()); ++id) {
+    const Egd& egd = m_tu.egd(id);
+    mapping->AddEgd(Egd(egd.name(), egd.var_names(), egd.lhs(), egd.left(),
+                        egd.right()));
+  }
+  result.mapping = std::move(mapping);
+
+  if (obs::MetricsEnabled()) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter("algebra.compose_calls")->Increment();
+    registry.GetCounter("algebra.compose_covers")
+        ->Add(result.covers_enumerated);
+    registry.GetCounter("algebra.compose_tgds")
+        ->Add(result.origins.size());
+  }
+  return result;
+}
+
+}  // namespace spider

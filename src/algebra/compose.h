@@ -1,0 +1,111 @@
+#ifndef SPIDER_ALGEBRA_COMPOSE_H_
+#define SPIDER_ALGEBRA_COMPOSE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/cancel.h"
+#include "mapping/schema_mapping.h"
+
+namespace spider {
+
+/// Outcome of ComposeMappings.
+enum class ComposeStatus {
+  kComposed,        ///< The composition is expressible; `mapping` is set.
+  kInexpressible,   ///< s-t tgds cannot express it (see reason/offending).
+  kSchemaMismatch,  ///< M_st's target and M_tu's source schemas differ.
+  kCoverLimit,      ///< max_covers_per_tgd exhausted before enumeration done.
+};
+
+const char* ComposeStatusName(ComposeStatus status);
+
+/// Provenance of one composed s-t tgd, parallel to
+/// ComposeResult::mapping->st_tgds(): the M_tu tgd whose T-atoms were
+/// unfolded and the M_st tgds used by each copy, in copy order. Route
+/// stitching uses this to explain which original dependencies a composed
+/// step stands for.
+struct ComposedTgdOrigin {
+  TgdId tu_tgd = -1;
+  std::vector<TgdId> st_tgds;
+};
+
+struct ComposeOptions {
+  /// Cap on unfolding covers enumerated per M_tu tgd (the enumeration is
+  /// exponential in the tgd's atom count). Hitting the cap yields
+  /// kCoverLimit rather than a silently incomplete mapping.
+  size_t max_covers_per_tgd = 4096;
+
+  /// Compose for exact membership semantics [Fagin–Kolaitis–Popa–Tan]: any
+  /// unfolding cover that would force a constraint on an M_st existential
+  /// (equality with a constant, a universal, or another existential) makes
+  /// the whole composition kInexpressible, because only second-order tgds
+  /// can state the conditional requirement. The default (false) skips such
+  /// covers and records membership_exact = false instead: the composed
+  /// mapping is then still exact for canonical universal solutions —
+  /// chase_composed(I) is homomorphically equivalent to
+  /// chase_tu(chase_st(I)) for every I — which is the semantics the
+  /// debugger's routes live in.
+  bool require_membership_exact = false;
+
+  /// Polled once per cover; throws CancelledError when flipped.
+  const CancelToken* cancel = nullptr;
+};
+
+struct ComposeResult {
+  ComposeStatus status = ComposeStatus::kInexpressible;
+
+  /// The composed S→U mapping (on kComposed): every unfolding of an M_tu
+  /// s-t tgd through M_st's RHSs, deduplicated up to variable renaming,
+  /// plus M_tu's target dependencies carried over verbatim.
+  std::unique_ptr<SchemaMapping> mapping;
+  /// Parallel to mapping->st_tgds().
+  std::vector<ComposedTgdOrigin> origins;
+
+  /// Human explanation when status != kComposed.
+  std::string reason;
+  /// Name of the offending dependency (the M_tu tgd whose unfolding needs
+  /// second-order features, or the M_st target dependency blocking
+  /// unfolding). Empty when not applicable.
+  std::string offending;
+
+  /// True when the composed mapping also captures the FKPT membership
+  /// relation exactly; false when collapse covers were skipped (the result
+  /// is then exact for canonical universal solutions only).
+  bool membership_exact = true;
+
+  size_t covers_enumerated = 0;
+  size_t covers_skipped_dead = 0;      ///< Distinct constants clashed.
+  size_t covers_skipped_collapse = 0;  ///< Existential forced non-generic.
+  size_t duplicates_merged = 0;
+
+  /// Deterministic multi-line rendering: status, stats, and the composed
+  /// dependencies (when any).
+  std::string Summary() const;
+};
+
+/// Composes two consecutive schema mappings M_st : S→T and M_tu : T→U into
+/// one S→U mapping whose s-t tgds are the unfoldings of M_tu's premises
+/// through M_st's conclusions [Fagin–Kolaitis–Popa–Tan "Composing schema
+/// mappings", Arenas et al. "Composition and inversion of schema mappings"].
+///
+/// Each T-atom of an M_tu tgd is matched against an RHS atom of an M_st tgd
+/// copy (copies may be shared between atoms to capture same-firing matches),
+/// the overlapping terms are unified, and the union of the copies' premises
+/// becomes the composed premise. An M_st existential that survives into the
+/// composed conclusion is re-quantified as a fresh existential only when the
+/// firing is trigger-deterministic (every universal of the composed tgd is
+/// equated with a universal of the exporting copy) and the export is unique
+/// across the whole composition; otherwise distinct firings would have to
+/// share one invented null — a Skolem function, i.e. a second-order tgd —
+/// and the result is kInexpressible with the offending dependency named.
+/// M_st target dependencies also make unfolding unsound and are reported
+/// the same way; M_tu target dependencies (over U) carry over unchanged.
+ComposeResult ComposeMappings(const SchemaMapping& m_st,
+                              const SchemaMapping& m_tu,
+                              const ComposeOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ALGEBRA_COMPOSE_H_

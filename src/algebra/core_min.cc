@@ -1,0 +1,114 @@
+#include "algebra/core_min.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace spider {
+
+namespace {
+
+Value RemapValue(const Value& v, const InstanceHom& retraction) {
+  if (!v.is_null()) return v;
+  auto it = retraction.find(v.AsNull().id);
+  return it == retraction.end() ? v : it->second;
+}
+
+}  // namespace
+
+Binding RemapBinding(const Binding& binding, const InstanceHom& retraction) {
+  Binding out(binding.size());
+  for (VarId v = 0; v < static_cast<VarId>(binding.size()); ++v) {
+    if (binding.IsBound(v)) {
+      out.Set(v, RemapValue(binding.Get(v), retraction));
+    }
+  }
+  return out;
+}
+
+CoreMinimizationResult MinimizeTargetToCore(
+    Scenario* scenario, const std::vector<TrackedRoute>& routes,
+    const CoreMinimizationOptions& options) {
+  obs::TraceSpan span("algebra", "core_min");
+  SPIDER_CHECK(scenario != nullptr && scenario->target != nullptr,
+               "MinimizeTargetToCore needs a chased scenario");
+
+  CoreRetractionOptions core_options;
+  core_options.eval = options.eval;
+  core_options.max_hom_tests = options.max_hom_tests;
+  core_options.cancel = options.cancel;
+  // Nulls the source instance can see must survive pointwise: a route step
+  // may bind them from source facts, and folding them away would change
+  // what the debugger shows for the unchanged source.
+  for (size_t r = 0; r < scenario->source->NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    for (const Tuple& t : scenario->source->tuples(rel)) {
+      for (const Value& v : t.values()) {
+        if (v.is_null()) core_options.rigid_nulls.insert(v.AsNull().id);
+      }
+    }
+  }
+
+  CoreRetractionResult retracted =
+      ComputeCoreRetraction(*scenario->target, core_options);
+
+  CoreMinimizationResult result;
+  result.facts_removed = retracted.facts_removed;
+  result.complete = retracted.complete;
+  for (const auto& [null_id, image] : retracted.retraction) {
+    if (!(image == Value::Null(null_id))) ++result.nulls_collapsed;
+  }
+
+  // Rewrite tracked routes and fact sets through the retraction while the
+  // old target still backs their row indexes.
+  for (const TrackedRoute& tracked : routes) {
+    if (tracked.route != nullptr) {
+      std::vector<SatStep> steps;
+      steps.reserve(tracked.route->steps().size());
+      for (const SatStep& step : tracked.route->steps()) {
+        steps.push_back(
+            {step.tgd, RemapBinding(step.h, retracted.retraction)});
+      }
+      *tracked.route = Route(std::move(steps));
+      ++result.routes_remapped;
+    }
+    if (tracked.facts != nullptr) {
+      for (FactRef& fact : *tracked.facts) {
+        if (fact.side != Side::kTarget) continue;
+        const Tuple& old_tuple =
+            scenario->target->tuple(fact.relation, fact.row);
+        std::vector<Value> values;
+        values.reserve(old_tuple.arity());
+        for (const Value& v : old_tuple.values()) {
+          values.push_back(RemapValue(v, retracted.retraction));
+        }
+        std::optional<int32_t> row = retracted.core->FindRow(
+            fact.relation, Tuple(std::move(values)));
+        SPIDER_CHECK(row.has_value(),
+                     "retraction image of a tracked fact missing from core");
+        fact.row = *row;
+      }
+    }
+  }
+
+  // Swap in place: ReplaceContents bumps the version past both instances,
+  // so debugger/session pointers stay valid and caches notice the change.
+  scenario->target->ReplaceContents(std::move(*retracted.core));
+  result.retraction = std::move(retracted.retraction);
+
+  if (obs::MetricsEnabled()) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter("algebra.core_min_calls")->Increment();
+    registry.GetCounter("algebra.core_min_facts_removed")
+        ->Add(result.facts_removed);
+    registry.GetCounter("algebra.core_min_nulls_collapsed")
+        ->Add(result.nulls_collapsed);
+  }
+  return result;
+}
+
+}  // namespace spider

@@ -1,0 +1,68 @@
+#ifndef SPIDER_ALGEBRA_CORE_MIN_H_
+#define SPIDER_ALGEBRA_CORE_MIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/cancel.h"
+#include "chase/core.h"
+#include "mapping/scenario.h"
+#include "routes/route.h"
+
+namespace spider {
+
+struct CoreMinimizationOptions {
+  EvalOptions eval;
+  size_t max_hom_tests = 100'000;
+  /// Polled once per candidate fold; throws CancelledError when flipped.
+  const CancelToken* cancel = nullptr;
+};
+
+/// A route whose bindings (and optionally the probed fact set) should be
+/// rewritten through the retraction so they stay valid on the minimized
+/// target. Both pointers must outlive the MinimizeTargetToCore call; `facts`
+/// may be null.
+struct TrackedRoute {
+  Route* route = nullptr;
+  std::vector<FactRef>* facts = nullptr;
+};
+
+struct CoreMinimizationResult {
+  size_t facts_removed = 0;
+  /// Labeled nulls the retraction moved off themselves (collapsed onto a
+  /// constant or another null).
+  size_t nulls_collapsed = 0;
+  bool complete = true;  ///< False when max_hom_tests stopped the search.
+  /// The retraction homomorphism r : old target → core (non-rigid nulls
+  /// only; rigid nulls — those visible in the source instance — are fixed).
+  InstanceHom retraction;
+  size_t routes_remapped = 0;
+};
+
+/// Retracts `scenario->target` to its core in place and rewrites every
+/// tracked route through the retraction homomorphism.
+///
+/// The canonical universal solution the chase produces is rarely the core:
+/// null-padded facts subsumed by more specific ones survive. Folding them
+/// away yields the smallest universal solution [Fagin–Kolaitis–Popa "Data
+/// exchange: getting to the core"], and because the retraction r is itself
+/// a homomorphism fixing the source-visible values, r ∘ h is again a valid
+/// satisfaction-step homomorphism for every step (σ, h) of a route: the
+/// remapped routes validate and replay against the minimized target.
+///
+/// The swap uses Instance::ReplaceContents, so Instance pointers held by a
+/// live MappingDebugger (or DebugSession) stay valid; nulls occurring in
+/// `scenario->source` are rigid and never collapse.
+CoreMinimizationResult MinimizeTargetToCore(
+    Scenario* scenario, const std::vector<TrackedRoute>& routes = {},
+    const CoreMinimizationOptions& options = {});
+
+/// Rewrites one binding's values through the retraction (identity outside
+/// its domain). Exposed for tests and for callers maintaining their own
+/// caches.
+Binding RemapBinding(const Binding& binding, const InstanceHom& retraction);
+
+}  // namespace spider
+
+#endif  // SPIDER_ALGEBRA_CORE_MIN_H_

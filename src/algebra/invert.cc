@@ -1,0 +1,155 @@
+#include "algebra/invert.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace spider {
+
+const char* InverseVerdictName(InverseVerdict verdict) {
+  switch (verdict) {
+    case InverseVerdict::kExactRecovery: return "exact-recovery";
+    case InverseVerdict::kCompleteRecovery: return "complete-recovery";
+    case InverseVerdict::kSoundRecovery: return "sound-recovery";
+    case InverseVerdict::kNotARecovery: return "not-a-recovery";
+    case InverseVerdict::kInconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SchemaMapping> BuildIdentityMapping(const Schema& schema) {
+  auto mapping =
+      std::make_unique<SchemaMapping>(Schema(schema), Schema(schema));
+  for (size_t r = 0; r < schema.size(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    const RelationDef& def = schema.relation(rel);
+    std::vector<std::string> var_names;
+    Atom atom;
+    atom.relation = rel;
+    for (size_t a = 0; a < def.arity(); ++a) {
+      var_names.push_back("x" + std::to_string(a));
+      atom.terms.push_back(Term::Var(static_cast<VarId>(a)));
+    }
+    mapping->AddTgd(Tgd("id_" + def.name(), std::move(var_names), {atom},
+                        {atom}, /*source_to_target=*/true));
+  }
+  return mapping;
+}
+
+std::string InversionReport::Summary() const {
+  std::string out;
+  out += "invert: ";
+  out += InverseVerdictName(verdict);
+  out += "\n";
+  if (!reason.empty()) out += "  reason: " + reason + "\n";
+  if (candidate != nullptr) {
+    out += "  reverse candidate:\n";
+    std::string deps = candidate->ToString();
+    size_t start = 0;
+    while (start < deps.size()) {
+      size_t end = deps.find('\n', start);
+      if (end == std::string::npos) end = deps.size();
+      out += "    " + deps.substr(start, end - start) + "\n";
+      start = end + 1;
+    }
+  }
+  out += std::string("  round trip: ") + ComposeStatusName(compose_status);
+  if (round_trip != nullptr) {
+    out += " (" + std::to_string(round_trip->NumTgds()) + " tgds";
+    if (!membership_exact) out += ", canonical-solution semantics only";
+    out += ")";
+  }
+  out += "\n";
+  if (verdict != InverseVerdict::kInconclusive) {
+    out += containment.Summary();
+  }
+  return out;
+}
+
+InversionReport InvertMapping(const SchemaMapping& m,
+                              const InvertOptions& options) {
+  obs::TraceSpan span("algebra", "invert");
+  InversionReport report;
+
+  if (m.st_tgds().empty()) {
+    report.reason = "mapping has no s-t tgds to invert";
+    return report;
+  }
+  if (!m.target_tgds().empty() || m.NumEgds() > 0) {
+    report.reason =
+        "mapping has target dependencies; the round-trip composition "
+        "through the reverse candidate is not expressible with s-t tgds";
+    return report;
+  }
+
+  // Reverse candidate: ψ(x, y) → ∃z φ(x, z). Variables keep their table
+  // (universality flips automatically: RHS-only variables of σ occur in
+  // the reversed LHS and vice versa).
+  auto candidate =
+      std::make_unique<SchemaMapping>(Schema(m.target()), Schema(m.source()));
+  for (TgdId id : m.st_tgds()) {
+    const Tgd& tgd = m.tgd(id);
+    candidate->AddTgd(Tgd(tgd.name() + "_inv", tgd.var_names(), tgd.rhs(),
+                          tgd.lhs(), /*source_to_target=*/true));
+  }
+
+  // Round trip M ∘ M⁻ : S→S, then classify against the identity mapping.
+  ComposeOptions compose_options = options.compose;
+  if (compose_options.cancel == nullptr) {
+    compose_options.cancel = options.cancel;
+  }
+  ComposeResult composed = ComposeMappings(m, *candidate, compose_options);
+  report.compose_status = composed.status;
+  report.membership_exact = composed.membership_exact;
+  report.candidate = std::move(candidate);
+  if (composed.status != ComposeStatus::kComposed) {
+    report.reason = composed.reason;
+    return report;
+  }
+  report.round_trip = std::move(composed.mapping);
+
+  std::unique_ptr<SchemaMapping> identity = BuildIdentityMapping(m.source());
+  ContainmentOptions containment_options = options.containment;
+  if (containment_options.cancel == nullptr) {
+    containment_options.cancel = options.cancel;
+  }
+  report.containment =
+      CheckContainment(*report.round_trip, *identity, containment_options);
+
+  switch (report.containment.verdict) {
+    case ContainmentVerdict::kEquivalent:
+      report.verdict = InverseVerdict::kExactRecovery;
+      break;
+    case ContainmentVerdict::kContains:
+      // identity ⊑ round trip: everything comes back, plus noise.
+      report.verdict = InverseVerdict::kCompleteRecovery;
+      break;
+    case ContainmentVerdict::kContained:
+      // round trip ⊑ identity: no noise, but data is lost.
+      report.verdict = InverseVerdict::kSoundRecovery;
+      break;
+    case ContainmentVerdict::kIncomparable:
+      if (report.containment.m1_in_m2.inconclusive > 0 ||
+          report.containment.m2_in_m1.inconclusive > 0 ||
+          !report.containment.comparable) {
+        report.verdict = InverseVerdict::kInconclusive;
+        report.reason = "containment test inconclusive";
+      } else {
+        report.verdict = InverseVerdict::kNotARecovery;
+      }
+      break;
+  }
+
+  if (obs::MetricsEnabled()) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter("algebra.invert_calls")->Increment();
+    registry.GetCounter("algebra.invert_chases")
+        ->Add(report.containment.chases_run);
+  }
+  return report;
+}
+
+}  // namespace spider

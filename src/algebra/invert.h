@@ -1,0 +1,82 @@
+#ifndef SPIDER_ALGEBRA_INVERT_H_
+#define SPIDER_ALGEBRA_INVERT_H_
+
+#include <memory>
+#include <string>
+
+#include "algebra/compose.h"
+#include "analysis/containment.h"
+#include "base/cancel.h"
+#include "mapping/schema_mapping.h"
+
+namespace spider {
+
+/// How well the reverse candidate recovers source data when the round trip
+/// M ∘ M⁻ is chased: compare chase_{M∘M⁻}(I) against I itself (the identity
+/// copy mapping) with the PR 8 containment machinery.
+enum class InverseVerdict {
+  /// Round trip ≡ identity: M⁻ is an exact (chase-)inverse — every source
+  /// fact comes back, nothing else does.
+  kExactRecovery,
+  /// Identity ⊑ round trip: all source data comes back, plus extra facts
+  /// (M merged sources the reverse cannot tell apart).
+  kCompleteRecovery,
+  /// Round trip ⊑ identity: nothing spurious comes back, but some source
+  /// data is lost (M projects attributes away).
+  kSoundRecovery,
+  /// Neither direction holds.
+  kNotARecovery,
+  /// The round trip could not be composed or the containment test was
+  /// inconclusive; see `reason`.
+  kInconclusive,
+};
+
+const char* InverseVerdictName(InverseVerdict verdict);
+
+struct InvertOptions {
+  ComposeOptions compose;
+  ContainmentOptions containment;
+  const CancelToken* cancel = nullptr;
+};
+
+/// Report of InvertMapping. Move-only (owns mappings and, transitively, a
+/// containment counterexample).
+struct InversionReport {
+  InverseVerdict verdict = InverseVerdict::kInconclusive;
+  std::string reason;
+
+  /// The reverse candidate M⁻ : T→S (ψ(x,y) → ∃z φ(x,z) per s-t tgd of M).
+  std::unique_ptr<SchemaMapping> candidate;
+  /// The composed round trip M ∘ M⁻ : S→S, when expressible.
+  std::unique_ptr<SchemaMapping> round_trip;
+  /// Composition diagnostics for the round trip.
+  ComposeStatus compose_status = ComposeStatus::kInexpressible;
+  bool membership_exact = true;
+
+  /// Containment of the round trip vs. the identity copy mapping. The
+  /// counterexample instances inside are source instances whose recovery
+  /// demonstrates the failed direction.
+  ContainmentReport containment;
+
+  /// Deterministic multi-line rendering: verdict, candidate, round trip,
+  /// and the containment evidence.
+  std::string Summary() const;
+};
+
+/// The identity copy mapping over `schema`: R(x...) → R(x...) for every
+/// relation, source and target schemas both copies of `schema`.
+std::unique_ptr<SchemaMapping> BuildIdentityMapping(const Schema& schema);
+
+/// Builds the canonical reverse candidate M⁻ of M (swap each s-t tgd's
+/// sides, re-quantifying dropped universals as existentials), composes the
+/// round trip M ∘ M⁻, and classifies it against the identity mapping. This
+/// is the chase-based reading of Fagin's inverse / Arenas et al.'s recovery:
+/// M⁻ is a recovery of M iff the round trip loses nothing, and an exact
+/// inverse iff it is equivalent to the identity. Counterexample instances
+/// come from the containment report's frozen-chase witnesses.
+InversionReport InvertMapping(const SchemaMapping& m,
+                              const InvertOptions& options = {});
+
+}  // namespace spider
+
+#endif  // SPIDER_ALGEBRA_INVERT_H_

@@ -1,0 +1,189 @@
+#include "algebra/pipeline.h"
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace spider {
+
+ChasePipelineResult ChasePipeline(PipelineScenario* pipeline,
+                                  const ChaseOptions& options) {
+  obs::TraceSpan span("algebra", "chase_pipeline");
+  SPIDER_CHECK(pipeline != nullptr, "ChasePipeline needs a pipeline");
+  ChasePipelineResult result;
+  result.st_stats = ChaseScenario(&pipeline->st, options);
+
+  // T0 becomes the source of the second hop: copy facts across by relation
+  // name (the schemas agree where they overlap), preserving labeled nulls.
+  const Instance& t0 = *pipeline->st.target;
+  const Schema& tu_source_schema = pipeline->tu.mapping->source();
+  auto staged = std::make_unique<Instance>(&tu_source_schema);
+  for (size_t r = 0; r < t0.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    if (t0.tuples(rel).empty()) continue;
+    const std::string& name = t0.schema().relation(rel).name();
+    RelationId tu_rel = tu_source_schema.Find(name);
+    SPIDER_CHECK(tu_rel != kInvalidRelation,
+                 "pipeline intermediate relation '" + name +
+                     "' missing from the T→U source schema");
+    for (const Tuple& t : t0.tuples(rel)) {
+      staged->Insert(tu_rel, Tuple(t));
+    }
+  }
+  pipeline->tu.source->ReplaceContents(std::move(*staged));
+  if (pipeline->tu.max_null_id < pipeline->st.max_null_id) {
+    pipeline->tu.max_null_id = pipeline->st.max_null_id;
+  }
+  for (const auto& [null_id, name] : pipeline->st.null_names) {
+    pipeline->tu.null_names.emplace(null_id, name);
+  }
+
+  result.tu_stats = ChaseScenario(&pipeline->tu, options);
+  return result;
+}
+
+StitchedRoute TraceThroughComposition(const PipelineScenario& pipeline,
+                                      const std::vector<FactRef>& u_facts,
+                                      const RouteOptions& options) {
+  obs::TraceSpan span("algebra", "trace_through_composition");
+  const Scenario& st = pipeline.st;
+  const Scenario& tu = pipeline.tu;
+
+  StitchedRoute stitched;
+  OneRouteResult tu_result = ComputeOneRoute(*tu.mapping, *tu.source,
+                                             *tu.target, u_facts, options);
+  stitched.found = tu_result.found;
+  stitched.tu_route = std::move(tu_result.route);
+  stitched.unproven = std::move(tu_result.unproven);
+  stitched.tu_stats = tu_result.stats;
+  if (!stitched.found) return stitched;
+
+  // The T-facts the tu route consumed: every s-t step's instantiated
+  // premise, in first-use order.
+  std::set<FactRef> seen;
+  for (const SatStep& step : stitched.tu_route.steps()) {
+    const Tgd& tgd = tu.mapping->tgd(step.tgd);
+    if (!tgd.source_to_target()) continue;
+    for (const Atom& atom : tgd.lhs()) {
+      Tuple t = step.h.Instantiate(atom);
+      std::optional<int32_t> row = tu.source->FindRow(atom.relation, t);
+      SPIDER_CHECK(row.has_value(),
+                   "tu route premise fact missing from the T instance");
+      FactRef fact{Side::kSource, atom.relation, *row};
+      if (seen.insert(fact).second) {
+        stitched.t_facts_tu.push_back(fact);
+      }
+    }
+  }
+
+  // Translate into st-scenario coordinates (target side) by name + content.
+  for (const FactRef& fact : stitched.t_facts_tu) {
+    const std::string& name =
+        tu.mapping->source().relation(fact.relation).name();
+    RelationId st_rel = st.mapping->target().Find(name);
+    SPIDER_CHECK(st_rel != kInvalidRelation,
+                 "intermediate relation '" + name +
+                     "' missing from the S→T target schema");
+    std::optional<int32_t> row = st.target->FindRow(
+        st_rel, tu.source->tuple(fact.relation, fact.row));
+    SPIDER_CHECK(row.has_value(),
+                 "intermediate fact missing from the S→T solution; was "
+                 "ChasePipeline run?");
+    stitched.t_facts_st.push_back({Side::kTarget, st_rel, *row});
+  }
+
+  if (!stitched.t_facts_st.empty()) {
+    OneRouteResult st_result = ComputeOneRoute(
+        *st.mapping, *st.source, *st.target, stitched.t_facts_st, options);
+    stitched.st_stats = st_result.stats;
+    stitched.st_route = std::move(st_result.route);
+    if (!st_result.found) {
+      stitched.found = false;
+      stitched.unproven = std::move(st_result.unproven);
+    }
+  }
+
+  if (obs::MetricsEnabled()) {
+    obs::Registry& registry = obs::Registry::Global();
+    registry.GetCounter("algebra.stitched_traces")->Increment();
+    registry.GetCounter("algebra.stitched_t_facts")
+        ->Add(stitched.t_facts_st.size());
+  }
+  return stitched;
+}
+
+bool ValidateStitchedRoute(const PipelineScenario& pipeline,
+                           const StitchedRoute& stitched,
+                           const std::vector<FactRef>& u_facts,
+                           std::string* why) {
+  if (!stitched.found) {
+    if (why != nullptr) *why = "stitched route not found";
+    return false;
+  }
+  std::string local;
+  if (!stitched.tu_route.Validate(*pipeline.tu.mapping, *pipeline.tu.source,
+                                  *pipeline.tu.target, u_facts, &local)) {
+    if (why != nullptr) *why = "T→U half invalid: " + local;
+    return false;
+  }
+  for (size_t i = 0; i < stitched.t_facts_tu.size(); ++i) {
+    const FactRef& a = stitched.t_facts_tu[i];
+    const FactRef& b = stitched.t_facts_st[i];
+    if (!(pipeline.tu.source->tuple(a.relation, a.row) ==
+          pipeline.st.target->tuple(b.relation, b.row))) {
+      if (why != nullptr) {
+        *why = "intermediate fact " + std::to_string(i) +
+               " differs between the two halves";
+      }
+      return false;
+    }
+  }
+  if (!stitched.t_facts_st.empty() &&
+      !stitched.st_route.Validate(*pipeline.st.mapping, *pipeline.st.source,
+                                  *pipeline.st.target, stitched.t_facts_st,
+                                  &local)) {
+    if (why != nullptr) *why = "S→T half invalid: " + local;
+    return false;
+  }
+  return true;
+}
+
+std::string RenderStitchedRoute(const PipelineScenario& pipeline,
+                                const StitchedRoute& stitched) {
+  std::string out;
+  if (!stitched.found) {
+    out += "no end-to-end route (" + std::to_string(stitched.unproven.size()) +
+           " unproven facts)\n";
+    return out;
+  }
+  out += "S->T route (" + std::to_string(stitched.st_route.size()) +
+         " steps):\n";
+  if (stitched.st_route.empty()) {
+    out += "  (none: the T->U steps used no intermediate facts)\n";
+  } else {
+    out += stitched.st_route.ToString(*pipeline.st.mapping,
+                                      *pipeline.st.source,
+                                      *pipeline.st.target);
+  }
+  out += "intermediate T-facts:\n";
+  for (const FactRef& fact : stitched.t_facts_tu) {
+    const RelationDef& def =
+        pipeline.tu.mapping->source().relation(fact.relation);
+    out += "  " + def.name() +
+           pipeline.tu.source->tuple(fact.relation, fact.row).ToString() +
+           "\n";
+  }
+  out += "T->U route (" + std::to_string(stitched.tu_route.size()) +
+         " steps):\n";
+  out += stitched.tu_route.ToString(*pipeline.tu.mapping, *pipeline.tu.source,
+                                    *pipeline.tu.target);
+  return out;
+}
+
+}  // namespace spider

@@ -1,0 +1,79 @@
+#ifndef SPIDER_ALGEBRA_PIPELINE_H_
+#define SPIDER_ALGEBRA_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "mapping/scenario.h"
+#include "routes/one_route.h"
+#include "routes/options.h"
+#include "routes/route.h"
+
+namespace spider {
+
+struct ChasePipelineResult {
+  ChaseStats st_stats;
+  ChaseStats tu_stats;
+};
+
+/// Chases the pipeline end to end: S —M_st→ T, then the produced T instance
+/// (facts copied across by relation name, labeled nulls preserved) is the
+/// source for T —M_tu→ U. After the call `pipeline->st.target` holds T0 and
+/// `pipeline->tu.target` holds the two-step canonical solution U0. Throws
+/// SpiderError when either chase fails.
+ChasePipelineResult ChasePipeline(PipelineScenario* pipeline,
+                                  const ChaseOptions& options = {});
+
+/// An end-to-end S→T→U provenance chain for selected U-facts: the T→U half
+/// explains the U-facts from intermediate T-facts, and the S→T half explains
+/// exactly those T-facts from the original source. Both halves are routes in
+/// the paper's sense and validate independently.
+struct StitchedRoute {
+  bool found = false;
+
+  /// T→U half: a route for `u_facts` in the tu scenario.
+  Route tu_route;
+  /// The T-facts the tu route's s-t steps consumed, as source-side facts of
+  /// the tu scenario, in first-use order.
+  std::vector<FactRef> t_facts_tu;
+  /// The same T-facts as target-side facts of the st scenario (matched by
+  /// relation name + tuple content).
+  std::vector<FactRef> t_facts_st;
+
+  /// S→T half: a route for `t_facts_st` in the st scenario. Empty when the
+  /// tu route used no intermediate facts (constant-only premises).
+  Route st_route;
+
+  /// U-facts without a route (found == false when non-empty).
+  std::vector<FactRef> unproven;
+
+  RouteStats tu_stats;
+  RouteStats st_stats;
+};
+
+/// Stitches an end-to-end route for `u_facts` (target-side facts of
+/// `pipeline->tu`): first ComputeOneRoute in the T→U scenario, then the
+/// intermediate T-facts its satisfaction steps consumed are probed in the
+/// S→T scenario. The pipeline must have been chased (ChasePipeline) so that
+/// `tu.source` mirrors `st.target`.
+StitchedRoute TraceThroughComposition(const PipelineScenario& pipeline,
+                                      const std::vector<FactRef>& u_facts,
+                                      const RouteOptions& options = {});
+
+/// Validates both halves with Route::Validate. Returns true when the whole
+/// chain is a correct provenance proof; on failure *why (if non-null) says
+/// which half broke and how.
+bool ValidateStitchedRoute(const PipelineScenario& pipeline,
+                           const StitchedRoute& stitched,
+                           const std::vector<FactRef>& u_facts,
+                           std::string* why = nullptr);
+
+/// Deterministic human rendering: the S→T steps, the intermediate T-facts,
+/// then the T→U steps.
+std::string RenderStitchedRoute(const PipelineScenario& pipeline,
+                                const StitchedRoute& stitched);
+
+}  // namespace spider
+
+#endif  // SPIDER_ALGEBRA_PIPELINE_H_

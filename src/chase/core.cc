@@ -1,5 +1,10 @@
 #include "chase/core.h"
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "chase/homomorphism.h"
 
 namespace spider {
@@ -21,6 +26,30 @@ std::unique_ptr<Instance> CopyWithout(const Instance& instance,
   return copy;
 }
 
+/// Marker constant standing in for a rigid null during the endomorphism
+/// search. Constants are fixed pointwise by every homomorphism, so freezing
+/// makes rigidity structural: no candidate fold can move the null, and the
+/// search stays complete (nothing is found and then rejected). The '\x02'
+/// prefix cannot collide with user data (the parser rejects control bytes)
+/// or with the analysis layer's '\x01' frozen constants.
+Value RigidConstant(int64_t null_id) {
+  return Value::Str(std::string(1, '\x02') + "rigid:" +
+                    std::to_string(null_id));
+}
+
+bool IsRigidConstant(const Value& v, int64_t* null_id) {
+  if (v.kind() != Value::Kind::kString) return false;
+  const std::string& text = v.AsString();
+  if (text.size() < 8 || text[0] != '\x02') return false;
+  *null_id = std::strtoll(text.c_str() + 7, nullptr, 10);
+  return true;
+}
+
+Value Thaw(const Value& v) {
+  int64_t id = 0;
+  return IsRigidConstant(v, &id) ? Value::Null(id) : v;
+}
+
 }  // namespace
 
 bool IsRedundantFact(const Instance& instance, const FactRef& fact,
@@ -35,14 +64,54 @@ bool IsRedundantFact(const Instance& instance, const FactRef& fact,
 }
 
 CoreResult ComputeCore(const Instance& instance, const CoreOptions& options) {
+  CoreRetractionOptions retract_options;
+  retract_options.eval = options.eval;
+  retract_options.max_hom_tests = options.max_hom_tests;
+  CoreRetractionResult retracted =
+      ComputeCoreRetraction(instance, retract_options);
   CoreResult result;
+  result.core = std::move(retracted.core);
+  result.facts_removed = retracted.facts_removed;
+  result.complete = retracted.complete;
+  return result;
+}
+
+CoreRetractionResult ComputeCoreRetraction(
+    const Instance& instance, const CoreRetractionOptions& options) {
+  CoreRetractionResult result;
   result.core = std::make_unique<Instance>(&instance.schema());
   for (size_t r = 0; r < instance.NumRelations(); ++r) {
     RelationId rel = static_cast<RelationId>(r);
     for (const Tuple& t : instance.tuples(rel)) {
-      result.core->Insert(rel, Tuple(t));
+      if (options.rigid_nulls.empty()) {
+        result.core->Insert(rel, Tuple(t));
+        continue;
+      }
+      std::vector<Value> values;
+      values.reserve(t.arity());
+      for (const Value& v : t.values()) {
+        if (v.is_null() && options.rigid_nulls.count(v.AsNull().id) > 0) {
+          values.push_back(RigidConstant(v.AsNull().id));
+        } else {
+          values.push_back(v);
+        }
+      }
+      result.core->Insert(rel, Tuple(std::move(values)));
     }
   }
+  // Identity retraction over every non-rigid null of the input; folds below
+  // rewrite the images in place.
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    for (const Tuple& t : instance.tuples(rel)) {
+      for (const Value& v : t.values()) {
+        if (v.is_null() && options.rigid_nulls.count(v.AsNull().id) == 0) {
+          result.retraction.emplace(v.AsNull().id, v);
+        }
+      }
+    }
+  }
+
   size_t hom_tests = 0;
   bool changed = true;
   while (changed) {
@@ -52,22 +121,53 @@ CoreResult ComputeCore(const Instance& instance, const CoreOptions& options) {
       const auto& rows = result.core->tuples(rel);
       for (int32_t row = 0; row < static_cast<int32_t>(rows.size()); ++row) {
         if (!rows[row].ContainsNulls()) continue;
+        ThrowIfCancelled(options.cancel);
         if (++hom_tests > options.max_hom_tests) {
           result.complete = false;
-          return result;
+          changed = false;
+          break;
         }
         std::unique_ptr<Instance> reduced =
             CopyWithout(*result.core, rel, row);
-        if (FindHomomorphism(*result.core, *reduced, options.eval)
-                .has_value()) {
+        std::optional<InstanceHom> h =
+            FindHomomorphism(*result.core, *reduced, options.eval);
+        if (h.has_value()) {
           // The reduced instance is a retract: homomorphically equivalent
-          // (identity embeds it back) and strictly smaller.
+          // (identity embeds it back) and strictly smaller. Compose the
+          // fold into the running retraction, r' = h ∘ r.
+          for (auto& [null_id, image] : result.retraction) {
+            if (!image.is_null()) continue;
+            auto it = h->find(image.AsNull().id);
+            if (it != h->end()) image = it->second;
+          }
           result.core = std::move(reduced);
           ++result.facts_removed;
           changed = true;
           break;
         }
       }
+      if (!result.complete) break;
+    }
+    if (!result.complete) break;
+  }
+
+  if (!options.rigid_nulls.empty()) {
+    // Thaw the rigid markers back into labeled nulls, both in the core and
+    // in retraction images (a free null may have been folded onto a rigid
+    // one, whose frozen form leaked into the image).
+    auto thawed = std::make_unique<Instance>(&instance.schema());
+    for (size_t r = 0; r < result.core->NumRelations(); ++r) {
+      RelationId rel = static_cast<RelationId>(r);
+      for (const Tuple& t : result.core->tuples(rel)) {
+        std::vector<Value> values;
+        values.reserve(t.arity());
+        for (const Value& v : t.values()) values.push_back(Thaw(v));
+        thawed->Insert(rel, Tuple(std::move(values)));
+      }
+    }
+    result.core = std::move(thawed);
+    for (auto& [null_id, image] : result.retraction) {
+      image = Thaw(image);
     }
   }
   return result;

@@ -2,7 +2,10 @@
 #define SPIDER_CHASE_CORE_H_
 
 #include <memory>
+#include <unordered_set>
 
+#include "base/cancel.h"
+#include "chase/homomorphism.h"
 #include "query/evaluator.h"
 #include "storage/instance.h"
 
@@ -36,6 +39,40 @@ struct CoreResult {
 
 CoreResult ComputeCore(const Instance& instance,
                        const CoreOptions& options = {});
+
+/// Like CoreOptions, for the retraction-tracking variant.
+struct CoreRetractionOptions {
+  EvalOptions eval;
+  size_t max_hom_tests = 100'000;
+  /// Nulls that every endomorphism must fix pointwise. Core minimization of
+  /// a chase result passes the nulls occurring in the source instance here,
+  /// so facts the source can still see are never collapsed away. Internally
+  /// rigid nulls are frozen to marker constants, which keeps the greedy
+  /// search complete (homomorphisms that would move them are never found,
+  /// rather than found and rejected).
+  std::unordered_set<int64_t> rigid_nulls;
+  /// Polled once per candidate fold; throws CancelledError when flipped.
+  const CancelToken* cancel = nullptr;
+};
+
+struct CoreRetractionResult {
+  std::unique_ptr<Instance> core;
+  /// The composed retraction homomorphism r : instance → core. Contains an
+  /// entry for every non-rigid null of the input that the retraction moved
+  /// or kept (identity entries included, so callers can remap values with a
+  /// single lookup); rigid nulls are fixed and absent.
+  InstanceHom retraction;
+  size_t facts_removed = 0;
+  bool complete = true;  ///< False when max_hom_tests stopped the search.
+};
+
+/// ComputeCore plus the retraction homomorphism that witnesses the
+/// minimization: r maps the input instance onto the returned core, is the
+/// identity on the core's own facts, and fixes every rigid null. Routes and
+/// cached bindings into the original instance stay valid after rewriting
+/// their values through `retraction` (r ∘ h is again a homomorphism).
+CoreRetractionResult ComputeCoreRetraction(
+    const Instance& instance, const CoreRetractionOptions& options = {});
 
 /// True when dropping `fact` from the instance still leaves a
 /// homomorphically equivalent instance (i.e. the fact is redundant and

@@ -30,6 +30,17 @@ struct Scenario {
   int64_t max_null_id = 0;
 };
 
+/// Two consecutive data-exchange settings S→T→U sharing the intermediate
+/// schema: `st.mapping->target()` and `tu.mapping->source()` agree by
+/// relation name and arity, and `tu.source` is populated from `st.target`
+/// (spider::algebra's ChasePipeline does this). Built by the workload
+/// generator's three-schema family and consumed by mapping composition and
+/// end-to-end route stitching.
+struct PipelineScenario {
+  Scenario st;
+  Scenario tu;
+};
+
 }  // namespace spider
 
 #endif  // SPIDER_MAPPING_SCENARIO_H_

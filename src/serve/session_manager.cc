@@ -3,8 +3,10 @@
 #include <exception>
 #include <utility>
 
+#include "algebra/compose.h"
 #include "analysis/analyzer.h"
 #include "base/hash.h"
+#include "chase/core.h"
 #include "base/status.h"
 #include "debugger/linter.h"
 #include "incremental/source_delta.h"
@@ -399,10 +401,23 @@ Response SessionManager::HandleAnalyze(const Request& request,
                                        const CancelToken* cancel) {
   AnalysisOptions analysis;
   analysis.cancel = cancel;
-  // Spec grammar: whitespace-separated tokens. "fast" turns the chase-based
-  // per-dependency passes off; "full" is the default; "min-cover" and
-  // "reachability" add the whole-mapping passes.
-  std::string_view spec = request.text;
+  // Spec grammar: the first line is whitespace-separated tokens. "fast"
+  // turns the chase-based per-dependency passes off; "full" is the default;
+  // "min-cover" and "reachability" add the whole-mapping passes. Two tokens
+  // dispatch to spider::algebra instead of the analyzer: "compose" reads a
+  // T->U scenario from the remaining lines and replies with the composed
+  // S->U mapping; "core" reports the homomorphic core of the session's
+  // current solution (read-only: the session target is not modified).
+  std::string_view full_spec = request.text;
+  size_t newline = full_spec.find('\n');
+  std::string_view spec =
+      newline == std::string_view::npos ? full_spec
+                                        : full_spec.substr(0, newline);
+  std::string_view body =
+      newline == std::string_view::npos ? std::string_view()
+                                        : full_spec.substr(newline + 1);
+  bool compose = false;
+  bool core = false;
   size_t pos = 0;
   while (pos < spec.size()) {
     while (pos < spec.size() && spec[pos] == ' ') ++pos;
@@ -419,14 +434,90 @@ Response SessionManager::HandleAnalyze(const Request& request,
       analysis.min_cover = true;
     } else if (token == "reachability") {
       analysis.reachability = true;
+    } else if (token == "compose") {
+      compose = true;
+    } else if (token == "core") {
+      core = true;
     } else {
       return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
                            "unknown analyze spec token: " +
                                std::string(token));
     }
   }
+  if (compose && core) {
+    return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
+                         "analyze spec: 'compose' and 'core' are exclusive");
+  }
 
   const SchemaMapping& mapping = *session.scenario().mapping;
+  if (compose) {
+    Scenario next;
+    try {
+      next = ParseScenario(std::string(body));
+    } catch (const SpiderError& e) {
+      return ErrorResponse(request.request_id, ErrorCode::kBadRequest,
+                           std::string("compose scenario: ") + e.what());
+    }
+    // Deterministic in the two mappings alone; request.text already covers
+    // the second scenario's text.
+    uint64_t key = Fnv1a64(mapping.ToString(),
+                           Fnv1a64(request.text, Fnv1a64("analyze-compose")));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = analysis_cache_.find(key);
+      if (it != analysis_cache_.end()) {
+        ++stats_.analyze_cache_hits;
+        return OkResponse(request.request_id, it->second);
+      }
+      ++stats_.analyze_cache_misses;
+    }
+    ComposeOptions compose_options;
+    compose_options.cancel = cancel;
+    ComposeResult composed =
+        ComposeMappings(mapping, *next.mapping, compose_options);
+    std::string text = composed.Summary();
+    InstallAnalysisCacheEntry(key, text);
+    return OkResponse(request.request_id, std::move(text));
+  }
+  if (core) {
+    // Depends on the solution instance, not just the mapping: key by the
+    // session's state so deltas invalidate the entry naturally.
+    uint64_t key = Fnv1a64(std::to_string(session.state_key()),
+                           Fnv1a64(request.text, Fnv1a64("analyze-core")));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = analysis_cache_.find(key);
+      if (it != analysis_cache_.end()) {
+        ++stats_.analyze_cache_hits;
+        return OkResponse(request.request_id, it->second);
+      }
+      ++stats_.analyze_cache_misses;
+    }
+    const Scenario& scenario = session.scenario();
+    CoreRetractionOptions core_options;
+    core_options.cancel = cancel;
+    for (size_t r = 0; r < scenario.source->NumRelations(); ++r) {
+      for (const Tuple& t :
+           scenario.source->tuples(static_cast<RelationId>(r))) {
+        for (const Value& v : t.values()) {
+          if (v.is_null()) core_options.rigid_nulls.insert(v.AsNull().id);
+        }
+      }
+    }
+    CoreRetractionResult retracted =
+        ComputeCoreRetraction(*scenario.target, core_options);
+    size_t nulls_collapsed = 0;
+    for (const auto& [null_id, image] : retracted.retraction) {
+      if (!(image == Value::Null(null_id))) ++nulls_collapsed;
+    }
+    std::string text =
+        "core: " + std::to_string(retracted.facts_removed) + " folded, " +
+        std::to_string(nulls_collapsed) + " nulls collapsed" +
+        (retracted.complete ? "" : ", budget exhausted") + "\n" +
+        retracted.core->ToString();
+    InstallAnalysisCacheEntry(key, text);
+    return OkResponse(request.request_id, std::move(text));
+  }
   // Analysis is deterministic and depends only on the mapping and the spec,
   // so the rendered reply is cacheable by content hash — equal mappings in
   // different sessions share entries.
@@ -451,17 +542,20 @@ Response SessionManager::HandleAnalyze(const Request& request,
     text += report.min_cover->Summary(mapping);
   }
 
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (analysis_cache_.emplace(key, text).second) {
-      analysis_cache_order_.push_back(key);
-      while (analysis_cache_order_.size() > kAnalysisCacheEntries) {
-        analysis_cache_.erase(analysis_cache_order_.front());
-        analysis_cache_order_.pop_front();
-      }
+  InstallAnalysisCacheEntry(key, text);
+  return OkResponse(request.request_id, std::move(text));
+}
+
+void SessionManager::InstallAnalysisCacheEntry(uint64_t key,
+                                               const std::string& text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (analysis_cache_.emplace(key, text).second) {
+    analysis_cache_order_.push_back(key);
+    while (analysis_cache_order_.size() > kAnalysisCacheEntries) {
+      analysis_cache_.erase(analysis_cache_order_.front());
+      analysis_cache_order_.pop_front();
     }
   }
-  return OkResponse(request.request_id, std::move(text));
 }
 
 Response SessionManager::HandleStats(const Request& request) {

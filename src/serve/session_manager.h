@@ -132,6 +132,8 @@ class SessionManager {
   /// kAnalyze: whole-mapping static analysis of the session's loaded
   /// mapping, cached across sessions by (mapping content, spec) hash —
   /// analysis is deterministic, so a hit is byte-identical to a recompute.
+  /// Inserts a rendered analyze reply under `key`, bounding the cache FIFO.
+  void InstallAnalysisCacheEntry(uint64_t key, const std::string& text);
   Response HandleAnalyze(const Request& request, DebugSession& session,
                          const CancelToken* cancel);
 

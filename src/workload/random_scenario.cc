@@ -210,4 +210,55 @@ Scenario BuildRandomScenario(const RandomScenarioOptions& options) {
   return scenario;
 }
 
+PipelineScenario BuildRandomPipeline(const RandomPipelineOptions& options) {
+  SPIDER_CHECK(options.source_relations >= 1 && options.t_relations >= 1 &&
+                   options.u_relations >= 1,
+               "random pipeline needs at least one relation per schema");
+  SPIDER_CHECK(options.max_arity >= 1 && options.fanout >= 1,
+               "random pipeline needs positive arity and fanout");
+  Rng rng(options.seed);
+  Schema source =
+      RandomSchema("S", options.source_relations, options.max_arity, &rng);
+  Schema middle =
+      RandomSchema("T", options.t_relations, options.max_arity, &rng);
+  Schema target =
+      RandomSchema("U", options.u_relations, options.max_arity, &rng);
+
+  RandomScenarioOptions atom_options;
+  atom_options.fanout = options.fanout;
+
+  PipelineScenario pipeline;
+  pipeline.st.mapping = std::make_unique<SchemaMapping>(std::move(source),
+                                                        Schema(middle));
+  pipeline.tu.mapping = std::make_unique<SchemaMapping>(std::move(middle),
+                                                        std::move(target));
+  for (int i = 0; i < options.st_tgds; ++i) {
+    AddRandomStTgd(pipeline.st.mapping.get(), i, atom_options, &rng);
+  }
+  for (int i = 0; i < options.tu_tgds; ++i) {
+    AddRandomStTgd(pipeline.tu.mapping.get(), i, atom_options, &rng);
+  }
+
+  pipeline.st.source =
+      std::make_unique<Instance>(&pipeline.st.mapping->source());
+  pipeline.st.target =
+      std::make_unique<Instance>(&pipeline.st.mapping->target());
+  pipeline.tu.source =
+      std::make_unique<Instance>(&pipeline.tu.mapping->source());
+  pipeline.tu.target =
+      std::make_unique<Instance>(&pipeline.tu.mapping->target());
+  for (size_t r = 0; r < pipeline.st.mapping->source().size(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    size_t arity = pipeline.st.mapping->source().relation(rel).arity();
+    for (int row = 0; row < options.rows_per_relation; ++row) {
+      std::vector<Value> values;
+      for (size_t col = 0; col < arity; ++col) {
+        values.push_back(RandomConstant(atom_options, &rng));
+      }
+      pipeline.st.source->Insert(rel, Tuple(std::move(values)));
+    }
+  }
+  return pipeline;
+}
+
 }  // namespace spider

@@ -44,6 +44,32 @@ struct RandomScenarioOptions {
 /// same options always produce the identical scenario.
 Scenario BuildRandomScenario(const RandomScenarioOptions& options);
 
+/// Knobs for BuildRandomPipeline. Both hops draw their dependencies from the
+/// same generator family as BuildRandomScenario's s-t tgds; target tgds and
+/// egds are left to the caller (the composition differential oracle wants a
+/// pure s-t second hop, and M_tu target dependencies carry over verbatim
+/// anyway).
+struct RandomPipelineOptions {
+  uint64_t seed = 1;
+
+  int source_relations = 3;
+  int t_relations = 3;
+  int u_relations = 3;
+  int max_arity = 3;
+
+  int st_tgds = 3;
+  int tu_tgds = 3;
+
+  int rows_per_relation = 12;
+  int fanout = 4;
+};
+
+/// Generates a reproducible random three-schema pipeline S —M_st→ T —M_tu→ U:
+/// the two mappings share the intermediate schema T by name, the source
+/// instance is populated, and the T and U instances are empty (fill them with
+/// ChasePipeline). The same options always produce the identical pipeline.
+PipelineScenario BuildRandomPipeline(const RandomPipelineOptions& options);
+
 }  // namespace spider
 
 #endif  // SPIDER_WORKLOAD_RANDOM_SCENARIO_H_

@@ -1,0 +1,320 @@
+#include "algebra/compose.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mapping/parser.h"
+
+namespace spider {
+namespace {
+
+Scenario Parse(const std::string& text) { return ParseScenario(text); }
+
+TEST(ComposeTest, FullTgdsComposeDirectly) {
+  Scenario st = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    sigma: S(x, y) -> T(x, y);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a, b); }
+    target schema { U(a, b); }
+    tau: T(x, y) -> U(y, x);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(result.status, ComposeStatus::kComposed) << result.reason;
+  ASSERT_NE(result.mapping, nullptr);
+  EXPECT_EQ(result.mapping->NumTgds(), 1u);
+  EXPECT_TRUE(result.membership_exact);
+  const Tgd& tgd = result.mapping->tgd(result.mapping->st_tgds()[0]);
+  EXPECT_EQ(tgd.lhs().size(), 1u);
+  EXPECT_EQ(tgd.lhs()[0].relation, st.mapping->source().Require("S"));
+  EXPECT_EQ(tgd.rhs()[0].relation, tu.mapping->target().Require("U"));
+  ASSERT_EQ(result.origins.size(), 1u);
+  EXPECT_EQ(result.origins[0].tu_tgd, tu.mapping->st_tgds()[0]);
+  ASSERT_EQ(result.origins[0].st_tgds.size(), 1u);
+  EXPECT_EQ(result.origins[0].st_tgds[0], st.mapping->st_tgds()[0]);
+  EXPECT_FALSE(result.Summary().empty());
+}
+
+TEST(ComposeTest, AbsorbedExistentialStaysOut) {
+  // sigma invents z, tau never mentions the second column in its conclusion:
+  // the composed tgd needs no existential at all.
+  Scenario st = Parse(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    sigma: S(x) -> exists Z . T(x, Z);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a, b); }
+    target schema { U(a); }
+    tau: T(x, y) -> U(x);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(result.status, ComposeStatus::kComposed) << result.reason;
+  ASSERT_EQ(result.mapping->NumTgds(), 1u);
+  const Tgd& tgd = result.mapping->tgd(0);
+  EXPECT_EQ(tgd.rhs().size(), 1u);
+  // Every RHS variable also occurs in the LHS -> no existentials.
+  EXPECT_EQ(tgd.var_names().size(), 1u);
+  EXPECT_TRUE(result.membership_exact);
+}
+
+TEST(ComposeTest, SafeExportRequantifiesExistential) {
+  Scenario st = Parse(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    sigma: S(x) -> exists Z . T(x, Z);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a, b); }
+    target schema { U(a, b); }
+    tau: T(x, y) -> U(x, y);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(result.status, ComposeStatus::kComposed) << result.reason;
+  ASSERT_EQ(result.mapping->NumTgds(), 1u);
+  const Tgd& tgd = result.mapping->tgd(0);
+  // S(x) -> exists Z . U(x, Z): two variables, one of them existential
+  // (absent from the LHS).
+  EXPECT_EQ(tgd.var_names().size(), 2u);
+  EXPECT_EQ(tgd.lhs().size(), 1u);
+  EXPECT_EQ(tgd.lhs()[0].terms.size(), 1u);
+  EXPECT_TRUE(result.membership_exact);
+}
+
+TEST(ComposeTest, ExistentialExportedTwiceIsInexpressible) {
+  // Both tau tgds consume sigma's invented value in different conclusions;
+  // the composed mapping would need ONE shared null across two tgds (a
+  // Skolem function), so plain s-t tgds cannot express it.
+  Scenario st = Parse(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    sigma: S(x) -> exists Z . T(x, Z);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a, b); }
+    target schema { P(a, b); Q(a); }
+    tau1: T(x, y) -> P(x, y);
+    tau2: T(x, y) -> Q(y);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  EXPECT_EQ(result.status, ComposeStatus::kInexpressible);
+  EXPECT_EQ(result.offending, "sigma");
+  EXPECT_NE(result.reason.find("Z"), std::string::npos) << result.reason;
+}
+
+TEST(ComposeTest, CollapseCoverSkippedUnderCanonicalSemantics) {
+  // FKPT's manager example: tau matches only when sigma's invented manager
+  // equals the employee, which the canonical chase never makes true. Under
+  // canonical-solution semantics the cover is skipped (tau composes to
+  // nothing); under exact membership semantics the composition needs
+  // second-order tgds.
+  Scenario st = Parse(R"(
+    source schema { Emp(e); }
+    target schema { Mgr(e, m); }
+    sigma: Emp(x) -> exists M . Mgr(x, M);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { Mgr(e, m); }
+    target schema { SelfMgr(e); }
+    tau: Mgr(x, x) -> SelfMgr(x);
+  )");
+  ComposeResult relaxed = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(relaxed.status, ComposeStatus::kComposed) << relaxed.reason;
+  EXPECT_FALSE(relaxed.membership_exact);
+  EXPECT_EQ(relaxed.mapping->NumTgds(), 0u);
+  EXPECT_GE(relaxed.covers_skipped_collapse, 1u);
+
+  ComposeOptions strict;
+  strict.require_membership_exact = true;
+  ComposeResult exact = ComposeMappings(*st.mapping, *tu.mapping, strict);
+  EXPECT_EQ(exact.status, ComposeStatus::kInexpressible);
+  EXPECT_EQ(exact.offending, "tau");
+}
+
+TEST(ComposeTest, CopySharingCapturesSameFiringMatches) {
+  // tau's two premise atoms can be produced by ONE firing of sigma (sharing
+  // the invented E); the shared-copy cover composes to the plain A(x)->B(x).
+  Scenario st = Parse(R"(
+    source schema { A(a); }
+    target schema { P(a, b); Q(a, b); }
+    sigma: A(x) -> exists E . P(x, E) & Q(x, E);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { P(a, b); Q(a, b); }
+    target schema { B(a); }
+    tau: P(x, y) & Q(x, y) -> B(x);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(result.status, ComposeStatus::kComposed) << result.reason;
+  bool found = false;
+  for (TgdId id : result.mapping->st_tgds()) {
+    const Tgd& tgd = result.mapping->tgd(id);
+    if (tgd.lhs().size() == 1 && tgd.rhs().size() == 1 &&
+        tgd.var_names().size() == 1) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << result.Summary();
+}
+
+TEST(ComposeTest, StTargetDependenciesBlockUnfolding) {
+  Scenario st = Parse(R"(
+    source schema { S(a); }
+    target schema { T(a); T2(a); }
+    sigma: S(x) -> T(x);
+    closure: T(x) -> T2(x);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a); T2(a); }
+    target schema { U(a); }
+    tau: T2(x) -> U(x);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  EXPECT_EQ(result.status, ComposeStatus::kInexpressible);
+  EXPECT_EQ(result.offending, "closure");
+}
+
+TEST(ComposeTest, ArityMismatchIsSchemaMismatch) {
+  Scenario st = Parse(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    sigma: S(x) -> exists Z . T(x, Z);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a); }
+    target schema { U(a); }
+    tau: T(x) -> U(x);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  EXPECT_EQ(result.status, ComposeStatus::kSchemaMismatch);
+  EXPECT_NE(result.reason.find("T"), std::string::npos);
+}
+
+TEST(ComposeTest, TuTargetDependenciesCarryOver) {
+  Scenario st = Parse(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    sigma: S(x, y) -> T(x, y);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a, b); }
+    target schema { U(a, b); V(a); }
+    tau: T(x, y) -> U(x, y);
+    close: U(x, y) -> V(x);
+    key: U(x, y) & U(x, z) -> y = z;
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(result.status, ComposeStatus::kComposed) << result.reason;
+  EXPECT_EQ(result.mapping->st_tgds().size(), 1u);
+  ASSERT_EQ(result.mapping->target_tgds().size(), 1u);
+  EXPECT_EQ(result.mapping->tgd(result.mapping->target_tgds()[0]).name(),
+            "close");
+  ASSERT_EQ(result.mapping->NumEgds(), 1u);
+  EXPECT_EQ(result.mapping->egd(0).name(), "key");
+}
+
+TEST(ComposeTest, MissingIntermediateRelationIsVacuous) {
+  // tau reads W, which M_st can never produce: it contributes nothing but
+  // does not make the composition fail.
+  Scenario st = Parse(R"(
+    source schema { S(a); }
+    target schema { T(a); }
+    sigma: S(x) -> T(x);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a); W(a); }
+    target schema { U(a); }
+    tau1: T(x) -> U(x);
+    tau2: W(x) -> U(x);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(result.status, ComposeStatus::kComposed) << result.reason;
+  EXPECT_EQ(result.mapping->NumTgds(), 1u);
+}
+
+TEST(ComposeTest, CoverLimitIsReported) {
+  Scenario st = Parse(R"(
+    source schema { S1(a); S2(a); }
+    target schema { T(a); }
+    sigma1: S1(x) -> T(x);
+    sigma2: S2(x) -> T(x);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a); }
+    target schema { U(a, b); }
+    tau: T(x) & T(y) -> U(x, y);
+  )");
+  ComposeOptions tight;
+  tight.max_covers_per_tgd = 1;
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping, tight);
+  EXPECT_EQ(result.status, ComposeStatus::kCoverLimit);
+
+  ComposeResult full = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(full.status, ComposeStatus::kComposed) << full.reason;
+  // Fresh sigma1/sigma1, sigma1/sigma2, sigma2/sigma2 pairs plus the two
+  // shared-copy covers, deduplicated up to renaming.
+  EXPECT_GE(full.mapping->NumTgds(), 4u);
+}
+
+TEST(ComposeTest, DuplicateUnfoldingsAreMerged) {
+  Scenario st = Parse(R"(
+    source schema { S(a); }
+    target schema { T(a); }
+    sigma1: S(x) -> T(x);
+    sigma2: S(x) -> T(x);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a); }
+    target schema { U(a); }
+    tau: T(x) -> U(x);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(result.status, ComposeStatus::kComposed) << result.reason;
+  EXPECT_EQ(result.mapping->NumTgds(), 1u);
+  EXPECT_GE(result.duplicates_merged, 1u);
+}
+
+TEST(ComposeTest, ConstantsInConclusionsUnify) {
+  // sigma pins column b to 7; tau joins on it. The live cover pins y = 7.
+  Scenario st = Parse(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    sigma: S(x) -> T(x, 7);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a, b); }
+    target schema { U(a, b); }
+    tau: T(x, y) -> U(x, y);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(result.status, ComposeStatus::kComposed) << result.reason;
+  ASSERT_EQ(result.mapping->NumTgds(), 1u);
+  const Tgd& tgd = result.mapping->tgd(0);
+  ASSERT_EQ(tgd.rhs()[0].terms.size(), 2u);
+  ASSERT_FALSE(tgd.rhs()[0].terms[1].is_var());
+  EXPECT_EQ(tgd.rhs()[0].terms[1].value(), Value::Int(7));
+}
+
+TEST(ComposeTest, DeadCoverWithClashingConstantsIsSkipped) {
+  Scenario st = Parse(R"(
+    source schema { S(a); }
+    target schema { T(a, b); }
+    sigma: S(x) -> T(x, 7);
+  )");
+  Scenario tu = Parse(R"(
+    source schema { T(a, b); }
+    target schema { U(a); }
+    tau: T(x, 8) -> U(x);
+  )");
+  ComposeResult result = ComposeMappings(*st.mapping, *tu.mapping);
+  ASSERT_EQ(result.status, ComposeStatus::kComposed) << result.reason;
+  EXPECT_EQ(result.mapping->NumTgds(), 0u);
+  EXPECT_GE(result.covers_skipped_dead, 1u);
+  EXPECT_TRUE(result.membership_exact);
+}
+
+}  // namespace
+}  // namespace spider

@@ -1,0 +1,177 @@
+#include "algebra/core_min.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "debugger/debugger.h"
+#include "mapping/parser.h"
+#include "workload/random_scenario.h"
+
+namespace spider {
+namespace {
+
+size_t CountFacts(const Instance& instance) {
+  size_t n = 0;
+  for (size_t r = 0; r < instance.NumRelations(); ++r) {
+    n += instance.tuples(static_cast<RelationId>(r)).size();
+  }
+  return n;
+}
+
+std::vector<FactRef> AllTargetFacts(const Instance& target) {
+  std::vector<FactRef> facts;
+  for (size_t r = 0; r < target.NumRelations(); ++r) {
+    RelationId rel = static_cast<RelationId>(r);
+    for (size_t row = 0; row < target.tuples(rel).size(); ++row) {
+      facts.push_back({Side::kTarget, rel, static_cast<int32_t>(row)});
+    }
+  }
+  return facts;
+}
+
+TEST(CoreMinTest, RedundantNullFactFoldsAndRoutesSurvive) {
+  Scenario scenario = ParseScenario(R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    q: S(x, y) -> exists Z . T(x, Z);
+    p: S(x, y) -> T(x, y);
+    source instance { S(1, 2); }
+  )");
+  ChaseScenario(&scenario);
+  ASSERT_EQ(CountFacts(*scenario.target), 2u);
+
+  // Debugger and route exist BEFORE minimization; the swap must keep both
+  // working.
+  MappingDebugger debugger(&scenario);
+  std::vector<FactRef> facts = AllTargetFacts(*scenario.target);
+  OneRouteResult route = debugger.OneRoute(facts);
+  ASSERT_TRUE(route.found);
+
+  CoreMinimizationResult result = MinimizeTargetToCore(
+      &scenario, {{&route.route, &facts}});
+  EXPECT_EQ(result.facts_removed, 1u);
+  EXPECT_EQ(result.nulls_collapsed, 1u);
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.routes_remapped, 1u);
+  EXPECT_EQ(CountFacts(*scenario.target), 1u);
+
+  // The remapped route still proves the (remapped) facts on the core.
+  std::string why;
+  EXPECT_TRUE(route.route.Validate(*scenario.mapping, *scenario.source,
+                                   *scenario.target, facts, &why))
+      << why;
+
+  // And replays step by step in the debugger built before the swap.
+  RoutePlayer player = debugger.Play(route.route);
+  while (player.Step()) {
+  }
+  EXPECT_TRUE(player.done());
+  EXPECT_FALSE(player.produced().empty());
+
+  // The core is a core: retracting again removes nothing.
+  CoreMinimizationResult again = MinimizeTargetToCore(&scenario);
+  EXPECT_EQ(again.facts_removed, 0u);
+  EXPECT_EQ(again.nulls_collapsed, 0u);
+}
+
+TEST(CoreMinTest, SourceVisibleNullsAreRigid) {
+  // Without rigidity T(#n0) would fold onto T(5); the debugger's source
+  // instance still shows #n0, so the fold must not happen.
+  Scenario scenario = ParseScenario(R"(
+    source schema { S(a); S2(a); }
+    target schema { T(a); }
+    p: S(x) -> T(x);
+    p2: S2(x) -> T(x);
+    source instance { S(#n0); S2(5); }
+  )");
+  ChaseScenario(&scenario);
+  ASSERT_EQ(CountFacts(*scenario.target), 2u);
+
+  CoreMinimizationResult result = MinimizeTargetToCore(&scenario);
+  EXPECT_EQ(result.facts_removed, 0u);
+  EXPECT_EQ(result.nulls_collapsed, 0u);
+  EXPECT_EQ(CountFacts(*scenario.target), 2u);
+  // The retraction never mentions the rigid null.
+  EXPECT_EQ(result.retraction.count(1), 0u);
+}
+
+TEST(CoreMinTest, ChaseInventedNullCanFoldOntoRigidOne) {
+  Scenario scenario = ParseScenario(R"(
+    source schema { S(a); }
+    target schema { T(a); }
+    q: S(x) -> exists Z . T(Z);
+    p: S(x) -> T(x);
+    source instance { S(#n0); }
+  )");
+  ChaseScenario(&scenario);
+  ASSERT_EQ(CountFacts(*scenario.target), 2u);
+
+  CoreMinimizationResult result = MinimizeTargetToCore(&scenario);
+  // T(Z) folds onto T(#n0): the invented null moves, the rigid one stays.
+  EXPECT_EQ(result.facts_removed, 1u);
+  EXPECT_EQ(result.nulls_collapsed, 1u);
+  EXPECT_EQ(CountFacts(*scenario.target), 1u);
+  const Tuple& t = scenario.target->tuples(0)[0];
+  ASSERT_TRUE(t.at(0).is_null());
+  EXPECT_EQ(t.at(0).AsNull().id, 1);
+}
+
+TEST(CoreMinTest, RemapBindingRewritesOnlyRetractedNulls) {
+  InstanceHom retraction;
+  retraction[7] = Value::Int(3);
+  Binding b(3);
+  b.Set(0, Value::Null(7));
+  b.Set(2, Value::Null(8));
+  Binding out = RemapBinding(b, retraction);
+  EXPECT_EQ(out.Get(0), Value::Int(3));
+  EXPECT_FALSE(out.IsBound(1));
+  EXPECT_EQ(out.Get(2), Value::Null(8));
+}
+
+TEST(CoreMinTest, RandomScenariosStaySoundAfterMinimization) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomScenarioOptions options;
+    options.seed = seed;
+    options.rows_per_relation = 6;
+    Scenario scenario = BuildRandomScenario(options);
+    try {
+      ChaseScenario(&scenario);
+    } catch (const SpiderError&) {
+      continue;  // egd failure: no solution to minimize
+    }
+    std::vector<FactRef> facts = AllTargetFacts(*scenario.target);
+    if (facts.empty()) continue;
+    if (facts.size() > 8) facts.resize(8);
+
+    MappingDebugger debugger(&scenario);
+    OneRouteResult route = debugger.OneRoute(facts);
+    ASSERT_TRUE(route.found) << "seed " << seed;
+
+    size_t before = CountFacts(*scenario.target);
+    CoreMinimizationResult result =
+        MinimizeTargetToCore(&scenario, {{&route.route, &facts}});
+    EXPECT_EQ(CountFacts(*scenario.target), before - result.facts_removed);
+
+    std::string why;
+    EXPECT_TRUE(route.route.Validate(*scenario.mapping, *scenario.source,
+                                     *scenario.target, facts, &why))
+        << "seed " << seed << ": " << why;
+
+    RoutePlayer player = debugger.Play(route.route);
+    while (player.Step()) {
+    }
+    EXPECT_TRUE(player.done()) << "seed " << seed;
+
+    if (result.complete) {
+      // Idempotence: the retract of a core is the core itself.
+      CoreMinimizationResult again = MinimizeTargetToCore(&scenario);
+      EXPECT_EQ(again.facts_removed, 0u) << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spider

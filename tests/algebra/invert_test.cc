@@ -1,0 +1,112 @@
+#include "algebra/invert.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mapping/parser.h"
+
+namespace spider {
+namespace {
+
+Scenario Parse(const std::string& text) { return ParseScenario(text); }
+
+TEST(InvertTest, CopyMappingHasExactRecovery) {
+  Scenario m = Parse(R"(
+    source schema { A(a, b); }
+    target schema { P(a, b); }
+    copy: A(x, y) -> P(x, y);
+  )");
+  InversionReport report = InvertMapping(*m.mapping);
+  EXPECT_EQ(report.verdict, InverseVerdict::kExactRecovery) << report.Summary();
+  EXPECT_EQ(report.compose_status, ComposeStatus::kComposed);
+  ASSERT_NE(report.candidate, nullptr);
+  EXPECT_EQ(report.candidate->NumTgds(), 1u);
+  EXPECT_EQ(report.candidate->tgd(0).name(), "copy_inv");
+  EXPECT_FALSE(report.Summary().empty());
+}
+
+TEST(InvertTest, ProjectionIsOnlySoundRecovery) {
+  // The second column never reaches the target: the round trip
+  // A(x, y) -> exists Z . A(x, Z) loses data but invents nothing true.
+  Scenario m = Parse(R"(
+    source schema { A(a, b); }
+    target schema { P(a); }
+    proj: A(x, y) -> P(x);
+  )");
+  InversionReport report = InvertMapping(*m.mapping);
+  EXPECT_EQ(report.verdict, InverseVerdict::kSoundRecovery) << report.Summary();
+  // The failed direction (identity into round trip) carries a concrete
+  // source instance demonstrating the loss.
+  EXPECT_NE(report.containment.m2_in_m1.counterexample, nullptr);
+}
+
+TEST(InvertTest, MergeIsOnlyCompleteRecovery) {
+  // A and B both land in P; the reverse cannot tell them apart, so the
+  // round trip returns everything plus cross-talk.
+  Scenario m = Parse(R"(
+    source schema { A(a); B(a); }
+    target schema { P(a); }
+    ma: A(x) -> P(x);
+    mb: B(x) -> P(x);
+  )");
+  InversionReport report = InvertMapping(*m.mapping);
+  EXPECT_EQ(report.verdict, InverseVerdict::kCompleteRecovery)
+      << report.Summary();
+  EXPECT_NE(report.containment.m1_in_m2.counterexample, nullptr);
+}
+
+TEST(InvertTest, ConstantConclusionIsNotARecovery) {
+  // The target retains nothing about the source tuple; the round trip
+  // derives facts unrelated to the input and loses the input entirely.
+  Scenario m = Parse(R"(
+    source schema { A(a); }
+    target schema { P(a); }
+    wipe: A(x) -> P(3);
+  )");
+  InversionReport report = InvertMapping(*m.mapping);
+  EXPECT_TRUE(report.verdict == InverseVerdict::kNotARecovery ||
+              report.verdict == InverseVerdict::kSoundRecovery)
+      << report.Summary();
+  // A(x) -> exists Z. A(Z) cannot give back x: never complete or exact.
+  EXPECT_NE(report.verdict, InverseVerdict::kExactRecovery);
+  EXPECT_NE(report.verdict, InverseVerdict::kCompleteRecovery);
+}
+
+TEST(InvertTest, NoStTgdsIsInconclusive) {
+  Scenario m = Parse(R"(
+    source schema { A(a); }
+    target schema { P(a); }
+  )");
+  InversionReport report = InvertMapping(*m.mapping);
+  EXPECT_EQ(report.verdict, InverseVerdict::kInconclusive);
+  EXPECT_FALSE(report.reason.empty());
+}
+
+TEST(InvertTest, TargetDependenciesAreInconclusive) {
+  Scenario m = Parse(R"(
+    source schema { A(a, b); }
+    target schema { P(a, b); }
+    copy: A(x, y) -> P(x, y);
+    key: P(x, y) & P(x, z) -> y = z;
+  )");
+  InversionReport report = InvertMapping(*m.mapping);
+  EXPECT_EQ(report.verdict, InverseVerdict::kInconclusive);
+  EXPECT_FALSE(report.reason.empty());
+}
+
+TEST(InvertTest, IdentityMappingBuilder) {
+  Scenario m = Parse(R"(
+    source schema { A(a, b); B(a); }
+    target schema { P(a); }
+    p: A(x, y) -> P(x);
+  )");
+  auto identity = BuildIdentityMapping(m.mapping->source());
+  EXPECT_EQ(identity->NumTgds(), 2u);
+  EXPECT_EQ(identity->tgd(0).name(), "id_A");
+  EXPECT_EQ(identity->tgd(1).name(), "id_B");
+  EXPECT_EQ(identity->tgd(0).lhs(), identity->tgd(0).rhs());
+}
+
+}  // namespace
+}  // namespace spider

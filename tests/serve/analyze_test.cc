@@ -121,6 +121,99 @@ TEST(AnalyzeTest, StatsReportCacheCounters) {
   EXPECT_NE(stats.text.find("analyze_cache_misses 1\n"), std::string::npos);
 }
 
+TEST(AnalyzeTest, ComposeTokenComposesWithSecondScenario) {
+  SessionManager manager;
+  manager.Handle(Make(MsgType::kCreateSession, 1, R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    sigma: S(x, y) -> T(x, y);
+    source instance { S(1, 2); }
+  )"),
+                 0);
+  std::string spec = "compose\n";
+  spec += R"(
+    source schema { T(a, b); }
+    target schema { U(a); }
+    tau: T(x, y) -> U(x);
+  )";
+  Response reply = manager.Handle(Make(MsgType::kAnalyze, 1, spec), 0);
+  ASSERT_EQ(reply.type, MsgType::kReply) << reply.text;
+  EXPECT_NE(reply.text.find("compose: composed"), std::string::npos)
+      << reply.text;
+  EXPECT_NE(reply.text.find("tau*sigma"), std::string::npos) << reply.text;
+  EXPECT_EQ(manager.stats().analyze_cache_misses, 1u);
+
+  // Byte-identical from the cache on repeat.
+  Response again = manager.Handle(Make(MsgType::kAnalyze, 1, spec), 0);
+  ASSERT_EQ(again.type, MsgType::kReply);
+  EXPECT_EQ(again.text, reply.text);
+  EXPECT_EQ(manager.stats().analyze_cache_hits, 1u);
+
+  // A malformed second scenario is a bad request, not an engine error.
+  Response bad =
+      manager.Handle(Make(MsgType::kAnalyze, 1, "compose\nnot a scenario"), 0);
+  EXPECT_EQ(bad.type, MsgType::kError);
+  EXPECT_EQ(bad.code, ErrorCode::kBadRequest);
+}
+
+TEST(AnalyzeTest, CoreTokenReportsSolutionCore) {
+  SessionManager manager;
+  // q fires before p, so the solution carries a redundant null-padded fact.
+  manager.Handle(Make(MsgType::kCreateSession, 1, R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    q: S(x, y) -> exists Z . T(x, Z);
+    p: S(x, y) -> T(x, y);
+    source instance { S(1, 2); }
+  )"),
+                 0);
+  Response reply = manager.Handle(Make(MsgType::kAnalyze, 1, "core"), 0);
+  ASSERT_EQ(reply.type, MsgType::kReply) << reply.text;
+  EXPECT_NE(reply.text.find("core: 1 folded, 1 nulls collapsed"),
+            std::string::npos)
+      << reply.text;
+  EXPECT_NE(reply.text.find("T(1, 2)"), std::string::npos) << reply.text;
+  // The session's own solution is untouched (the reply is a report).
+  Response route = manager.Handle(Make(MsgType::kRoute, 1, "T(1, #N1)"), 0);
+  EXPECT_EQ(route.type, MsgType::kReply) << route.text;
+
+  // Cached by session state, and the cache key differs from plain analyze.
+  Response again = manager.Handle(Make(MsgType::kAnalyze, 1, "core"), 0);
+  ASSERT_EQ(again.type, MsgType::kReply);
+  EXPECT_EQ(again.text, reply.text);
+  EXPECT_EQ(manager.stats().analyze_cache_hits, 1u);
+
+  Response both =
+      manager.Handle(Make(MsgType::kAnalyze, 1, "compose core"), 0);
+  EXPECT_EQ(both.type, MsgType::kError);
+  EXPECT_EQ(both.code, ErrorCode::kBadRequest);
+}
+
+TEST(AnalyzeTest, CoreCacheInvalidatesOnDelta) {
+  SessionManager manager;
+  manager.Handle(Make(MsgType::kCreateSession, 1, R"(
+    source schema { S(a, b); }
+    target schema { T(a, b); }
+    q: S(x, y) -> exists Z . T(x, Z);
+    p: S(x, y) -> T(x, y);
+    source instance { S(1, 2); }
+  )"),
+                 0);
+  Response first = manager.Handle(Make(MsgType::kAnalyze, 1, "core"), 0);
+  ASSERT_EQ(first.type, MsgType::kReply);
+  EXPECT_EQ(manager.stats().analyze_cache_misses, 1u);
+
+  Request delta = Make(MsgType::kApplyDelta, 1);
+  delta.ops.push_back({DeltaOp::kInsert, "S(3, 4)"});
+  ASSERT_EQ(manager.Handle(delta, 0).type, MsgType::kReply);
+
+  // New state key -> fresh computation covering the new facts.
+  Response second = manager.Handle(Make(MsgType::kAnalyze, 1, "core"), 0);
+  ASSERT_EQ(second.type, MsgType::kReply);
+  EXPECT_EQ(manager.stats().analyze_cache_misses, 2u);
+  EXPECT_NE(second.text.find("T(3, 4)"), std::string::npos) << second.text;
+}
+
 TEST(AnalyzeTest, UnknownSessionIsAnError) {
   SessionManager manager;
   Response reply = manager.Handle(Make(MsgType::kAnalyze, 99), 0);

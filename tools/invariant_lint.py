@@ -5,8 +5,9 @@ contracts before they reach review.
 Rules
 -----
   clock-in-engine
-      The chase, route, and executor layers (src/chase, src/routes,
-      src/exec) must be time-free: results and stats are byte-identical
+      The chase, route, executor, and algebra layers (src/chase,
+      src/routes, src/exec, src/algebra) must be time-free: results and
+      stats are byte-identical
       across runs, so no steady_clock/system_clock/high_resolution_clock
       reads are allowed there. Timing belongs to bench/ and src/obs.
 
@@ -38,7 +39,7 @@ CLOCK_RULE = "clock-in-engine"
 UNORDERED_RULE = "unordered-serialize"
 
 # Directories whose code must never read a clock.
-CLOCK_FREE_DIRS = ("src/chase", "src/routes", "src/exec")
+CLOCK_FREE_DIRS = ("src/chase", "src/routes", "src/exec", "src/algebra")
 # Directories scanned for unordered-iteration-into-output.
 SERIALIZE_DIRS = ("src",)
 
@@ -191,6 +192,7 @@ def self_test():
         for rel, content in (
                 ("src/chase/seeded_clock.cc", SELF_TEST_CLOCK),
                 ("src/chase/allowed_clock.cc", SELF_TEST_CLOCK_ALLOWED),
+                ("src/algebra/seeded_algebra_clock.cc", SELF_TEST_CLOCK),
                 ("src/render/seeded_unordered.cc", SELF_TEST_UNORDERED),
                 ("src/render/allowed_unordered.cc",
                  SELF_TEST_UNORDERED_ALLOWED)):
@@ -202,6 +204,8 @@ def self_test():
         by_file = {os.path.basename(f[0]) for f in findings}
         if "seeded_clock.cc" not in by_file:
             failures.append("clock rule missed the seeded violation")
+        if "seeded_algebra_clock.cc" not in by_file:
+            failures.append("clock rule missed the src/algebra violation")
         if "allowed_clock.cc" in by_file:
             failures.append("clock rule ignored allow()")
         if "seeded_unordered.cc" not in by_file:
