@@ -19,7 +19,7 @@ std::string Tuple::ToString() const {
 }
 
 size_t Tuple::Hash() const {
-  size_t seed = 0x7f4a7c15;
+  size_t seed = kTupleHashSeed;
   for (const Value& v : values_) seed = HashCombine(seed, v.Hash());
   return seed;
 }

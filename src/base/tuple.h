@@ -12,6 +12,11 @@
 
 namespace spider {
 
+/// Seed for Tuple::Hash. Shared so code that hashes a row cell-by-cell
+/// without materializing a Tuple (Instance::FindRowRef) provably lands in
+/// the same dedup buckets.
+inline constexpr size_t kTupleHashSeed = 0x7f4a7c15;
+
 /// A row of values. The relation it belongs to is tracked externally (tuples
 /// are stored per-relation inside an Instance).
 class Tuple {

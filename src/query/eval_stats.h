@@ -21,6 +21,7 @@ namespace spider {
 struct EvalStats {
   uint64_t tuples_scanned = 0;   ///< Candidate rows fetched and tested.
   uint64_t index_probes = 0;     ///< Posting-list lookups issued.
+  uint64_t point_lookups = 0;    ///< Exact-tuple dedup lookups (fully-bound).
   uint64_t levels_entered = 0;   ///< Join levels entered during backtracking.
   uint64_t plans_built = 0;      ///< Join orders computed by the planner.
   uint64_t plan_cache_hits = 0;  ///< Plans served from a PlanCache.
@@ -28,6 +29,7 @@ struct EvalStats {
   EvalStats& operator+=(const EvalStats& other) {
     tuples_scanned += other.tuples_scanned;
     index_probes += other.index_probes;
+    point_lookups += other.point_lookups;
     levels_entered += other.levels_entered;
     plans_built += other.plans_built;
     plan_cache_hits += other.plan_cache_hits;
@@ -41,6 +43,7 @@ struct EvalStats {
   void PublishTo(obs::Registry* registry, const std::string& prefix) const {
     registry->GetCounter(prefix + "tuples_scanned")->Add(tuples_scanned);
     registry->GetCounter(prefix + "index_probes")->Add(index_probes);
+    registry->GetCounter(prefix + "point_lookups")->Add(point_lookups);
     registry->GetCounter(prefix + "levels_entered")->Add(levels_entered);
     registry->GetCounter(prefix + "plans_built")->Add(plans_built);
     registry->GetCounter(prefix + "plan_cache_hits")->Add(plan_cache_hits);

@@ -2,10 +2,13 @@
 #define SPIDER_QUERY_EVALUATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "query/binding.h"
+#include "query/cost_model.h"
 #include "query/eval_stats.h"
+#include "query/query_plan.h"
 #include "query/term.h"
 #include "storage/instance.h"
 
@@ -18,11 +21,26 @@ enum class PlannerMode {
   /// The seed planner: greedily take the atom with the most bound positions,
   /// tie-broken by smaller relation, and probe the first bound column.
   kBoundCount,
-  /// Cost-based: estimate per-atom output cardinality from actual index
-  /// posting-list statistics (exact posting lengths for constants, relation
-  /// size over distinct-count for bound variables), take the cheapest atom
-  /// next, and probe the bound column with the smallest posting list.
+  /// Cost-based: price each candidate atom with the probe-aware CostModel
+  /// (integer units: probes, point lookups, candidate scans, plus the
+  /// estimated output cardinality in 48.16 fixed point) and take the
+  /// cheapest next. Per level, probe columns are ordered cheapest expected
+  /// posting list first and the runtime stops probing as soon as another
+  /// probe cannot pay for itself (see LevelPlan::probes).
   kSelectivity,
+};
+
+/// How MatchIterator drives each join level.
+enum class ExecMode {
+  /// Pull a small batch of surviving candidate row ids per level with a
+  /// tight, binding-free filter loop, then emit them one by one. Same match
+  /// sequence as kTupleAtATime, byte for byte — filtering never touches the
+  /// binding, so failed candidates cost no Set/Unset churn.
+  kBatch,
+  /// The seed row-at-a-time loop: fetch a candidate, test it against the
+  /// level's terms via the binding, backtrack on failure. Kept as the
+  /// debug/reference mode the differential suite compares kBatch against.
+  kTupleAtATime,
 };
 
 /// Evaluation knobs. The defaults model the paper's relational setting (DB2:
@@ -40,6 +58,17 @@ struct EvalOptions {
   /// them would lazily build indexes the "no index" engine model forbids),
   /// so kSelectivity degrades to the bound-count heuristic.
   PlannerMode planner = PlannerMode::kSelectivity;
+
+  /// Batched (default) or row-at-a-time execution. Orthogonal to planning:
+  /// both modes run the same plan and produce the same match sequence, so
+  /// plan-cache entries are shared across exec modes.
+  ExecMode exec = ExecMode::kBatch;
+
+  /// Cost table for kSelectivity planning. Null means CostModel::Default()
+  /// (the committed table) — the choice every engine makes, keeping plans
+  /// identical across hosts. The model's fingerprint is part of the
+  /// effective plan-cache key.
+  const CostModel* cost_model = nullptr;
 
   /// Optional cross-iterator plan memo (owned by the driver — chase, route
   /// forest, one-route). Only engaged for MatchIterators constructed with a
@@ -65,9 +94,17 @@ struct EvalOptions {
 ///
 /// Match enumeration order depends on the atom order the planner picks (and
 /// is deterministic for fixed options), but not on which bound column a
-/// level probes: posting lists and scans both visit rows in ascending row
-/// order, so the per-level match sequence is probe-invariant. The binding
-/// multiset is identical across all option combinations.
+/// level probes or on the exec mode: posting lists, scans, and batch fills
+/// all visit rows in ascending row order, so the per-level match sequence is
+/// access-path- and batching-invariant. The binding multiset is identical
+/// across all option combinations.
+///
+/// Fully-bound conjunctions (every term a constant or an initially-bound
+/// variable — the shape of the chase's RHS containment checks) skip
+/// planning: each atom is checked with one exact-tuple point lookup in the
+/// caller's ORIGINAL atom order, for every planner mode. That makes the
+/// work counters of such queries planner-invariant by construction — the
+/// invariant the differential oracle checks.
 class MatchIterator {
  public:
   /// No plan-cache participation (the default for ad-hoc queries).
@@ -92,36 +129,95 @@ class MatchIterator {
   /// All evaluator counters accumulated by this iterator.
   const EvalStats& stats() const { return stats_; }
 
+  /// The plan this iterator runs (for tests; stable for the iterator's
+  /// lifetime).
+  const QueryPlan& plan() const { return *plan_; }
+
  private:
-  struct Level {
-    Atom atom;
-    // Candidate rows: either an index posting list or a full scan.
-    const std::vector<int32_t>* index_rows = nullptr;  // null => scan
-    size_t cursor = 0;
-    std::vector<VarId> bound_here;
-    bool entered = false;
+  /// One step of the per-level filter program, compiled once per level from
+  /// the atom's terms and the plan-time bound-variable signature.
+  struct FilterOp {
+    enum class Kind : uint8_t {
+      kConst,       ///< column must equal a query constant
+      kBoundVar,    ///< column must equal an already-bound variable's value
+      kProduce,     ///< column produces a new variable binding (no test)
+      kDupProduce,  ///< repeated new variable: column must equal first_col
+    };
+    Kind kind;
+    int col = 0;
+    VarId var = 0;       ///< kBoundVar/kProduce: the variable
+    int first_col = 0;   ///< kDupProduce: producing column
+    const Value* value = nullptr;  ///< kConst: borrowed from the atom's term;
+                                   ///< kBoundVar: refreshed at EnterLevel
   };
 
-  /// Orders the atoms (via the cache when engaged) and builds the levels.
+  struct Level {
+    Atom atom;
+    const LevelPlan* plan = nullptr;  ///< owned by plan_
+    std::vector<FilterOp> ops;
+    /// Variables this level produces (ops of kind kProduce), for unbinding.
+    std::vector<VarId> produce_vars;
+
+    // --- runtime state, reset by EnterLevel ---
+    /// Candidate rows: an index posting list, or null for a positional scan.
+    const std::vector<int32_t>* index_rows = nullptr;
+    size_t src_cursor = 0;  ///< next candidate (posting index or row id)
+    size_t src_end = 0;     ///< scan bound (NumTuples) when index_rows null
+    /// Point-lookup levels: the matching row (or -1) and whether it is
+    /// still unconsumed.
+    int32_t lookup_row = -1;
+    bool lookup_pending = false;
+    /// kBatch: surviving row ids awaiting emission.
+    std::vector<int32_t> batch;
+    size_t batch_cursor = 0;
+    uint32_t batch_cap = 0;
+    /// True while the level's produce_vars are set in the binding.
+    bool emitted = false;
+  };
+
+  /// Plans (via the cache when engaged) and builds the levels.
   void PlanOrder(std::vector<Atom> atoms, uint64_t plan_key);
 
-  /// Computes the evaluation order as a permutation of atom indexes.
+  /// Computes the full plan: atom order plus per-level access paths.
   /// Value-independent: consults only per-column statistics and constants,
   /// never the values currently bound (see PlanCache for why).
-  std::vector<size_t> ComputeOrder(const std::vector<Atom>& atoms) const;
+  QueryPlan ComputePlan(const std::vector<Atom>& atoms) const;
 
-  /// Estimated output cardinality of `atom` given the bound-variable set
-  /// (kSelectivity only; requires use_indexes).
-  double EstimateCardinality(const Atom& atom,
-                             const std::vector<bool>& var_bound) const;
+  /// Probe-aware estimate of evaluating `atom` next, given which variables
+  /// are bound (kSelectivity only; requires use_indexes).
+  AtomEstimate EstimateAtom(const Atom& atom,
+                            const std::vector<bool>& var_bound) const;
+
+  /// Builds the access-path decisions for one level of the chosen order.
+  LevelPlan PlanLevel(const Atom& atom,
+                      const std::vector<bool>& var_bound) const;
+
+  /// Compiles the per-level filter program for `level` (terms classified
+  /// against the construction-time bound-variable signature).
+  void CompileLevel(Level* level, std::vector<bool>* var_bound);
 
   void EnterLevel(size_t depth);
-  bool TryRow(Level& level, int32_t row);
+  /// Resolves the value a probe/lookup of `level`'s column `col` uses (the
+  /// term is a constant or a bound variable).
+  const Value& ColumnValue(const Level& level, int col) const;
+  /// Unbinds the level's produced variables (if emitted) and advances to the
+  /// level's next matching row, binding its produced variables. False when
+  /// the level is exhausted.
+  bool AdvanceLevel(Level& level);
+  /// True when `row` satisfies the level's constant/bound/dup tests (no
+  /// binding reads or writes beyond the cached op values).
+  bool RowSurvives(const Level& level, int32_t row) const;
+  /// Binds the level's produced variables from `row`.
+  void EmitRow(Level& level, int32_t row);
   void UnbindLevel(Level& level);
+  /// kBatch: refills the level's batch with surviving candidates. False when
+  /// the source is exhausted and nothing survived.
+  bool RefillBatch(Level& level);
 
   const Instance& instance_;
   Binding* binding_;
   EvalOptions options_;
+  std::shared_ptr<const QueryPlan> plan_;
   std::vector<Level> levels_;
   bool started_ = false;
   bool done_ = false;

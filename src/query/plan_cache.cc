@@ -8,13 +8,13 @@
 namespace spider {
 
 size_t PlanCache::EntryBytes(const Entry& entry) {
-  // Map node + key + Entry struct + the order vector's heap block.
-  return 96 + entry.order.size() * sizeof(size_t);
+  // Map node + key + Entry struct + control block + the plan's heap blocks.
+  return 128 + (entry.plan != nullptr ? entry.plan->ApproxBytes() : 0);
 }
 
-std::vector<size_t> PlanCache::Get(
+std::shared_ptr<const QueryPlan> PlanCache::Get(
     uint64_t key, const Instance& instance,
-    const std::function<std::vector<size_t>()>& plan, EvalStats* stats) {
+    const std::function<QueryPlan()>& plan, EvalStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
   MapKey map_key{key, &instance};
   auto it = entries_.find(map_key);
@@ -23,7 +23,7 @@ std::vector<size_t> PlanCache::Get(
     if (max_bytes_ > 0 && it->second.lru != lru_.begin()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru);
     }
-    return it->second.order;
+    return it->second.plan;
   }
   if (it == entries_.end()) {
     it = entries_.emplace(map_key, Entry{}).first;
@@ -38,11 +38,11 @@ std::vector<size_t> PlanCache::Get(
     }
   }
   it->second.version = instance.version();
-  it->second.order = plan();
+  it->second.plan = std::make_shared<const QueryPlan>(plan());
   bytes_ += EntryBytes(it->second);
   if (stats != nullptr) ++stats->plans_built;
   if (max_bytes_ > 0) EvictLocked();
-  return it->second.order;
+  return it->second.plan;
 }
 
 void PlanCache::EvictLocked() {

@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "base/hash.h"
 #include "query/eval_stats.h"
+#include "query/query_plan.h"
 
 namespace spider {
 
@@ -48,15 +50,21 @@ constexpr uint64_t MakePlanKey(PlanKeyFamily family, uint64_t dep,
          static_cast<uint64_t>(family);
 }
 
-/// Memoizes join orders across MatchIterator instantiations. findHom plans
-/// the same premise once per (dependency, RHS atom) — every later probe of
-/// the same shape reuses the order instead of re-planning, which matters
-/// because ComputeOneRoute/ComputeAllRoutes issue one findHom call per fact.
+/// Memoizes query plans (atom order + per-level access paths) across
+/// MatchIterator instantiations. findHom plans the same premise once per
+/// (dependency, RHS atom) — every later probe of the same shape reuses the
+/// plan instead of re-planning, which matters because
+/// ComputeOneRoute/ComputeAllRoutes issue one findHom call per fact.
 ///
 /// Keys are caller-chosen 64-bit ids that must encode everything the plan
-/// depends on besides the instance: the atom list and the bound-variable
-/// signature (for findHom: tgd id, side, and RHS atom index — the set of
-/// v1-bound variables is a function of those). Entries are additionally
+/// depends on besides the instance and the evaluation options: the atom list
+/// and the bound-variable signature (for findHom: tgd id, side, and RHS atom
+/// index — the set of v1-bound variables is a function of those). The
+/// evaluator mixes its own option fingerprint — planner mode, index use,
+/// reordering, and the cost model's version + constants — into the effective
+/// key before calling Get, so two iterators sharing a caller key but planned
+/// under different options or cost tables can never alias each other's
+/// entries. Entries are additionally
 /// keyed by the instance pointer and record its version, so a plan computed
 /// against a target that has since been chased further is transparently
 /// re-planned — and several sessions debugging *different* scenarios can
@@ -91,12 +99,14 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// Returns the cached atom order for `key` against `instance`, planning
-  /// via `plan` (and storing the result) on miss or version mismatch.
-  /// Charges plans_built or plan_cache_hits to `stats` when non-null.
-  std::vector<size_t> Get(uint64_t key, const Instance& instance,
-                          const std::function<std::vector<size_t>()>& plan,
-                          EvalStats* stats);
+  /// Returns the cached plan for `key` against `instance`, planning via
+  /// `plan` (and storing the result) on miss or version mismatch. Charges
+  /// plans_built or plan_cache_hits to `stats` when non-null. The returned
+  /// pointer stays valid after eviction (shared ownership) — iterators keep
+  /// using their plan even if the LRU tier drops the entry mid-flight.
+  std::shared_ptr<const QueryPlan> Get(uint64_t key, const Instance& instance,
+                                       const std::function<QueryPlan()>& plan,
+                                       EvalStats* stats);
 
   /// Drops every entry keyed by `instance`. Sessions sharing a bounded
   /// cache call this as they destroy their instances.
@@ -123,7 +133,7 @@ class PlanCache {
   };
   struct Entry {
     uint64_t version = 0;
-    std::vector<size_t> order;
+    std::shared_ptr<const QueryPlan> plan;
     /// Position in lru_ (front = most recently used). Only maintained in
     /// bounded mode.
     std::list<MapKey>::iterator lru;

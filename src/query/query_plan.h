@@ -1,0 +1,72 @@
+#ifndef SPIDER_QUERY_QUERY_PLAN_H_
+#define SPIDER_QUERY_QUERY_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spider {
+
+/// One column the executor may probe when entering a level, with the
+/// plan-time expected posting-list length (exact for constants, the
+/// uniform-assumption estimate for bound variables). Value-independent:
+/// computed from per-column statistics and the query's constants only, so
+/// it is safe to cache alongside the atom order.
+struct ProbeChoice {
+  int col = 0;
+  uint64_t expected_rows = 0;
+};
+
+/// Plan-time decisions for one join level (one atom in execution order).
+struct LevelPlan {
+  /// Candidate probe columns, cheapest expected posting list first. The
+  /// runtime probes the first and continues down the list only while the
+  /// modeled saving of a shorter list exceeds the cost of another probe
+  /// (and never past the end — the probe budget is |probes| per entry).
+  /// Empty means no bound column exists (full scan) or the planner decided
+  /// scanning beats probing (see scan_instead).
+  std::vector<ProbeChoice> probes;
+  /// True when the relation is small enough that scanning it outright is
+  /// modeled cheaper than the best probe (probe cost + expected candidates
+  /// vs. whole-relation scan).
+  bool scan_instead = false;
+  /// True when every term of this level's atom is a constant or a variable
+  /// already bound when the level is entered: the executor resolves the
+  /// level with one exact-tuple point lookup instead of probe + scan.
+  bool fully_bound = false;
+};
+
+/// A cached execution plan for one conjunction shape: the atom order plus
+/// the per-level access-path decisions. Everything in here is
+/// value-independent (see PlanCache for the key contract) and priced under
+/// one specific CostModel — the model's fingerprint is mixed into the
+/// effective cache key, so plans never outlive the constants that chose
+/// them.
+struct QueryPlan {
+  /// Evaluation order as a permutation of the caller's atom indexes.
+  std::vector<size_t> order;
+  /// Per-level plans, parallel to `order` (levels[i] drives the atom at
+  /// order[i]).
+  std::vector<LevelPlan> levels;
+  /// True when the whole conjunction is fully bound under the caller's
+  /// initial binding signature: the executor checks each atom with a point
+  /// lookup in the caller's original atom order, which makes the work
+  /// counters (levels entered, probes, rows scanned) identical for every
+  /// planner mode — the invariant the chase's RHS-containment checks rely
+  /// on.
+  bool point_lookup = false;
+
+  /// Approximate heap bytes for the plan cache's budget accounting.
+  size_t ApproxBytes() const {
+    size_t bytes = order.size() * sizeof(size_t) +
+                   levels.size() * sizeof(LevelPlan);
+    for (const LevelPlan& level : levels) {
+      bytes += level.probes.size() * sizeof(ProbeChoice);
+    }
+    return bytes;
+  }
+};
+
+}  // namespace spider
+
+#endif  // SPIDER_QUERY_QUERY_PLAN_H_

@@ -69,6 +69,31 @@ std::optional<int32_t> Instance::FindRow(RelationId rel,
   return row;
 }
 
+std::optional<int32_t> Instance::FindRowRef(
+    RelationId rel, const std::vector<const Value*>& cells) const {
+  const RelationData& data = relations_[rel];
+  SPIDER_CHECK(cells.size() == schema_->relation(rel).arity(),
+               "FindRowRef arity mismatch for relation '" +
+                   schema_->relation(rel).name() + "'");
+  // Must hash exactly like Tuple::Hash to land in the same dedup bucket.
+  size_t hash = kTupleHashSeed;
+  for (const Value* v : cells) hash = HashCombine(hash, v->Hash());
+  auto it = data.dedup.find(hash);
+  if (it == data.dedup.end()) return std::nullopt;
+  for (int32_t row : it->second) {
+    const Tuple& candidate = data.rows[row];
+    bool equal = true;
+    for (size_t col = 0; col < cells.size(); ++col) {
+      if (!(candidate.at(col) == *cells[col])) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return row;
+  }
+  return std::nullopt;
+}
+
 size_t Instance::TotalTuples() const {
   size_t total = 0;
   for (const RelationData& data : relations_) total += data.rows.size();

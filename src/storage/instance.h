@@ -55,6 +55,16 @@ class Instance {
   /// Returns the row index of the given tuple in `rel`, if present.
   std::optional<int32_t> FindRow(RelationId rel, const Tuple& tuple) const;
 
+  /// FindRow without materializing a Tuple: `cells` holds one borrowed Value
+  /// per column (all non-null, arity-checked). This is the evaluator's
+  /// fully-bound point-lookup path — the cells point into the query's terms
+  /// and binding, so the exact-tuple check costs zero Value copies. Hashes
+  /// exactly like Tuple::Hash, so it sees the same dedup buckets Insert
+  /// maintains.
+  std::optional<int32_t> FindRowRef(RelationId rel,
+                                    const std::vector<const Value*>& cells)
+      const;
+
   size_t NumRelations() const { return relations_.size(); }
   size_t NumTuples(RelationId rel) const { return relations_[rel].rows.size(); }
   size_t TotalTuples() const;

@@ -41,9 +41,20 @@ std::vector<ChaseOptions> ChaseVariants() {
   bound_count.eval.planner = PlannerMode::kBoundCount;
   variants.push_back(bound_count);
 
-  ChaseOptions threaded = base;
-  threaded.exec.num_threads = 4;
-  variants.push_back(threaded);
+  ChaseOptions tuple_mode = base;
+  tuple_mode.eval.exec = ExecMode::kTupleAtATime;
+  variants.push_back(tuple_mode);
+
+  // Both exec modes at every thread count the bench matrix uses (1/2/8).
+  for (int threads : {2, 8}) {
+    ChaseOptions threaded = base;
+    threaded.exec.num_threads = threads;
+    variants.push_back(threaded);
+
+    ChaseOptions threaded_tuple = tuple_mode;
+    threaded_tuple.exec.num_threads = threads;
+    variants.push_back(threaded_tuple);
+  }
   return variants;
 }
 
@@ -127,20 +138,31 @@ void CheckScenario(Scenario scenario, const std::string& label) {
     ReplayRoute(one.route, scenario, target, fact, label + "/one-route");
   }
 
-  // The route forest agrees across thread counts, and the naive enumeration
-  // of the forest replays as well.
+  // The route forest is byte-identical across thread counts (1/2/8) and
+  // across batched vs tuple-at-a-time findHom execution.
   if (!facts.empty()) {
     RouteOptions seq;
     RouteForest forest =
         ComputeAllRoutes(mapping, *scenario.source, target, facts, seq);
-    RouteOptions par;
-    par.exec.num_threads = 4;
-    RouteForest forest4 =
-        ComputeAllRoutes(mapping, *scenario.source, target, facts, par);
-    EXPECT_TRUE(forest.stats() == forest4.stats())
-        << label << ": forest stats differ across thread counts";
-    EXPECT_EQ(forest.ToString(), forest4.ToString())
-        << label << ": forest differs across thread counts";
+    for (int threads : {2, 8}) {
+      RouteOptions par;
+      par.exec.num_threads = threads;
+      RouteForest forest_par =
+          ComputeAllRoutes(mapping, *scenario.source, target, facts, par);
+      EXPECT_TRUE(forest.stats() == forest_par.stats())
+          << label << ": forest stats differ at " << threads << " threads";
+      EXPECT_EQ(forest.ToString(), forest_par.ToString())
+          << label << ": forest differs at " << threads << " threads";
+
+      RouteOptions par_tuple = par;
+      par_tuple.eval.exec = ExecMode::kTupleAtATime;
+      RouteForest forest_tuple =
+          ComputeAllRoutes(mapping, *scenario.source, target, facts,
+                           par_tuple);
+      EXPECT_EQ(forest.ToString(), forest_tuple.ToString())
+          << label << ": forest differs under tuple-at-a-time findHom at "
+          << threads << " threads";
+    }
   }
 }
 

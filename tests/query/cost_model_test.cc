@@ -1,0 +1,123 @@
+// Unit pins for the probe-aware cost model: the fixed-point cardinality
+// arithmetic, the degenerate-statistics estimate (NumDistinct == 0 on a
+// nonempty relation), cost-unit pricing, the plan-cache fingerprint, and
+// the wall-clock calibration harness.
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "query/cost_model.h"
+
+namespace spider {
+namespace {
+
+TEST(ExpectedBoundVarRowsTest, UniformSelectivityCeil) {
+  EXPECT_EQ(ExpectedBoundVarRows(100, 10), 10u);
+  EXPECT_EQ(ExpectedBoundVarRows(100, 7), 15u);  // ceil(100/7)
+  EXPECT_EQ(ExpectedBoundVarRows(100, 100), 1u);
+  EXPECT_EQ(ExpectedBoundVarRows(1, 1), 1u);
+}
+
+TEST(ExpectedBoundVarRowsTest, ZeroDistinctOnNonemptyIsNoInformation) {
+  // The seed silently skipped the selectivity factor when the distinct
+  // count was 0; the estimate must now be the explicit no-information
+  // value — the full relation size — not a skipped-branch accident.
+  EXPECT_EQ(ExpectedBoundVarRows(100, 0), 100u);
+  EXPECT_EQ(ExpectedBoundVarRows(1, 0), 1u);
+}
+
+TEST(ExpectedBoundVarRowsTest, EmptyRelationEstimatesZero) {
+  EXPECT_EQ(ExpectedBoundVarRows(0, 0), 0u);
+  EXPECT_EQ(ExpectedBoundVarRows(0, 5), 0u);
+}
+
+TEST(ExpectedBoundVarRowsTest, DistinctAboveRowsClampsToOneRow) {
+  // Impossible statistic (more distinct values than rows): never estimate
+  // below one candidate row.
+  EXPECT_EQ(ExpectedBoundVarRows(10, 1000), 1u);
+}
+
+TEST(CardFpTest, RoundTripAndCeil) {
+  EXPECT_EQ(CardCeilRows(CardFromCount(0)), 0u);
+  EXPECT_EQ(CardCeilRows(CardFromCount(5)), 5u);
+  // A fractional cardinality rounds up, never down to "free".
+  EXPECT_EQ(CardCeilRows(CardScale(CardFromCount(10), 1, 3)), 4u);
+  EXPECT_EQ(CardCeilRows(CardFp{1}), 1u);  // smallest nonzero fraction
+}
+
+TEST(CardFpTest, ScaleIsExactIntegerRatio) {
+  EXPECT_EQ(CardScale(CardFromCount(100), 1, 4), CardFromCount(25));
+  EXPECT_EQ(CardScale(CardFromCount(6), 7, 2), CardFromCount(21));
+  EXPECT_EQ(CardScale(0, 3, 7), 0u);
+}
+
+TEST(CardFpTest, SaturatesInsteadOfWrapping) {
+  constexpr CardFp kMax = CardFromCount(uint64_t{1} << 47);
+  EXPECT_EQ(CardFromCount(uint64_t{1} << 60), kMax);
+  EXPECT_EQ(CardScale(kMax, uint64_t{1} << 20, 1), kMax);
+}
+
+TEST(CostModelTest, CostUnitsPriceEveryComponent) {
+  CostModel model;  // scan 1, probe 4, lookup 2
+  AtomEstimate est;
+  est.probes = 2;
+  est.lookups = 1;
+  est.scanned_rows = 10;
+  est.out_card = CardScale(CardFromCount(10), 1, 4);  // 2.5 -> ceil 3
+  EXPECT_EQ(est.CostUnits(model), 2u * 4 + 1u * 2 + 10u * 1 + 3u * 1);
+}
+
+TEST(CostModelTest, FingerprintSeparatesModels) {
+  CostModel a;
+  CostModel b;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  b.probe_cost = 8;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  CostModel c;
+  c.lookup_cost = 3;
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_NE(b.Fingerprint(), c.Fingerprint());
+}
+
+TEST(CostModelTest, DefaultIsTheCommittedTable) {
+  const CostModel& d = CostModel::Default();
+  EXPECT_EQ(d.scan_cost, 1u);
+  EXPECT_EQ(d.probe_cost, 4u);
+  EXPECT_EQ(d.lookup_cost, 2u);
+  EXPECT_EQ(d, CostModel{});
+}
+
+TEST(CalibrationTest, ProducesSaneConstantsAndRecordsHistograms) {
+  obs::Registry& registry = obs::Registry::Global();
+  uint64_t scan_before =
+      registry.GetHistogram("query.calibrate.scan_ns")->count();
+
+  CalibrationResult result = CalibrateCostModel(/*rows=*/512, /*repeats=*/2);
+
+  // Constants are ratios against the scan unit, clamped to [1, 64].
+  EXPECT_EQ(result.model.scan_cost, 1u);
+  EXPECT_GE(result.model.probe_cost, 1u);
+  EXPECT_LE(result.model.probe_cost, 64u);
+  EXPECT_GE(result.model.lookup_cost, 1u);
+  EXPECT_LE(result.model.lookup_cost, 64u);
+  EXPECT_GT(result.scan_ns, 0.0);
+  EXPECT_GT(result.probe_ns, 0.0);
+  EXPECT_GT(result.lookup_ns, 0.0);
+
+  // Every repeat lands one sample per primitive in the obs histograms.
+  EXPECT_EQ(registry.GetHistogram("query.calibrate.scan_ns")->count(),
+            scan_before + 2);
+  EXPECT_GE(registry.GetHistogram("query.calibrate.probe_ns")->count(), 2u);
+  EXPECT_GE(registry.GetHistogram("query.calibrate.lookup_ns")->count(), 2u);
+
+  // A calibrated model fingerprints differently from the default whenever
+  // its constants differ — the property the plan-cache key relies on.
+  if (!(result.model == CostModel::Default())) {
+    EXPECT_NE(result.model.Fingerprint(), CostModel::Default().Fingerprint());
+  }
+}
+
+}  // namespace
+}  // namespace spider

@@ -4,6 +4,14 @@
 // and on a few hundred random ones. The baseline configuration is the naive
 // nested-loop engine (no reordering, no indexes) — everything else is an
 // optimization that must not change results.
+//
+// Two stronger oracles ride along:
+//  - Batched execution must reproduce the tuple-at-a-time match SEQUENCE
+//    byte for byte (not merely the multiset) in every configuration.
+//  - Fully-bound conjunctions (the chase's RHS containment shape) must
+//    report a planner-invariant levels_entered count: existence per atom
+//    does not depend on the access path, and the evaluator pins the
+//    original atom order for such queries in every mode.
 
 #include <algorithm>
 #include <string>
@@ -50,6 +58,29 @@ std::vector<Binding> SortedBindings(const Instance& instance,
   return results;
 }
 
+/// True when every variable the atoms mention is bound by `initial` — the
+/// shape of findHom's RHS containment checks, for which the evaluator
+/// promises planner-invariant work counters.
+bool FullyBound(const std::vector<Atom>& atoms, const Binding& initial) {
+  for (const Atom& atom : atoms) {
+    for (const Term& term : atom.terms) {
+      if (term.is_var() && !initial.IsBound(term.var())) return false;
+    }
+  }
+  return true;
+}
+
+std::string Describe(const EvalOptions& config) {
+  std::string s = "reorder=";
+  s += config.reorder_atoms ? '1' : '0';
+  s += " indexes=";
+  s += config.use_indexes ? '1' : '0';
+  s += " planner=";
+  s += config.planner == PlannerMode::kSelectivity ? "selectivity"
+                                                   : "bound-count";
+  return s;
+}
+
 /// Runs every configuration of one query against the naive baseline;
 /// `what` labels failures. Exercises the plan cache as well: a cached
 /// re-evaluation must agree with the fresh one.
@@ -61,20 +92,46 @@ void ExpectAllConfigsAgree(const Instance& instance,
   naive.use_indexes = false;
   std::vector<Binding> expected =
       SortedBindings(instance, atoms, initial, naive);
+  const bool fully_bound = FullyBound(atoms, initial);
+  std::vector<uint64_t> fully_bound_levels;
   for (const EvalOptions& config : AllConfigs()) {
-    EXPECT_EQ(expected, SortedBindings(instance, atoms, initial, config))
-        << what << " diverged (reorder=" << config.reorder_atoms
-        << " indexes=" << config.use_indexes << " planner="
-        << (config.planner == PlannerMode::kSelectivity ? "selectivity"
-                                                        : "bound-count")
-        << ")";
+    // Batched (the config default) vs tuple-at-a-time: the match sequences
+    // must be byte-identical, in order, before any sorting.
+    EvalOptions tuple = config;
+    tuple.exec = ExecMode::kTupleAtATime;
+    EvalStats batch_stats;
+    EvalStats tuple_stats;
+    std::vector<Binding> batch_seq =
+        EvaluateAll(instance, atoms, initial, config, &batch_stats);
+    std::vector<Binding> tuple_seq =
+        EvaluateAll(instance, atoms, initial, tuple, &tuple_stats);
+    EXPECT_EQ(batch_seq, tuple_seq)
+        << what << " batch vs tuple-at-a-time sequence diverged ("
+        << Describe(config) << ")";
+    EXPECT_EQ(batch_stats.tuples_scanned, tuple_stats.tuples_scanned)
+        << what << " batch scan count diverged (" << Describe(config) << ")";
+    std::sort(batch_seq.begin(), batch_seq.end());
+    EXPECT_EQ(expected, batch_seq)
+        << what << " diverged (" << Describe(config) << ")";
+    if (fully_bound) {
+      fully_bound_levels.push_back(batch_stats.levels_entered);
+      fully_bound_levels.push_back(tuple_stats.levels_entered);
+    }
   }
-  // Cached plans: evaluate twice through one cache (second run hits) and
-  // once through HasMatch; multisets and existence must match the baseline.
+  // The fully-bound invariant: identical levels_entered in every
+  // configuration and exec mode (same short-circuit atom, original order).
+  for (size_t i = 1; i < fully_bound_levels.size(); ++i) {
+    EXPECT_EQ(fully_bound_levels[0], fully_bound_levels[i])
+        << what << " fully-bound levels_entered drifted across configs";
+  }
+  // Cached plans: evaluate twice through one cache (second run hits, and
+  // runs tuple-at-a-time — exec modes share plan entries) and once through
+  // HasMatch; multisets and existence must match the baseline.
   PlanCache cache;
   EvalOptions cached;
   cached.plan_cache = &cache;
   for (int round = 0; round < 2; ++round) {
+    cached.exec = round == 0 ? ExecMode::kBatch : ExecMode::kTupleAtATime;
     Binding b = initial;
     MatchIterator it(instance, atoms, &b, cached, /*plan_key=*/0x5eed);
     std::vector<Binding> results;

@@ -73,46 +73,177 @@ TEST_F(PlannerTest, SelectivityPlannerScansLess) {
   EXPECT_LE(selectivity, 3 + 3 * 2u);  // Small scan + three key probes.
 }
 
-TEST_F(PlannerTest, SelectivityProbesAllBoundColumns) {
-  // Fully bound Big atom: the selectivity engine probes both columns
-  // (column k's posting list has 1 entry, tag's has 200), keeps the
-  // smaller, and scans exactly one candidate row.
+TEST_F(PlannerTest, FullyBoundAtomIsOnePointLookup) {
+  // Fully bound Big atom under kSelectivity: one exact-tuple point lookup —
+  // no posting-list probes at all, one row fetched. kBoundCount keeps the
+  // seed probe-and-scan access path (and consults no statistics).
   Atom atom = BigAtom(Term::Const(Value::Int(5)), Term::Const(Value::Int(7)));
-  EvalOptions options;
-  Binding b(0);
-  MatchIterator it(*inst_, {atom}, &b, options);
-  ASSERT_TRUE(it.Next());
-  EXPECT_EQ(1u, it.tuples_scanned());
-  EXPECT_EQ(2u, it.stats().index_probes);  // probed both, kept the smaller
+  {
+    EvalOptions options;  // defaults to kSelectivity
+    Binding b(0);
+    MatchIterator it(*inst_, {atom}, &b, options);
+    EXPECT_TRUE(it.plan().point_lookup);
+    ASSERT_TRUE(it.Next());
+    EXPECT_EQ(1u, it.tuples_scanned());
+    EXPECT_EQ(0u, it.stats().index_probes);
+    EXPECT_EQ(1u, it.stats().point_lookups);
+    EXPECT_FALSE(it.Next());
+  }
+  {
+    EvalOptions options;
+    options.planner = PlannerMode::kBoundCount;
+    Binding b(0);
+    MatchIterator it(*inst_, {atom}, &b, options);
+    EXPECT_FALSE(it.plan().point_lookup);
+    ASSERT_TRUE(it.Next());
+    // Seed path: probes column k (1-row posting list), scans the hit.
+    EXPECT_EQ(1u, it.tuples_scanned());
+    EXPECT_EQ(1u, it.stats().index_probes);
+    EXPECT_EQ(0u, it.stats().point_lookups);
+  }
 }
 
-TEST_F(PlannerTest, SmallestPostingBeatsFirstColumn) {
-  // Tag(tag, k): the first column's posting list is the whole relation, the
-  // second is a single row. The seed engine probes the first bound column
-  // and scans 200 candidates; the selectivity engine probes both and scans
-  // the 1-row list.
+TEST_F(PlannerTest, FullyBoundConjunctionLevelsArePlannerInvariant) {
+  // A fully-bound conjunction keeps the caller's atom order in EVERY
+  // indexed configuration, so both planners short-circuit a failed
+  // existence check on the same atom: levels_entered is planner-invariant
+  // (the BENCH_planner chase drift fix). Access paths — and therefore
+  // probe/scan counters — still differ per mode.
+  std::vector<Atom> atoms = {
+      BigAtom(Term::Const(Value::Int(5)), Term::Const(Value::Int(7))),
+      SmallAtom(Term::Const(Value::Int(50))),
+  };
+  std::vector<Atom> missing = {
+      BigAtom(Term::Const(Value::Int(5)), Term::Const(Value::Int(999))),
+      SmallAtom(Term::Const(Value::Int(50))),
+  };
+  std::vector<EvalStats> hit_stats, miss_stats;
+  for (PlannerMode planner :
+       {PlannerMode::kBoundCount, PlannerMode::kSelectivity}) {
+    for (bool reorder : {false, true}) {
+      EvalOptions options;
+      options.planner = planner;
+      options.reorder_atoms = reorder;
+      Binding b(0);
+      MatchIterator hit(*inst_, atoms, &b, options);
+      EXPECT_TRUE(hit.Next());
+      hit_stats.push_back(hit.stats());
+      Binding b2(0);
+      MatchIterator miss(*inst_, missing, &b2, options);
+      EXPECT_FALSE(miss.Next());
+      miss_stats.push_back(miss.stats());
+    }
+  }
+  for (size_t i = 1; i < hit_stats.size(); ++i) {
+    EXPECT_EQ(hit_stats[0].levels_entered, hit_stats[i].levels_entered);
+    EXPECT_EQ(miss_stats[0].levels_entered, miss_stats[i].levels_entered);
+  }
+  EXPECT_EQ(2u, hit_stats[0].levels_entered);
+  // The miss stops at the first (failed) atom in every mode: one level —
+  // even though Big(5, 999) and Small(50) live in differently-sized
+  // relations, no mode reorders them.
+  EXPECT_EQ(1u, miss_stats[0].levels_entered);
+}
+
+TEST_F(PlannerTest, CheapestPostingProbedFirstUnderBudget) {
+  // Tag(tag, k, v): column tag's posting list is the whole relation, column
+  // k's is a single row; v keeps the atom from being fully bound. The seed
+  // engine probes the first bound column (tag) and scans its 200-row list;
+  // the selectivity engine probes the cheapest expected column (k) first
+  // and the probe budget stops it there — the 200-expected tag probe can't
+  // pay for itself against a 1-row list in hand.
   Schema schema("probe");
-  RelationId tag_rel = schema.AddRelation("Tag", {"tag", "k"});
+  RelationId tag_rel = schema.AddRelation("Tag", {"tag", "k", "v"});
   Instance inst(&schema);
   for (int i = 0; i < 200; ++i) {
-    inst.Insert(tag_rel, Tuple({Value::Int(7), Value::Int(i)}));
+    inst.Insert(tag_rel,
+                Tuple({Value::Int(7), Value::Int(i), Value::Int(i * 2)}));
   }
-  Atom atom{tag_rel, {Term::Const(Value::Int(7)), Term::Const(Value::Int(5))}};
+  Atom atom{tag_rel,
+            {Term::Const(Value::Int(7)), Term::Const(Value::Int(5)),
+             Term::Var(0)}};
   for (PlannerMode planner :
        {PlannerMode::kBoundCount, PlannerMode::kSelectivity}) {
     EvalOptions options;
     options.planner = planner;
-    Binding b(0);
+    Binding b(1);
     MatchIterator it(inst, {atom}, &b, options);
     ASSERT_TRUE(it.Next());
     if (planner == PlannerMode::kSelectivity) {
       EXPECT_EQ(1u, it.tuples_scanned());
+      EXPECT_EQ(1u, it.stats().index_probes);  // budget: second probe skipped
     } else {
       // First bound column is `tag`; its posting list holds all 200 rows
       // and the match (k=5) is the sixth of them.
       EXPECT_EQ(6u, it.tuples_scanned());
+      EXPECT_EQ(1u, it.stats().index_probes);
     }
   }
+}
+
+TEST_F(PlannerTest, SelectivityProbesNeverExceedBoundColumns) {
+  // Regression for the wall-clock regression's root cause: under the probe
+  // budget, kSelectivity issues at most one probe per bound column per
+  // level entry (and typically far fewer). Join S(x) & T(x, 7, y): T's
+  // level is entered once per S row with two bound columns (k and tag) and
+  // one produced column keeping it off the point-lookup path.
+  Schema schema("budget");
+  RelationId s_rel = schema.AddRelation("S", {"k"});
+  RelationId t_rel = schema.AddRelation("T", {"k", "tag", "v"});
+  Instance inst(&schema);
+  for (int i = 0; i < 3; ++i) inst.Insert(s_rel, Tuple({Value::Int(i * 50)}));
+  for (int i = 0; i < 200; ++i) {
+    inst.Insert(t_rel,
+                Tuple({Value::Int(i), Value::Int(7), Value::Int(i + 1)}));
+  }
+  std::vector<Atom> atoms = {
+      Atom{s_rel, {Term::Var(0)}},
+      Atom{t_rel,
+           {Term::Var(0), Term::Const(Value::Int(7)), Term::Var(1)}},
+  };
+  EvalOptions options;
+  options.planner = PlannerMode::kSelectivity;
+  Binding b(2);
+  MatchIterator it(inst, atoms, &b, options);
+  uint64_t matches = 0;
+  while (it.Next()) ++matches;
+  EXPECT_EQ(3u, matches);
+  // S's level has no bound columns (0 probes); T's has 2 per entry.
+  const uint64_t t_entries = it.stats().levels_entered - 1;
+  EXPECT_EQ(3u, t_entries);
+  EXPECT_LE(it.stats().index_probes, 2 * t_entries);
+  EXPECT_GE(it.stats().index_probes, t_entries);  // at least the primary
+}
+
+TEST_F(PlannerTest, TieBreakIsDeterministicIntegerComparison) {
+  // Two relations with byte-identical statistics: every cost term ties, so
+  // the planner must fall back to the original atom position — an exact
+  // integer comparison, immune to float summation-order differences across
+  // platforms. Pin both the forward and the reversed listing.
+  Schema schema("tie");
+  RelationId r1 = schema.AddRelation("R1", {"a", "b"});
+  RelationId r2 = schema.AddRelation("R2", {"a", "b"});
+  Instance inst(&schema);
+  for (int i = 0; i < 50; ++i) {
+    inst.Insert(r1, Tuple({Value::Int(i), Value::Int(i % 5)}));
+    inst.Insert(r2, Tuple({Value::Int(i), Value::Int(i % 5)}));
+  }
+  EvalOptions options;
+  options.planner = PlannerMode::kSelectivity;
+  Binding b(4);
+  MatchIterator forward(
+      inst,
+      {Atom{r1, {Term::Var(0), Term::Var(1)}},
+       Atom{r2, {Term::Var(2), Term::Var(3)}}},
+      &b, options);
+  EXPECT_EQ((std::vector<size_t>{0, 1}), forward.plan().order);
+  Binding b2(4);
+  MatchIterator reversed(
+      inst,
+      {Atom{r2, {Term::Var(0), Term::Var(1)}},
+       Atom{r1, {Term::Var(2), Term::Var(3)}}},
+      &b2, options);
+  EXPECT_EQ((std::vector<size_t>{0, 1}), reversed.plan().order);
 }
 
 TEST_F(PlannerTest, StatsCountersPopulated) {

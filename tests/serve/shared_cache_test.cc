@@ -139,6 +139,14 @@ TEST(SharedRouteCacheTest, ForestSharedAcrossSessions) {
   EXPECT_EQ(stats.forest_misses, 1u);
 }
 
+/// A distinguishable single-atom plan for cache bookkeeping tests.
+QueryPlan OrderPlan(std::vector<size_t> order) {
+  QueryPlan plan;
+  plan.order = std::move(order);
+  plan.levels.resize(plan.order.size());
+  return plan;
+}
+
 TEST(PlanCacheBoundedTest, EvictsAndRecountsBytes) {
   Schema schema("S");
   schema.AddRelation("R", {"a", "b"});
@@ -146,7 +154,7 @@ TEST(PlanCacheBoundedTest, EvictsAndRecountsBytes) {
 
   PlanCache cache(/*max_bytes=*/1);  // Every insert evicts the previous.
   EvalStats stats;
-  auto plan = [] { return std::vector<size_t>{0, 1}; };
+  auto plan = [] { return OrderPlan({0, 1}); };
   cache.Get(1, instance, plan, &stats);
   cache.Get(2, instance, plan, &stats);
   EXPECT_GE(cache.evictions(), 1u);
@@ -166,13 +174,13 @@ TEST(PlanCacheBoundedTest, InstancesKeyedSeparatelyAndForgotten) {
 
   PlanCache cache(/*max_bytes=*/1 << 20);
   EvalStats stats;
-  cache.Get(1, one, [] { return std::vector<size_t>{0}; }, &stats);
-  cache.Get(1, two, [] { return std::vector<size_t>{1}; }, &stats);
+  cache.Get(1, one, [] { return OrderPlan({0}); }, &stats);
+  cache.Get(1, two, [] { return OrderPlan({1}); }, &stats);
   EXPECT_EQ(cache.size(), 2u);
   // Same key, different instance: each sees its own plan.
-  EXPECT_EQ(cache.Get(1, one, [] { return std::vector<size_t>{9}; }, &stats),
+  EXPECT_EQ(cache.Get(1, one, [] { return OrderPlan({9}); }, &stats)->order,
             (std::vector<size_t>{0}));
-  EXPECT_EQ(cache.Get(1, two, [] { return std::vector<size_t>{9}; }, &stats),
+  EXPECT_EQ(cache.Get(1, two, [] { return OrderPlan({9}); }, &stats)->order,
             (std::vector<size_t>{1}));
 
   cache.Forget(&one);
@@ -180,7 +188,7 @@ TEST(PlanCacheBoundedTest, InstancesKeyedSeparatelyAndForgotten) {
   // Forgetting never counts as eviction...
   EXPECT_EQ(cache.evictions(), 0u);
   // ...and a new instance at one's old address would re-plan, not inherit.
-  EXPECT_EQ(cache.Get(1, one, [] { return std::vector<size_t>{7}; }, &stats),
+  EXPECT_EQ(cache.Get(1, one, [] { return OrderPlan({7}); }, &stats)->order,
             (std::vector<size_t>{7}));
 }
 
